@@ -1,0 +1,284 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/hwsim"
+	"repro/internal/lpm"
+	"repro/internal/packet"
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+// Rule model, re-exported from the internal rule package so callers build
+// rules without importing internals.
+type (
+	// Rule is a 5-tuple classification rule with first-match priority.
+	Rule = rule.Rule
+	// Header is the 5-tuple lookup point.
+	Header = rule.Header
+	// Prefix is an IPv4 prefix match.
+	Prefix = rule.Prefix
+	// PortRange is an inclusive port interval match.
+	PortRange = rule.PortRange
+	// ProtoMatch is an exact-or-wildcard protocol match.
+	ProtoMatch = rule.ProtoMatch
+	// Action is a rule verdict.
+	Action = rule.Action
+	// RuleSet is an ordered rule collection with a linear-scan oracle.
+	RuleSet = rule.Set
+	// Rule6 and Header6 are the IPv6 counterparts.
+	Rule6 = rule.Rule6
+	// Header6 is the IPv6 5-tuple lookup point.
+	Header6 = rule.Header6
+	// Addr6 is a 128-bit IPv6 address.
+	Addr6 = rule.Addr6
+	// Prefix6 is an IPv6 prefix match.
+	Prefix6 = rule.Prefix6
+)
+
+// Re-exported rule actions.
+const (
+	ActionPermit = rule.ActionPermit
+	ActionDeny   = rule.ActionDeny
+	ActionQueue  = rule.ActionQueue
+	ActionMirror = rule.ActionMirror
+	ActionCount  = rule.ActionCount
+)
+
+// Re-exported protocol numbers.
+const (
+	ProtoICMP = rule.ProtoICMP
+	ProtoTCP  = rule.ProtoTCP
+	ProtoUDP  = rule.ProtoUDP
+)
+
+// FullPortRange matches every port.
+func FullPortRange() PortRange { return rule.FullPortRange() }
+
+// ExactPort matches a single port.
+func ExactPort(p uint16) PortRange { return rule.ExactPort(p) }
+
+// ExactProto matches a single protocol value.
+func ExactProto(v uint8) ProtoMatch { return rule.ExactProto(v) }
+
+// AnyProto matches every protocol value.
+func AnyProto() ProtoMatch { return rule.AnyProto() }
+
+// ParsePrefix parses "a.b.c.d/len" notation.
+func ParsePrefix(s string) (Prefix, error) { return rule.ParsePrefix(s) }
+
+// MustParsePrefix parses a prefix, panicking on malformed input; intended
+// for literals in examples and tests.
+func MustParsePrefix(s string) Prefix {
+	p, err := rule.ParsePrefix(s)
+	if err != nil {
+		panic(fmt.Sprintf("repro: bad prefix literal %q: %v", s, err))
+	}
+	return p
+}
+
+// ParseRules reads a ClassBench-format ruleset.
+func ParseRules(r io.Reader) (*RuleSet, error) { return rule.ParseSet(r) }
+
+// WriteRules emits a ruleset in ClassBench format.
+func WriteRules(w io.Writer, s *RuleSet) error { return rule.WriteSet(w, s) }
+
+// NewRuleSet builds a validated rule set; IDs and priorities default to
+// position order.
+func NewRuleSet(rules []Rule) (*RuleSet, error) { return rule.NewSet(rules) }
+
+// ParsePacket extracts the IPv4 5-tuple from an Ethernet frame.
+func ParsePacket(frame []byte) (Header, error) { return packet.ParseEthernet(frame) }
+
+// ParseIPv4Packet extracts the 5-tuple from a raw IPv4 packet.
+func ParseIPv4Packet(pkt []byte) (Header, error) { return packet.ParseIPv4(pkt) }
+
+// Configuration, re-exported from the core package.
+type (
+	// Config selects the per-field algorithm set (the decision-control
+	// choice of Section III.A).
+	Config = core.Config
+	// Result is the outcome of one lookup.
+	Result = core.Result
+	// Stats aggregates lookup-domain statistics.
+	Stats = core.Stats
+	// Cost is a hardware operation cost (cycles, memory lines).
+	Cost = hwsim.Cost
+	// Throughput is the modeled forwarding performance.
+	Throughput = core.Throughput
+	// MemoryMap lists the occupied hardware RAM blocks.
+	MemoryMap = hwsim.MemoryMap
+)
+
+// Engine selections.
+const (
+	LPMMultiBitTrie     = core.LPMMultiBitTrie
+	LPMBinarySearchTree = core.LPMBinarySearchTree
+	LPMAMTrie           = core.LPMAMTrie
+
+	RangeRegisterBank = core.RangeRegisterBank
+	RangeSegmentTree  = core.RangeSegmentTree
+	RangeRangeTree    = core.RangeRangeTree
+
+	ExactDirectIndex = core.ExactDirectIndex
+	ExactHashTable   = core.ExactHashTable
+
+	CombinePruned     = core.CombinePruned
+	CombineExhaustive = core.CombineExhaustive
+)
+
+// Classifier is the programmable IPv4 lookup domain.
+type Classifier struct {
+	inner *core.Classifier[lpm.V4]
+}
+
+// NewClassifier returns a classifier for the configuration, optionally
+// pre-loaded with a rule set (nil starts empty).
+func NewClassifier(cfg Config, rules *RuleSet) (*Classifier, error) {
+	var lens []uint8
+	if rules != nil {
+		lens = core.PrefixLens(rules)
+	}
+	inner, err := core.New[lpm.V4](cfg, lens)
+	if err != nil {
+		return nil, err
+	}
+	c := &Classifier{inner: inner}
+	if rules != nil {
+		if _, err := c.BuildFromSet(rules); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// BuildFromSet bulk-loads a rule set, returning the total hardware update
+// cost.
+func (c *Classifier) BuildFromSet(s *RuleSet) (Cost, error) {
+	return c.inner.Build(core.CompileSet(s))
+}
+
+// Insert installs one rule incrementally.
+func (c *Classifier) Insert(r Rule) (Cost, error) {
+	return c.inner.Insert(core.V4Tuple(r))
+}
+
+// Delete removes a rule by ID.
+func (c *Classifier) Delete(id int) (Cost, error) { return c.inner.Delete(id) }
+
+// Len returns the number of installed rules.
+func (c *Classifier) Len() int { return c.inner.Len() }
+
+// Lookup classifies one header. Not safe for concurrent use.
+func (c *Classifier) Lookup(h Header) (Result, Cost) {
+	return c.inner.Lookup(core.V4Header(h))
+}
+
+// LookupPacket parses an Ethernet frame and classifies it.
+func (c *Classifier) LookupPacket(frame []byte) (Result, Cost, error) {
+	h, err := packet.ParseEthernet(frame)
+	if err != nil {
+		return Result{}, Cost{}, err
+	}
+	res, cost := c.Lookup(h)
+	return res, cost, nil
+}
+
+// Stats returns a statistics snapshot.
+func (c *Classifier) Stats() Stats { return c.inner.Stats() }
+
+// ResetStats clears the lookup counters.
+func (c *Classifier) ResetStats() { c.inner.ResetStats() }
+
+// Memory reports the occupied hardware RAM blocks.
+func (c *Classifier) Memory() MemoryMap { return c.inner.Memory() }
+
+// ModelThroughput reports the modeled forwarding performance at the
+// paper's 200 MHz clock.
+func (c *Classifier) ModelThroughput() Throughput { return c.inner.Throughput() }
+
+// ModelLookupCycles models the clock cycles to stream n headers through
+// the lookup pipeline (the Fig. 4 quantity).
+func (c *Classifier) ModelLookupCycles(n int) float64 { return c.inner.LookupCycles(n) }
+
+// Classifier6 is the IPv6 lookup domain: the same architecture over
+// 128-bit prefixes.
+type Classifier6 struct {
+	inner *core.Classifier[lpm.V6]
+}
+
+// NewClassifier6 returns an IPv6 classifier.
+func NewClassifier6(cfg Config) (*Classifier6, error) {
+	inner, err := core.New[lpm.V6](cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier6{inner: inner}, nil
+}
+
+// Insert installs one IPv6 rule.
+func (c *Classifier6) Insert(r Rule6) (Cost, error) {
+	return c.inner.Insert(core.V6Tuple(r))
+}
+
+// Delete removes a rule by ID.
+func (c *Classifier6) Delete(id int) (Cost, error) { return c.inner.Delete(id) }
+
+// Len returns the number of installed rules.
+func (c *Classifier6) Len() int { return c.inner.Len() }
+
+// Lookup classifies one IPv6 header.
+func (c *Classifier6) Lookup(h Header6) (Result, Cost) {
+	return c.inner.Lookup(core.V6Header(h))
+}
+
+// LookupPacket parses an IPv6 Ethernet frame and classifies it.
+func (c *Classifier6) LookupPacket(frame []byte) (Result, Cost, error) {
+	h, err := packet.ParseEthernet6(frame)
+	if err != nil {
+		return Result{}, Cost{}, err
+	}
+	res, cost := c.Lookup(h)
+	return res, cost, nil
+}
+
+// Stats returns a statistics snapshot.
+func (c *Classifier6) Stats() Stats { return c.inner.Stats() }
+
+// Memory reports the occupied hardware RAM blocks.
+func (c *Classifier6) Memory() MemoryMap { return c.inner.Memory() }
+
+// ModelThroughput reports the modeled forwarding performance.
+func (c *Classifier6) ModelThroughput() Throughput { return c.inner.Throughput() }
+
+// Synthetic workloads, re-exported from the ruleset generator.
+type (
+	// Family selects ACL, FW or IPC ruleset structure.
+	Family = ruleset.Family
+	// GenConfig parameterizes ruleset generation.
+	GenConfig = ruleset.Config
+	// TraceConfig parameterizes packet-header-set generation.
+	TraceConfig = ruleset.TraceConfig
+)
+
+// Ruleset families.
+const (
+	ACL = ruleset.ACL
+	FW  = ruleset.FW
+	IPC = ruleset.IPC
+)
+
+// GenerateRules builds a synthetic ClassBench-style ruleset.
+func GenerateRules(cfg GenConfig) (*RuleSet, error) { return ruleset.Generate(cfg) }
+
+// GenerateTrace builds a packet header set correlated with a ruleset.
+func GenerateTrace(s *RuleSet, cfg TraceConfig) ([]Header, error) {
+	return ruleset.GenerateTrace(s, cfg)
+}
+
+// OptimizeRules applies the decision controller's ruleset optimization
+// (shadowed-rule removal), returning the optimized set and removed IDs.
+func OptimizeRules(s *RuleSet) (*RuleSet, []int, error) { return core.OptimizeSet(s) }

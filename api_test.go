@@ -1,0 +1,190 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	cls, err := NewClassifier(Config{LPM: LPMMultiBitTrie}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []Rule{
+		{
+			ID: 1, Priority: 1,
+			SrcIP:   MustParsePrefix("10.0.0.0/8"),
+			SrcPort: FullPortRange(), DstPort: ExactPort(80),
+			Proto:  ExactProto(ProtoTCP),
+			Action: ActionPermit,
+		},
+		{
+			ID: 2, Priority: 2,
+			SrcPort: FullPortRange(), DstPort: FullPortRange(),
+			Proto:  AnyProto(),
+			Action: ActionDeny,
+		},
+	}
+	for _, r := range rules {
+		if _, err := cls.Insert(r); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	res, cost := cls.Lookup(Header{SrcIP: 0x0a000001, DstPort: 80, Proto: ProtoTCP})
+	if !res.Found || res.RuleID != 1 || res.Action != ActionPermit {
+		t.Fatalf("Lookup = %+v", res)
+	}
+	if cost.Cycles <= 0 {
+		t.Error("lookup cost should be positive")
+	}
+	res, _ = cls.Lookup(Header{SrcIP: 0xc0000001, DstPort: 22, Proto: ProtoTCP})
+	if !res.Found || res.RuleID != 2 || res.Action != ActionDeny {
+		t.Fatalf("default Lookup = %+v", res)
+	}
+	if _, err := cls.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = cls.Lookup(Header{SrcIP: 0x0a000001, DstPort: 80, Proto: ProtoTCP})
+	if res.RuleID != 2 {
+		t.Fatalf("after delete, Lookup = %+v", res)
+	}
+}
+
+func TestPublicAPIGenerated(t *testing.T) {
+	rs, err := GenerateRules(GenConfig{Family: ACL, Size: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := NewClassifier(Config{}, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Len() != 200 {
+		t.Fatalf("Len = %d", cls.Len())
+	}
+	trace, err := GenerateTrace(rs, TraceConfig{Size: 500, HitRatio: 0.8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range trace {
+		got, _ := cls.Lookup(h)
+		want, ok := rs.Match(h)
+		if got.Found != ok || (ok && got.RuleID != want.ID) {
+			t.Fatalf("mismatch vs oracle: %+v vs (%d,%v)", got, want.ID, ok)
+		}
+	}
+	tp := cls.ModelThroughput()
+	if tp.Mpps <= 0 || tp.Gbps <= 0 {
+		t.Errorf("throughput = %+v", tp)
+	}
+	if cls.Memory().TotalBytes() == 0 {
+		t.Error("memory empty")
+	}
+}
+
+func TestPublicAPIPacketPath(t *testing.T) {
+	cls, err := NewClassifier(Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cls.Insert(Rule{
+		ID: 1, Priority: 1,
+		SrcIP:   MustParsePrefix("192.168.0.0/16"),
+		SrcPort: FullPortRange(), DstPort: ExactPort(443),
+		Proto:  ExactProto(ProtoTCP),
+		Action: ActionPermit,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := Header{SrcIP: 0xc0a80105, DstIP: 0x08080808, SrcPort: 40000, DstPort: 443, Proto: ProtoTCP}
+	frame := packet.BuildEthernet(packet.BuildIPv4(h))
+	res, _, err := cls.LookupPacket(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.RuleID != 1 {
+		t.Fatalf("LookupPacket = %+v", res)
+	}
+	if _, _, err := cls.LookupPacket(frame[:8]); err == nil {
+		t.Error("truncated frame should fail")
+	}
+}
+
+func TestPublicAPIClassBenchText(t *testing.T) {
+	src := "@10.0.0.0/8\t0.0.0.0/0\t0 : 65535\t80 : 80\t0x06/0xFF\n"
+	rs, err := ParseRules(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteRules(&sb, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "10.0.0.0/8") {
+		t.Errorf("WriteRules output: %q", sb.String())
+	}
+}
+
+func TestPublicAPIv6(t *testing.T) {
+	cls, err := NewClassifier6(Config{LPM: LPMBinarySearchTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Rule6{
+		ID: 1, Priority: 1,
+		SrcIP:   rule6Prefix(0x20010db8_00000000, 0, 32),
+		SrcPort: FullPortRange(), DstPort: ExactPort(443),
+		Proto:  ExactProto(ProtoTCP),
+		Action: ActionPermit,
+	}
+	if _, err := cls.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := cls.Lookup(Header6{
+		SrcIP:   addr6(0x20010db8_00001234, 42),
+		DstPort: 443, Proto: ProtoTCP,
+	})
+	if !res.Found || res.RuleID != 1 {
+		t.Fatalf("v6 Lookup = %+v", res)
+	}
+	if _, err := cls.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if cls.Len() != 0 {
+		t.Error("v6 delete failed")
+	}
+}
+
+func addr6(hi, lo uint64) Addr6 { return Addr6{Hi: hi, Lo: lo} }
+
+func rule6Prefix(hi, lo uint64, l uint8) Prefix6 {
+	return Prefix6{Addr: Addr6{Hi: hi, Lo: lo}, Len: l}.Canonical()
+}
+
+func TestMustParsePrefixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParsePrefix should panic on bad input")
+		}
+	}()
+	MustParsePrefix("not-a-prefix")
+}
+
+func TestOptimizeRulesPublic(t *testing.T) {
+	rs, err := NewRuleSet([]Rule{
+		{SrcIP: MustParsePrefix("10.0.0.0/8"), SrcPort: FullPortRange(), DstPort: FullPortRange(), Proto: AnyProto()},
+		{SrcIP: MustParsePrefix("10.1.0.0/16"), SrcPort: FullPortRange(), DstPort: FullPortRange(), Proto: ExactProto(ProtoTCP)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, removed, err := OptimizeRules(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || opt.Len() != 1 {
+		t.Fatalf("removed=%v len=%d", removed, opt.Len())
+	}
+}

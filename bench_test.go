@@ -1,0 +1,468 @@
+package repro
+
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md section 4 and EXPERIMENTS.md for the
+// paper-vs-measured record):
+//
+//	BenchmarkTableI      — multi-dimensional algorithm comparison
+//	BenchmarkTableII     — single-field engine comparison
+//	BenchmarkFig3        — ruleset update time (clock cycles)
+//	BenchmarkFig4        — packet lookup time vs PHS size (clock cycles)
+//	BenchmarkThroughput  — Section IV.D Mpps / Gbps figures
+//	BenchmarkAblation*   — design-choice studies from DESIGN.md section 5
+//
+// The cmd/lookupbench binary prints the same data as formatted tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/hwsim"
+	"repro/internal/label"
+	"repro/internal/lpm"
+	"repro/internal/rangematch"
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+// benchWorkload caches rulesets and traces across benchmarks.
+type benchWorkload struct {
+	set   *rule.Set
+	trace []rule.Header
+}
+
+var benchCache = map[string]benchWorkload{}
+
+func workload(b *testing.B, fam ruleset.Family, size, traceN int) benchWorkload {
+	b.Helper()
+	key := fmt.Sprintf("%v-%d-%d", fam, size, traceN)
+	if w, ok := benchCache[key]; ok {
+		return w
+	}
+	s, err := ruleset.Generate(ruleset.Config{Family: fam, Size: size, Seed: 1})
+	if err != nil {
+		b.Fatalf("Generate: %v", err)
+	}
+	trace, err := ruleset.GenerateTrace(s, ruleset.TraceConfig{Size: traceN, HitRatio: 0.9, Seed: 2})
+	if err != nil {
+		b.Fatalf("GenerateTrace: %v", err)
+	}
+	w := benchWorkload{set: s, trace: trace}
+	benchCache[key] = w
+	return w
+}
+
+// BenchmarkTableI measures every Table I comparator on the standard
+// rulesets: ns per lookup (measured), bytes of data structure and
+// incremental-update support (reported as metrics).
+func BenchmarkTableI(b *testing.B) {
+	for _, fam := range ruleset.Families() {
+		for _, size := range []int{1000, 10000} {
+			w := workload(b, fam, size, 4096)
+			for _, cls := range baseline.All() {
+				cls := cls
+				name := fmt.Sprintf("%s/%s-%s", cls.Name(), fam, ruleset.SizeName(size))
+				b.Run(name, func(b *testing.B) {
+					if err := cls.Build(w.set); err != nil {
+						b.Skipf("build: %v", err)
+					}
+					b.ReportMetric(float64(cls.MemoryBytes()), "bytes")
+					if cls.IncrementalUpdate() {
+						b.ReportMetric(1, "incr")
+					} else {
+						b.ReportMetric(0, "incr")
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						cls.Match(w.trace[i%len(w.trace)])
+					}
+				})
+			}
+			// This work: the paper's decomposition classifier in MBT mode.
+			b.Run(fmt.Sprintf("ThisWork-MBT/%s-%s", fam, ruleset.SizeName(size)), func(b *testing.B) {
+				c, _, err := core.NewV4(core.Config{LPM: core.LPMMultiBitTrie}, w.set)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(c.Memory().TotalBytes()), "bytes")
+				b.ReportMetric(1, "incr")
+				headers := make([]core.Header[lpm.V4], len(w.trace))
+				for i, h := range w.trace {
+					headers[i] = core.V4Header(h)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.Lookup(headers[i%len(headers)])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTableII measures the single-field engine candidates: modeled
+// lookup cycles, modeled memory and measured ns/op, on the prefix and
+// range populations of the ACL-10K ruleset.
+func BenchmarkTableII(b *testing.B) {
+	w := workload(b, ruleset.ACL, 10000, 4096)
+
+	var prefixes []lpm.Prefix[lpm.V4]
+	seen := map[lpm.Prefix[lpm.V4]]bool{}
+	var lens []uint8
+	for _, r := range w.set.Rules() {
+		for _, p := range []rule.Prefix{r.SrcIP, r.DstIP} {
+			lp := lpm.V4Prefix(p)
+			if !seen[lp] {
+				seen[lp] = true
+				prefixes = append(prefixes, lp)
+				lens = append(lens, p.Len)
+			}
+		}
+	}
+	keys := make([]lpm.V4, len(w.trace))
+	for i, h := range w.trace {
+		keys[i] = lpm.V4(h.SrcIP)
+	}
+
+	type lpmEngine interface {
+		Insert(lpm.Prefix[lpm.V4], label.Label) hwsim.Cost
+		Lookup(lpm.V4, []label.Label) ([]label.Label, hwsim.Cost)
+		Memory() hwsim.MemoryMap
+	}
+	lpmEngines := map[string]func() lpmEngine{
+		"MultiBitTrie": func() lpmEngine {
+			t, err := lpm.NewMultiBitTrie[lpm.V4](8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return t
+		},
+		"AM-Trie": func() lpmEngine {
+			t, err := lpm.NewVariableStrideTrie[lpm.V4](lpm.ChooseStrides(32, lens, 8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return t
+		},
+		"BinarySearchTree": func() lpmEngine { return lpm.NewBST[lpm.V4]() },
+		"LeafPushedTrie":   func() lpmEngine { return lpm.NewLeafPushTrie[lpm.V4]() },
+	}
+	for name, mk := range lpmEngines {
+		name, mk := name, mk
+		b.Run("LPM/"+name, func(b *testing.B) {
+			eng := mk()
+			for i, p := range prefixes {
+				eng.Insert(p, label.Label(i))
+			}
+			var meter hwsim.Meter
+			var buf []label.Label
+			for _, k := range keys[:512] {
+				var c hwsim.Cost
+				buf, c = eng.Lookup(k, buf[:0])
+				meter.Charge(c)
+			}
+			b.ReportMetric(meter.CyclesPerOp(), "cycles/lookup")
+			b.ReportMetric(float64(eng.Memory().TotalBytes()), "bytes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf, _ = eng.Lookup(keys[i%len(keys)], buf[:0])
+			}
+		})
+	}
+
+	var ranges []rule.PortRange
+	seenR := map[rule.PortRange]bool{}
+	for _, r := range w.set.Rules() {
+		for _, pr := range []rule.PortRange{r.SrcPort, r.DstPort} {
+			if !seenR[pr] {
+				seenR[pr] = true
+				ranges = append(ranges, pr)
+			}
+		}
+	}
+	rangeEngines := map[string]func() rangematch.Engine{
+		"RegisterBank": func() rangematch.Engine { return rangematch.NewRegisterBank(0) },
+		"SegmentTree":  func() rangematch.Engine { return rangematch.NewSegmentTree() },
+		"RangeTree":    func() rangematch.Engine { return rangematch.NewRangeTree() },
+	}
+	for name, mk := range rangeEngines {
+		name, mk := name, mk
+		b.Run("Range/"+name, func(b *testing.B) {
+			eng := mk()
+			for i, r := range ranges {
+				if _, err := eng.Insert(r, label.Label(i)); err != nil {
+					b.Fatalf("insert %v: %v", r, err)
+				}
+			}
+			var meter hwsim.Meter
+			var buf []label.Label
+			for _, h := range w.trace[:512] {
+				var c hwsim.Cost
+				buf, c = eng.Lookup(h.DstPort, buf[:0])
+				meter.Charge(c)
+			}
+			b.ReportMetric(meter.CyclesPerOp(), "cycles/lookup")
+			b.ReportMetric(float64(eng.Memory().TotalBytes()), "bytes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf, _ = eng.Lookup(w.trace[i%len(w.trace)].DstPort, buf[:0])
+			}
+		})
+	}
+}
+
+// BenchmarkFig3 regenerates the ruleset update time figure: total clock
+// cycles to download each standard ruleset in MBT mode, BST mode, and the
+// original rule filter alone (two cycles per rule plus the hash pipeline
+// cycle).
+func BenchmarkFig3(b *testing.B) {
+	modes := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"MBT", core.Config{LPM: core.LPMMultiBitTrie}},
+		{"BST", core.Config{LPM: core.LPMBinarySearchTree}},
+	}
+	for _, fam := range ruleset.Families() {
+		for _, size := range ruleset.StandardSizes {
+			w := workload(b, fam, size, 64)
+			tuples := core.CompileSet(w.set)
+			for _, mode := range modes {
+				mode := mode
+				b.Run(fmt.Sprintf("%s/%s-%s", mode.name, fam, ruleset.SizeName(size)), func(b *testing.B) {
+					var cycles float64
+					for i := 0; i < b.N; i++ {
+						c, err := core.New[lpm.V4](mode.cfg, core.PrefixLens(w.set))
+						if err != nil {
+							b.Fatal(err)
+						}
+						cost, err := c.Build(tuples)
+						if err != nil {
+							b.Fatal(err)
+						}
+						cycles = float64(cost.Cycles)
+					}
+					b.ReportMetric(cycles, "cycles")
+					b.ReportMetric(cycles/float64(size), "cycles/rule")
+				})
+			}
+			b.Run(fmt.Sprintf("RuleFilterOnly/%s-%s", fam, ruleset.SizeName(size)), func(b *testing.B) {
+				// The original rule filter writes one hashed line per
+				// rule: two cycles per rule plus one for the final index
+				// calculation (Section IV.B).
+				for i := 0; i < b.N; i++ {
+					_ = tuples
+				}
+				b.ReportMetric(float64(2*size+1), "cycles")
+				b.ReportMetric(float64(2*size+1)/float64(size), "cycles/rule")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the lookup-time figure: modeled clock cycles
+// to stream packet header sets of increasing size through the pipeline in
+// MBT and BST modes (plus measured ns/op for the software path).
+func BenchmarkFig4(b *testing.B) {
+	w := workload(b, ruleset.ACL, 10000, 50000)
+	modes := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"MBT", core.Config{LPM: core.LPMMultiBitTrie}},
+		{"BST", core.Config{LPM: core.LPMBinarySearchTree}},
+	}
+	for _, mode := range modes {
+		mode := mode
+		c, _, err := core.NewV4(mode.cfg, w.set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the stats so the pipeline model reflects this trace.
+		headers := make([]core.Header[lpm.V4], len(w.trace))
+		for i, h := range w.trace {
+			headers[i] = core.V4Header(h)
+		}
+		for _, h := range headers[:8192] {
+			c.Lookup(h)
+		}
+		for _, phs := range []int{1000, 5000, 10000, 50000} {
+			b.Run(fmt.Sprintf("%s/PHS-%s", mode.name, ruleset.SizeName(phs)), func(b *testing.B) {
+				b.ReportMetric(c.LookupCycles(phs), "cycles")
+				for i := 0; i < b.N; i++ {
+					c.Lookup(headers[i%phs])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkThroughput regenerates the Section IV.D numbers: packets per
+// second and line rate at 200 MHz with 72-byte minimum frames, per LPM
+// mode, on ACL-10K.
+func BenchmarkThroughput(b *testing.B) {
+	w := workload(b, ruleset.ACL, 10000, 16384)
+	for _, mode := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"MBT", core.Config{LPM: core.LPMMultiBitTrie}},
+		{"BST", core.Config{LPM: core.LPMBinarySearchTree}},
+		{"AM-Trie", core.Config{LPM: core.LPMAMTrie}},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			c, _, err := core.NewV4(mode.cfg, w.set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			headers := make([]core.Header[lpm.V4], len(w.trace))
+			for i, h := range w.trace {
+				headers[i] = core.V4Header(h)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Lookup(headers[i%len(headers)])
+			}
+			b.StopTimer()
+			tp := c.Throughput()
+			b.ReportMetric(tp.Mpps, "Mpps")
+			b.ReportMetric(tp.Gbps, "Gbps")
+			b.ReportMetric(tp.CyclesPerPacket, "cycles/pkt")
+		})
+	}
+}
+
+// BenchmarkAblationStride sweeps the MBT stride (DESIGN.md ablation 1):
+// lookup depth vs expansion memory.
+func BenchmarkAblationStride(b *testing.B) {
+	w := workload(b, ruleset.ACL, 5000, 8192)
+	for _, stride := range []int{2, 4, 8, 16} {
+		stride := stride
+		b.Run(fmt.Sprintf("stride-%d", stride), func(b *testing.B) {
+			c, _, err := core.NewV4(core.Config{LPM: core.LPMMultiBitTrie, MBTStride: stride}, w.set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			headers := make([]core.Header[lpm.V4], len(w.trace))
+			for i, h := range w.trace {
+				headers[i] = core.V4Header(h)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Lookup(headers[i%len(headers)])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(c.Memory().TotalBytes()), "bytes")
+			b.ReportMetric(c.Throughput().CyclesPerPacket, "cycles/pkt")
+		})
+	}
+}
+
+// BenchmarkAblationULI compares the pruned ULI against exhaustive
+// combination (DESIGN.md ablation: Eq. 1 worst-case LCT vs the decision
+// controller's optimization).
+func BenchmarkAblationULI(b *testing.B) {
+	w := workload(b, ruleset.FW, 5000, 8192)
+	for _, mode := range []struct {
+		name    string
+		combine core.CombineMode
+	}{
+		{"pruned", core.CombinePruned},
+		{"exhaustive", core.CombineExhaustive},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			c, _, err := core.NewV4(core.Config{Combine: mode.combine}, w.set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			headers := make([]core.Header[lpm.V4], len(w.trace))
+			for i, h := range w.trace {
+				headers[i] = core.V4Header(h)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Lookup(headers[i%len(headers)])
+			}
+			b.StopTimer()
+			st := c.Stats()
+			if st.ProbeOps > 0 {
+				b.ReportMetric(float64(st.Probes)/float64(st.ProbeOps), "probes/lookup")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRangeEngine compares the port engines inside the full
+// classifier across the range-heavy FW family (DESIGN.md ablation 4).
+func BenchmarkAblationRangeEngine(b *testing.B) {
+	w := workload(b, ruleset.FW, 5000, 8192)
+	for _, mode := range []struct {
+		name string
+		alg  core.RangeAlgo
+	}{
+		{"RegisterBank", core.RangeRegisterBank},
+		{"SegmentTree", core.RangeSegmentTree},
+		{"RangeTree", core.RangeRangeTree},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			c, _, err := core.NewV4(core.Config{Range: mode.alg}, w.set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			headers := make([]core.Header[lpm.V4], len(w.trace))
+			for i, h := range w.trace {
+				headers[i] = core.V4Header(h)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Lookup(headers[i%len(headers)])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(c.Memory().TotalBytes()), "bytes")
+		})
+	}
+}
+
+// BenchmarkAblationOptimizer measures the label-rule mapping optimization
+// (Section III.D): probes per lookup with and without shadowed-rule
+// removal.
+func BenchmarkAblationOptimizer(b *testing.B) {
+	w := workload(b, ruleset.FW, 5000, 8192)
+	opt, removed, err := core.OptimizeSet(w.set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		set  *rule.Set
+	}{
+		{"raw", w.set},
+		{"optimized", opt},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			c, _, err := core.NewV4(core.Config{}, tc.set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			headers := make([]core.Header[lpm.V4], len(w.trace))
+			for i, h := range w.trace {
+				headers[i] = core.V4Header(h)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Lookup(headers[i%len(headers)])
+			}
+			b.StopTimer()
+			st := c.Stats()
+			if st.ProbeOps > 0 {
+				b.ReportMetric(float64(st.Probes)/float64(st.ProbeOps), "probes/lookup")
+			}
+			b.ReportMetric(float64(len(removed)), "rules-removed")
+		})
+	}
+}

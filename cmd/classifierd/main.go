@@ -1,0 +1,84 @@
+// Command classifierd runs the lookup domain as a network daemon: the
+// decision-control channel of the paper's system exposed over TCP. Rules
+// can be pre-loaded from a ClassBench file and then updated remotely with
+// the ctl protocol (INSERT/DELETE/LOOKUP/STATS/THROUGHPUT; try it with
+// netcat).
+//
+// Usage:
+//
+//	classifierd -listen 127.0.0.1:9099 -rules acl10k.txt -lpm mbt
+//	printf 'LOOKUP 10.0.0.1 8.8.8.8 999 80 6\n' | nc 127.0.0.1 9099
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/lpm"
+	"repro/internal/rule"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:9099", "TCP listen address")
+		rulesPath = flag.String("rules", "", "optional ClassBench ruleset to pre-load")
+		lpmAlgo   = flag.String("lpm", "mbt", "LPM engine: mbt, bst or amtrie")
+	)
+	flag.Parse()
+
+	cfg := core.Config{}
+	switch strings.ToLower(*lpmAlgo) {
+	case "mbt":
+		cfg.LPM = core.LPMMultiBitTrie
+	case "bst":
+		cfg.LPM = core.LPMBinarySearchTree
+	case "amtrie":
+		cfg.LPM = core.LPMAMTrie
+	default:
+		fmt.Fprintf(os.Stderr, "classifierd: unknown LPM engine %q\n", *lpmAlgo)
+		os.Exit(2)
+	}
+
+	var lens []uint8
+	var tuples []core.Tuple[lpm.V4]
+	if *rulesPath != "" {
+		f, err := os.Open(*rulesPath)
+		if err != nil {
+			log.Fatalf("classifierd: %v", err)
+		}
+		set, err := rule.ParseSet(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("classifierd: parse rules: %v", err)
+		}
+		lens = core.PrefixLens(set)
+		tuples = core.CompileSet(set)
+	}
+	cls, err := core.New[lpm.V4](cfg, lens)
+	if err != nil {
+		log.Fatalf("classifierd: %v", err)
+	}
+	if len(tuples) > 0 {
+		cost, err := cls.Build(tuples)
+		if err != nil {
+			log.Fatalf("classifierd: load rules: %v", err)
+		}
+		log.Printf("loaded %d rules in %d modeled cycles", len(tuples), cost.Cycles)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("classifierd: %v", err)
+	}
+	log.Printf("lookup domain (%s mode) listening on %s", cfg.LPM, l.Addr())
+	srv := ctl.NewServer(cls)
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("classifierd: %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+// Command classify loads a ClassBench-format ruleset and classifies
+// 5-tuple headers against it with a chosen engine configuration, printing
+// the matched rule, action and hardware cost per header.
+//
+// Headers are read one per line as "srcIP dstIP srcPort dstPort proto"
+// (the rulegen -trace output format) from a file or stdin.
+//
+// Usage:
+//
+//	rulegen -family acl -size 1000 -o acl.txt -trace 10 -trace-out t.phs
+//	classify -rules acl.txt -lpm mbt < t.phs
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rule"
+)
+
+func main() {
+	var (
+		rulesPath = flag.String("rules", "", "ClassBench ruleset file (required)")
+		input     = flag.String("in", "-", "header input file (- for stdin)")
+		lpmAlgo   = flag.String("lpm", "mbt", "LPM engine: mbt, bst or amtrie")
+		rangeAlgo = flag.String("range", "bank", "range engine: bank, segtree or rangetree")
+		exactAlgo = flag.String("exact", "direct", "exact engine: direct or hash")
+		optimize  = flag.Bool("optimize", true, "apply decision-controller ruleset optimization")
+		quiet     = flag.Bool("q", false, "suppress per-header output, print summary only")
+	)
+	flag.Parse()
+	if *rulesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg, err := buildConfig(*lpmAlgo, *rangeAlgo, *exactAlgo)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*rulesPath)
+	if err != nil {
+		fatal(err)
+	}
+	set, err := rule.ParseSet(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("parse ruleset: %w", err))
+	}
+	if *optimize {
+		opt, removed, err := core.OptimizeSet(set)
+		if err != nil {
+			fatal(err)
+		}
+		if len(removed) > 0 {
+			fmt.Fprintf(os.Stderr, "classify: optimizer removed %d shadowed rules\n", len(removed))
+		}
+		set = opt
+	}
+	cls, _, err := core.NewV4(cfg, set)
+	if err != nil {
+		fatal(err)
+	}
+
+	in := io.Reader(os.Stdin)
+	if *input != "" && *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	sc := bufio.NewScanner(in)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	lineno, matched, total := 0, 0, 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		h, err := parseHeader(line)
+		if err != nil {
+			fatal(fmt.Errorf("line %d: %w", lineno, err))
+		}
+		res, cost := cls.Lookup(core.V4Header(h))
+		total++
+		if res.Found {
+			matched++
+			if !*quiet {
+				fmt.Fprintf(w, "%s -> rule %d (prio %d, %v) [%d cycles, %d probes]\n",
+					line, res.RuleID, res.Priority, res.Action, cost.Cycles, res.Probes)
+			}
+		} else if !*quiet {
+			fmt.Fprintf(w, "%s -> no match (discard) [%d cycles]\n", line, cost.Cycles)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	tp := cls.Throughput()
+	fmt.Fprintf(w, "# %d headers, %d matched (%.1f%%); modeled %.2f Mpps / %.2f Gbps\n",
+		total, matched, pct(matched, total), tp.Mpps, tp.Gbps)
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func buildConfig(lpmAlgo, rangeAlgo, exactAlgo string) (core.Config, error) {
+	var cfg core.Config
+	switch strings.ToLower(lpmAlgo) {
+	case "mbt":
+		cfg.LPM = core.LPMMultiBitTrie
+	case "bst":
+		cfg.LPM = core.LPMBinarySearchTree
+	case "amtrie":
+		cfg.LPM = core.LPMAMTrie
+	default:
+		return cfg, fmt.Errorf("unknown LPM engine %q", lpmAlgo)
+	}
+	switch strings.ToLower(rangeAlgo) {
+	case "bank":
+		cfg.Range = core.RangeRegisterBank
+	case "segtree":
+		cfg.Range = core.RangeSegmentTree
+	case "rangetree":
+		cfg.Range = core.RangeRangeTree
+	default:
+		return cfg, fmt.Errorf("unknown range engine %q", rangeAlgo)
+	}
+	switch strings.ToLower(exactAlgo) {
+	case "direct":
+		cfg.Exact = core.ExactDirectIndex
+	case "hash":
+		cfg.Exact = core.ExactHashTable
+	default:
+		return cfg, fmt.Errorf("unknown exact engine %q", exactAlgo)
+	}
+	return cfg, nil
+}
+
+func parseHeader(line string) (rule.Header, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 5 {
+		return rule.Header{}, fmt.Errorf("want 5 fields, got %d", len(fields))
+	}
+	src, err := parseIPv4(fields[0])
+	if err != nil {
+		return rule.Header{}, err
+	}
+	dst, err := parseIPv4(fields[1])
+	if err != nil {
+		return rule.Header{}, err
+	}
+	sp, err := strconv.ParseUint(fields[2], 10, 16)
+	if err != nil {
+		return rule.Header{}, fmt.Errorf("source port %q", fields[2])
+	}
+	dp, err := strconv.ParseUint(fields[3], 10, 16)
+	if err != nil {
+		return rule.Header{}, fmt.Errorf("destination port %q", fields[3])
+	}
+	pr, err := strconv.ParseUint(fields[4], 10, 8)
+	if err != nil {
+		return rule.Header{}, fmt.Errorf("protocol %q", fields[4])
+	}
+	return rule.Header{
+		SrcIP: src, DstIP: dst,
+		SrcPort: uint16(sp), DstPort: uint16(dp), Proto: uint8(pr),
+	}, nil
+}
+
+func parseIPv4(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("address %q", s)
+	}
+	var addr uint32
+	for _, p := range parts {
+		b, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("address %q", s)
+		}
+		addr = addr<<8 | uint32(b)
+	}
+	return addr, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "classify:", err)
+	os.Exit(1)
+}

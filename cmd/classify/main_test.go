@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseHeader(t *testing.T) {
+	h, err := parseHeader("10.1.2.3 192.168.0.1 1234 80 6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SrcIP != 0x0a010203 || h.DstIP != 0xc0a80001 || h.SrcPort != 1234 || h.DstPort != 80 || h.Proto != 6 {
+		t.Errorf("parsed %+v", h)
+	}
+	bad := []string{
+		"10.1.2.3 192.168.0.1 1234 80",         // missing proto
+		"10.1.2 192.168.0.1 1234 80 6",         // short IP
+		"10.1.2.3 192.168.0.1 123456 80 6",     // port overflow
+		"10.1.2.3 192.168.0.1 1234 80 600",     // proto overflow
+		"10.1.2.3 192.168.0.256 1234 80 6",     // octet overflow
+		"10.1.2.3 192.168.0.1 1234 80 6 extra", // trailing field
+	}
+	for _, line := range bad {
+		if _, err := parseHeader(line); err == nil {
+			t.Errorf("parseHeader(%q) should fail", line)
+		}
+	}
+}
+
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig("bst", "segtree", "hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.LPM != core.LPMBinarySearchTree || cfg.Range != core.RangeSegmentTree || cfg.Exact != core.ExactHashTable {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if _, err := buildConfig("nope", "bank", "direct"); err == nil {
+		t.Error("bad lpm should fail")
+	}
+	if _, err := buildConfig("mbt", "nope", "direct"); err == nil {
+		t.Error("bad range should fail")
+	}
+	if _, err := buildConfig("mbt", "bank", "nope"); err == nil {
+		t.Error("bad exact should fail")
+	}
+}

@@ -1,0 +1,114 @@
+// Command rulegen generates ClassBench-style rulesets and packet header
+// set (PHS) traces, the workloads of the paper's evaluation.
+//
+// Usage:
+//
+//	rulegen -family acl -size 10000 -o acl10k.txt
+//	rulegen -family fw -size 5000 -trace 100000 -trace-out fw5k.phs
+//
+// Rulesets are written in ClassBench filter format (one '@'-prefixed rule
+// per line); traces are written as one 5-tuple per line:
+// "srcIP dstIP srcPort dstPort proto".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+func main() {
+	var (
+		family   = flag.String("family", "acl", "ruleset family: acl, fw or ipc")
+		size     = flag.Int("size", 1000, "number of rules")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		out      = flag.String("o", "-", "ruleset output file (- for stdout)")
+		traceN   = flag.Int("trace", 0, "also generate a PHS trace with this many headers")
+		traceOut = flag.String("trace-out", "", "trace output file (defaults to stdout after the ruleset)")
+		hitRatio = flag.Float64("hit", 0.9, "trace hit ratio")
+		withDef  = flag.Bool("default", false, "append a catch-all deny rule")
+	)
+	flag.Parse()
+
+	fam, err := parseFamily(*family)
+	if err != nil {
+		fatal(err)
+	}
+	set, err := ruleset.Generate(ruleset.Config{Family: fam, Size: *size, Seed: *seed, AppendDefault: *withDef})
+	if err != nil {
+		fatal(err)
+	}
+	if err := writeRules(*out, set); err != nil {
+		fatal(err)
+	}
+	if *traceN > 0 {
+		trace, err := ruleset.GenerateTrace(set, ruleset.TraceConfig{Size: *traceN, HitRatio: *hitRatio, Seed: *seed + 1})
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeTrace(*traceOut, trace); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func parseFamily(s string) (ruleset.Family, error) {
+	switch strings.ToLower(s) {
+	case "acl":
+		return ruleset.ACL, nil
+	case "fw":
+		return ruleset.FW, nil
+	case "ipc":
+		return ruleset.IPC, nil
+	default:
+		return 0, fmt.Errorf("unknown family %q (want acl, fw or ipc)", s)
+	}
+}
+
+func writeRules(path string, set *rule.Set) error {
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	return rule.WriteSet(w, set)
+}
+
+func writeTrace(path string, trace []rule.Header) error {
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	bw := bufio.NewWriter(w)
+	for _, h := range trace {
+		if _, err := fmt.Fprintf(bw, "%d.%d.%d.%d %d.%d.%d.%d %d %d %d\n",
+			byte(h.SrcIP>>24), byte(h.SrcIP>>16), byte(h.SrcIP>>8), byte(h.SrcIP),
+			byte(h.DstIP>>24), byte(h.DstIP>>16), byte(h.DstIP>>8), byte(h.DstIP),
+			h.SrcPort, h.DstPort, h.Proto); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func openOut(path string) (*os.File, func(), error) {
+	if path == "" || path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rulegen:", err)
+	os.Exit(1)
+}

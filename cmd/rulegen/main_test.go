@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+func TestParseFamily(t *testing.T) {
+	for s, want := range map[string]ruleset.Family{
+		"acl": ruleset.ACL, "ACL": ruleset.ACL,
+		"fw": ruleset.FW, "ipc": ruleset.IPC,
+	} {
+		got, err := parseFamily(s)
+		if err != nil || got != want {
+			t.Errorf("parseFamily(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseFamily("bogus"); err == nil {
+		t.Error("bogus family should fail")
+	}
+}
+
+func TestWriteRulesAndTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	set, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rulesPath := filepath.Join(dir, "rules.txt")
+	if err := writeRules(rulesPath, set); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(rulesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	parsed, err := rule.ParseSet(f)
+	if err != nil {
+		t.Fatalf("generated ruleset does not re-parse: %v", err)
+	}
+	if parsed.Len() != set.Len() {
+		t.Fatalf("round trip lost rules: %d != %d", parsed.Len(), set.Len())
+	}
+
+	trace, err := ruleset.GenerateTrace(set, ruleset.TraceConfig{Size: 20, HitRatio: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "trace.phs")
+	if err := writeTrace(tracePath, trace); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("trace lines = %d, want 20", len(lines))
+	}
+	for _, line := range lines {
+		if len(strings.Fields(line)) != 5 {
+			t.Fatalf("bad trace line %q", line)
+		}
+	}
+}

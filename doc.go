@@ -1,0 +1,38 @@
+// Package repro is a Go reproduction of "Feature Study on a Programmable
+// Network Traffic Classifier" (Guerra Pérez, Yang, Scott-Hayward, Sezer —
+// IEEE SOCC 2016): a programmable multi-dimensional packet-classification
+// lookup architecture based on the decomposition approach.
+//
+// The classifier searches each 5-tuple header field with an independently
+// selected engine (multi-bit trie or binary search tree for IP prefixes, a
+// register bank, segment tree or range tree for port ranges, direct index
+// or hash table for the protocol), expresses per-field results as
+// priority-ordered label lists, and combines labels against a Rule Filter
+// to find the Highest-Priority Matching Rule — with full incremental rule
+// update support.
+//
+// Every operation additionally reports a hardware cost (clock cycles,
+// memory lines) from a model of the paper's 200 MHz FPGA lookup domain, so
+// the published update-time, lookup-time and throughput results can be
+// regenerated; see DESIGN.md and EXPERIMENTS.md in the repository root.
+//
+// Quick start:
+//
+//	cls, err := repro.NewClassifier(repro.Config{LPM: repro.LPMMultiBitTrie}, nil)
+//	if err != nil { ... }
+//	cls.Insert(repro.Rule{
+//		ID: 1, Priority: 1,
+//		SrcIP:   repro.MustParsePrefix("10.0.0.0/8"),
+//		SrcPort: repro.FullPortRange(), DstPort: repro.ExactPort(80),
+//		Proto:   repro.ExactProto(repro.ProtoTCP),
+//		Action:  repro.ActionPermit,
+//	})
+//	res, cost := cls.Lookup(repro.Header{SrcIP: 0x0a000001, DstPort: 80, Proto: repro.ProtoTCP})
+//
+// The internal packages implement the substrates: internal/core (the
+// paper's architecture), internal/lpm, internal/rangematch and
+// internal/exactmatch (the per-field engines of Table II),
+// internal/baseline (the multi-dimensional comparators of Table I),
+// internal/ruleset (ClassBench-style ACL/FW/IPC generators) and
+// internal/hwsim (the FPGA cycle and memory model).
+package repro

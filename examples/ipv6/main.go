@@ -1,0 +1,115 @@
+// IPv6 migration: the paper motivates the programmable architecture with
+// the need to adapt to IPv6, whose header fields differ in number and
+// length. The engines are generic over the address width, so the same
+// classifier runs 128-bit rules unchanged — this example builds an IPv6
+// ACL and classifies IPv6 flows.
+//
+//	go run ./examples/ipv6
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	repro "repro"
+)
+
+func main() {
+	cls, err := repro.NewClassifier6(repro.Config{
+		LPM:   repro.LPMMultiBitTrie,
+		Range: repro.RangeRegisterBank,
+		Exact: repro.ExactDirectIndex,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small IPv6 data-centre ACL: per-tenant /48s under a site /32.
+	site := repro.Addr6{Hi: 0x2001_0db8_0000_0000}
+	rules := []repro.Rule6{
+		{
+			ID: 1, Priority: 1,
+			SrcIP:   prefix6(tenant(site, 0x0001), 48),
+			DstIP:   prefix6(tenant(site, 0x0002), 48),
+			SrcPort: repro.FullPortRange(), DstPort: repro.ExactPort(443),
+			Proto:  repro.ExactProto(repro.ProtoTCP),
+			Action: repro.ActionPermit,
+		},
+		{
+			ID: 2, Priority: 2,
+			SrcIP:   prefix6(site, 32), // whole site
+			DstIP:   prefix6(tenant(site, 0x0002), 48),
+			SrcPort: repro.FullPortRange(), DstPort: repro.FullPortRange(),
+			Proto:  repro.AnyProto(),
+			Action: repro.ActionDeny, // default-deny into tenant 2
+		},
+		{
+			ID: 3, Priority: 3,
+			SrcPort: repro.FullPortRange(), DstPort: repro.ExactPort(53),
+			Proto:  repro.ExactProto(repro.ProtoUDP),
+			Action: repro.ActionPermit,
+		},
+	}
+	var build repro.Cost
+	for _, r := range rules {
+		cost, err := cls.Insert(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		build = build.Add(cost)
+	}
+	fmt.Printf("installed %d IPv6 rules: %d cycles, %d lines (128-bit tries are deeper)\n",
+		len(rules), build.Cycles, build.Writes)
+
+	rnd := rand.New(rand.NewSource(1))
+	flows := []repro.Header6{
+		{
+			SrcIP:   hostIn(tenant(site, 0x0001), rnd),
+			DstIP:   hostIn(tenant(site, 0x0002), rnd),
+			SrcPort: 50000, DstPort: 443, Proto: repro.ProtoTCP,
+		},
+		{
+			SrcIP:   hostIn(tenant(site, 0x0003), rnd),
+			DstIP:   hostIn(tenant(site, 0x0002), rnd),
+			SrcPort: 50000, DstPort: 22, Proto: repro.ProtoTCP,
+		},
+		{
+			SrcIP:   repro.Addr6{Hi: 0x2a00_1450_4009_0000, Lo: 0x0815},
+			DstIP:   hostIn(tenant(site, 0x0001), rnd),
+			SrcPort: 5353, DstPort: 53, Proto: repro.ProtoUDP,
+		},
+		{
+			SrcIP:   repro.Addr6{Hi: 0x2a00_1450_4009_0000, Lo: 0x0815},
+			DstIP:   hostIn(tenant(site, 0x0001), rnd),
+			SrcPort: 5353, DstPort: 25, Proto: repro.ProtoTCP,
+		},
+	}
+	for _, h := range flows {
+		res, cost := cls.Lookup(h)
+		if res.Found {
+			fmt.Printf("%032x:%d -> rule %d (%v) in %d cycles\n",
+				h.SrcIP.Hi, h.DstPort, res.RuleID, res.Action, cost.Cycles)
+		} else {
+			fmt.Printf("%032x:%d -> no match: discard\n", h.SrcIP.Hi, h.DstPort)
+		}
+	}
+
+	tp := cls.ModelThroughput()
+	fmt.Printf("IPv6 pipeline: %.2f cycles/packet -> %.2f Mpps (deeper trie, same architecture)\n",
+		tp.CyclesPerPacket, tp.Mpps)
+}
+
+// tenant returns the /48 base of a tenant under the site /32.
+func tenant(site repro.Addr6, id uint16) repro.Addr6 {
+	return repro.Addr6{Hi: site.Hi | uint64(id)<<16, Lo: 0}
+}
+
+func prefix6(a repro.Addr6, l uint8) repro.Prefix6 {
+	return repro.Prefix6{Addr: a, Len: l}.Canonical()
+}
+
+// hostIn picks a random host address inside a /48.
+func hostIn(base repro.Addr6, rnd *rand.Rand) repro.Addr6 {
+	return repro.Addr6{Hi: base.Hi | uint64(rnd.Intn(1<<16)), Lo: rnd.Uint64()}
+}

@@ -1,0 +1,105 @@
+// SDN flow-table churn: a router with per-flow queues needs very frequent
+// rule updates (Section IV.B). This example installs a base ruleset, then
+// streams per-flow inserts and deletes through the incremental update
+// path, comparing the hardware update cost of the MBT and BST modes —
+// the trade-off Fig. 3 quantifies.
+//
+//	go run ./examples/sdnswitch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	repro "repro"
+)
+
+const (
+	baseRules = 2000
+	flowOps   = 5000
+)
+
+func main() {
+	base, err := repro.GenerateRules(repro.GenConfig{Family: repro.IPC, Size: baseRules, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, mode := range []struct {
+		name string
+		cfg  repro.Config
+	}{
+		// Per-flow rules carry thousands of distinct exact ports, beyond
+		// a hardware register bank's capacity — the decision controller
+		// therefore selects the segment tree for the port fields. This is
+		// exactly the per-application algorithm selection the paper's
+		// programmable architecture exists for.
+		{"MBT", repro.Config{LPM: repro.LPMMultiBitTrie, Range: repro.RangeSegmentTree}},
+		{"BST", repro.Config{LPM: repro.LPMBinarySearchTree, Range: repro.RangeSegmentTree}},
+	} {
+		cls, err := repro.NewClassifier(mode.cfg, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Streaming per-flow updates: install an exact 5-tuple rule when
+		// a flow arrives, remove it when the flow ends.
+		rnd := rand.New(rand.NewSource(99))
+		var insertCycles, deleteCycles, lines int
+		live := make([]int, 0, flowOps)
+		nextID := 1 << 20
+		for op := 0; op < flowOps; op++ {
+			if len(live) > 0 && rnd.Intn(3) == 0 {
+				// Flow ended: delete its rule.
+				i := rnd.Intn(len(live))
+				cost, err := cls.Delete(live[i])
+				if err != nil {
+					log.Fatal(err)
+				}
+				deleteCycles += cost.Cycles
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			flow := repro.Rule{
+				ID:       nextID,
+				Priority: nextID, // per-flow rules at low priority
+				SrcIP:    exactHost(rnd.Uint32()),
+				DstIP:    exactHost(rnd.Uint32()),
+				SrcPort:  repro.ExactPort(uint16(1024 + rnd.Intn(60000))),
+				DstPort:  repro.ExactPort(uint16([]int{80, 443, 53}[rnd.Intn(3)])),
+				Proto:    repro.ExactProto(repro.ProtoTCP),
+				Action:   repro.ActionQueue,
+			}
+			nextID++
+			cost, err := cls.Insert(flow)
+			if err != nil {
+				log.Fatal(err)
+			}
+			insertCycles += cost.Cycles
+			lines += cost.Writes
+			live = append(live, flow.ID)
+		}
+
+		fmt.Printf("[%s mode] %d flow ops on top of %d base rules\n", mode.name, flowOps, baseRules)
+		fmt.Printf("  insert: %d cycles total (%.1f cycles/flow, %.1f lines/flow)\n",
+			insertCycles, avg(insertCycles, flowOps), avg(lines, flowOps))
+		fmt.Printf("  delete: %d cycles total\n", deleteCycles)
+		fmt.Printf("  final table: %d rules, %.1f KiB hardware memory\n\n",
+			cls.Len(), float64(cls.Memory().TotalBytes())/1024)
+	}
+	fmt.Println("BST updates stay near the rule-filter floor (2 cycles/line);")
+	fmt.Println("MBT pays trie node expansion on every fresh prefix — the Fig. 3 gap.")
+}
+
+func exactHost(addr uint32) repro.Prefix {
+	return repro.Prefix{Addr: addr, Len: 32}
+}
+
+func avg(total, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}

@@ -1,0 +1,217 @@
+// Package baseline implements the classical multi-dimensional packet
+// classification algorithms the paper's Table I compares against: linear
+// search, TCAM, RFC, HiCuts, HyperCuts, Cross-Producting, DCFL, bitmap
+// intersection (Lucent BV), ABV and Tuple Space Search. Each is an
+// independent from-scratch implementation behind a common interface, and
+// each is differential-tested against the linear-scan oracle — they exist
+// so the repository can regenerate the Table I comparison with measured
+// numbers rather than citations.
+package baseline
+
+import (
+	"errors"
+	"math/bits"
+
+	"repro/internal/rule"
+)
+
+// Errors shared by the baseline classifiers.
+var (
+	// ErrTooLarge is returned by algorithms whose precomputed tables
+	// would explode on the given ruleset (the storage-complexity column
+	// of Table I made concrete).
+	ErrTooLarge = errors.New("precomputed table too large for this ruleset")
+	// ErrNoIncremental is returned by Insert/Delete on classifiers whose
+	// data structure must be rebuilt (the incremental-update column).
+	ErrNoIncremental = errors.New("incremental update not supported; rebuild required")
+	// ErrNotBuilt is returned by Match before Build.
+	ErrNotBuilt = errors.New("classifier not built")
+	// ErrUnknownRule is returned when deleting a rule that is not
+	// installed.
+	ErrUnknownRule = errors.New("unknown rule id")
+)
+
+// Classifier is the common shape of the Table I comparators.
+type Classifier interface {
+	// Name returns the Table I row name.
+	Name() string
+	// Build constructs the data structure for a rule set, replacing any
+	// previous contents.
+	Build(s *rule.Set) error
+	// Match returns the Highest-Priority Matching Rule for the header.
+	Match(h rule.Header) (rule.Rule, bool)
+	// MemoryBytes estimates the data-structure storage.
+	MemoryBytes() int
+	// IncrementalUpdate reports whether Insert/Delete work without a
+	// rebuild.
+	IncrementalUpdate() bool
+	// Insert adds one rule; ErrNoIncremental if unsupported.
+	Insert(r rule.Rule) error
+	// Delete removes one rule by ID; ErrNoIncremental if unsupported.
+	Delete(id int) error
+}
+
+// All returns one fresh instance of every baseline, keyed by name, for the
+// differential test harness and the Table I bench.
+func All() []Classifier {
+	return []Classifier{
+		NewLinear(),
+		NewTCAM(),
+		NewRFC(),
+		NewHiCuts(DefaultHiCutsConfig()),
+		NewHyperCuts(DefaultHyperCutsConfig()),
+		NewCrossProduct(),
+		NewDCFL(),
+		NewBitmapIntersection(),
+		NewABV(),
+		NewTSS(),
+	}
+}
+
+// Linear is the brute-force reference: O(N) match, minimal memory, trivial
+// incremental update. Every other classifier is tested against it.
+type Linear struct {
+	rules []rule.Rule
+	byID  map[int]int
+}
+
+// NewLinear returns an empty linear classifier.
+func NewLinear() *Linear { return &Linear{byID: make(map[int]int)} }
+
+// Name implements Classifier.
+func (l *Linear) Name() string { return "Linear" }
+
+// Build implements Classifier.
+func (l *Linear) Build(s *rule.Set) error {
+	l.rules = append(l.rules[:0], s.Rules()...)
+	l.byID = make(map[int]int, len(l.rules))
+	for i := range l.rules {
+		l.byID[l.rules[i].ID] = i
+	}
+	return nil
+}
+
+// Match implements Classifier.
+func (l *Linear) Match(h rule.Header) (rule.Rule, bool) {
+	best := -1
+	for i := range l.rules {
+		if l.rules[i].Matches(h) && (best < 0 || l.rules[i].Priority < l.rules[best].Priority) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return rule.Rule{}, false
+	}
+	return l.rules[best], true
+}
+
+// MemoryBytes implements Classifier: ~38 bytes of match data per rule.
+func (l *Linear) MemoryBytes() int { return len(l.rules) * 38 }
+
+// IncrementalUpdate implements Classifier.
+func (l *Linear) IncrementalUpdate() bool { return true }
+
+// Insert implements Classifier.
+func (l *Linear) Insert(r rule.Rule) error {
+	if _, dup := l.byID[r.ID]; dup {
+		return rule.ErrDuplicateID
+	}
+	l.byID[r.ID] = len(l.rules)
+	l.rules = append(l.rules, r)
+	return nil
+}
+
+// Delete implements Classifier.
+func (l *Linear) Delete(id int) error {
+	i, ok := l.byID[id]
+	if !ok {
+		return ErrUnknownRule
+	}
+	l.rules = append(l.rules[:i], l.rules[i+1:]...)
+	delete(l.byID, id)
+	for j := i; j < len(l.rules); j++ {
+		l.byID[l.rules[j].ID] = j
+	}
+	return nil
+}
+
+// bitset is a fixed-capacity rule bitmap used by RFC, BV and ABV.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i/64] |= 1 << (i % 64) }
+
+func (b bitset) and(a, c bitset) {
+	for i := range b {
+		b[i] = a[i] & c[i]
+	}
+}
+
+// firstSet returns the lowest set bit index, or -1.
+func (b bitset) firstSet() int {
+	for i, w := range b {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) equal(o bitset) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hash folds the bitset with an FNV-1a mix for class deduplication.
+func (b bitset) hash() uint64 {
+	h := uint64(1469598103934665603)
+	for _, w := range b {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+// classIndex deduplicates bitsets into dense class IDs, comparing by hash
+// bucket with full verification (no false sharing on hash collisions).
+type classIndex struct {
+	byHash map[uint64][]uint16
+	sets   []bitset
+}
+
+func newClassIndex() *classIndex {
+	return &classIndex{byHash: make(map[uint64][]uint16)}
+}
+
+// id returns the class of the bitset, adding a new class (cloning the
+// bitset) when unseen. The second result reports whether the class count
+// limit was exceeded.
+func (ci *classIndex) id(b bitset, limit int) (uint16, bool) {
+	h := b.hash()
+	for _, cand := range ci.byHash[h] {
+		if ci.sets[cand].equal(b) {
+			return cand, true
+		}
+	}
+	if len(ci.sets) >= limit {
+		return 0, false
+	}
+	id := uint16(len(ci.sets))
+	ci.sets = append(ci.sets, b.clone())
+	ci.byHash[h] = append(ci.byHash[h], id)
+	return id, true
+}

@@ -1,0 +1,392 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+// testWorkload builds a ruleset and a correlated trace.
+func testWorkload(t *testing.T, fam ruleset.Family, size int) (*rule.Set, []rule.Header) {
+	t.Helper()
+	s, err := ruleset.Generate(ruleset.Config{Family: fam, Size: size, Seed: 7})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	trace, err := ruleset.GenerateTrace(s, ruleset.TraceConfig{Size: 1200, HitRatio: 0.75, Seed: 8})
+	if err != nil {
+		t.Fatalf("GenerateTrace: %v", err)
+	}
+	return s, trace
+}
+
+func TestAllBaselinesMatchOracle(t *testing.T) {
+	for _, cls := range All() {
+		cls := cls
+		t.Run(cls.Name(), func(t *testing.T) {
+			for _, fam := range ruleset.Families() {
+				s, trace := testWorkload(t, fam, 300)
+				if err := cls.Build(s); err != nil {
+					t.Fatalf("%v Build(%v): %v", cls.Name(), fam, err)
+				}
+				for i, h := range trace {
+					got, ok := cls.Match(h)
+					want, wantOK := s.Match(h)
+					if ok != wantOK {
+						t.Fatalf("%v header %d (%+v): found=%v oracle=%v", fam, i, h, ok, wantOK)
+					}
+					if ok && got.ID != want.ID {
+						t.Fatalf("%v header %d (%+v): rule %d, oracle %d", fam, i, h, got.ID, want.ID)
+					}
+				}
+				if cls.MemoryBytes() <= 0 {
+					t.Errorf("%v: MemoryBytes = %d", fam, cls.MemoryBytes())
+				}
+			}
+		})
+	}
+}
+
+func TestIncrementalClassifiersInsertDelete(t *testing.T) {
+	for _, cls := range All() {
+		cls := cls
+		if !cls.IncrementalUpdate() {
+			continue
+		}
+		t.Run(cls.Name(), func(t *testing.T) {
+			s, trace := testWorkload(t, ruleset.FW, 250)
+
+			// Build incrementally via Insert only.
+			if err := cls.Build(&rule.Set{}); err != nil {
+				// Some classifiers may reject an empty set; fall back to
+				// a build with the first rule only.
+				t.Logf("empty build: %v", err)
+			}
+			for _, r := range s.Rules() {
+				if err := cls.Insert(r); err != nil {
+					t.Fatalf("Insert: %v", err)
+				}
+			}
+			for _, h := range trace {
+				got, ok := cls.Match(h)
+				want, wantOK := s.Match(h)
+				if ok != wantOK || (ok && got.ID != want.ID) {
+					t.Fatalf("after inserts: (%d,%v) oracle (%d,%v) header %+v", got.ID, ok, want.ID, wantOK, h)
+				}
+			}
+
+			// Delete every second rule; verify against the reduced set.
+			var kept []rule.Rule
+			for i, r := range s.Rules() {
+				if i%2 == 0 {
+					if err := cls.Delete(r.ID); err != nil {
+						t.Fatalf("Delete(%d): %v", r.ID, err)
+					}
+				} else {
+					kept = append(kept, r)
+				}
+			}
+			s2, err := rule.NewSet(kept)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, h := range trace {
+				got, ok := cls.Match(h)
+				want, wantOK := s2.Match(h)
+				if ok != wantOK || (ok && got.ID != want.ID) {
+					t.Fatalf("after deletes: (%d,%v) oracle (%d,%v) header %+v", got.ID, ok, want.ID, wantOK, h)
+				}
+			}
+			// Error paths.
+			if err := cls.Delete(-123); !errors.Is(err, ErrUnknownRule) {
+				t.Errorf("Delete(unknown) = %v, want ErrUnknownRule", err)
+			}
+		})
+	}
+}
+
+func TestNonIncrementalRejectUpdates(t *testing.T) {
+	for _, cls := range All() {
+		if cls.IncrementalUpdate() {
+			continue
+		}
+		if err := cls.Insert(rule.Rule{}); !errors.Is(err, ErrNoIncremental) {
+			t.Errorf("%s Insert = %v, want ErrNoIncremental", cls.Name(), err)
+		}
+		if err := cls.Delete(1); !errors.Is(err, ErrNoIncremental) {
+			t.Errorf("%s Delete = %v, want ErrNoIncremental", cls.Name(), err)
+		}
+	}
+}
+
+func TestRangeToPrefixes(t *testing.T) {
+	tests := []struct {
+		r    rule.PortRange
+		want int // expected cover size
+	}{
+		{rule.FullPortRange(), 1},
+		{rule.ExactPort(80), 1},
+		{rule.PortRange{Lo: 0, Hi: 1023}, 1},     // aligned block
+		{rule.PortRange{Lo: 1024, Hi: 65535}, 6}, // 1024..2047,2048..4095,...32768..65535
+		{rule.PortRange{Lo: 1, Hi: 65534}, 30},   // worst case 2W-2
+	}
+	for _, tc := range tests {
+		got := rangeToPrefixes(tc.r)
+		if len(got) != tc.want {
+			t.Errorf("rangeToPrefixes(%v) = %d entries, want %d", tc.r, len(got), tc.want)
+		}
+		// The cover must be exact: every port in range matches exactly
+		// one entry; ports outside match none.
+		for p := 0; p <= 0xffff; p++ {
+			cnt := 0
+			for _, e := range got {
+				if uint16(p)&e.mask == e.value {
+					cnt++
+				}
+			}
+			want := 0
+			if tc.r.Matches(uint16(p)) {
+				want = 1
+			}
+			if cnt != want {
+				t.Fatalf("range %v port %d covered %d times, want %d", tc.r, p, cnt, want)
+			}
+		}
+	}
+}
+
+func TestTCAMExpansionMeasured(t *testing.T) {
+	// FW rulesets are range-heavy: expansion factor must exceed ACL's.
+	aclSet, _ := testWorkload(t, ruleset.ACL, 400)
+	fwSet, _ := testWorkload(t, ruleset.FW, 400)
+	acl, fw := NewTCAM(), NewTCAM()
+	if err := acl.Build(aclSet); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Build(fwSet); err != nil {
+		t.Fatal(err)
+	}
+	if acl.Entries() < aclSet.Len() {
+		t.Errorf("ACL entries %d < rules %d", acl.Entries(), aclSet.Len())
+	}
+	if fw.ExpansionFactor() <= acl.ExpansionFactor() {
+		t.Errorf("FW expansion %.2f should exceed ACL expansion %.2f",
+			fw.ExpansionFactor(), acl.ExpansionFactor())
+	}
+}
+
+func TestRFCConstantLookupStructure(t *testing.T) {
+	s, trace := testWorkload(t, ruleset.ACL, 300)
+	c := NewRFC()
+	if err := c.Build(s); err != nil {
+		t.Fatal(err)
+	}
+	// RFC memory should dwarf linear memory (precomputation trade-off).
+	lin := NewLinear()
+	if err := lin.Build(s); err != nil {
+		t.Fatal(err)
+	}
+	if c.MemoryBytes() < 10*lin.MemoryBytes() {
+		t.Errorf("RFC memory %d not >> linear %d", c.MemoryBytes(), lin.MemoryBytes())
+	}
+	_ = trace
+}
+
+func TestHiCutsTreeShape(t *testing.T) {
+	s, _ := testWorkload(t, ruleset.ACL, 500)
+	c := NewHiCuts(DefaultHiCutsConfig())
+	if err := c.Build(s); err != nil {
+		t.Fatal(err)
+	}
+	nodes, leaves, refs := c.TreeStats()
+	if nodes == 0 || leaves == 0 {
+		t.Fatalf("tree not built: nodes=%d leaves=%d", nodes, leaves)
+	}
+	if refs < s.Len() {
+		t.Errorf("rule refs %d < rules %d (every rule must reach a leaf)", refs, s.Len())
+	}
+}
+
+func TestHyperCutsShallowerThanHiCuts(t *testing.T) {
+	s, _ := testWorkload(t, ruleset.IPC, 500)
+	hi := NewHiCuts(DefaultHiCutsConfig())
+	hy := NewHyperCuts(DefaultHyperCutsConfig())
+	if err := hi.Build(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := hy.Build(s); err != nil {
+		t.Fatal(err)
+	}
+	hiN, _, _ := hi.TreeStats()
+	hyN, _, _ := hy.TreeStats()
+	if hyN == 0 || hiN == 0 {
+		t.Fatal("trees not built")
+	}
+	// Multi-dimensional cuts should not need more nodes than
+	// single-dimensional cuts on mixed rulesets. Allow slack: this is a
+	// heuristic property, not a theorem.
+	if float64(hyN) > 1.5*float64(hiN) {
+		t.Errorf("HyperCuts nodes %d much larger than HiCuts %d", hyN, hiN)
+	}
+}
+
+func TestCrossProductCacheGrowsWithTraffic(t *testing.T) {
+	s, trace := testWorkload(t, ruleset.ACL, 200)
+	c := NewCrossProduct()
+	if err := c.Build(s); err != nil {
+		t.Fatal(err)
+	}
+	if c.CachedEntries() != 0 {
+		t.Errorf("cache should start empty, has %d", c.CachedEntries())
+	}
+	for _, h := range trace {
+		c.Match(h)
+	}
+	if c.CachedEntries() == 0 {
+		t.Error("cache empty after traffic")
+	}
+	// Memoized entries must be stable: rerunning the trace gives the same
+	// results without growing the cache.
+	size := c.CachedEntries()
+	for _, h := range trace {
+		got, ok := c.Match(h)
+		want, wantOK := s.Match(h)
+		if ok != wantOK || (ok && got.ID != want.ID) {
+			t.Fatalf("memoized mismatch for %+v", h)
+		}
+	}
+	if c.CachedEntries() != size {
+		t.Errorf("cache grew on repeat traffic: %d -> %d", size, c.CachedEntries())
+	}
+}
+
+func TestABVReadsFewerWordsThanBV(t *testing.T) {
+	s, trace := testWorkload(t, ruleset.FW, 800)
+	abv := NewABV()
+	if err := abv.Build(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range trace {
+		abv.Match(h)
+	}
+	// Plain BV reads N/64 words per field intersection; the aggregate
+	// should cut the full-width reads substantially.
+	fullWords := float64((s.Len() + 63) / 64)
+	if avg := abv.AvgWordsRead(); avg >= fullWords/2 {
+		t.Errorf("ABV avg words read %.1f not well below full %.1f", avg, fullWords)
+	}
+}
+
+func TestTSSTupleCountSmall(t *testing.T) {
+	s, _ := testWorkload(t, ruleset.ACL, 500)
+	c := NewTSS()
+	if err := c.Build(s); err != nil {
+		t.Fatal(err)
+	}
+	if c.TupleCount() == 0 {
+		t.Fatal("no tuples")
+	}
+	if c.TupleCount() > 150 {
+		t.Errorf("tuple count %d unexpectedly large", c.TupleCount())
+	}
+}
+
+func TestTSSRetupleOnNestingChange(t *testing.T) {
+	c := NewTSS()
+	mk := func(id int, sp rule.PortRange) rule.Rule {
+		return rule.Rule{
+			ID: id, Priority: id,
+			SrcPort: sp, DstPort: rule.FullPortRange(),
+			Proto: rule.ExactProto(rule.ProtoTCP),
+		}
+	}
+	// Insert an inner range first, then an outer one that changes the
+	// inner's nesting level... level is containment count, inner gains a
+	// container.
+	if err := c.Insert(mk(1, rule.PortRange{Lo: 100, Hi: 200})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(mk(2, rule.PortRange{Lo: 50, Hi: 400})); err != nil {
+		t.Fatal(err)
+	}
+	h := rule.Header{SrcPort: 150, Proto: rule.ProtoTCP}
+	got, ok := c.Match(h)
+	if !ok || got.ID != 1 {
+		t.Fatalf("Match = (%d,%v), want rule 1", got.ID, ok)
+	}
+	h2 := rule.Header{SrcPort: 300, Proto: rule.ProtoTCP}
+	got, ok = c.Match(h2)
+	if !ok || got.ID != 2 {
+		t.Fatalf("Match = (%d,%v), want rule 2", got.ID, ok)
+	}
+	// Delete the outer; inner must still match.
+	if err := c.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Match(h2); ok {
+		t.Error("deleted rule still matches")
+	}
+	if got, ok := c.Match(h); !ok || got.ID != 1 {
+		t.Error("rule 1 lost after retuple")
+	}
+}
+
+func TestRandomizedDifferential(t *testing.T) {
+	// Adversarial random rules (not family-structured) across every
+	// baseline, uniform random headers.
+	rnd := rand.New(rand.NewSource(99))
+	var rules []rule.Rule
+	for i := 0; i < 150; i++ {
+		rules = append(rules, randomRuleBL(rnd))
+	}
+	s, err := rule.NewSet(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clss := All()
+	for _, cls := range clss {
+		if err := cls.Build(s); err != nil {
+			t.Fatalf("%s: %v", cls.Name(), err)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		h := rule.Header{
+			SrcIP: rnd.Uint32(), DstIP: rnd.Uint32(),
+			SrcPort: uint16(rnd.Intn(1 << 16)), DstPort: uint16(rnd.Intn(1 << 16)),
+			Proto: uint8(rnd.Intn(4)),
+		}
+		want, wantOK := s.Match(h)
+		for _, cls := range clss {
+			got, ok := cls.Match(h)
+			if ok != wantOK || (ok && got.ID != want.ID) {
+				t.Fatalf("%s: (%d,%v) oracle (%d,%v) header %+v", cls.Name(), got.ID, ok, want.ID, wantOK, h)
+			}
+		}
+	}
+}
+
+func randomRuleBL(rnd *rand.Rand) rule.Rule {
+	pfx := func() rule.Prefix {
+		lens := []uint8{0, 4, 9, 13, 17, 22, 26, 30, 32}
+		return rule.Prefix{Addr: rnd.Uint32(), Len: lens[rnd.Intn(len(lens))]}.Canonical()
+	}
+	rng := func() rule.PortRange {
+		switch rnd.Intn(3) {
+		case 0:
+			return rule.FullPortRange()
+		case 1:
+			return rule.ExactPort(uint16(rnd.Intn(1 << 16)))
+		default:
+			lo := uint16(rnd.Intn(1 << 15))
+			return rule.PortRange{Lo: lo, Hi: lo + uint16(rnd.Intn(1<<12))}
+		}
+	}
+	pm := rule.AnyProto()
+	if rnd.Intn(3) > 0 {
+		pm = rule.ExactProto(uint8(rnd.Intn(4)))
+	}
+	return rule.Rule{SrcIP: pfx(), DstIP: pfx(), SrcPort: rng(), DstPort: rng(), Proto: pm}
+}

@@ -1,0 +1,29 @@
+package baseline
+
+import (
+	"repro/internal/ruleset"
+	"testing"
+)
+
+func TestHiCutsFWLargeNoBlowup(t *testing.T) {
+	for _, size := range []int{2000, 5000} {
+		s, err := ruleset.Generate(ruleset.Config{Family: ruleset.FW, Size: size, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi := NewHiCuts(DefaultHiCutsConfig())
+		if err := hi.Build(s); err != nil {
+			t.Fatal(err)
+		}
+		hy := NewHyperCuts(DefaultHyperCutsConfig())
+		if err := hy.Build(s); err != nil {
+			t.Fatal(err)
+		}
+		n1, _, r1 := hi.TreeStats()
+		n2, _, r2 := hy.TreeStats()
+		t.Logf("FW-%d: hicuts nodes=%d refs=%d  hypercuts nodes=%d refs=%d", size, n1, r1, n2, r2)
+		if r1 > 50*size || r2 > 50*size {
+			t.Fatalf("replication blow-up: %d / %d refs for %d rules", r1, r2, size)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package baseline
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/rule"
+)
+
+// bvField precomputes, for one dimension, the rule bitset matched by every
+// elementary interval of the dimension's projections (the Lucent bit
+// vector scheme's per-field structure). Lookup is a binary search to the
+// elementary interval, returning its N-bit vector.
+type bvField struct {
+	bounds []uint32
+	vecs   []bitset
+}
+
+// buildBVField constructs the field structure from per-rule intervals.
+func buildBVField(n int, ivs [][2]uint32, max uint32) *bvField {
+	pts := map[uint32]struct{}{0: {}}
+	for _, iv := range ivs {
+		pts[iv[0]] = struct{}{}
+		if iv[1] < max {
+			pts[iv[1]+1] = struct{}{}
+		}
+	}
+	f := &bvField{}
+	for p := range pts {
+		f.bounds = append(f.bounds, p)
+	}
+	sort.Slice(f.bounds, func(i, j int) bool { return f.bounds[i] < f.bounds[j] })
+	// Sweep the elementary intervals once, maintaining the current rule
+	// set: O(N log N + intervals * N/w) instead of intervals * N.
+	boundIdx := func(p uint32) int {
+		lo, hi := 0, len(f.bounds)-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if f.bounds[mid] <= p {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo
+	}
+	starts := make([][]int, len(f.bounds)+1)
+	ends := make([][]int, len(f.bounds)+1)
+	for ri, iv := range ivs {
+		s := boundIdx(iv[0])
+		starts[s] = append(starts[s], ri)
+		if iv[1] < max {
+			ends[boundIdx(iv[1]+1)] = append(ends[boundIdx(iv[1]+1)], ri)
+		}
+	}
+	f.vecs = make([]bitset, len(f.bounds))
+	cur := newBitset(n)
+	for i := range f.bounds {
+		for _, ri := range starts[i] {
+			cur.set(ri)
+		}
+		for _, ri := range ends[i] {
+			cur[ri/64] &^= 1 << (ri % 64)
+		}
+		f.vecs[i] = cur.clone()
+	}
+	return f
+}
+
+// lookup returns the bit vector of the elementary interval containing p.
+func (f *bvField) lookup(p uint32) bitset {
+	lo, hi := 0, len(f.bounds)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if f.bounds[mid] <= p {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return f.vecs[lo]
+}
+
+func (f *bvField) memBytes() int {
+	words := 0
+	for _, v := range f.vecs {
+		words += len(v)
+	}
+	return len(f.bounds)*4 + words*8
+}
+
+// ruleIntervals projects all rules onto dimension d.
+func ruleIntervals(rules []rule.Rule, d int) ([][2]uint32, uint32) {
+	ivs := make([][2]uint32, len(rules))
+	var max uint32
+	for i := range rules {
+		b := ruleBox(&rules[i])
+		ivs[i] = [2]uint32{b.lo[d], b.hi[d]}
+	}
+	switch d {
+	case 0, 1:
+		max = 0xffffffff
+	case 2, 3:
+		max = 0xffff
+	default:
+		max = 0xff
+	}
+	return ivs, max
+}
+
+// BitmapIntersection is the Lucent bit vector scheme (Lakshman &
+// Stiliadis): one bit vector per field lookup, AND the five vectors, take
+// the first set bit (rules are stored in priority order). Lookup touches
+// O(d*N/w) memory words; storage is O(d*N^2/w) — the quadratic row of
+// Table I — and updates rebuild the vectors.
+type BitmapIntersection struct {
+	built  bool
+	rules  []rule.Rule
+	fields [5]*bvField
+	tmp    bitset
+	tmp2   bitset
+}
+
+// NewBitmapIntersection returns an empty BV classifier.
+func NewBitmapIntersection() *BitmapIntersection { return &BitmapIntersection{} }
+
+// Name implements Classifier.
+func (c *BitmapIntersection) Name() string { return "Bitmap-Intersection" }
+
+// IncrementalUpdate implements Classifier.
+func (c *BitmapIntersection) IncrementalUpdate() bool { return false }
+
+// Insert implements Classifier.
+func (c *BitmapIntersection) Insert(rule.Rule) error { return ErrNoIncremental }
+
+// Delete implements Classifier.
+func (c *BitmapIntersection) Delete(int) error { return ErrNoIncremental }
+
+// Build implements Classifier.
+func (c *BitmapIntersection) Build(s *rule.Set) error {
+	c.rules = append([]rule.Rule(nil), s.Rules()...)
+	n := len(c.rules)
+	for d := 0; d < 5; d++ {
+		ivs, max := ruleIntervals(c.rules, d)
+		c.fields[d] = buildBVField(n, ivs, max)
+	}
+	c.tmp = newBitset(n)
+	c.tmp2 = newBitset(n)
+	c.built = true
+	return nil
+}
+
+// Match implements Classifier.
+func (c *BitmapIntersection) Match(h rule.Header) (rule.Rule, bool) {
+	if !c.built || len(c.rules) == 0 {
+		return rule.Rule{}, false
+	}
+	p := headerPoint(h)
+	c.tmp.and(c.fields[0].lookup(p[0]), c.fields[1].lookup(p[1]))
+	c.tmp2.and(c.tmp, c.fields[2].lookup(p[2]))
+	c.tmp.and(c.tmp2, c.fields[3].lookup(p[3]))
+	c.tmp2.and(c.tmp, c.fields[4].lookup(p[4]))
+	ri := c.tmp2.firstSet()
+	if ri < 0 {
+		return rule.Rule{}, false
+	}
+	return c.rules[ri], true
+}
+
+// MemoryBytes implements Classifier.
+func (c *BitmapIntersection) MemoryBytes() int {
+	if !c.built {
+		return 0
+	}
+	total := 0
+	for _, f := range c.fields {
+		total += f.memBytes()
+	}
+	return total
+}
+
+// ABV is Aggregated Bit Vectors (Baboescu & Varghese): the Lucent scheme
+// plus one aggregate bit per A-bit block of each vector, so the AND loop
+// skips blocks whose aggregates are zero — trading a small storage
+// overhead for far fewer word reads on sparse vectors.
+type ABV struct {
+	inner BitmapIntersection
+	// agg[d][i] aggregates vector words of field d, elementary interval
+	// i: bit j set iff word j is non-zero.
+	agg [5][]bitset
+	// stats: words actually read during Match, for the aggregation
+	// effectiveness report.
+	wordsRead int
+	matches   int
+}
+
+// abvBlockBits is the aggregation granularity: one aggregate bit per
+// 64-bit vector word.
+const abvBlockBits = 64
+
+// NewABV returns an empty ABV classifier.
+func NewABV() *ABV { return &ABV{} }
+
+// Name implements Classifier.
+func (c *ABV) Name() string { return "ABV" }
+
+// IncrementalUpdate implements Classifier.
+func (c *ABV) IncrementalUpdate() bool { return false }
+
+// Insert implements Classifier.
+func (c *ABV) Insert(rule.Rule) error { return ErrNoIncremental }
+
+// Delete implements Classifier.
+func (c *ABV) Delete(int) error { return ErrNoIncremental }
+
+// Build implements Classifier.
+func (c *ABV) Build(s *rule.Set) error {
+	if err := c.inner.Build(s); err != nil {
+		return err
+	}
+	for d := 0; d < 5; d++ {
+		f := c.inner.fields[d]
+		c.agg[d] = make([]bitset, len(f.vecs))
+		for i, v := range f.vecs {
+			a := newBitset(len(v))
+			for w := range v {
+				if v[w] != 0 {
+					a.set(w)
+				}
+			}
+			c.agg[d][i] = a
+		}
+	}
+	c.wordsRead, c.matches = 0, 0
+	return nil
+}
+
+// Match implements Classifier: AND the aggregates first, then AND full
+// vector words only where the combined aggregate is set.
+func (c *ABV) Match(h rule.Header) (rule.Rule, bool) {
+	if !c.inner.built || len(c.inner.rules) == 0 {
+		return rule.Rule{}, false
+	}
+	p := headerPoint(h)
+	var idx [5]int
+	var vecs [5]bitset
+	var aggs [5]bitset
+	for d := 0; d < 5; d++ {
+		f := c.inner.fields[d]
+		lo, hi := 0, len(f.bounds)-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if f.bounds[mid] <= p[d] {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		idx[d] = lo
+		vecs[d] = f.vecs[lo]
+		aggs[d] = c.agg[d][lo]
+	}
+	c.matches++
+	// Combined aggregate.
+	nWords := len(vecs[0])
+	for w := 0; w < (nWords+63)/64; w++ {
+		a := aggs[0][w] & aggs[1][w] & aggs[2][w] & aggs[3][w] & aggs[4][w]
+		for a != 0 {
+			bit := bits.TrailingZeros64(a)
+			a &^= 1 << bit
+			word := w*64 + bit
+			c.wordsRead++
+			v := vecs[0][word] & vecs[1][word] & vecs[2][word] & vecs[3][word] & vecs[4][word]
+			if v != 0 {
+				ri := word*64 + bits.TrailingZeros64(v)
+				return c.inner.rules[ri], true
+			}
+		}
+	}
+	return rule.Rule{}, false
+}
+
+// MemoryBytes implements Classifier: the BV storage plus aggregates.
+func (c *ABV) MemoryBytes() int {
+	total := c.inner.MemoryBytes()
+	for d := 0; d < 5; d++ {
+		for _, a := range c.agg[d] {
+			total += len(a) * 8
+		}
+	}
+	return total
+}
+
+// AvgWordsRead reports mean full-vector words read per match — the
+// quantity aggregation reduces versus plain BV's N/w words.
+func (c *ABV) AvgWordsRead() float64 {
+	if c.matches == 0 {
+		return 0
+	}
+	return float64(c.wordsRead) / float64(c.matches)
+}

@@ -1,0 +1,263 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/rule"
+)
+
+// CrossProduct implements Cross-Producting (Srinivasan, Varghese, Suri,
+// Waldvogel — SIGCOMM'98): independent best-match lookups per field,
+// combined through a precomputed table addressed by the per-field results.
+// IP fields use longest-matching rule projections (a laminar family, so
+// the longest match determines the full matching set); port fields use the
+// disjoint elementary intervals induced by all rule ranges; the protocol
+// field uses exact values plus the wildcard.
+//
+// The full cross-product table is O(N^d); this implementation materializes
+// entries lazily and memoizes them, which keeps construction feasible
+// while still exposing the storage blow-up through MemoryBytes as the
+// cache fills — the incremental variant the original paper suggests
+// ("cross-producting with caching").
+type CrossProduct struct {
+	built bool
+	rules []rule.Rule
+
+	srcProj *prefixProjection
+	dstProj *prefixProjection
+	spProj  *elemIntervals
+	dpProj  *elemIntervals
+	// proto projections: exact values plus wildcard slot.
+	protoVals map[uint8]int // value -> projection index (>=1); 0 = wildcard-only
+	protoWild bool
+
+	// cache maps the 5 projection indices to the HPMR rule index (-1 for
+	// none).
+	cache map[[5]int32]int32
+}
+
+// NewCrossProduct returns an empty cross-producting classifier.
+func NewCrossProduct() *CrossProduct { return &CrossProduct{} }
+
+// Name implements Classifier.
+func (c *CrossProduct) Name() string { return "Cross-Producting" }
+
+// IncrementalUpdate implements Classifier: projections and table must be
+// rebuilt on rule changes.
+func (c *CrossProduct) IncrementalUpdate() bool { return false }
+
+// Insert implements Classifier.
+func (c *CrossProduct) Insert(rule.Rule) error { return ErrNoIncremental }
+
+// Delete implements Classifier.
+func (c *CrossProduct) Delete(int) error { return ErrNoIncremental }
+
+// Build implements Classifier.
+func (c *CrossProduct) Build(s *rule.Set) error {
+	c.rules = append([]rule.Rule(nil), s.Rules()...)
+	c.srcProj = newPrefixProjection(c.rules, func(r *rule.Rule) rule.Prefix { return r.SrcIP })
+	c.dstProj = newPrefixProjection(c.rules, func(r *rule.Rule) rule.Prefix { return r.DstIP })
+	c.spProj = newElemIntervals(c.rules, func(r *rule.Rule) rule.PortRange { return r.SrcPort })
+	c.dpProj = newElemIntervals(c.rules, func(r *rule.Rule) rule.PortRange { return r.DstPort })
+	c.protoVals = make(map[uint8]int)
+	c.protoWild = false
+	next := 1
+	for i := range c.rules {
+		p := c.rules[i].Proto
+		if p.IsWildcard() {
+			c.protoWild = true
+			continue
+		}
+		if _, ok := c.protoVals[p.Value]; !ok {
+			c.protoVals[p.Value] = next
+			next++
+		}
+	}
+	c.cache = make(map[[5]int32]int32)
+	c.built = true
+	return nil
+}
+
+// Match implements Classifier.
+func (c *CrossProduct) Match(h rule.Header) (rule.Rule, bool) {
+	if !c.built {
+		return rule.Rule{}, false
+	}
+	var key [5]int32
+	key[0] = c.srcProj.lookup(h.SrcIP)
+	key[1] = c.dstProj.lookup(h.DstIP)
+	key[2] = c.spProj.lookup(h.SrcPort)
+	key[3] = c.dpProj.lookup(h.DstPort)
+	if idx, ok := c.protoVals[h.Proto]; ok {
+		key[4] = int32(idx)
+	} else {
+		key[4] = 0
+	}
+
+	ri, ok := c.cache[key]
+	if !ok {
+		ri = c.resolve(key, h)
+		c.cache[key] = ri
+	}
+	if ri < 0 {
+		return rule.Rule{}, false
+	}
+	return c.rules[ri], true
+}
+
+// resolve computes a cross-product table entry: the best rule whose field
+// specs cover every projection in the key. Covering the projection is
+// equivalent to matching every packet that maps to this key, so the entry
+// is exact for all such packets.
+func (c *CrossProduct) resolve(key [5]int32, h rule.Header) int32 {
+	srcPfx, srcOK := c.srcProj.prefixOf(key[0])
+	dstPfx, dstOK := c.dstProj.prefixOf(key[1])
+	spIv := c.spProj.interval(key[2])
+	dpIv := c.dpProj.interval(key[3])
+	for i := range c.rules {
+		r := &c.rules[i]
+		// Source: rule prefix must contain the longest matching
+		// projection (no projection means only wildcard rules apply).
+		if srcOK {
+			if !r.SrcIP.Contains(srcPfx) {
+				continue
+			}
+		} else if r.SrcIP.Len != 0 {
+			continue
+		}
+		if dstOK {
+			if !r.DstIP.Contains(dstPfx) {
+				continue
+			}
+		} else if r.DstIP.Len != 0 {
+			continue
+		}
+		if !r.SrcPort.Contains(spIv) || !r.DstPort.Contains(dpIv) {
+			continue
+		}
+		if key[4] == 0 {
+			if !r.Proto.IsWildcard() {
+				continue
+			}
+		} else if !r.Proto.Matches(h.Proto) {
+			continue
+		}
+		return int32(i) // rules are in priority order
+	}
+	return -1
+}
+
+// MemoryBytes implements Classifier: projections plus the materialized
+// slice of the cross-product table.
+func (c *CrossProduct) MemoryBytes() int {
+	if !c.built {
+		return 0
+	}
+	return c.srcProj.memBytes() + c.dstProj.memBytes() +
+		c.spProj.memBytes() + c.dpProj.memBytes() +
+		len(c.protoVals)*4 + len(c.cache)*(5*4+4)
+}
+
+// CachedEntries reports the materialized table size.
+func (c *CrossProduct) CachedEntries() int { return len(c.cache) }
+
+// prefixProjection answers longest-matching-projection queries over the
+// distinct prefixes of one IP field, via per-length hash sets.
+type prefixProjection struct {
+	lens    []uint8 // distinct lengths, descending
+	byLen   map[uint8]map[uint32]int32
+	byIndex []rule.Prefix
+}
+
+func newPrefixProjection(rules []rule.Rule, get func(*rule.Rule) rule.Prefix) *prefixProjection {
+	p := &prefixProjection{byLen: make(map[uint8]map[uint32]int32)}
+	for i := range rules {
+		pf := get(&rules[i]).Canonical()
+		if pf.Len == 0 {
+			continue // wildcard handled by the "no projection" case
+		}
+		m := p.byLen[pf.Len]
+		if m == nil {
+			m = make(map[uint32]int32)
+			p.byLen[pf.Len] = m
+		}
+		if _, ok := m[pf.Addr]; !ok {
+			m[pf.Addr] = int32(len(p.byIndex))
+			p.byIndex = append(p.byIndex, pf)
+		}
+	}
+	for l := range p.byLen {
+		p.lens = append(p.lens, l)
+	}
+	sort.Slice(p.lens, func(i, j int) bool { return p.lens[i] > p.lens[j] })
+	return p
+}
+
+// lookup returns the index of the longest projection matching addr, or -1.
+func (p *prefixProjection) lookup(addr uint32) int32 {
+	for _, l := range p.lens {
+		masked := addr & (rule.Prefix{Len: l}).Mask()
+		if idx, ok := p.byLen[l][masked]; ok {
+			return idx
+		}
+	}
+	return -1
+}
+
+func (p *prefixProjection) prefixOf(idx int32) (rule.Prefix, bool) {
+	if idx < 0 {
+		return rule.Prefix{}, false
+	}
+	return p.byIndex[idx], true
+}
+
+func (p *prefixProjection) memBytes() int { return len(p.byIndex) * 10 }
+
+// elemIntervals is the disjoint elementary-interval decomposition of one
+// port field's ranges.
+type elemIntervals struct {
+	bounds []uint32 // interval i spans [bounds[i], bounds[i+1]-1]
+}
+
+func newElemIntervals(rules []rule.Rule, get func(*rule.Rule) rule.PortRange) *elemIntervals {
+	pts := map[uint32]struct{}{0: {}}
+	for i := range rules {
+		r := get(&rules[i])
+		pts[uint32(r.Lo)] = struct{}{}
+		pts[uint32(r.Hi)+1] = struct{}{}
+	}
+	e := &elemIntervals{}
+	for p := range pts {
+		if p <= 0xffff {
+			e.bounds = append(e.bounds, p)
+		}
+	}
+	sort.Slice(e.bounds, func(i, j int) bool { return e.bounds[i] < e.bounds[j] })
+	return e
+}
+
+// lookup returns the elementary interval index containing p.
+func (e *elemIntervals) lookup(p uint16) int32 {
+	lo, hi := 0, len(e.bounds)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if e.bounds[mid] <= uint32(p) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return int32(lo)
+}
+
+// interval returns the port range of elementary interval idx.
+func (e *elemIntervals) interval(idx int32) rule.PortRange {
+	lo := e.bounds[idx]
+	hi := uint32(0xffff)
+	if int(idx+1) < len(e.bounds) {
+		hi = e.bounds[idx+1] - 1
+	}
+	return rule.PortRange{Lo: uint16(lo), Hi: uint16(hi)}
+}
+
+func (e *elemIntervals) memBytes() int { return len(e.bounds) * 4 }

@@ -1,0 +1,366 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/rule"
+)
+
+// DCFL implements Distributed Crossproducting of Field Labels (Taylor &
+// Turner, INFOCOM'05): each field search returns the set of labels of the
+// matching field values, and an aggregation network intersects label sets
+// pairwise using hash tables of the label combinations that actually occur
+// in the ruleset — avoiding the full cross-product table while keeping
+// O(d) aggregation stages. Labels are stable, so DCFL supports incremental
+// update (the "Yes" in Table I), with per-combination reference counts.
+//
+// Aggregation order: (src,dst) -> pair, (pair,sport) -> triple,
+// (triple,dport) -> quad, (quad,proto) -> rule set.
+type DCFL struct {
+	rules map[int]rule.Rule
+
+	src  *dcflPrefixField
+	dst  *dcflPrefixField
+	sp   *dcflRangeField
+	dp   *dcflRangeField
+	prW  bool // any wildcard-proto rule
+	prWn int  // and how many
+
+	// Aggregation tables: valid label tuples with refcounts. Values are
+	// dense meta-label IDs.
+	agg1 map[[2]int32]*dcflMeta // (srcLab, dstLab)
+	agg2 map[[2]int32]*dcflMeta // (meta1, spLab)
+	agg3 map[[2]int32]*dcflMeta // (meta2, dpLab)
+	// final: (meta3, protoKey) -> rules sorted by priority. protoKey is
+	// int32(value) for exact, -1 for wildcard.
+	final map[[2]int32][]ruleRefBL
+
+	nextMeta int32
+}
+
+type dcflMeta struct {
+	id   int32
+	refs int
+}
+
+type ruleRefBL struct {
+	id       int
+	priority int
+}
+
+// dcflPrefixField is the label table for one IP field: distinct prefixes
+// with labels, queried for all matching labels per address.
+type dcflPrefixField struct {
+	specs map[rule.Prefix]*dcflSpec
+	lens  []uint8 // distinct non-zero lengths, descending
+}
+
+type dcflSpec struct {
+	lab  int32
+	refs int
+}
+
+func newDCFLPrefixField() *dcflPrefixField {
+	return &dcflPrefixField{specs: make(map[rule.Prefix]*dcflSpec)}
+}
+
+func (f *dcflPrefixField) acquire(p rule.Prefix, next *int32) int32 {
+	p = p.Canonical()
+	if s, ok := f.specs[p]; ok {
+		s.refs++
+		return s.lab
+	}
+	s := &dcflSpec{lab: *next, refs: 1}
+	*next++
+	f.specs[p] = s
+	f.refreshLens()
+	return s.lab
+}
+
+func (f *dcflPrefixField) release(p rule.Prefix) {
+	p = p.Canonical()
+	s, ok := f.specs[p]
+	if !ok {
+		return
+	}
+	s.refs--
+	if s.refs == 0 {
+		delete(f.specs, p)
+		f.refreshLens()
+	}
+}
+
+func (f *dcflPrefixField) refreshLens() {
+	seen := make(map[uint8]bool)
+	f.lens = f.lens[:0]
+	for p := range f.specs {
+		if p.Len > 0 && !seen[p.Len] {
+			seen[p.Len] = true
+			f.lens = append(f.lens, p.Len)
+		}
+	}
+	sort.Slice(f.lens, func(i, j int) bool { return f.lens[i] > f.lens[j] })
+}
+
+// lookup appends the labels of all prefixes matching addr.
+func (f *dcflPrefixField) lookup(addr uint32, out []int32) []int32 {
+	for _, l := range f.lens {
+		p := rule.Prefix{Addr: addr & (rule.Prefix{Len: l}).Mask(), Len: l}
+		if s, ok := f.specs[p]; ok {
+			out = append(out, s.lab)
+		}
+	}
+	if s, ok := f.specs[rule.Prefix{}]; ok {
+		out = append(out, s.lab)
+	}
+	return out
+}
+
+// dcflRangeField is the label table for one port field.
+type dcflRangeField struct {
+	specs map[rule.PortRange]*dcflSpec
+}
+
+func newDCFLRangeField() *dcflRangeField {
+	return &dcflRangeField{specs: make(map[rule.PortRange]*dcflSpec)}
+}
+
+func (f *dcflRangeField) acquire(r rule.PortRange, next *int32) int32 {
+	if s, ok := f.specs[r]; ok {
+		s.refs++
+		return s.lab
+	}
+	s := &dcflSpec{lab: *next, refs: 1}
+	*next++
+	f.specs[r] = s
+	return s.lab
+}
+
+func (f *dcflRangeField) release(r rule.PortRange) {
+	s, ok := f.specs[r]
+	if !ok {
+		return
+	}
+	s.refs--
+	if s.refs == 0 {
+		delete(f.specs, r)
+	}
+}
+
+func (f *dcflRangeField) lookup(p uint16, out []int32) []int32 {
+	for r, s := range f.specs {
+		if r.Matches(p) {
+			out = append(out, s.lab)
+		}
+	}
+	return out
+}
+
+// NewDCFL returns an empty DCFL classifier.
+func NewDCFL() *DCFL {
+	return &DCFL{
+		rules: make(map[int]rule.Rule),
+		src:   newDCFLPrefixField(),
+		dst:   newDCFLPrefixField(),
+		sp:    newDCFLRangeField(),
+		dp:    newDCFLRangeField(),
+		agg1:  make(map[[2]int32]*dcflMeta),
+		agg2:  make(map[[2]int32]*dcflMeta),
+		agg3:  make(map[[2]int32]*dcflMeta),
+		final: make(map[[2]int32][]ruleRefBL),
+	}
+}
+
+// Name implements Classifier.
+func (c *DCFL) Name() string { return "DCFL" }
+
+// IncrementalUpdate implements Classifier.
+func (c *DCFL) IncrementalUpdate() bool { return true }
+
+// Build implements Classifier.
+func (c *DCFL) Build(s *rule.Set) error {
+	fresh := NewDCFL()
+	*c = *fresh
+	for _, r := range s.Rules() {
+		if err := c.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ruleLabels compiles a rule to its field labels and aggregation path,
+// allocating as needed.
+func (c *DCFL) ruleLabels(r rule.Rule) (m3 int32, protoKey int32) {
+	srcLab := c.src.acquire(r.SrcIP, &c.nextMeta)
+	dstLab := c.dst.acquire(r.DstIP, &c.nextMeta)
+	spLab := c.sp.acquire(r.SrcPort, &c.nextMeta)
+	dpLab := c.dp.acquire(r.DstPort, &c.nextMeta)
+
+	m1 := c.acquireMeta(c.agg1, [2]int32{srcLab, dstLab})
+	m2 := c.acquireMeta(c.agg2, [2]int32{m1, spLab})
+	m3 = c.acquireMeta(c.agg3, [2]int32{m2, dpLab})
+	if r.Proto.IsWildcard() {
+		return m3, -1
+	}
+	return m3, int32(r.Proto.Value)
+}
+
+func (c *DCFL) acquireMeta(agg map[[2]int32]*dcflMeta, key [2]int32) int32 {
+	if m, ok := agg[key]; ok {
+		m.refs++
+		return m.id
+	}
+	m := &dcflMeta{id: c.nextMeta, refs: 1}
+	c.nextMeta++
+	agg[key] = m
+	return m.id
+}
+
+func (c *DCFL) releaseMeta(agg map[[2]int32]*dcflMeta, key [2]int32) {
+	m, ok := agg[key]
+	if !ok {
+		return
+	}
+	m.refs--
+	if m.refs == 0 {
+		delete(agg, key)
+	}
+}
+
+// Insert implements Classifier.
+func (c *DCFL) Insert(r rule.Rule) error {
+	if _, dup := c.rules[r.ID]; dup {
+		return rule.ErrDuplicateID
+	}
+	m3, protoKey := c.ruleLabels(r)
+	key := [2]int32{m3, protoKey}
+	refs := c.final[key]
+	i := 0
+	for i < len(refs) && refs[i].priority < r.Priority {
+		i++
+	}
+	refs = append(refs, ruleRefBL{})
+	copy(refs[i+1:], refs[i:])
+	refs[i] = ruleRefBL{id: r.ID, priority: r.Priority}
+	c.final[key] = refs
+	if r.Proto.IsWildcard() {
+		c.prW = true
+		c.prWn++
+	}
+	c.rules[r.ID] = r
+	return nil
+}
+
+// Delete implements Classifier.
+func (c *DCFL) Delete(id int) error {
+	r, ok := c.rules[id]
+	if !ok {
+		return ErrUnknownRule
+	}
+	// Recompute the rule's aggregation path without allocating: the
+	// specs still exist, so acquire/release pairs restore refcounts.
+	m3, protoKey := c.ruleLabels(r)
+	key := [2]int32{m3, protoKey}
+	// Undo the extra references ruleLabels just took.
+	c.releaseRule(r, m3)
+	// And the original ones.
+	c.releaseRule(r, m3)
+
+	refs := c.final[key]
+	for i := range refs {
+		if refs[i].id == id {
+			refs = append(refs[:i], refs[i+1:]...)
+			break
+		}
+	}
+	if len(refs) == 0 {
+		delete(c.final, key)
+	} else {
+		c.final[key] = refs
+	}
+	if r.Proto.IsWildcard() {
+		c.prWn--
+		c.prW = c.prWn > 0
+	}
+	delete(c.rules, id)
+	return nil
+}
+
+// releaseRule drops one reference along the rule's aggregation path.
+func (c *DCFL) releaseRule(r rule.Rule, m3 int32) {
+	srcLab := c.src.specs[r.SrcIP.Canonical()].lab
+	dstLab := c.dst.specs[r.DstIP.Canonical()].lab
+	spLab := c.sp.specs[r.SrcPort].lab
+	dpLab := c.dp.specs[r.DstPort].lab
+	m1 := c.agg1[[2]int32{srcLab, dstLab}].id
+	m2 := c.agg2[[2]int32{m1, spLab}].id
+	c.releaseMeta(c.agg3, [2]int32{m2, dpLab})
+	c.releaseMeta(c.agg2, [2]int32{m1, spLab})
+	c.releaseMeta(c.agg1, [2]int32{srcLab, dstLab})
+	c.src.release(r.SrcIP)
+	c.dst.release(r.DstIP)
+	c.sp.release(r.SrcPort)
+	c.dp.release(r.DstPort)
+}
+
+// Match implements Classifier: per-field label sets flow through the
+// aggregation network, each stage keeping only combinations present in
+// its table.
+func (c *DCFL) Match(h rule.Header) (rule.Rule, bool) {
+	var srcBuf, dstBuf, spBuf, dpBuf [8]int32
+	srcLabs := c.src.lookup(h.SrcIP, srcBuf[:0])
+	dstLabs := c.dst.lookup(h.DstIP, dstBuf[:0])
+	spLabs := c.sp.lookup(h.SrcPort, spBuf[:0])
+	dpLabs := c.dp.lookup(h.DstPort, dpBuf[:0])
+
+	var m1s, m2s, m3s []int32
+	for _, s := range srcLabs {
+		for _, d := range dstLabs {
+			if m, ok := c.agg1[[2]int32{s, d}]; ok {
+				m1s = append(m1s, m.id)
+			}
+		}
+	}
+	for _, m1 := range m1s {
+		for _, sp := range spLabs {
+			if m, ok := c.agg2[[2]int32{m1, sp}]; ok {
+				m2s = append(m2s, m.id)
+			}
+		}
+	}
+	for _, m2 := range m2s {
+		for _, dp := range dpLabs {
+			if m, ok := c.agg3[[2]int32{m2, dp}]; ok {
+				m3s = append(m3s, m.id)
+			}
+		}
+	}
+	best := ruleRefBL{priority: int(^uint(0) >> 1)}
+	found := false
+	consider := func(key [2]int32) {
+		if refs := c.final[key]; len(refs) > 0 && refs[0].priority < best.priority {
+			best = refs[0]
+			found = true
+		}
+	}
+	for _, m3 := range m3s {
+		consider([2]int32{m3, int32(h.Proto)})
+		if c.prW {
+			consider([2]int32{m3, -1})
+		}
+	}
+	if !found {
+		return rule.Rule{}, false
+	}
+	return c.rules[best.id], true
+}
+
+// MemoryBytes implements Classifier: field spec tables plus aggregation
+// hash tables.
+func (c *DCFL) MemoryBytes() int {
+	return len(c.src.specs)*10 + len(c.dst.specs)*10 +
+		len(c.sp.specs)*8 + len(c.dp.specs)*8 +
+		(len(c.agg1)+len(c.agg2)+len(c.agg3))*12 +
+		len(c.final)*16
+}

@@ -1,0 +1,327 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/rule"
+)
+
+// HyperCutsConfig tunes the HyperCuts heuristics.
+type HyperCutsConfig struct {
+	// Binth is the leaf threshold.
+	Binth int
+	// Spfac is the space factor limiting total cuts per node.
+	Spfac float64
+	// MaxDepth bounds the tree.
+	MaxDepth int
+}
+
+// DefaultHyperCutsConfig uses binth=8 with a tighter space factor than
+// HiCuts: multi-dimensional cuts replicate more aggressively, and spfac=2
+// with at most 16 children per node keeps total replication near-linear
+// on wildcard-heavy rulesets.
+func DefaultHyperCutsConfig() HyperCutsConfig {
+	return HyperCutsConfig{Binth: 8, Spfac: 2, MaxDepth: 32}
+}
+
+// HyperCuts (Singh, Baboescu, Varghese, Wang — SIGCOMM'03) generalizes
+// HiCuts by cutting up to two dimensions simultaneously at each node,
+// which flattens the tree for rulesets whose structure spans several
+// fields. Like HiCuts it replicates rules into leaves and does not
+// support incremental update.
+type HyperCuts struct {
+	cfg    HyperCutsConfig
+	root   *hyNode
+	built  bool
+	nodes  int
+	leaves int
+	refs   int
+}
+
+type hyNode struct {
+	leaf  bool
+	rules []rule.Rule
+	// Up to two cut dimensions; dims[1] < 0 means a single-dimension cut.
+	dims     [2]int
+	ncuts    [2]uint32
+	lo       [2]uint32
+	size     [2]uint32
+	children []*hyNode
+}
+
+// NewHyperCuts returns a HyperCuts classifier.
+func NewHyperCuts(cfg HyperCutsConfig) *HyperCuts {
+	if cfg.Binth <= 0 {
+		cfg.Binth = 8
+	}
+	if cfg.Spfac <= 1 {
+		cfg.Spfac = 4
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 32
+	}
+	return &HyperCuts{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (c *HyperCuts) Name() string { return "HyperCuts" }
+
+// IncrementalUpdate implements Classifier.
+func (c *HyperCuts) IncrementalUpdate() bool { return false }
+
+// Insert implements Classifier.
+func (c *HyperCuts) Insert(rule.Rule) error { return ErrNoIncremental }
+
+// Delete implements Classifier.
+func (c *HyperCuts) Delete(int) error { return ErrNoIncremental }
+
+// Build implements Classifier.
+func (c *HyperCuts) Build(s *rule.Set) error {
+	c.nodes, c.leaves, c.refs = 0, 0, 0
+	rules := append([]rule.Rule(nil), s.Rules()...)
+	c.root = c.build(rules, fullRegion(), 0)
+	c.built = true
+	return nil
+}
+
+func (c *HyperCuts) build(rules []rule.Rule, reg region, depth int) *hyNode {
+	c.nodes++
+	if len(rules) <= c.cfg.Binth || depth >= c.cfg.MaxDepth {
+		c.leaves++
+		c.refs += len(rules)
+		return &hyNode{leaf: true, rules: rules}
+	}
+	dims := c.pickDims(rules, reg)
+	// Rule pushing (as in HiCuts): rules spanning the node's full range
+	// on every cut dimension stay at the node instead of replicating.
+	var pushed, cuttable []rule.Rule
+	for i := range rules {
+		b := ruleBox(&rules[i])
+		spansAll := true
+		for di := 0; di < 2; di++ {
+			d := dims[di]
+			if d < 0 {
+				continue
+			}
+			if b.lo[d] > reg.lo[d] || reg.hi[d] > b.hi[d] {
+				spansAll = false
+				break
+			}
+		}
+		if spansAll {
+			pushed = append(pushed, rules[i])
+		} else {
+			cuttable = append(cuttable, rules[i])
+		}
+	}
+	if len(cuttable) <= c.cfg.Binth {
+		c.leaves++
+		c.refs += len(rules)
+		return &hyNode{leaf: true, rules: rules}
+	}
+	orig := rules
+	c.refs += len(pushed)
+	rules = cuttable
+	n := &hyNode{dims: dims, rules: pushed}
+	budget := int(c.cfg.Spfac * float64(len(rules)))
+
+	// Grow cuts across the chosen dimensions round-robin while the
+	// replication estimate stays within budget.
+	ncuts := [2]uint32{1, 1}
+	for grew := true; grew; {
+		grew = false
+		for di := 0; di < 2; di++ {
+			if dims[di] < 0 {
+				continue
+			}
+			trial := ncuts
+			trial[di] *= 2
+			if trial[di] > regWidth(reg, dims[di]) || trial[0]*trial[1] > 16 {
+				continue
+			}
+			if c.replication(rules, reg, dims, trial)+int(trial[0]*trial[1]) <= budget {
+				ncuts = trial
+				grew = true
+			}
+		}
+	}
+	if ncuts[0]*ncuts[1] < 2 {
+		c.refs -= len(pushed)
+		c.leaves++
+		c.refs += len(orig)
+		return &hyNode{leaf: true, rules: orig}
+	}
+	n.ncuts = ncuts
+	for di := 0; di < 2; di++ {
+		if dims[di] < 0 {
+			n.lo[di], n.size[di] = 0, 1
+			continue
+		}
+		n.lo[di] = reg.lo[dims[di]]
+		n.size[di] = regWidth(reg, dims[di]) / ncuts[di]
+		if n.size[di] == 0 {
+			n.size[di] = 1
+		}
+	}
+	total := ncuts[0] * ncuts[1]
+	subs := make([][]rule.Rule, total)
+	regions := make([]region, total)
+	progress := false
+	for i := uint32(0); i < ncuts[0]; i++ {
+		for j := uint32(0); j < ncuts[1]; j++ {
+			child := subRegion(reg, dims, ncuts, n.size, i, j)
+			var sub []rule.Rule
+			for k := range rules {
+				if box := ruleBox(&rules[k]); box.overlaps(child) {
+					sub = append(sub, rules[k])
+				}
+			}
+			if len(sub) < len(rules) {
+				progress = true
+			}
+			subs[i*ncuts[1]+j], regions[i*ncuts[1]+j] = sub, child
+		}
+	}
+	// Same inseparable-rules guard as HiCuts: without progress the
+	// recursion would replicate the full list into every child forever.
+	if !progress {
+		c.refs -= len(pushed)
+		c.leaves++
+		c.refs += len(orig)
+		return &hyNode{leaf: true, rules: orig}
+	}
+	n.children = make([]*hyNode, total)
+	for idx := range subs {
+		n.children[idx] = c.build(subs[idx], regions[idx], depth+1)
+	}
+	return n
+}
+
+func subRegion(reg region, dims [2]int, ncuts [2]uint32, size [2]uint32, i, j uint32) region {
+	child := reg
+	idx := [2]uint32{i, j}
+	for di := 0; di < 2; di++ {
+		d := dims[di]
+		if d < 0 {
+			continue
+		}
+		child.lo[d] = reg.lo[d] + idx[di]*size[di]
+		if idx[di] == ncuts[di]-1 {
+			child.hi[d] = reg.hi[d]
+		} else {
+			child.hi[d] = reg.lo[d] + (idx[di]+1)*size[di] - 1
+		}
+	}
+	return child
+}
+
+func (c *HyperCuts) replication(rules []rule.Rule, reg region, dims [2]int, ncuts [2]uint32) int {
+	size := [2]uint32{1, 1}
+	for di := 0; di < 2; di++ {
+		if dims[di] < 0 {
+			continue
+		}
+		size[di] = regWidth(reg, dims[di]) / ncuts[di]
+		if size[di] == 0 {
+			size[di] = 1
+		}
+	}
+	total := 0
+	for i := uint32(0); i < ncuts[0]; i++ {
+		for j := uint32(0); j < ncuts[1]; j++ {
+			child := subRegion(reg, dims, ncuts, size, i, j)
+			for k := range rules {
+				if box := ruleBox(&rules[k]); box.overlaps(child) {
+					total++
+				}
+			}
+		}
+	}
+	return total
+}
+
+// pickDims selects the two dimensions with the most distinct projections
+// (above-average, per the HyperCuts heuristic).
+func (c *HyperCuts) pickDims(rules []rule.Rule, reg region) [2]int {
+	type dimScore struct {
+		dim      int
+		distinct int
+	}
+	var scores []dimScore
+	for d := 0; d < 5; d++ {
+		if regWidth(reg, d) < 2 {
+			continue
+		}
+		set := make(map[[2]uint32]struct{}, len(rules))
+		for i := range rules {
+			b := ruleBox(&rules[i])
+			set[[2]uint32{b.lo[d], b.hi[d]}] = struct{}{}
+		}
+		scores = append(scores, dimScore{dim: d, distinct: len(set)})
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].distinct > scores[j].distinct })
+	out := [2]int{-1, -1}
+	for i := 0; i < len(scores) && i < 2; i++ {
+		if scores[i].distinct > 1 {
+			out[i] = scores[i].dim
+		}
+	}
+	if out[0] < 0 && len(scores) > 0 {
+		out[0] = scores[0].dim
+	}
+	return out
+}
+
+// Match implements Classifier: walk to the leaf, scanning pushed rules at
+// each node, returning the best-priority match.
+func (c *HyperCuts) Match(h rule.Header) (rule.Rule, bool) {
+	if !c.built {
+		return rule.Rule{}, false
+	}
+	p := headerPoint(h)
+	best := rule.Rule{Priority: int(^uint(0) >> 1)}
+	found := false
+	scan := func(rules []rule.Rule) {
+		for i := range rules {
+			if rules[i].Priority >= best.Priority {
+				return
+			}
+			if rules[i].Matches(h) {
+				best = rules[i]
+				found = true
+				return
+			}
+		}
+	}
+	n := c.root
+	for n != nil && !n.leaf {
+		scan(n.rules)
+		var idx [2]uint32
+		for di := 0; di < 2; di++ {
+			d := n.dims[di]
+			if d < 0 {
+				continue
+			}
+			idx[di] = (p[d] - n.lo[di]) / n.size[di]
+			if idx[di] >= n.ncuts[di] {
+				idx[di] = n.ncuts[di] - 1
+			}
+		}
+		n = n.children[idx[0]*n.ncuts[1]+idx[1]]
+	}
+	if n != nil {
+		scan(n.rules)
+	}
+	if !found {
+		return rule.Rule{}, false
+	}
+	return best, true
+}
+
+// MemoryBytes implements Classifier.
+func (c *HyperCuts) MemoryBytes() int { return c.nodes*32 + c.refs*8 }
+
+// TreeStats reports structure counters.
+func (c *HyperCuts) TreeStats() (nodes, leaves, ruleRefs int) {
+	return c.nodes, c.leaves, c.refs
+}

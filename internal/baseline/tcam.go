@@ -1,0 +1,172 @@
+package baseline
+
+import (
+	"repro/internal/rule"
+)
+
+// TCAM simulates a Ternary Content Addressable Memory classifier. Each
+// rule becomes one or more ternary entries: prefix and exact fields map
+// directly, while port ranges must be converted to minimal prefix cover
+// sets — the range-to-prefix expansion whose "memory blow-up" the paper
+// cites as TCAM's weakness. Hardware compares all entries in parallel
+// (O(1) lookup); the simulation scans entries in priority order.
+type TCAM struct {
+	entries []tcamEntry
+	// byRule maps rule ID to its expanded entry count for delete and for
+	// the expansion-factor report.
+	byRule map[int]int
+}
+
+// tcamEntry is one ternary line: value/mask per field plus the rule it
+// encodes.
+type tcamEntry struct {
+	srcV, srcM uint32
+	dstV, dstM uint32
+	spV, spM   uint16
+	dpV, dpM   uint16
+	prV, prM   uint8
+	r          rule.Rule
+}
+
+func (e *tcamEntry) matches(h rule.Header) bool {
+	return (h.SrcIP^e.srcV)&e.srcM == 0 &&
+		(h.DstIP^e.dstV)&e.dstM == 0 &&
+		(h.SrcPort^e.spV)&e.spM == 0 &&
+		(h.DstPort^e.dpV)&e.dpM == 0 &&
+		(h.Proto^e.prV)&e.prM == 0
+}
+
+// NewTCAM returns an empty TCAM.
+func NewTCAM() *TCAM { return &TCAM{byRule: make(map[int]int)} }
+
+// Name implements Classifier.
+func (t *TCAM) Name() string { return "TCAM" }
+
+// Build implements Classifier.
+func (t *TCAM) Build(s *rule.Set) error {
+	t.entries = t.entries[:0]
+	t.byRule = make(map[int]int, s.Len())
+	for _, r := range s.Rules() {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert expands the rule into ternary entries placed in priority order.
+func (t *TCAM) Insert(r rule.Rule) error {
+	if _, dup := t.byRule[r.ID]; dup {
+		return rule.ErrDuplicateID
+	}
+	spCovers := rangeToPrefixes(r.SrcPort)
+	dpCovers := rangeToPrefixes(r.DstPort)
+	added := 0
+	for _, sp := range spCovers {
+		for _, dp := range dpCovers {
+			e := tcamEntry{
+				srcV: r.SrcIP.Addr, srcM: r.SrcIP.Mask(),
+				dstV: r.DstIP.Addr, dstM: r.DstIP.Mask(),
+				spV: sp.value, spM: sp.mask,
+				dpV: dp.value, dpM: dp.mask,
+				prV: r.Proto.Value, prM: r.Proto.Mask,
+				r: r,
+			}
+			t.insertOrdered(e)
+			added++
+		}
+	}
+	t.byRule[r.ID] = added
+	return nil
+}
+
+func (t *TCAM) insertOrdered(e tcamEntry) {
+	i := 0
+	for i < len(t.entries) && t.entries[i].r.Priority <= e.r.Priority {
+		i++
+	}
+	t.entries = append(t.entries, tcamEntry{})
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+}
+
+// Delete removes all entries of a rule.
+func (t *TCAM) Delete(id int) error {
+	if _, ok := t.byRule[id]; !ok {
+		return ErrUnknownRule
+	}
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if e.r.ID != id {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	delete(t.byRule, id)
+	return nil
+}
+
+// Match scans in priority order; hardware does this comparison in parallel
+// in a single cycle.
+func (t *TCAM) Match(h rule.Header) (rule.Rule, bool) {
+	for i := range t.entries {
+		if t.entries[i].matches(h) {
+			return t.entries[i].r, true
+		}
+	}
+	return rule.Rule{}, false
+}
+
+// MemoryBytes implements Classifier: each ternary line stores 104 bits of
+// value and 104 bits of mask plus a rule pointer (TCAM cells are ~2x SRAM
+// area per bit on top of that, which is part of the paper's cost point;
+// we report raw bits).
+func (t *TCAM) MemoryBytes() int { return len(t.entries) * (26 + 26 + 4) }
+
+// IncrementalUpdate implements Classifier.
+func (t *TCAM) IncrementalUpdate() bool { return true }
+
+// Entries returns the ternary line count (the expansion measurement).
+func (t *TCAM) Entries() int { return len(t.entries) }
+
+// ExpansionFactor returns entries per rule, the range-expansion blow-up.
+func (t *TCAM) ExpansionFactor() float64 {
+	if len(t.byRule) == 0 {
+		return 0
+	}
+	return float64(len(t.entries)) / float64(len(t.byRule))
+}
+
+// ternaryPort is a value/mask pair covering a power-of-two aligned port
+// block.
+type ternaryPort struct {
+	value, mask uint16
+}
+
+// rangeToPrefixes computes the minimal prefix cover of an inclusive
+// 16-bit range: the classic splitting that makes TCAM ranges expensive
+// (worst case 2W-2 = 30 entries per range).
+func rangeToPrefixes(r rule.PortRange) []ternaryPort {
+	var out []ternaryPort
+	lo, hi := uint32(r.Lo), uint32(r.Hi)
+	for lo <= hi {
+		// Largest power-of-two block starting at lo that fits in [lo,hi].
+		size := uint32(1)
+		for {
+			next := size * 2
+			if lo&(next-1) != 0 || lo+next-1 > hi {
+				break
+			}
+			size = next
+		}
+		out = append(out, ternaryPort{
+			value: uint16(lo),
+			mask:  uint16(^(size - 1)),
+		})
+		lo += size
+		if lo == 0 {
+			break // wrapped past 65535
+		}
+	}
+	return out
+}

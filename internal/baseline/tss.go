@@ -1,0 +1,313 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/rule"
+)
+
+// TSS implements Tuple Space Search (Srinivasan, Suri, Varghese —
+// SIGCOMM'99): rules are grouped into tuples by the specified bits of each
+// field, and each tuple is an exact-match hash table probed with the
+// correspondingly masked header. Port ranges, which have no mask form, are
+// handled as in the original paper by mapping each range to its nesting
+// level within the field's stored ranges and probing with candidate range
+// IDs per level.
+//
+// Lookup cost is one hash probe per occupied tuple (times port-range
+// candidates); updates are a hash insert/delete (the "Yes" row of
+// Table I), with the caveat that adding a range that changes nesting
+// levels re-tuples the affected rules.
+type TSS struct {
+	rules  map[int]rule.Rule
+	tuples map[tssTuple]map[tssKey][]ruleRefBL
+	sp     *rangeRegistry
+	dp     *rangeRegistry
+}
+
+// tssTuple identifies a hash table: IP prefix lengths, port nesting
+// levels, and whether the protocol is specified.
+type tssTuple struct {
+	srcLen, dstLen uint8
+	spLvl, dpLvl   int8 // -1 = wildcard range
+	protoExact     bool
+}
+
+// tssKey is the masked exact-match key within a tuple.
+type tssKey struct {
+	src, dst uint32
+	spID     int16 // range ID at the tuple's nesting level; -1 wildcard
+	dpID     int16
+	proto    uint8
+}
+
+// rangeRegistry tracks the distinct ranges of one port field with
+// reference counts, assigning IDs and nesting levels. The wildcard range
+// is level -1 with ID -1 (it matches everything, so it needs no ID).
+type rangeRegistry struct {
+	ranges map[rule.PortRange]*rangeInfo
+	nextID int16
+}
+
+type rangeInfo struct {
+	id    int16
+	level int8
+	refs  int
+}
+
+func newRangeRegistry() *rangeRegistry {
+	return &rangeRegistry{ranges: make(map[rule.PortRange]*rangeInfo)}
+}
+
+// levelOf computes the nesting level of r among the stored ranges: the
+// number of stored non-wildcard ranges strictly containing it.
+func (g *rangeRegistry) levelOf(r rule.PortRange) int8 {
+	if r.IsWildcard() {
+		return -1
+	}
+	lvl := int8(0)
+	for q := range g.ranges {
+		if q != r && !q.IsWildcard() && q.Contains(r) {
+			lvl++
+		}
+	}
+	return lvl
+}
+
+// acquire registers a range, returning its info and whether any existing
+// range's level changed (requiring re-tupling).
+func (g *rangeRegistry) acquire(r rule.PortRange) (*rangeInfo, bool) {
+	if info, ok := g.ranges[r]; ok {
+		info.refs++
+		return info, false
+	}
+	info := &rangeInfo{id: g.nextID, level: g.levelOf(r), refs: 1}
+	if r.IsWildcard() {
+		info.id = -1
+	} else {
+		g.nextID++
+	}
+	g.ranges[r] = info
+	changed := g.refreshLevels()
+	return info, changed
+}
+
+// release drops a reference; returns whether levels changed.
+func (g *rangeRegistry) release(r rule.PortRange) bool {
+	info, ok := g.ranges[r]
+	if !ok {
+		return false
+	}
+	info.refs--
+	if info.refs > 0 {
+		return false
+	}
+	delete(g.ranges, r)
+	return g.refreshLevels()
+}
+
+// refreshLevels recomputes all nesting levels; reports any change.
+func (g *rangeRegistry) refreshLevels() bool {
+	changed := false
+	for r, info := range g.ranges {
+		if l := g.levelOf(r); l != info.level {
+			info.level = l
+			changed = true
+		}
+	}
+	return changed
+}
+
+// candidates appends (level, id) pairs of stored ranges containing p,
+// sorted by level so tuple probes line up.
+func (g *rangeRegistry) candidates(p uint16) []rangeCandidate {
+	var out []rangeCandidate
+	for r, info := range g.ranges {
+		if r.Matches(p) {
+			out = append(out, rangeCandidate{level: info.level, id: info.id})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].level < out[j].level })
+	return out
+}
+
+type rangeCandidate struct {
+	level int8
+	id    int16
+}
+
+// NewTSS returns an empty TSS classifier.
+func NewTSS() *TSS {
+	return &TSS{
+		rules:  make(map[int]rule.Rule),
+		tuples: make(map[tssTuple]map[tssKey][]ruleRefBL),
+		sp:     newRangeRegistry(),
+		dp:     newRangeRegistry(),
+	}
+}
+
+// Name implements Classifier.
+func (c *TSS) Name() string { return "TSS" }
+
+// IncrementalUpdate implements Classifier.
+func (c *TSS) IncrementalUpdate() bool { return true }
+
+// Build implements Classifier.
+func (c *TSS) Build(s *rule.Set) error {
+	fresh := NewTSS()
+	*c = *fresh
+	for _, r := range s.Rules() {
+		if err := c.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// place computes a rule's tuple and key from the current registries.
+func (c *TSS) place(r rule.Rule) (tssTuple, tssKey) {
+	spInfo := c.sp.ranges[r.SrcPort]
+	dpInfo := c.dp.ranges[r.DstPort]
+	t := tssTuple{
+		srcLen: r.SrcIP.Len, dstLen: r.DstIP.Len,
+		spLvl: spInfo.level, dpLvl: dpInfo.level,
+		protoExact: !r.Proto.IsWildcard(),
+	}
+	k := tssKey{
+		src: r.SrcIP.Addr & r.SrcIP.Mask(), dst: r.DstIP.Addr & r.DstIP.Mask(),
+		spID: spInfo.id, dpID: dpInfo.id,
+	}
+	if t.protoExact {
+		k.proto = r.Proto.Value
+	}
+	return t, k
+}
+
+func (c *TSS) addEntry(r rule.Rule) {
+	t, k := c.place(r)
+	tbl := c.tuples[t]
+	if tbl == nil {
+		tbl = make(map[tssKey][]ruleRefBL)
+		c.tuples[t] = tbl
+	}
+	refs := tbl[k]
+	i := 0
+	for i < len(refs) && refs[i].priority < r.Priority {
+		i++
+	}
+	refs = append(refs, ruleRefBL{})
+	copy(refs[i+1:], refs[i:])
+	refs[i] = ruleRefBL{id: r.ID, priority: r.Priority}
+	tbl[k] = refs
+}
+
+func (c *TSS) removeEntry(r rule.Rule) {
+	t, k := c.place(r)
+	tbl := c.tuples[t]
+	refs := tbl[k]
+	for i := range refs {
+		if refs[i].id == r.ID {
+			refs = append(refs[:i], refs[i+1:]...)
+			break
+		}
+	}
+	if len(refs) == 0 {
+		delete(tbl, k)
+		if len(tbl) == 0 {
+			delete(c.tuples, t)
+		}
+	} else {
+		tbl[k] = refs
+	}
+}
+
+// retuple rebuilds every entry after a nesting-level change (rare: only
+// when a new distinct range alters containment structure).
+func (c *TSS) retuple() {
+	c.tuples = make(map[tssTuple]map[tssKey][]ruleRefBL)
+	for _, r := range c.rules {
+		c.addEntry(r)
+	}
+}
+
+// Insert implements Classifier.
+func (c *TSS) Insert(r rule.Rule) error {
+	if _, dup := c.rules[r.ID]; dup {
+		return rule.ErrDuplicateID
+	}
+	_, ch1 := c.sp.acquire(r.SrcPort)
+	_, ch2 := c.dp.acquire(r.DstPort)
+	c.rules[r.ID] = r
+	if ch1 || ch2 {
+		c.retuple()
+	} else {
+		c.addEntry(r)
+	}
+	return nil
+}
+
+// Delete implements Classifier.
+func (c *TSS) Delete(id int) error {
+	r, ok := c.rules[id]
+	if !ok {
+		return ErrUnknownRule
+	}
+	c.removeEntry(r)
+	delete(c.rules, id)
+	ch1 := c.sp.release(r.SrcPort)
+	ch2 := c.dp.release(r.DstPort)
+	if ch1 || ch2 {
+		c.retuple()
+	}
+	return nil
+}
+
+// Match implements Classifier: probe every occupied tuple with the
+// correspondingly masked header and candidate port-range IDs.
+func (c *TSS) Match(h rule.Header) (rule.Rule, bool) {
+	spCands := c.sp.candidates(h.SrcPort)
+	dpCands := c.dp.candidates(h.DstPort)
+	best := ruleRefBL{priority: int(^uint(0) >> 1)}
+	found := false
+	for t, tbl := range c.tuples {
+		srcMask := (rule.Prefix{Len: t.srcLen}).Mask()
+		dstMask := (rule.Prefix{Len: t.dstLen}).Mask()
+		for _, spc := range spCands {
+			if spc.level != t.spLvl {
+				continue
+			}
+			for _, dpc := range dpCands {
+				if dpc.level != t.dpLvl {
+					continue
+				}
+				k := tssKey{
+					src: h.SrcIP & srcMask, dst: h.DstIP & dstMask,
+					spID: spc.id, dpID: dpc.id,
+				}
+				if t.protoExact {
+					k.proto = h.Proto
+				}
+				if refs := tbl[k]; len(refs) > 0 && refs[0].priority < best.priority {
+					best = refs[0]
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		return rule.Rule{}, false
+	}
+	return c.rules[best.id], true
+}
+
+// MemoryBytes implements Classifier: tuple tables plus range registries.
+func (c *TSS) MemoryBytes() int {
+	entries := 0
+	for _, tbl := range c.tuples {
+		entries += len(tbl)
+	}
+	return entries*20 + (len(c.sp.ranges)+len(c.dp.ranges))*8 + len(c.tuples)*16
+}
+
+// TupleCount reports the occupied tuple count (the M of Table I's O(M+N)).
+func (c *TSS) TupleCount() int { return len(c.tuples) }

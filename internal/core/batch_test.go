@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lpm"
+	"repro/internal/ruleset"
+)
+
+func TestLookupBatchMatchesSingle(t *testing.T) {
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := ruleset.GenerateTrace(s, ruleset.TraceConfig{Size: 400, HitRatio: 0.8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := NewV4(Config{}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := NewV4(Config{}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headers := make([]Header[lpm.V4], len(trace))
+	for i, h := range trace {
+		headers[i] = V4Header(h)
+	}
+	batch, total := a.LookupBatch(headers)
+	if len(batch) != len(headers) {
+		t.Fatalf("batch returned %d results", len(batch))
+	}
+	var sum int
+	for i, h := range headers {
+		single, cost := b.Lookup(h)
+		if batch[i] != single {
+			t.Fatalf("batch[%d] = %+v, single = %+v", i, batch[i], single)
+		}
+		sum += cost.Cycles
+	}
+	if total.Cycles != sum {
+		t.Errorf("batch total cycles %d != summed %d", total.Cycles, sum)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lpm"
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+// TestChurnDifferential interleaves inserts, deletes and lookups against a
+// mirrored oracle rule list, exercising label recycling, partial-map
+// refcounts and rule-filter maintenance under sustained update pressure —
+// the per-flow-queue router scenario of Section IV.B.
+func TestChurnDifferential(t *testing.T) {
+	for _, cfgName := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"MBT", Config{LPM: LPMMultiBitTrie, Range: RangeSegmentTree}},
+		{"BST", Config{LPM: LPMBinarySearchTree, Range: RangeSegmentTree}},
+	} {
+		cfgName := cfgName
+		t.Run(cfgName.name, func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(77))
+			c, err := New[lpm.V4](cfgName.cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool, err := ruleset.Generate(ruleset.Config{Family: ruleset.IPC, Size: 600, Seed: 21})
+			if err != nil {
+				t.Fatal(err)
+			}
+			candidates := pool.Rules()
+
+			live := make(map[int]rule.Rule)
+			nextIdx := 0
+			for op := 0; op < 3000; op++ {
+				switch {
+				case nextIdx < len(candidates) && (len(live) == 0 || rnd.Intn(3) > 0):
+					r := candidates[nextIdx]
+					nextIdx++
+					if _, err := c.Insert(V4Tuple(r)); err != nil {
+						t.Fatalf("op %d insert: %v", op, err)
+					}
+					live[r.ID] = r
+				case len(live) > 0:
+					// Delete a random live rule.
+					var id int
+					k := rnd.Intn(len(live))
+					for cand := range live {
+						if k == 0 {
+							id = cand
+							break
+						}
+						k--
+					}
+					if _, err := c.Delete(id); err != nil {
+						t.Fatalf("op %d delete(%d): %v", op, id, err)
+					}
+					delete(live, id)
+				}
+
+				// Every few ops, differential-check a handful of lookups.
+				if op%7 != 0 {
+					continue
+				}
+				for probe := 0; probe < 5; probe++ {
+					var h rule.Header
+					if len(live) > 0 && rnd.Intn(2) == 0 {
+						// Sample inside a live rule.
+						var r rule.Rule
+						k := rnd.Intn(len(live))
+						for _, cand := range live {
+							if k == 0 {
+								r = cand
+								break
+							}
+							k--
+						}
+						h = ruleset.SampleHeader(rnd, &r)
+					} else {
+						h = rule.Header{
+							SrcIP: rnd.Uint32(), DstIP: rnd.Uint32(),
+							SrcPort: uint16(rnd.Intn(1 << 16)), DstPort: uint16(rnd.Intn(1 << 16)),
+							Proto: uint8(rnd.Intn(256)),
+						}
+					}
+					got, _ := c.Lookup(V4Header(h))
+					// Oracle over the live map.
+					bestPrio, bestID, found := int(^uint(0)>>1), 0, false
+					for _, r := range live {
+						if r.Matches(h) && r.Priority < bestPrio {
+							bestPrio, bestID, found = r.Priority, r.ID, true
+						}
+					}
+					if got.Found != found || (found && got.RuleID != bestID) {
+						t.Fatalf("op %d: lookup %+v = (%d,%v), oracle (%d,%v); %d live rules",
+							op, h, got.RuleID, got.Found, bestID, found, len(live))
+					}
+				}
+			}
+			if c.Len() != len(live) {
+				t.Fatalf("Len = %d, oracle %d", c.Len(), len(live))
+			}
+		})
+	}
+}
+
+// TestLabelSpaceStableAcrossChurn verifies the paper's stable-label
+// requirement: churn must not grow the label space beyond the live spec
+// population (labels are recycled, never renumbered).
+func TestLabelSpaceStableAcrossChurn(t *testing.T) {
+	c, err := New[lpm.V4](Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id int, last byte) Tuple[lpm.V4] {
+		return V4Tuple(rule.Rule{
+			ID: id, Priority: id,
+			SrcIP:   rule.Prefix{Addr: 0x0a000000 | uint32(last), Len: 32},
+			SrcPort: rule.FullPortRange(), DstPort: rule.ExactPort(80),
+			Proto: rule.ExactProto(rule.ProtoTCP),
+		})
+	}
+	// Insert/delete the same shape of rule many times.
+	for i := 1; i <= 500; i++ {
+		if _, err := c.Insert(mk(i, byte(i%8))); err != nil {
+			t.Fatal(err)
+		}
+		if i > 4 {
+			if _, err := c.Delete(i - 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := c.Stats()
+	// Only 8 distinct source prefixes ever exist, at most 4 live at once
+	// plus the shared port/proto specs; the label space must stay small.
+	if st.Labels[fieldSrcIP] > 8 {
+		t.Errorf("source label count %d, want <= 8 (labels must be recycled)", st.Labels[fieldSrcIP])
+	}
+}

@@ -1,0 +1,278 @@
+// Package core implements the paper's contribution: the programmable
+// multi-dimensional lookup architecture of Fig. 1. A Classifier is the
+// lookup domain — Packet Header Partition, per-field Search Engines, Label
+// Combination (Unique Label Identifier) and Rule Filter — configured and
+// updated by the decision-control functions in this package (algorithm
+// selection, rule-to-label compilation, incremental update).
+//
+// The classifier is generic over the IP address width, so the same
+// architecture serves IPv4 and IPv6 rulesets, one of the paper's
+// motivating requirements.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/exactmatch"
+	"repro/internal/hwsim"
+	"repro/internal/label"
+	"repro/internal/lpm"
+	"repro/internal/rangematch"
+	"repro/internal/rule"
+)
+
+// Errors returned by the classifier.
+var (
+	ErrUnknownAlgorithm = errors.New("unknown algorithm selection")
+	ErrDuplicateRule    = errors.New("duplicate rule id")
+	ErrUnknownRule      = errors.New("unknown rule id")
+)
+
+// LPMAlgo selects the IP-field engine.
+type LPMAlgo int
+
+// LPM engine candidates (Section III.C.1).
+const (
+	// LPMMultiBitTrie is the paper's MBT mode: fast pipelined lookup,
+	// storage-hungry updates.
+	LPMMultiBitTrie LPMAlgo = iota + 1
+	// LPMBinarySearchTree is the paper's BST mode: space-efficient, slow
+	// sequential lookup.
+	LPMBinarySearchTree
+	// LPMAMTrie is the adaptive variable-stride trie.
+	LPMAMTrie
+)
+
+// String returns the mode name used in the figures.
+func (a LPMAlgo) String() string {
+	switch a {
+	case LPMMultiBitTrie:
+		return "MBT"
+	case LPMBinarySearchTree:
+		return "BST"
+	case LPMAMTrie:
+		return "AM-Trie"
+	default:
+		return fmt.Sprintf("lpm(%d)", int(a))
+	}
+}
+
+// RangeAlgo selects the port-field engine.
+type RangeAlgo int
+
+// Range engine candidates (Section III.C.2).
+const (
+	RangeRegisterBank RangeAlgo = iota + 1
+	RangeSegmentTree
+	RangeRangeTree
+)
+
+// String returns the engine name.
+func (a RangeAlgo) String() string {
+	switch a {
+	case RangeRegisterBank:
+		return "RegisterBank"
+	case RangeSegmentTree:
+		return "SegmentTree"
+	case RangeRangeTree:
+		return "RangeTree"
+	default:
+		return fmt.Sprintf("range(%d)", int(a))
+	}
+}
+
+// ExactAlgo selects the protocol-field engine.
+type ExactAlgo int
+
+// Exact engine candidates (Section III.C.3).
+const (
+	ExactDirectIndex ExactAlgo = iota + 1
+	ExactHashTable
+)
+
+// String returns the engine name.
+func (a ExactAlgo) String() string {
+	switch a {
+	case ExactDirectIndex:
+		return "DirectIndex"
+	case ExactHashTable:
+		return "HashTable"
+	default:
+		return fmt.Sprintf("exact(%d)", int(a))
+	}
+}
+
+// CombineMode selects the ULI strategy.
+type CombineMode int
+
+// ULI strategies.
+const (
+	// CombinePruned is the optimized mode: the decision controller's
+	// label-rule mapping provides a per-label best-priority bound, and
+	// the ULI prunes label combinations that cannot beat the best match
+	// found so far (Section III.D's reduction of label combination time).
+	CombinePruned CombineMode = iota + 1
+	// CombineExhaustive probes every label combination — the worst-case
+	// LCT of Eq. 1, kept for the ablation study.
+	CombineExhaustive
+)
+
+// Config selects the algorithm set, the pre-lookup decision the paper
+// assigns to the Decision Control Domain.
+type Config struct {
+	LPM   LPMAlgo
+	Range RangeAlgo
+	Exact ExactAlgo
+	// MBTStride is the stride for LPMMultiBitTrie; 0 selects 8 (the
+	// four-stage IPv4 pipeline).
+	MBTStride int
+	// BankCapacity sizes the register bank; 0 selects the default.
+	BankCapacity int
+	// MaxLabels bounds the per-field label lists; 0 selects the paper's
+	// five. Lists that would exceed the bound are still evaluated
+	// correctly in software but counted in Stats as hardware overflows.
+	MaxLabels int
+	// Combine selects the ULI strategy; 0 selects CombinePruned.
+	Combine CombineMode
+}
+
+func (c Config) withDefaults() Config {
+	if c.LPM == 0 {
+		c.LPM = LPMMultiBitTrie
+	}
+	if c.Range == 0 {
+		c.Range = RangeRegisterBank
+	}
+	if c.Exact == 0 {
+		c.Exact = ExactDirectIndex
+	}
+	if c.MBTStride == 0 {
+		c.MBTStride = 8
+	}
+	if c.MaxLabels == 0 {
+		c.MaxLabels = label.MaxPerField
+	}
+	if c.Combine == 0 {
+		c.Combine = CombinePruned
+	}
+	return c
+}
+
+// Tuple is a compiled-for-lookup rule over a generic address key.
+type Tuple[K lpm.Key[K]] struct {
+	ID       int
+	Priority int
+	Src, Dst lpm.Prefix[K]
+	SrcPort  rule.PortRange
+	DstPort  rule.PortRange
+	Proto    rule.ProtoMatch
+	Action   rule.Action
+}
+
+// Matches reports whether the tuple matches the header (the reference
+// semantics the classifier must agree with).
+func (t *Tuple[K]) Matches(h Header[K]) bool {
+	return t.Src.Matches(h.Src) && t.Dst.Matches(h.Dst) &&
+		t.SrcPort.Matches(h.SrcPort) && t.DstPort.Matches(h.DstPort) &&
+		t.Proto.Matches(h.Proto)
+}
+
+// Header is the partitioned 5-tuple point over a generic address key.
+type Header[K lpm.Key[K]] struct {
+	Src, Dst K
+	SrcPort  uint16
+	DstPort  uint16
+	Proto    uint8
+}
+
+// V4Tuple converts a rule-model rule.
+func V4Tuple(r rule.Rule) Tuple[lpm.V4] {
+	return Tuple[lpm.V4]{
+		ID:       r.ID,
+		Priority: r.Priority,
+		Src:      lpm.V4Prefix(r.SrcIP),
+		Dst:      lpm.V4Prefix(r.DstIP),
+		SrcPort:  r.SrcPort,
+		DstPort:  r.DstPort,
+		Proto:    r.Proto,
+		Action:   r.Action,
+	}
+}
+
+// V4Header converts a rule-model header.
+func V4Header(h rule.Header) Header[lpm.V4] {
+	return Header[lpm.V4]{
+		Src: lpm.V4(h.SrcIP), Dst: lpm.V4(h.DstIP),
+		SrcPort: h.SrcPort, DstPort: h.DstPort, Proto: h.Proto,
+	}
+}
+
+// V6Tuple converts a rule-model IPv6 rule.
+func V6Tuple(r rule.Rule6) Tuple[lpm.V6] {
+	return Tuple[lpm.V6]{
+		ID:       r.ID,
+		Priority: r.Priority,
+		Src:      lpm.V6Prefix(r.SrcIP),
+		Dst:      lpm.V6Prefix(r.DstIP),
+		SrcPort:  r.SrcPort,
+		DstPort:  r.DstPort,
+		Proto:    r.Proto,
+		Action:   r.Action,
+	}
+}
+
+// V6Header converts a rule-model IPv6 header.
+func V6Header(h rule.Header6) Header[lpm.V6] {
+	return Header[lpm.V6]{
+		Src: lpm.V6FromAddr(h.SrcIP), Dst: lpm.V6FromAddr(h.DstIP),
+		SrcPort: h.SrcPort, DstPort: h.DstPort, Proto: h.Proto,
+	}
+}
+
+// lpmEngine is the label-method LPM engine shape shared by MBT and BST.
+type lpmEngine[K lpm.Key[K]] interface {
+	Insert(p lpm.Prefix[K], lab label.Label) hwsim.Cost
+	Delete(p lpm.Prefix[K]) (label.Label, hwsim.Cost, bool)
+	Lookup(k K, buf []label.Label) ([]label.Label, hwsim.Cost)
+	Len() int
+	Memory() hwsim.MemoryMap
+}
+
+func newLPMEngine[K lpm.Key[K]](cfg Config, lens []uint8) (lpmEngine[K], error) {
+	switch cfg.LPM {
+	case LPMMultiBitTrie:
+		return lpm.NewMultiBitTrie[K](cfg.MBTStride)
+	case LPMBinarySearchTree:
+		return lpm.NewBST[K](), nil
+	case LPMAMTrie:
+		var zero K
+		return lpm.NewVariableStrideTrie[K](lpm.ChooseStrides(zero.Bits(), lens, cfg.MBTStride))
+	default:
+		return nil, fmt.Errorf("lpm algorithm %d: %w", int(cfg.LPM), ErrUnknownAlgorithm)
+	}
+}
+
+func newRangeEngine(cfg Config) (rangematch.Engine, error) {
+	switch cfg.Range {
+	case RangeRegisterBank:
+		return rangematch.NewRegisterBank(cfg.BankCapacity), nil
+	case RangeSegmentTree:
+		return rangematch.NewSegmentTree(), nil
+	case RangeRangeTree:
+		return rangematch.NewRangeTree(), nil
+	default:
+		return nil, fmt.Errorf("range algorithm %d: %w", int(cfg.Range), ErrUnknownAlgorithm)
+	}
+}
+
+func newExactEngine(cfg Config) (exactmatch.Engine, error) {
+	switch cfg.Exact {
+	case ExactDirectIndex:
+		return exactmatch.NewDirectIndex(), nil
+	case ExactHashTable:
+		return exactmatch.NewHashTable(64, 0), nil
+	default:
+		return nil, fmt.Errorf("exact algorithm %d: %w", int(cfg.Exact), ErrUnknownAlgorithm)
+	}
+}

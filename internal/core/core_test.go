@@ -1,0 +1,499 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lpm"
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+// configsUnderTest enumerates representative algorithm selections.
+func configsUnderTest() map[string]Config {
+	return map[string]Config{
+		"MBT/bank/direct":  {LPM: LPMMultiBitTrie, Range: RangeRegisterBank, Exact: ExactDirectIndex},
+		"BST/bank/direct":  {LPM: LPMBinarySearchTree, Range: RangeRegisterBank, Exact: ExactDirectIndex},
+		"AMT/bank/direct":  {LPM: LPMAMTrie, Range: RangeRegisterBank, Exact: ExactDirectIndex},
+		"MBT/seg/hash":     {LPM: LPMMultiBitTrie, Range: RangeSegmentTree, Exact: ExactHashTable},
+		"BST/rtree/direct": {LPM: LPMBinarySearchTree, Range: RangeRangeTree, Exact: ExactDirectIndex},
+		"MBT/exhaustive":   {LPM: LPMMultiBitTrie, Combine: CombineExhaustive},
+		"MBT/stride4":      {LPM: LPMMultiBitTrie, MBTStride: 4},
+	}
+}
+
+func buildClassifier(t *testing.T, cfg Config, s *rule.Set) *Classifier[lpm.V4] {
+	t.Helper()
+	c, err := New[lpm.V4](cfg, PrefixLens(s))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := c.Build(CompileSet(s)); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c
+}
+
+func checkAgainstOracle(t *testing.T, c *Classifier[lpm.V4], s *rule.Set, headers []rule.Header, phase string) {
+	t.Helper()
+	for i, h := range headers {
+		got, _ := c.Lookup(V4Header(h))
+		want, ok := s.Match(h)
+		if got.Found != ok {
+			t.Fatalf("%s header %d: Found=%v, oracle=%v (header %+v)", phase, i, got.Found, ok, h)
+		}
+		if ok && got.RuleID != want.ID {
+			t.Fatalf("%s header %d: rule %d (prio %d), oracle rule %d (prio %d)",
+				phase, i, got.RuleID, got.Priority, want.ID, want.Priority)
+		}
+		if ok && got.Action != want.Action {
+			t.Fatalf("%s header %d: action %v, oracle %v", phase, i, got.Action, want.Action)
+		}
+	}
+}
+
+func TestClassifierMatchesOracleAllConfigs(t *testing.T) {
+	for name, cfg := range configsUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			for _, fam := range ruleset.Families() {
+				s, err := ruleset.Generate(ruleset.Config{Family: fam, Size: 400, Seed: 3})
+				if err != nil {
+					t.Fatalf("Generate: %v", err)
+				}
+				trace, err := ruleset.GenerateTrace(s, ruleset.TraceConfig{Size: 1500, HitRatio: 0.8, Seed: 5})
+				if err != nil {
+					t.Fatalf("GenerateTrace: %v", err)
+				}
+				c := buildClassifier(t, cfg, s)
+				checkAgainstOracle(t, c, s, trace, fam.String())
+			}
+		})
+	}
+}
+
+func TestIncrementalInsertEqualsRebuild(t *testing.T) {
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.IPC, Size: 300, Seed: 9})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	tuples := CompileSet(s)
+	trace, err := ruleset.GenerateTrace(s, ruleset.TraceConfig{Size: 800, HitRatio: 0.8, Seed: 6})
+	if err != nil {
+		t.Fatalf("GenerateTrace: %v", err)
+	}
+
+	// Classifier A: bulk build. Classifier B: insert shuffled.
+	a, err := New[lpm.V4](Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Build(tuples); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New[lpm.V4](Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(4))
+	shuffled := append([]Tuple[lpm.V4](nil), tuples...)
+	rnd.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	for _, tp := range shuffled {
+		if _, err := b.Insert(tp); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	for _, h := range trace {
+		ra, _ := a.Lookup(V4Header(h))
+		rb, _ := b.Lookup(V4Header(h))
+		if ra != rb && (ra.RuleID != rb.RuleID || ra.Found != rb.Found) {
+			t.Fatalf("order-dependent result: %+v vs %+v", ra, rb)
+		}
+	}
+}
+
+func TestDeleteThenLookup(t *testing.T) {
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 300, Seed: 2})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	c := buildClassifier(t, Config{}, s)
+
+	// Delete every third rule, keep an equivalent oracle set.
+	var kept []rule.Rule
+	for i, r := range s.Rules() {
+		if i%3 == 0 {
+			if _, err := c.Delete(r.ID); err != nil {
+				t.Fatalf("Delete(%d): %v", r.ID, err)
+			}
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	s2, err := rule.NewSet(kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := ruleset.GenerateTrace(s, ruleset.TraceConfig{Size: 1500, HitRatio: 0.8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, c, s2, trace, "after-delete")
+
+	if c.Len() != len(kept) {
+		t.Errorf("Len = %d, want %d", c.Len(), len(kept))
+	}
+}
+
+func TestDeleteAllEmptiesClassifier(t *testing.T) {
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.FW, Size: 100, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildClassifier(t, Config{}, s)
+	for _, r := range s.Rules() {
+		if _, err := c.Delete(r.ID); err != nil {
+			t.Fatalf("Delete(%d): %v", r.ID, err)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", c.Len())
+	}
+	st := c.Stats()
+	for f, n := range st.Labels {
+		if n != 0 {
+			t.Errorf("field %d still has %d labels", f, n)
+		}
+	}
+	res, _ := c.Lookup(Header[lpm.V4]{Src: 1, Dst: 2, Proto: rule.ProtoTCP})
+	if res.Found {
+		t.Error("empty classifier found a match")
+	}
+}
+
+func TestDuplicateAndUnknownRuleErrors(t *testing.T) {
+	c, err := New[lpm.V4](Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := V4Tuple(rule.Rule{
+		ID: 1, Priority: 1,
+		SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(),
+		Proto: rule.ExactProto(rule.ProtoTCP),
+	})
+	if _, err := c.Insert(tp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(tp); err == nil {
+		t.Error("duplicate insert should fail")
+	}
+	if _, err := c.Delete(99); err == nil {
+		t.Error("unknown delete should fail")
+	}
+}
+
+func TestLabelReuseAcrossRules(t *testing.T) {
+	// Two rules sharing the same source prefix must share its label.
+	c, err := New[lpm.V4](Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := rule.Prefix{Addr: 0x0a000000, Len: 8}
+	r1 := rule.Rule{ID: 1, Priority: 1, SrcIP: shared, SrcPort: rule.FullPortRange(), DstPort: rule.ExactPort(80), Proto: rule.ExactProto(rule.ProtoTCP)}
+	r2 := rule.Rule{ID: 2, Priority: 2, SrcIP: shared, SrcPort: rule.FullPortRange(), DstPort: rule.ExactPort(443), Proto: rule.ExactProto(rule.ProtoTCP)}
+	if _, err := c.Insert(V4Tuple(r1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(V4Tuple(r2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Labels[fieldSrcIP]; got != 1 {
+		t.Errorf("source labels = %d, want 1 (shared)", got)
+	}
+	// Deleting one rule must keep the shared label alive.
+	if _, err := c.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := c.Lookup(Header[lpm.V4]{Src: 0x0a000001, Dst: 0, SrcPort: 1, DstPort: 443, Proto: rule.ProtoTCP})
+	if !res.Found || res.RuleID != 2 {
+		t.Fatalf("lookup after shared-label delete = %+v", res)
+	}
+}
+
+func TestPrunedVsExhaustiveSameResultFewerProbes(t *testing.T) {
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.FW, Size: 500, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := buildClassifier(t, Config{Combine: CombinePruned}, s)
+	exhaustive := buildClassifier(t, Config{Combine: CombineExhaustive}, s)
+	trace, err := ruleset.GenerateTrace(s, ruleset.TraceConfig{Size: 2000, HitRatio: 0.9, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range trace {
+		a, _ := pruned.Lookup(V4Header(h))
+		b, _ := exhaustive.Lookup(V4Header(h))
+		if a.Found != b.Found || a.RuleID != b.RuleID {
+			t.Fatalf("pruned %+v != exhaustive %+v", a, b)
+		}
+	}
+	if p, e := pruned.Stats().Probes, exhaustive.Stats().Probes; p > e {
+		t.Errorf("pruned probes (%d) exceed exhaustive probes (%d)", p, e)
+	}
+}
+
+func TestOptimizeSetRemovesShadowedOnly(t *testing.T) {
+	rules := []rule.Rule{
+		{SrcIP: rule.Prefix{Addr: 0x0a000000, Len: 8}, SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(), Proto: rule.AnyProto()},
+		{SrcIP: rule.Prefix{Addr: 0x0a010000, Len: 16}, SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(), Proto: rule.ExactProto(rule.ProtoTCP)}, // shadowed
+		{SrcIP: rule.Prefix{Addr: 0x0b000000, Len: 8}, SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(), Proto: rule.AnyProto()},
+	}
+	s, err := rule.NewSet(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, removed, err := OptimizeSet(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != 2 {
+		t.Fatalf("removed = %v, want [2]", removed)
+	}
+	if opt.Len() != 2 {
+		t.Fatalf("optimized size = %d, want 2", opt.Len())
+	}
+	// Optimization must not change classification results.
+	trace := []rule.Header{
+		{SrcIP: 0x0a010101, Proto: rule.ProtoTCP},
+		{SrcIP: 0x0b000001, Proto: rule.ProtoUDP},
+		{SrcIP: 0x0c000001},
+	}
+	for _, h := range trace {
+		a, okA := s.Match(h)
+		b, okB := opt.Match(h)
+		if okA != okB || (okA && a.ID != b.ID) {
+			t.Fatalf("optimization changed result for %+v: %v/%v vs %v/%v", h, a.ID, okA, b.ID, okB)
+		}
+	}
+}
+
+func TestStatsAndMemory(t *testing.T) {
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildClassifier(t, Config{}, s)
+	trace, err := ruleset.GenerateTrace(s, ruleset.TraceConfig{Size: 500, HitRatio: 0.8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range trace {
+		c.Lookup(V4Header(h))
+	}
+	st := c.Stats()
+	if st.Rules != 200 {
+		t.Errorf("Rules = %d", st.Rules)
+	}
+	if st.ProbeOps != len(trace) {
+		t.Errorf("ProbeOps = %d, want %d", st.ProbeOps, len(trace))
+	}
+	if st.Probes == 0 {
+		t.Error("Probes = 0 after a hit-heavy trace")
+	}
+	if st.MaxListLen == 0 {
+		t.Error("MaxListLen = 0")
+	}
+	if st.MaxListLen > 5 {
+		t.Errorf("MaxListLen = %d exceeds the paper's five-label bound", st.MaxListLen)
+	}
+	if c.Memory().TotalBytes() == 0 {
+		t.Error("memory map empty")
+	}
+	c.ResetStats()
+	if c.Stats().ProbeOps != 0 || c.Stats().Rules != 200 {
+		t.Error("ResetStats wrong")
+	}
+}
+
+func TestThroughputShape(t *testing.T) {
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := ruleset.GenerateTrace(s, ruleset.TraceConfig{Size: 3000, HitRatio: 0.9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mbt := buildClassifier(t, Config{LPM: LPMMultiBitTrie}, s)
+	bst := buildClassifier(t, Config{LPM: LPMBinarySearchTree}, s)
+	for _, h := range trace {
+		mbt.Lookup(V4Header(h))
+		bst.Lookup(V4Header(h))
+	}
+	tm, tb := mbt.Throughput(), bst.Throughput()
+	// Section IV.D: MBT ~95 Mpps at 200 MHz; BST several times slower.
+	if tm.Mpps < 80 || tm.Mpps > 101 {
+		t.Errorf("MBT Mpps = %.2f, want ~95", tm.Mpps)
+	}
+	if ratio := tm.Mpps / tb.Mpps; ratio < 4 || ratio > 16 {
+		t.Errorf("MBT/BST throughput ratio = %.1f, want ~8", ratio)
+	}
+	if tm.Gbps < 40 {
+		t.Errorf("MBT Gbps = %.1f, want ~54", tm.Gbps)
+	}
+
+	// Fig. 4 shape: lookup cycles grow linearly with PHS size and BST is
+	// several times slower.
+	mc, bc := mbt.LookupCycles(10000), bst.LookupCycles(10000)
+	if bc < 4*mc {
+		t.Errorf("BST PHS cycles (%.0f) not >> MBT (%.0f)", bc, mc)
+	}
+	if mbt.LookupCycles(20000) < 1.9*mc {
+		t.Error("lookup cycles not linear in PHS size")
+	}
+}
+
+func TestUpdateCostShape(t *testing.T) {
+	// Fig. 3 shape: BST update lines are close to the rule count (like
+	// the original rule filter), MBT update lines are much larger.
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := CompileSet(s)
+
+	mbt, err := New[lpm.V4](Config{LPM: LPMMultiBitTrie}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbtCost, err := mbt.Build(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bst, err := New[lpm.V4](Config{LPM: LPMBinarySearchTree}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bstCost, err := bst.Build(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mbtCost.Writes < 3*bstCost.Writes {
+		t.Errorf("MBT update writes (%d) should be several times BST writes (%d)", mbtCost.Writes, bstCost.Writes)
+	}
+	// BST lines stay within a small factor of the rule count.
+	if bstCost.Writes > 6*len(tuples) {
+		t.Errorf("BST writes (%d) too far above rule count (%d)", bstCost.Writes, len(tuples))
+	}
+}
+
+func TestClassifierV6(t *testing.T) {
+	rnd := rand.New(rand.NewSource(20))
+	var tuples []Tuple[lpm.V6]
+	var rules6 []rule.Rule6
+	for i := 0; i < 200; i++ {
+		lens := []uint8{32, 48, 64, 64, 96, 128}
+		src := rule.Prefix6{Addr: rule.Addr6{Hi: rnd.Uint64(), Lo: rnd.Uint64()}, Len: lens[rnd.Intn(len(lens))]}.Canonical()
+		dst := rule.Prefix6{Addr: rule.Addr6{Hi: rnd.Uint64(), Lo: rnd.Uint64()}, Len: lens[rnd.Intn(len(lens))]}.Canonical()
+		r := rule.Rule6{
+			ID: i + 1, Priority: i + 1,
+			SrcIP: src, DstIP: dst,
+			SrcPort: rule.FullPortRange(),
+			DstPort: rule.ExactPort(uint16(80 + rnd.Intn(4))),
+			Proto:   rule.ExactProto(rule.ProtoTCP),
+			Action:  rule.ActionPermit,
+		}
+		rules6 = append(rules6, r)
+		tuples = append(tuples, V6Tuple(r))
+	}
+	c, err := New[lpm.V6](Config{LPM: LPMBinarySearchTree}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Build(tuples); err != nil {
+		t.Fatal(err)
+	}
+	// Probe with headers sampled inside rules and random misses.
+	for i := 0; i < 1000; i++ {
+		var h rule.Header6
+		if rnd.Intn(2) == 0 {
+			r := rules6[rnd.Intn(len(rules6))]
+			h = rule.Header6{
+				SrcIP:   r.SrcIP.Addr,
+				DstIP:   r.DstIP.Addr,
+				SrcPort: uint16(rnd.Intn(1 << 16)),
+				DstPort: r.DstPort.Lo,
+				Proto:   rule.ProtoTCP,
+			}
+		} else {
+			h = rule.Header6{
+				SrcIP: rule.Addr6{Hi: rnd.Uint64(), Lo: rnd.Uint64()},
+				DstIP: rule.Addr6{Hi: rnd.Uint64(), Lo: rnd.Uint64()},
+				Proto: rule.ProtoUDP,
+			}
+		}
+		got, _ := c.Lookup(V6Header(h))
+		// Oracle: linear scan.
+		bestPrio, bestID, found := int(^uint(0)>>1), 0, false
+		for j := range rules6 {
+			if rules6[j].Matches(h) && rules6[j].Priority < bestPrio {
+				bestPrio, bestID, found = rules6[j].Priority, rules6[j].ID, true
+			}
+		}
+		if got.Found != found || (found && got.RuleID != bestID) {
+			t.Fatalf("v6 lookup = %+v, oracle = (%d,%v)", got, bestID, found)
+		}
+	}
+}
+
+func TestEngineSwitchKeepsResults(t *testing.T) {
+	// Section III.E: switching the LPM algorithm leaves the rest of the
+	// lookup domain (and results) unchanged. Build the same ruleset under
+	// each LPM engine and compare outputs pairwise.
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.IPC, Size: 300, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := ruleset.GenerateTrace(s, ruleset.TraceConfig{Size: 1000, HitRatio: 0.8, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbt := buildClassifier(t, Config{LPM: LPMMultiBitTrie}, s)
+	bst := buildClassifier(t, Config{LPM: LPMBinarySearchTree}, s)
+	amt := buildClassifier(t, Config{LPM: LPMAMTrie}, s)
+	for _, h := range trace {
+		a, _ := mbt.Lookup(V4Header(h))
+		b, _ := bst.Lookup(V4Header(h))
+		d, _ := amt.Lookup(V4Header(h))
+		if a.RuleID != b.RuleID || a.Found != b.Found || a.RuleID != d.RuleID || a.Found != d.Found {
+			t.Fatalf("engine switch changed result: MBT %+v BST %+v AMT %+v", a, b, d)
+		}
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := New[lpm.V4](Config{LPM: LPMAlgo(99)}, nil); err == nil {
+		t.Error("bad LPM algo should fail")
+	}
+	if _, err := New[lpm.V4](Config{Range: RangeAlgo(99)}, nil); err == nil {
+		t.Error("bad range algo should fail")
+	}
+	if _, err := New[lpm.V4](Config{Exact: ExactAlgo(99)}, nil); err == nil {
+		t.Error("bad exact algo should fail")
+	}
+}
+
+func TestNewV4Convenience(t *testing.T) {
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := NewV4(Config{}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 100 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}

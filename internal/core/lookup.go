@@ -1,0 +1,189 @@
+package core
+
+import (
+	"repro/internal/hwsim"
+	"repro/internal/label"
+	"repro/internal/rule"
+)
+
+// Field indices inside a comboKey, matching the paper's label naming
+// L_IPs, L_IPd, L_Ps, L_Pd, L_PRT.
+const (
+	fieldSrcIP = iota
+	fieldDstIP
+	fieldSrcPort
+	fieldDstPort
+	fieldProto
+)
+
+// Result is the outcome of one lookup.
+type Result struct {
+	// RuleID and Priority identify the Highest-Priority Matching Rule.
+	RuleID   int
+	Priority int
+	Action   rule.Action
+	// Found is false when no rule matches; the paper discards such
+	// packets or punts them to the control platform.
+	Found bool
+	// Probes is the number of Rule Filter probes the ULI issued — the
+	// label combination time of Eq. 1 for this packet.
+	Probes int
+	// FirstHitProbes is the number of probes up to and including the
+	// first valid combination (equal to Probes when nothing matched).
+	FirstHitProbes int
+}
+
+// Lookup classifies one header: per-field engines produce label lists, the
+// ULI combines them against the Rule Filter, and the HPMR (if any) is
+// returned. The cost models the hardware pipeline: the engines search in
+// parallel (their cycle counts combine by max — "the LPM engine defines
+// the critical path"), then each ULI probe costs one cycle.
+//
+// Lookup is not safe for concurrent use; clone classifiers per goroutine
+// for parallel batch classification.
+func (c *Classifier[K]) Lookup(h Header[K]) (Result, hwsim.Cost) {
+	var bufs lookupBuffers
+	return c.lookupInto(h, &bufs)
+}
+
+// lookupBuffers holds reusable label-list storage for allocation-free
+// lookups in hot loops.
+type lookupBuffers struct {
+	lists [numFields][]label.Label
+}
+
+// LookupBatch classifies headers in order, reusing buffers, and returns
+// the results plus the summed cost.
+func (c *Classifier[K]) LookupBatch(hs []Header[K]) ([]Result, hwsim.Cost) {
+	var bufs lookupBuffers
+	out := make([]Result, len(hs))
+	var total hwsim.Cost
+	for i, h := range hs {
+		r, cost := c.lookupInto(h, &bufs)
+		out[i] = r
+		total = total.Add(cost)
+	}
+	return out, total
+}
+
+func (c *Classifier[K]) lookupInto(h Header[K], bufs *lookupBuffers) (Result, hwsim.Cost) {
+	// Packet Header Partition: each field goes to its engine. The five
+	// searches run in parallel in hardware; the stage cost is the
+	// slowest engine (the LPM critical path).
+	var srcCost, dstCost, spCost, dpCost, prCost hwsim.Cost
+	bufs.lists[fieldSrcIP], srcCost = c.srcEngine.Lookup(h.Src, bufs.lists[fieldSrcIP][:0])
+	bufs.lists[fieldDstIP], dstCost = c.dstEngine.Lookup(h.Dst, bufs.lists[fieldDstIP][:0])
+	bufs.lists[fieldSrcPort], spCost = c.spEngine.Lookup(h.SrcPort, bufs.lists[fieldSrcPort][:0])
+	bufs.lists[fieldDstPort], dpCost = c.dpEngine.Lookup(h.DstPort, bufs.lists[fieldDstPort][:0])
+	bufs.lists[fieldProto], prCost = c.prEngine.Lookup(h.Proto, bufs.lists[fieldProto][:0])
+
+	engineStage := srcCost.Max(dstCost).Max(spCost).Max(dpCost).Max(prCost)
+	cost := hwsim.Cost{
+		Cycles: engineStage.Cycles,
+		Reads:  srcCost.Reads + dstCost.Reads + spCost.Reads + dpCost.Reads + prCost.Reads,
+	}
+	c.stats.EngineCycles += engineStage.Cycles
+
+	// Track hardware list-bound behaviour.
+	overflow := false
+	for f := 0; f < numFields; f++ {
+		if n := len(bufs.lists[f]); n > c.stats.MaxListLen {
+			c.stats.MaxListLen = n
+		}
+		if len(bufs.lists[f]) > c.cfg.MaxLabels {
+			overflow = true
+		}
+	}
+	if overflow {
+		c.stats.HardwareOverflows++
+	}
+
+	res := c.combine(bufs)
+	cost.Cycles += res.Probes + 1 // one cycle per probe, one to emit
+	cost.Reads += res.Probes
+	c.stats.Probes += res.Probes
+	c.stats.FirstHitProbes += res.FirstHitProbes
+	c.stats.ProbeOps++
+	return res, cost
+}
+
+// combine is the Unique Label Identifier: it walks label combinations
+// (highest-priority labels first) and probes the Rule Filter until the
+// HPMR is established. In CombinePruned mode the per-label priority bound
+// from the label-rule mapping cuts combinations that cannot beat the best
+// match found — the decision-control optimization of Section III.D. In
+// CombineExhaustive mode every combination is probed (worst-case LCT,
+// Eq. 1).
+func (c *Classifier[K]) combine(bufs *lookupBuffers) Result {
+	for f := 0; f < numFields; f++ {
+		if len(bufs.lists[f]) == 0 {
+			return Result{} // some field matched nothing: no rule can match
+		}
+	}
+	res := Result{}
+	best := ruleRef{priority: int(^uint(0) >> 1)}
+	found := false
+	var key comboKey
+
+	prune := c.cfg.Combine == CombinePruned
+	var walk func(f int, bound int)
+	walk = func(f int, bound int) {
+		if f == numFields {
+			res.Probes++
+			if refs := c.filter[key]; len(refs) > 0 {
+				if !found {
+					res.FirstHitProbes = res.Probes
+					found = true
+				}
+				if refs[0].priority < best.priority {
+					best = refs[0]
+				}
+			}
+			return
+		}
+		for _, lab := range bufs.lists[f] {
+			fieldBound, ok := c.bounds[f].min(lab)
+			if !ok {
+				continue // stale label: no rule currently uses it
+			}
+			nb := bound
+			if fieldBound > nb {
+				nb = fieldBound
+			}
+			if prune && found && nb >= best.priority {
+				continue // cannot beat the HPMR found so far
+			}
+			key[f] = lab
+			// The label-rule mapping maps (Section III.D) record which
+			// partial combinations occur in the ruleset; dead branches
+			// are never expanded in pruned mode.
+			if prune {
+				switch f {
+				case 1:
+					if c.p2[[2]label.Label{key[0], key[1]}] == 0 {
+						continue
+					}
+				case 2:
+					if c.p3[[3]label.Label{key[0], key[1], key[2]}] == 0 {
+						continue
+					}
+				case 3:
+					if c.p4[[4]label.Label{key[0], key[1], key[2], key[3]}] == 0 {
+						continue
+					}
+				}
+			}
+			walk(f+1, nb)
+		}
+	}
+	walk(0, -1)
+
+	if !found {
+		// No valid combination: hardware detects the miss only after
+		// exhausting the permutations.
+		res.FirstHitProbes = res.Probes
+		return res
+	}
+	res.RuleID, res.Priority, res.Action, res.Found = best.id, best.priority, best.action, true
+	return res
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"repro/internal/hwsim"
+)
+
+// PipelineModel derives the hardware pipeline parameters for the current
+// configuration from the observed lookup statistics. Trie engines (MBT,
+// AM-Trie) map onto a deeply pipelined datapath: per-level RAM stages
+// accept a new header every II cycles, and ULI retries (probes beyond the
+// first) stall the pipe. The BST walk is data-dependent and not
+// pipelineable, so its initiation interval is the full per-packet cycle
+// count.
+func (c *Classifier[K]) PipelineModel() hwsim.Pipeline {
+	s := c.stats
+	ops := s.ProbeOps
+	avgEngine := 0.0
+	avgProbes := 1.0
+	avgFirstHit := 1.0
+	if ops > 0 {
+		avgEngine = float64(s.EngineCycles) / float64(ops)
+		avgProbes = float64(s.Probes) / float64(ops)
+		avgFirstHit = float64(s.FirstHitProbes) / float64(ops)
+	}
+	// Only retries before the first valid combination stall the pipe —
+	// the first-match loop of the paper's ULI. The exact-HPMR supplement
+	// probes run in the shadow of the next packet's engine stage.
+	extra := avgFirstHit - 1
+	if extra < 0 {
+		extra = 0
+	}
+	switch c.cfg.LPM {
+	case LPMMultiBitTrie, LPMAMTrie:
+		depth := 4
+		if d, ok := c.srcEngine.(interface{ Depth() int }); ok {
+			depth = d.Depth()
+		}
+		// II of 2: each trie level is a dual-use RAM stage shared with
+		// the update port, admitting a new header every other cycle.
+		return hwsim.Pipeline{
+			Latency:      float64(depth) + 3, // trie stages + ULI + filter + emit
+			II:           2,
+			StallProb:    clamp01(extra),
+			StallPenalty: 2,
+		}
+	default:
+		// Sequential walk: the engine occupies its RAM for the whole
+		// lookup, so a new packet starts only when the previous one
+		// finishes.
+		perPacket := avgEngine + avgProbes + 1
+		return hwsim.Pipeline{Latency: perPacket, II: perPacket}
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Throughput converts the pipeline model to packet and line rate at the
+// paper's 200 MHz clock and 72-byte minimum frames (Section IV.D).
+type Throughput struct {
+	CyclesPerPacket float64
+	Mpps            float64
+	Gbps            float64
+}
+
+// Throughput reports the steady-state forwarding performance implied by
+// the observed statistics.
+func (c *Classifier[K]) Throughput() Throughput {
+	p := c.PipelineModel()
+	cycles := p.EffectiveII()
+	pps := hwsim.PacketsPerSecond(hwsim.DefaultClockHz, cycles)
+	return Throughput{
+		CyclesPerPacket: cycles,
+		Mpps:            hwsim.Mpps(pps),
+		Gbps:            hwsim.Gbps(pps, hwsim.MinFrameBytes),
+	}
+}
+
+// LookupCycles models the total clock cycles to stream n headers through
+// the lookup domain with the current pipeline model — the quantity Fig. 4
+// plots against packet-header-set size.
+func (c *Classifier[K]) LookupCycles(n int) float64 {
+	return c.PipelineModel().CyclesFor(n)
+}
+
+// WorstCaseLCT evaluates Eq. 1 of the paper: the worst-case label
+// combination time, the product of the per-field label-list bounds
+// (each capped at Config.MaxLabels, the paper's five). The ULI's pruned
+// mode stays far below this; the exhaustive mode approaches it.
+func (c *Classifier[K]) WorstCaseLCT() int {
+	bound := func(distinct int) int {
+		if distinct > c.cfg.MaxLabels {
+			return c.cfg.MaxLabels
+		}
+		if distinct == 0 {
+			return 1
+		}
+		return distinct
+	}
+	lct := 1
+	for _, n := range [numFields]int{
+		c.srcSpecs.len(), c.dstSpecs.len(),
+		c.spSpecs.len(), c.dpSpecs.len(), c.prSpecs.len(),
+	} {
+		lct *= bound(n)
+	}
+	return lct
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lpm"
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+func TestWorstCaseLCT(t *testing.T) {
+	c, err := New[lpm.V4](Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WorstCaseLCT(); got != 1 {
+		t.Errorf("empty classifier LCT = %d, want 1", got)
+	}
+	// Two distinct specs per field -> LCT 2^5 = 32 until the per-field
+	// cap kicks in.
+	for i := 0; i < 2; i++ {
+		r := rule.Rule{
+			ID: i + 1, Priority: i + 1,
+			SrcIP:   rule.Prefix{Addr: uint32(i+1) << 24, Len: 8},
+			DstIP:   rule.Prefix{Addr: uint32(i+10) << 24, Len: 8},
+			SrcPort: rule.ExactPort(uint16(100 + i)),
+			DstPort: rule.ExactPort(uint16(200 + i)),
+			Proto:   rule.ExactProto([]uint8{rule.ProtoTCP, rule.ProtoUDP}[i]),
+		}
+		if _, err := c.Insert(V4Tuple(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.WorstCaseLCT(); got != 32 {
+		t.Errorf("LCT = %d, want 32", got)
+	}
+
+	// With many specs per field, the paper's five-label bound caps each
+	// factor: LCT <= 5^5.
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.FW, Size: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New[lpm.V4](Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.Build(CompileSet(s)); err != nil {
+		t.Fatal(err)
+	}
+	if got, max := big.WorstCaseLCT(), 5*5*5*5*5; got > max {
+		t.Errorf("LCT = %d exceeds Eq. 1 bound %d", got, max)
+	}
+}
+
+func TestPipelineModelShapes(t *testing.T) {
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := ruleset.GenerateTrace(s, ruleset.TraceConfig{Size: 2000, HitRatio: 0.9, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbt, _, err := NewV4(Config{LPM: LPMMultiBitTrie}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bst, _, err := NewV4(Config{LPM: LPMBinarySearchTree}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range trace {
+		mbt.Lookup(V4Header(h))
+		bst.Lookup(V4Header(h))
+	}
+	pm, pb := mbt.PipelineModel(), bst.PipelineModel()
+	if pm.II != 2 {
+		t.Errorf("MBT II = %v, want 2 (pipelined)", pm.II)
+	}
+	if pb.II <= pm.II {
+		t.Errorf("BST II (%v) must exceed MBT II (%v): no pipelining", pb.II, pm.II)
+	}
+	if pm.Latency <= pm.II {
+		t.Errorf("MBT latency (%v) should exceed its II (fill time)", pm.Latency)
+	}
+	// Stall probability is a probability.
+	if pm.StallProb < 0 || pm.StallProb > 1 {
+		t.Errorf("StallProb = %v", pm.StallProb)
+	}
+}

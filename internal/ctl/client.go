@@ -1,0 +1,140 @@
+package ctl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"repro/internal/rule"
+)
+
+// Client is the host-side decision controller's view of a remote lookup
+// domain. It is safe for sequential use only (one request in flight), like
+// the paper's single PCIe channel.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a classifier daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctl dial: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful with net.Pipe in
+// tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// Close tears the channel down, sending QUIT best-effort.
+func (c *Client) Close() error {
+	fmt.Fprintln(c.conn, cmdQuit)
+	return c.conn.Close()
+}
+
+func (c *Client) roundTrip(line string) (string, error) {
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		return "", fmt.Errorf("ctl send: %w", err)
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("ctl recv: %w", err)
+	}
+	resp = strings.TrimSpace(resp)
+	if strings.HasPrefix(resp, "ERR ") {
+		return "", fmt.Errorf("ctl: %s", strings.TrimPrefix(resp, "ERR "))
+	}
+	return resp, nil
+}
+
+// Insert installs a rule remotely, returning the hardware update cycles.
+func (c *Client) Insert(r rule.Rule) (int, error) {
+	line := fmt.Sprintf("%s %d %d %s %s", cmdInsert, r.ID, r.Priority, r.Action, r.String())
+	resp, err := c.roundTrip(line)
+	if err != nil {
+		return 0, err
+	}
+	return parseOKCycles(resp)
+}
+
+// Delete removes a rule remotely.
+func (c *Client) Delete(id int) (int, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("%s %d", cmdDelete, id))
+	if err != nil {
+		return 0, err
+	}
+	return parseOKCycles(resp)
+}
+
+func parseOKCycles(resp string) (int, error) {
+	fields := strings.Fields(resp)
+	if len(fields) != 2 || fields[0] != "OK" {
+		return 0, fmt.Errorf("ctl: unexpected response %q", resp)
+	}
+	return strconv.Atoi(fields[1])
+}
+
+// LookupResult is the remote classification outcome.
+type LookupResult struct {
+	Found    bool
+	RuleID   int
+	Priority int
+	Action   string
+}
+
+// Lookup classifies a header remotely.
+func (c *Client) Lookup(h rule.Header) (LookupResult, error) {
+	line := fmt.Sprintf("%s %s %s %d %d %d", cmdLookup,
+		formatAddr(h.SrcIP), formatAddr(h.DstIP), h.SrcPort, h.DstPort, h.Proto)
+	resp, err := c.roundTrip(line)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	if resp == "NOMATCH" {
+		return LookupResult{}, nil
+	}
+	fields := strings.Fields(resp)
+	if len(fields) != 4 || fields[0] != "MATCH" {
+		return LookupResult{}, fmt.Errorf("ctl: unexpected response %q", resp)
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return LookupResult{}, fmt.Errorf("ctl: rule id in %q", resp)
+	}
+	prio, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return LookupResult{}, fmt.Errorf("ctl: priority in %q", resp)
+	}
+	return LookupResult{Found: true, RuleID: id, Priority: prio, Action: fields[3]}, nil
+}
+
+// Stats fetches remote classifier statistics.
+func (c *Client) Stats() (rules, probes, ops, maxList, overflows int, err error) {
+	resp, err := c.roundTrip(cmdStats)
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	if _, err := fmt.Sscanf(resp, "STATS %d %d %d %d %d", &rules, &probes, &ops, &maxList, &overflows); err != nil {
+		return 0, 0, 0, 0, 0, fmt.Errorf("ctl: parse %q: %w", resp, err)
+	}
+	return rules, probes, ops, maxList, overflows, nil
+}
+
+// Throughput fetches the modeled forwarding rate.
+func (c *Client) Throughput() (cyclesPerPkt, mpps, gbps float64, err error) {
+	resp, err := c.roundTrip(cmdThroughput)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := fmt.Sscanf(resp, "THROUGHPUT %f %f %f", &cyclesPerPkt, &mpps, &gbps); err != nil {
+		return 0, 0, 0, fmt.Errorf("ctl: parse %q: %w", resp, err)
+	}
+	return cyclesPerPkt, mpps, gbps, nil
+}

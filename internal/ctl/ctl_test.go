@@ -1,0 +1,220 @@
+package ctl
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lpm"
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+func startServer(t *testing.T) (*Client, func()) {
+	t.Helper()
+	cls, err := core.New[lpm.V4](core.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(cls)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, func() {
+		client.Close()
+		srv.Shutdown()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}
+}
+
+func TestEndToEndInsertLookupDelete(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+
+	r := rule.Rule{
+		ID: 1, Priority: 1,
+		SrcIP:   rule.Prefix{Addr: 0x0a000000, Len: 8},
+		SrcPort: rule.FullPortRange(), DstPort: rule.ExactPort(80),
+		Proto:  rule.ExactProto(rule.ProtoTCP),
+		Action: rule.ActionPermit,
+	}
+	cycles, err := client.Insert(r)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if cycles <= 0 {
+		t.Errorf("insert cycles = %d", cycles)
+	}
+
+	h := rule.Header{SrcIP: 0x0a010203, DstIP: 1, SrcPort: 999, DstPort: 80, Proto: rule.ProtoTCP}
+	res, err := client.Lookup(h)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if !res.Found || res.RuleID != 1 || res.Action != "permit" {
+		t.Fatalf("Lookup = %+v", res)
+	}
+
+	miss, err := client.Lookup(rule.Header{SrcIP: 0xc0000001, DstPort: 22, Proto: rule.ProtoTCP})
+	if err != nil {
+		t.Fatalf("Lookup(miss): %v", err)
+	}
+	if miss.Found {
+		t.Errorf("miss reported found: %+v", miss)
+	}
+
+	rules, _, ops, _, _, err := client.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if rules != 1 || ops != 2 {
+		t.Errorf("Stats rules=%d ops=%d, want 1, 2", rules, ops)
+	}
+
+	if _, err := client.Delete(1); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	res, err = client.Lookup(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("rule still matches after remote delete")
+	}
+
+	// Error paths surface as ERR responses.
+	if _, err := client.Delete(999); err == nil {
+		t.Error("remote delete of unknown rule should fail")
+	}
+	if _, err := client.Insert(rule.Rule{ID: -1}); err == nil {
+		t.Error("bad rule should fail")
+	}
+
+	if _, _, gbps, err := client.Throughput(); err != nil || gbps <= 0 {
+		t.Errorf("Throughput = %v gbps, err %v", gbps, err)
+	}
+}
+
+func TestRemoteMatchesLocalOracle(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+
+	set, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 150, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range set.Rules() {
+		if _, err := client.Insert(r); err != nil {
+			t.Fatalf("Insert rule %d: %v", r.ID, err)
+		}
+	}
+	trace, err := ruleset.GenerateTrace(set, ruleset.TraceConfig{Size: 300, HitRatio: 0.8, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range trace {
+		got, err := client.Lookup(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := set.Match(h)
+		if got.Found != ok || (ok && got.RuleID != want.ID) {
+			t.Fatalf("remote (%d,%v) vs oracle (%d,%v) for %+v", got.RuleID, got.Found, want.ID, ok, h)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+	if _, err := client.Insert(rule.Rule{
+		ID: 1, Priority: 1,
+		SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(),
+		Proto: rule.AnyProto(), Action: rule.ActionPermit,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Several clients hammer lookups while one churns rules.
+	addr := client.conn.RemoteAddr().String()
+	errs := make(chan error, 4)
+	for w := 0; w < 3; w++ {
+		go func() {
+			c2, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c2.Close()
+			for i := 0; i < 200; i++ {
+				if _, err := c2.Lookup(rule.Header{SrcIP: uint32(i), Proto: rule.ProtoTCP}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	go func() {
+		for i := 2; i < 50; i++ {
+			r := rule.Rule{
+				ID: i, Priority: i,
+				SrcIP:   rule.Prefix{Addr: uint32(i) << 24, Len: 8},
+				SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(),
+				Proto: rule.AnyProto(), Action: rule.ActionDeny,
+			}
+			if _, err := client.Insert(r); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := client.Delete(i); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	cls, err := core.New[lpm.V4](core.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(cls)
+	for _, line := range []string{
+		"FROB",
+		"INSERT",
+		"INSERT x y z @bad",
+		"INSERT 1 1 permit @not-a-rule",
+		"LOOKUP 1.2.3.4 5.6.7.8 80",
+		"LOOKUP 1.2.3 5.6.7.8 80 80 6",
+		"DELETE abc",
+	} {
+		resp, quit := srv.dispatch(line)
+		if quit {
+			t.Errorf("%q should not quit", line)
+		}
+		if !strings.HasPrefix(resp, "ERR") {
+			t.Errorf("dispatch(%q) = %q, want ERR", line, resp)
+		}
+	}
+	if resp, quit := srv.dispatch("QUIT"); !quit || resp != "BYE" {
+		t.Errorf("QUIT = %q, %v", resp, quit)
+	}
+}

@@ -1,0 +1,140 @@
+// Package ctl implements the decision-control channel between the host
+// and the lookup domain. In the paper's prototype the two domains share a
+// network interface over PCIe, with the control platform driving updates
+// and receiving lookup results; here the same split runs over any
+// net.Conn with a line-oriented text protocol, so the classifier can be
+// deployed as a standalone daemon (cmd/classifierd) with remote rule
+// updates — the software-programmability story of the paper's conclusion.
+//
+// Protocol (one request per line, one response per line):
+//
+//	INSERT <id> <prio> <action> @<classbench rule>   -> OK <cycles>
+//	DELETE <id>                                      -> OK <cycles>
+//	LOOKUP <src> <dst> <sport> <dport> <proto>       -> MATCH <id> <prio> <action> | NOMATCH
+//	STATS                                            -> STATS <rules> <probes> <ops> <maxlist> <overflows>
+//	THROUGHPUT                                       -> THROUGHPUT <cycles/pkt> <mpps> <gbps>
+//	QUIT                                             -> BYE
+//
+// Errors are reported as "ERR <message>". The protocol is deliberately
+// text-based and stateless per line: it stands in for the paper's
+// file-driven control simulation while staying debuggable with netcat.
+package ctl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rule"
+)
+
+// Command names.
+const (
+	cmdInsert     = "INSERT"
+	cmdDelete     = "DELETE"
+	cmdLookup     = "LOOKUP"
+	cmdStats      = "STATS"
+	cmdThroughput = "THROUGHPUT"
+	cmdQuit       = "QUIT"
+)
+
+// parseAction maps the protocol action token.
+func parseAction(s string) (rule.Action, error) {
+	switch strings.ToLower(s) {
+	case "permit":
+		return rule.ActionPermit, nil
+	case "deny":
+		return rule.ActionDeny, nil
+	case "queue":
+		return rule.ActionQueue, nil
+	case "mirror":
+		return rule.ActionMirror, nil
+	case "count":
+		return rule.ActionCount, nil
+	default:
+		return 0, fmt.Errorf("unknown action %q", s)
+	}
+}
+
+// parseInsert parses "INSERT <id> <prio> <action> @rule...".
+func parseInsert(args string) (rule.Rule, error) {
+	fields := strings.Fields(args)
+	if len(fields) < 4 {
+		return rule.Rule{}, fmt.Errorf("INSERT wants <id> <prio> <action> @rule")
+	}
+	id, err := strconv.Atoi(fields[0])
+	if err != nil || id <= 0 {
+		return rule.Rule{}, fmt.Errorf("rule id %q", fields[0])
+	}
+	prio, err := strconv.Atoi(fields[1])
+	if err != nil || prio <= 0 {
+		return rule.Rule{}, fmt.Errorf("priority %q", fields[1])
+	}
+	action, err := parseAction(fields[2])
+	if err != nil {
+		return rule.Rule{}, err
+	}
+	at := strings.Index(args, "@")
+	if at < 0 {
+		return rule.Rule{}, fmt.Errorf("missing @rule body")
+	}
+	r, err := rule.ParseRule(args[at:])
+	if err != nil {
+		return rule.Rule{}, err
+	}
+	r.ID, r.Priority, r.Action = id, prio, action
+	return r, nil
+}
+
+// parseLookup parses "LOOKUP <src> <dst> <sport> <dport> <proto>" with
+// dotted-quad addresses.
+func parseLookup(args string) (rule.Header, error) {
+	fields := strings.Fields(args)
+	if len(fields) != 5 {
+		return rule.Header{}, fmt.Errorf("LOOKUP wants 5 fields, got %d", len(fields))
+	}
+	src, err := parseAddr(fields[0])
+	if err != nil {
+		return rule.Header{}, err
+	}
+	dst, err := parseAddr(fields[1])
+	if err != nil {
+		return rule.Header{}, err
+	}
+	sp, err := strconv.ParseUint(fields[2], 10, 16)
+	if err != nil {
+		return rule.Header{}, fmt.Errorf("source port %q", fields[2])
+	}
+	dp, err := strconv.ParseUint(fields[3], 10, 16)
+	if err != nil {
+		return rule.Header{}, fmt.Errorf("destination port %q", fields[3])
+	}
+	pr, err := strconv.ParseUint(fields[4], 10, 8)
+	if err != nil {
+		return rule.Header{}, fmt.Errorf("protocol %q", fields[4])
+	}
+	return rule.Header{
+		SrcIP: src, DstIP: dst,
+		SrcPort: uint16(sp), DstPort: uint16(dp), Proto: uint8(pr),
+	}, nil
+}
+
+func parseAddr(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("address %q", s)
+	}
+	var addr uint32
+	for _, p := range parts {
+		b, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("address %q", s)
+		}
+		addr = addr<<8 | uint32(b)
+	}
+	return addr, nil
+}
+
+func formatAddr(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}

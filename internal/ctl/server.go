@@ -1,0 +1,149 @@
+package ctl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/lpm"
+)
+
+// Server exposes one classifier over the control protocol. The classifier
+// is guarded by a mutex: the lookup domain hardware serializes updates and
+// lookups through the same interface, and so do we.
+type Server struct {
+	mu  sync.Mutex
+	cls *core.Classifier[lpm.V4]
+
+	wg       sync.WaitGroup
+	listener net.Listener
+	closed   chan struct{}
+}
+
+// NewServer wraps a classifier.
+func NewServer(cls *core.Classifier[lpm.V4]) *Server {
+	return &Server{cls: cls, closed: make(chan struct{})}
+}
+
+// Serve accepts connections until the listener is closed (via Shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	s.listener = l
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil // orderly shutdown
+			default:
+				return fmt.Errorf("ctl accept: %w", err)
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting and waits for in-flight connections.
+func (s *Server) Shutdown() {
+	close(s.closed)
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.wg.Wait()
+}
+
+// handle serves one connection.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		resp, quit := s.dispatch(line)
+		fmt.Fprintln(w, resp)
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// dispatch executes one protocol line.
+func (s *Server) dispatch(line string) (resp string, quit bool) {
+	cmd := line
+	args := ""
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		cmd, args = line[:i], line[i+1:]
+	}
+	switch strings.ToUpper(cmd) {
+	case cmdInsert:
+		r, err := parseInsert(args)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		s.mu.Lock()
+		cost, err := s.cls.Insert(core.V4Tuple(r))
+		s.mu.Unlock()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return fmt.Sprintf("OK %d", cost.Cycles), false
+
+	case cmdDelete:
+		var id int
+		if _, err := fmt.Sscanf(strings.TrimSpace(args), "%d", &id); err != nil {
+			return "ERR rule id: " + err.Error(), false
+		}
+		s.mu.Lock()
+		cost, err := s.cls.Delete(id)
+		s.mu.Unlock()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return fmt.Sprintf("OK %d", cost.Cycles), false
+
+	case cmdLookup:
+		h, err := parseLookup(args)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		s.mu.Lock()
+		res, _ := s.cls.Lookup(core.V4Header(h))
+		s.mu.Unlock()
+		if !res.Found {
+			return "NOMATCH", false
+		}
+		return fmt.Sprintf("MATCH %d %d %s", res.RuleID, res.Priority, res.Action), false
+
+	case cmdStats:
+		s.mu.Lock()
+		st := s.cls.Stats()
+		s.mu.Unlock()
+		return fmt.Sprintf("STATS %d %d %d %d %d",
+			st.Rules, st.Probes, st.ProbeOps, st.MaxListLen, st.HardwareOverflows), false
+
+	case cmdThroughput:
+		s.mu.Lock()
+		tp := s.cls.Throughput()
+		s.mu.Unlock()
+		return fmt.Sprintf("THROUGHPUT %.2f %.2f %.2f", tp.CyclesPerPacket, tp.Mpps, tp.Gbps), false
+
+	case cmdQuit:
+		return "BYE", true
+
+	default:
+		return fmt.Sprintf("ERR unknown command %q", cmd), false
+	}
+}

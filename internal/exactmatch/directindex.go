@@ -1,0 +1,72 @@
+package exactmatch
+
+import (
+	"repro/internal/hwsim"
+	"repro/internal/label"
+)
+
+// DirectIndex is a 256-entry table addressed directly by the protocol
+// value: the single-cycle engine of the paper ("the protocol label search
+// is executed in a single clock cycle").
+type DirectIndex struct {
+	table [256]struct {
+		lab label.Label
+		has bool
+	}
+	wild  wildcard
+	count int
+}
+
+// NewDirectIndex returns an empty table.
+func NewDirectIndex() *DirectIndex { return &DirectIndex{} }
+
+// Len returns the number of stored exact values.
+func (d *DirectIndex) Len() int { return d.count }
+
+// Insert stores the value's label; always succeeds.
+func (d *DirectIndex) Insert(v uint8, lab label.Label) (hwsim.Cost, error) {
+	if !d.table[v].has {
+		d.count++
+	}
+	d.table[v].lab, d.table[v].has = lab, true
+	return hwsim.Cost{Cycles: 1, Writes: 1}, nil
+}
+
+// Delete removes the value.
+func (d *DirectIndex) Delete(v uint8) (label.Label, hwsim.Cost, bool) {
+	if !d.table[v].has {
+		return label.None, hwsim.Cost{Cycles: 1, Reads: 1}, false
+	}
+	lab := d.table[v].lab
+	d.table[v].has = false
+	d.count--
+	return lab, hwsim.Cost{Cycles: 1, Writes: 1}, true
+}
+
+// InsertWildcard stores the wildcard label.
+func (d *DirectIndex) InsertWildcard(lab label.Label) hwsim.Cost {
+	d.wild.set(lab)
+	return hwsim.Cost{Cycles: 1, Writes: 1}
+}
+
+// DeleteWildcard removes the wildcard label.
+func (d *DirectIndex) DeleteWildcard() (label.Label, hwsim.Cost, bool) {
+	lab, ok := d.wild.clear()
+	return lab, hwsim.Cost{Cycles: 1, Writes: 1}, ok
+}
+
+// Lookup reads one table word: exact label first, then wildcard.
+func (d *DirectIndex) Lookup(v uint8, buf []label.Label) ([]label.Label, hwsim.Cost) {
+	cost := hwsim.Cost{Cycles: 1, Reads: 1}
+	if d.table[v].has {
+		buf = append(buf, d.table[v].lab)
+	}
+	return d.wild.append(buf), cost
+}
+
+// Memory reports the fixed 256-word table (16-bit label + valid bit).
+func (d *DirectIndex) Memory() hwsim.MemoryMap {
+	var mm hwsim.MemoryMap
+	mm.Add("directindex", 17, 256)
+	return mm
+}

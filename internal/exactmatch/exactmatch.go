@@ -1,0 +1,65 @@
+// Package exactmatch implements the exact-matching engine candidates for
+// the protocol field (Section III.C.3): direct indexing for the small
+// protocol value set, and a hash table "for future expansions of the data
+// set". Both support the label method and single-cycle-class lookups.
+//
+// Protocol rules may also be wildcards; the engines store an optional
+// wildcard label that is appended after any exact match (the exact value
+// is more specific, so it has higher label priority).
+package exactmatch
+
+import (
+	"errors"
+
+	"repro/internal/hwsim"
+	"repro/internal/label"
+)
+
+// ErrFull is returned when the hash table cannot grow further.
+var ErrFull = errors.New("exact-match engine full")
+
+// Engine is the common shape of the exact-matching candidates, keyed by
+// the 8-bit protocol value. A wildcard entry is stored via InsertWildcard.
+type Engine interface {
+	// Insert stores the value with its label, replacing any existing
+	// label for the value.
+	Insert(v uint8, lab label.Label) (hwsim.Cost, error)
+	// Delete removes the value, returning its label and presence.
+	Delete(v uint8) (label.Label, hwsim.Cost, bool)
+	// InsertWildcard stores the wildcard label.
+	InsertWildcard(lab label.Label) hwsim.Cost
+	// DeleteWildcard removes the wildcard label.
+	DeleteWildcard() (label.Label, hwsim.Cost, bool)
+	// Lookup appends the labels matching v: the exact label first if
+	// present, then the wildcard label if set.
+	Lookup(v uint8, buf []label.Label) ([]label.Label, hwsim.Cost)
+	// Len returns the number of stored exact values (excluding the
+	// wildcard).
+	Len() int
+	// Memory reports the occupied RAM.
+	Memory() hwsim.MemoryMap
+}
+
+// wildcard is the shared wildcard-label slot.
+type wildcard struct {
+	lab label.Label
+	has bool
+}
+
+func (w *wildcard) set(lab label.Label) { w.lab, w.has = lab, true }
+
+func (w *wildcard) clear() (label.Label, bool) {
+	if !w.has {
+		return label.None, false
+	}
+	lab := w.lab
+	w.has = false
+	return lab, true
+}
+
+func (w *wildcard) append(buf []label.Label) []label.Label {
+	if w.has {
+		buf = append(buf, w.lab)
+	}
+	return buf
+}

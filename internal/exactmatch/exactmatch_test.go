@@ -1,0 +1,210 @@
+package exactmatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/label"
+	"repro/internal/rule"
+)
+
+func engines() map[string]func() Engine {
+	return map[string]func() Engine{
+		"directindex": func() Engine { return NewDirectIndex() },
+		"hashtable":   func() Engine { return NewHashTable(16, 0) },
+	}
+}
+
+func TestEnginesBasic(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			if _, err := e.Insert(rule.ProtoTCP, 1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Insert(rule.ProtoUDP, 2); err != nil {
+				t.Fatal(err)
+			}
+			if e.Len() != 2 {
+				t.Fatalf("Len = %d, want 2", e.Len())
+			}
+			got, _ := e.Lookup(rule.ProtoTCP, nil)
+			if len(got) != 1 || got[0] != 1 {
+				t.Fatalf("Lookup(TCP) = %v", got)
+			}
+			got, _ = e.Lookup(rule.ProtoICMP, nil)
+			if len(got) != 0 {
+				t.Fatalf("Lookup(ICMP) = %v, want empty", got)
+			}
+			// Replace.
+			if _, err := e.Insert(rule.ProtoTCP, 9); err != nil {
+				t.Fatal(err)
+			}
+			if e.Len() != 2 {
+				t.Fatalf("Len after replace = %d", e.Len())
+			}
+			got, _ = e.Lookup(rule.ProtoTCP, nil)
+			if len(got) != 1 || got[0] != 9 {
+				t.Fatalf("Lookup after replace = %v", got)
+			}
+			// Delete.
+			lab, _, ok := e.Delete(rule.ProtoTCP)
+			if !ok || lab != 9 {
+				t.Fatalf("Delete = %v,%v", lab, ok)
+			}
+			if _, _, ok := e.Delete(rule.ProtoTCP); ok {
+				t.Error("double delete reported found")
+			}
+			got, _ = e.Lookup(rule.ProtoTCP, nil)
+			if len(got) != 0 {
+				t.Fatalf("Lookup after delete = %v", got)
+			}
+		})
+	}
+}
+
+func TestWildcardOrdering(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			e.InsertWildcard(7)
+			if _, err := e.Insert(rule.ProtoTCP, 3); err != nil {
+				t.Fatal(err)
+			}
+			// Exact match first (higher label priority), wildcard second.
+			got, _ := e.Lookup(rule.ProtoTCP, nil)
+			if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+				t.Fatalf("Lookup = %v, want [L3 L7]", got)
+			}
+			got, _ = e.Lookup(rule.ProtoUDP, nil)
+			if len(got) != 1 || got[0] != 7 {
+				t.Fatalf("Lookup(UDP) = %v, want [L7]", got)
+			}
+			lab, _, ok := e.DeleteWildcard()
+			if !ok || lab != 7 {
+				t.Fatalf("DeleteWildcard = %v,%v", lab, ok)
+			}
+			if _, _, ok := e.DeleteWildcard(); ok {
+				t.Error("double wildcard delete reported found")
+			}
+			got, _ = e.Lookup(rule.ProtoUDP, nil)
+			if len(got) != 0 {
+				t.Fatalf("Lookup after wildcard delete = %v", got)
+			}
+		})
+	}
+}
+
+func TestDirectIndexSingleCycle(t *testing.T) {
+	d := NewDirectIndex()
+	if _, err := d.Insert(rule.ProtoTCP, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, cost := d.Lookup(rule.ProtoTCP, nil)
+	if cost.Cycles != 1 {
+		t.Errorf("direct index lookup cycles = %d, want 1 (paper Section IV.C)", cost.Cycles)
+	}
+}
+
+func TestEnginesMatchEachOther(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	d, h := NewDirectIndex(), NewHashTable(16, 0)
+	present := make(map[uint8]label.Label)
+	for i := 0; i < 2000; i++ {
+		v := uint8(rnd.Intn(256))
+		switch rnd.Intn(3) {
+		case 0:
+			lab := label.Label(rnd.Intn(1000))
+			if _, err := d.Insert(v, lab); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.Insert(v, lab); err != nil {
+				t.Fatal(err)
+			}
+			present[v] = lab
+		case 1:
+			_, _, okD := d.Delete(v)
+			_, _, okH := h.Delete(v)
+			if okD != okH {
+				t.Fatalf("delete presence mismatch for %d: %v vs %v", v, okD, okH)
+			}
+			delete(present, v)
+		default:
+			a, _ := d.Lookup(v, nil)
+			b, _ := h.Lookup(v, nil)
+			if len(a) != len(b) || (len(a) == 1 && a[0] != b[0]) {
+				t.Fatalf("lookup mismatch for %d: %v vs %v", v, a, b)
+			}
+			if want, ok := present[v]; ok {
+				if len(a) != 1 || a[0] != want {
+					t.Fatalf("lookup(%d) = %v, want [%v]", v, a, want)
+				}
+			} else if len(a) != 0 {
+				t.Fatalf("lookup(%d) = %v, want empty", v, a)
+			}
+		}
+	}
+	if d.Len() != len(present) || h.Len() != len(present) {
+		t.Fatalf("Len mismatch: direct=%d hash=%d want=%d", d.Len(), h.Len(), len(present))
+	}
+}
+
+func TestHashTableGrowsAndWideKeys(t *testing.T) {
+	h := NewHashTable(16, 0)
+	for i := 0; i < 5000; i++ {
+		if _, err := h.InsertKey(uint32(i*2654435761), label.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 5000 {
+		t.Fatalf("Len = %d, want 5000", h.Len())
+	}
+	for i := 0; i < 5000; i += 37 {
+		got, _ := h.LookupKey(uint32(i*2654435761), nil)
+		if len(got) != 1 || got[0] != label.Label(i) {
+			t.Fatalf("LookupKey(%d) = %v", i, got)
+		}
+	}
+	// Delete everything; tombstones must not break lookups.
+	for i := 0; i < 5000; i++ {
+		if _, _, ok := h.DeleteKey(uint32(i * 2654435761)); !ok {
+			t.Fatalf("DeleteKey(%d) not found", i)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len after deletes = %d", h.Len())
+	}
+	got, _ := h.LookupKey(42, nil)
+	if len(got) != 0 {
+		t.Fatalf("lookup in emptied table = %v", got)
+	}
+}
+
+func TestHashTableCapacityBound(t *testing.T) {
+	h := NewHashTable(16, 32)
+	var sawFull bool
+	for i := 0; i < 100; i++ {
+		if _, err := h.InsertKey(uint32(i), label.Label(i)); err == ErrFull {
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Error("bounded hash table never reported ErrFull")
+	}
+}
+
+func TestMemoryReports(t *testing.T) {
+	d, h := NewDirectIndex(), NewHashTable(1024, 0)
+	if d.Memory().TotalBytes() == 0 || h.Memory().TotalBytes() == 0 {
+		t.Error("memory reports should be non-zero")
+	}
+	// Direct index is fixed-size regardless of content.
+	before := d.Memory().TotalBytes()
+	if _, err := d.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Memory().TotalBytes() != before {
+		t.Error("direct index memory should be constant")
+	}
+}

@@ -1,0 +1,187 @@
+package exactmatch
+
+import (
+	"repro/internal/hwsim"
+	"repro/internal/label"
+)
+
+// HashTable is an open-addressing (linear probing) hash engine sized for
+// "future expansions of the data set" beyond the protocol byte: it keys on
+// 32-bit values so wider exact-match fields can reuse it. Collisions cost
+// extra probe reads — the trade-off the paper notes for hash-based
+// lookups.
+type HashTable struct {
+	slots []htSlot
+	wild  wildcard
+	count int
+	// maxSlots bounds growth; 0 means unbounded.
+	maxSlots int
+}
+
+type htSlot struct {
+	key   uint32
+	lab   label.Label
+	state uint8 // 0 empty, 1 occupied, 2 tombstone
+}
+
+const (
+	htEmpty uint8 = iota
+	htUsed
+	htDead
+)
+
+// NewHashTable returns a table with the given initial capacity (rounded up
+// to a power of two, minimum 16). maxSlots, if positive, caps growth to
+// model a fixed hardware RAM.
+func NewHashTable(initial, maxSlots int) *HashTable {
+	capacity := 16
+	for capacity < initial {
+		capacity *= 2
+	}
+	return &HashTable{slots: make([]htSlot, capacity), maxSlots: maxSlots}
+}
+
+// Len returns the number of stored exact values.
+func (h *HashTable) Len() int { return h.count }
+
+// hash is a 32-bit Fibonacci/xor mix, cheap enough for a hardware hash
+// unit.
+func (h *HashTable) hash(key uint32) int {
+	x := key
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return int(x) & (len(h.slots) - 1)
+}
+
+// Insert stores the key's label.
+func (h *HashTable) Insert(v uint8, lab label.Label) (hwsim.Cost, error) {
+	return h.InsertKey(uint32(v), lab)
+}
+
+// InsertKey stores a full-width key (the expansion path the paper
+// anticipates).
+func (h *HashTable) InsertKey(key uint32, lab label.Label) (hwsim.Cost, error) {
+	if h.count+1 > len(h.slots)*3/4 {
+		if err := h.grow(); err != nil {
+			return hwsim.Cost{Cycles: 1, Reads: 1}, err
+		}
+	}
+	var cost hwsim.Cost
+	i := h.hash(key)
+	firstDead := -1
+	for {
+		cost.Reads++
+		s := &h.slots[i]
+		switch {
+		case s.state == htUsed && s.key == key:
+			s.lab = lab
+			cost.Writes++
+			cost.Cycles = cost.Reads + cost.Writes
+			return cost, nil
+		case s.state == htEmpty:
+			if firstDead >= 0 {
+				i = firstDead
+			}
+			h.slots[i] = htSlot{key: key, lab: lab, state: htUsed}
+			h.count++
+			cost.Writes++
+			cost.Cycles = cost.Reads + cost.Writes
+			return cost, nil
+		case s.state == htDead && firstDead < 0:
+			firstDead = i
+		}
+		i = (i + 1) & (len(h.slots) - 1)
+	}
+}
+
+func (h *HashTable) grow() error {
+	newCap := len(h.slots) * 2
+	if h.maxSlots > 0 && newCap > h.maxSlots {
+		return ErrFull
+	}
+	old := h.slots
+	h.slots = make([]htSlot, newCap)
+	h.count = 0
+	for _, s := range old {
+		if s.state == htUsed {
+			if _, err := h.InsertKey(s.key, s.lab); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Delete removes the key.
+func (h *HashTable) Delete(v uint8) (label.Label, hwsim.Cost, bool) {
+	return h.DeleteKey(uint32(v))
+}
+
+// DeleteKey removes a full-width key.
+func (h *HashTable) DeleteKey(key uint32) (label.Label, hwsim.Cost, bool) {
+	var cost hwsim.Cost
+	i := h.hash(key)
+	for {
+		cost.Reads++
+		s := &h.slots[i]
+		switch {
+		case s.state == htUsed && s.key == key:
+			lab := s.lab
+			s.state = htDead
+			h.count--
+			cost.Writes++
+			cost.Cycles = cost.Reads + cost.Writes
+			return lab, cost, true
+		case s.state == htEmpty:
+			cost.Cycles = cost.Reads
+			return label.None, cost, false
+		}
+		i = (i + 1) & (len(h.slots) - 1)
+	}
+}
+
+// InsertWildcard stores the wildcard label.
+func (h *HashTable) InsertWildcard(lab label.Label) hwsim.Cost {
+	h.wild.set(lab)
+	return hwsim.Cost{Cycles: 1, Writes: 1}
+}
+
+// DeleteWildcard removes the wildcard label.
+func (h *HashTable) DeleteWildcard() (label.Label, hwsim.Cost, bool) {
+	lab, ok := h.wild.clear()
+	return lab, hwsim.Cost{Cycles: 1, Writes: 1}, ok
+}
+
+// Lookup probes for the exact value, then appends the wildcard.
+func (h *HashTable) Lookup(v uint8, buf []label.Label) ([]label.Label, hwsim.Cost) {
+	return h.LookupKey(uint32(v), buf)
+}
+
+// LookupKey probes a full-width key.
+func (h *HashTable) LookupKey(key uint32, buf []label.Label) ([]label.Label, hwsim.Cost) {
+	var cost hwsim.Cost
+	i := h.hash(key)
+	for {
+		cost.Reads++
+		s := &h.slots[i]
+		switch {
+		case s.state == htUsed && s.key == key:
+			cost.Cycles = cost.Reads
+			return h.wild.append(append(buf, s.lab)), cost
+		case s.state == htEmpty:
+			cost.Cycles = cost.Reads
+			return h.wild.append(buf), cost
+		}
+		i = (i + 1) & (len(h.slots) - 1)
+	}
+}
+
+// Memory reports the slot array (32-bit key + 16-bit label + state).
+func (h *HashTable) Memory() hwsim.MemoryMap {
+	var mm hwsim.MemoryMap
+	mm.Add("hashtable", 50, len(h.slots))
+	return mm
+}

@@ -1,0 +1,98 @@
+package exactmatch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/label"
+)
+
+// TestQuickEnginesAgree drives the direct index and the hash table with
+// identical operation sequences; both must expose identical contents.
+func TestQuickEnginesAgree(t *testing.T) {
+	type op struct {
+		V      uint8
+		Lab    uint16
+		Delete bool
+	}
+	f := func(ops []op, probes []uint8) bool {
+		d, h := NewDirectIndex(), NewHashTable(16, 0)
+		for _, o := range ops {
+			if o.Delete {
+				_, _, okD := d.Delete(o.V)
+				_, _, okH := h.Delete(o.V)
+				if okD != okH {
+					return false
+				}
+				continue
+			}
+			if _, err := d.Insert(o.V, label.Label(o.Lab)); err != nil {
+				return false
+			}
+			if _, err := h.Insert(o.V, label.Label(o.Lab)); err != nil {
+				return false
+			}
+		}
+		if d.Len() != h.Len() {
+			return false
+		}
+		for _, p := range probes {
+			a, _ := d.Lookup(p, nil)
+			b, _ := h.Lookup(p, nil)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHashTableMirrorsMap checks the hash table against a plain map
+// under wide 32-bit keys, including tombstone reuse.
+func TestQuickHashTableMirrorsMap(t *testing.T) {
+	type op struct {
+		Key    uint32
+		Lab    uint16
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		h := NewHashTable(16, 0)
+		ref := make(map[uint32]label.Label)
+		for _, o := range ops {
+			if o.Delete {
+				_, _, ok := h.DeleteKey(o.Key)
+				_, want := ref[o.Key]
+				if ok != want {
+					return false
+				}
+				delete(ref, o.Key)
+				continue
+			}
+			if _, err := h.InsertKey(o.Key, label.Label(o.Lab)); err != nil {
+				return false
+			}
+			ref[o.Key] = label.Label(o.Lab)
+		}
+		if h.Len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			got, _ := h.LookupKey(k, nil)
+			if len(got) != 1 || got[0] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package hwsim models the hardware cost of the paper's FPGA lookup domain.
+//
+// The paper prototypes its lookup domain on an Altera Stratix V FPGA
+// (5SGXMB6R3F43C4) clocked at 200 MHz using embedded RAM blocks, and
+// reports every result as a clock-cycle count (Figs. 3 and 4) or as
+// throughput derived from cycles (Section IV.D). This package substitutes
+// for the FPGA: engines charge the cycles and memory words their RTL
+// counterparts would consume, and the same arithmetic the paper applies
+// (cycles → Mpps → Gbps at minimum Ethernet frame size) converts them to
+// the reported quantities.
+package hwsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultClockHz is the paper's lookup-domain clock: "it is safe to operate
+// the system at the clock of frequency of 200 MHz for timing closure".
+const DefaultClockHz = 200e6
+
+// MinFrameBytes is the minimum Ethernet frame size the paper uses for its
+// Gbps arithmetic ("given a minimum Ethernet frame size of 72 bytes"),
+// i.e. a 64-byte frame plus the 8-byte preamble.
+const MinFrameBytes = 72
+
+// Cost is the hardware cost of one operation: sequential clock cycles plus
+// the memory words touched. Writes correspond to the paper's "lines of
+// information" written during the update process.
+type Cost struct {
+	Cycles int
+	Reads  int
+	Writes int
+}
+
+// Add returns the sum of two costs.
+func (c Cost) Add(d Cost) Cost {
+	return Cost{Cycles: c.Cycles + d.Cycles, Reads: c.Reads + d.Reads, Writes: c.Writes + d.Writes}
+}
+
+// Max returns the per-component maximum, modeling operations that proceed
+// in parallel and complete when the slowest does.
+func (c Cost) Max(d Cost) Cost {
+	return Cost{
+		Cycles: maxInt(c.Cycles, d.Cycles),
+		Reads:  maxInt(c.Reads, d.Reads),
+		Writes: maxInt(c.Writes, d.Writes),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Meter accumulates operation costs.
+type Meter struct {
+	total Cost
+	ops   int
+}
+
+// Charge adds a cost to the meter.
+func (m *Meter) Charge(c Cost) {
+	m.total = m.total.Add(c)
+	m.ops++
+}
+
+// Total returns the accumulated cost.
+func (m *Meter) Total() Cost { return m.total }
+
+// Ops returns the number of charged operations.
+func (m *Meter) Ops() int { return m.ops }
+
+// Reset clears the meter.
+func (m *Meter) Reset() { m.total = Cost{}; m.ops = 0 }
+
+// CyclesPerOp returns the mean cycles per charged operation.
+func (m *Meter) CyclesPerOp() float64 {
+	if m.ops == 0 {
+		return 0
+	}
+	return float64(m.total.Cycles) / float64(m.ops)
+}
+
+// MemoryBlock models one logical FPGA embedded RAM allocation (the Stratix V
+// M20K blocks the paper's design maps onto).
+type MemoryBlock struct {
+	Name     string
+	WordBits int
+	Words    int
+}
+
+// Bytes returns the block's size in bytes, rounded up per word.
+func (b MemoryBlock) Bytes() int {
+	return b.Words * ((b.WordBits + 7) / 8)
+}
+
+// MemoryMap is the set of RAM blocks an engine or system occupies.
+type MemoryMap struct {
+	Blocks []MemoryBlock
+}
+
+// Add appends a block.
+func (m *MemoryMap) Add(name string, wordBits, words int) {
+	m.Blocks = append(m.Blocks, MemoryBlock{Name: name, WordBits: wordBits, Words: words})
+}
+
+// TotalBytes sums all block sizes.
+func (m MemoryMap) TotalBytes() int {
+	total := 0
+	for _, b := range m.Blocks {
+		total += b.Bytes()
+	}
+	return total
+}
+
+// String lists the blocks with sizes.
+func (m MemoryMap) String() string {
+	s := ""
+	for _, b := range m.Blocks {
+		s += fmt.Sprintf("%s: %d x %db (%d B)\n", b.Name, b.Words, b.WordBits, b.Bytes())
+	}
+	return s + fmt.Sprintf("total: %d B", m.TotalBytes())
+}
+
+// Pipeline models a pipelined lookup path: a new item can enter every II
+// cycles (initiation interval) and the first result appears after Latency
+// cycles. StallProb is the probability an item needs one extra round of
+// StallPenalty cycles — in the paper's system, the chance that the first
+// label combination misses in the Rule Filter and the ULI must issue
+// another combination.
+type Pipeline struct {
+	Latency      float64
+	II           float64
+	StallProb    float64
+	StallPenalty float64
+}
+
+// EffectiveII returns the mean initiation interval including stalls.
+func (p Pipeline) EffectiveII() float64 {
+	return p.II + p.StallProb*p.StallPenalty
+}
+
+// CyclesFor returns the total cycles to process n items through the
+// pipeline: fill latency once, then one effective II per further item.
+func (p Pipeline) CyclesFor(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return p.Latency + float64(n-1)*p.EffectiveII()
+}
+
+// PacketsPerSecond converts a steady-state per-packet cycle cost to packet
+// throughput at the given clock.
+func PacketsPerSecond(clockHz, cyclesPerPacket float64) float64 {
+	if cyclesPerPacket <= 0 {
+		return math.Inf(1)
+	}
+	return clockHz / cyclesPerPacket
+}
+
+// Gbps converts packet throughput to line throughput for a given wire
+// frame size (the paper uses the 72-byte minimum Ethernet frame).
+func Gbps(pps float64, frameBytes int) float64 {
+	return pps * float64(frameBytes) * 8 / 1e9
+}
+
+// Mpps formats packet throughput in millions of packets per second.
+func Mpps(pps float64) float64 { return pps / 1e6 }

@@ -1,0 +1,99 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostAddMax(t *testing.T) {
+	a := Cost{Cycles: 3, Reads: 2, Writes: 1}
+	b := Cost{Cycles: 1, Reads: 5, Writes: 0}
+	if got := a.Add(b); got != (Cost{Cycles: 4, Reads: 7, Writes: 1}) {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := a.Max(b); got != (Cost{Cycles: 3, Reads: 5, Writes: 1}) {
+		t.Errorf("Max = %+v", got)
+	}
+}
+
+func TestCostAddCommutative(t *testing.T) {
+	f := func(a, b Cost) bool { return a.Add(b) == b.Add(a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	m.Charge(Cost{Cycles: 10})
+	m.Charge(Cost{Cycles: 20, Writes: 3})
+	if m.Ops() != 2 {
+		t.Errorf("Ops = %d", m.Ops())
+	}
+	if m.Total().Cycles != 30 || m.Total().Writes != 3 {
+		t.Errorf("Total = %+v", m.Total())
+	}
+	if m.CyclesPerOp() != 15 {
+		t.Errorf("CyclesPerOp = %v", m.CyclesPerOp())
+	}
+	m.Reset()
+	if m.Ops() != 0 || m.Total() != (Cost{}) || m.CyclesPerOp() != 0 {
+		t.Error("Reset did not clear the meter")
+	}
+}
+
+func TestMemoryMap(t *testing.T) {
+	var mm MemoryMap
+	mm.Add("trie", 36, 1024) // 36-bit words round to 5 bytes
+	mm.Add("labels", 16, 512)
+	if got := mm.TotalBytes(); got != 1024*5+512*2 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+	if s := mm.String(); s == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestPipelineCycles(t *testing.T) {
+	p := Pipeline{Latency: 8, II: 2}
+	if got := p.CyclesFor(1); got != 8 {
+		t.Errorf("CyclesFor(1) = %v, want 8 (latency)", got)
+	}
+	if got := p.CyclesFor(101); got != 8+100*2 {
+		t.Errorf("CyclesFor(101) = %v", got)
+	}
+	if got := p.CyclesFor(0); got != 0 {
+		t.Errorf("CyclesFor(0) = %v", got)
+	}
+}
+
+func TestPipelineStalls(t *testing.T) {
+	p := Pipeline{Latency: 8, II: 2, StallProb: 0.05, StallPenalty: 2}
+	if got := p.EffectiveII(); math.Abs(got-2.1) > 1e-9 {
+		t.Errorf("EffectiveII = %v, want 2.1", got)
+	}
+}
+
+func TestPaperThroughputArithmetic(t *testing.T) {
+	// Section IV.D: 200 MHz with the MBT pipeline gives 95.23 Mpps, which
+	// at 72-byte minimum frames is ~54 Gbps; the BST mode is 8x slower,
+	// ~6.5-6.9 Gbps.
+	pps := PacketsPerSecond(DefaultClockHz, 2.1)
+	if got := Mpps(pps); math.Abs(got-95.238) > 0.01 {
+		t.Errorf("Mpps = %v, want ~95.238", got)
+	}
+	if got := Gbps(pps, MinFrameBytes); math.Abs(got-54.857) > 0.01 {
+		t.Errorf("Gbps = %v, want ~54.86", got)
+	}
+	bst := PacketsPerSecond(DefaultClockHz, 2.1*8)
+	if got := Gbps(bst, MinFrameBytes); math.Abs(got-6.857) > 0.01 {
+		t.Errorf("BST Gbps = %v, want ~6.86", got)
+	}
+}
+
+func TestPacketsPerSecondZeroCycles(t *testing.T) {
+	if got := PacketsPerSecond(DefaultClockHz, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero cycles should be +Inf, got %v", got)
+	}
+}

@@ -1,0 +1,120 @@
+// Package label defines the label method at the heart of the paper's
+// decomposition architecture. Each unique field match specification (an IP
+// prefix, a port range, a protocol value) is assigned a small integer
+// label; per-field search engines return priority-ordered lists of the
+// labels matching the input field value, and the Unique Label Identifier
+// combines one label per field to address the Rule Filter.
+//
+// Labels are stable across incremental updates: inserting or deleting a
+// rule never renumbers the labels of the remaining rules (Section III.D:
+// "the new labels created should not change the existing labels").
+package label
+
+import "fmt"
+
+// Label identifies one field match specification. Labels are dense small
+// integers assigned by an Allocator.
+type Label uint32
+
+// None is the absent label, used where hardware would drive an invalid
+// label code.
+const None Label = ^Label(0)
+
+// String formats the label, with None rendered symbolically.
+func (l Label) String() string {
+	if l == None {
+		return "L-"
+	}
+	return fmt.Sprintf("L%d", uint32(l))
+}
+
+// Allocator hands out labels and recycles freed ones, keeping the label
+// space dense so hardware tables stay small. The zero value is ready to
+// use.
+type Allocator struct {
+	next Label
+	free []Label
+}
+
+// Alloc returns an unused label.
+func (a *Allocator) Alloc() Label {
+	if n := len(a.free); n > 0 {
+		l := a.free[n-1]
+		a.free = a.free[:n-1]
+		return l
+	}
+	l := a.next
+	a.next++
+	return l
+}
+
+// Free returns a label to the pool. Freeing a label that is still in use
+// elsewhere is a caller bug; the allocator does not detect it.
+func (a *Allocator) Free(l Label) {
+	a.free = append(a.free, l)
+}
+
+// InUse returns the number of currently allocated labels.
+func (a *Allocator) InUse() int {
+	return int(a.next) - len(a.free)
+}
+
+// Space returns the size of the label space handed out so far (the
+// high-water mark hardware tables must be dimensioned for).
+func (a *Allocator) Space() int { return int(a.next) }
+
+// MaxPerField is the label-list bound from the paper: "the maximum number
+// of labels in each field is limited to five labels", based on the
+// observation (from the RFC and ABV studies) that only a small set of
+// rules match any input packet.
+const MaxPerField = 5
+
+// List is a bounded, priority-ordered label list: the first label refers
+// to the highest-priority (most specific) matching specification, mirroring
+// the per-field output register lists of the paper's Search Engine. The
+// zero value is an empty list with the default bound.
+type List struct {
+	labels   []Label
+	limit    int
+	overflow bool
+}
+
+// NewList returns an empty list with the given bound; limit <= 0 selects
+// MaxPerField.
+func NewList(limit int) List {
+	if limit <= 0 {
+		limit = MaxPerField
+	}
+	return List{limit: limit}
+}
+
+// Push appends a label in priority order (callers push highest priority
+// first). Labels beyond the bound are dropped and recorded as overflow,
+// the condition the decision controller's ruleset optimizer must prevent.
+func (s *List) Push(l Label) {
+	if s.limit == 0 {
+		s.limit = MaxPerField
+	}
+	if len(s.labels) >= s.limit {
+		s.overflow = true
+		return
+	}
+	s.labels = append(s.labels, l)
+}
+
+// Labels returns the labels in priority order. The slice is shared; do not
+// modify.
+func (s *List) Labels() []Label { return s.labels }
+
+// Len returns the number of valid labels (the paper's per-list counter
+// value consumed by the ULI).
+func (s *List) Len() int { return len(s.labels) }
+
+// Overflowed reports whether pushes were dropped by the bound.
+func (s *List) Overflowed() bool { return s.overflow }
+
+// Reset empties the list, keeping its bound.
+func (s *List) Reset() {
+	s.labels = s.labels[:0]
+	s.overflow = false
+}

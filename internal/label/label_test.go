@@ -1,0 +1,97 @@
+package label
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocatorDense(t *testing.T) {
+	var a Allocator
+	l0, l1, l2 := a.Alloc(), a.Alloc(), a.Alloc()
+	if l0 != 0 || l1 != 1 || l2 != 2 {
+		t.Fatalf("labels = %v %v %v, want 0 1 2", l0, l1, l2)
+	}
+	if a.InUse() != 3 || a.Space() != 3 {
+		t.Errorf("InUse=%d Space=%d", a.InUse(), a.Space())
+	}
+	a.Free(l1)
+	if a.InUse() != 2 {
+		t.Errorf("InUse after free = %d", a.InUse())
+	}
+	if got := a.Alloc(); got != l1 {
+		t.Errorf("recycled label = %v, want %v", got, l1)
+	}
+	if a.Space() != 3 {
+		t.Errorf("Space grew on recycle: %d", a.Space())
+	}
+}
+
+func TestAllocatorNeverDuplicates(t *testing.T) {
+	f := func(ops []bool) bool {
+		var a Allocator
+		live := make(map[Label]bool)
+		var pool []Label
+		for _, alloc := range ops {
+			if alloc || len(pool) == 0 {
+				l := a.Alloc()
+				if live[l] {
+					return false // duplicate live label
+				}
+				live[l] = true
+				pool = append(pool, l)
+			} else {
+				l := pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+				delete(live, l)
+				a.Free(l)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListPriorityOrderAndBound(t *testing.T) {
+	s := NewList(3)
+	for i := 0; i < 5; i++ {
+		s.Push(Label(i))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !s.Overflowed() {
+		t.Error("expected overflow")
+	}
+	want := []Label{0, 1, 2}
+	for i, l := range s.Labels() {
+		if l != want[i] {
+			t.Errorf("label[%d] = %v, want %v", i, l, want[i])
+		}
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Overflowed() {
+		t.Error("Reset did not clear")
+	}
+	s.Push(9)
+	if s.Len() != 1 {
+		t.Error("Push after Reset failed")
+	}
+}
+
+func TestListDefaultBound(t *testing.T) {
+	var s List // zero value
+	for i := 0; i < 10; i++ {
+		s.Push(Label(i))
+	}
+	if s.Len() != MaxPerField {
+		t.Errorf("zero-value List bound = %d, want %d", s.Len(), MaxPerField)
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if Label(7).String() != "L7" || None.String() != "L-" {
+		t.Errorf("String wrong: %q %q", Label(7).String(), None.String())
+	}
+}

@@ -1,0 +1,251 @@
+package lpm
+
+import (
+	"repro/internal/hwsim"
+	"repro/internal/label"
+)
+
+// BST is the paper's space-efficient LPM candidate: a self-balancing
+// binary search tree over the address intervals of the stored prefixes
+// (an AVL interval tree). One tree node per prefix gives the "low" memory
+// figure of Table II, while lookup needs a root-to-leaf walk of
+// O(log N + matches) sequential RAM reads — the "slow" lookup that makes
+// the BST mode roughly 8x slower than the pipelined MBT in Fig. 4.
+//
+// Prefix intervals are nested or disjoint (a laminar family), so interval
+// stabbing with a max-upper-bound augmentation visits few extra nodes.
+type BST[K Key[K]] struct {
+	root  *bstNode[K]
+	count int
+}
+
+type bstNode[K Key[K]] struct {
+	lo, hi K // interval covered by the prefix
+	plen   uint8
+	lab    label.Label
+
+	left, right *bstNode[K]
+	height      int8
+	maxHi       K // maximum hi in this subtree
+}
+
+// NewBST returns an empty tree.
+func NewBST[K Key[K]]() *BST[K] { return &BST[K]{} }
+
+// Len returns the number of stored prefixes.
+func (t *BST[K]) Len() int { return t.count }
+
+// bstNodeBits is the modeled RAM word per tree node: interval bounds
+// (2x key), label, two child pointers and balance bits. Key width enters
+// via the generic parameter at Memory time.
+func bstNodeBits(keyBits int) int { return 2*keyBits + 16 + 2*20 + 8 }
+
+// Memory reports the single RAM block holding the node pool.
+func (t *BST[K]) Memory() hwsim.MemoryMap {
+	var zero K
+	var mm hwsim.MemoryMap
+	mm.Add("bst-nodes", bstNodeBits(zero.Bits()), t.count)
+	return mm
+}
+
+// Insert stores the prefix, replacing its label if present. Cost: the
+// nodes read along the insertion path plus the rebalancing writes — the
+// "lines of information proportional to the number of rules" that make
+// BST updates cheap in Fig. 3.
+func (t *BST[K]) Insert(p Prefix[K], lab label.Label) hwsim.Cost {
+	p = p.Canonical()
+	lo, hi := p.Key, p.Key.UpperBound(p.Len)
+	var cost hwsim.Cost
+	var replaced bool
+	t.root = t.insert(t.root, lo, hi, p.Len, lab, &cost, &replaced)
+	if !replaced {
+		t.count++
+	}
+	cost.Writes++ // the node (or label) write itself
+	cost.Cycles = cost.Reads + cost.Writes
+	return cost
+}
+
+func (t *BST[K]) insert(n *bstNode[K], lo, hi K, plen uint8, lab label.Label, cost *hwsim.Cost, replaced *bool) *bstNode[K] {
+	if n == nil {
+		nn := &bstNode[K]{lo: lo, hi: hi, plen: plen, lab: lab, height: 1, maxHi: hi}
+		return nn
+	}
+	cost.Reads++
+	switch c := cmpInterval(lo, hi, n.lo, n.hi); {
+	case c < 0:
+		n.left = t.insert(n.left, lo, hi, plen, lab, cost, replaced)
+	case c > 0:
+		n.right = t.insert(n.right, lo, hi, plen, lab, cost, replaced)
+	default:
+		n.lab = lab
+		*replaced = true
+		return n
+	}
+	return rebalance(n, cost)
+}
+
+// cmpInterval orders by lo ascending, then hi descending (outer interval
+// first), which makes (lo,hi) a total order with equality exactly on
+// identical prefixes.
+func cmpInterval[K Key[K]](alo, ahi, blo, bhi K) int {
+	if c := alo.Cmp(blo); c != 0 {
+		return c
+	}
+	return bhi.Cmp(ahi)
+}
+
+// Delete removes the prefix, returning its label and presence.
+func (t *BST[K]) Delete(p Prefix[K]) (label.Label, hwsim.Cost, bool) {
+	p = p.Canonical()
+	lo, hi := p.Key, p.Key.UpperBound(p.Len)
+	var cost hwsim.Cost
+	lab := label.None
+	found := false
+	t.root = t.remove(t.root, lo, hi, &lab, &found, &cost)
+	if found {
+		t.count--
+		cost.Writes++
+	}
+	cost.Cycles = cost.Reads + cost.Writes
+	return lab, cost, found
+}
+
+func (t *BST[K]) remove(n *bstNode[K], lo, hi K, lab *label.Label, found *bool, cost *hwsim.Cost) *bstNode[K] {
+	if n == nil {
+		return nil
+	}
+	cost.Reads++
+	switch c := cmpInterval(lo, hi, n.lo, n.hi); {
+	case c < 0:
+		n.left = t.remove(n.left, lo, hi, lab, found, cost)
+	case c > 0:
+		n.right = t.remove(n.right, lo, hi, lab, found, cost)
+	default:
+		*lab, *found = n.lab, true
+		switch {
+		case n.left == nil:
+			return n.right
+		case n.right == nil:
+			return n.left
+		default:
+			// Replace with in-order successor.
+			succ := n.right
+			for succ.left != nil {
+				cost.Reads++
+				succ = succ.left
+			}
+			n.lo, n.hi, n.plen, n.lab = succ.lo, succ.hi, succ.plen, succ.lab
+			var f2 bool
+			var l2 label.Label
+			n.right = t.remove(n.right, succ.lo, succ.hi, &l2, &f2, cost)
+		}
+	}
+	return rebalance(n, cost)
+}
+
+// Lookup appends the labels of all prefixes containing the key, most
+// specific first. Cost: one read per node visited.
+func (t *BST[K]) Lookup(k K, buf []label.Label) ([]label.Label, hwsim.Cost) {
+	var cost hwsim.Cost
+	type match struct {
+		plen uint8
+		lab  label.Label
+	}
+	var scratch [8]match
+	matches := scratch[:0]
+	var walk func(n *bstNode[K])
+	walk = func(n *bstNode[K]) {
+		if n == nil {
+			return
+		}
+		cost.Reads++
+		if n.maxHi.Cmp(k) < 0 {
+			return // no interval below reaches k
+		}
+		walk(n.left)
+		if n.lo.Cmp(k) <= 0 && k.Cmp(n.hi) <= 0 {
+			matches = append(matches, match{plen: n.plen, lab: n.lab})
+		}
+		if n.lo.Cmp(k) <= 0 {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	// Matches arrive in in-order (lo asc, outer first); within a laminar
+	// family the stabbed intervals are nested, so in-order is widest
+	// first. Emit most specific first by reversing on plen order.
+	for i := 1; i < len(matches); i++ {
+		for j := i; j > 0 && matches[j].plen > matches[j-1].plen; j-- {
+			matches[j], matches[j-1] = matches[j-1], matches[j]
+		}
+	}
+	for _, m := range matches {
+		buf = append(buf, m.lab)
+	}
+	cost.Cycles = cost.Reads
+	return buf, cost
+}
+
+func height[K Key[K]](n *bstNode[K]) int8 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix[K Key[K]](n *bstNode[K]) {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+	n.maxHi = n.hi
+	if n.left != nil && n.left.maxHi.Cmp(n.maxHi) > 0 {
+		n.maxHi = n.left.maxHi
+	}
+	if n.right != nil && n.right.maxHi.Cmp(n.maxHi) > 0 {
+		n.maxHi = n.right.maxHi
+	}
+}
+
+func rebalance[K Key[K]](n *bstNode[K], cost *hwsim.Cost) *bstNode[K] {
+	fix(n)
+	bf := height(n.left) - height(n.right)
+	switch {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+			cost.Writes++
+		}
+		n = rotateRight(n)
+		cost.Writes++
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+			cost.Writes++
+		}
+		n = rotateLeft(n)
+		cost.Writes++
+	}
+	return n
+}
+
+func rotateLeft[K Key[K]](n *bstNode[K]) *bstNode[K] {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	fix(n)
+	fix(r)
+	return r
+}
+
+func rotateRight[K Key[K]](n *bstNode[K]) *bstNode[K] {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	fix(n)
+	fix(l)
+	return l
+}

@@ -1,0 +1,168 @@
+// Package lpm implements the Longest-Prefix-Matching engine candidates of
+// the paper's Search Engine (Section III.C.1): the multi-bit trie (MBT),
+// the binary search tree (BST), the AM-Trie, and the leaf-pushed binary
+// trie included in the Table II comparison.
+//
+// All engines are generic over the address width, supporting both IPv4
+// (32-bit) and IPv6 (128-bit) keys — the IPv6 migration flexibility the
+// paper's introduction calls for. Engines return label lists ordered most
+// specific first (the label-priority order the ULI consumes) together with
+// the hardware cost of the operation.
+package lpm
+
+import "repro/internal/rule"
+
+// Key is a fixed-width bit-addressable lookup key. The constraint is
+// self-referential so methods can return the concrete key type.
+type Key[K any] interface {
+	comparable
+	// Bits returns the key width in bits.
+	Bits() int
+	// Slice returns the n bits starting at MSB offset start,
+	// right-aligned in a uint32. n must be at most 32 and start+n at
+	// most Bits.
+	Slice(start, n uint8) uint32
+	// Masked returns the key with all but the top n bits cleared.
+	Masked(n uint8) K
+	// UpperBound returns the key with all but the top n bits set: the
+	// last address covered by an n-bit prefix of this key.
+	UpperBound(n uint8) K
+	// Cmp returns -1, 0 or +1 comparing the keys as unsigned integers.
+	Cmp(other K) int
+}
+
+// V4 is a 32-bit IPv4 address key.
+type V4 uint32
+
+// Bits returns 32.
+func (V4) Bits() int { return 32 }
+
+// Slice returns n bits at MSB offset start.
+func (k V4) Slice(start, n uint8) uint32 {
+	if n == 0 {
+		return 0
+	}
+	return uint32(k) << start >> (32 - n)
+}
+
+// Masked clears all but the top n bits.
+func (k V4) Masked(n uint8) V4 {
+	if n == 0 {
+		return 0
+	}
+	if n >= 32 {
+		return k
+	}
+	return k & (^V4(0) << (32 - n))
+}
+
+// UpperBound sets all but the top n bits.
+func (k V4) UpperBound(n uint8) V4 {
+	if n >= 32 {
+		return k
+	}
+	return k | ^(^V4(0) << (32 - n))
+}
+
+// Cmp compares as unsigned integers.
+func (k V4) Cmp(o V4) int {
+	switch {
+	case k < o:
+		return -1
+	case k > o:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// V6 is a 128-bit IPv6 address key.
+type V6 struct {
+	Hi, Lo uint64
+}
+
+// V6FromAddr converts the rule-model address.
+func V6FromAddr(a rule.Addr6) V6 { return V6{Hi: a.Hi, Lo: a.Lo} }
+
+// Bits returns 128.
+func (V6) Bits() int { return 128 }
+
+// Slice returns n bits at MSB offset start.
+func (k V6) Slice(start, n uint8) uint32 {
+	if n == 0 {
+		return 0
+	}
+	var hi uint64
+	switch {
+	case start == 0:
+		hi = k.Hi
+	case start < 64:
+		hi = k.Hi<<start | k.Lo>>(64-start)
+	default:
+		hi = k.Lo << (start - 64)
+	}
+	return uint32(hi >> (64 - uint64(n)))
+}
+
+func v6mask(bits int) uint64 {
+	switch {
+	case bits <= 0:
+		return 0
+	case bits >= 64:
+		return ^uint64(0)
+	default:
+		return ^uint64(0) << (64 - bits)
+	}
+}
+
+// Masked clears all but the top n bits.
+func (k V6) Masked(n uint8) V6 {
+	return V6{Hi: k.Hi & v6mask(int(n)), Lo: k.Lo & v6mask(int(n)-64)}
+}
+
+// UpperBound sets all but the top n bits.
+func (k V6) UpperBound(n uint8) V6 {
+	return V6{Hi: k.Hi | ^v6mask(int(n)), Lo: k.Lo | ^v6mask(int(n)-64)}
+}
+
+// Cmp compares as unsigned 128-bit integers.
+func (k V6) Cmp(o V6) int {
+	switch {
+	case k.Hi < o.Hi:
+		return -1
+	case k.Hi > o.Hi:
+		return 1
+	case k.Lo < o.Lo:
+		return -1
+	case k.Lo > o.Lo:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Prefix is a prefix match over a generic key.
+type Prefix[K Key[K]] struct {
+	Key K
+	Len uint8
+}
+
+// Canonical returns the prefix with don't-care bits cleared.
+func (p Prefix[K]) Canonical() Prefix[K] {
+	return Prefix[K]{Key: p.Key.Masked(p.Len), Len: p.Len}
+}
+
+// Matches reports whether k falls inside the prefix.
+func (p Prefix[K]) Matches(k K) bool {
+	return k.Masked(p.Len) == p.Key.Masked(p.Len)
+}
+
+// V4Prefix converts the rule-model IPv4 prefix.
+func V4Prefix(p rule.Prefix) Prefix[V4] {
+	return Prefix[V4]{Key: V4(p.Addr), Len: p.Len}.Canonical()
+}
+
+// V6Prefix converts the rule-model IPv6 prefix.
+func V6Prefix(p rule.Prefix6) Prefix[V6] {
+	return Prefix[V6]{Key: V6FromAddr(p.Addr), Len: p.Len}.Canonical()
+}

@@ -1,0 +1,104 @@
+package lpm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests on the key abstraction, which every engine's correctness
+// rests on.
+
+func TestQuickV4MaskedIdempotent(t *testing.T) {
+	f := func(k V4, n uint8) bool {
+		n %= 33
+		m := k.Masked(n)
+		return m.Masked(n) == m && m == (Prefix[V4]{Key: k, Len: n}).Canonical().Key
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickV4MaskedLEKeyLEUpper(t *testing.T) {
+	f := func(k V4, n uint8) bool {
+		n %= 33
+		return k.Masked(n).Cmp(k) <= 0 && k.Cmp(k.UpperBound(n)) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickV4PrefixMatchEqualsIntervalMembership(t *testing.T) {
+	// A key matches a prefix iff it lies in [Masked, UpperBound] of the
+	// prefix — the equivalence the BST interval representation relies on.
+	f := func(key, addr V4, n uint8) bool {
+		n %= 33
+		p := Prefix[V4]{Key: key, Len: n}.Canonical()
+		inInterval := p.Key.Cmp(addr) <= 0 && addr.Cmp(p.Key.UpperBound(n)) <= 0
+		return p.Matches(addr) == inInterval
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickV6PrefixMatchEqualsIntervalMembership(t *testing.T) {
+	f := func(hi1, lo1, hi2, lo2 uint64, n uint8) bool {
+		n %= 129
+		key := V6{Hi: hi1, Lo: lo1}
+		addr := V6{Hi: hi2, Lo: lo2}
+		p := Prefix[V6]{Key: key, Len: n}.Canonical()
+		inInterval := p.Key.Cmp(addr) <= 0 && addr.Cmp(p.Key.UpperBound(n)) <= 0
+		return p.Matches(addr) == inInterval
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickV6CmpIsTotalOrder(t *testing.T) {
+	f := func(a, b, c V6) bool {
+		// Antisymmetry and transitivity on a sample.
+		if a.Cmp(b) != -b.Cmp(a) {
+			return false
+		}
+		if a.Cmp(b) <= 0 && b.Cmp(c) <= 0 && a.Cmp(c) > 0 {
+			return false
+		}
+		return a.Cmp(a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickV4SliceReassembles(t *testing.T) {
+	// Slicing the key at stride 8 reassembles the original value.
+	f := func(k V4) bool {
+		var re uint32
+		for s := uint8(0); s < 32; s += 8 {
+			re = re<<8 | k.Slice(s, 8)
+		}
+		return re == uint32(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickV6SliceReassembles(t *testing.T) {
+	f := func(k V6) bool {
+		var hi, lo uint64
+		for s := 0; s < 64; s += 16 {
+			hi = hi<<16 | uint64(k.Slice(uint8(s), 16))
+		}
+		for s := 64; s < 128; s += 16 {
+			lo = lo<<16 | uint64(k.Slice(uint8(s), 16))
+		}
+		return hi == k.Hi && lo == k.Lo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package lpm
+
+import (
+	"repro/internal/hwsim"
+	"repro/internal/label"
+)
+
+// LeafPushTrie is the "binary tree with leaf pushing" candidate from
+// Table II. Labels live only at leaves: inserting a prefix pushes its
+// label down to the uncovered leaves of its subtree. Lookup walks one bit
+// per level to a leaf and returns a single label — the longest match only,
+// so the engine cannot produce the label lists the decomposition
+// architecture needs ("label method support: No"), and it is included for
+// the single-field comparison rather than as a classifier building block.
+type LeafPushTrie[K Key[K]] struct {
+	root *lpNode
+	// prefixes retains the inserted prefix set; leaf pushing destroys
+	// enough structure that deletion rebuilds from it.
+	prefixes map[Prefix[K]]label.Label
+	nodes    int
+}
+
+type lpNode struct {
+	// A node is a leaf iff both children are nil. Leaves carry the label
+	// (has=false means no prefix covers this leaf).
+	left, right *lpNode
+	lab         label.Label
+	has         bool
+	plen        uint8 // length of the prefix whose label was pushed here
+}
+
+// NewLeafPushTrie returns an empty trie.
+func NewLeafPushTrie[K Key[K]]() *LeafPushTrie[K] {
+	return &LeafPushTrie[K]{
+		root:     &lpNode{},
+		prefixes: make(map[Prefix[K]]label.Label),
+		nodes:    1,
+	}
+}
+
+// Len returns the number of stored prefixes.
+func (t *LeafPushTrie[K]) Len() int { return len(t.prefixes) }
+
+// Insert stores the prefix, pushing its label to the leaves it covers.
+func (t *LeafPushTrie[K]) Insert(p Prefix[K], lab label.Label) hwsim.Cost {
+	p = p.Canonical()
+	t.prefixes[p] = lab
+	var cost hwsim.Cost
+	t.insert(t.root, p.Key, 0, p.Len, lab, &cost)
+	cost.Cycles = cost.Reads + cost.Writes
+	return cost
+}
+
+func (t *LeafPushTrie[K]) insert(n *lpNode, k K, depth, plen uint8, lab label.Label, cost *hwsim.Cost) {
+	cost.Reads++
+	if depth == plen {
+		t.push(n, lab, plen, cost)
+		return
+	}
+	if n.left == nil && n.right == nil {
+		// Split the leaf: both children inherit its label.
+		n.left = &lpNode{lab: n.lab, has: n.has, plen: n.plen}
+		n.right = &lpNode{lab: n.lab, has: n.has, plen: n.plen}
+		n.has = false
+		t.nodes += 2
+		cost.Writes += 2
+	}
+	if k.Slice(depth, 1) == 0 {
+		t.insert(n.left, k, depth+1, plen, lab, cost)
+	} else {
+		t.insert(n.right, k, depth+1, plen, lab, cost)
+	}
+}
+
+// push writes the label into every leaf of the subtree not already covered
+// by a more specific prefix.
+func (t *LeafPushTrie[K]) push(n *lpNode, lab label.Label, plen uint8, cost *hwsim.Cost) {
+	if n.left == nil && n.right == nil {
+		if !n.has || n.plen <= plen {
+			n.lab, n.has, n.plen = lab, true, plen
+			cost.Writes++
+		}
+		return
+	}
+	cost.Reads++
+	t.push(n.left, lab, plen, cost)
+	t.push(n.right, lab, plen, cost)
+}
+
+// Delete removes a prefix. Leaf pushing loses the information needed for
+// an in-place removal, so the trie is rebuilt from the retained prefix
+// set — the expensive update path that disqualifies the structure for
+// incrementally updated classifiers.
+func (t *LeafPushTrie[K]) Delete(p Prefix[K]) (label.Label, hwsim.Cost, bool) {
+	p = p.Canonical()
+	lab, ok := t.prefixes[p]
+	if !ok {
+		return label.None, hwsim.Cost{Cycles: 1, Reads: 1}, false
+	}
+	delete(t.prefixes, p)
+	var cost hwsim.Cost
+	t.root = &lpNode{}
+	t.nodes = 1
+	for q, l := range t.prefixes {
+		t.insert(t.root, q.Key, 0, q.Len, l, &cost)
+	}
+	cost.Cycles = cost.Reads + cost.Writes
+	return lab, cost, true
+}
+
+// Lookup returns the single longest-match label (appended to buf for
+// interface symmetry with the other engines). Cost: one read per bit
+// level walked — the W-cycle lookup that makes the structure slow.
+func (t *LeafPushTrie[K]) Lookup(k K, buf []label.Label) ([]label.Label, hwsim.Cost) {
+	var cost hwsim.Cost
+	n := t.root
+	var depth uint8
+	for n.left != nil || n.right != nil {
+		cost.Reads++
+		if k.Slice(depth, 1) == 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+		depth++
+	}
+	cost.Reads++
+	cost.Cycles = cost.Reads
+	if n.has {
+		buf = append(buf, n.lab)
+	}
+	return buf, cost
+}
+
+// lpNodeBits is the modeled RAM word per node: two 20-bit child pointers
+// plus a 16-bit label on leaves (shared field) and flags.
+const lpNodeBits = 44
+
+// Memory reports the node pool block. One-bit branching with label storage
+// confined to leaves gives the "very low" memory figure of Table II.
+func (t *LeafPushTrie[K]) Memory() hwsim.MemoryMap {
+	var mm hwsim.MemoryMap
+	mm.Add("leafpush-nodes", lpNodeBits, t.nodes)
+	return mm
+}
+
+// Nodes returns the allocated node count.
+func (t *LeafPushTrie[K]) Nodes() int { return t.nodes }

@@ -1,0 +1,582 @@
+package lpm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/label"
+)
+
+// reference is a naive prefix store used as the differential-test oracle.
+type reference[K Key[K]] struct {
+	prefixes map[Prefix[K]]label.Label
+}
+
+func newReference[K Key[K]]() *reference[K] {
+	return &reference[K]{prefixes: make(map[Prefix[K]]label.Label)}
+}
+
+func (r *reference[K]) insert(p Prefix[K], lab label.Label) { r.prefixes[p.Canonical()] = lab }
+func (r *reference[K]) remove(p Prefix[K])                  { delete(r.prefixes, p.Canonical()) }
+
+// lookup returns all matching labels most specific first.
+func (r *reference[K]) lookup(k K) []label.Label {
+	type match struct {
+		plen uint8
+		lab  label.Label
+	}
+	var ms []match
+	for p, lab := range r.prefixes {
+		if p.Matches(k) {
+			ms = append(ms, match{plen: p.Len, lab: lab})
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].plen > ms[j].plen })
+	out := make([]label.Label, len(ms))
+	for i, m := range ms {
+		out[i] = m.lab
+	}
+	return out
+}
+
+// longest returns only the most specific label, for the leaf-push engine.
+func (r *reference[K]) longest(k K) (label.Label, bool) {
+	ls := r.lookup(k)
+	if len(ls) == 0 {
+		return label.None, false
+	}
+	return ls[0], true
+}
+
+// randomV4Prefixes builds a hierarchical prefix set (like real tables:
+// nested /8 -> /16 -> /24 -> /32 chains).
+func randomV4Prefixes(rnd *rand.Rand, n int) []Prefix[V4] {
+	var out []Prefix[V4]
+	seen := make(map[Prefix[V4]]bool)
+	for len(out) < n {
+		addr := V4(rnd.Uint32())
+		lens := []uint8{0, 8, 12, 16, 20, 24, 28, 32}
+		p := Prefix[V4]{Key: addr, Len: lens[rnd.Intn(len(lens))]}.Canonical()
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func randomV6Prefixes(rnd *rand.Rand, n int) []Prefix[V6] {
+	var out []Prefix[V6]
+	seen := make(map[Prefix[V6]]bool)
+	for len(out) < n {
+		addr := V6{Hi: rnd.Uint64(), Lo: rnd.Uint64()}
+		lens := []uint8{0, 16, 32, 48, 64, 80, 96, 128}
+		p := Prefix[V6]{Key: addr, Len: lens[rnd.Intn(len(lens))]}.Canonical()
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func equalLabels(a, b []label.Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestV4SliceMaskedUpper(t *testing.T) {
+	k := V4(0xc0a80180) // 192.168.1.128
+	if got := k.Slice(0, 8); got != 0xc0 {
+		t.Errorf("Slice(0,8) = %#x", got)
+	}
+	if got := k.Slice(8, 8); got != 0xa8 {
+		t.Errorf("Slice(8,8) = %#x", got)
+	}
+	if got := k.Slice(16, 16); got != 0x0180 {
+		t.Errorf("Slice(16,16) = %#x", got)
+	}
+	if got := k.Slice(0, 0); got != 0 {
+		t.Errorf("Slice(0,0) = %#x", got)
+	}
+	if got := k.Masked(16); got != 0xc0a80000 {
+		t.Errorf("Masked(16) = %#x", got)
+	}
+	if got := k.UpperBound(16); got != 0xc0a8ffff {
+		t.Errorf("UpperBound(16) = %#x", got)
+	}
+	if got := k.Masked(0); got != 0 {
+		t.Errorf("Masked(0) = %#x", got)
+	}
+	if got := k.UpperBound(32); got != k {
+		t.Errorf("UpperBound(32) = %#x", got)
+	}
+}
+
+func TestV6SliceAcrossBoundary(t *testing.T) {
+	k := V6{Hi: 0x0123456789abcdef, Lo: 0xfedcba9876543210}
+	if got := k.Slice(0, 16); got != 0x0123 {
+		t.Errorf("Slice(0,16) = %#x", got)
+	}
+	if got := k.Slice(56, 16); got != 0xeffe {
+		t.Errorf("Slice(56,16) = %#x, want 0xeffe (spans the 64-bit boundary)", got)
+	}
+	if got := k.Slice(64, 8); got != 0xfe {
+		t.Errorf("Slice(64,8) = %#x", got)
+	}
+	if got := k.Slice(120, 8); got != 0x10 {
+		t.Errorf("Slice(120,8) = %#x", got)
+	}
+	if got := k.Masked(72); (got != V6{Hi: 0x0123456789abcdef, Lo: 0xfe00000000000000}) {
+		t.Errorf("Masked(72) = %#x", got)
+	}
+	if got := k.UpperBound(64); (got != V6{Hi: 0x0123456789abcdef, Lo: ^uint64(0)}) {
+		t.Errorf("UpperBound(64) = %#x", got)
+	}
+}
+
+func TestV6SliceConsistentWithV4Style(t *testing.T) {
+	// Property: slicing bit by bit reconstructs Slice of wider chunks.
+	rnd := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		k := V6{Hi: rnd.Uint64(), Lo: rnd.Uint64()}
+		start := uint8(rnd.Intn(113))
+		n := uint8(1 + rnd.Intn(16))
+		var want uint32
+		for b := uint8(0); b < n; b++ {
+			want = want<<1 | k.Slice(start+b, 1)
+		}
+		if got := k.Slice(start, n); got != want {
+			t.Fatalf("Slice(%d,%d) = %#x, want %#x", start, n, got, want)
+		}
+	}
+}
+
+func TestMBTMatchesReference(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for _, stride := range []int{1, 2, 4, 8} {
+		trie, err := NewMultiBitTrie[V4](stride)
+		if err != nil {
+			t.Fatalf("NewMultiBitTrie(%d): %v", stride, err)
+		}
+		ref := newReference[V4]()
+		ps := randomV4Prefixes(rnd, 300)
+		for i, p := range ps {
+			trie.Insert(p, label.Label(i))
+			ref.insert(p, label.Label(i))
+		}
+		if trie.Len() != len(ref.prefixes) {
+			t.Fatalf("stride %d: Len = %d, want %d", stride, trie.Len(), len(ref.prefixes))
+		}
+		verify := func(phase string) {
+			for i := 0; i < 500; i++ {
+				k := testAddr(rnd, ps)
+				got, _ := trie.Lookup(k, nil)
+				want := ref.lookup(k)
+				if !equalLabels(got, want) {
+					t.Fatalf("stride %d %s: lookup(%#x) = %v, want %v", stride, phase, k, got, want)
+				}
+			}
+		}
+		verify("initial")
+
+		// Delete half and re-check.
+		for i := 0; i < len(ps); i += 2 {
+			lab, _, ok := trie.Delete(ps[i])
+			if !ok {
+				t.Fatalf("stride %d: Delete(%v) not found", stride, ps[i])
+			}
+			if lab != label.Label(i) {
+				t.Fatalf("stride %d: Delete returned %v, want %v", stride, lab, label.Label(i))
+			}
+			ref.remove(ps[i])
+		}
+		verify("after delete")
+	}
+}
+
+func TestBSTMatchesReference(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	tree := NewBST[V4]()
+	ref := newReference[V4]()
+	ps := randomV4Prefixes(rnd, 400)
+	for i, p := range ps {
+		tree.Insert(p, label.Label(i))
+		ref.insert(p, label.Label(i))
+	}
+	if tree.Len() != len(ref.prefixes) {
+		t.Fatalf("Len = %d, want %d", tree.Len(), len(ref.prefixes))
+	}
+	for i := 0; i < 800; i++ {
+		k := testAddr(rnd, ps)
+		got, _ := tree.Lookup(k, nil)
+		want := ref.lookup(k)
+		if !equalLabels(got, want) {
+			t.Fatalf("BST lookup(%#x) = %v, want %v", k, got, want)
+		}
+	}
+	for i := 0; i < len(ps); i += 2 {
+		if _, _, ok := tree.Delete(ps[i]); !ok {
+			t.Fatalf("Delete(%v) not found", ps[i])
+		}
+		ref.remove(ps[i])
+	}
+	for i := 0; i < 800; i++ {
+		k := testAddr(rnd, ps)
+		got, _ := tree.Lookup(k, nil)
+		want := ref.lookup(k)
+		if !equalLabels(got, want) {
+			t.Fatalf("after delete: BST lookup(%#x) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+// testAddr picks addresses biased to hit stored prefixes.
+func testAddr(rnd *rand.Rand, ps []Prefix[V4]) V4 {
+	if rnd.Intn(4) > 0 && len(ps) > 0 {
+		p := ps[rnd.Intn(len(ps))]
+		return p.Key | (V4(rnd.Uint32()) &^ (^V4(0) << (32 - p.Len))) // inside p
+	}
+	return V4(rnd.Uint32())
+}
+
+func TestMBTLookupAgainstBST(t *testing.T) {
+	// Cross-check two independent implementations on the same data.
+	rnd := rand.New(rand.NewSource(3))
+	trie, err := NewMultiBitTrie[V4](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := NewBST[V4]()
+	ps := randomV4Prefixes(rnd, 500)
+	for i, p := range ps {
+		trie.Insert(p, label.Label(i))
+		tree.Insert(p, label.Label(i))
+	}
+	for i := 0; i < 2000; i++ {
+		k := testAddr(rnd, ps)
+		a, _ := trie.Lookup(k, nil)
+		b, _ := tree.Lookup(k, nil)
+		if !equalLabels(a, b) {
+			t.Fatalf("MBT %v != BST %v for %#x", a, b, k)
+		}
+	}
+}
+
+func TestMBTV6(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	trie, err := NewMultiBitTrie[V6](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := NewBST[V6]()
+	ref := newReference[V6]()
+	ps := randomV6Prefixes(rnd, 200)
+	for i, p := range ps {
+		trie.Insert(p, label.Label(i))
+		tree.Insert(p, label.Label(i))
+		ref.insert(p, label.Label(i))
+	}
+	if trie.Depth() != 16 {
+		t.Errorf("v6 stride-8 depth = %d, want 16", trie.Depth())
+	}
+	for i := 0; i < 500; i++ {
+		var k V6
+		if rnd.Intn(2) == 0 && len(ps) > 0 {
+			p := ps[rnd.Intn(len(ps))]
+			k = V6{Hi: p.Key.Hi | (rnd.Uint64() & ^v6mask(int(p.Len))), Lo: p.Key.Lo | (rnd.Uint64() & ^v6mask(int(p.Len)-64))}
+		} else {
+			k = V6{Hi: rnd.Uint64(), Lo: rnd.Uint64()}
+		}
+		want := ref.lookup(k)
+		if got, _ := trie.Lookup(k, nil); !equalLabels(got, want) {
+			t.Fatalf("v6 MBT lookup = %v, want %v", got, want)
+		}
+		if got, _ := tree.Lookup(k, nil); !equalLabels(got, want) {
+			t.Fatalf("v6 BST lookup = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLeafPushLongestMatch(t *testing.T) {
+	rnd := rand.New(rand.NewSource(6))
+	trie := NewLeafPushTrie[V4]()
+	ref := newReference[V4]()
+	ps := randomV4Prefixes(rnd, 120)
+	for i, p := range ps {
+		trie.Insert(p, label.Label(i))
+		ref.insert(p, label.Label(i))
+	}
+	if trie.Len() != len(ref.prefixes) {
+		t.Fatalf("Len = %d, want %d", trie.Len(), len(ref.prefixes))
+	}
+	for i := 0; i < 1000; i++ {
+		k := testAddr(rnd, ps)
+		got, _ := trie.Lookup(k, nil)
+		want, ok := ref.longest(k)
+		if !ok {
+			if len(got) != 0 {
+				t.Fatalf("lookup(%#x) = %v, want empty", k, got)
+			}
+			continue
+		}
+		if len(got) != 1 || got[0] != want {
+			t.Fatalf("lookup(%#x) = %v, want [%v]", k, got, want)
+		}
+	}
+	// Delete half (rebuild path) and re-check.
+	for i := 0; i < len(ps); i += 2 {
+		if _, _, ok := trie.Delete(ps[i]); !ok {
+			t.Fatalf("Delete(%v) not found", ps[i])
+		}
+		ref.remove(ps[i])
+	}
+	for i := 0; i < 1000; i++ {
+		k := testAddr(rnd, ps)
+		got, _ := trie.Lookup(k, nil)
+		want, ok := ref.longest(k)
+		if !ok {
+			if len(got) != 0 {
+				t.Fatalf("after delete: lookup(%#x) = %v, want empty", k, got)
+			}
+			continue
+		}
+		if len(got) != 1 || got[0] != want {
+			t.Fatalf("after delete: lookup(%#x) = %v, want [%v]", k, got, want)
+		}
+	}
+}
+
+func TestMBTCostsAndMemory(t *testing.T) {
+	trie, err := NewMultiBitTrie[V4](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trie.Depth() != 4 {
+		t.Errorf("stride-8 v4 depth = %d, want 4", trie.Depth())
+	}
+	base := trie.Memory().TotalBytes()
+
+	// A /24 lands exactly on a level boundary: one slot write plus two
+	// node allocations, each costing a pointer write and a 256-bit valid
+	// bitmap (8 words).
+	c := trie.Insert(Prefix[V4]{Key: 0x0a000100, Len: 24}, 1)
+	if want := 2*(1+8) + 1; c.Writes != want {
+		t.Errorf("insert /24 writes = %d, want %d (2 node images + 1 slot)", c.Writes, want)
+	}
+	// A /25 in the last level expands into 2^(8-1)=128 slots.
+	c = trie.Insert(Prefix[V4]{Key: 0x0a000100, Len: 25}, 2)
+	if c.Writes < 128 {
+		t.Errorf("insert /25 writes = %d, want >= 128 (expansion)", c.Writes)
+	}
+	if got := trie.Memory().TotalBytes(); got <= base {
+		t.Error("memory did not grow with inserts")
+	}
+
+	// Lookup reads one slot per level.
+	_, lc := trie.Lookup(V4(0x0a000180), nil)
+	if lc.Reads != 4 {
+		t.Errorf("lookup reads = %d, want 4", lc.Reads)
+	}
+
+	// Delete both, trie prunes back to the root.
+	if _, _, ok := trie.Delete(Prefix[V4]{Key: 0x0a000100, Len: 24}); !ok {
+		t.Fatal("delete /24 failed")
+	}
+	if _, _, ok := trie.Delete(Prefix[V4]{Key: 0x0a000100, Len: 25}); !ok {
+		t.Fatal("delete /25 failed")
+	}
+	if trie.Nodes() != 1 {
+		t.Errorf("nodes after full delete = %d, want 1 (root)", trie.Nodes())
+	}
+	if trie.Len() != 0 {
+		t.Errorf("Len after full delete = %d", trie.Len())
+	}
+}
+
+func TestBSTCheaperUpdatesThanMBT(t *testing.T) {
+	// Fig. 3's premise: BST update lines are proportional to rules, while
+	// MBT writes many more lines (trie node expansion).
+	rnd := rand.New(rand.NewSource(7))
+	trie, err := NewMultiBitTrie[V4](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := NewBST[V4]()
+	var mbtWrites, bstWrites int
+	for i, p := range randomV4Prefixes(rnd, 500) {
+		mbtWrites += trie.Insert(p, label.Label(i)).Writes
+		bstWrites += tree.Insert(p, label.Label(i)).Writes
+	}
+	if mbtWrites <= 2*bstWrites {
+		t.Errorf("expected MBT update writes (%d) >> BST update writes (%d)", mbtWrites, bstWrites)
+	}
+}
+
+func TestBSTLowerMemoryThanMBT(t *testing.T) {
+	rnd := rand.New(rand.NewSource(8))
+	trie, err := NewMultiBitTrie[V4](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := NewBST[V4]()
+	for i, p := range randomV4Prefixes(rnd, 1000) {
+		trie.Insert(p, label.Label(i))
+		tree.Insert(p, label.Label(i))
+	}
+	mbtB, bstB := trie.Memory().TotalBytes(), tree.Memory().TotalBytes()
+	if bstB >= mbtB {
+		t.Errorf("expected BST memory (%d) < MBT memory (%d)", bstB, mbtB)
+	}
+}
+
+func TestBSTSlowerLookupThanMBT(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	trie, err := NewMultiBitTrie[V4](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := NewBST[V4]()
+	ps := randomV4Prefixes(rnd, 2000)
+	for i, p := range ps {
+		trie.Insert(p, label.Label(i))
+		tree.Insert(p, label.Label(i))
+	}
+	var mbtCycles, bstCycles int
+	for i := 0; i < 1000; i++ {
+		k := testAddr(rnd, ps)
+		_, c1 := trie.Lookup(k, nil)
+		_, c2 := tree.Lookup(k, nil)
+		mbtCycles += c1.Cycles
+		bstCycles += c2.Cycles
+	}
+	if bstCycles <= 2*mbtCycles {
+		t.Errorf("expected BST lookup cycles (%d) >> MBT cycles (%d)", bstCycles, mbtCycles)
+	}
+}
+
+func TestChooseStrides(t *testing.T) {
+	lens := []uint8{8, 16, 16, 24, 24, 24, 32, 32}
+	strides := ChooseStrides(32, lens, 8)
+	sum := 0
+	for _, s := range strides {
+		sum += int(s)
+		if s == 0 || s > 8 {
+			t.Errorf("stride %d out of range", s)
+		}
+	}
+	if sum != 32 {
+		t.Errorf("strides %v sum to %d, want 32", strides, sum)
+	}
+	trie, err := NewVariableStrideTrie[V4](strides)
+	if err != nil {
+		t.Fatalf("NewVariableStrideTrie(%v): %v", strides, err)
+	}
+	rnd := rand.New(rand.NewSource(10))
+	ref := newReference[V4]()
+	ps := randomV4Prefixes(rnd, 300)
+	for i, p := range ps {
+		trie.Insert(p, label.Label(i))
+		ref.insert(p, label.Label(i))
+	}
+	for i := 0; i < 1000; i++ {
+		k := testAddr(rnd, ps)
+		got, _ := trie.Lookup(k, nil)
+		if want := ref.lookup(k); !equalLabels(got, want) {
+			t.Fatalf("AM-Trie lookup = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAMTrieLowerExpansionThanMismatchedStrides(t *testing.T) {
+	// Adaptive strides aligned to the length distribution write fewer
+	// expansion lines than a deliberately misaligned layout.
+	rnd := rand.New(rand.NewSource(11))
+	ps := randomV4Prefixes(rnd, 500)
+	var lens []uint8
+	for _, p := range ps {
+		lens = append(lens, p.Len)
+	}
+	am, err := NewVariableStrideTrie[V4](ChooseStrides(32, lens, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comparable node sizes, but level boundaries (6/14/22/30) avoid the
+	// popular prefix lengths, forcing expansion.
+	bad, err := NewVariableStrideTrie[V4]([]uint8{6, 8, 8, 8, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var amWrites, badWrites int
+	for i, p := range ps {
+		amWrites += am.Insert(p, label.Label(i)).Writes
+		badWrites += bad.Insert(p, label.Label(i)).Writes
+	}
+	if amWrites >= badWrites {
+		t.Errorf("adaptive strides wrote %d lines, misaligned %d; expected fewer", amWrites, badWrites)
+	}
+}
+
+func TestTrieConstructorErrors(t *testing.T) {
+	if _, err := NewMultiBitTrie[V4](0); err == nil {
+		t.Error("stride 0 should fail")
+	}
+	if _, err := NewMultiBitTrie[V4](17); err == nil {
+		t.Error("stride 17 should fail")
+	}
+	if _, err := NewVariableStrideTrie[V4]([]uint8{8, 8}); err == nil {
+		t.Error("short strides should fail")
+	}
+	if _, err := NewVariableStrideTrie[V4]([]uint8{8, 8, 8, 8, 8}); err == nil {
+		t.Error("long strides should fail")
+	}
+	if _, err := NewVariableStrideTrie[V4]([]uint8{0, 16, 16}); err == nil {
+		t.Error("zero stride should fail")
+	}
+}
+
+func TestDeleteMissingPrefix(t *testing.T) {
+	trie, _ := NewMultiBitTrie[V4](8)
+	if _, _, ok := trie.Delete(Prefix[V4]{Key: 1, Len: 32}); ok {
+		t.Error("MBT delete of absent prefix reported found")
+	}
+	tree := NewBST[V4]()
+	if _, _, ok := tree.Delete(Prefix[V4]{Key: 1, Len: 32}); ok {
+		t.Error("BST delete of absent prefix reported found")
+	}
+	lp := NewLeafPushTrie[V4]()
+	if _, _, ok := lp.Delete(Prefix[V4]{Key: 1, Len: 32}); ok {
+		t.Error("leaf-push delete of absent prefix reported found")
+	}
+}
+
+func TestWildcardPrefix(t *testing.T) {
+	trie, _ := NewMultiBitTrie[V4](8)
+	tree := NewBST[V4]()
+	w := Prefix[V4]{Len: 0}
+	trie.Insert(w, 42)
+	tree.Insert(w, 42)
+	got, _ := trie.Lookup(V4(0xdeadbeef), nil)
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("MBT wildcard lookup = %v", got)
+	}
+	got, _ = tree.Lookup(V4(0xdeadbeef), nil)
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("BST wildcard lookup = %v", got)
+	}
+	if _, _, ok := trie.Delete(w); !ok {
+		t.Error("MBT wildcard delete failed")
+	}
+	got, _ = trie.Lookup(V4(0xdeadbeef), nil)
+	if len(got) != 0 {
+		t.Errorf("after wildcard delete, MBT lookup = %v", got)
+	}
+}

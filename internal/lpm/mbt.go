@@ -1,0 +1,363 @@
+package lpm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hwsim"
+	"repro/internal/label"
+)
+
+// MultiBitTrie is the paper's MBT engine: a fixed- or variable-stride trie
+// with controlled prefix expansion. Each level consumes strides[d] key
+// bits; a prefix whose length falls inside a level is expanded into
+// 2^(levelBits-remainder) slots of that level's node. Lookup reads one
+// node slot per level — in hardware each level is a pipeline stage backed
+// by its own RAM block, which is why the paper runs the MBT mode "with
+// deep pipelining to support high throughput".
+//
+// The same implementation covers the AM-Trie candidate: AM-Trie chooses
+// asymmetric strides adapted to the prefix-length distribution (see
+// ChooseStrides), trading lookup stages against expansion memory.
+type MultiBitTrie[K Key[K]] struct {
+	strides []uint8
+	offsets []uint8 // offsets[d] = sum of strides[:d]
+	root    *mbtNode
+	// defaultLabel holds the len-0 (wildcard) prefix, which hardware
+	// keeps in a register rather than the trie RAM.
+	defaultLabel label.Label
+	hasDefault   bool
+
+	count int // stored prefixes
+	nodes int // allocated nodes
+	slots int // allocated slot words (expansion-inclusive memory)
+}
+
+type mbtNode struct {
+	slots []mbtSlot
+	// population counts stored entries plus child pointers, for pruning.
+	population int
+}
+
+type mbtSlot struct {
+	// entries hold the expanded prefixes covering this slot, sorted by
+	// descending prefix length (most specific first).
+	entries []mbtEntry
+	child   *mbtNode
+}
+
+type mbtEntry struct {
+	plen uint8
+	lab  label.Label
+}
+
+// NewMultiBitTrie returns an MBT with a uniform stride. The paper's MBT
+// configuration corresponds to stride 8 on IPv4 (four pipeline stages).
+func NewMultiBitTrie[K Key[K]](stride int) (*MultiBitTrie[K], error) {
+	var zero K
+	bits := zero.Bits()
+	if stride <= 0 || stride > 16 {
+		return nil, fmt.Errorf("mbt: stride %d out of range [1,16]", stride)
+	}
+	var strides []uint8
+	for got := 0; got < bits; got += stride {
+		s := stride
+		if got+s > bits {
+			s = bits - got
+		}
+		strides = append(strides, uint8(s))
+	}
+	return NewVariableStrideTrie[K](strides)
+}
+
+// NewVariableStrideTrie returns a trie with explicit per-level strides,
+// which must sum to the key width. This is the AM-Trie construction when
+// used with ChooseStrides.
+func NewVariableStrideTrie[K Key[K]](strides []uint8) (*MultiBitTrie[K], error) {
+	var zero K
+	bits := zero.Bits()
+	total := 0
+	offsets := make([]uint8, len(strides))
+	for i, s := range strides {
+		if s == 0 || s > 16 {
+			return nil, fmt.Errorf("mbt: level %d stride %d out of range [1,16]", i, s)
+		}
+		offsets[i] = uint8(total)
+		total += int(s)
+	}
+	if total != bits {
+		return nil, fmt.Errorf("mbt: strides sum to %d, want %d", total, bits)
+	}
+	t := &MultiBitTrie[K]{strides: append([]uint8(nil), strides...), offsets: offsets}
+	t.root = t.newNode(0)
+	return t, nil
+}
+
+// ChooseStrides implements the AM-Trie stride-selection heuristic: level
+// boundaries are placed at the most frequent prefix lengths (so those
+// prefixes expand into exactly one slot), subject to a maximum stride.
+func ChooseStrides(bits int, lens []uint8, maxStride int) []uint8 {
+	if maxStride <= 0 || maxStride > 16 {
+		maxStride = 8
+	}
+	freq := make(map[uint8]int)
+	for _, l := range lens {
+		if int(l) > 0 && int(l) <= bits {
+			freq[l]++
+		}
+	}
+	// Pick boundaries greedily by frequency.
+	type lf struct {
+		l uint8
+		f int
+	}
+	var cand []lf
+	for l, f := range freq {
+		cand = append(cand, lf{l, f})
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].f != cand[j].f {
+			return cand[i].f > cand[j].f
+		}
+		return cand[i].l < cand[j].l
+	})
+	boundaries := map[int]bool{bits: true}
+	for _, c := range cand[:minInt(len(cand), 6)] {
+		boundaries[int(c.l)] = true
+	}
+	var pts []int
+	for b := range boundaries {
+		pts = append(pts, b)
+	}
+	sort.Ints(pts)
+	// Emit strides, splitting any gap larger than maxStride.
+	var strides []uint8
+	prev := 0
+	for _, b := range pts {
+		for b-prev > maxStride {
+			strides = append(strides, uint8(maxStride))
+			prev += maxStride
+		}
+		if b > prev {
+			strides = append(strides, uint8(b-prev))
+			prev = b
+		}
+	}
+	return strides
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (t *MultiBitTrie[K]) newNode(level int) *mbtNode {
+	n := &mbtNode{slots: make([]mbtSlot, 1<<t.strides[level])}
+	t.nodes++
+	t.slots += len(n.slots)
+	return n
+}
+
+// levelOf returns the level whose span contains a prefix of length l>0:
+// the unique d with offsets[d] < l <= offsets[d]+strides[d].
+func (t *MultiBitTrie[K]) levelOf(l uint8) int {
+	for d := range t.strides {
+		if l <= t.offsets[d]+t.strides[d] {
+			return d
+		}
+	}
+	return len(t.strides) - 1
+}
+
+// Insert stores the prefix with its label, replacing the label if the
+// prefix is already present, and returns the hardware cost: one write per
+// expanded slot touched (the paper's "lines of information"), plus one
+// write per node allocation.
+func (t *MultiBitTrie[K]) Insert(p Prefix[K], lab label.Label) hwsim.Cost {
+	p = p.Canonical()
+	if p.Len == 0 {
+		if !t.hasDefault {
+			t.count++
+		}
+		t.hasDefault, t.defaultLabel = true, lab
+		return hwsim.Cost{Cycles: 1, Writes: 1}
+	}
+	var cost hwsim.Cost
+	d := t.levelOf(p.Len)
+	n := t.root
+	for lvl := 0; lvl < d; lvl++ {
+		idx := p.Key.Slice(t.offsets[lvl], t.strides[lvl])
+		s := &n.slots[idx]
+		if s.child == nil {
+			s.child = t.newNode(lvl + 1)
+			n.population++
+			// Allocating a node downloads its image: the child pointer
+			// plus the node's valid bitmap (one bit per slot, packed in
+			// 32-bit words). This per-node overhead is what makes the
+			// MBT update in Fig. 3 markedly more expensive than the
+			// BST's one-line-per-rule updates.
+			cost.Writes += 1 + (len(s.child.slots)+31)/32
+		}
+		cost.Reads++
+		n = s.child
+	}
+	inLevel := p.Len - t.offsets[d]
+	base := p.Key.Slice(t.offsets[d], inLevel) << (t.strides[d] - inLevel)
+	span := uint32(1) << (t.strides[d] - inLevel)
+	replaced := false
+	for i := uint32(0); i < span; i++ {
+		s := &n.slots[base+i]
+		if j := findEntry(s.entries, p.Len); j >= 0 {
+			s.entries[j].lab = lab
+			replaced = true
+		} else {
+			s.entries = insertEntry(s.entries, mbtEntry{plen: p.Len, lab: lab})
+			n.population++
+		}
+		cost.Writes++
+	}
+	cost.Cycles = cost.Reads + cost.Writes
+	if !replaced {
+		t.count++
+	}
+	return cost
+}
+
+func findEntry(es []mbtEntry, plen uint8) int {
+	for i := range es {
+		if es[i].plen == plen {
+			return i
+		}
+	}
+	return -1
+}
+
+// insertEntry keeps entries sorted by descending prefix length.
+func insertEntry(es []mbtEntry, e mbtEntry) []mbtEntry {
+	i := sort.Search(len(es), func(i int) bool { return es[i].plen < e.plen })
+	es = append(es, mbtEntry{})
+	copy(es[i+1:], es[i:])
+	es[i] = e
+	return es
+}
+
+// Delete removes the prefix, returning its label and whether it was
+// present, plus the hardware cost.
+func (t *MultiBitTrie[K]) Delete(p Prefix[K]) (label.Label, hwsim.Cost, bool) {
+	p = p.Canonical()
+	if p.Len == 0 {
+		if !t.hasDefault {
+			return label.None, hwsim.Cost{Cycles: 1, Reads: 1}, false
+		}
+		lab := t.defaultLabel
+		t.hasDefault = false
+		t.count--
+		return lab, hwsim.Cost{Cycles: 1, Writes: 1}, true
+	}
+	var cost hwsim.Cost
+	d := t.levelOf(p.Len)
+	// Record the path for pruning.
+	type step struct {
+		n   *mbtNode
+		idx uint32
+	}
+	path := make([]step, 0, d)
+	n := t.root
+	for lvl := 0; lvl < d; lvl++ {
+		idx := p.Key.Slice(t.offsets[lvl], t.strides[lvl])
+		s := &n.slots[idx]
+		cost.Reads++
+		if s.child == nil {
+			cost.Cycles = cost.Reads
+			return label.None, cost, false
+		}
+		path = append(path, step{n: n, idx: idx})
+		n = s.child
+	}
+	inLevel := p.Len - t.offsets[d]
+	base := p.Key.Slice(t.offsets[d], inLevel) << (t.strides[d] - inLevel)
+	span := uint32(1) << (t.strides[d] - inLevel)
+	lab := label.None
+	found := false
+	for i := uint32(0); i < span; i++ {
+		s := &n.slots[base+i]
+		if j := findEntry(s.entries, p.Len); j >= 0 {
+			lab = s.entries[j].lab
+			s.entries = append(s.entries[:j], s.entries[j+1:]...)
+			n.population--
+			found = true
+			cost.Writes++
+		}
+	}
+	if !found {
+		cost.Cycles = cost.Reads
+		return label.None, cost, false
+	}
+	t.count--
+	// Prune empty nodes bottom-up.
+	for i := len(path) - 1; i >= 0 && n.population == 0; i-- {
+		parent := path[i]
+		parent.n.slots[parent.idx].child = nil
+		parent.n.population--
+		t.nodes--
+		t.slots -= len(n.slots)
+		cost.Writes++
+		n = parent.n
+	}
+	cost.Cycles = cost.Reads + cost.Writes
+	return lab, cost, true
+}
+
+// Lookup appends the labels of all prefixes matching the key to buf, most
+// specific first, and returns the hardware cost: one RAM read per level
+// visited. In the pipelined hardware these reads are successive stages, so
+// per-packet latency is the trie depth while the initiation interval stays
+// constant.
+func (t *MultiBitTrie[K]) Lookup(k K, buf []label.Label) ([]label.Label, hwsim.Cost) {
+	var cost hwsim.Cost
+	var scratch [8]mbtEntry
+	matches := scratch[:0]
+	n := t.root
+	for lvl := 0; n != nil && lvl < len(t.strides); lvl++ {
+		idx := k.Slice(t.offsets[lvl], t.strides[lvl])
+		s := &n.slots[idx]
+		cost.Reads++
+		matches = append(matches, s.entries...)
+		n = s.child
+	}
+	// Entries collected level by level are grouped ascending by level;
+	// emit most specific first.
+	sort.Slice(matches, func(i, j int) bool { return matches[i].plen > matches[j].plen })
+	for _, m := range matches {
+		buf = append(buf, m.lab)
+	}
+	if t.hasDefault {
+		buf = append(buf, t.defaultLabel)
+	}
+	cost.Cycles = cost.Reads
+	return buf, cost
+}
+
+// Len returns the number of stored prefixes.
+func (t *MultiBitTrie[K]) Len() int { return t.count }
+
+// Depth returns the number of pipeline stages (trie levels).
+func (t *MultiBitTrie[K]) Depth() int { return len(t.strides) }
+
+// mbtSlotBits is the modeled RAM word per trie slot: a 16-bit label, a
+// 6-bit prefix length, a 20-bit child pointer and validity flags.
+const mbtSlotBits = 44
+
+// Memory reports the RAM blocks the trie occupies. Expansion makes this
+// the paper's "inefficient storage" number: every allocated slot word
+// counts whether or not a prefix covers it.
+func (t *MultiBitTrie[K]) Memory() hwsim.MemoryMap {
+	var mm hwsim.MemoryMap
+	mm.Add("mbt-slots", mbtSlotBits, t.slots)
+	return mm
+}
+
+// Nodes returns the number of allocated trie nodes.
+func (t *MultiBitTrie[K]) Nodes() int { return t.nodes }

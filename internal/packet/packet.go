@@ -1,0 +1,232 @@
+// Package packet parses raw packets into the 5-tuple headers the lookup
+// domain classifies, implementing the Packet Header Partition/Selector
+// block of the paper's Fig. 1: the packet header is split into fields and
+// each field is steered to the engine selected for it.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/rule"
+)
+
+// Parsing errors.
+var (
+	ErrTruncated   = errors.New("truncated packet")
+	ErrNotIP       = errors.New("not an IPv4/IPv6 packet")
+	ErrBadIHL      = errors.New("bad IPv4 header length")
+	ErrBadVersion  = errors.New("bad IP version")
+	ErrNoTransport = errors.New("no transport header")
+)
+
+// EtherType values understood by the parser.
+const (
+	etherTypeIPv4 = 0x0800
+	etherTypeIPv6 = 0x86dd
+
+	etherHeaderLen = 14
+	ipv4MinHeader  = 20
+	ipv6HeaderLen  = 40
+)
+
+// ParseEthernet extracts the IPv4 5-tuple from an Ethernet frame.
+func ParseEthernet(frame []byte) (rule.Header, error) {
+	if len(frame) < etherHeaderLen {
+		return rule.Header{}, fmt.Errorf("ethernet header: %w", ErrTruncated)
+	}
+	et := binary.BigEndian.Uint16(frame[12:14])
+	switch et {
+	case etherTypeIPv4:
+		return ParseIPv4(frame[etherHeaderLen:])
+	default:
+		return rule.Header{}, fmt.Errorf("ethertype 0x%04x: %w", et, ErrNotIP)
+	}
+}
+
+// ParseIPv4 extracts the 5-tuple from an IPv4 packet (starting at the IP
+// header). For TCP/UDP the transport ports are parsed; for other protocols
+// the ports are zero, matching the convention of the paper's rulesets where
+// non-TCP/UDP rules use wildcard port ranges.
+func ParseIPv4(pkt []byte) (rule.Header, error) {
+	if len(pkt) < ipv4MinHeader {
+		return rule.Header{}, fmt.Errorf("ipv4 header: %w", ErrTruncated)
+	}
+	if v := pkt[0] >> 4; v != 4 {
+		return rule.Header{}, fmt.Errorf("version %d: %w", v, ErrBadVersion)
+	}
+	ihl := int(pkt[0]&0x0f) * 4
+	if ihl < ipv4MinHeader {
+		return rule.Header{}, fmt.Errorf("ihl %d: %w", ihl, ErrBadIHL)
+	}
+	if len(pkt) < ihl {
+		return rule.Header{}, fmt.Errorf("ipv4 options: %w", ErrTruncated)
+	}
+	h := rule.Header{
+		Proto: pkt[9],
+		SrcIP: binary.BigEndian.Uint32(pkt[12:16]),
+		DstIP: binary.BigEndian.Uint32(pkt[16:20]),
+	}
+	// Fragments past the first carry no transport header.
+	fragOffset := binary.BigEndian.Uint16(pkt[6:8]) & 0x1fff
+	if fragOffset != 0 {
+		return h, nil
+	}
+	if h.Proto == rule.ProtoTCP || h.Proto == rule.ProtoUDP {
+		if len(pkt) < ihl+4 {
+			return rule.Header{}, fmt.Errorf("transport ports: %w", ErrTruncated)
+		}
+		h.SrcPort = binary.BigEndian.Uint16(pkt[ihl : ihl+2])
+		h.DstPort = binary.BigEndian.Uint16(pkt[ihl+2 : ihl+4])
+	}
+	return h, nil
+}
+
+// ParseEthernet6 extracts the IPv6 5-tuple from an Ethernet frame.
+func ParseEthernet6(frame []byte) (rule.Header6, error) {
+	if len(frame) < etherHeaderLen {
+		return rule.Header6{}, fmt.Errorf("ethernet header: %w", ErrTruncated)
+	}
+	if et := binary.BigEndian.Uint16(frame[12:14]); et != etherTypeIPv6 {
+		return rule.Header6{}, fmt.Errorf("ethertype 0x%04x: %w", et, ErrNotIP)
+	}
+	return ParseIPv6(frame[etherHeaderLen:])
+}
+
+// ParseIPv6 extracts the 5-tuple from an IPv6 packet. Only the base header
+// is walked; extension headers other than hop-by-hop, routing and
+// destination options stop the port parse (ports stay zero).
+func ParseIPv6(pkt []byte) (rule.Header6, error) {
+	if len(pkt) < ipv6HeaderLen {
+		return rule.Header6{}, fmt.Errorf("ipv6 header: %w", ErrTruncated)
+	}
+	if v := pkt[0] >> 4; v != 6 {
+		return rule.Header6{}, fmt.Errorf("version %d: %w", v, ErrBadVersion)
+	}
+	h := rule.Header6{
+		SrcIP: rule.Addr6{
+			Hi: binary.BigEndian.Uint64(pkt[8:16]),
+			Lo: binary.BigEndian.Uint64(pkt[16:24]),
+		},
+		DstIP: rule.Addr6{
+			Hi: binary.BigEndian.Uint64(pkt[24:32]),
+			Lo: binary.BigEndian.Uint64(pkt[32:40]),
+		},
+	}
+	next := pkt[6]
+	off := ipv6HeaderLen
+	// Skip chainable extension headers: hop-by-hop (0), routing (43),
+	// destination options (60).
+	for next == 0 || next == 43 || next == 60 {
+		if len(pkt) < off+8 {
+			return rule.Header6{}, fmt.Errorf("ipv6 extension header: %w", ErrTruncated)
+		}
+		l := int(pkt[off+1])*8 + 8
+		next = pkt[off]
+		off += l
+	}
+	h.Proto = next
+	if next == rule.ProtoTCP || next == rule.ProtoUDP {
+		if len(pkt) < off+4 {
+			return rule.Header6{}, fmt.Errorf("transport ports: %w", ErrTruncated)
+		}
+		h.SrcPort = binary.BigEndian.Uint16(pkt[off : off+2])
+		h.DstPort = binary.BigEndian.Uint16(pkt[off+2 : off+4])
+	}
+	return h, nil
+}
+
+// BuildIPv4 serializes a header into a minimal valid IPv4 packet with an
+// empty transport payload. It is the inverse of ParseIPv4 for test
+// stimulus, mirroring the paper's binary stimulus files.
+func BuildIPv4(h rule.Header) []byte {
+	transport := 0
+	if h.Proto == rule.ProtoTCP {
+		transport = 20
+	} else if h.Proto == rule.ProtoUDP {
+		transport = 8
+	}
+	pkt := make([]byte, ipv4MinHeader+transport)
+	pkt[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(pkt[2:4], uint16(len(pkt)))
+	pkt[8] = 64 // TTL
+	pkt[9] = h.Proto
+	binary.BigEndian.PutUint32(pkt[12:16], h.SrcIP)
+	binary.BigEndian.PutUint32(pkt[16:20], h.DstIP)
+	binary.BigEndian.PutUint16(pkt[10:12], ipv4Checksum(pkt[:ipv4MinHeader]))
+	if transport > 0 {
+		binary.BigEndian.PutUint16(pkt[20:22], h.SrcPort)
+		binary.BigEndian.PutUint16(pkt[22:24], h.DstPort)
+		if h.Proto == rule.ProtoUDP {
+			binary.BigEndian.PutUint16(pkt[24:26], 8) // UDP length
+		} else {
+			pkt[32] = 5 << 4 // TCP data offset
+		}
+	}
+	return pkt
+}
+
+// BuildEthernet wraps an IP packet in an Ethernet frame with the given
+// EtherType inferred from the IP version byte.
+func BuildEthernet(ip []byte) []byte {
+	frame := make([]byte, etherHeaderLen+len(ip))
+	et := uint16(etherTypeIPv4)
+	if len(ip) > 0 && ip[0]>>4 == 6 {
+		et = etherTypeIPv6
+	}
+	// Locally-administered placeholder MACs.
+	copy(frame[0:6], []byte{0x02, 0, 0, 0, 0, 2})
+	copy(frame[6:12], []byte{0x02, 0, 0, 0, 0, 1})
+	binary.BigEndian.PutUint16(frame[12:14], et)
+	copy(frame[etherHeaderLen:], ip)
+	return frame
+}
+
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// Partition names the five header fields in the order the Search Engine
+// consumes them. It exists so engine wiring, cost reports and logs agree on
+// field identity and order.
+type Field int
+
+// The five classic 5-tuple fields.
+const (
+	FieldSrcIP Field = iota
+	FieldDstIP
+	FieldSrcPort
+	FieldDstPort
+	FieldProto
+	NumFields // sentinel: number of fields
+)
+
+// String returns the short field mnemonic used in reports (matches the
+// paper's L_IPs, L_IPd, L_Ps, L_Pd, L_PRT label naming).
+func (f Field) String() string {
+	switch f {
+	case FieldSrcIP:
+		return "IPs"
+	case FieldDstIP:
+		return "IPd"
+	case FieldSrcPort:
+		return "Ps"
+	case FieldDstPort:
+		return "Pd"
+	case FieldProto:
+		return "PRT"
+	default:
+		return fmt.Sprintf("field(%d)", int(f))
+	}
+}

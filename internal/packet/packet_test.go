@@ -1,0 +1,155 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rule"
+)
+
+func TestParseIPv4RoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	protos := []uint8{rule.ProtoTCP, rule.ProtoUDP, rule.ProtoICMP, 89 /* OSPF */}
+	for i := 0; i < 500; i++ {
+		want := rule.Header{
+			SrcIP:   rnd.Uint32(),
+			DstIP:   rnd.Uint32(),
+			SrcPort: uint16(rnd.Intn(1 << 16)),
+			DstPort: uint16(rnd.Intn(1 << 16)),
+			Proto:   protos[rnd.Intn(len(protos))],
+		}
+		if want.Proto != rule.ProtoTCP && want.Proto != rule.ProtoUDP {
+			want.SrcPort, want.DstPort = 0, 0 // no transport ports
+		}
+		got, err := ParseIPv4(BuildIPv4(want))
+		if err != nil {
+			t.Fatalf("ParseIPv4: %v", err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestParseEthernetRoundTrip(t *testing.T) {
+	want := rule.Header{SrcIP: 0x0a000001, DstIP: 0xc0a80101, SrcPort: 1234, DstPort: 80, Proto: rule.ProtoTCP}
+	got, err := ParseEthernet(BuildEthernet(BuildIPv4(want)))
+	if err != nil {
+		t.Fatalf("ParseEthernet: %v", err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestParseIPv4Errors(t *testing.T) {
+	good := BuildIPv4(rule.Header{Proto: rule.ProtoTCP, DstPort: 80})
+
+	if _, err := ParseIPv4(good[:10]); err == nil {
+		t.Error("truncated header should fail")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 0x65 // version 6 in an ipv4 parse
+	if _, err := ParseIPv4(bad); err == nil {
+		t.Error("wrong version should fail")
+	}
+	bad = append([]byte(nil), good...)
+	bad[0] = 0x44 // IHL 4 words < minimum 5
+	if _, err := ParseIPv4(bad); err == nil {
+		t.Error("bad IHL should fail")
+	}
+	// TCP packet cut before the ports.
+	if _, err := ParseIPv4(good[:22]); err == nil {
+		t.Error("truncated transport should fail")
+	}
+}
+
+func TestParseIPv4Fragment(t *testing.T) {
+	pkt := BuildIPv4(rule.Header{SrcIP: 1, DstIP: 2, SrcPort: 1000, DstPort: 2000, Proto: rule.ProtoTCP})
+	pkt[6], pkt[7] = 0x00, 0x10 // fragment offset 16
+	h, err := ParseIPv4(pkt)
+	if err != nil {
+		t.Fatalf("ParseIPv4: %v", err)
+	}
+	if h.SrcPort != 0 || h.DstPort != 0 {
+		t.Errorf("non-first fragment should have zero ports, got %d/%d", h.SrcPort, h.DstPort)
+	}
+	if h.SrcIP != 1 || h.DstIP != 2 || h.Proto != rule.ProtoTCP {
+		t.Errorf("fragment IP fields wrong: %+v", h)
+	}
+}
+
+func TestParseIPv6(t *testing.T) {
+	// Hand-built IPv6 + TCP packet.
+	pkt := make([]byte, 40+20)
+	pkt[0] = 0x60
+	pkt[6] = rule.ProtoTCP
+	// src 2001:db8::1, dst 2001:db8::2
+	pkt[8], pkt[9], pkt[10], pkt[11] = 0x20, 0x01, 0x0d, 0xb8
+	pkt[23] = 1
+	pkt[24], pkt[25], pkt[26], pkt[27] = 0x20, 0x01, 0x0d, 0xb8
+	pkt[39] = 2
+	pkt[40], pkt[41] = 0x30, 0x39 // src port 12345
+	pkt[42], pkt[43] = 0x01, 0xbb // dst port 443
+
+	h, err := ParseIPv6(pkt)
+	if err != nil {
+		t.Fatalf("ParseIPv6: %v", err)
+	}
+	if h.SrcIP.Hi != 0x20010db8_00000000 || h.SrcIP.Lo != 1 {
+		t.Errorf("src = %x/%x", h.SrcIP.Hi, h.SrcIP.Lo)
+	}
+	if h.DstIP.Lo != 2 || h.SrcPort != 12345 || h.DstPort != 443 || h.Proto != rule.ProtoTCP {
+		t.Errorf("header = %+v", h)
+	}
+}
+
+func TestParseIPv6ExtensionHeaders(t *testing.T) {
+	// IPv6 with a hop-by-hop extension header before UDP.
+	pkt := make([]byte, 40+8+8)
+	pkt[0] = 0x60
+	pkt[6] = 0 // next header: hop-by-hop
+	pkt[40] = rule.ProtoUDP
+	pkt[41] = 0                   // ext length: 8 bytes total
+	pkt[48], pkt[49] = 0x00, 0x35 // src port 53
+	pkt[50], pkt[51] = 0x00, 0x35 // dst port 53
+	h, err := ParseIPv6(pkt)
+	if err != nil {
+		t.Fatalf("ParseIPv6: %v", err)
+	}
+	if h.Proto != rule.ProtoUDP || h.SrcPort != 53 || h.DstPort != 53 {
+		t.Errorf("header = %+v", h)
+	}
+}
+
+func TestFieldString(t *testing.T) {
+	want := map[Field]string{
+		FieldSrcIP: "IPs", FieldDstIP: "IPd",
+		FieldSrcPort: "Ps", FieldDstPort: "Pd", FieldProto: "PRT",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("Field(%d).String() = %q, want %q", f, f.String(), s)
+		}
+	}
+	if NumFields != 5 {
+		t.Errorf("NumFields = %d, want 5", NumFields)
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	pkt := BuildIPv4(rule.Header{SrcIP: 0x01020304, DstIP: 0x05060708, Proto: rule.ProtoUDP, SrcPort: 9, DstPort: 10})
+	// Recomputing the checksum over the header including the stored
+	// checksum must yield 0xffff-complement consistency: sum of all words
+	// including checksum == 0xffff.
+	var sum uint32
+	for i := 0; i+1 < 20; i += 2 {
+		sum += uint32(pkt[i])<<8 | uint32(pkt[i+1])
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	if sum != 0xffff {
+		t.Errorf("header checksum does not verify: folded sum = %#x", sum)
+	}
+}

@@ -1,0 +1,96 @@
+package rangematch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/label"
+	"repro/internal/rule"
+)
+
+// TestQuickEnginesAgree drives all three engines with the same
+// quick-generated range sets and points; any divergence between two
+// independent implementations is a bug in one of them.
+func TestQuickEnginesAgree(t *testing.T) {
+	type op struct {
+		Lo, Span uint16
+		Lab      uint16
+	}
+	f := func(ops []op, probes []uint16) bool {
+		seg := NewSegmentTree()
+		rt := NewRangeTree()
+		bank := NewRegisterBank(len(ops) + 1)
+		for _, o := range ops {
+			r := rule.PortRange{Lo: o.Lo, Hi: o.Lo + o.Span%2000}
+			if !r.Valid() {
+				continue
+			}
+			if _, err := seg.Insert(r, label.Label(o.Lab)); err != nil {
+				return false
+			}
+			if _, err := rt.Insert(r, label.Label(o.Lab)); err != nil {
+				return false
+			}
+			if _, err := bank.Insert(r, label.Label(o.Lab)); err != nil {
+				return false
+			}
+		}
+		for _, p := range probes {
+			a, _ := seg.Lookup(p, nil)
+			b, _ := rt.Lookup(p, nil)
+			c, _ := bank.Lookup(p, nil)
+			if len(a) != len(b) || len(a) != len(c) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] || a[i] != c[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSegmentTreeInsertDeleteInverse: deleting everything restores
+// empty lookups.
+func TestQuickSegmentTreeInsertDeleteInverse(t *testing.T) {
+	f := func(los []uint16, spans []uint16) bool {
+		seg := NewSegmentTree()
+		n := len(los)
+		if len(spans) < n {
+			n = len(spans)
+		}
+		inserted := make(map[rule.PortRange]bool)
+		for i := 0; i < n; i++ {
+			r := rule.PortRange{Lo: los[i], Hi: los[i] + spans[i]%5000}
+			if !r.Valid() || inserted[r] {
+				continue
+			}
+			inserted[r] = true
+			if _, err := seg.Insert(r, label.Label(i)); err != nil {
+				return false
+			}
+		}
+		for r := range inserted {
+			if _, _, ok := seg.Delete(r); !ok {
+				return false
+			}
+		}
+		if seg.Len() != 0 {
+			return false
+		}
+		for _, p := range []uint16{0, 1, 1000, 40000, 65535} {
+			if got, _ := seg.Lookup(p, nil); len(got) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+// Package rangematch implements the range-matching engine candidates for
+// the port fields (Section III.C.2): the segment tree, the range tree and
+// the register bank the paper prefers. Engines return the labels of all
+// stored ranges containing a 16-bit point, most specific (narrowest range)
+// first, together with hardware cost.
+package rangematch
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/hwsim"
+	"repro/internal/label"
+	"repro/internal/rule"
+)
+
+// ErrFull is returned when a fixed-capacity engine (the register bank)
+// cannot accept another range.
+var ErrFull = errors.New("range engine full")
+
+// Engine is the common shape of the range-matching candidates.
+type Engine interface {
+	// Insert stores the range with its label, replacing the label if the
+	// range is already present.
+	Insert(r rule.PortRange, lab label.Label) (hwsim.Cost, error)
+	// Delete removes the range, returning its label and presence.
+	Delete(r rule.PortRange) (label.Label, hwsim.Cost, bool)
+	// Lookup appends the labels of all ranges containing p to buf in
+	// priority order (narrowest first, ties by low bound then label).
+	Lookup(p uint16, buf []label.Label) ([]label.Label, hwsim.Cost)
+	// Len returns the number of stored ranges.
+	Len() int
+	// Memory reports the RAM/register resources occupied.
+	Memory() hwsim.MemoryMap
+}
+
+// entry is a stored range with its label.
+type entry struct {
+	r   rule.PortRange
+	lab label.Label
+}
+
+// lessSpecific orders entries by priority: narrowest range first, then low
+// bound, then label — the canonical per-field label priority all engines
+// must agree on.
+func lessSpecific(a, b entry) bool {
+	if aw, bw := a.r.Width(), b.r.Width(); aw != bw {
+		return aw < bw
+	}
+	if a.r.Lo != b.r.Lo {
+		return a.r.Lo < b.r.Lo
+	}
+	return a.lab < b.lab
+}
+
+// sortEntries sorts matches into canonical priority order.
+func sortEntries(es []entry) {
+	sort.Slice(es, func(i, j int) bool { return lessSpecific(es[i], es[j]) })
+}
+
+func emit(buf []label.Label, es []entry) []label.Label {
+	sortEntries(es)
+	for _, e := range es {
+		buf = append(buf, e.lab)
+	}
+	return buf
+}

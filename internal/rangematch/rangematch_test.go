@@ -1,0 +1,295 @@
+package rangematch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/label"
+	"repro/internal/rule"
+)
+
+// refLookup computes the canonical expected output by brute force.
+func refLookup(stored []entry, p uint16) []label.Label {
+	var ms []entry
+	for _, e := range stored {
+		if e.r.Matches(p) {
+			ms = append(ms, e)
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool { return lessSpecific(ms[i], ms[j]) })
+	out := make([]label.Label, len(ms))
+	for i, m := range ms {
+		out[i] = m.lab
+	}
+	return out
+}
+
+func randomRanges(rnd *rand.Rand, n int) []rule.PortRange {
+	seen := make(map[rule.PortRange]bool)
+	var out []rule.PortRange
+	for len(out) < n {
+		var r rule.PortRange
+		switch rnd.Intn(4) {
+		case 0:
+			r = rule.FullPortRange()
+		case 1:
+			r = rule.ExactPort(uint16(rnd.Intn(1 << 16)))
+		case 2:
+			lo := uint16(rnd.Intn(1 << 15))
+			r = rule.PortRange{Lo: lo, Hi: lo + uint16(rnd.Intn(1<<13))}
+		default:
+			r = rule.PortRange{Lo: 0, Hi: uint16(rnd.Intn(1 << 16))}
+		}
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func engines() map[string]func() Engine {
+	return map[string]func() Engine{
+		"segtree":   func() Engine { return NewSegmentTree() },
+		"rangetree": func() Engine { return NewRangeTree() },
+		"bank":      func() Engine { return NewRegisterBank(0) },
+	}
+}
+
+func TestEnginesMatchReference(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(1))
+			eng := mk()
+			ranges := randomRanges(rnd, 60)
+			var stored []entry
+			for i, r := range ranges {
+				if _, err := eng.Insert(r, label.Label(i)); err != nil {
+					t.Fatalf("Insert(%v): %v", r, err)
+				}
+				stored = append(stored, entry{r: r, lab: label.Label(i)})
+			}
+			if eng.Len() != len(ranges) {
+				t.Fatalf("Len = %d, want %d", eng.Len(), len(ranges))
+			}
+			probe := func(phase string) {
+				for i := 0; i < 2000; i++ {
+					var p uint16
+					if rnd.Intn(2) == 0 && len(stored) > 0 {
+						e := stored[rnd.Intn(len(stored))]
+						p = e.r.Lo + uint16(rnd.Intn(e.r.Width()))
+					} else {
+						p = uint16(rnd.Intn(1 << 16))
+					}
+					got, _ := eng.Lookup(p, nil)
+					want := refLookup(stored, p)
+					if len(got) != len(want) {
+						t.Fatalf("%s: lookup(%d) = %v, want %v", phase, p, got, want)
+					}
+					for j := range got {
+						if got[j] != want[j] {
+							t.Fatalf("%s: lookup(%d) = %v, want %v", phase, p, got, want)
+						}
+					}
+				}
+			}
+			probe("initial")
+
+			// Delete half.
+			for i := 0; i < len(ranges); i += 2 {
+				lab, _, ok := eng.Delete(ranges[i])
+				if !ok {
+					t.Fatalf("Delete(%v) not found", ranges[i])
+				}
+				if lab != label.Label(i) {
+					t.Fatalf("Delete(%v) = %v, want %v", ranges[i], lab, label.Label(i))
+				}
+			}
+			var kept []entry
+			for _, e := range stored {
+				if int(e.lab)%2 == 1 {
+					kept = append(kept, e)
+				}
+			}
+			stored = kept
+			probe("after delete")
+		})
+	}
+}
+
+func TestEngineReplaceLabel(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			eng := mk()
+			r := rule.PortRange{Lo: 10, Hi: 20}
+			if _, err := eng.Insert(r, 1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Insert(r, 2); err != nil {
+				t.Fatal(err)
+			}
+			if eng.Len() != 1 {
+				t.Fatalf("Len after replace = %d, want 1", eng.Len())
+			}
+			got, _ := eng.Lookup(15, nil)
+			if len(got) != 1 || got[0] != 2 {
+				t.Fatalf("Lookup = %v, want [L2]", got)
+			}
+		})
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			eng := mk()
+			if _, _, ok := eng.Delete(rule.PortRange{Lo: 1, Hi: 2}); ok {
+				t.Error("delete of absent range reported found")
+			}
+		})
+	}
+}
+
+func TestRegisterBankTwoCycleLookup(t *testing.T) {
+	b := NewRegisterBank(16)
+	for i := 0; i < 10; i++ {
+		lo := uint16(i * 1000)
+		if _, err := b.Insert(rule.PortRange{Lo: lo, Hi: lo + 999}, label.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, cost := b.Lookup(4500, nil)
+	if cost.Cycles != 2 {
+		t.Errorf("bank lookup cycles = %d, want 2 (paper Section IV.C)", cost.Cycles)
+	}
+}
+
+func TestRegisterBankCapacity(t *testing.T) {
+	b := NewRegisterBank(2)
+	if _, err := b.Insert(rule.ExactPort(1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Insert(rule.ExactPort(2), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Insert(rule.ExactPort(3), 3); err != ErrFull {
+		t.Fatalf("expected ErrFull, got %v", err)
+	}
+	// Replacing an existing range must still work at capacity.
+	if _, err := b.Insert(rule.ExactPort(2), 9); err != nil {
+		t.Fatalf("replace at capacity: %v", err)
+	}
+	// Delete then insert frees a slot.
+	if _, _, ok := b.Delete(rule.ExactPort(1)); !ok {
+		t.Fatal("delete failed")
+	}
+	if _, err := b.Insert(rule.ExactPort(3), 3); err != nil {
+		t.Fatalf("insert after delete: %v", err)
+	}
+}
+
+func TestSegmentTreeSlowestLookup(t *testing.T) {
+	seg := NewSegmentTree()
+	rt := NewRangeTree()
+	bank := NewRegisterBank(0)
+	rnd := rand.New(rand.NewSource(2))
+	for i, r := range randomRanges(rnd, 40) {
+		if _, err := seg.Insert(r, label.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Insert(r, label.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bank.Insert(r, label.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var segC, rtC, bankC int
+	for i := 0; i < 500; i++ {
+		p := uint16(rnd.Intn(1 << 16))
+		_, c1 := seg.Lookup(p, nil)
+		_, c2 := rt.Lookup(p, nil)
+		_, c3 := bank.Lookup(p, nil)
+		segC += c1.Cycles
+		rtC += c2.Cycles
+		bankC += c3.Cycles
+	}
+	// Table II ordering: register bank (very fast) < range tree (fast) <
+	// segment tree (very slow).
+	if !(bankC < rtC && rtC < segC) {
+		t.Errorf("cycle ordering wrong: bank=%d rangetree=%d segtree=%d", bankC, rtC, segC)
+	}
+}
+
+func TestRangeTreeHighMemory(t *testing.T) {
+	rt := NewRangeTree()
+	seg := NewSegmentTree()
+	// Size the bank for the workload; its register file is allocated at
+	// full capacity regardless of occupancy.
+	bank := NewRegisterBank(64)
+	rnd := rand.New(rand.NewSource(3))
+	// Heavily overlapping ranges trigger duplication in the range tree.
+	for i := 0; i < 50; i++ {
+		r := rule.PortRange{Lo: uint16(i * 100), Hi: uint16(30000 + i*100)}
+		if _, err := rt.Insert(r, label.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := seg.Insert(r, label.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bank.Insert(r, label.Label(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = rnd
+	if rt.Memory().TotalBytes() <= bank.Memory().TotalBytes() {
+		t.Errorf("range tree memory (%d) should exceed bank memory (%d) under overlap",
+			rt.Memory().TotalBytes(), bank.Memory().TotalBytes())
+	}
+	if rt.Intervals() == 0 {
+		t.Error("range tree has no intervals after inserts")
+	}
+}
+
+func TestSegmentTreeNodesGrow(t *testing.T) {
+	seg := NewSegmentTree()
+	before := seg.Nodes()
+	if _, err := seg.Insert(rule.PortRange{Lo: 1000, Hi: 2000}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if seg.Nodes() <= before {
+		t.Error("segment tree did not allocate structural nodes")
+	}
+	if seg.Memory().TotalBytes() == 0 {
+		t.Error("segment tree memory is zero")
+	}
+}
+
+func TestInvalidRange(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			eng := mk()
+			if _, err := eng.Insert(rule.PortRange{Lo: 5, Hi: 1}, 0); err == nil {
+				t.Error("inverted range should fail")
+			}
+		})
+	}
+}
+
+func TestWildcardRange(t *testing.T) {
+	for name, mk := range engines() {
+		t.Run(name, func(t *testing.T) {
+			eng := mk()
+			if _, err := eng.Insert(rule.FullPortRange(), 7); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []uint16{0, 1, 32768, 65535} {
+				got, _ := eng.Lookup(p, nil)
+				if len(got) != 1 || got[0] != 7 {
+					t.Fatalf("wildcard lookup(%d) = %v", p, got)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package rangematch
+
+import (
+	"sort"
+
+	"repro/internal/hwsim"
+	"repro/internal/label"
+	"repro/internal/rule"
+)
+
+// RangeTree is the fast/high-memory candidate: all stored ranges are
+// flattened into disjoint elementary intervals, each carrying the complete
+// pre-sorted list of matching labels. Lookup is a binary search over the
+// interval table (fast, easily pipelined); the label duplication across
+// elementary intervals is the "high" memory figure of Table II, and every
+// update rebuilds the table, so incremental update is not supported
+// ("label method support: No" — labels cannot be edited in place).
+type RangeTree struct {
+	stored []entry
+
+	// flattened table: bounds[i] is the first point of interval i;
+	// interval i spans [bounds[i], bounds[i+1]-1]; lists[i] holds its
+	// matching labels in canonical priority order.
+	bounds []uint32
+	lists  [][]label.Label
+	dup    int // total duplicated label entries, for memory accounting
+}
+
+// NewRangeTree returns an empty range tree.
+func NewRangeTree() *RangeTree { return &RangeTree{} }
+
+// Len returns the number of stored ranges.
+func (t *RangeTree) Len() int { return len(t.stored) }
+
+// Insert stores the range and rebuilds the elementary-interval table.
+func (t *RangeTree) Insert(r rule.PortRange, lab label.Label) (hwsim.Cost, error) {
+	if !r.Valid() {
+		return hwsim.Cost{}, rule.ErrBadRange
+	}
+	for i := range t.stored {
+		if t.stored[i].r == r {
+			t.stored[i].lab = lab
+			return t.rebuild(), nil
+		}
+	}
+	t.stored = append(t.stored, entry{r: r, lab: lab})
+	return t.rebuild(), nil
+}
+
+// Delete removes the range and rebuilds.
+func (t *RangeTree) Delete(r rule.PortRange) (label.Label, hwsim.Cost, bool) {
+	for i := range t.stored {
+		if t.stored[i].r == r {
+			lab := t.stored[i].lab
+			t.stored = append(t.stored[:i], t.stored[i+1:]...)
+			return lab, t.rebuild(), true
+		}
+	}
+	return label.None, hwsim.Cost{Cycles: 1, Reads: 1}, false
+}
+
+// rebuild recomputes the elementary intervals; its write cost is the whole
+// table, which is what disqualifies the structure for frequently updated
+// rulesets.
+func (t *RangeTree) rebuild() hwsim.Cost {
+	pts := map[uint32]struct{}{0: {}}
+	for _, e := range t.stored {
+		pts[uint32(e.r.Lo)] = struct{}{}
+		pts[uint32(e.r.Hi)+1] = struct{}{}
+	}
+	bounds := make([]uint32, 0, len(pts))
+	for p := range pts {
+		if p < segSpan {
+			bounds = append(bounds, p)
+		}
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+
+	lists := make([][]label.Label, len(bounds))
+	dup := 0
+	for i, lo := range bounds {
+		var matches []entry
+		for _, e := range t.stored {
+			if e.r.Matches(uint16(lo)) {
+				matches = append(matches, e)
+			}
+		}
+		sortEntries(matches)
+		ls := make([]label.Label, len(matches))
+		for j, m := range matches {
+			ls[j] = m.lab
+		}
+		lists[i] = ls
+		dup += len(ls)
+	}
+	t.bounds, t.lists, t.dup = bounds, lists, dup
+	return hwsim.Cost{Cycles: len(bounds) + dup, Writes: len(bounds) + dup}
+}
+
+// Lookup binary-searches the elementary interval containing p and returns
+// its precomputed list.
+func (t *RangeTree) Lookup(p uint16, buf []label.Label) ([]label.Label, hwsim.Cost) {
+	var cost hwsim.Cost
+	if len(t.bounds) == 0 {
+		cost.Cycles, cost.Reads = 1, 1
+		return buf, cost
+	}
+	// Binary search: number of probes = ceil(log2(n))+1 reads.
+	lo, hi := 0, len(t.bounds)-1
+	for lo < hi {
+		cost.Reads++
+		mid := (lo + hi + 1) / 2
+		if t.bounds[mid] <= uint32(p) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	cost.Reads++ // fetch the list word
+	cost.Cycles = cost.Reads
+	return append(buf, t.lists[lo]...), cost
+}
+
+// Memory reports the interval table including duplicated label entries.
+func (t *RangeTree) Memory() hwsim.MemoryMap {
+	var mm hwsim.MemoryMap
+	mm.Add("rangetree-bounds", 17+20, len(t.bounds))
+	mm.Add("rangetree-labels", 16, t.dup)
+	return mm
+}
+
+// Intervals returns the number of elementary intervals (for tests and
+// reports).
+func (t *RangeTree) Intervals() int { return len(t.bounds) }

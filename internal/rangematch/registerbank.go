@@ -1,0 +1,106 @@
+package rangematch
+
+import (
+	"repro/internal/hwsim"
+	"repro/internal/label"
+	"repro/internal/rule"
+)
+
+// DefaultBankCapacity bounds the register bank. A hardware register bank
+// compares all entries in parallel, so its size is limited by logic
+// resources; the distinct port ranges of real filter sets are few enough
+// to fit ("a small register bank is another option for Port field
+// lookup").
+const DefaultBankCapacity = 256
+
+// RegisterBank is the paper's preferred port engine: a bank of registers
+// holding {low bound, high bound, label}, compared against the input point
+// in parallel. Lookup takes two clock cycles regardless of occupancy
+// (compare, then priority-encode), updates write a single register line,
+// and the label method is fully supported — the "very fast" row of
+// Table II.
+type RegisterBank struct {
+	entries  []entry // kept in canonical priority order
+	capacity int
+}
+
+// NewRegisterBank returns a bank with the given capacity; cap <= 0 selects
+// DefaultBankCapacity.
+func NewRegisterBank(capacity int) *RegisterBank {
+	if capacity <= 0 {
+		capacity = DefaultBankCapacity
+	}
+	return &RegisterBank{capacity: capacity}
+}
+
+// Len returns the number of stored ranges.
+func (b *RegisterBank) Len() int { return len(b.entries) }
+
+// Capacity returns the bank size.
+func (b *RegisterBank) Capacity() int { return b.capacity }
+
+// Insert stores the range in priority position. Hardware writes one
+// register line; ordering is maintained by the software shadow so the
+// priority encoder can be a fixed positional one.
+func (b *RegisterBank) Insert(r rule.PortRange, lab label.Label) (hwsim.Cost, error) {
+	if !r.Valid() {
+		return hwsim.Cost{}, rule.ErrBadRange
+	}
+	for i := range b.entries {
+		if b.entries[i].r == r {
+			b.entries[i].lab = lab
+			return hwsim.Cost{Cycles: 1, Writes: 1}, nil
+		}
+	}
+	if len(b.entries) >= b.capacity {
+		return hwsim.Cost{Cycles: 1, Reads: 1}, ErrFull
+	}
+	e := entry{r: r, lab: lab}
+	// Insert keeping canonical priority order.
+	i := 0
+	for i < len(b.entries) && lessSpecific(b.entries[i], e) {
+		i++
+	}
+	b.entries = append(b.entries, entry{})
+	copy(b.entries[i+1:], b.entries[i:])
+	b.entries[i] = e
+	return hwsim.Cost{Cycles: 1, Writes: 1}, nil
+}
+
+// Delete removes the range.
+func (b *RegisterBank) Delete(r rule.PortRange) (label.Label, hwsim.Cost, bool) {
+	for i := range b.entries {
+		if b.entries[i].r == r {
+			lab := b.entries[i].lab
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			return lab, hwsim.Cost{Cycles: 1, Writes: 1}, true
+		}
+	}
+	return label.None, hwsim.Cost{Cycles: 1, Reads: 1}, false
+}
+
+// Lookup compares p against every register in parallel: two cycles (the
+// paper: "the range search engine produces the labels in two clock
+// cycles"), one logical read of the whole bank.
+func (b *RegisterBank) Lookup(p uint16, buf []label.Label) ([]label.Label, hwsim.Cost) {
+	cost := hwsim.Cost{Cycles: 2, Reads: 1}
+	for _, e := range b.entries {
+		if e.r.Matches(p) {
+			buf = append(buf, e.lab)
+		}
+	}
+	return buf, cost
+}
+
+// bankEntryBits models one register line: two 16-bit bounds, a 16-bit
+// label and a valid flag.
+const bankEntryBits = 49
+
+// Memory reports the register file. Registers cost more per bit than RAM,
+// which is why the bank only suits the small distinct-range sets of port
+// fields ("moderate" in Table II despite the low entry count).
+func (b *RegisterBank) Memory() hwsim.MemoryMap {
+	var mm hwsim.MemoryMap
+	mm.Add("registerbank", bankEntryBits*4, b.capacity) // 4x area weight for registers vs RAM
+	return mm
+}

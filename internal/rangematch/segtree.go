@@ -1,0 +1,160 @@
+package rangematch
+
+import (
+	"repro/internal/hwsim"
+	"repro/internal/label"
+	"repro/internal/rule"
+)
+
+// SegmentTree stores ranges at the canonical nodes of a binary segmentation
+// of the port space. Lookup walks root to leaf collecting labels — about
+// log2(65536)+1 = 17 sequential RAM reads, the "very slow" figure of
+// Table II — while supporting the label method and incremental update.
+// Structural nodes without labels are the "empty nodes" storage overhead
+// the paper mentions.
+type SegmentTree struct {
+	root  *segNode
+	count int
+	nodes int
+}
+
+type segNode struct {
+	lo, hi      uint32 // node span, inclusive
+	entries     []entry
+	left, right *segNode
+}
+
+const segSpan = 1 << 16
+
+// NewSegmentTree returns an empty tree over the full port space.
+func NewSegmentTree() *SegmentTree {
+	return &SegmentTree{root: &segNode{lo: 0, hi: segSpan - 1}, nodes: 1}
+}
+
+// Len returns the number of stored ranges.
+func (t *SegmentTree) Len() int { return t.count }
+
+// Insert stores the range at its canonical decomposition nodes.
+func (t *SegmentTree) Insert(r rule.PortRange, lab label.Label) (hwsim.Cost, error) {
+	if !r.Valid() {
+		return hwsim.Cost{}, rule.ErrBadRange
+	}
+	var cost hwsim.Cost
+	replaced := false
+	t.update(t.root, r, func(n *segNode) {
+		for i := range n.entries {
+			if n.entries[i].r == r {
+				n.entries[i].lab = lab
+				replaced = true
+				cost.Writes++
+				return
+			}
+		}
+		n.entries = append(n.entries, entry{r: r, lab: lab})
+		cost.Writes++
+	}, &cost)
+	if !replaced {
+		t.count++
+	}
+	cost.Cycles = cost.Reads + cost.Writes
+	return cost, nil
+}
+
+// Delete removes the range from its canonical nodes.
+func (t *SegmentTree) Delete(r rule.PortRange) (label.Label, hwsim.Cost, bool) {
+	var cost hwsim.Cost
+	lab := label.None
+	found := false
+	t.update(t.root, r, func(n *segNode) {
+		for i := range n.entries {
+			if n.entries[i].r == r {
+				lab = n.entries[i].lab
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				found = true
+				cost.Writes++
+				return
+			}
+		}
+	}, &cost)
+	if found {
+		t.count--
+	}
+	cost.Cycles = cost.Reads + cost.Writes
+	return lab, cost, found
+}
+
+// update visits the canonical decomposition of r, applying fn at each
+// canonical node, creating children as needed.
+func (t *SegmentTree) update(n *segNode, r rule.PortRange, fn func(*segNode), cost *hwsim.Cost) {
+	cost.Reads++
+	if uint32(r.Lo) <= n.lo && n.hi <= uint32(r.Hi) {
+		fn(n)
+		return
+	}
+	mid := (n.lo + n.hi) / 2
+	if n.left == nil {
+		n.left = &segNode{lo: n.lo, hi: mid}
+		n.right = &segNode{lo: mid + 1, hi: n.hi}
+		t.nodes += 2
+		cost.Writes += 2
+	}
+	if uint32(r.Lo) <= mid {
+		t.update(n.left, r, fn, cost)
+	}
+	if uint32(r.Hi) > mid {
+		t.update(n.right, r, fn, cost)
+	}
+}
+
+// Lookup walks the root-to-leaf path of p, collecting labels stored at
+// every node on the way.
+func (t *SegmentTree) Lookup(p uint16, buf []label.Label) ([]label.Label, hwsim.Cost) {
+	var cost hwsim.Cost
+	var scratch [8]entry
+	matches := scratch[:0]
+	n := t.root
+	for n != nil {
+		cost.Reads++
+		matches = append(matches, n.entries...)
+		if n.left == nil {
+			break
+		}
+		mid := (n.lo + n.hi) / 2
+		if uint32(p) <= mid {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	cost.Cycles = cost.Reads
+	return emit(buf, matches), cost
+}
+
+// segNodeBits models the RAM word per node: span bounds are implicit in
+// the addressing; the word holds an entry-list pointer and two child
+// pointers.
+const segNodeBits = 52
+
+// Memory reports node pool plus label entries. The canonical decomposition
+// stores a range in up to 2*log2(65536) nodes, and structural splits
+// allocate empty nodes — the "inefficient memory usage" of Section III.C.2.
+func (t *SegmentTree) Memory() hwsim.MemoryMap {
+	var mm hwsim.MemoryMap
+	mm.Add("segtree-nodes", segNodeBits, t.nodes)
+	entries := 0
+	var walk func(n *segNode)
+	walk = func(n *segNode) {
+		if n == nil {
+			return
+		}
+		entries += len(n.entries)
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	mm.Add("segtree-entries", 48, entries)
+	return mm
+}
+
+// Nodes returns the allocated node count.
+func (t *SegmentTree) Nodes() int { return t.nodes }

@@ -1,0 +1,181 @@
+package rule
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The ClassBench filter format, used by the paper's ACL/FW/IPC rule files,
+// is one rule per line:
+//
+//	@<srcIP>/<len> <dstIP>/<len> <loSP> : <hiSP> <loDP> : <hiDP> <proto>/<mask>
+//
+// e.g.
+//
+//	@192.168.0.0/16 10.0.0.0/8 0 : 65535 80 : 80 0x06/0xFF
+//
+// ParseSet reads that format; WriteSet emits it. Lines beginning with '#'
+// and blank lines are ignored.
+
+// ParseSet reads a ClassBench-format ruleset. Rules receive IDs and
+// priorities in line order (first line = highest priority).
+func ParseSet(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var rules []Rule
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rl, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		rules = append(rules, rl)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read ruleset: %w", err)
+	}
+	return NewSet(rules)
+}
+
+// ParseRule parses one ClassBench-format rule line.
+func ParseRule(line string) (Rule, error) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "@") {
+		return Rule{}, fmt.Errorf("rule must start with '@': %q", line)
+	}
+	fields := strings.Fields(line[1:])
+	// Expected: src/len dst/len loSP : hiSP loDP : hiDP proto/mask
+	if len(fields) != 9 {
+		return Rule{}, fmt.Errorf("want 9 whitespace-separated tokens, got %d: %q", len(fields), line)
+	}
+	var r Rule
+	var err error
+	if r.SrcIP, err = ParsePrefix(fields[0]); err != nil {
+		return Rule{}, fmt.Errorf("source prefix: %w", err)
+	}
+	if r.DstIP, err = ParsePrefix(fields[1]); err != nil {
+		return Rule{}, fmt.Errorf("destination prefix: %w", err)
+	}
+	if r.SrcPort, err = parseRangeTokens(fields[2], fields[3], fields[4]); err != nil {
+		return Rule{}, fmt.Errorf("source port range: %w", err)
+	}
+	if r.DstPort, err = parseRangeTokens(fields[5], fields[6], fields[7]); err != nil {
+		return Rule{}, fmt.Errorf("destination port range: %w", err)
+	}
+	if r.Proto, err = ParseProtoMatch(fields[8]); err != nil {
+		return Rule{}, fmt.Errorf("protocol: %w", err)
+	}
+	r.Action = ActionPermit
+	return r, nil
+}
+
+// ParsePrefix parses dotted-quad prefix notation "a.b.c.d/len".
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("missing '/len' in %q: %w", s, ErrBadPrefix)
+	}
+	addr, err := parseIPv4(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	l, err := strconv.ParseUint(s[slash+1:], 10, 8)
+	if err != nil || l > MaxPrefixLen {
+		return Prefix{}, fmt.Errorf("prefix length %q: %w", s[slash+1:], ErrBadPrefix)
+	}
+	p := Prefix{Addr: addr, Len: uint8(l)}.Canonical()
+	return p, nil
+}
+
+func parseIPv4(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("address %q: %w", s, ErrBadPrefix)
+	}
+	var addr uint32
+	for _, p := range parts {
+		b, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("address octet %q: %w", p, ErrBadPrefix)
+		}
+		addr = addr<<8 | uint32(b)
+	}
+	return addr, nil
+}
+
+func parseRangeTokens(lo, colon, hi string) (PortRange, error) {
+	if colon != ":" {
+		return PortRange{}, fmt.Errorf("want ':' between bounds, got %q: %w", colon, ErrBadRange)
+	}
+	l, err := strconv.ParseUint(lo, 10, 16)
+	if err != nil {
+		return PortRange{}, fmt.Errorf("low bound %q: %w", lo, ErrBadRange)
+	}
+	h, err := strconv.ParseUint(hi, 10, 16)
+	if err != nil {
+		return PortRange{}, fmt.Errorf("high bound %q: %w", hi, ErrBadRange)
+	}
+	r := PortRange{Lo: uint16(l), Hi: uint16(h)}
+	if !r.Valid() {
+		return PortRange{}, fmt.Errorf("bounds %d > %d: %w", l, h, ErrBadRange)
+	}
+	return r, nil
+}
+
+// ParseProtoMatch parses "value/mask" with hex (0x..) or decimal numbers.
+func ParseProtoMatch(s string) (ProtoMatch, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return ProtoMatch{}, fmt.Errorf("missing '/mask' in %q: %w", s, ErrBadProtoMask)
+	}
+	v, err := parseByte(s[:slash])
+	if err != nil {
+		return ProtoMatch{}, err
+	}
+	m, err := parseByte(s[slash+1:])
+	if err != nil {
+		return ProtoMatch{}, err
+	}
+	if m != 0 && m != 0xff {
+		return ProtoMatch{}, fmt.Errorf("mask 0x%02x: %w", m, ErrBadProtoMask)
+	}
+	return ProtoMatch{Value: v & m, Mask: m}, nil
+}
+
+func parseByte(s string) (uint8, error) {
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(s), "0x"), baseOf(s), 8)
+	if err != nil {
+		return 0, fmt.Errorf("byte value %q: %w", s, ErrBadProtoMask)
+	}
+	return uint8(v), nil
+}
+
+func baseOf(s string) int {
+	if strings.HasPrefix(strings.ToLower(s), "0x") {
+		return 16
+	}
+	return 10
+}
+
+// WriteSet emits the set in ClassBench format, one rule per line in
+// priority order.
+func WriteSet(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	for i := range s.Rules() {
+		if _, err := fmt.Fprintln(bw, s.Rules()[i].String()); err != nil {
+			return fmt.Errorf("write ruleset: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("write ruleset: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package rule
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestActionString(t *testing.T) {
+	want := map[Action]string{
+		ActionPermit: "permit", ActionDeny: "deny", ActionQueue: "queue",
+		ActionMirror: "mirror", ActionCount: "count", Action(99): "action(99)",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("Action(%d).String() = %q, want %q", a, a.String(), s)
+		}
+	}
+}
+
+func TestRule6Matches(t *testing.T) {
+	r := Rule6{
+		SrcIP:   Prefix6{Addr: Addr6{Hi: 0x20010db8_00000000}, Len: 32},
+		DstIP:   Prefix6{}, // wildcard
+		SrcPort: FullPortRange(),
+		DstPort: ExactPort(443),
+		Proto:   ExactProto(ProtoTCP),
+	}
+	h := Header6{
+		SrcIP:   Addr6{Hi: 0x20010db8_00000001, Lo: 42},
+		DstIP:   Addr6{Hi: 1, Lo: 2},
+		DstPort: 443, Proto: ProtoTCP,
+	}
+	if !r.Matches(h) {
+		t.Error("rule should match")
+	}
+	h.DstPort = 80
+	if r.Matches(h) {
+		t.Error("rule should not match wrong port")
+	}
+	h.DstPort = 443
+	h.SrcIP.Hi = 0x20010db9_00000000
+	if r.Matches(h) {
+		t.Error("rule should not match wrong source prefix")
+	}
+}
+
+func TestPrefix6ValidAndString(t *testing.T) {
+	good := Prefix6{Addr: Addr6{Hi: 0x20010db8_00000000}, Len: 32}
+	if !good.Valid() {
+		t.Error("canonical /32 should be valid")
+	}
+	bad := Prefix6{Addr: Addr6{Hi: 0x20010db8_00000001}, Len: 32} // dirty low bits
+	if bad.Valid() {
+		t.Error("non-canonical prefix should be invalid")
+	}
+	over := Prefix6{Len: 129}
+	if over.Valid() {
+		t.Error("length 129 should be invalid")
+	}
+	if s := good.String(); !strings.HasSuffix(s, "/32") || !strings.HasPrefix(s, "2001:0db8") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestQuickPrefix6CanonicalIdempotent(t *testing.T) {
+	f := func(hi, lo uint64, l uint8) bool {
+		p := Prefix6{Addr: Addr6{Hi: hi, Lo: lo}, Len: l % 129}
+		c := p.Canonical()
+		return c.Canonical() == c && c.Valid() && c.Matches(p.Addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPrefixCanonicalIdempotent(t *testing.T) {
+	f := func(addr uint32, l uint8) bool {
+		p := Prefix{Addr: addr, Len: l % 33}
+		c := p.Canonical()
+		return c.Canonical() == c && c.Valid() && c.Matches(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetRuleByID(t *testing.T) {
+	s := testSet(t)
+	r, ok := s.Rule(2)
+	if !ok || r.ID != 2 {
+		t.Errorf("Rule(2) = %+v, %v", r, ok)
+	}
+	if _, ok := s.Rule(999); ok {
+		t.Error("Rule(999) should not exist")
+	}
+}
+
+func TestNewSetSortsByPriority(t *testing.T) {
+	rules := []Rule{
+		{ID: 1, Priority: 30, SrcPort: FullPortRange(), DstPort: FullPortRange()},
+		{ID: 2, Priority: 10, SrcPort: FullPortRange(), DstPort: FullPortRange()},
+		{ID: 3, Priority: 20, SrcPort: FullPortRange(), DstPort: FullPortRange()},
+	}
+	s, err := NewSet(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []int{s.Rules()[0].ID, s.Rules()[1].ID, s.Rules()[2].ID}
+	if got[0] != 2 || got[1] != 3 || got[2] != 1 {
+		t.Errorf("priority order = %v, want [2 3 1]", got)
+	}
+}
+
+func TestProtoMatchString(t *testing.T) {
+	if s := ExactProto(ProtoTCP).String(); s != "0x06/0xff" {
+		t.Errorf("String = %q", s)
+	}
+	if s := AnyProto().String(); s != "0x00/0x00" {
+		t.Errorf("wildcard String = %q", s)
+	}
+}

@@ -1,0 +1,263 @@
+// Package rule models packet-classification rules: 5-tuple match
+// specifications (source/destination IP prefixes, source/destination port
+// ranges, protocol), rule priorities and actions, and the ClassBench text
+// format used to exchange rulesets with the decision-control domain.
+//
+// The model follows the paper's rule syntax: IP address fields are matched
+// by prefix (longest-prefix semantics at the classifier level), port fields
+// by arbitrary inclusive ranges, and the protocol field by exact value or
+// wildcard.
+package rule
+
+import (
+	"fmt"
+)
+
+// Action is the verdict associated with a rule. The paper's architecture
+// forwards the matched action to a downstream function block; the concrete
+// values here cover the common cases of its ACL/FW/IPC rulesets.
+type Action uint8
+
+// Supported rule actions.
+const (
+	ActionPermit Action = iota + 1
+	ActionDeny
+	ActionQueue // per-flow queueing (router with per-flow queues, Section IV.B)
+	ActionMirror
+	ActionCount
+)
+
+// String returns the lower-case mnemonic for the action.
+func (a Action) String() string {
+	switch a {
+	case ActionPermit:
+		return "permit"
+	case ActionDeny:
+		return "deny"
+	case ActionQueue:
+		return "queue"
+	case ActionMirror:
+		return "mirror"
+	case ActionCount:
+		return "count"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// Prefix is an IPv4 prefix match: the high Len bits of Addr are significant.
+// Len == 0 is the full wildcard. The zero value is the wildcard prefix.
+type Prefix struct {
+	Addr uint32
+	Len  uint8
+}
+
+// MaxPrefixLen is the number of bits in an IPv4 address.
+const MaxPrefixLen = 32
+
+// Mask returns the network mask implied by the prefix length.
+func (p Prefix) Mask() uint32 {
+	if p.Len == 0 {
+		return 0
+	}
+	return ^uint32(0) << (MaxPrefixLen - uint32(p.Len))
+}
+
+// Canonical returns the prefix with the don't-care bits of Addr zeroed.
+// Engines index prefixes by their canonical form.
+func (p Prefix) Canonical() Prefix {
+	return Prefix{Addr: p.Addr & p.Mask(), Len: p.Len}
+}
+
+// Matches reports whether addr falls inside the prefix.
+func (p Prefix) Matches(addr uint32) bool {
+	return (addr^p.Addr)&p.Mask() == 0
+}
+
+// Contains reports whether every address matched by q is also matched by p.
+func (p Prefix) Contains(q Prefix) bool {
+	return p.Len <= q.Len && p.Matches(q.Addr)
+}
+
+// IsWildcard reports whether the prefix matches every address.
+func (p Prefix) IsWildcard() bool { return p.Len == 0 }
+
+// Valid reports whether the prefix length is in range and the address is
+// canonical with respect to it.
+func (p Prefix) Valid() bool {
+	return p.Len <= MaxPrefixLen && p.Addr&^p.Mask() == 0
+}
+
+// String formats the prefix in dotted-quad/len notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d",
+		byte(p.Addr>>24), byte(p.Addr>>16), byte(p.Addr>>8), byte(p.Addr), p.Len)
+}
+
+// PortRange is an inclusive [Lo, Hi] match on a 16-bit port field.
+// The zero value is invalid; use FullPortRange for the wildcard.
+type PortRange struct {
+	Lo, Hi uint16
+}
+
+// FullPortRange matches every port value.
+func FullPortRange() PortRange { return PortRange{Lo: 0, Hi: 0xffff} }
+
+// ExactPort matches a single port value.
+func ExactPort(p uint16) PortRange { return PortRange{Lo: p, Hi: p} }
+
+// Matches reports whether port falls inside the range.
+func (r PortRange) Matches(port uint16) bool { return r.Lo <= port && port <= r.Hi }
+
+// Contains reports whether every port matched by q is also matched by r.
+func (r PortRange) Contains(q PortRange) bool { return r.Lo <= q.Lo && q.Hi <= r.Hi }
+
+// Overlaps reports whether the two ranges share at least one port.
+func (r PortRange) Overlaps(q PortRange) bool { return r.Lo <= q.Hi && q.Lo <= r.Hi }
+
+// IsWildcard reports whether the range matches every port.
+func (r PortRange) IsWildcard() bool { return r.Lo == 0 && r.Hi == 0xffff }
+
+// IsExact reports whether the range matches a single port.
+func (r PortRange) IsExact() bool { return r.Lo == r.Hi }
+
+// Width returns the number of ports matched by the range.
+func (r PortRange) Width() int { return int(r.Hi) - int(r.Lo) + 1 }
+
+// Valid reports whether Lo <= Hi.
+func (r PortRange) Valid() bool { return r.Lo <= r.Hi }
+
+// String formats the range in "lo : hi" ClassBench notation.
+func (r PortRange) String() string { return fmt.Sprintf("%d : %d", r.Lo, r.Hi) }
+
+// Well-known protocol numbers used throughout the rulesets. The paper notes
+// that "three values are possible in any of the used filters, for example
+// TCP, UDP or ICMP".
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// ProtoMatch is an exact-or-wildcard match on the 8-bit protocol field,
+// expressed as value/mask in the ClassBench style: mask 0xff is an exact
+// match, mask 0x00 the wildcard. Other masks are not used by the paper's
+// rulesets and are rejected at parse time.
+type ProtoMatch struct {
+	Value uint8
+	Mask  uint8
+}
+
+// AnyProto matches every protocol value.
+func AnyProto() ProtoMatch { return ProtoMatch{} }
+
+// ExactProto matches a single protocol value.
+func ExactProto(v uint8) ProtoMatch { return ProtoMatch{Value: v, Mask: 0xff} }
+
+// Matches reports whether proto satisfies the match.
+func (m ProtoMatch) Matches(proto uint8) bool { return proto&m.Mask == m.Value&m.Mask }
+
+// IsWildcard reports whether the match accepts every protocol.
+func (m ProtoMatch) IsWildcard() bool { return m.Mask == 0 }
+
+// Contains reports whether every protocol matched by q is also matched by m.
+func (m ProtoMatch) Contains(q ProtoMatch) bool {
+	if m.IsWildcard() {
+		return true
+	}
+	return !q.IsWildcard() && m.Value&m.Mask == q.Value&q.Mask
+}
+
+// String formats the match in "value/mask" hex ClassBench notation.
+func (m ProtoMatch) String() string { return fmt.Sprintf("0x%02x/0x%02x", m.Value, m.Mask) }
+
+// Rule is one 5-tuple classification rule. Priority follows first-match
+// semantics: lower Priority values win, and the classifier returns the
+// Highest-Priority Matching Rule (HPMR), i.e. the matching rule with the
+// smallest Priority.
+type Rule struct {
+	// ID identifies the rule across updates. IDs are assigned by the
+	// decision-control domain and stay stable while the rule exists.
+	ID int
+	// Priority orders rules for HPMR resolution; lower is higher priority.
+	Priority int
+
+	SrcIP   Prefix
+	DstIP   Prefix
+	SrcPort PortRange
+	DstPort PortRange
+	Proto   ProtoMatch
+
+	Action Action
+}
+
+// Header is the 5-tuple point extracted from a packet that the classifier
+// matches against. It mirrors the output of the Packet Header Partition
+// block in Fig. 1 of the paper.
+type Header struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// Matches reports whether the header satisfies all five field matches.
+func (r *Rule) Matches(h Header) bool {
+	return r.SrcIP.Matches(h.SrcIP) &&
+		r.DstIP.Matches(h.DstIP) &&
+		r.SrcPort.Matches(h.SrcPort) &&
+		r.DstPort.Matches(h.DstPort) &&
+		r.Proto.Matches(h.Proto)
+}
+
+// Covers reports whether r matches every header that q matches, i.e. r is a
+// (not necessarily strict) generalization of q in all five fields.
+func (r *Rule) Covers(q *Rule) bool {
+	return r.SrcIP.Contains(q.SrcIP) &&
+		r.DstIP.Contains(q.DstIP) &&
+		r.SrcPort.Contains(q.SrcPort) &&
+		r.DstPort.Contains(q.DstPort) &&
+		r.Proto.Contains(q.Proto)
+}
+
+// Overlaps reports whether some header is matched by both rules.
+func (r *Rule) Overlaps(q *Rule) bool {
+	if !r.SrcPort.Overlaps(q.SrcPort) || !r.DstPort.Overlaps(q.DstPort) {
+		return false
+	}
+	if !prefixesOverlap(r.SrcIP, q.SrcIP) || !prefixesOverlap(r.DstIP, q.DstIP) {
+		return false
+	}
+	if r.Proto.IsWildcard() || q.Proto.IsWildcard() {
+		return true
+	}
+	return r.Proto.Value == q.Proto.Value
+}
+
+func prefixesOverlap(a, b Prefix) bool { return a.Contains(b) || b.Contains(a) }
+
+// Validate checks field well-formedness.
+func (r *Rule) Validate() error {
+	if !r.SrcIP.Valid() {
+		return fmt.Errorf("rule %d: source prefix %v: %w", r.ID, r.SrcIP, ErrBadPrefix)
+	}
+	if !r.DstIP.Valid() {
+		return fmt.Errorf("rule %d: destination prefix %v: %w", r.ID, r.DstIP, ErrBadPrefix)
+	}
+	if !r.SrcPort.Valid() {
+		return fmt.Errorf("rule %d: source port range %v: %w", r.ID, r.SrcPort, ErrBadRange)
+	}
+	if !r.DstPort.Valid() {
+		return fmt.Errorf("rule %d: destination port range %v: %w", r.ID, r.DstPort, ErrBadRange)
+	}
+	if m := r.Proto.Mask; m != 0 && m != 0xff {
+		return fmt.Errorf("rule %d: protocol mask 0x%02x: %w", r.ID, m, ErrBadProtoMask)
+	}
+	return nil
+}
+
+// String formats the rule in ClassBench notation.
+func (r *Rule) String() string {
+	return fmt.Sprintf("@%v\t%v\t%v\t%v\t%v", r.SrcIP, r.DstIP, r.SrcPort, r.DstPort, r.Proto)
+}

@@ -1,0 +1,95 @@
+package rule
+
+import "fmt"
+
+// IPv6 support. The paper motivates the architecture with the need to
+// migrate to IPv6, where headers differ in field number and length; the
+// lookup engines in internal/lpm are generic over the address width, and
+// this file provides the 128-bit rule model they operate on.
+
+// Addr6 is a 128-bit IPv6 address split into two 64-bit halves,
+// most-significant half first.
+type Addr6 struct {
+	Hi, Lo uint64
+}
+
+// MaxPrefixLen6 is the number of bits in an IPv6 address.
+const MaxPrefixLen6 = 128
+
+// Prefix6 is an IPv6 prefix match.
+type Prefix6 struct {
+	Addr Addr6
+	Len  uint8
+}
+
+func mask64(bits int) uint64 {
+	switch {
+	case bits <= 0:
+		return 0
+	case bits >= 64:
+		return ^uint64(0)
+	default:
+		return ^uint64(0) << (64 - bits)
+	}
+}
+
+// Canonical returns the prefix with don't-care bits zeroed.
+func (p Prefix6) Canonical() Prefix6 {
+	p.Addr.Hi &= mask64(int(p.Len))
+	p.Addr.Lo &= mask64(int(p.Len) - 64)
+	return p
+}
+
+// Matches reports whether addr falls inside the prefix.
+func (p Prefix6) Matches(a Addr6) bool {
+	return (a.Hi^p.Addr.Hi)&mask64(int(p.Len)) == 0 &&
+		(a.Lo^p.Addr.Lo)&mask64(int(p.Len)-64) == 0
+}
+
+// Contains reports whether every address matched by q is matched by p.
+func (p Prefix6) Contains(q Prefix6) bool {
+	return p.Len <= q.Len && p.Matches(q.Addr)
+}
+
+// Valid reports whether the prefix length is in range and the address
+// canonical.
+func (p Prefix6) Valid() bool {
+	return p.Len <= MaxPrefixLen6 && p.Canonical().Addr == p.Addr
+}
+
+// String formats the prefix as colon-hex/len.
+func (p Prefix6) String() string {
+	return fmt.Sprintf("%04x:%04x:%04x:%04x:%04x:%04x:%04x:%04x/%d",
+		uint16(p.Addr.Hi>>48), uint16(p.Addr.Hi>>32), uint16(p.Addr.Hi>>16), uint16(p.Addr.Hi),
+		uint16(p.Addr.Lo>>48), uint16(p.Addr.Lo>>32), uint16(p.Addr.Lo>>16), uint16(p.Addr.Lo), p.Len)
+}
+
+// Rule6 is a 5-tuple rule over IPv6 addresses.
+type Rule6 struct {
+	ID       int
+	Priority int
+	SrcIP    Prefix6
+	DstIP    Prefix6
+	SrcPort  PortRange
+	DstPort  PortRange
+	Proto    ProtoMatch
+	Action   Action
+}
+
+// Header6 is the IPv6 5-tuple point.
+type Header6 struct {
+	SrcIP   Addr6
+	DstIP   Addr6
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// Matches reports whether the header satisfies all five field matches.
+func (r *Rule6) Matches(h Header6) bool {
+	return r.SrcIP.Matches(h.SrcIP) &&
+		r.DstIP.Matches(h.DstIP) &&
+		r.SrcPort.Matches(h.SrcPort) &&
+		r.DstPort.Matches(h.DstPort) &&
+		r.Proto.Matches(h.Proto)
+}

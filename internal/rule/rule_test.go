@@ -1,0 +1,243 @@
+package rule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefix(t *testing.T, s string) Prefix {
+	t.Helper()
+	p, err := ParsePrefix(s)
+	if err != nil {
+		t.Fatalf("ParsePrefix(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestPrefixMask(t *testing.T) {
+	tests := []struct {
+		len  uint8
+		want uint32
+	}{
+		{0, 0x00000000},
+		{1, 0x80000000},
+		{8, 0xff000000},
+		{16, 0xffff0000},
+		{24, 0xffffff00},
+		{31, 0xfffffffe},
+		{32, 0xffffffff},
+	}
+	for _, tc := range tests {
+		if got := (Prefix{Len: tc.len}).Mask(); got != tc.want {
+			t.Errorf("Mask(len=%d) = %08x, want %08x", tc.len, got, tc.want)
+		}
+	}
+}
+
+func TestPrefixMatches(t *testing.T) {
+	p := mustPrefix(t, "192.168.0.0/16")
+	if !p.Matches(0xc0a80101) { // 192.168.1.1
+		t.Error("192.168.0.0/16 should match 192.168.1.1")
+	}
+	if p.Matches(0xc0a90101) { // 192.169.1.1
+		t.Error("192.168.0.0/16 should not match 192.169.1.1")
+	}
+	wild := Prefix{}
+	if !wild.Matches(0) || !wild.Matches(^uint32(0)) {
+		t.Error("wildcard prefix should match everything")
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	outer := mustPrefix(t, "10.0.0.0/8")
+	inner := mustPrefix(t, "10.1.0.0/16")
+	other := mustPrefix(t, "11.0.0.0/8")
+	if !outer.Contains(inner) {
+		t.Error("10.0.0.0/8 should contain 10.1.0.0/16")
+	}
+	if inner.Contains(outer) {
+		t.Error("10.1.0.0/16 should not contain 10.0.0.0/8")
+	}
+	if outer.Contains(other) || other.Contains(outer) {
+		t.Error("disjoint /8s should not contain each other")
+	}
+	if !outer.Contains(outer) {
+		t.Error("prefix should contain itself")
+	}
+}
+
+func TestPrefixContainsImpliesMatches(t *testing.T) {
+	// Property: if p.Contains(q), any address matching q matches p.
+	f := func(addr uint32, plen, qlen uint8, qaddr uint32) bool {
+		p := Prefix{Addr: addr, Len: plen % 33}.Canonical()
+		q := Prefix{Addr: qaddr, Len: qlen % 33}.Canonical()
+		if !p.Contains(q) {
+			return true
+		}
+		// Sample addresses inside q: base and base | ^mask variations.
+		samples := []uint32{q.Addr, q.Addr | ^q.Mask(), q.Addr | (^q.Mask() >> 1)}
+		for _, a := range samples {
+			if !q.Matches(a) || !p.Matches(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortRange(t *testing.T) {
+	r := PortRange{Lo: 1024, Hi: 2048}
+	if !r.Matches(1024) || !r.Matches(2048) || !r.Matches(1500) {
+		t.Error("range should match its bounds and interior")
+	}
+	if r.Matches(1023) || r.Matches(2049) {
+		t.Error("range should not match outside points")
+	}
+	if !FullPortRange().IsWildcard() {
+		t.Error("FullPortRange should be wildcard")
+	}
+	if !ExactPort(80).IsExact() {
+		t.Error("ExactPort should be exact")
+	}
+	if r.Width() != 1025 {
+		t.Errorf("Width = %d, want 1025", r.Width())
+	}
+}
+
+func TestPortRangeOverlaps(t *testing.T) {
+	a := PortRange{Lo: 10, Hi: 20}
+	tests := []struct {
+		b    PortRange
+		want bool
+	}{
+		{PortRange{Lo: 20, Hi: 30}, true},  // touch at 20
+		{PortRange{Lo: 21, Hi: 30}, false}, // adjacent
+		{PortRange{Lo: 0, Hi: 9}, false},
+		{PortRange{Lo: 0, Hi: 100}, true}, // containment
+		{PortRange{Lo: 12, Hi: 15}, true}, // contained
+	}
+	for _, tc := range tests {
+		if got := a.Overlaps(tc.b); got != tc.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestProtoMatch(t *testing.T) {
+	tcp := ExactProto(ProtoTCP)
+	if !tcp.Matches(ProtoTCP) || tcp.Matches(ProtoUDP) {
+		t.Error("exact TCP match wrong")
+	}
+	any := AnyProto()
+	if !any.Matches(0) || !any.Matches(255) {
+		t.Error("wildcard proto should match everything")
+	}
+	if !any.Contains(tcp) || tcp.Contains(any) {
+		t.Error("wildcard contains exact, not vice versa")
+	}
+}
+
+func TestRuleMatches(t *testing.T) {
+	r := Rule{
+		SrcIP:   mustPrefix(t, "10.0.0.0/8"),
+		DstIP:   mustPrefix(t, "192.168.1.0/24"),
+		SrcPort: FullPortRange(),
+		DstPort: ExactPort(80),
+		Proto:   ExactProto(ProtoTCP),
+	}
+	h := Header{SrcIP: 0x0a000001, DstIP: 0xc0a80105, SrcPort: 4242, DstPort: 80, Proto: ProtoTCP}
+	if !r.Matches(h) {
+		t.Error("rule should match header")
+	}
+	h.DstPort = 81
+	if r.Matches(h) {
+		t.Error("rule should not match wrong dst port")
+	}
+}
+
+func TestRuleCoversImpliesMatches(t *testing.T) {
+	// Property: if r covers q, then any header matching q matches r.
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		r := randomRule(rnd)
+		q := randomRule(rnd)
+		if !r.Covers(&q) {
+			continue
+		}
+		h := sampleHeader(rnd, &q)
+		if !q.Matches(h) {
+			t.Fatalf("sampled header %+v should match its own rule %v", h, q.String())
+		}
+		if !r.Matches(h) {
+			t.Fatalf("r covers q but header %+v in q does not match r=%v q=%v", h, r.String(), q.String())
+		}
+	}
+}
+
+func TestRuleOverlapsSymmetric(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a, b := randomRule(rnd), randomRule(rnd)
+		if a.Overlaps(&b) != b.Overlaps(&a) {
+			t.Fatalf("Overlaps not symmetric for %v and %v", a.String(), b.String())
+		}
+		// If a header matches both, they must overlap.
+		h := sampleHeader(rnd, &a)
+		if a.Matches(h) && b.Matches(h) && !a.Overlaps(&b) {
+			t.Fatalf("common header %+v but Overlaps=false for %v and %v", h, a.String(), b.String())
+		}
+	}
+}
+
+func randomRule(rnd *rand.Rand) Rule {
+	randPrefix := func() Prefix {
+		l := uint8(rnd.Intn(5) * 8) // 0,8,16,24,32
+		return Prefix{Addr: rnd.Uint32(), Len: l}.Canonical()
+	}
+	randRange := func() PortRange {
+		switch rnd.Intn(3) {
+		case 0:
+			return FullPortRange()
+		case 1:
+			return ExactPort(uint16(rnd.Intn(1 << 16)))
+		default:
+			lo := uint16(rnd.Intn(1 << 15))
+			return PortRange{Lo: lo, Hi: lo + uint16(rnd.Intn(1<<14))}
+		}
+	}
+	randProto := func() ProtoMatch {
+		if rnd.Intn(3) == 0 {
+			return AnyProto()
+		}
+		vals := []uint8{ProtoTCP, ProtoUDP, ProtoICMP}
+		return ExactProto(vals[rnd.Intn(len(vals))])
+	}
+	return Rule{
+		SrcIP: randPrefix(), DstIP: randPrefix(),
+		SrcPort: randRange(), DstPort: randRange(),
+		Proto: randProto(), Action: ActionPermit,
+	}
+}
+
+// sampleHeader returns a header drawn from inside the rule's match region.
+func sampleHeader(rnd *rand.Rand, r *Rule) Header {
+	inPrefix := func(p Prefix) uint32 {
+		return p.Addr | (rnd.Uint32() &^ p.Mask())
+	}
+	inRange := func(pr PortRange) uint16 {
+		return pr.Lo + uint16(rnd.Intn(pr.Width()))
+	}
+	proto := r.Proto.Value
+	if r.Proto.IsWildcard() {
+		proto = uint8(rnd.Intn(256))
+	}
+	return Header{
+		SrcIP: inPrefix(r.SrcIP), DstIP: inPrefix(r.DstIP),
+		SrcPort: inRange(r.SrcPort), DstPort: inRange(r.DstPort),
+		Proto: proto,
+	}
+}

@@ -1,0 +1,252 @@
+package rule
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors reported by rule and set validation.
+var (
+	ErrBadPrefix    = errors.New("invalid prefix")
+	ErrBadRange     = errors.New("invalid port range")
+	ErrBadProtoMask = errors.New("unsupported protocol mask")
+	ErrDuplicateID  = errors.New("duplicate rule id")
+	ErrUnknownRule  = errors.New("unknown rule id")
+)
+
+// Set is an ordered collection of rules with first-match priority: index
+// order is priority order unless rules carry explicit priorities.
+type Set struct {
+	rules []Rule
+	byID  map[int]int // rule ID -> index in rules
+}
+
+// NewSet builds a set from rules, assigning Priority from position for any
+// rule whose Priority is zero, and IDs from position for any rule whose ID
+// is zero and unclaimed. It validates every rule and stores them sorted by
+// priority, so Rules() index order is priority order.
+func NewSet(rules []Rule) (*Set, error) {
+	s := &Set{
+		rules: make([]Rule, len(rules)),
+		byID:  make(map[int]int, len(rules)),
+	}
+	copy(s.rules, rules)
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.ID == 0 {
+			r.ID = i + 1
+		}
+		if r.Priority == 0 {
+			r.Priority = i + 1
+		}
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(s.rules, func(i, j int) bool { return s.rules[i].Priority < s.rules[j].Priority })
+	for i := range s.rules {
+		if _, dup := s.byID[s.rules[i].ID]; dup {
+			return nil, fmt.Errorf("rule id %d: %w", s.rules[i].ID, ErrDuplicateID)
+		}
+		s.byID[s.rules[i].ID] = i
+	}
+	return s, nil
+}
+
+// Len returns the number of rules in the set.
+func (s *Set) Len() int { return len(s.rules) }
+
+// Rules returns the rules in priority order. The returned slice is shared;
+// callers must not modify it.
+func (s *Set) Rules() []Rule { return s.rules }
+
+// Rule returns the rule with the given ID.
+func (s *Set) Rule(id int) (Rule, bool) {
+	i, ok := s.byID[id]
+	if !ok {
+		return Rule{}, false
+	}
+	return s.rules[i], true
+}
+
+// Match returns the Highest-Priority Matching Rule for the header by linear
+// scan. It is the reference oracle every classifier in this repository is
+// differential-tested against.
+func (s *Set) Match(h Header) (Rule, bool) {
+	best := -1
+	for i := range s.rules {
+		if s.rules[i].Matches(h) {
+			if best < 0 || s.rules[i].Priority < s.rules[best].Priority {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return Rule{}, false
+	}
+	return s.rules[best], true
+}
+
+// MatchAll returns every matching rule in priority order.
+func (s *Set) MatchAll(h Header) []Rule {
+	var out []Rule
+	for i := range s.rules {
+		if s.rules[i].Matches(h) {
+			out = append(out, s.rules[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Priority < out[j].Priority })
+	return out
+}
+
+// Shadowed returns the IDs of rules that can never be the HPMR because an
+// earlier (higher-priority) rule covers them completely. The decision
+// controller removes these during ruleset optimization (Section III.D).
+func (s *Set) Shadowed() []int {
+	var ids []int
+	for i := range s.rules {
+		for j := range s.rules {
+			if s.rules[j].Priority < s.rules[i].Priority && s.rules[j].Covers(&s.rules[i]) {
+				ids = append(ids, s.rules[i].ID)
+				break
+			}
+		}
+	}
+	return ids
+}
+
+// FieldStats summarizes the per-field structure of a set: how many distinct
+// match specifications each field uses and the worst-case number of
+// simultaneously matching specifications (the label-list length bound the
+// paper fixes at five).
+type FieldStats struct {
+	DistinctSrcPrefixes int
+	DistinctDstPrefixes int
+	DistinctSrcRanges   int
+	DistinctDstRanges   int
+	DistinctProtos      int
+
+	// Max*Nesting is the maximum number of specs in the field that can
+	// match one point: nested prefixes for IP fields, overlapping ranges
+	// at one port for port fields.
+	MaxSrcNesting   int
+	MaxDstNesting   int
+	MaxSrcPortOver  int
+	MaxDstPortOver  int
+	MaxProtoMatches int
+}
+
+// Stats computes FieldStats for the set.
+func (s *Set) Stats() FieldStats {
+	var st FieldStats
+
+	src := uniquePrefixes(s.rules, func(r *Rule) Prefix { return r.SrcIP })
+	dst := uniquePrefixes(s.rules, func(r *Rule) Prefix { return r.DstIP })
+	st.DistinctSrcPrefixes = len(src)
+	st.DistinctDstPrefixes = len(dst)
+	st.MaxSrcNesting = maxPrefixNesting(src)
+	st.MaxDstNesting = maxPrefixNesting(dst)
+
+	sp := uniqueRanges(s.rules, func(r *Rule) PortRange { return r.SrcPort })
+	dp := uniqueRanges(s.rules, func(r *Rule) PortRange { return r.DstPort })
+	st.DistinctSrcRanges = len(sp)
+	st.DistinctDstRanges = len(dp)
+	st.MaxSrcPortOver = maxRangeOverlap(sp)
+	st.MaxDstPortOver = maxRangeOverlap(dp)
+
+	protos := make(map[ProtoMatch]struct{})
+	anyWildcard := false
+	for i := range s.rules {
+		protos[s.rules[i].Proto] = struct{}{}
+		if s.rules[i].Proto.IsWildcard() {
+			anyWildcard = true
+		}
+	}
+	st.DistinctProtos = len(protos)
+	st.MaxProtoMatches = 1
+	if anyWildcard && len(protos) > 1 {
+		st.MaxProtoMatches = 2 // exact value plus the wildcard
+	}
+	return st
+}
+
+func uniquePrefixes(rules []Rule, get func(*Rule) Prefix) []Prefix {
+	seen := make(map[Prefix]struct{})
+	var out []Prefix
+	for i := range rules {
+		p := get(&rules[i]).Canonical()
+		if _, ok := seen[p]; !ok {
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// maxPrefixNesting returns the length of the longest containment chain
+// among the prefixes, i.e. the maximum number of prefixes that can match a
+// single address.
+func maxPrefixNesting(ps []Prefix) int {
+	sorted := make([]Prefix, len(ps))
+	copy(sorted, ps)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Len < sorted[j].Len })
+	best := 0
+	// depth[i] = longest chain ending at sorted[i]. Quadratic, but only run
+	// on distinct prefixes during offline analysis.
+	depth := make([]int, len(sorted))
+	for i := range sorted {
+		depth[i] = 1
+		for j := 0; j < i; j++ {
+			if sorted[j].Len < sorted[i].Len && sorted[j].Contains(sorted[i]) && depth[j]+1 > depth[i] {
+				depth[i] = depth[j] + 1
+			}
+		}
+		if depth[i] > best {
+			best = depth[i]
+		}
+	}
+	return best
+}
+
+func uniqueRanges(rules []Rule, get func(*Rule) PortRange) []PortRange {
+	seen := make(map[PortRange]struct{})
+	var out []PortRange
+	for i := range rules {
+		r := get(&rules[i])
+		if _, ok := seen[r]; !ok {
+			seen[r] = struct{}{}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// maxRangeOverlap returns the maximum number of ranges that contain one
+// point, computed by a sweep over endpoints.
+func maxRangeOverlap(rs []PortRange) int {
+	type ev struct {
+		at    int
+		delta int
+	}
+	events := make([]ev, 0, 2*len(rs))
+	for _, r := range rs {
+		events = append(events, ev{at: int(r.Lo), delta: +1}, ev{at: int(r.Hi) + 1, delta: -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		// Close (-1) before open (+1) at the same point, so ranges that
+		// touch without overlapping do not count as overlapping.
+		return events[i].delta < events[j].delta
+	})
+	cur, best := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}

@@ -1,0 +1,247 @@
+package rule
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func testSet(t *testing.T) *Set {
+	t.Helper()
+	rules := []Rule{
+		{
+			SrcIP: Prefix{Addr: 0x0a000000, Len: 8}, DstIP: Prefix{},
+			SrcPort: FullPortRange(), DstPort: ExactPort(80),
+			Proto: ExactProto(ProtoTCP), Action: ActionPermit,
+		},
+		{
+			SrcIP: Prefix{Addr: 0x0a010000, Len: 16}, DstIP: Prefix{},
+			SrcPort: FullPortRange(), DstPort: FullPortRange(),
+			Proto: ExactProto(ProtoTCP), Action: ActionDeny,
+		},
+		{
+			SrcIP: Prefix{}, DstIP: Prefix{},
+			SrcPort: FullPortRange(), DstPort: FullPortRange(),
+			Proto: AnyProto(), Action: ActionDeny,
+		},
+	}
+	s, err := NewSet(rules)
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	return s
+}
+
+func TestSetMatchFirstMatchWins(t *testing.T) {
+	s := testSet(t)
+	h := Header{SrcIP: 0x0a010101, DstIP: 1, SrcPort: 1000, DstPort: 80, Proto: ProtoTCP}
+	// Both rule 1 (10/8, dport 80) and rule 2 (10.1/16) match; rule 1 has
+	// higher priority (earlier line).
+	got, ok := s.Match(h)
+	if !ok {
+		t.Fatal("expected a match")
+	}
+	if got.ID != 1 {
+		t.Errorf("HPMR = rule %d, want rule 1", got.ID)
+	}
+	// Default rule catches everything else.
+	h2 := Header{SrcIP: 0xc0000001, Proto: ProtoUDP}
+	got, ok = s.Match(h2)
+	if !ok || got.ID != 3 {
+		t.Errorf("default match = %v/%v, want rule 3", got.ID, ok)
+	}
+}
+
+func TestSetMatchAllOrdered(t *testing.T) {
+	s := testSet(t)
+	h := Header{SrcIP: 0x0a010101, DstPort: 80, Proto: ProtoTCP}
+	all := s.MatchAll(h)
+	if len(all) != 3 {
+		t.Fatalf("MatchAll returned %d rules, want 3", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Priority > all[i].Priority {
+			t.Error("MatchAll not in priority order")
+		}
+	}
+}
+
+func TestSetDuplicateID(t *testing.T) {
+	rules := []Rule{
+		{ID: 7, SrcPort: FullPortRange(), DstPort: FullPortRange()},
+		{ID: 7, SrcPort: FullPortRange(), DstPort: FullPortRange()},
+	}
+	if _, err := NewSet(rules); err == nil {
+		t.Fatal("expected duplicate ID error")
+	}
+}
+
+func TestSetShadowed(t *testing.T) {
+	rules := []Rule{
+		{ // broad rule first: shadows anything it covers
+			SrcIP:   Prefix{Addr: 0x0a000000, Len: 8},
+			SrcPort: FullPortRange(), DstPort: FullPortRange(), Proto: AnyProto(),
+		},
+		{ // fully inside rule 1 -> shadowed
+			SrcIP:   Prefix{Addr: 0x0a010000, Len: 16},
+			SrcPort: FullPortRange(), DstPort: FullPortRange(), Proto: ExactProto(ProtoTCP),
+		},
+		{ // partially outside -> not shadowed
+			SrcIP:   Prefix{Addr: 0x0b000000, Len: 8},
+			SrcPort: FullPortRange(), DstPort: FullPortRange(), Proto: AnyProto(),
+		},
+	}
+	s, err := NewSet(rules)
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	sh := s.Shadowed()
+	if len(sh) != 1 || sh[0] != 2 {
+		t.Errorf("Shadowed = %v, want [2]", sh)
+	}
+}
+
+func TestFieldStats(t *testing.T) {
+	rules := []Rule{
+		{SrcIP: Prefix{Addr: 0x0a000000, Len: 8}, SrcPort: FullPortRange(), DstPort: PortRange{Lo: 0, Hi: 100}, Proto: ExactProto(ProtoTCP)},
+		{SrcIP: Prefix{Addr: 0x0a010000, Len: 16}, SrcPort: FullPortRange(), DstPort: PortRange{Lo: 50, Hi: 150}, Proto: AnyProto()},
+		{SrcIP: Prefix{Addr: 0x0a010100, Len: 24}, SrcPort: FullPortRange(), DstPort: PortRange{Lo: 200, Hi: 300}, Proto: ExactProto(ProtoUDP)},
+	}
+	s, err := NewSet(rules)
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	st := s.Stats()
+	if st.DistinctSrcPrefixes != 3 {
+		t.Errorf("DistinctSrcPrefixes = %d, want 3", st.DistinctSrcPrefixes)
+	}
+	if st.MaxSrcNesting != 3 {
+		t.Errorf("MaxSrcNesting = %d, want 3 (8 contains 16 contains 24)", st.MaxSrcNesting)
+	}
+	if st.MaxDstPortOver != 2 {
+		t.Errorf("MaxDstPortOver = %d, want 2 ([0,100] and [50,150] overlap)", st.MaxDstPortOver)
+	}
+	if st.MaxProtoMatches != 2 {
+		t.Errorf("MaxProtoMatches = %d, want 2 (exact + wildcard)", st.MaxProtoMatches)
+	}
+}
+
+func TestMatchAgainstBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	var rules []Rule
+	for i := 0; i < 200; i++ {
+		rules = append(rules, randomRule(rnd))
+	}
+	s, err := NewSet(rules)
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		h := Header{
+			SrcIP: rnd.Uint32(), DstIP: rnd.Uint32(),
+			SrcPort: uint16(rnd.Intn(1 << 16)), DstPort: uint16(rnd.Intn(1 << 16)),
+			Proto: uint8(rnd.Intn(256)),
+		}
+		got, ok := s.Match(h)
+		// Brute force over rules directly.
+		bestPrio, bestID, found := 1<<31, 0, false
+		for j := range s.Rules() {
+			r := &s.Rules()[j]
+			if r.Matches(h) && r.Priority < bestPrio {
+				bestPrio, bestID, found = r.Priority, r.ID, true
+			}
+		}
+		if ok != found || (ok && got.ID != bestID) {
+			t.Fatalf("Match mismatch: got (%v,%v), want (%v,%v)", got.ID, ok, bestID, found)
+		}
+	}
+}
+
+func TestClassBenchRoundTrip(t *testing.T) {
+	src := `# comment line
+@192.168.0.0/16	10.0.0.0/8	0 : 65535	80 : 80	0x06/0xFF
+
+@0.0.0.0/0	0.0.0.0/0	1024 : 2048	0 : 65535	0x11/0xFF
+@10.1.2.3/32	172.16.0.0/12	53 : 53	53 : 53	0x00/0x00
+`
+	s, err := ParseSet(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseSet: %v", err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("parsed %d rules, want 3", s.Len())
+	}
+	r0 := s.Rules()[0]
+	if r0.SrcIP.String() != "192.168.0.0/16" {
+		t.Errorf("rule 0 src = %v", r0.SrcIP)
+	}
+	if !r0.DstPort.IsExact() || r0.DstPort.Lo != 80 {
+		t.Errorf("rule 0 dport = %v", r0.DstPort)
+	}
+	if r0.Proto.Value != ProtoTCP {
+		t.Errorf("rule 0 proto = %v", r0.Proto)
+	}
+	if !s.Rules()[2].Proto.IsWildcard() {
+		t.Error("rule 2 proto should be wildcard")
+	}
+
+	var sb strings.Builder
+	if err := WriteSet(&sb, s); err != nil {
+		t.Fatalf("WriteSet: %v", err)
+	}
+	s2, err := ParseSet(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-ParseSet: %v", err)
+	}
+	if s2.Len() != s.Len() {
+		t.Fatalf("round trip changed rule count: %d != %d", s2.Len(), s.Len())
+	}
+	for i := range s.Rules() {
+		a, b := s.Rules()[i], s2.Rules()[i]
+		a.ID, b.ID, a.Priority, b.Priority, a.Action, b.Action = 0, 0, 0, 0, 0, 0
+		if a != b {
+			t.Errorf("rule %d changed in round trip: %v != %v", i, a.String(), b.String())
+		}
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	bad := []string{
+		"192.168.0.0/16 10.0.0.0/8 0 : 65535 80 : 80 0x06/0xFF", // missing @
+		"@192.168.0.0/16 10.0.0.0/8 0 : 65535 80 : 80",          // missing proto
+		"@192.168.0.0/33 10.0.0.0/8 0 : 65535 80 : 80 0x06/0xFF",
+		"@192.168.0.0/16 10.0.0.0/8 65535 : 0 80 : 80 0x06/0xFF", // inverted range
+		"@192.168.0.0/16 10.0.0.0/8 0 ; 65535 80 : 80 0x06/0xFF", // bad separator
+		"@192.168.0.0/16 10.0.0.0/8 0 : 65535 80 : 80 0x06/0x0F", // bad mask
+		"@192.168.0/16 10.0.0.0/8 0 : 65535 80 : 80 0x06/0xFF",   // short address
+	}
+	for _, line := range bad {
+		if _, err := ParseRule(line); err == nil {
+			t.Errorf("ParseRule(%q) should fail", line)
+		}
+	}
+}
+
+func TestPrefix6(t *testing.T) {
+	p := Prefix6{Addr: Addr6{Hi: 0x20010db8_00000000}, Len: 32}
+	if !p.Matches(Addr6{Hi: 0x20010db8_12345678, Lo: 42}) {
+		t.Error("2001:db8::/32 should match 2001:db8:1234:5678::x")
+	}
+	if p.Matches(Addr6{Hi: 0x20010db9_00000000}) {
+		t.Error("2001:db8::/32 should not match 2001:db9::")
+	}
+	long := Prefix6{Addr: Addr6{Hi: 0x20010db8_00000000, Lo: 0xaa00000000000000}, Len: 72}
+	if !long.Matches(Addr6{Hi: 0x20010db8_00000000, Lo: 0xaa12345678000000}) {
+		t.Error("/72 prefix should match address with same first 72 bits")
+	}
+	if long.Matches(Addr6{Hi: 0x20010db8_00000000, Lo: 0xab12345678000000}) {
+		t.Error("/72 prefix should not match differing 72nd-bit region")
+	}
+	if !p.Contains(long) || long.Contains(p) {
+		t.Error("containment across the 64-bit boundary wrong")
+	}
+	w := Prefix6{}
+	if !w.Matches(Addr6{Hi: ^uint64(0), Lo: ^uint64(0)}) {
+		t.Error("wildcard v6 prefix should match everything")
+	}
+}

@@ -1,0 +1,281 @@
+// Package ruleset generates synthetic ClassBench-style rulesets and packet
+// header traces. The paper evaluates on Access Control List (ACL), Firewall
+// (FW) and IP Chain (IPC) rule filters at 1K/5K/10K rules; the real
+// ClassBench seeds are not published with the paper, so this package
+// reproduces the structural characteristics that drive the published
+// curves: the prefix-length mix, port-range style and field-overlap
+// behaviour of each family.
+//
+// Generation is fully deterministic for a given (family, size, seed).
+package ruleset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rule"
+)
+
+// Family selects the structural style of a generated ruleset.
+type Family int
+
+// The three rule-filter families of the paper's evaluation (Section IV.B).
+const (
+	// ACL rulesets use specific source/destination prefixes, exact
+	// well-known destination ports and exact protocols.
+	ACL Family = iota + 1
+	// FW rulesets use wildcard-heavy source fields, arbitrary port ranges
+	// and a protocol mix that includes wildcards.
+	FW
+	// IPC rulesets sit between the two, with prefix pairs of moderate
+	// specificity and mixed port styles.
+	IPC
+)
+
+// String returns the family mnemonic used in the paper's figures.
+func (f Family) String() string {
+	switch f {
+	case ACL:
+		return "ACL"
+	case FW:
+		return "FW"
+	case IPC:
+		return "IPC"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// Families lists all generated families in figure order.
+func Families() []Family { return []Family{ACL, FW, IPC} }
+
+// Config parameterizes generation.
+type Config struct {
+	Family Family
+	// Size is the number of rules to generate (e.g. 1000, 5000, 10000).
+	Size int
+	// Seed makes generation deterministic; the same Config yields the
+	// same ruleset.
+	Seed int64
+	// AppendDefault adds a final catch-all deny rule, as firewall
+	// rulesets conventionally have. Default false to match ClassBench.
+	AppendDefault bool
+}
+
+// Generate builds a synthetic ruleset with the family's structure.
+func Generate(cfg Config) (*rule.Set, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("ruleset size %d: must be positive", cfg.Size)
+	}
+	switch cfg.Family {
+	case ACL, FW, IPC:
+	default:
+		return nil, fmt.Errorf("unknown ruleset family %d", int(cfg.Family))
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Family)<<32 ^ int64(cfg.Size)))
+	pool := newFieldPool(rnd)
+
+	rules := make([]rule.Rule, 0, cfg.Size+1)
+	seen := make(map[matchKey]struct{}, cfg.Size)
+	for len(rules) < cfg.Size {
+		r := generateRule(rnd, cfg.Family, pool)
+		k := keyOf(&r)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		rules = append(rules, r)
+	}
+	if cfg.AppendDefault {
+		rules = append(rules, rule.Rule{
+			SrcPort: rule.FullPortRange(),
+			DstPort: rule.FullPortRange(),
+			Proto:   rule.AnyProto(),
+			Action:  rule.ActionDeny,
+		})
+	}
+	return rule.NewSet(rules)
+}
+
+// matchKey identifies a rule by its match fields only (not priority or
+// action), used to avoid exact duplicates.
+type matchKey struct {
+	src, dst rule.Prefix
+	sp, dp   rule.PortRange
+	proto    rule.ProtoMatch
+}
+
+func keyOf(r *rule.Rule) matchKey {
+	return matchKey{src: r.SrcIP, dst: r.DstIP, sp: r.SrcPort, dp: r.DstPort, proto: r.Proto}
+}
+
+// fieldPool holds the universe of field values a generated ruleset draws
+// from. Prefixes come from a hierarchy so they nest in shallow chains, and
+// arbitrary port ranges come from a small disjoint pool — together these
+// maintain the paper's observation that only a small set of field specs
+// (at most five labels per field) match any packet.
+type fieldPool struct {
+	slash8  []uint32 // network bits of /8s
+	slash16 []uint32
+	slash24 []uint32
+	// segments are disjoint arbitrary port ranges, cut at the
+	// privileged/ephemeral boundary so they nest inside the conventional
+	// ranges rather than straddling them.
+	segments []rule.PortRange
+}
+
+func newFieldPool(rnd *rand.Rand) *fieldPool {
+	p := &fieldPool{}
+	for i := 0; i < 24; i++ {
+		p.slash8 = append(p.slash8, uint32(rnd.Intn(224))<<24)
+	}
+	for i := 0; i < 160; i++ {
+		base := p.slash8[rnd.Intn(len(p.slash8))]
+		p.slash16 = append(p.slash16, base|uint32(rnd.Intn(256))<<16)
+	}
+	for i := 0; i < 640; i++ {
+		base := p.slash16[rnd.Intn(len(p.slash16))]
+		p.slash24 = append(p.slash24, base|uint32(rnd.Intn(256))<<8)
+	}
+	p.segments = disjointSegments(rnd, 40)
+	return p
+}
+
+// disjointSegments partitions parts of the port space into n disjoint
+// ranges, always cutting at 1024 so no segment straddles the
+// privileged/ephemeral boundary.
+func disjointSegments(rnd *rand.Rand, n int) []rule.PortRange {
+	cuts := map[int]struct{}{0: {}, 1024: {}, 65536: {}}
+	for len(cuts) < n+1 {
+		cuts[rnd.Intn(65536)] = struct{}{}
+	}
+	points := make([]int, 0, len(cuts))
+	for c := range cuts {
+		points = append(points, c)
+	}
+	sortInts(points)
+	segs := make([]rule.PortRange, 0, len(points)-1)
+	for i := 1; i < len(points); i++ {
+		segs = append(segs, rule.PortRange{Lo: uint16(points[i-1]), Hi: uint16(points[i] - 1)})
+	}
+	return segs
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// pick returns a prefix of the requested length from the hierarchy.
+func (p *fieldPool) pick(rnd *rand.Rand, length int) rule.Prefix {
+	switch {
+	case length == 0:
+		return rule.Prefix{}
+	case length <= 8:
+		return rule.Prefix{Addr: p.slash8[rnd.Intn(len(p.slash8))], Len: uint8(length)}.Canonical()
+	case length <= 16:
+		return rule.Prefix{Addr: p.slash16[rnd.Intn(len(p.slash16))], Len: uint8(length)}.Canonical()
+	case length <= 24:
+		return rule.Prefix{Addr: p.slash24[rnd.Intn(len(p.slash24))], Len: uint8(length)}.Canonical()
+	default:
+		base := p.slash24[rnd.Intn(len(p.slash24))]
+		host := uint32(rnd.Intn(256))
+		return rule.Prefix{Addr: base | host, Len: uint8(length)}.Canonical()
+	}
+}
+
+// Well-known destination ports common in ACL-style filters.
+var wellKnownPorts = []uint16{20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 161, 179, 389, 443, 445, 993, 995, 1433, 3306, 3389, 5060, 8080}
+
+func generateRule(rnd *rand.Rand, f Family, pool *fieldPool) rule.Rule {
+	var r rule.Rule
+	switch f {
+	case ACL:
+		r.SrcIP = pool.pick(rnd, choose(rnd, []int{16, 24, 24, 28, 32, 32}))
+		r.DstIP = pool.pick(rnd, choose(rnd, []int{8, 16, 24, 24, 32}))
+		r.SrcPort = rule.FullPortRange()
+		r.DstPort = aclPort(rnd)
+		r.Proto = exactProtoMix(rnd, 0.02) // almost always exact
+		r.Action = pickAction(rnd, 0.65)
+	case FW:
+		r.SrcIP = pool.pick(rnd, choose(rnd, []int{0, 0, 8, 16, 16, 24}))
+		r.DstIP = pool.pick(rnd, choose(rnd, []int{8, 16, 16, 24, 32}))
+		r.SrcPort = pool.fwPort(rnd)
+		r.DstPort = pool.fwPort(rnd)
+		r.Proto = exactProtoMix(rnd, 0.15)
+		r.Action = pickAction(rnd, 0.4)
+	case IPC:
+		r.SrcIP = pool.pick(rnd, choose(rnd, []int{8, 16, 24, 24, 32, 32}))
+		r.DstIP = pool.pick(rnd, choose(rnd, []int{8, 16, 24, 24, 32, 32}))
+		if rnd.Intn(2) == 0 {
+			r.SrcPort = rule.FullPortRange()
+			r.DstPort = aclPort(rnd)
+		} else {
+			r.SrcPort = pool.fwPort(rnd)
+			r.DstPort = pool.fwPort(rnd)
+		}
+		r.Proto = exactProtoMix(rnd, 0.08)
+		r.Action = pickAction(rnd, 0.5)
+	}
+	return r
+}
+
+func choose(rnd *rand.Rand, opts []int) int { return opts[rnd.Intn(len(opts))] }
+
+func pickAction(rnd *rand.Rand, permitP float64) rule.Action {
+	if rnd.Float64() < permitP {
+		return rule.ActionPermit
+	}
+	return rule.ActionDeny
+}
+
+// aclPort: mostly exact well-known ports, occasionally ephemeral range or
+// wildcard.
+func aclPort(rnd *rand.Rand) rule.PortRange {
+	switch v := rnd.Float64(); {
+	case v < 0.70:
+		return rule.ExactPort(wellKnownPorts[rnd.Intn(len(wellKnownPorts))])
+	case v < 0.80:
+		// Registered application ports: drawn from a bounded pool, as in
+		// real filter sets where the distinct port population is small.
+		return rule.ExactPort(uint16(1024 + 97*rnd.Intn(80)))
+	case v < 0.90:
+		return rule.PortRange{Lo: 1024, Hi: 65535}
+	default:
+		return rule.FullPortRange()
+	}
+}
+
+// fwPort: ranges are common; sourced from a small set of conventional
+// boundaries plus the pool's disjoint arbitrary segments.
+func (p *fieldPool) fwPort(rnd *rand.Rand) rule.PortRange {
+	switch v := rnd.Float64(); {
+	case v < 0.30:
+		return rule.FullPortRange()
+	case v < 0.45:
+		return rule.ExactPort(wellKnownPorts[rnd.Intn(len(wellKnownPorts))])
+	case v < 0.60:
+		return rule.PortRange{Lo: 0, Hi: 1023} // privileged
+	case v < 0.75:
+		return rule.PortRange{Lo: 1024, Hi: 65535} // ephemeral
+	default:
+		return p.segments[rnd.Intn(len(p.segments))]
+	}
+}
+
+func exactProtoMix(rnd *rand.Rand, wildcardP float64) rule.ProtoMatch {
+	if rnd.Float64() < wildcardP {
+		return rule.AnyProto()
+	}
+	switch v := rnd.Float64(); {
+	case v < 0.62:
+		return rule.ExactProto(rule.ProtoTCP)
+	case v < 0.92:
+		return rule.ExactProto(rule.ProtoUDP)
+	default:
+		return rule.ExactProto(rule.ProtoICMP)
+	}
+}

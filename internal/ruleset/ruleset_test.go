@@ -1,0 +1,269 @@
+package ruleset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rule"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Family: ACL, Size: 500, Seed: 7}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d != %d", a.Len(), b.Len())
+	}
+	for i := range a.Rules() {
+		if a.Rules()[i] != b.Rules()[i] {
+			t.Fatalf("rule %d differs between identical configs", i)
+		}
+	}
+	c, err := Generate(Config{Family: ACL, Size: 500, Seed: 8})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	same := 0
+	for i := range c.Rules() {
+		if c.Rules()[i].SrcIP == a.Rules()[i].SrcIP && c.Rules()[i].DstIP == a.Rules()[i].DstIP {
+			same++
+		}
+	}
+	if same == c.Len() {
+		t.Error("different seeds produced identical rulesets")
+	}
+}
+
+func TestGenerateSizesAndValidity(t *testing.T) {
+	for _, fam := range Families() {
+		for _, size := range []int{100, 1000} {
+			s, err := Generate(Config{Family: fam, Size: size, Seed: 3})
+			if err != nil {
+				t.Fatalf("Generate(%v,%d): %v", fam, size, err)
+			}
+			if s.Len() != size {
+				t.Errorf("%v size = %d, want %d", fam, s.Len(), size)
+			}
+			for i := range s.Rules() {
+				r := s.Rules()[i]
+				if err := r.Validate(); err != nil {
+					t.Fatalf("%v rule %d invalid: %v", fam, i, err)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateNoDuplicateMatches(t *testing.T) {
+	s, err := Generate(Config{Family: FW, Size: 2000, Seed: 11})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	seen := make(map[matchKey]int)
+	for i := range s.Rules() {
+		r := s.Rules()[i]
+		k := keyOf(&r)
+		if j, dup := seen[k]; dup {
+			t.Fatalf("rules %d and %d have identical match fields", j, i)
+		}
+		seen[k] = i
+	}
+}
+
+func TestFamilyCharacteristics(t *testing.T) {
+	acl, err := Generate(Config{Family: ACL, Size: 2000, Seed: 5})
+	if err != nil {
+		t.Fatalf("Generate ACL: %v", err)
+	}
+	fw, err := Generate(Config{Family: FW, Size: 2000, Seed: 5})
+	if err != nil {
+		t.Fatalf("Generate FW: %v", err)
+	}
+
+	countSrcWild := func(s *rule.Set) int {
+		n := 0
+		for i := range s.Rules() {
+			if s.Rules()[i].SrcIP.IsWildcard() {
+				n++
+			}
+		}
+		return n
+	}
+	countRangePorts := func(s *rule.Set) int {
+		n := 0
+		for i := range s.Rules() {
+			dp := s.Rules()[i].DstPort
+			if !dp.IsExact() && !dp.IsWildcard() {
+				n++
+			}
+		}
+		return n
+	}
+
+	if aw, fww := countSrcWild(acl), countSrcWild(fw); aw >= fww {
+		t.Errorf("ACL should have fewer wildcard sources than FW: %d vs %d", aw, fww)
+	}
+	if ar, fwr := countRangePorts(acl), countRangePorts(fw); ar >= fwr {
+		t.Errorf("ACL should have fewer range ports than FW: %d vs %d", ar, fwr)
+	}
+}
+
+func TestNestingBounded(t *testing.T) {
+	// The decomposition architecture relies on the observation that only a
+	// small set of field specs match any packet (≤5 labels per field). The
+	// generator's hierarchical prefix pool must keep nesting shallow.
+	for _, fam := range Families() {
+		s, err := Generate(Config{Family: fam, Size: 5000, Seed: 1})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		st := s.Stats()
+		if st.MaxSrcNesting > 5 || st.MaxDstNesting > 5 {
+			t.Errorf("%v: prefix nesting too deep: src=%d dst=%d", fam, st.MaxSrcNesting, st.MaxDstNesting)
+		}
+		if st.MaxSrcPortOver > 5 || st.MaxDstPortOver > 5 {
+			t.Errorf("%v: port overlap too deep: src=%d dst=%d", fam, st.MaxSrcPortOver, st.MaxDstPortOver)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Family: ACL, Size: 0}); err == nil {
+		t.Error("size 0 should fail")
+	}
+	if _, err := Generate(Config{Family: Family(99), Size: 10}); err == nil {
+		t.Error("unknown family should fail")
+	}
+}
+
+func TestGenerateTraceHitRatio(t *testing.T) {
+	s, err := Generate(Config{Family: ACL, Size: 1000, Seed: 2})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	trace, err := GenerateTrace(s, TraceConfig{Size: 5000, HitRatio: 0.9, Seed: 4})
+	if err != nil {
+		t.Fatalf("GenerateTrace: %v", err)
+	}
+	if len(trace) != 5000 {
+		t.Fatalf("trace size = %d, want 5000", len(trace))
+	}
+	hits := 0
+	for _, h := range trace {
+		if _, ok := s.Match(h); ok {
+			hits++
+		}
+	}
+	// At least the sampled fraction should match (uniform headers may
+	// accidentally match too).
+	if frac := float64(hits) / float64(len(trace)); frac < 0.85 {
+		t.Errorf("hit fraction = %.3f, want >= 0.85", frac)
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	s, err := Generate(Config{Family: IPC, Size: 200, Seed: 2})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	cfg := TraceConfig{Size: 100, HitRatio: 0.5, Seed: 9}
+	a, err := GenerateTrace(s, cfg)
+	if err != nil {
+		t.Fatalf("GenerateTrace: %v", err)
+	}
+	b, err := GenerateTrace(s, cfg)
+	if err != nil {
+		t.Fatalf("GenerateTrace: %v", err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace differs at %d between identical configs", i)
+		}
+	}
+}
+
+func TestGenerateTraceErrors(t *testing.T) {
+	s, _ := Generate(Config{Family: ACL, Size: 10, Seed: 1})
+	if _, err := GenerateTrace(s, TraceConfig{Size: 0}); err == nil {
+		t.Error("size 0 should fail")
+	}
+	if _, err := GenerateTrace(s, TraceConfig{Size: 1, HitRatio: 1.5}); err == nil {
+		t.Error("hit ratio > 1 should fail")
+	}
+	if _, err := GenerateTrace(s, TraceConfig{Size: 1, Locality: 1.0}); err == nil {
+		t.Error("locality 1.0 should fail")
+	}
+}
+
+func TestSampleHeaderInRule(t *testing.T) {
+	s, err := Generate(Config{Family: FW, Size: 300, Seed: 6})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	rnd := rand.New(rand.NewSource(12))
+	for i := range s.Rules() {
+		r := s.Rules()[i]
+		for k := 0; k < 3; k++ {
+			h := SampleHeader(rnd, &r)
+			if !r.Matches(h) {
+				t.Fatalf("sampled header %+v does not match its rule %v", h, r.String())
+			}
+		}
+	}
+}
+
+func TestStandard(t *testing.T) {
+	sets, err := Standard()
+	if err != nil {
+		t.Fatalf("Standard: %v", err)
+	}
+	if len(sets) != 9 {
+		t.Fatalf("Standard returned %d sets, want 9", len(sets))
+	}
+	for _, name := range []string{"ACL-1K", "FW-5K", "IPC-10K"} {
+		s, ok := sets[name]
+		if !ok {
+			t.Fatalf("missing set %q", name)
+		}
+		if s.Len() == 0 {
+			t.Errorf("set %q empty", name)
+		}
+	}
+	if sets["ACL-10K"].Len() != 10000 {
+		t.Errorf("ACL-10K has %d rules", sets["ACL-10K"].Len())
+	}
+}
+
+func TestSizeName(t *testing.T) {
+	if SizeName(5000) != "5K" || SizeName(1234) != "1234" {
+		t.Errorf("SizeName wrong: %q %q", SizeName(5000), SizeName(1234))
+	}
+}
+
+func TestAppendDefault(t *testing.T) {
+	s, err := Generate(Config{Family: FW, Size: 50, Seed: 1, AppendDefault: true})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if s.Len() != 51 {
+		t.Fatalf("size = %d, want 51", s.Len())
+	}
+	last := s.Rules()[50]
+	if !last.SrcIP.IsWildcard() || !last.Proto.IsWildcard() || last.Action != rule.ActionDeny {
+		t.Errorf("default rule wrong: %+v", last)
+	}
+	// Every header must match something now.
+	rnd := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		h := rule.Header{SrcIP: rnd.Uint32(), DstIP: rnd.Uint32(), SrcPort: uint16(rnd.Intn(65536)), DstPort: uint16(rnd.Intn(65536)), Proto: uint8(rnd.Intn(256))}
+		if _, ok := s.Match(h); !ok {
+			t.Fatal("catch-all set failed to match a header")
+		}
+	}
+}

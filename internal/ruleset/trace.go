@@ -1,0 +1,125 @@
+package ruleset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rule"
+)
+
+// TraceConfig parameterizes packet-header-set (PHS) generation. The paper
+// stimulates its test bench with binary files of packet headers of
+// different set sizes (Fig. 4); this generator plays the same role.
+type TraceConfig struct {
+	// Size is the number of headers in the set.
+	Size int
+	// HitRatio is the fraction of headers drawn from inside some rule's
+	// match region; the rest are uniform random (likely misses).
+	HitRatio float64
+	// Locality, in [0,1), biases hits towards a small subset of rules,
+	// imitating flow locality in real traffic. 0 is uniform over rules.
+	Locality float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateTrace builds a PHS correlated with the given ruleset.
+func GenerateTrace(s *rule.Set, cfg TraceConfig) ([]rule.Header, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("trace size %d: must be positive", cfg.Size)
+	}
+	if cfg.HitRatio < 0 || cfg.HitRatio > 1 {
+		return nil, fmt.Errorf("hit ratio %v: must be in [0,1]", cfg.HitRatio)
+	}
+	if cfg.Locality < 0 || cfg.Locality >= 1 {
+		return nil, fmt.Errorf("locality %v: must be in [0,1)", cfg.Locality)
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed ^ 0x7068735f))
+	headers := make([]rule.Header, 0, cfg.Size)
+	rules := s.Rules()
+	for i := 0; i < cfg.Size; i++ {
+		if len(rules) > 0 && rnd.Float64() < cfg.HitRatio {
+			idx := ruleIndex(rnd, len(rules), cfg.Locality)
+			headers = append(headers, SampleHeader(rnd, &rules[idx]))
+			continue
+		}
+		headers = append(headers, rule.Header{
+			SrcIP:   rnd.Uint32(),
+			DstIP:   rnd.Uint32(),
+			SrcPort: uint16(rnd.Intn(1 << 16)),
+			DstPort: uint16(rnd.Intn(1 << 16)),
+			Proto:   randomProto(rnd),
+		})
+	}
+	return headers, nil
+}
+
+// ruleIndex picks a rule index with optional locality bias: with
+// probability Locality the index is drawn from the first 10% of rules.
+func ruleIndex(rnd *rand.Rand, n int, locality float64) int {
+	if locality > 0 && rnd.Float64() < locality {
+		hot := n / 10
+		if hot == 0 {
+			hot = 1
+		}
+		return rnd.Intn(hot)
+	}
+	return rnd.Intn(n)
+}
+
+// SampleHeader draws a header uniformly from inside the rule's match
+// region, so the rule (or a higher-priority rule overlapping it) matches.
+func SampleHeader(rnd *rand.Rand, r *rule.Rule) rule.Header {
+	proto := r.Proto.Value
+	if r.Proto.IsWildcard() {
+		proto = randomProto(rnd)
+	}
+	return rule.Header{
+		SrcIP:   r.SrcIP.Addr | (rnd.Uint32() &^ r.SrcIP.Mask()),
+		DstIP:   r.DstIP.Addr | (rnd.Uint32() &^ r.DstIP.Mask()),
+		SrcPort: r.SrcPort.Lo + uint16(rnd.Intn(r.SrcPort.Width())),
+		DstPort: r.DstPort.Lo + uint16(rnd.Intn(r.DstPort.Width())),
+		Proto:   proto,
+	}
+}
+
+func randomProto(rnd *rand.Rand) uint8 {
+	// Weighted towards the transport protocols the rulesets use.
+	switch v := rnd.Float64(); {
+	case v < 0.55:
+		return rule.ProtoTCP
+	case v < 0.85:
+		return rule.ProtoUDP
+	case v < 0.95:
+		return rule.ProtoICMP
+	default:
+		return uint8(rnd.Intn(256))
+	}
+}
+
+// StandardSizes are the ruleset sizes of the paper's evaluation.
+var StandardSizes = []int{1000, 5000, 10000}
+
+// SizeName formats a size the way the paper labels it (1K/5K/10K).
+func SizeName(n int) string {
+	if n%1000 == 0 {
+		return fmt.Sprintf("%dK", n/1000)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// Standard generates the nine standard paper rulesets
+// (ACL/FW/IPC × 1K/5K/10K) with a fixed seed, keyed "FAM-NK".
+func Standard() (map[string]*rule.Set, error) {
+	out := make(map[string]*rule.Set, 9)
+	for _, fam := range Families() {
+		for _, size := range StandardSizes {
+			s, err := Generate(Config{Family: fam, Size: size, Seed: 1})
+			if err != nil {
+				return nil, fmt.Errorf("generate %v %d: %w", fam, size, err)
+			}
+			out[fmt.Sprintf("%s-%s", fam, SizeName(size))] = s
+		}
+	}
+	return out, nil
+}
