@@ -130,30 +130,46 @@ const (
 	CombineExhaustive = core.CombineExhaustive
 )
 
-// Classifier is the programmable IPv4 lookup domain.
+// Classifier is the programmable IPv4 lookup domain — the decomposition
+// architecture behind BackendDecomposition. It implements Engine, plus
+// the hardware-model methods (stats, memory map, modeled throughput) that
+// only the paper's architecture can report.
+//
+// All methods are safe for concurrent use: lookups acquire an RCU
+// snapshot and never lock, while Insert/Delete/BuildFromSet serialize
+// behind the snapshot writer.
 type Classifier struct {
-	inner *core.Classifier[lpm.V4]
+	inner *core.Concurrent[lpm.V4]
 }
 
 // NewClassifier returns a classifier for the configuration, optionally
 // pre-loaded with a rule set (nil starts empty).
+//
+// Deprecated: use New with WithConfig and WithRules; NewClassifier
+// remains as a thin wrapper over the same engine. Note one behavior
+// change from the pre-Engine API: Insert now enforces the shared Engine
+// rule contract, so rules with a zero ID or zero priority are rejected
+// instead of silently accepted.
 func NewClassifier(cfg Config, rules *RuleSet) (*Classifier, error) {
-	var lens []uint8
-	if rules != nil {
-		lens = core.PrefixLens(rules)
-	}
-	inner, err := core.New[lpm.V4](cfg, lens)
+	return newDecomposition(cfg, rules)
+}
+
+// newDecomposition is the BackendDecomposition constructor shared by New
+// and the deprecated NewClassifier.
+func newDecomposition(cfg Config, rules *RuleSet) (*Classifier, error) {
+	inner, err := core.NewConcurrentV4(cfg, rules)
 	if err != nil {
 		return nil, err
 	}
-	c := &Classifier{inner: inner}
-	if rules != nil {
-		if _, err := c.BuildFromSet(rules); err != nil {
-			return nil, err
-		}
-	}
-	return c, nil
+	return &Classifier{inner: inner}, nil
 }
+
+// Backend implements Engine.
+func (c *Classifier) Backend() Backend { return BackendDecomposition }
+
+// IncrementalUpdate implements Engine: the decomposition architecture
+// updates in place (Section III.D).
+func (c *Classifier) IncrementalUpdate() bool { return true }
 
 // BuildFromSet bulk-loads a rule set, returning the total hardware update
 // cost.
@@ -161,8 +177,12 @@ func (c *Classifier) BuildFromSet(s *RuleSet) (Cost, error) {
 	return c.inner.Build(core.CompileSet(s))
 }
 
-// Insert installs one rule incrementally.
+// Insert installs one rule incrementally; the rule must carry a unique
+// non-zero ID and a non-zero priority (see Engine).
 func (c *Classifier) Insert(r Rule) (Cost, error) {
+	if err := validateEngineRule(r); err != nil {
+		return Cost{}, err
+	}
 	return c.inner.Insert(core.V4Tuple(r))
 }
 
@@ -172,9 +192,28 @@ func (c *Classifier) Delete(id int) (Cost, error) { return c.inner.Delete(id) }
 // Len returns the number of installed rules.
 func (c *Classifier) Len() int { return c.inner.Len() }
 
-// Lookup classifies one header. Not safe for concurrent use.
+// Lookup classifies one header. Safe for concurrent use, including while
+// rules are being inserted or deleted.
 func (c *Classifier) Lookup(h Header) (Result, Cost) {
 	return c.inner.Lookup(core.V4Header(h))
+}
+
+// LookupBatch implements Engine: it classifies the headers in order
+// against one consistent snapshot, amortizing the snapshot acquisition
+// and the per-field label buffers over the batch.
+func (c *Classifier) LookupBatch(hs []Header) []Result {
+	res, _ := c.LookupBatchCost(hs)
+	return res
+}
+
+// LookupBatchCost classifies a batch like LookupBatch and additionally
+// returns the summed hardware cost.
+func (c *Classifier) LookupBatchCost(hs []Header) ([]Result, Cost) {
+	headers := make([]core.Header[lpm.V4], len(hs))
+	for i, h := range hs {
+		headers[i] = core.V4Header(h)
+	}
+	return c.inner.LookupBatch(headers)
 }
 
 // LookupPacket parses an Ethernet frame and classifies it.
@@ -205,22 +244,29 @@ func (c *Classifier) ModelThroughput() Throughput { return c.inner.Throughput() 
 func (c *Classifier) ModelLookupCycles(n int) float64 { return c.inner.LookupCycles(n) }
 
 // Classifier6 is the IPv6 lookup domain: the same architecture over
-// 128-bit prefixes.
+// 128-bit prefixes. Like Classifier it is safe for concurrent use.
 type Classifier6 struct {
-	inner *core.Classifier[lpm.V6]
+	inner *core.Concurrent[lpm.V6]
 }
 
 // NewClassifier6 returns an IPv6 classifier.
+//
+// Deprecated: use New6 with WithConfig; NewClassifier6 remains as a thin
+// wrapper over the same engine.
 func NewClassifier6(cfg Config) (*Classifier6, error) {
-	inner, err := core.New[lpm.V6](cfg, nil)
+	inner, err := core.NewConcurrent[lpm.V6](cfg, nil)
 	if err != nil {
 		return nil, err
 	}
 	return &Classifier6{inner: inner}, nil
 }
 
-// Insert installs one IPv6 rule.
+// Insert installs one IPv6 rule; like the IPv4 engines, the rule must
+// carry a unique non-zero ID and a non-zero priority.
 func (c *Classifier6) Insert(r Rule6) (Cost, error) {
+	if err := validateRuleIdentity(r.ID, r.Priority); err != nil {
+		return Cost{}, err
+	}
 	return c.inner.Insert(core.V6Tuple(r))
 }
 

@@ -1,0 +1,244 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/rcu"
+	"repro/internal/rule"
+)
+
+// baselineEngine adapts a Table I baseline classifier to the Engine
+// interface. It supplies the three things the raw baselines lack:
+//
+//   - concurrency: the classifier pair lives in the same RCU snapshot
+//     store as the decomposition backend, so lookups never lock and
+//     updates never stall them;
+//   - uniform updates: backends without native incremental update are
+//     transparently rebuilt from the authoritative rule list, surfacing
+//     the rebuild in the returned cost rather than as an error;
+//   - hwsim reporting: update costs follow the paper's download model
+//     (two cycles per line plus one for hash indexing) with the line
+//     count equal to the rules written, and MemoryBytes is exposed as a
+//     hardware memory map.
+type baselineEngine struct {
+	backend     Backend
+	incremental bool
+	store       *rcu.Store[baseline.Classifier]
+
+	mu    sync.Mutex  // guards the authoritative list behind the store's writer
+	list  []Rule      // committed rules in insertion order
+	index map[int]int // rule ID -> position in list
+}
+
+// newBaselineEngine builds the adapter, loading rules if given.
+func newBaselineEngine(b Backend, mk func() baseline.Classifier, rules *RuleSet) (*baselineEngine, error) {
+	first := mk()
+	e := &baselineEngine{
+		backend:     b,
+		incremental: first.IncrementalUpdate(),
+		store:       rcu.NewStore(first, mk()),
+		index:       make(map[int]int),
+	}
+	if rules != nil {
+		next := append([]Rule(nil), rules.Rules()...)
+		if err := e.applyList(next); err != nil {
+			return nil, err
+		}
+		e.commit(next)
+	}
+	return e, nil
+}
+
+// Backend implements Engine.
+func (e *baselineEngine) Backend() Backend { return e.backend }
+
+// IncrementalUpdate implements Engine, reporting the underlying
+// algorithm's Table I property (the adapter hides the rebuild, not its
+// cost).
+func (e *baselineEngine) IncrementalUpdate() bool { return e.incremental }
+
+// Len implements Engine.
+func (e *baselineEngine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.list)
+}
+
+// Insert implements Engine.
+func (e *baselineEngine) Insert(r Rule) (Cost, error) {
+	if err := validateEngineRule(r); err != nil {
+		return Cost{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.index[r.ID]; dup {
+		return Cost{}, fmt.Errorf("rule %d: %w", r.ID, core.ErrDuplicateRule)
+	}
+	if e.incremental {
+		before, hasEntries := e.entryCount()
+		err := e.store.Update(
+			func(c baseline.Classifier) error { return c.Insert(r) },
+			e.resync,
+		)
+		if err != nil {
+			return Cost{}, err
+		}
+		e.index[r.ID] = len(e.list)
+		e.list = append(e.list, r)
+		return downloadCost(e.linesChanged(before, hasEntries)), nil
+	}
+	next := append(append([]Rule(nil), e.list...), r)
+	if err := e.applyList(next); err != nil {
+		return Cost{}, err
+	}
+	e.commit(next)
+	return downloadCost(len(next)), nil
+}
+
+// Delete implements Engine.
+func (e *baselineEngine) Delete(id int) (Cost, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i, ok := e.index[id]
+	if !ok {
+		return Cost{}, fmt.Errorf("rule %d: %w", id, core.ErrUnknownRule)
+	}
+	if e.incremental {
+		before, hasEntries := e.entryCount()
+		err := e.store.Update(
+			func(c baseline.Classifier) error { return c.Delete(id) },
+			e.resync,
+		)
+		if err != nil {
+			return Cost{}, err
+		}
+		e.list = append(e.list[:i], e.list[i+1:]...)
+		e.reindex()
+		return downloadCost(e.linesChanged(before, hasEntries)), nil
+	}
+	next := make([]Rule, 0, len(e.list)-1)
+	next = append(next, e.list[:i]...)
+	next = append(next, e.list[i+1:]...)
+	if err := e.applyList(next); err != nil {
+		return Cost{}, err
+	}
+	e.commit(next)
+	return downloadCost(len(next) + 1), nil
+}
+
+// Lookup implements Engine.
+func (e *baselineEngine) Lookup(h Header) (Result, Cost) {
+	hd := e.store.Acquire()
+	r, ok := hd.Value().Match(h)
+	hd.Release()
+	return matchResult(r, ok), Cost{}
+}
+
+// LookupBatch implements Engine: one snapshot acquisition for the whole
+// batch.
+func (e *baselineEngine) LookupBatch(hs []Header) []Result {
+	hd := e.store.Acquire()
+	cls := hd.Value()
+	out := make([]Result, len(hs))
+	for i, h := range hs {
+		r, ok := cls.Match(h)
+		out[i] = matchResult(r, ok)
+	}
+	hd.Release()
+	return out
+}
+
+// Memory implements Engine, presenting the baseline's byte estimate as
+// one hardware RAM block.
+func (e *baselineEngine) Memory() MemoryMap {
+	hd := e.store.Acquire()
+	defer hd.Release()
+	var mm MemoryMap
+	mm.Add(strings.ToLower(hd.Value().Name()), 8, hd.Value().MemoryBytes())
+	return mm
+}
+
+// applyList rebuilds both snapshot instances from a candidate rule list.
+// On failure (e.g. a precomputed table exceeding its bound) the published
+// state is rolled back to the committed list and the error returned.
+func (e *baselineEngine) applyList(list []Rule) error {
+	set, err := rule.NewSet(list)
+	if err != nil {
+		return err
+	}
+	return e.store.Update(
+		func(c baseline.Classifier) error { return c.Build(set) },
+		e.resync,
+	)
+}
+
+// resync restores one snapshot instance to the committed rule list after
+// a failed update.
+func (e *baselineEngine) resync(c baseline.Classifier) error {
+	set, err := rule.NewSet(e.list)
+	if err != nil {
+		return err
+	}
+	return c.Build(set)
+}
+
+// commit records a successfully installed rule list.
+func (e *baselineEngine) commit(list []Rule) {
+	e.list = list
+	e.reindex()
+}
+
+func (e *baselineEngine) reindex() {
+	e.index = make(map[int]int, len(e.list))
+	for i := range e.list {
+		e.index[e.list[i].ID] = i
+	}
+}
+
+// entryCount reads the backend's stored-line count when it exposes one
+// (TCAM reports ternary entries, capturing its range-to-prefix
+// expansion); ok is false for backends without a line notion.
+func (e *baselineEngine) entryCount() (n int, ok bool) {
+	e.store.Locked(func(active, _ baseline.Classifier) {
+		if ec, isEC := active.(interface{ Entries() int }); isEC {
+			n, ok = ec.Entries(), true
+		}
+	})
+	return n, ok
+}
+
+// linesChanged converts an entry-count delta into the lines written by
+// an incremental update; backends without entry counts charge one line
+// per rule touched.
+func (e *baselineEngine) linesChanged(before int, hasEntries bool) int {
+	if !hasEntries {
+		return 1
+	}
+	after, _ := e.entryCount()
+	d := after - before
+	if d < 0 {
+		d = -d
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// downloadCost models streaming n lines of information to the hardware:
+// two clock cycles per line plus one hash-index cycle (Section IV.B).
+func downloadCost(lines int) Cost {
+	return Cost{Writes: lines, Cycles: 2*lines + 1}
+}
+
+// matchResult converts a baseline match to the Engine result shape.
+func matchResult(r Rule, ok bool) Result {
+	if !ok {
+		return Result{}
+	}
+	return Result{RuleID: r.ID, Priority: r.Priority, Action: r.Action, Found: true}
+}

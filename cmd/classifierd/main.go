@@ -60,7 +60,7 @@ func main() {
 		lens = core.PrefixLens(set)
 		tuples = core.CompileSet(set)
 	}
-	cls, err := core.New[lpm.V4](cfg, lens)
+	cls, err := core.NewConcurrent[lpm.V4](cfg, lens)
 	if err != nil {
 		log.Fatalf("classifierd: %v", err)
 	}

@@ -1,6 +1,7 @@
 // Command classify loads a ClassBench-format ruleset and classifies
-// 5-tuple headers against it with a chosen engine configuration, printing
-// the matched rule, action and hardware cost per header.
+// 5-tuple headers against it with a chosen engine backend, printing the
+// matched rule, action and (for the decomposition backend) hardware cost
+// per header.
 //
 // Headers are read one per line as "srcIP dstIP srcPort dstPort proto"
 // (the rulegen -trace output format) from a file or stdin.
@@ -9,6 +10,7 @@
 //
 //	rulegen -family acl -size 1000 -o acl.txt -trace 10 -trace-out t.phs
 //	classify -rules acl.txt -lpm mbt < t.phs
+//	classify -rules acl.txt -backend tss < t.phs
 package main
 
 import (
@@ -20,17 +22,17 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/rule"
+	repro "repro"
 )
 
 func main() {
 	var (
 		rulesPath = flag.String("rules", "", "ClassBench ruleset file (required)")
 		input     = flag.String("in", "-", "header input file (- for stdin)")
-		lpmAlgo   = flag.String("lpm", "mbt", "LPM engine: mbt, bst or amtrie")
-		rangeAlgo = flag.String("range", "bank", "range engine: bank, segtree or rangetree")
-		exactAlgo = flag.String("exact", "direct", "exact engine: direct or hash")
+		backend   = flag.String("backend", "decomposition", "engine backend: decomposition, linear, tcam, rfc, hicuts, hypercuts, crossproduct, dcfl, bv, abv or tss")
+		lpmAlgo   = flag.String("lpm", "mbt", "decomposition LPM engine: mbt, bst or amtrie")
+		rangeAlgo = flag.String("range", "bank", "decomposition range engine: bank, segtree or rangetree")
+		exactAlgo = flag.String("exact", "direct", "decomposition exact engine: direct or hash")
 		optimize  = flag.Bool("optimize", true, "apply decision-controller ruleset optimization")
 		quiet     = flag.Bool("q", false, "suppress per-header output, print summary only")
 	)
@@ -40,6 +42,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	be, err := repro.ParseBackend(*backend)
+	if err != nil {
+		fatal(err)
+	}
 	cfg, err := buildConfig(*lpmAlgo, *rangeAlgo, *exactAlgo)
 	if err != nil {
 		fatal(err)
@@ -48,24 +54,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	set, err := rule.ParseSet(f)
+	set, err := repro.ParseRules(f)
 	f.Close()
 	if err != nil {
 		fatal(fmt.Errorf("parse ruleset: %w", err))
 	}
-	if *optimize {
-		opt, removed, err := core.OptimizeSet(set)
-		if err != nil {
-			fatal(err)
-		}
-		if len(removed) > 0 {
-			fmt.Fprintf(os.Stderr, "classify: optimizer removed %d shadowed rules\n", len(removed))
-		}
-		set = opt
+	opts := []repro.Option{
+		repro.WithBackend(be),
+		repro.WithConfig(cfg),
+		repro.WithRules(set),
 	}
-	cls, _, err := core.NewV4(cfg, set)
+	if *optimize {
+		opts = append(opts, repro.WithOptimize())
+	}
+	eng, err := repro.New(opts...)
 	if err != nil {
 		fatal(err)
+	}
+	if n := set.Len() - eng.Len(); n > 0 {
+		fmt.Fprintf(os.Stderr, "classify: optimizer removed %d shadowed rules\n", n)
 	}
 
 	in := io.Reader(os.Stdin)
@@ -92,7 +99,7 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("line %d: %w", lineno, err))
 		}
-		res, cost := cls.Lookup(core.V4Header(h))
+		res, cost := eng.Lookup(h)
 		total++
 		if res.Found {
 			matched++
@@ -107,9 +114,13 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
-	tp := cls.Throughput()
-	fmt.Fprintf(w, "# %d headers, %d matched (%.1f%%); modeled %.2f Mpps / %.2f Gbps\n",
-		total, matched, pct(matched, total), tp.Mpps, tp.Gbps)
+	fmt.Fprintf(w, "# %s backend: %d headers, %d matched (%.1f%%)\n",
+		eng.Backend(), total, matched, pct(matched, total))
+	// Only the decomposition backend models hardware throughput.
+	if cls, ok := eng.(interface{ ModelThroughput() repro.Throughput }); ok {
+		tp := cls.ModelThroughput()
+		fmt.Fprintf(w, "# modeled %.2f Mpps / %.2f Gbps at 200 MHz\n", tp.Mpps, tp.Gbps)
+	}
 }
 
 func pct(a, b int) float64 {
@@ -119,65 +130,65 @@ func pct(a, b int) float64 {
 	return 100 * float64(a) / float64(b)
 }
 
-func buildConfig(lpmAlgo, rangeAlgo, exactAlgo string) (core.Config, error) {
-	var cfg core.Config
+func buildConfig(lpmAlgo, rangeAlgo, exactAlgo string) (repro.Config, error) {
+	var cfg repro.Config
 	switch strings.ToLower(lpmAlgo) {
 	case "mbt":
-		cfg.LPM = core.LPMMultiBitTrie
+		cfg.LPM = repro.LPMMultiBitTrie
 	case "bst":
-		cfg.LPM = core.LPMBinarySearchTree
+		cfg.LPM = repro.LPMBinarySearchTree
 	case "amtrie":
-		cfg.LPM = core.LPMAMTrie
+		cfg.LPM = repro.LPMAMTrie
 	default:
 		return cfg, fmt.Errorf("unknown LPM engine %q", lpmAlgo)
 	}
 	switch strings.ToLower(rangeAlgo) {
 	case "bank":
-		cfg.Range = core.RangeRegisterBank
+		cfg.Range = repro.RangeRegisterBank
 	case "segtree":
-		cfg.Range = core.RangeSegmentTree
+		cfg.Range = repro.RangeSegmentTree
 	case "rangetree":
-		cfg.Range = core.RangeRangeTree
+		cfg.Range = repro.RangeRangeTree
 	default:
 		return cfg, fmt.Errorf("unknown range engine %q", rangeAlgo)
 	}
 	switch strings.ToLower(exactAlgo) {
 	case "direct":
-		cfg.Exact = core.ExactDirectIndex
+		cfg.Exact = repro.ExactDirectIndex
 	case "hash":
-		cfg.Exact = core.ExactHashTable
+		cfg.Exact = repro.ExactHashTable
 	default:
 		return cfg, fmt.Errorf("unknown exact engine %q", exactAlgo)
 	}
 	return cfg, nil
 }
 
-func parseHeader(line string) (rule.Header, error) {
+func parseHeader(line string) (repro.Header, error) {
 	fields := strings.Fields(line)
 	if len(fields) != 5 {
-		return rule.Header{}, fmt.Errorf("want 5 fields, got %d", len(fields))
+		return repro.Header{}, fmt.Errorf("want 5 fields, got %d", len(fields))
 	}
 	src, err := parseIPv4(fields[0])
 	if err != nil {
-		return rule.Header{}, err
+		return repro.Header{}, err
 	}
 	dst, err := parseIPv4(fields[1])
 	if err != nil {
-		return rule.Header{}, err
+		return repro.Header{}, err
 	}
 	sp, err := strconv.ParseUint(fields[2], 10, 16)
 	if err != nil {
-		return rule.Header{}, fmt.Errorf("source port %q", fields[2])
+		return repro.Header{}, fmt.Errorf("source port %q", fields[2])
 	}
 	dp, err := strconv.ParseUint(fields[3], 10, 16)
 	if err != nil {
-		return rule.Header{}, fmt.Errorf("destination port %q", fields[3])
+		return repro.Header{}, fmt.Errorf("destination port %q", fields[3])
 	}
 	pr, err := strconv.ParseUint(fields[4], 10, 8)
 	if err != nil {
-		return rule.Header{}, fmt.Errorf("protocol %q", fields[4])
+		return repro.Header{}, fmt.Errorf("protocol %q", fields[4])
 	}
-	return rule.Header{
+	return repro.Header{
 		SrcIP: src, DstIP: dst,
 		SrcPort: uint16(sp), DstPort: uint16(dp), Proto: uint8(pr),
 	}, nil

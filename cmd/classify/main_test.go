@@ -3,7 +3,7 @@ package main
 import (
 	"testing"
 
-	"repro/internal/core"
+	repro "repro"
 )
 
 func TestParseHeader(t *testing.T) {
@@ -34,7 +34,7 @@ func TestBuildConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.LPM != core.LPMBinarySearchTree || cfg.Range != core.RangeSegmentTree || cfg.Exact != core.ExactHashTable {
+	if cfg.LPM != repro.LPMBinarySearchTree || cfg.Range != repro.RangeSegmentTree || cfg.Exact != repro.ExactHashTable {
 		t.Errorf("cfg = %+v", cfg)
 	}
 	if _, err := buildConfig("nope", "bank", "direct"); err == nil {

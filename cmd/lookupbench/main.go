@@ -9,17 +9,28 @@
 //	lookupbench -all
 //	lookupbench -table1 -sizes 1000,10000
 //	lookupbench -fig3 -fig4 -throughput
+//	lookupbench -engines -parallel 8 -batch 64 -json BENCH_lookup.json
+//
+// The -engines experiment drives every backend through the public Engine
+// API with parallel batched lookups (concurrent goroutines sharing one
+// engine, exercising the RCU read path) and writes machine-readable
+// records to the -json file — one file per run; archive the files across
+// revisions to record the performance trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
+	repro "repro"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/hwsim"
@@ -37,16 +48,20 @@ func main() {
 		fig3       = flag.Bool("fig3", false, "run the Fig. 3 update-time experiment")
 		fig4       = flag.Bool("fig4", false, "run the Fig. 4 lookup-time experiment")
 		throughput = flag.Bool("throughput", false, "run the Section IV.D throughput experiment")
+		engines    = flag.Bool("engines", false, "run the Engine API parallel-lookup benchmark")
 		all        = flag.Bool("all", false, "run everything")
 		sizesFlag  = flag.String("sizes", "1000,5000,10000", "comma-separated ruleset sizes")
 		traceN     = flag.Int("trace", 20000, "packet header set size for lookup experiments")
 		seed       = flag.Int64("seed", 1, "generation seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent lookup goroutines for -engines")
+		batch      = flag.Int("batch", 64, "LookupBatch size for -engines (1 = single-lookup path)")
+		jsonOut    = flag.String("json", "BENCH_lookup.json", "machine-readable output file for -engines ('' disables)")
 	)
 	flag.Parse()
 	if *all {
-		*table1, *table2, *fig3, *fig4, *throughput = true, true, true, true, true
+		*table1, *table2, *fig3, *fig4, *throughput, *engines = true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*fig3 && !*fig4 && !*throughput {
+	if !*table1 && !*table2 && !*fig3 && !*fig4 && !*throughput && !*engines {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -55,7 +70,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lookupbench:", err)
 		os.Exit(2)
 	}
-	r := runner{sizes: sizes, traceN: *traceN, seed: *seed}
+	if *parallel < 1 {
+		*parallel = 1
+	}
+	if *batch < 1 {
+		*batch = 1
+	}
+	r := runner{sizes: sizes, traceN: *traceN, seed: *seed, parallel: *parallel, batch: *batch}
 	if *table1 {
 		r.tableI()
 	}
@@ -70,6 +91,16 @@ func main() {
 	}
 	if *throughput {
 		r.throughput()
+	}
+	if *engines {
+		records := r.engines()
+		if *jsonOut != "" {
+			if err := writeBenchJSON(*jsonOut, records); err != nil {
+				fmt.Fprintln(os.Stderr, "lookupbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d records to %s\n", len(records), *jsonOut)
+		}
 	}
 }
 
@@ -86,9 +117,11 @@ func parseSizes(s string) ([]int, error) {
 }
 
 type runner struct {
-	sizes  []int
-	traceN int
-	seed   int64
+	sizes    []int
+	traceN   int
+	seed     int64
+	parallel int
+	batch    int
 }
 
 func (r runner) workload(fam ruleset.Family, size int) (*rule.Set, []rule.Header) {
@@ -333,6 +366,112 @@ func (r runner) throughput() {
 	}
 	tw.Flush()
 	fmt.Println()
+}
+
+// BenchRecord is one machine-readable measurement emitted to the -json
+// file; schema consumers key on experiment + backend + family + rules.
+type BenchRecord struct {
+	Experiment     string  `json:"experiment"`
+	Backend        string  `json:"backend"`
+	Family         string  `json:"family"`
+	Rules          int     `json:"rules"`
+	TraceLen       int     `json:"trace_len"`
+	Parallel       int     `json:"parallel"`
+	Batch          int     `json:"batch"`
+	NsPerLookup    float64 `json:"ns_per_lookup"`
+	MLookupsPerSec float64 `json:"mlookups_per_sec"`
+	MemoryBytes    int     `json:"memory_bytes"`
+	Incremental    bool    `json:"incremental"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// engines measures every backend through the public Engine API: the
+// -parallel goroutines share one engine and stream the trace through
+// LookupBatch, exercising the RCU snapshot read path the way a
+// multi-core packet pipeline would.
+func (r runner) engines() []BenchRecord {
+	fmt.Printf("== Engine API: parallel batched lookups (%d goroutines, batch %d) ==\n", r.parallel, r.batch)
+	tw := newTab()
+	fmt.Fprintln(tw, "backend\truleset\tns/lookup\tMlookups/s\tmemory\tincremental")
+	var records []BenchRecord
+	for _, size := range r.sizes {
+		set, trace := r.workload(ruleset.ACL, size)
+		name := fmt.Sprintf("acl-%s", ruleset.SizeName(size))
+		for _, b := range repro.Backends() {
+			rec := BenchRecord{
+				Experiment: "engine_parallel_lookup",
+				Backend:    b.String(),
+				Family:     "acl",
+				Rules:      set.Len(),
+				TraceLen:   len(trace),
+				Parallel:   r.parallel,
+				Batch:      r.batch,
+			}
+			eng, err := repro.New(repro.WithBackend(b), repro.WithRules(set))
+			if err != nil {
+				rec.Error = err.Error()
+				records = append(records, rec)
+				fmt.Fprintf(tw, "%s\t%s\t%v\t-\t-\t-\n", b, name, err)
+				continue
+			}
+			nsPerOp, mlps := r.measureParallel(eng, trace)
+			rec.NsPerLookup = nsPerOp
+			rec.MLookupsPerSec = mlps
+			rec.MemoryBytes = eng.Memory().TotalBytes()
+			rec.Incremental = eng.IncrementalUpdate()
+			records = append(records, rec)
+			fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.2f\t%s\t%v\n",
+				b, name, nsPerOp, mlps, fmtBytes(rec.MemoryBytes), rec.Incremental)
+		}
+	}
+	tw.Flush()
+	fmt.Println()
+	return records
+}
+
+// measureParallel streams the trace through the engine from r.parallel
+// goroutines and returns wall-clock ns per lookup and aggregate
+// Mlookups/s.
+func (r runner) measureParallel(eng repro.Engine, trace []rule.Header) (nsPerOp, mlps float64) {
+	batch, workers := r.batch, r.parallel // clamped to >= 1 at flag parsing
+	run := func() time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for off := 0; off < len(trace); off += batch {
+					end := off + batch
+					if end > len(trace) {
+						end = len(trace)
+					}
+					if batch == 1 {
+						eng.Lookup(trace[off])
+					} else {
+						eng.LookupBatch(trace[off:end])
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	run() // warm up caches and lazy tables
+	elapsed := run()
+	lookups := workers * len(trace)
+	nsPerOp = float64(elapsed.Nanoseconds()) / float64(lookups)
+	mlps = float64(lookups) / elapsed.Seconds() / 1e6
+	return nsPerOp, mlps
+}
+
+// writeBenchJSON writes the records as one JSON array.
+func writeBenchJSON(path string, records []BenchRecord) error {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fmtBytes(n int) string {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseSizes(t *testing.T) {
 	got, err := parseSizes("1000, 5000,10000")
@@ -20,6 +25,42 @@ func TestParseSizes(t *testing.T) {
 		if _, err := parseSizes(bad); err == nil {
 			t.Errorf("parseSizes(%q) should fail", bad)
 		}
+	}
+}
+
+// TestEnginesJSONRoundtrip runs the Engine benchmark at a tiny scale and
+// verifies the BENCH_lookup.json records parse back with every backend
+// present.
+func TestEnginesJSONRoundtrip(t *testing.T) {
+	r := runner{sizes: []int{40}, traceN: 120, seed: 1, parallel: 2, batch: 16}
+	records := r.engines()
+	if len(records) == 0 {
+		t.Fatal("no records")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_lookup.json")
+	if err := writeBenchJSON(path, records); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []BenchRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("roundtrip lost records: %d vs %d", len(back), len(records))
+	}
+	seen := map[string]bool{}
+	for _, rec := range back {
+		seen[rec.Backend] = true
+		if rec.Error == "" && rec.MLookupsPerSec <= 0 {
+			t.Errorf("%s: non-positive throughput", rec.Backend)
+		}
+	}
+	if !seen["Decomposition"] || !seen["TSS"] {
+		t.Errorf("missing backends in %v", seen)
 	}
 }
 

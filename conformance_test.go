@@ -1,0 +1,333 @@
+package repro_test
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	repro "repro"
+)
+
+// conformanceCorpus returns the rule/trace workloads every backend must
+// agree on with the linear oracle. Sizes stay modest so the baselines
+// with super-linear precomputation (RFC, cross-producting, BV) build in
+// test time without tripping their storage bounds.
+func conformanceCorpus(t *testing.T) map[string]*repro.RuleSet {
+	t.Helper()
+	corpus := make(map[string]*repro.RuleSet)
+	for name, cfg := range map[string]repro.GenConfig{
+		"acl": {Family: repro.ACL, Size: 120, Seed: 11},
+		"fw":  {Family: repro.FW, Size: 100, Seed: 12},
+		"ipc": {Family: repro.IPC, Size: 100, Seed: 13},
+	} {
+		rs, err := repro.GenerateRules(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		corpus[name] = rs
+	}
+	edge, err := repro.NewRuleSet([]repro.Rule{
+		{ // full wildcard
+			ID: 1, Priority: 5,
+			SrcPort: repro.FullPortRange(), DstPort: repro.FullPortRange(),
+			Proto: repro.AnyProto(), Action: repro.ActionDeny,
+		},
+		{ // host-specific, overlapping the wildcard
+			ID: 2, Priority: 1,
+			SrcIP:   repro.MustParsePrefix("10.0.0.1/32"),
+			SrcPort: repro.FullPortRange(), DstPort: repro.ExactPort(80),
+			Proto: repro.ExactProto(repro.ProtoTCP), Action: repro.ActionPermit,
+		},
+		{ // nested prefix between the two
+			ID: 3, Priority: 2,
+			SrcIP:   repro.MustParsePrefix("10.0.0.0/8"),
+			SrcPort: repro.PortRange{Lo: 1024, Hi: 60000}, DstPort: repro.FullPortRange(),
+			Proto: repro.ExactProto(repro.ProtoUDP), Action: repro.ActionQueue,
+		},
+		{ // boundary port range
+			ID: 4, Priority: 3,
+			SrcPort: repro.FullPortRange(), DstPort: repro.PortRange{Lo: 0, Hi: 0},
+			Proto: repro.AnyProto(), Action: repro.ActionCount,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus["edge"] = edge
+	return corpus
+}
+
+func corpusTrace(t *testing.T, rs *repro.RuleSet, n int, seed int64) []repro.Header {
+	t.Helper()
+	trace, err := repro.GenerateTrace(rs, repro.TraceConfig{Size: n, HitRatio: 0.8, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// checkAgainstOracle compares an engine against the linear-scan oracle on
+// a trace. Agreement is on identity of the HPMR, not just the verdict.
+func checkAgainstOracle(t *testing.T, eng repro.Engine, rs *repro.RuleSet, trace []repro.Header) {
+	t.Helper()
+	batch := eng.LookupBatch(trace)
+	if len(batch) != len(trace) {
+		t.Fatalf("LookupBatch returned %d results for %d headers", len(batch), len(trace))
+	}
+	for i, h := range trace {
+		want, ok := rs.Match(h)
+		got := batch[i]
+		if got.Found != ok || (ok && got.RuleID != want.ID) {
+			t.Fatalf("header %d %+v: engine (%d, found=%v), oracle (%d, found=%v)",
+				i, h, got.RuleID, got.Found, want.ID, ok)
+		}
+		single, _ := eng.Lookup(h)
+		if single.Found != got.Found || single.RuleID != got.RuleID {
+			t.Fatalf("header %d: Lookup %+v disagrees with LookupBatch %+v", i, single, got)
+		}
+	}
+}
+
+// TestEngineConformanceDifferential runs every backend through the same
+// rule/trace corpus against the rule.Set linear oracle.
+func TestEngineConformanceDifferential(t *testing.T) {
+	corpus := conformanceCorpus(t)
+	for _, b := range repro.Backends() {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			for name, rs := range corpus {
+				eng, err := repro.New(repro.WithBackend(b), repro.WithRules(rs))
+				if err != nil {
+					t.Fatalf("%s: New: %v", name, err)
+				}
+				if eng.Backend() != b {
+					t.Fatalf("Backend() = %v, want %v", eng.Backend(), b)
+				}
+				if eng.Len() != rs.Len() {
+					t.Fatalf("%s: Len = %d, want %d", name, eng.Len(), rs.Len())
+				}
+				if eng.Memory().TotalBytes() < 0 {
+					t.Fatalf("%s: negative memory", name)
+				}
+				checkAgainstOracle(t, eng, rs, corpusTrace(t, rs, 300, 101))
+			}
+		})
+	}
+}
+
+// TestEngineConformanceEmpty covers the empty-ruleset edge cases: a fresh
+// engine matches nothing and supports delete-to-empty.
+func TestEngineConformanceEmpty(t *testing.T) {
+	probe := repro.Header{SrcIP: 0x0a000001, DstIP: 0x08080808, SrcPort: 1234, DstPort: 80, Proto: repro.ProtoTCP}
+	for _, b := range repro.Backends() {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			eng, err := repro.New(repro.WithBackend(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Len() != 0 {
+				t.Fatalf("fresh engine Len = %d", eng.Len())
+			}
+			if res, _ := eng.Lookup(probe); res.Found {
+				t.Fatalf("empty engine matched: %+v", res)
+			}
+			if out := eng.LookupBatch(nil); len(out) != 0 {
+				t.Fatalf("empty batch returned %d results", len(out))
+			}
+			if _, err := eng.Delete(7); err == nil {
+				t.Fatal("Delete on empty engine should fail")
+			}
+			// Insert one rule, delete it, and verify the engine drains
+			// back to matching nothing.
+			r := repro.Rule{
+				ID: 9, Priority: 1,
+				SrcIP:   repro.MustParsePrefix("10.0.0.0/8"),
+				SrcPort: repro.FullPortRange(), DstPort: repro.ExactPort(80),
+				Proto: repro.ExactProto(repro.ProtoTCP), Action: repro.ActionPermit,
+			}
+			if _, err := eng.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+			if res, _ := eng.Lookup(probe); !res.Found || res.RuleID != 9 {
+				t.Fatalf("after insert: %+v", res)
+			}
+			if _, err := eng.Delete(9); err != nil {
+				t.Fatal(err)
+			}
+			if res, _ := eng.Lookup(probe); res.Found {
+				t.Fatalf("after delete-to-empty: %+v", res)
+			}
+			if eng.Len() != 0 {
+				t.Fatalf("Len = %d after delete-to-empty", eng.Len())
+			}
+		})
+	}
+}
+
+// TestEngineConformanceIncremental drives every backend through the same
+// incremental insert/delete schedule, differential-checking along the
+// way. Backends without native incremental update must behave
+// identically through their transparent rebuild.
+func TestEngineConformanceIncremental(t *testing.T) {
+	rs, err := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 80, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := rs.Rules()
+	trace := corpusTrace(t, rs, 150, 102)
+	for _, b := range repro.Backends() {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			eng, err := repro.New(repro.WithBackend(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := make([]repro.Rule, 0, len(rules))
+			oracle := func() *repro.RuleSet {
+				s, err := repro.NewRuleSet(append([]repro.Rule(nil), live...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			for i, r := range rules {
+				cost, err := eng.Insert(r)
+				if err != nil {
+					t.Fatalf("insert %d: %v", r.ID, err)
+				}
+				if cost.Cycles <= 0 {
+					t.Fatalf("insert %d: non-positive cycle cost %+v", r.ID, cost)
+				}
+				live = append(live, r)
+				if i%20 == 19 {
+					checkAgainstOracle(t, eng, oracle(), trace)
+				}
+			}
+			// Duplicate insert must fail without corrupting state.
+			if _, err := eng.Insert(rules[0]); err == nil {
+				t.Fatal("duplicate insert should fail")
+			}
+			checkAgainstOracle(t, eng, oracle(), trace)
+			// Delete every other rule.
+			for i := 0; i < len(rules); i += 2 {
+				if _, err := eng.Delete(rules[i].ID); err != nil {
+					t.Fatalf("delete %d: %v", rules[i].ID, err)
+				}
+			}
+			kept := live[:0]
+			for i, r := range live {
+				if i%2 == 1 {
+					kept = append(kept, r)
+				}
+			}
+			live = kept
+			if eng.Len() != len(live) {
+				t.Fatalf("Len = %d, want %d", eng.Len(), len(live))
+			}
+			checkAgainstOracle(t, eng, oracle(), trace)
+		})
+	}
+}
+
+// TestEngineConformanceRuleContract verifies the shared Engine rule
+// contract: rules without explicit identity are rejected uniformly.
+func TestEngineConformanceRuleContract(t *testing.T) {
+	for _, b := range repro.Backends() {
+		eng, err := repro.New(repro.WithBackend(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := repro.Rule{
+			SrcPort: repro.FullPortRange(), DstPort: repro.FullPortRange(),
+			Proto: repro.AnyProto(), Action: repro.ActionPermit,
+		}
+		noID := base
+		noID.Priority = 1
+		if _, err := eng.Insert(noID); err == nil {
+			t.Errorf("%v: insert without ID should fail", b)
+		}
+		noPrio := base
+		noPrio.ID = 1
+		if _, err := eng.Insert(noPrio); err == nil {
+			t.Errorf("%v: insert without priority should fail", b)
+		}
+		if eng.Len() != 0 {
+			t.Errorf("%v: rejected inserts must not install rules", b)
+		}
+	}
+}
+
+// TestEngineConcurrentChurn runs concurrent lookups against every
+// backend while the writer inserts and deletes — the acceptance gate for
+// the concurrency redesign, meaningful under -race.
+func TestEngineConcurrentChurn(t *testing.T) {
+	pool, err := repro.GenerateRules(repro.GenConfig{Family: repro.IPC, Size: 60, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := pool.Rules()
+	trace := corpusTrace(t, pool, 64, 103)
+	for _, b := range repro.Backends() {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			eng, err := repro.New(repro.WithBackend(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var stop atomic.Bool
+			var lookups atomic.Int64
+			var wg sync.WaitGroup
+			for r := 0; r < 2; r++ {
+				r := r
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rnd := rand.New(rand.NewSource(int64(500 + r)))
+					for !stop.Load() {
+						h := trace[rnd.Intn(len(trace))]
+						res, _ := eng.Lookup(h)
+						if res.Found && res.RuleID == 0 {
+							t.Error("found result with zero rule ID")
+							return
+						}
+						_ = eng.LookupBatch(trace[:8])
+						lookups.Add(9)
+					}
+				}()
+			}
+			rnd := rand.New(rand.NewSource(44))
+			live := make([]int, 0, len(rules))
+			next := 0
+			for op := 0; op < 150; op++ {
+				if next < len(rules) && (len(live) == 0 || rnd.Intn(3) > 0) {
+					if _, err := eng.Insert(rules[next]); err != nil {
+						t.Fatalf("op %d insert: %v", op, err)
+					}
+					live = append(live, rules[next].ID)
+					next++
+					continue
+				}
+				if len(live) == 0 {
+					break
+				}
+				i := rnd.Intn(len(live))
+				if _, err := eng.Delete(live[i]); err != nil {
+					t.Fatalf("op %d delete: %v", op, err)
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			for lookups.Load() == 0 {
+				runtime.Gosched()
+			}
+			stop.Store(true)
+			wg.Wait()
+			if eng.Len() != len(live) {
+				t.Fatalf("Len = %d, want %d", eng.Len(), len(live))
+			}
+		})
+	}
+}

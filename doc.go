@@ -3,34 +3,67 @@
 // IEEE SOCC 2016): a programmable multi-dimensional packet-classification
 // lookup architecture based on the decomposition approach.
 //
-// The classifier searches each 5-tuple header field with an independently
-// selected engine (multi-bit trie or binary search tree for IP prefixes, a
-// register bank, segment tree or range tree for port ranges, direct index
-// or hash table for the protocol), expresses per-field results as
-// priority-ordered label lists, and combines labels against a Rule Filter
-// to find the Highest-Priority Matching Rule — with full incremental rule
-// update support.
+// # The Engine API
 //
-// Every operation additionally reports a hardware cost (clock cycles,
-// memory lines) from a model of the paper's 200 MHz FPGA lookup domain, so
-// the published update-time, lookup-time and throughput results can be
-// regenerated; see DESIGN.md and EXPERIMENTS.md in the repository root.
+// Every lookup algorithm in the repository — the paper's decomposition
+// architecture and all of its Table I comparators (linear search, TCAM,
+// RFC, HiCuts, HyperCuts, cross-producting, DCFL, BV, ABV, TSS) — is
+// constructed through one entry point and used through one interface:
 //
-// Quick start:
-//
-//	cls, err := repro.NewClassifier(repro.Config{LPM: repro.LPMMultiBitTrie}, nil)
+//	eng, err := repro.New(
+//		repro.WithBackend(repro.BackendTSS),
+//		repro.WithRules(rs),
+//	)
 //	if err != nil { ... }
-//	cls.Insert(repro.Rule{
-//		ID: 1, Priority: 1,
-//		SrcIP:   repro.MustParsePrefix("10.0.0.0/8"),
-//		SrcPort: repro.FullPortRange(), DstPort: repro.ExactPort(80),
-//		Proto:   repro.ExactProto(repro.ProtoTCP),
-//		Action:  repro.ActionPermit,
-//	})
-//	res, cost := cls.Lookup(repro.Header{SrcIP: 0x0a000001, DstPort: 80, Proto: repro.ProtoTCP})
+//	res, _ := eng.Lookup(repro.Header{SrcIP: 0x0a000001, DstPort: 80, Proto: repro.ProtoTCP})
+//
+// The default backend is BackendDecomposition, the paper's architecture.
+// Its per-field algorithm set (the decision-control choice of Section
+// III.A) is selected with WithConfig:
+//
+//	eng, err := repro.New(
+//		repro.WithConfig(repro.Config{LPM: repro.LPMMultiBitTrie}),
+//		repro.WithRules(rs),
+//	)
+//
+// The decomposition engine searches each 5-tuple field with an
+// independently selected engine (multi-bit trie, AM-Trie or binary
+// search tree for IP prefixes; a register bank, segment tree or range
+// tree for port ranges; direct index or hash table for the protocol),
+// expresses per-field results as priority-ordered label lists, and
+// combines labels against a Rule Filter to find the Highest-Priority
+// Matching Rule — with full incremental rule update support.
+//
+// # Concurrency
+//
+// Every Engine is safe for concurrent use. Lookups read an RCU-style
+// snapshot — the read path takes no locks — while Insert and Delete
+// serialize behind the snapshot writer and never stall in-flight
+// lookups. LookupBatch classifies a whole batch against one consistent
+// snapshot, amortizing the snapshot acquisition and the per-field label
+// buffers.
+//
+// # Hardware model
+//
+// Operations on the decomposition backend report a hardware cost (clock
+// cycles, memory lines) from a model of the paper's 200 MHz FPGA lookup
+// domain, so the published update-time, lookup-time and throughput
+// results can be regenerated; see DESIGN.md and EXPERIMENTS.md in the
+// repository root. The concrete *Classifier type (what New returns for
+// BackendDecomposition) additionally exposes Stats, Memory,
+// ModelThroughput and ModelLookupCycles. Baseline backends report update
+// costs through the same download model (two cycles per line written)
+// and their storage as a hardware memory map.
+//
+// # IPv6
+//
+// The engines are generic over the address width; New6 builds the same
+// decomposition architecture over 128-bit prefixes (the Table I
+// baselines are defined over the IPv4 5-tuple only).
 //
 // The internal packages implement the substrates: internal/core (the
-// paper's architecture), internal/lpm, internal/rangematch and
+// paper's architecture and its concurrent wrapper), internal/rcu (the
+// snapshot store), internal/lpm, internal/rangematch and
 // internal/exactmatch (the per-field engines of Table II),
 // internal/baseline (the multi-dimensional comparators of Table I),
 // internal/ruleset (ClassBench-style ACL/FW/IPC generators) and

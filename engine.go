@@ -1,0 +1,296 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/lpm"
+)
+
+// Engine is the unified lookup-engine abstraction: one interface that the
+// paper's decomposition architecture and every Table I baseline
+// implement, so workloads can swap algorithms — the paper's core
+// programmability claim — without changing caller code.
+//
+// Every Engine is safe for concurrent use. Lookups acquire an RCU-style
+// snapshot (no locks on the read path) while Insert and Delete serialize
+// behind the snapshot writer, so classification continues at full rate
+// during rule updates. LookupBatch amortizes the snapshot acquisition
+// over a whole batch and guarantees all headers see one consistent
+// ruleset.
+//
+// Rules inserted through an Engine must carry a unique non-zero ID and a
+// non-zero Priority (lower is better): backends that rebuild on update
+// re-validate the whole ruleset, and implicit position-derived IDs would
+// not survive a rebuild.
+type Engine interface {
+	// Backend identifies the algorithm behind this engine.
+	Backend() Backend
+	// Insert installs one rule; Delete removes one by ID. Backends
+	// without native incremental update transparently rebuild, reporting
+	// the full rebuild in the returned download cost.
+	Insert(r Rule) (Cost, error)
+	Delete(id int) (Cost, error)
+	// Len returns the number of installed rules.
+	Len() int
+	// Lookup classifies one header; LookupBatch classifies a batch
+	// against one consistent snapshot.
+	Lookup(h Header) (Result, Cost)
+	LookupBatch(hs []Header) []Result
+	// Memory reports the data-structure storage as hardware RAM blocks.
+	Memory() MemoryMap
+	// IncrementalUpdate reports whether Insert/Delete avoid a rebuild
+	// (the Table I incremental-update column).
+	IncrementalUpdate() bool
+}
+
+// Backend selects the algorithm behind an Engine: the paper's
+// decomposition architecture or one of the Table I comparators.
+type Backend int
+
+// Engine backends.
+const (
+	// BackendDecomposition is the paper's architecture: per-field search
+	// engines, label combination and rule filter. The default.
+	BackendDecomposition Backend = iota + 1
+	// BackendLinear is the brute-force O(N) reference.
+	BackendLinear
+	// BackendTCAM simulates a ternary CAM with range-to-prefix expansion.
+	BackendTCAM
+	// BackendRFC is Recursive Flow Classification.
+	BackendRFC
+	// BackendHiCuts is the HiCuts decision tree.
+	BackendHiCuts
+	// BackendHyperCuts is the multi-dimensional HyperCuts tree.
+	BackendHyperCuts
+	// BackendCrossProduct is cross-producting with lazy table
+	// materialization.
+	BackendCrossProduct
+	// BackendDCFL is Distributed Crossproducting of Field Labels.
+	BackendDCFL
+	// BackendBV is the Lucent bit-vector scheme.
+	BackendBV
+	// BackendABV is Aggregated Bit Vectors.
+	BackendABV
+	// BackendTSS is Tuple Space Search.
+	BackendTSS
+)
+
+// String returns the backend's display name (the Table I row).
+func (b Backend) String() string {
+	switch b {
+	case BackendDecomposition:
+		return "Decomposition"
+	case BackendLinear:
+		return "Linear"
+	case BackendTCAM:
+		return "TCAM"
+	case BackendRFC:
+		return "RFC"
+	case BackendHiCuts:
+		return "HiCuts"
+	case BackendHyperCuts:
+		return "HyperCuts"
+	case BackendCrossProduct:
+		return "CrossProducting"
+	case BackendDCFL:
+		return "DCFL"
+	case BackendBV:
+		return "BV"
+	case BackendABV:
+		return "ABV"
+	case BackendTSS:
+		return "TSS"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// Backends lists every available backend, decomposition first — the
+// iteration order used by the conformance suite and the benchmarks.
+func Backends() []Backend {
+	return []Backend{
+		BackendDecomposition,
+		BackendLinear,
+		BackendTCAM,
+		BackendRFC,
+		BackendHiCuts,
+		BackendHyperCuts,
+		BackendCrossProduct,
+		BackendDCFL,
+		BackendBV,
+		BackendABV,
+		BackendTSS,
+	}
+}
+
+// ParseBackend resolves a backend from its flag spelling (case-
+// insensitive; e.g. "tss", "hicuts", "decomposition").
+func ParseBackend(s string) (Backend, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "decomposition", "decomp", "this-work", "thiswork":
+		return BackendDecomposition, nil
+	case "linear":
+		return BackendLinear, nil
+	case "tcam":
+		return BackendTCAM, nil
+	case "rfc":
+		return BackendRFC, nil
+	case "hicuts":
+		return BackendHiCuts, nil
+	case "hypercuts":
+		return BackendHyperCuts, nil
+	case "crossproduct", "crossproducting", "crossprod":
+		return BackendCrossProduct, nil
+	case "dcfl":
+		return BackendDCFL, nil
+	case "bv", "bitmap":
+		return BackendBV, nil
+	case "abv":
+		return BackendABV, nil
+	case "tss":
+		return BackendTSS, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q", s)
+	}
+}
+
+// Option configures New.
+type Option func(*engineOptions)
+
+type engineOptions struct {
+	backend  Backend
+	cfg      Config
+	rules    *RuleSet
+	optimize bool
+}
+
+// WithBackend selects the lookup algorithm; the default is
+// BackendDecomposition.
+func WithBackend(b Backend) Option {
+	return func(o *engineOptions) { o.backend = b }
+}
+
+// WithConfig selects the per-field algorithm set for the decomposition
+// backend (other backends ignore it).
+func WithConfig(cfg Config) Option {
+	return func(o *engineOptions) { o.cfg = cfg }
+}
+
+// WithRules pre-loads the engine with a rule set.
+func WithRules(rs *RuleSet) Option {
+	return func(o *engineOptions) { o.rules = rs }
+}
+
+// WithOptimize applies the decision controller's ruleset optimization
+// (shadowed-rule removal, Section III.D) to the WithRules set before
+// loading it.
+func WithOptimize() Option {
+	return func(o *engineOptions) { o.optimize = true }
+}
+
+// New builds an Engine from functional options:
+//
+//	eng, err := repro.New(
+//		repro.WithBackend(repro.BackendTSS),
+//		repro.WithRules(rs),
+//	)
+//
+// With no options it returns an empty decomposition engine with the
+// default configuration.
+func New(opts ...Option) (Engine, error) {
+	o := engineOptions{backend: BackendDecomposition}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	rules := o.rules
+	if o.optimize && rules != nil {
+		opt, _, err := OptimizeRules(rules)
+		if err != nil {
+			return nil, err
+		}
+		rules = opt
+	}
+	if o.backend == BackendDecomposition {
+		return newDecomposition(o.cfg, rules)
+	}
+	mk, ok := baselineConstructor(o.backend)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown backend %d", int(o.backend))
+	}
+	return newBaselineEngine(o.backend, mk, rules)
+}
+
+// New6 builds the IPv6 lookup domain from the same options. Only the
+// decomposition backend classifies IPv6 (the Table I baselines are
+// defined over the IPv4 5-tuple), so WithBackend must name it or be
+// omitted, and WithRules (an IPv4 set) must be absent.
+func New6(opts ...Option) (*Classifier6, error) {
+	o := engineOptions{backend: BackendDecomposition}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.backend != BackendDecomposition {
+		return nil, fmt.Errorf("repro: backend %v does not support IPv6", o.backend)
+	}
+	if o.rules != nil {
+		return nil, fmt.Errorf("repro: WithRules carries IPv4 rules; insert Rule6 values instead")
+	}
+	inner, err := core.NewConcurrent[lpm.V6](o.cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier6{inner: inner}, nil
+}
+
+// baselineConstructor maps a backend to its fresh-instance constructor.
+func baselineConstructor(b Backend) (func() baseline.Classifier, bool) {
+	switch b {
+	case BackendLinear:
+		return func() baseline.Classifier { return baseline.NewLinear() }, true
+	case BackendTCAM:
+		return func() baseline.Classifier { return baseline.NewTCAM() }, true
+	case BackendRFC:
+		return func() baseline.Classifier { return baseline.NewRFC() }, true
+	case BackendHiCuts:
+		return func() baseline.Classifier { return baseline.NewHiCuts(baseline.DefaultHiCutsConfig()) }, true
+	case BackendHyperCuts:
+		return func() baseline.Classifier { return baseline.NewHyperCuts(baseline.DefaultHyperCutsConfig()) }, true
+	case BackendCrossProduct:
+		return func() baseline.Classifier { return baseline.NewCrossProduct() }, true
+	case BackendDCFL:
+		return func() baseline.Classifier { return baseline.NewDCFL() }, true
+	case BackendBV:
+		return func() baseline.Classifier { return baseline.NewBitmapIntersection() }, true
+	case BackendABV:
+		return func() baseline.Classifier { return baseline.NewABV() }, true
+	case BackendTSS:
+		return func() baseline.Classifier { return baseline.NewTSS() }, true
+	default:
+		return nil, false
+	}
+}
+
+// validateEngineRule enforces the Engine rule contract shared by every
+// backend: structural validity plus explicit identity, so incremental
+// inserts and rebuild-on-update backends agree on rule identity.
+func validateEngineRule(r Rule) error {
+	if err := validateRuleIdentity(r.ID, r.Priority); err != nil {
+		return err
+	}
+	return r.Validate()
+}
+
+// validateRuleIdentity is the identity half of the Engine rule contract,
+// shared with the IPv6 path.
+func validateRuleIdentity(id, priority int) error {
+	if id == 0 {
+		return fmt.Errorf("repro: rule must carry a non-zero ID")
+	}
+	if priority == 0 {
+		return fmt.Errorf("repro: rule %d must carry a non-zero priority", id)
+	}
+	return nil
+}

@@ -6,14 +6,16 @@ import (
 	repro "repro"
 )
 
-// Example demonstrates the basic build-insert-lookup flow with the MBT
-// (high-throughput) configuration.
-func Example() {
-	cls, err := repro.NewClassifier(repro.Config{LPM: repro.LPMMultiBitTrie}, nil)
+// ExampleNew demonstrates the options-based construction and the basic
+// insert-lookup flow on the default (decomposition) backend.
+func ExampleNew() {
+	eng, err := repro.New(
+		repro.WithConfig(repro.Config{LPM: repro.LPMMultiBitTrie}),
+	)
 	if err != nil {
 		panic(err)
 	}
-	if _, err := cls.Insert(repro.Rule{
+	if _, err := eng.Insert(repro.Rule{
 		ID: 1, Priority: 1,
 		SrcIP:   repro.MustParsePrefix("10.0.0.0/8"),
 		SrcPort: repro.FullPortRange(), DstPort: repro.ExactPort(80),
@@ -22,23 +24,52 @@ func Example() {
 	}); err != nil {
 		panic(err)
 	}
-	res, _ := cls.Lookup(repro.Header{SrcIP: 0x0a000001, DstPort: 80, Proto: repro.ProtoTCP})
+	res, _ := eng.Lookup(repro.Header{SrcIP: 0x0a000001, DstPort: 80, Proto: repro.ProtoTCP})
 	fmt.Println(res.Found, res.RuleID, res.Action)
 	// Output: true 1 permit
 }
 
-// ExampleClassifier_Delete shows incremental rule removal: deleting the
-// specific rule uncovers the broader one.
-func ExampleClassifier_Delete() {
-	cls, _ := repro.NewClassifier(repro.Config{}, nil)
-	cls.Insert(repro.Rule{
+// ExampleNew_backend swaps the lookup algorithm — the paper's
+// programmability claim — without changing any caller code: the same
+// ruleset and trace run on the decomposition architecture and on Tuple
+// Space Search, and must agree.
+func ExampleNew_backend() {
+	rs, _ := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 100, Seed: 1})
+	trace, _ := repro.GenerateTrace(rs, repro.TraceConfig{Size: 50, HitRatio: 0.9, Seed: 2})
+	for _, backend := range []repro.Backend{repro.BackendDecomposition, repro.BackendTSS} {
+		eng, err := repro.New(
+			repro.WithBackend(backend),
+			repro.WithRules(rs),
+		)
+		if err != nil {
+			panic(err)
+		}
+		agree := 0
+		for i, res := range eng.LookupBatch(trace) {
+			want, ok := rs.Match(trace[i])
+			if res.Found == ok && (!ok || res.RuleID == want.ID) {
+				agree++
+			}
+		}
+		fmt.Printf("%v: %d of %d agree with the oracle\n", eng.Backend(), agree, len(trace))
+	}
+	// Output:
+	// Decomposition: 50 of 50 agree with the oracle
+	// TSS: 50 of 50 agree with the oracle
+}
+
+// ExampleEngine_Delete shows incremental rule removal through the Engine
+// interface: deleting the specific rule uncovers the broader one.
+func ExampleEngine_Delete() {
+	eng, _ := repro.New()
+	eng.Insert(repro.Rule{
 		ID: 1, Priority: 1,
 		SrcIP:   repro.MustParsePrefix("10.1.0.0/16"),
 		SrcPort: repro.FullPortRange(), DstPort: repro.FullPortRange(),
 		Proto:  repro.AnyProto(),
 		Action: repro.ActionDeny,
 	})
-	cls.Insert(repro.Rule{
+	eng.Insert(repro.Rule{
 		ID: 2, Priority: 2,
 		SrcIP:   repro.MustParsePrefix("10.0.0.0/8"),
 		SrcPort: repro.FullPortRange(), DstPort: repro.FullPortRange(),
@@ -46,9 +77,9 @@ func ExampleClassifier_Delete() {
 		Action: repro.ActionPermit,
 	})
 	h := repro.Header{SrcIP: 0x0a010101, Proto: repro.ProtoTCP}
-	before, _ := cls.Lookup(h)
-	cls.Delete(1)
-	after, _ := cls.Lookup(h)
+	before, _ := eng.Lookup(h)
+	eng.Delete(1)
+	after, _ := eng.Lookup(h)
 	fmt.Println(before.Action, after.Action)
 	// Output: deny permit
 }
@@ -58,10 +89,10 @@ func ExampleClassifier_Delete() {
 func ExampleGenerateRules() {
 	rs, _ := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 100, Seed: 1})
 	trace, _ := repro.GenerateTrace(rs, repro.TraceConfig{Size: 10, HitRatio: 1, Seed: 2})
-	cls, _ := repro.NewClassifier(repro.Config{}, rs)
+	eng, _ := repro.New(repro.WithRules(rs))
 	agree := 0
 	for _, h := range trace {
-		got, _ := cls.Lookup(h)
+		got, _ := eng.Lookup(h)
 		want, ok := rs.Match(h)
 		if got.Found == ok && (!ok || got.RuleID == want.ID) {
 			agree++
@@ -73,14 +104,17 @@ func ExampleGenerateRules() {
 
 // ExampleClassifier_ModelThroughput reproduces the paper's Section IV.D
 // arithmetic: cycles per packet at 200 MHz converted to Mpps and Gbps at
-// 72-byte minimum Ethernet frames.
+// 72-byte minimum Ethernet frames. The hardware model belongs to the
+// decomposition backend's concrete type.
 func ExampleClassifier_ModelThroughput() {
 	rs, _ := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 1000, Seed: 1})
-	cls, _ := repro.NewClassifier(repro.Config{LPM: repro.LPMMultiBitTrie}, rs)
+	eng, _ := repro.New(
+		repro.WithConfig(repro.Config{LPM: repro.LPMMultiBitTrie}),
+		repro.WithRules(rs),
+	)
+	cls := eng.(*repro.Classifier) // BackendDecomposition returns *Classifier
 	trace, _ := repro.GenerateTrace(rs, repro.TraceConfig{Size: 2000, HitRatio: 0.9, Seed: 3})
-	for _, h := range trace {
-		cls.Lookup(h)
-	}
+	cls.LookupBatch(trace)
 	tp := cls.ModelThroughput()
 	fmt.Printf("%.0f cycles/pkt -> %.0f Mpps\n", tp.CyclesPerPacket, tp.Mpps)
 	// Output: 2 cycles/pkt -> 100 Mpps

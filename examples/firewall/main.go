@@ -38,20 +38,31 @@ func main() {
 		{"MBT (high throughput)", repro.Config{LPM: repro.LPMMultiBitTrie}},
 		{"BST (low memory)", repro.Config{LPM: repro.LPMBinarySearchTree}},
 	} {
-		cls, err := repro.NewClassifier(mode.cfg, optimized)
+		eng, err := repro.New(repro.WithConfig(mode.cfg), repro.WithRules(optimized))
 		if err != nil {
 			log.Fatal(err)
 		}
+		// The default backend is the decomposition architecture, which
+		// carries the full hardware model.
+		cls := eng.(*repro.Classifier)
 		permits, denies, misses := 0, 0, 0
-		for _, h := range trace {
-			res, _ := cls.Lookup(h)
-			switch {
-			case !res.Found:
-				misses++
-			case res.Action == repro.ActionPermit:
-				permits++
-			default:
-				denies++
+		// Classify in batches: each batch runs against one consistent
+		// RCU snapshot and reuses the per-field label buffers.
+		const batch = 256
+		for off := 0; off < len(trace); off += batch {
+			end := off + batch
+			if end > len(trace) {
+				end = len(trace)
+			}
+			for _, res := range cls.LookupBatch(trace[off:end]) {
+				switch {
+				case !res.Found:
+					misses++
+				case res.Action == repro.ActionPermit:
+					permits++
+				default:
+					denies++
+				}
 			}
 		}
 		st := cls.Stats()

@@ -16,11 +16,11 @@ import (
 )
 
 func main() {
-	cls, err := repro.NewClassifier6(repro.Config{
+	cls, err := repro.New6(repro.WithConfig(repro.Config{
 		LPM:   repro.LPMMultiBitTrie,
 		Range: repro.RangeRegisterBank,
 		Exact: repro.ExactDirectIndex,
-	})
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}

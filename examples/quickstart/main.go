@@ -1,4 +1,6 @@
-// Quickstart: build a small classifier, insert rules, classify headers.
+// Quickstart: build an engine with functional options, insert rules,
+// classify headers — then swap the backend without touching the caller
+// code, the paper's programmability claim in one file.
 //
 //	go run ./examples/quickstart
 package main
@@ -11,18 +13,6 @@ import (
 )
 
 func main() {
-	// Select the algorithm set — the decision the paper's Decision
-	// Control Domain makes per application. MBT mode is the
-	// high-throughput configuration.
-	cls, err := repro.NewClassifier(repro.Config{
-		LPM:   repro.LPMMultiBitTrie,
-		Range: repro.RangeRegisterBank,
-		Exact: repro.ExactDirectIndex,
-	}, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	rules := []repro.Rule{
 		{
 			// Highest priority: quarantine a compromised subnet.
@@ -46,13 +36,9 @@ func main() {
 			Action: repro.ActionPermit,
 		},
 	}
-	for _, r := range rules {
-		cost, err := cls.Insert(r)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("installed rule %d: %d hardware cycles, %d lines written\n",
-			r.ID, cost.Cycles, cost.Writes)
+	rs, err := repro.NewRuleSet(rules)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	headers := []repro.Header{
@@ -61,18 +47,37 @@ func main() {
 		{SrcIP: ip(8, 8, 8, 8), DstIP: ip(10, 0, 0, 53), SrcPort: 5353, DstPort: 53, Proto: repro.ProtoUDP},
 		{SrcIP: ip(8, 8, 8, 8), DstIP: ip(10, 0, 0, 53), SrcPort: 5353, DstPort: 22, Proto: repro.ProtoTCP},
 	}
-	for _, h := range headers {
-		res, cost := cls.Lookup(h)
-		if res.Found {
-			fmt.Printf("%v -> rule %d (%v) in %d cycles, %d filter probes\n",
-				h, res.RuleID, res.Action, cost.Cycles, res.Probes)
-		} else {
-			fmt.Printf("%v -> no match: discard\n", h)
+
+	// The same workload through two interchangeable engines: the paper's
+	// decomposition architecture (MBT mode) and the Tuple Space Search
+	// baseline it is compared against in Table I.
+	for _, backend := range []repro.Backend{repro.BackendDecomposition, repro.BackendTSS} {
+		eng, err := repro.New(
+			repro.WithBackend(backend),
+			repro.WithConfig(repro.Config{
+				LPM:   repro.LPMMultiBitTrie,
+				Range: repro.RangeRegisterBank,
+				Exact: repro.ExactDirectIndex,
+			}),
+			repro.WithRules(rs),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%v backend, %d rules]\n", eng.Backend(), eng.Len())
+		for i, res := range eng.LookupBatch(headers) {
+			if res.Found {
+				fmt.Printf("  %v -> rule %d (%v)\n", headers[i], res.RuleID, res.Action)
+			} else {
+				fmt.Printf("  %v -> no match: discard\n", headers[i])
+			}
+		}
+		// Only the decomposition backend carries the FPGA hardware model.
+		if cls, ok := eng.(*repro.Classifier); ok {
+			tp := cls.ModelThroughput()
+			fmt.Printf("  modeled throughput: %.2f Mpps (%.2f Gbps at 72 B frames)\n", tp.Mpps, tp.Gbps)
 		}
 	}
-
-	tp := cls.ModelThroughput()
-	fmt.Printf("modeled throughput: %.2f Mpps (%.2f Gbps at 72 B frames)\n", tp.Mpps, tp.Gbps)
 }
 
 func ip(a, b, c, d byte) uint32 {

@@ -3,6 +3,8 @@ package baseline
 import (
 	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/rule"
 )
@@ -117,8 +119,13 @@ type BitmapIntersection struct {
 	built  bool
 	rules  []rule.Rule
 	fields [5]*bvField
-	tmp    bitset
-	tmp2   bitset
+	// scratch pools the per-lookup intersection buffers so concurrent
+	// matches share no state without allocating two bitsets per packet.
+	scratch *sync.Pool
+}
+
+type bvScratch struct {
+	tmp, tmp2 bitset
 }
 
 // NewBitmapIntersection returns an empty BV classifier.
@@ -144,23 +151,28 @@ func (c *BitmapIntersection) Build(s *rule.Set) error {
 		ivs, max := ruleIntervals(c.rules, d)
 		c.fields[d] = buildBVField(n, ivs, max)
 	}
-	c.tmp = newBitset(n)
-	c.tmp2 = newBitset(n)
+	c.scratch = &sync.Pool{New: func() any {
+		return &bvScratch{tmp: newBitset(n), tmp2: newBitset(n)}
+	}}
 	c.built = true
 	return nil
 }
 
-// Match implements Classifier.
+// Match implements Classifier. The intersection scratch comes from a
+// pool, so concurrent matches on one built instance never share state
+// and the hot path stays allocation-free.
 func (c *BitmapIntersection) Match(h rule.Header) (rule.Rule, bool) {
 	if !c.built || len(c.rules) == 0 {
 		return rule.Rule{}, false
 	}
 	p := headerPoint(h)
-	c.tmp.and(c.fields[0].lookup(p[0]), c.fields[1].lookup(p[1]))
-	c.tmp2.and(c.tmp, c.fields[2].lookup(p[2]))
-	c.tmp.and(c.tmp2, c.fields[3].lookup(p[3]))
-	c.tmp2.and(c.tmp, c.fields[4].lookup(p[4]))
-	ri := c.tmp2.firstSet()
+	s := c.scratch.Get().(*bvScratch)
+	s.tmp.and(c.fields[0].lookup(p[0]), c.fields[1].lookup(p[1]))
+	s.tmp2.and(s.tmp, c.fields[2].lookup(p[2]))
+	s.tmp.and(s.tmp2, c.fields[3].lookup(p[3]))
+	s.tmp2.and(s.tmp, c.fields[4].lookup(p[4]))
+	ri := s.tmp2.firstSet()
+	c.scratch.Put(s)
 	if ri < 0 {
 		return rule.Rule{}, false
 	}
@@ -189,9 +201,9 @@ type ABV struct {
 	// i: bit j set iff word j is non-zero.
 	agg [5][]bitset
 	// stats: words actually read during Match, for the aggregation
-	// effectiveness report.
-	wordsRead int
-	matches   int
+	// effectiveness report. Atomic so concurrent matches stay race-free.
+	wordsRead atomic.Int64
+	matches   atomic.Int64
 }
 
 // abvBlockBits is the aggregation granularity: one aggregate bit per
@@ -231,7 +243,8 @@ func (c *ABV) Build(s *rule.Set) error {
 			c.agg[d][i] = a
 		}
 	}
-	c.wordsRead, c.matches = 0, 0
+	c.wordsRead.Store(0)
+	c.matches.Store(0)
 	return nil
 }
 
@@ -260,23 +273,27 @@ func (c *ABV) Match(h rule.Header) (rule.Rule, bool) {
 		vecs[d] = f.vecs[lo]
 		aggs[d] = c.agg[d][lo]
 	}
-	c.matches++
-	// Combined aggregate.
+	c.matches.Add(1)
+	// Combined aggregate. wordsRead accumulates locally and is flushed
+	// at each return to keep the hot path allocation-free.
 	nWords := len(vecs[0])
+	wordsRead := int64(0)
 	for w := 0; w < (nWords+63)/64; w++ {
 		a := aggs[0][w] & aggs[1][w] & aggs[2][w] & aggs[3][w] & aggs[4][w]
 		for a != 0 {
 			bit := bits.TrailingZeros64(a)
 			a &^= 1 << bit
 			word := w*64 + bit
-			c.wordsRead++
+			wordsRead++
 			v := vecs[0][word] & vecs[1][word] & vecs[2][word] & vecs[3][word] & vecs[4][word]
 			if v != 0 {
 				ri := word*64 + bits.TrailingZeros64(v)
+				c.wordsRead.Add(wordsRead)
 				return c.inner.rules[ri], true
 			}
 		}
 	}
+	c.wordsRead.Add(wordsRead)
 	return rule.Rule{}, false
 }
 
@@ -294,8 +311,9 @@ func (c *ABV) MemoryBytes() int {
 // AvgWordsRead reports mean full-vector words read per match — the
 // quantity aggregation reduces versus plain BV's N/w words.
 func (c *ABV) AvgWordsRead() float64 {
-	if c.matches == 0 {
+	m := c.matches.Load()
+	if m == 0 {
 		return 0
 	}
-	return float64(c.wordsRead) / float64(c.matches)
+	return float64(c.wordsRead.Load()) / float64(m)
 }

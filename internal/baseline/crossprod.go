@@ -2,6 +2,8 @@ package baseline
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/rule"
 )
@@ -32,8 +34,12 @@ type CrossProduct struct {
 	protoWild bool
 
 	// cache maps the 5 projection indices to the HPMR rule index (-1 for
-	// none).
-	cache map[[5]int32]int32
+	// none). It is written during Match (the lazy table materialization),
+	// so it is a sync.Map with an entry counter: concurrent lookups may
+	// race to resolve the same key, but resolve is deterministic, so
+	// whichever entry lands is correct.
+	cache    sync.Map // [5]int32 -> int32
+	cacheLen atomic.Int64
 }
 
 // NewCrossProduct returns an empty cross-producting classifier.
@@ -73,7 +79,8 @@ func (c *CrossProduct) Build(s *rule.Set) error {
 			next++
 		}
 	}
-	c.cache = make(map[[5]int32]int32)
+	c.cache = sync.Map{}
+	c.cacheLen.Store(0)
 	c.built = true
 	return nil
 }
@@ -94,10 +101,14 @@ func (c *CrossProduct) Match(h rule.Header) (rule.Rule, bool) {
 		key[4] = 0
 	}
 
-	ri, ok := c.cache[key]
-	if !ok {
+	var ri int32
+	if v, ok := c.cache.Load(key); ok {
+		ri = v.(int32)
+	} else {
 		ri = c.resolve(key, h)
-		c.cache[key] = ri
+		if _, loaded := c.cache.LoadOrStore(key, ri); !loaded {
+			c.cacheLen.Add(1)
+		}
 	}
 	if ri < 0 {
 		return rule.Rule{}, false
@@ -155,11 +166,11 @@ func (c *CrossProduct) MemoryBytes() int {
 	}
 	return c.srcProj.memBytes() + c.dstProj.memBytes() +
 		c.spProj.memBytes() + c.dpProj.memBytes() +
-		len(c.protoVals)*4 + len(c.cache)*(5*4+4)
+		len(c.protoVals)*4 + int(c.cacheLen.Load())*(5*4+4)
 }
 
 // CachedEntries reports the materialized table size.
-func (c *CrossProduct) CachedEntries() int { return len(c.cache) }
+func (c *CrossProduct) CachedEntries() int { return int(c.cacheLen.Load()) }
 
 // prefixProjection answers longest-matching-projection queries over the
 // distinct prefixes of one IP field, via per-length hash sets.

@@ -52,7 +52,11 @@ type Classifier[K lpm.Key[K]] struct {
 	// rules indexes compiled rules by ID for deletion.
 	rules map[int]compiledRule[K]
 
-	stats Stats
+	// counters holds the lookup-path statistics. They are atomic so that
+	// concurrent lookups on one snapshot (the Concurrent wrapper runs
+	// many readers against the same instance) stay race-free; everything
+	// else in the struct is written only while the instance is quiesced.
+	counters lookupCounters
 }
 
 // numFields is the 5-tuple dimensionality.
@@ -241,8 +245,6 @@ func (c *Classifier[K]) Insert(t Tuple[K]) (hwsim.Cost, error) {
 	cost.Cycles = 2*cost.Writes + 1
 
 	c.rules[t.ID] = compiledRule[K]{tuple: t, key: key}
-	c.stats.Rules = len(c.rules)
-	c.refreshLabelStats()
 	return cost, nil
 }
 
@@ -334,42 +336,49 @@ func (c *Classifier[K]) Delete(id int) (hwsim.Cost, error) {
 	cost.Cycles = 2*cost.Writes + 1 // same download model as Insert
 
 	delete(c.rules, id)
-	c.stats.Rules = len(c.rules)
-	c.refreshLabelStats()
 	return cost, nil
 }
 
 // Build bulk-loads a rule list, returning the total update cost — the
-// quantity Fig. 3 plots per ruleset.
+// quantity Fig. 3 plots per ruleset. Build is transactional: if any rule
+// is rejected, the rules inserted so far are removed again so the
+// classifier is exactly as it was before the call (the Concurrent
+// wrapper relies on this to keep its snapshot pair in sync across
+// failed updates).
 func (c *Classifier[K]) Build(ts []Tuple[K]) (hwsim.Cost, error) {
 	var total hwsim.Cost
-	for _, t := range ts {
+	for i, t := range ts {
 		cost, err := c.Insert(t)
 		if err != nil {
-			return total, fmt.Errorf("insert rule %d: %w", t.ID, err)
+			for j := i - 1; j >= 0; j-- {
+				c.Delete(ts[j].ID)
+			}
+			return hwsim.Cost{}, fmt.Errorf("insert rule %d: %w", t.ID, err)
 		}
 		total = total.Add(cost)
 	}
 	return total, nil
 }
 
-func (c *Classifier[K]) refreshLabelStats() {
-	c.stats.Labels[fieldSrcIP] = c.srcSpecs.len()
-	c.stats.Labels[fieldDstIP] = c.dstSpecs.len()
-	c.stats.Labels[fieldSrcPort] = c.spSpecs.len()
-	c.stats.Labels[fieldDstPort] = c.dpSpecs.len()
-	c.stats.Labels[fieldProto] = c.prSpecs.len()
-}
-
 // Stats returns a snapshot of the accumulated statistics.
-func (c *Classifier[K]) Stats() Stats { return c.stats }
+func (c *Classifier[K]) Stats() Stats {
+	s := Stats{
+		Rules: len(c.rules),
+		Labels: [numFields]int{
+			fieldSrcIP:   c.srcSpecs.len(),
+			fieldDstIP:   c.dstSpecs.len(),
+			fieldSrcPort: c.spSpecs.len(),
+			fieldDstPort: c.dpSpecs.len(),
+			fieldProto:   c.prSpecs.len(),
+		},
+	}
+	c.counters.addTo(&s)
+	return s
+}
 
 // ResetStats clears the lookup counters (rule and label counts are
 // recomputed and unaffected).
-func (c *Classifier[K]) ResetStats() {
-	rules, labels := c.stats.Rules, c.stats.Labels
-	c.stats = Stats{Rules: rules, Labels: labels}
-}
+func (c *Classifier[K]) ResetStats() { c.counters.reset() }
 
 // Memory aggregates the RAM blocks of all engines plus the Rule Filter
 // table and the per-field label lists.

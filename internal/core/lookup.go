@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/hwsim"
 	"repro/internal/label"
 	"repro/internal/rule"
@@ -39,8 +41,11 @@ type Result struct {
 // parallel (their cycle counts combine by max — "the LPM engine defines
 // the critical path"), then each ULI probe costs one cycle.
 //
-// Lookup is not safe for concurrent use; clone classifiers per goroutine
-// for parallel batch classification.
+// Lookup mutates only the atomic statistics counters, so any number of
+// goroutines may look up concurrently on one instance — provided no
+// writer mutates it at the same time. The Concurrent wrapper provides
+// that guarantee; bare Classifier users must serialize updates against
+// lookups themselves.
 func (c *Classifier[K]) Lookup(h Header[K]) (Result, hwsim.Cost) {
 	var bufs lookupBuffers
 	return c.lookupInto(h, &bufs)
@@ -82,29 +87,76 @@ func (c *Classifier[K]) lookupInto(h Header[K], bufs *lookupBuffers) (Result, hw
 		Cycles: engineStage.Cycles,
 		Reads:  srcCost.Reads + dstCost.Reads + spCost.Reads + dpCost.Reads + prCost.Reads,
 	}
-	c.stats.EngineCycles += engineStage.Cycles
+	c.counters.engineCycles.Add(int64(engineStage.Cycles))
 
 	// Track hardware list-bound behaviour.
 	overflow := false
+	maxList := 0
 	for f := 0; f < numFields; f++ {
-		if n := len(bufs.lists[f]); n > c.stats.MaxListLen {
-			c.stats.MaxListLen = n
+		if n := len(bufs.lists[f]); n > maxList {
+			maxList = n
 		}
 		if len(bufs.lists[f]) > c.cfg.MaxLabels {
 			overflow = true
 		}
 	}
+	c.counters.observeListLen(maxList)
 	if overflow {
-		c.stats.HardwareOverflows++
+		c.counters.hardwareOverflows.Add(1)
 	}
 
 	res := c.combine(bufs)
 	cost.Cycles += res.Probes + 1 // one cycle per probe, one to emit
 	cost.Reads += res.Probes
-	c.stats.Probes += res.Probes
-	c.stats.FirstHitProbes += res.FirstHitProbes
-	c.stats.ProbeOps++
+	c.counters.probes.Add(int64(res.Probes))
+	c.counters.firstHitProbes.Add(int64(res.FirstHitProbes))
+	c.counters.probeOps.Add(1)
 	return res, cost
+}
+
+// lookupCounters is the lookup-path slice of Stats, kept atomic so that
+// concurrent readers of one snapshot can account without racing.
+type lookupCounters struct {
+	hardwareOverflows atomic.Int64
+	probes            atomic.Int64
+	probeOps          atomic.Int64
+	maxListLen        atomic.Int64
+	engineCycles      atomic.Int64
+	firstHitProbes    atomic.Int64
+}
+
+// observeListLen raises the max-list-length watermark.
+func (lc *lookupCounters) observeListLen(n int) {
+	v := int64(n)
+	for {
+		cur := lc.maxListLen.Load()
+		if v <= cur || lc.maxListLen.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// addTo merges the counters into a Stats snapshot. Concurrent keeps two
+// snapshot instances whose readers alternate, so merging sums the
+// counters of both.
+func (lc *lookupCounters) addTo(s *Stats) {
+	s.HardwareOverflows += int(lc.hardwareOverflows.Load())
+	s.Probes += int(lc.probes.Load())
+	s.ProbeOps += int(lc.probeOps.Load())
+	if ml := int(lc.maxListLen.Load()); ml > s.MaxListLen {
+		s.MaxListLen = ml
+	}
+	s.EngineCycles += int(lc.engineCycles.Load())
+	s.FirstHitProbes += int(lc.firstHitProbes.Load())
+}
+
+func (lc *lookupCounters) reset() {
+	lc.hardwareOverflows.Store(0)
+	lc.probes.Store(0)
+	lc.probeOps.Store(0)
+	lc.maxListLen.Store(0)
+	lc.engineCycles.Store(0)
+	lc.firstHitProbes.Store(0)
 }
 
 // combine is the Unique Label Identifier: it walks label combinations

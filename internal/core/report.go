@@ -12,7 +12,13 @@ import (
 // pipelineable, so its initiation interval is the full per-packet cycle
 // count.
 func (c *Classifier[K]) PipelineModel() hwsim.Pipeline {
-	s := c.stats
+	return c.pipelineFor(c.Stats())
+}
+
+// pipelineFor derives the pipeline parameters from an explicit statistics
+// snapshot — the Concurrent wrapper passes the merged statistics of both
+// snapshot instances here.
+func (c *Classifier[K]) pipelineFor(s Stats) hwsim.Pipeline {
 	ops := s.ProbeOps
 	avgEngine := 0.0
 	avgProbes := 1.0
@@ -73,7 +79,12 @@ type Throughput struct {
 // Throughput reports the steady-state forwarding performance implied by
 // the observed statistics.
 func (c *Classifier[K]) Throughput() Throughput {
-	p := c.PipelineModel()
+	return throughputFrom(c.PipelineModel())
+}
+
+// throughputFrom converts a pipeline model to the paper's Section IV.D
+// quantities.
+func throughputFrom(p hwsim.Pipeline) Throughput {
 	cycles := p.EffectiveII()
 	pps := hwsim.PacketsPerSecond(hwsim.DefaultClockHz, cycles)
 	return Throughput{

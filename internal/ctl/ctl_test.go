@@ -13,7 +13,7 @@ import (
 
 func startServer(t *testing.T) (*Client, func()) {
 	t.Helper()
-	cls, err := core.New[lpm.V4](core.Config{}, nil)
+	cls, err := core.NewConcurrent[lpm.V4](core.Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestConcurrentClients(t *testing.T) {
 }
 
 func TestProtocolErrors(t *testing.T) {
-	cls, err := core.New[lpm.V4](core.Config{}, nil)
+	cls, err := core.NewConcurrent[lpm.V4](core.Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

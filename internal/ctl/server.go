@@ -11,12 +11,12 @@ import (
 	"repro/internal/lpm"
 )
 
-// Server exposes one classifier over the control protocol. The classifier
-// is guarded by a mutex: the lookup domain hardware serializes updates and
-// lookups through the same interface, and so do we.
+// Server exposes one classifier over the control protocol. The
+// concurrent classifier makes its own guarantees — lookups are lock-free
+// snapshot reads and updates serialize behind the snapshot writer — so
+// connections are served fully in parallel with no server-side mutex.
 type Server struct {
-	mu  sync.Mutex
-	cls *core.Classifier[lpm.V4]
+	cls *core.Concurrent[lpm.V4]
 
 	wg       sync.WaitGroup
 	listener net.Listener
@@ -24,7 +24,7 @@ type Server struct {
 }
 
 // NewServer wraps a classifier.
-func NewServer(cls *core.Classifier[lpm.V4]) *Server {
+func NewServer(cls *core.Concurrent[lpm.V4]) *Server {
 	return &Server{cls: cls, closed: make(chan struct{})}
 }
 
@@ -93,9 +93,7 @@ func (s *Server) dispatch(line string) (resp string, quit bool) {
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		s.mu.Lock()
 		cost, err := s.cls.Insert(core.V4Tuple(r))
-		s.mu.Unlock()
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
@@ -106,9 +104,7 @@ func (s *Server) dispatch(line string) (resp string, quit bool) {
 		if _, err := fmt.Sscanf(strings.TrimSpace(args), "%d", &id); err != nil {
 			return "ERR rule id: " + err.Error(), false
 		}
-		s.mu.Lock()
 		cost, err := s.cls.Delete(id)
-		s.mu.Unlock()
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
@@ -119,25 +115,19 @@ func (s *Server) dispatch(line string) (resp string, quit bool) {
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		s.mu.Lock()
 		res, _ := s.cls.Lookup(core.V4Header(h))
-		s.mu.Unlock()
 		if !res.Found {
 			return "NOMATCH", false
 		}
 		return fmt.Sprintf("MATCH %d %d %s", res.RuleID, res.Priority, res.Action), false
 
 	case cmdStats:
-		s.mu.Lock()
 		st := s.cls.Stats()
-		s.mu.Unlock()
 		return fmt.Sprintf("STATS %d %d %d %d %d",
 			st.Rules, st.Probes, st.ProbeOps, st.MaxListLen, st.HardwareOverflows), false
 
 	case cmdThroughput:
-		s.mu.Lock()
 		tp := s.cls.Throughput()
-		s.mu.Unlock()
 		return fmt.Sprintf("THROUGHPUT %.2f %.2f %.2f", tp.CyclesPerPacket, tp.Mpps, tp.Gbps), false
 
 	case cmdQuit:

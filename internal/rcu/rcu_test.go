@@ -1,0 +1,105 @@
+package rcu
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// counterBox is a trivially clonable structure for exercising the store.
+type counterBox struct {
+	vals map[int]int
+}
+
+func newBox() *counterBox { return &counterBox{vals: make(map[int]int)} }
+
+func TestUpdateAppliesToBothInstances(t *testing.T) {
+	s := NewStore(newBox(), newBox())
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := s.Update(func(b *counterBox) error {
+			b.vals[i] = i * i
+			return nil
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Locked(func(active, spare *counterBox) {
+		if len(active.vals) != 10 || len(spare.vals) != 10 {
+			t.Fatalf("instances diverged: %d vs %d entries", len(active.vals), len(spare.vals))
+		}
+		for k, v := range active.vals {
+			if spare.vals[k] != v {
+				t.Fatalf("key %d: active %d, spare %d", k, v, spare.vals[k])
+			}
+		}
+	})
+}
+
+func TestUpdateErrorLeavesPublishedStateUnchanged(t *testing.T) {
+	s := NewStore(newBox(), newBox())
+	if err := s.Update(func(b *counterBox) error { b.vals[1] = 1; return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	repaired := 0
+	err := s.Update(
+		func(b *counterBox) error { b.vals[2] = 2; return boom },
+		func(b *counterBox) error { delete(b.vals, 2); repaired++; return nil },
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if repaired != 1 {
+		t.Fatalf("repair ran %d times", repaired)
+	}
+	h := s.Acquire()
+	defer h.Release()
+	if _, ok := h.Value().vals[2]; ok {
+		t.Error("failed update visible to readers")
+	}
+	if h.Value().vals[1] != 1 {
+		t.Error("prior state lost")
+	}
+}
+
+// TestConcurrentReadersDuringUpdates is the core -race exercise: readers
+// must always observe a consistent snapshot (every key k holds k) while a
+// writer churns.
+func TestConcurrentReadersDuringUpdates(t *testing.T) {
+	s := NewStore(newBox(), newBox())
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				h := s.Acquire()
+				for k, v := range h.Value().vals {
+					if v != k {
+						t.Errorf("torn read: vals[%d] = %d", k, v)
+						h.Release()
+						return
+					}
+				}
+				h.Release()
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		i := i
+		if i%3 == 2 {
+			if err := s.Update(func(b *counterBox) error { delete(b.vals, i-2); return nil }, nil); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := s.Update(func(b *counterBox) error { b.vals[i] = i; return nil }, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
