@@ -1,13 +1,21 @@
 // Command classifierd runs the lookup domain as a network daemon: the
-// decision-control channel of the paper's system exposed over TCP. Rules
-// can be pre-loaded from a ClassBench file and then updated remotely with
-// the ctl protocol (INSERT/DELETE/LOOKUP/STATS/THROUGHPUT; try it with
-// netcat).
+// decision-control channel of the paper's system exposed over TCP. The
+// daemon is multi-tenant and sharded: it serves named tables, each
+// backed by its own engine (any repro backend, optionally partitioned
+// across shard replicas), and speaks the batched ctl protocol
+// (TABLE CREATE/USE/DROP/LIST, INSERT, pipelined BULK, LOOKUP, batched
+// MLOOKUP, STATS, THROUGHPUT; see repro/internal/ctl for the grammar —
+// try it with netcat). Rules can be pre-loaded from a ClassBench file
+// into the default "main" table and then updated remotely.
 //
 // Usage:
 //
 //	classifierd -listen 127.0.0.1:9099 -rules acl10k.txt -lpm mbt
+//	classifierd -backend tss -shards 4 -tables "edge=linear,core=decomposition:8"
 //	printf 'LOOKUP 10.0.0.1 8.8.8.8 999 80 6\n' | nc 127.0.0.1 9099
+//
+// The process exits cleanly on SIGINT/SIGTERM: the listener closes and
+// in-flight connections drain before the daemon returns.
 package main
 
 import (
@@ -16,69 +24,153 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 
-	"repro/internal/core"
+	repro "repro"
 	"repro/internal/ctl"
-	"repro/internal/lpm"
-	"repro/internal/rule"
 )
 
 func main() {
 	var (
 		listen    = flag.String("listen", "127.0.0.1:9099", "TCP listen address")
-		rulesPath = flag.String("rules", "", "optional ClassBench ruleset to pre-load")
-		lpmAlgo   = flag.String("lpm", "mbt", "LPM engine: mbt, bst or amtrie")
+		rulesPath = flag.String("rules", "", "optional ClassBench ruleset to pre-load into the main table")
+		backendF  = flag.String("backend", "decomposition", "main table backend (see repro.ParseBackend)")
+		shardsF   = flag.Int("shards", 1, "main table shard count (replicas of the backend)")
+		tablesF   = flag.String("tables", "", `extra tables, "name=backend[:shards],..."`)
+		lpmAlgo   = flag.String("lpm", "mbt", "decomposition LPM engine: mbt, bst or amtrie")
 	)
 	flag.Parse()
 
-	cfg := core.Config{}
-	switch strings.ToLower(*lpmAlgo) {
-	case "mbt":
-		cfg.LPM = core.LPMMultiBitTrie
-	case "bst":
-		cfg.LPM = core.LPMBinarySearchTree
-	case "amtrie":
-		cfg.LPM = core.LPMAMTrie
-	default:
-		fmt.Fprintf(os.Stderr, "classifierd: unknown LPM engine %q\n", *lpmAlgo)
-		os.Exit(2)
-	}
-
-	var lens []uint8
-	var tuples []core.Tuple[lpm.V4]
-	if *rulesPath != "" {
-		f, err := os.Open(*rulesPath)
-		if err != nil {
-			log.Fatalf("classifierd: %v", err)
-		}
-		set, err := rule.ParseSet(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("classifierd: parse rules: %v", err)
-		}
-		lens = core.PrefixLens(set)
-		tuples = core.CompileSet(set)
-	}
-	cls, err := core.NewConcurrent[lpm.V4](cfg, lens)
+	srv, err := buildServer(*backendF, *shardsF, *tablesF, *lpmAlgo, *rulesPath)
 	if err != nil {
-		log.Fatalf("classifierd: %v", err)
-	}
-	if len(tuples) > 0 {
-		cost, err := cls.Build(tuples)
-		if err != nil {
-			log.Fatalf("classifierd: load rules: %v", err)
-		}
-		log.Printf("loaded %d rules in %d modeled cycles", len(tuples), cost.Cycles)
+		fmt.Fprintf(os.Stderr, "classifierd: %v\n", err)
+		os.Exit(2)
 	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("classifierd: %v", err)
 	}
-	log.Printf("lookup domain (%s mode) listening on %s", cfg.LPM, l.Addr())
-	srv := ctl.NewServer(cls)
-	if err := srv.Serve(l); err != nil {
-		log.Fatalf("classifierd: %v", err)
+	log.Printf("classifier daemon listening on %s", l.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("classifierd: %v", err)
+		}
+	case s := <-sig:
+		log.Printf("caught %v; draining connections", s)
+		srv.Shutdown()
+		<-done
 	}
+	log.Printf("shutdown complete")
+}
+
+// buildServer assembles the table registry from flag values: the main
+// table from backend/shards/lpm (pre-loaded from rulesPath if given)
+// plus the extra tables of the -tables spec.
+func buildServer(backendSpec string, shards int, tablesSpec, lpmAlgo, rulesPath string) (*ctl.Server, error) {
+	backend, err := repro.ParseBackend(backendSpec)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := lpmConfig(lpmAlgo)
+	if err != nil {
+		return nil, err
+	}
+	opts := []repro.Option{repro.WithBackend(backend), repro.WithConfig(cfg), repro.WithShards(shards)}
+	var loaded int
+	if rulesPath != "" {
+		f, err := os.Open(rulesPath)
+		if err != nil {
+			return nil, err
+		}
+		set, err := repro.ParseRules(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("parse rules: %w", err)
+		}
+		opts = append(opts, repro.WithRules(set))
+		loaded = set.Len()
+	}
+	eng, err := repro.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if loaded > 0 {
+		log.Printf("loaded %d rules into table %q (%s, %d shard(s))",
+			loaded, ctl.DefaultTable, backend, shards)
+	}
+	srv := ctl.NewServer(eng)
+	extras, err := parseTables(tablesSpec)
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range extras {
+		if err := srv.AddTable(spec.name, spec.backend, spec.shards); err != nil {
+			return nil, fmt.Errorf("table %q: %w", spec.name, err)
+		}
+	}
+	return srv, nil
+}
+
+// lpmConfig maps the -lpm flag to the decomposition configuration.
+func lpmConfig(algo string) (repro.Config, error) {
+	var cfg repro.Config
+	switch strings.ToLower(algo) {
+	case "mbt":
+		cfg.LPM = repro.LPMMultiBitTrie
+	case "bst":
+		cfg.LPM = repro.LPMBinarySearchTree
+	case "amtrie":
+		cfg.LPM = repro.LPMAMTrie
+	default:
+		return cfg, fmt.Errorf("unknown LPM engine %q", algo)
+	}
+	return cfg, nil
+}
+
+// tableSpec is one parsed -tables entry.
+type tableSpec struct {
+	name    string
+	backend repro.Backend
+	shards  int
+}
+
+// parseTables decodes the -tables flag: comma-separated
+// "name=backend[:shards]" entries.
+func parseTables(spec string) ([]tableSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []tableSpec
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("table spec %q, want name=backend[:shards]", entry)
+		}
+		backendSpec, shardsSpec, hasShards := strings.Cut(rest, ":")
+		backend, err := repro.ParseBackend(backendSpec)
+		if err != nil {
+			return nil, fmt.Errorf("table spec %q: %w", entry, err)
+		}
+		shards := 1
+		if hasShards {
+			shards, err = strconv.Atoi(shardsSpec)
+			if err != nil || shards < 1 {
+				return nil, fmt.Errorf("table spec %q: shard count %q", entry, shardsSpec)
+			}
+		}
+		out = append(out, tableSpec{name: name, backend: backend, shards: shards})
+	}
+	return out, nil
 }

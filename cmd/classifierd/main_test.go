@@ -1,0 +1,193 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	repro "repro"
+	"repro/internal/ctl"
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+func TestParseTables(t *testing.T) {
+	specs, err := parseTables(" edge=linear , core=decomposition:8, cache=tss:2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tableSpec{
+		{name: "edge", backend: repro.BackendLinear, shards: 1},
+		{name: "core", backend: repro.BackendDecomposition, shards: 8},
+		{name: "cache", backend: repro.BackendTSS, shards: 2},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %+v", specs)
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+	if specs, err := parseTables("  "); err != nil || specs != nil {
+		t.Errorf("empty spec = %+v, %v", specs, err)
+	}
+	for _, bad := range []string{
+		"noequals", "=linear", "x=", "x=frob", "x=linear:0", "x=linear:abc", "x=linear,,y=tss",
+	} {
+		if _, err := parseTables(bad); err == nil {
+			t.Errorf("parseTables(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLPMConfig(t *testing.T) {
+	for _, algo := range []string{"mbt", "BST", "amtrie"} {
+		if _, err := lpmConfig(algo); err != nil {
+			t.Errorf("lpmConfig(%q): %v", algo, err)
+		}
+	}
+	if _, err := lpmConfig("quadtree"); err == nil {
+		t.Error("unknown LPM engine should fail")
+	}
+}
+
+func TestBuildServerErrors(t *testing.T) {
+	for _, c := range []struct {
+		backend, tables, lpm, rules string
+		shards                      int
+	}{
+		{"frob", "", "mbt", "", 1},
+		{"decomposition", "", "mbt", "", 0},
+		{"decomposition", "x=frob", "mbt", "", 1},
+		{"decomposition", "main=linear", "mbt", "", 1}, // collides with default table
+		{"decomposition", "", "quadtree", "", 1},
+		{"decomposition", "", "mbt", "/nonexistent/rules.txt", 1},
+	} {
+		if _, err := buildServer(c.backend, c.shards, c.tables, c.lpm, c.rules); err == nil {
+			t.Errorf("buildServer(%+v) should fail", c)
+		}
+	}
+}
+
+// TestDaemonEndToEnd boots the full daemon assembly — a sharded
+// decomposition main table pre-loaded from a ClassBench file, plus two
+// extra tables with different backends — and drives it over real TCP:
+// bulk-load, batched lookups differential-checked against the linear
+// oracle, per-table isolation, and graceful shutdown.
+func TestDaemonEndToEnd(t *testing.T) {
+	set, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 100, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rulesPath := filepath.Join(t.TempDir(), "rules.txt")
+	f, err := os.Create(rulesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rule.WriteSet(f, set); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv, err := buildServer("decomposition", 4, "edge=linear:2,fast=tss", "mbt", rulesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	client, err := ctl.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The daemon serves three tables, main sharded 4 ways and
+	// pre-loaded from the ClassBench file.
+	infos, err := client.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ctl.TableInfo{}
+	for _, info := range infos {
+		byName[info.Name] = info
+	}
+	if len(byName) != 3 {
+		t.Fatalf("tables = %+v", infos)
+	}
+	if m := byName["main"]; m.Backend != "decomposition" || m.Shards != 4 || m.Rules != set.Len() {
+		t.Errorf("main = %+v", m)
+	}
+	if e := byName["edge"]; e.Backend != "linear" || e.Shards != 2 || e.Rules != 0 {
+		t.Errorf("edge = %+v", e)
+	}
+	if f := byName["fast"]; f.Backend != "tss" || f.Shards != 1 {
+		t.Errorf("fast = %+v", f)
+	}
+
+	// Batched lookups on the sharded main table agree with the oracle.
+	trace, err := ruleset.GenerateTrace(set, ruleset.TraceConfig{Size: 128, HitRatio: 0.8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.MLookup(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range trace {
+		want, ok := set.Match(h)
+		if got[i].Found != ok || (ok && got[i].RuleID != want.ID) {
+			t.Fatalf("header %d: remote (%d,%v) vs oracle (%d,%v)",
+				i, got[i].RuleID, got[i].Found, want.ID, ok)
+		}
+	}
+
+	// A second connection bulk-loads a different ruleset into "edge";
+	// main is unaffected.
+	edgeSet, err := ruleset.Generate(ruleset.Config{Family: ruleset.FW, Size: 60, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ctl.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.TableUse("edge"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.BulkInsert(edgeSet.Rules()); err != nil {
+		t.Fatalf("BulkInsert: %v", err)
+	}
+	edgeGot, err := c2.MLookup(trace[:32])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range trace[:32] {
+		want, ok := edgeSet.Match(h)
+		if edgeGot[i].Found != ok || (ok && edgeGot[i].RuleID != want.ID) {
+			t.Fatalf("edge header %d: remote (%d,%v) vs oracle (%d,%v)",
+				i, edgeGot[i].RuleID, edgeGot[i].Found, want.ID, ok)
+		}
+	}
+	mainAgain, err := client.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range mainAgain {
+		if info.Name == "main" && info.Rules != set.Len() {
+			t.Errorf("main grew to %d rules after edge bulk", info.Rules)
+		}
+	}
+
+	client.Close()
+	c2.Close()
+	srv.Shutdown()
+	if err := <-done; err != nil {
+		t.Errorf("Serve: %v", err)
+	}
+}

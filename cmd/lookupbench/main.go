@@ -9,13 +9,15 @@
 //	lookupbench -all
 //	lookupbench -table1 -sizes 1000,10000
 //	lookupbench -fig3 -fig4 -throughput
-//	lookupbench -engines -parallel 8 -batch 64 -json BENCH_lookup.json
+//	lookupbench -engines -parallel 8 -batch 64 -shards 1,4 -json BENCH_lookup.json
 //
 // The -engines experiment drives every backend through the public Engine
 // API with parallel batched lookups (concurrent goroutines sharing one
-// engine, exercising the RCU read path) and writes machine-readable
-// records to the -json file — one file per run; archive the files across
-// revisions to record the performance trajectory.
+// engine, exercising the RCU read path) at each -shards replica count,
+// so the emitted records compare the sharded serving path against the
+// unsharded baseline. Machine-readable records go to the -json file —
+// one file per run; archive the files across revisions (CI uploads the
+// file as an artifact) to record the performance trajectory.
 package main
 
 import (
@@ -55,6 +57,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "generation seed")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent lookup goroutines for -engines")
 		batch      = flag.Int("batch", 64, "LookupBatch size for -engines (1 = single-lookup path)")
+		shardsFlag = flag.String("shards", "1,4", "comma-separated shard counts for -engines (1 = unsharded)")
 		jsonOut    = flag.String("json", "BENCH_lookup.json", "machine-readable output file for -engines ('' disables)")
 	)
 	flag.Parse()
@@ -76,7 +79,12 @@ func main() {
 	if *batch < 1 {
 		*batch = 1
 	}
-	r := runner{sizes: sizes, traceN: *traceN, seed: *seed, parallel: *parallel, batch: *batch}
+	shardCounts, err := parseSizes(*shardsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lookupbench: -shards:", err)
+		os.Exit(2)
+	}
+	r := runner{sizes: sizes, traceN: *traceN, seed: *seed, parallel: *parallel, batch: *batch, shards: shardCounts}
 	if *table1 {
 		r.tableI()
 	}
@@ -122,6 +130,7 @@ type runner struct {
 	seed     int64
 	parallel int
 	batch    int
+	shards   []int
 }
 
 func (r runner) workload(fam ruleset.Family, size int) (*rule.Set, []rule.Header) {
@@ -378,6 +387,7 @@ type BenchRecord struct {
 	TraceLen       int     `json:"trace_len"`
 	Parallel       int     `json:"parallel"`
 	Batch          int     `json:"batch"`
+	Shards         int     `json:"shards"`
 	NsPerLookup    float64 `json:"ns_per_lookup"`
 	MLookupsPerSec float64 `json:"mlookups_per_sec"`
 	MemoryBytes    int     `json:"memory_bytes"`
@@ -385,43 +395,53 @@ type BenchRecord struct {
 	Error          string  `json:"error,omitempty"`
 }
 
-// engines measures every backend through the public Engine API: the
-// -parallel goroutines share one engine and stream the trace through
-// LookupBatch, exercising the RCU snapshot read path the way a
-// multi-core packet pipeline would.
+// engines measures every backend through the public Engine API at each
+// configured shard count: the -parallel goroutines share one engine and
+// stream the trace through LookupBatch, exercising the RCU snapshot
+// read path (one snapshot pair per shard replica) the way a multi-core
+// packet pipeline would. Emitting shards=1 alongside higher counts
+// gives the sharded-vs-unsharded comparison in one artifact.
 func (r runner) engines() []BenchRecord {
-	fmt.Printf("== Engine API: parallel batched lookups (%d goroutines, batch %d) ==\n", r.parallel, r.batch)
+	shardCounts := r.shards
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1}
+	}
+	fmt.Printf("== Engine API: parallel batched lookups (%d goroutines, batch %d, shards %v) ==\n",
+		r.parallel, r.batch, shardCounts)
 	tw := newTab()
-	fmt.Fprintln(tw, "backend\truleset\tns/lookup\tMlookups/s\tmemory\tincremental")
+	fmt.Fprintln(tw, "backend\truleset\tshards\tns/lookup\tMlookups/s\tmemory\tincremental")
 	var records []BenchRecord
 	for _, size := range r.sizes {
 		set, trace := r.workload(ruleset.ACL, size)
 		name := fmt.Sprintf("acl-%s", ruleset.SizeName(size))
 		for _, b := range repro.Backends() {
-			rec := BenchRecord{
-				Experiment: "engine_parallel_lookup",
-				Backend:    b.String(),
-				Family:     "acl",
-				Rules:      set.Len(),
-				TraceLen:   len(trace),
-				Parallel:   r.parallel,
-				Batch:      r.batch,
-			}
-			eng, err := repro.New(repro.WithBackend(b), repro.WithRules(set))
-			if err != nil {
-				rec.Error = err.Error()
+			for _, shards := range shardCounts {
+				rec := BenchRecord{
+					Experiment: "engine_parallel_lookup",
+					Backend:    b.String(),
+					Family:     "acl",
+					Rules:      set.Len(),
+					TraceLen:   len(trace),
+					Parallel:   r.parallel,
+					Batch:      r.batch,
+					Shards:     shards,
+				}
+				eng, err := repro.New(repro.WithBackend(b), repro.WithRules(set), repro.WithShards(shards))
+				if err != nil {
+					rec.Error = err.Error()
+					records = append(records, rec)
+					fmt.Fprintf(tw, "%s\t%s\t%d\t%v\t-\t-\t-\n", b, name, shards, err)
+					continue
+				}
+				nsPerOp, mlps := r.measureParallel(eng, trace)
+				rec.NsPerLookup = nsPerOp
+				rec.MLookupsPerSec = mlps
+				rec.MemoryBytes = eng.Memory().TotalBytes()
+				rec.Incremental = eng.IncrementalUpdate()
 				records = append(records, rec)
-				fmt.Fprintf(tw, "%s\t%s\t%v\t-\t-\t-\n", b, name, err)
-				continue
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.2f\t%s\t%v\n",
+					b, name, shards, nsPerOp, mlps, fmtBytes(rec.MemoryBytes), rec.Incremental)
 			}
-			nsPerOp, mlps := r.measureParallel(eng, trace)
-			rec.NsPerLookup = nsPerOp
-			rec.MLookupsPerSec = mlps
-			rec.MemoryBytes = eng.Memory().TotalBytes()
-			rec.Incremental = eng.IncrementalUpdate()
-			records = append(records, rec)
-			fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.2f\t%s\t%v\n",
-				b, name, nsPerOp, mlps, fmtBytes(rec.MemoryBytes), rec.Incremental)
 		}
 	}
 	tw.Flush()

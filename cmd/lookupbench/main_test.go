@@ -30,9 +30,9 @@ func TestParseSizes(t *testing.T) {
 
 // TestEnginesJSONRoundtrip runs the Engine benchmark at a tiny scale and
 // verifies the BENCH_lookup.json records parse back with every backend
-// present.
+// present at both the unsharded and sharded replica counts.
 func TestEnginesJSONRoundtrip(t *testing.T) {
-	r := runner{sizes: []int{40}, traceN: 120, seed: 1, parallel: 2, batch: 16}
+	r := runner{sizes: []int{40}, traceN: 120, seed: 1, parallel: 2, batch: 16, shards: []int{1, 3}}
 	records := r.engines()
 	if len(records) == 0 {
 		t.Fatal("no records")
@@ -53,14 +53,19 @@ func TestEnginesJSONRoundtrip(t *testing.T) {
 		t.Fatalf("roundtrip lost records: %d vs %d", len(back), len(records))
 	}
 	seen := map[string]bool{}
+	shardCounts := map[int]bool{}
 	for _, rec := range back {
 		seen[rec.Backend] = true
+		shardCounts[rec.Shards] = true
 		if rec.Error == "" && rec.MLookupsPerSec <= 0 {
-			t.Errorf("%s: non-positive throughput", rec.Backend)
+			t.Errorf("%s (shards %d): non-positive throughput", rec.Backend, rec.Shards)
 		}
 	}
 	if !seen["Decomposition"] || !seen["TSS"] {
 		t.Errorf("missing backends in %v", seen)
+	}
+	if !shardCounts[1] || !shardCounts[3] {
+		t.Errorf("missing shard counts in %v", shardCounts)
 	}
 }
 

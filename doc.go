@@ -43,6 +43,31 @@
 // snapshot, amortizing the snapshot acquisition and the per-field label
 // buffers.
 //
+// # Sharding
+//
+// WithShards(n) partitions the ruleset across n replicas of the
+// selected backend:
+//
+//	eng, err := repro.New(
+//		repro.WithBackend(repro.BackendTSS),
+//		repro.WithRules(rs),
+//		repro.WithShards(4),
+//	)
+//
+// Each replica keeps its own RCU snapshot pair. Updates route to one
+// replica by a hash of the rule ID, so per-update work shrinks with n;
+// lookups fan out across the replicas and merge by priority, with
+// LookupBatch running the replicas on parallel goroutines. Stats,
+// memory maps and (for the decomposition backend) the modeled
+// throughput aggregate across replicas.
+//
+// # Serving
+//
+// The ctl protocol (internal/ctl, served by cmd/classifierd) exposes
+// engines over TCP as named tables — each table its own backend and
+// shard count — with batched MLOOKUP and pipelined BULK insert
+// commands, so one daemon serves heterogeneous workloads side by side.
+//
 // # Hardware model
 //
 // Operations on the decomposition backend report a hardware cost (clock

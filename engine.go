@@ -7,6 +7,8 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/lpm"
+	"repro/internal/rule"
+	"repro/internal/shard"
 )
 
 // Engine is the unified lookup-engine abstraction: one interface that the
@@ -165,6 +167,7 @@ type engineOptions struct {
 	cfg      Config
 	rules    *RuleSet
 	optimize bool
+	shards   int
 }
 
 // WithBackend selects the lookup algorithm; the default is
@@ -191,6 +194,22 @@ func WithOptimize() Option {
 	return func(o *engineOptions) { o.optimize = true }
 }
 
+// WithShards partitions the ruleset across n replicas of the selected
+// backend, each with its own RCU snapshot pair. Updates are routed to
+// one replica by a hash of the rule ID; lookups fan out across the
+// replicas and merge by priority, with LookupBatch running the replicas
+// on parallel goroutines. Stats, memory and modeled throughput are
+// aggregated across the replicas. n = 1 (the default) builds the
+// backend unwrapped.
+//
+// Rules should carry unique priorities (rulesets built by NewRuleSet
+// from zero-priority rules always do): when two matching rules share a
+// priority, the shard merge resolves the tie to the lowest rule ID,
+// whereas an unsharded engine resolves it by insertion order.
+func WithShards(n int) Option {
+	return func(o *engineOptions) { o.shards = n }
+}
+
 // New builds an Engine from functional options:
 //
 //	eng, err := repro.New(
@@ -201,9 +220,12 @@ func WithOptimize() Option {
 // With no options it returns an empty decomposition engine with the
 // default configuration.
 func New(opts ...Option) (Engine, error) {
-	o := engineOptions{backend: BackendDecomposition}
+	o := engineOptions{backend: BackendDecomposition, shards: 1}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.shards < 1 {
+		return nil, fmt.Errorf("repro: shard count %d, want >= 1", o.shards)
 	}
 	rules := o.rules
 	if o.optimize && rules != nil {
@@ -213,6 +235,14 @@ func New(opts ...Option) (Engine, error) {
 		}
 		rules = opt
 	}
+	if o.shards > 1 {
+		return newSharded(o, rules)
+	}
+	return newSingle(o, rules)
+}
+
+// newSingle builds one unwrapped replica of the selected backend.
+func newSingle(o engineOptions, rules *RuleSet) (Engine, error) {
 	if o.backend == BackendDecomposition {
 		return newDecomposition(o.cfg, rules)
 	}
@@ -223,17 +253,80 @@ func New(opts ...Option) (Engine, error) {
 	return newBaselineEngine(o.backend, mk, rules)
 }
 
+// newSharded partitions the rules by shard.For and builds one replica
+// per partition behind the shard wrapper.
+func newSharded(o engineOptions, rules *RuleSet) (Engine, error) {
+	parts := make([][]Rule, o.shards)
+	if rules != nil {
+		for _, r := range rules.Rules() {
+			i := shard.For(r.ID, o.shards)
+			parts[i] = append(parts[i], r)
+		}
+	}
+	replicas := make([]shard.Engine, o.shards)
+	for i := range replicas {
+		var sub *RuleSet
+		if len(parts[i]) > 0 {
+			s, err := rule.NewSet(parts[i])
+			if err != nil {
+				return nil, err
+			}
+			sub = s
+		}
+		eng, err := newSingle(o, sub)
+		if err != nil {
+			return nil, err
+		}
+		replicas[i] = eng
+	}
+	inner, err := shard.New(replicas)
+	if err != nil {
+		return nil, err
+	}
+	s := sharded{Sharded: inner, backend: o.backend}
+	if o.backend == BackendDecomposition {
+		return &shardedDecomposition{sharded: s}, nil
+	}
+	return &s, nil
+}
+
+// sharded tags the shard wrapper with its backend so it satisfies the
+// full Engine interface.
+type sharded struct {
+	*shard.Sharded
+	backend Backend
+}
+
+// Backend implements Engine.
+func (s *sharded) Backend() Backend { return s.backend }
+
+// shardedDecomposition additionally surfaces the hardware throughput
+// model that only decomposition replicas carry, mirroring *Classifier.
+type shardedDecomposition struct {
+	sharded
+}
+
+// ModelThroughput reports the aggregate modeled forwarding rate of the
+// parallel replicas.
+func (s *shardedDecomposition) ModelThroughput() Throughput {
+	tp, _ := s.AggregateThroughput()
+	return tp
+}
+
 // New6 builds the IPv6 lookup domain from the same options. Only the
 // decomposition backend classifies IPv6 (the Table I baselines are
 // defined over the IPv4 5-tuple), so WithBackend must name it or be
 // omitted, and WithRules (an IPv4 set) must be absent.
 func New6(opts ...Option) (*Classifier6, error) {
-	o := engineOptions{backend: BackendDecomposition}
+	o := engineOptions{backend: BackendDecomposition, shards: 1}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	if o.backend != BackendDecomposition {
 		return nil, fmt.Errorf("repro: backend %v does not support IPv6", o.backend)
+	}
+	if o.shards != 1 {
+		return nil, fmt.Errorf("repro: WithShards is IPv4-only; the IPv6 domain is unsharded")
 	}
 	if o.rules != nil {
 		return nil, fmt.Errorf("repro: WithRules carries IPv4 rules; insert Rule6 values instead")

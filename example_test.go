@@ -58,6 +58,33 @@ func ExampleNew_backend() {
 	// TSS: 50 of 50 agree with the oracle
 }
 
+// ExampleNew_sharded partitions one ruleset across four replicas of the
+// TSS backend: updates hash to one replica, while LookupBatch fans out
+// across all replicas in parallel and merges by priority — with unique
+// rule priorities (as here) the answers stay identical to the unsharded
+// engine.
+func ExampleNew_sharded() {
+	rs, _ := repro.GenerateRules(repro.GenConfig{Family: repro.FW, Size: 200, Seed: 3})
+	trace, _ := repro.GenerateTrace(rs, repro.TraceConfig{Size: 60, HitRatio: 0.9, Seed: 4})
+	eng, err := repro.New(
+		repro.WithBackend(repro.BackendTSS),
+		repro.WithRules(rs),
+		repro.WithShards(4),
+	)
+	if err != nil {
+		panic(err)
+	}
+	agree := 0
+	for i, res := range eng.LookupBatch(trace) {
+		want, ok := rs.Match(trace[i])
+		if res.Found == ok && (!ok || res.RuleID == want.ID) {
+			agree++
+		}
+	}
+	fmt.Printf("%d rules over 4 shards: %d of %d agree with the oracle\n", eng.Len(), agree, len(trace))
+	// Output: 200 rules over 4 shards: 60 of 60 agree with the oracle
+}
+
 // ExampleEngine_Delete shows incremental rule removal through the Engine
 // interface: deleting the specific rule uncovers the broader one.
 func ExampleEngine_Delete() {

@@ -43,6 +43,10 @@ func (c *Client) roundTrip(line string) (string, error) {
 	if _, err := fmt.Fprintln(c.conn, line); err != nil {
 		return "", fmt.Errorf("ctl send: %w", err)
 	}
+	return c.readResponse()
+}
+
+func (c *Client) readResponse() (string, error) {
 	resp, err := c.r.ReadString('\n')
 	if err != nil {
 		return "", fmt.Errorf("ctl recv: %w", err)
@@ -54,14 +58,135 @@ func (c *Client) roundTrip(line string) (string, error) {
 	return resp, nil
 }
 
+// expectOK consumes a bare "OK" response.
+func (c *Client) expectOK(line string) error {
+	resp, err := c.roundTrip(line)
+	if err != nil {
+		return err
+	}
+	if resp != "OK" {
+		return fmt.Errorf("ctl: unexpected response %q", resp)
+	}
+	return nil
+}
+
+// TableCreate creates a named table backed by a fresh engine on the
+// daemon; backend is a repro.ParseBackend spelling and shards >= 1.
+func (c *Client) TableCreate(name, backend string, shards int) error {
+	return c.expectOK(fmt.Sprintf("%s %s %s %s %d", cmdTable, subCreate, name, backend, shards))
+}
+
+// TableDrop removes a named table.
+func (c *Client) TableDrop(name string) error {
+	return c.expectOK(fmt.Sprintf("%s %s %s", cmdTable, subDrop, name))
+}
+
+// TableUse switches this connection's current table.
+func (c *Client) TableUse(name string) error {
+	return c.expectOK(fmt.Sprintf("%s %s %s", cmdTable, subUse, name))
+}
+
+// TableInfo is one row of the daemon's table listing.
+type TableInfo struct {
+	Name    string
+	Backend string
+	Shards  int
+	Rules   int
+}
+
+// Tables lists the daemon's tables.
+func (c *Client) Tables() ([]TableInfo, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("%s %s", cmdTable, subList))
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(resp)
+	if len(fields) == 0 || fields[0] != "TABLES" {
+		return nil, fmt.Errorf("ctl: unexpected response %q", resp)
+	}
+	infos := make([]TableInfo, 0, len(fields)-1)
+	for _, tok := range fields[1:] {
+		parts := strings.Split(tok, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("ctl: table entry %q", tok)
+		}
+		shards, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("ctl: table entry %q", tok)
+		}
+		rules, err := strconv.Atoi(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("ctl: table entry %q", tok)
+		}
+		infos = append(infos, TableInfo{Name: parts[0], Backend: parts[1], Shards: shards, Rules: rules})
+	}
+	return infos, nil
+}
+
 // Insert installs a rule remotely, returning the hardware update cycles.
 func (c *Client) Insert(r rule.Rule) (int, error) {
-	line := fmt.Sprintf("%s %d %d %s %s", cmdInsert, r.ID, r.Priority, r.Action, r.String())
+	line := fmt.Sprintf("%s %s", cmdInsert, insertArgs(r))
 	resp, err := c.roundTrip(line)
 	if err != nil {
 		return 0, err
 	}
 	return parseOKCycles(resp)
+}
+
+// insertArgs renders the "<id> <prio> <action> @rule" argument shape
+// shared by INSERT and BULK body lines.
+func insertArgs(r rule.Rule) string {
+	return fmt.Sprintf("%d %d %s %s", r.ID, r.Priority, r.Action, r.String())
+}
+
+// bulkChunk bounds the rules per BULK transfer, keeping every transfer
+// well inside the server's count limit whatever the caller passes.
+const bulkChunk = 4096
+
+// BulkInsert pipelines the rules through BULK transfers of up to 4096
+// rules each: all body lines of a chunk are streamed before its single
+// response is read, so a whole ruleset loads without per-rule round
+// trips. It returns the summed hardware update cycles; on error,
+// chunks already acknowledged remain installed.
+func (c *Client) BulkInsert(rules []rule.Rule) (cycles int, err error) {
+	if len(rules) > bulkChunk {
+		for off := 0; off < len(rules); off += bulkChunk {
+			end := off + bulkChunk
+			if end > len(rules) {
+				end = len(rules)
+			}
+			n, err := c.BulkInsert(rules[off:end])
+			cycles += n
+			if err != nil {
+				return cycles, err
+			}
+		}
+		return cycles, nil
+	}
+	if len(rules) == 0 {
+		return 0, nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d\n", cmdBulk, len(rules))
+	for _, r := range rules {
+		b.WriteString(insertArgs(r))
+		b.WriteByte('\n')
+	}
+	if _, err := c.conn.Write([]byte(b.String())); err != nil {
+		return 0, fmt.Errorf("ctl send: %w", err)
+	}
+	resp, err := c.readResponse()
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(resp, "OK %d %d", &n, &cycles); err != nil {
+		return 0, fmt.Errorf("ctl: unexpected response %q", resp)
+	}
+	if n != len(rules) {
+		return cycles, fmt.Errorf("ctl: bulk inserted %d of %d rules", n, len(rules))
+	}
+	return cycles, nil
 }
 
 // Delete removes a rule remotely.
@@ -89,11 +214,14 @@ type LookupResult struct {
 	Action   string
 }
 
+func headerArgs(h rule.Header) string {
+	return fmt.Sprintf("%s %s %d %d %d",
+		formatAddr(h.SrcIP), formatAddr(h.DstIP), h.SrcPort, h.DstPort, h.Proto)
+}
+
 // Lookup classifies a header remotely.
 func (c *Client) Lookup(h rule.Header) (LookupResult, error) {
-	line := fmt.Sprintf("%s %s %s %d %d %d", cmdLookup,
-		formatAddr(h.SrcIP), formatAddr(h.DstIP), h.SrcPort, h.DstPort, h.Proto)
-	resp, err := c.roundTrip(line)
+	resp, err := c.roundTrip(fmt.Sprintf("%s %s", cmdLookup, headerArgs(h)))
 	if err != nil {
 		return LookupResult{}, err
 	}
@@ -113,6 +241,72 @@ func (c *Client) Lookup(h rule.Header) (LookupResult, error) {
 		return LookupResult{}, fmt.Errorf("ctl: priority in %q", resp)
 	}
 	return LookupResult{Found: true, RuleID: id, Priority: prio, Action: fields[3]}, nil
+}
+
+// mlookupChunk bounds the headers per MLOOKUP line (~35 B each), so
+// client batches of any size stay far below the server's line limit.
+const mlookupChunk = 512
+
+// MLookup classifies a batch of headers; each chunk of up to 512
+// headers is one round trip that the daemon runs as a single
+// LookupBatch against one consistent snapshot per shard (batches beyond
+// the chunk size span snapshots chunk by chunk).
+func (c *Client) MLookup(hs []rule.Header) ([]LookupResult, error) {
+	if len(hs) > mlookupChunk {
+		out := make([]LookupResult, 0, len(hs))
+		for off := 0; off < len(hs); off += mlookupChunk {
+			end := off + mlookupChunk
+			if end > len(hs) {
+				end = len(hs)
+			}
+			part, err := c.MLookup(hs[off:end])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
+		}
+		return out, nil
+	}
+	if len(hs) == 0 {
+		return nil, nil
+	}
+	var b strings.Builder
+	b.WriteString(cmdMLookup)
+	for _, h := range hs {
+		b.WriteByte(' ')
+		b.WriteString(headerArgs(h))
+	}
+	resp, err := c.roundTrip(b.String())
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(resp)
+	if len(fields) == 0 || fields[0] != "RESULTS" {
+		return nil, fmt.Errorf("ctl: unexpected response %q", resp)
+	}
+	if len(fields)-1 != len(hs) {
+		return nil, fmt.Errorf("ctl: %d results for %d headers", len(fields)-1, len(hs))
+	}
+	out := make([]LookupResult, len(hs))
+	for i, tok := range fields[1:] {
+		if tok == "-" {
+			continue
+		}
+		parts := strings.Split(tok, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("ctl: result token %q", tok)
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("ctl: result token %q", tok)
+		}
+		prio, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("ctl: result token %q", tok)
+		}
+		out[i] = LookupResult{Found: true, RuleID: id, Priority: prio, Action: parts[2]}
+	}
+	return out, nil
 }
 
 // Stats fetches remote classifier statistics.

@@ -4,20 +4,25 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/lpm"
+	repro "repro"
 	"repro/internal/rule"
 	"repro/internal/ruleset"
 )
 
-func startServer(t *testing.T) (*Client, func()) {
+// startServerWith serves a fresh engine as "main", applying mut (may be
+// nil) to the server before it starts listening.
+func startServerWith(t *testing.T, mut func(*Server)) (*Client, string, func()) {
 	t.Helper()
-	cls, err := core.NewConcurrent[lpm.V4](core.Config{}, nil)
+	eng, err := repro.New()
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(cls)
+	srv := NewServer(eng)
+	if mut != nil {
+		mut(srv)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -28,13 +33,19 @@ func startServer(t *testing.T) (*Client, func()) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return client, func() {
+	return client, l.Addr().String(), func() {
 		client.Close()
 		srv.Shutdown()
 		if err := <-done; err != nil {
 			t.Errorf("Serve: %v", err)
 		}
 	}
+}
+
+func startServer(t *testing.T) (*Client, func()) {
+	t.Helper()
+	client, _, stop := startServerWith(t, nil)
+	return client, stop
 }
 
 func TestEndToEndInsertLookupDelete(t *testing.T) {
@@ -134,8 +145,304 @@ func TestRemoteMatchesLocalOracle(t *testing.T) {
 	}
 }
 
-func TestConcurrentClients(t *testing.T) {
+// TestTablesLifecycle covers the multi-tenant protocol surface: create,
+// use, isolation between tables, list, drop and the error paths.
+func TestTablesLifecycle(t *testing.T) {
+	client, addr, stop := startServerWith(t, nil)
+	defer stop()
+
+	if err := client.TableCreate("fast", "tss", 4); err != nil {
+		t.Fatalf("TableCreate: %v", err)
+	}
+	wild := rule.Rule{
+		ID: 1, Priority: 1,
+		SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(),
+		Proto: rule.AnyProto(), Action: rule.ActionDeny,
+	}
+	// Insert into "main", then a different rule into "fast".
+	if _, err := client.Insert(wild); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.TableUse("fast"); err != nil {
+		t.Fatalf("TableUse: %v", err)
+	}
+	permit := wild
+	permit.ID, permit.Action = 2, rule.ActionPermit
+	if _, err := client.Insert(permit); err != nil {
+		t.Fatal(err)
+	}
+
+	// The two tables classify independently.
+	h := rule.Header{SrcIP: 7, Proto: rule.ProtoUDP}
+	res, err := client.Lookup(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RuleID != 2 || res.Action != "permit" {
+		t.Fatalf("fast table lookup = %+v", res)
+	}
+	if err := client.TableUse(DefaultTable); err != nil {
+		t.Fatal(err)
+	}
+	if res, err = client.Lookup(h); err != nil || res.RuleID != 1 || res.Action != "deny" {
+		t.Fatalf("main table lookup = %+v, err %v", res, err)
+	}
+
+	// A second connection starts on "main", not on this session's table.
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := c2.Lookup(h); err != nil || res.RuleID != 1 {
+		t.Fatalf("second connection lookup = %+v, err %v", res, err)
+	}
+	c2.Close()
+
+	infos, err := client.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("Tables = %+v", infos)
+	}
+	if infos[0].Name != "fast" || infos[0].Backend != "tss" || infos[0].Shards != 4 || infos[0].Rules != 1 {
+		t.Errorf("fast entry = %+v", infos[0])
+	}
+	if infos[1].Name != DefaultTable || infos[1].Backend != "decomposition" || infos[1].Shards != 1 {
+		t.Errorf("main entry = %+v", infos[1])
+	}
+
+	// STATS on a baseline-backed table falls back to population-only.
+	if err := client.TableUse("fast"); err != nil {
+		t.Fatal(err)
+	}
+	rules, _, _, _, _, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules != 1 {
+		t.Errorf("fast Stats rules = %d", rules)
+	}
+	// ... and has no hardware throughput model.
+	if _, _, _, err := client.Throughput(); err == nil {
+		t.Error("TSS table should not model throughput")
+	}
+
+	// Error paths: duplicate create, bad backend, bad shards, bad name,
+	// unknown table for USE/DROP.
+	if err := client.TableCreate("fast", "linear", 1); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	if err := client.TableCreate("x", "frobnicate", 1); err == nil {
+		t.Error("unknown backend should fail")
+	}
+	if err := client.TableCreate("x", "linear", 0); err == nil {
+		t.Error("zero shards should fail")
+	}
+	if err := client.TableCreate("bad name:", "linear", 1); err == nil {
+		t.Error("invalid name should fail")
+	}
+	if err := client.TableUse("ghost"); err == nil {
+		t.Error("use of unknown table should fail")
+	}
+	if err := client.TableDrop("ghost"); err == nil {
+		t.Error("drop of unknown table should fail")
+	}
+
+	// Dropping the current table makes further commands fail until the
+	// session switches back to a live one.
+	if err := client.TableDrop("fast"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Lookup(h); err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Errorf("lookup on dropped table: %v", err)
+	}
+	if err := client.TableUse(DefaultTable); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Lookup(h); err != nil {
+		t.Errorf("after switching back: %v", err)
+	}
+}
+
+// TestBulkAndMLookupMatchOracle loads a generated ruleset through one
+// pipelined BULK transfer into a sharded table and differential-checks
+// MLOOKUP batches against the linear oracle.
+func TestBulkAndMLookupMatchOracle(t *testing.T) {
+	client, _, stop := startServerWith(t, nil)
+	defer stop()
+
+	if err := client.TableCreate("sharded", "decomposition", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.TableUse("sharded"); err != nil {
+		t.Fatal(err)
+	}
+	set, err := ruleset.Generate(ruleset.Config{Family: ruleset.FW, Size: 120, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := client.BulkInsert(set.Rules())
+	if err != nil {
+		t.Fatalf("BulkInsert: %v", err)
+	}
+	if cycles <= 0 {
+		t.Errorf("bulk cycles = %d", cycles)
+	}
+	infos, err := client.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		if info.Name == "sharded" && info.Rules != set.Len() {
+			t.Errorf("sharded table holds %d rules, want %d", info.Rules, set.Len())
+		}
+	}
+
+	// A trace larger than the client's per-line chunk exercises the
+	// chunked transfer against the server's line limit.
+	trace, err := ruleset.GenerateTrace(set, ruleset.TraceConfig{Size: mlookupChunk + 200, HitRatio: 0.8, Seed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.MLookup(trace)
+	if err != nil {
+		t.Fatalf("MLookup: %v", err)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("MLookup returned %d results for %d headers", len(got), len(trace))
+	}
+	for i, h := range trace {
+		want, ok := set.Match(h)
+		if got[i].Found != ok || (ok && got[i].RuleID != want.ID) {
+			t.Fatalf("header %+v: remote (%d,%v) vs oracle (%d,%v)",
+				h, got[i].RuleID, got[i].Found, want.ID, ok)
+		}
+	}
+}
+
+// TestBulkErrorKeepsStreamInSync verifies that a bad line mid-BULK
+// aborts the transfer with one error response while the remaining body
+// lines are drained, so the next command still parses.
+func TestBulkErrorKeepsStreamInSync(t *testing.T) {
 	client, stop := startServer(t)
+	defer stop()
+
+	good := func(id int) rule.Rule {
+		return rule.Rule{
+			ID: id, Priority: id,
+			SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(),
+			Proto: rule.AnyProto(), Action: rule.ActionPermit,
+		}
+	}
+	// Hand-roll a BULK with a malformed middle line.
+	lines := []string{
+		"BULK 3",
+		insertArgs(good(1)),
+		"not a rule at all",
+		insertArgs(good(3)),
+	}
+	if _, err := client.conn.Write([]byte(strings.Join(lines, "\n") + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.readResponse(); err == nil || !strings.Contains(err.Error(), "bulk line 2") {
+		t.Fatalf("bulk error = %v", err)
+	}
+	// The stream is in sync: a normal command round-trips, and only the
+	// first rule landed.
+	rules, _, _, _, _, err := client.Stats()
+	if err != nil {
+		t.Fatalf("Stats after failed bulk: %v", err)
+	}
+	if rules != 1 {
+		t.Errorf("rules after failed bulk = %d, want 1", rules)
+	}
+
+	// A BULK against a table dropped mid-session drains its body lines:
+	// the command after the transfer still round-trips.
+	if err := client.TableCreate("tmp", "linear", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.TableUse("tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.TableDrop("tmp"); err != nil {
+		t.Fatal(err)
+	}
+	body := []string{"BULK 2", insertArgs(good(11)), insertArgs(good(12))}
+	if _, err := client.conn.Write([]byte(strings.Join(body, "\n") + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.readResponse(); err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("bulk on dropped table = %v", err)
+	}
+	if err := client.TableUse(DefaultTable); err != nil {
+		t.Fatalf("stream out of sync after drained bulk: %v", err)
+	}
+}
+
+// TestBulkBadCountClosesConnection verifies that an unframeable BULK
+// count — where the pipelined body cannot be delimited — errors and
+// closes the connection rather than leaving it desynced.
+func TestBulkBadCountClosesConnection(t *testing.T) {
+	_, addr, stop := startServerWith(t, nil)
+	defer stop()
+	for _, count := range []string{"99999999", "x", "0"} {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.roundTrip("BULK " + count); err == nil {
+			t.Errorf("BULK %s should fail", count)
+		}
+		if _, err := c.roundTrip("TABLE LIST"); err == nil {
+			t.Errorf("connection should be closed after BULK %s", count)
+		}
+		c.conn.Close()
+	}
+}
+
+// TestBulkInsertChunks loads more rules than one BULK transfer carries,
+// exercising the client-side chunking end to end.
+func TestBulkInsertChunks(t *testing.T) {
+	client, _, stop := startServerWith(t, nil)
+	defer stop()
+	if err := client.TableCreate("big", "linear", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.TableUse("big"); err != nil {
+		t.Fatal(err)
+	}
+	n := bulkChunk + 100
+	rules := make([]rule.Rule, n)
+	for i := range rules {
+		rules[i] = rule.Rule{
+			ID: i + 1, Priority: i + 1,
+			SrcIP:   rule.Prefix{Addr: uint32(i) << 8, Len: 24},
+			SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(),
+			Proto: rule.AnyProto(), Action: rule.ActionPermit,
+		}
+	}
+	cycles, err := client.BulkInsert(rules)
+	if err != nil {
+		t.Fatalf("BulkInsert(%d): %v", n, err)
+	}
+	if cycles <= 0 {
+		t.Errorf("cycles = %d", cycles)
+	}
+	infos, err := client.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		if info.Name == "big" && info.Rules != n {
+			t.Errorf("big table holds %d rules, want %d", info.Rules, n)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	client, addr, stop := startServerWith(t, nil)
 	defer stop()
 	if _, err := client.Insert(rule.Rule{
 		ID: 1, Priority: 1,
@@ -146,7 +453,6 @@ func TestConcurrentClients(t *testing.T) {
 	}
 
 	// Several clients hammer lookups while one churns rules.
-	addr := client.conn.RemoteAddr().String()
 	errs := make(chan error, 4)
 	for w := 0; w < 3; w++ {
 		go func() {
@@ -191,12 +497,98 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
-func TestProtocolErrors(t *testing.T) {
-	cls, err := core.NewConcurrent[lpm.V4](core.Config{}, nil)
+// TestIdleDeadline verifies that a silent connection is reclaimed with a
+// final "ERR read" notice.
+func TestIdleDeadline(t *testing.T) {
+	_, addr, stop := startServerWith(t, func(s *Server) { s.IdleTimeout = 50 * time.Millisecond })
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(cls)
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	n, _ := conn.Read(buf) // blocks until the server's idle deadline fires
+	if got := string(buf[:n]); !strings.HasPrefix(got, "ERR read:") {
+		t.Fatalf("idle connection got %q, want ERR read notice", got)
+	}
+}
+
+// TestOversizedLineSurfaced verifies that a line beyond MaxLineBytes no
+// longer ends the connection silently — including limits below the
+// scanner's 4 KiB initial buffer, which would otherwise mask them.
+func TestOversizedLineSurfaced(t *testing.T) {
+	_, addr, stop := startServerWith(t, func(s *Server) { s.MaxLineBytes = 128 })
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	line := "LOOKUP " + strings.Repeat("x", 300) + "\n" // over 128, under 4096
+	if _, err := conn.Write([]byte(line)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	n, _ := conn.Read(buf)
+	got := string(buf[:n])
+	if !strings.HasPrefix(got, "ERR read:") || !strings.Contains(got, "too long") {
+		t.Fatalf("oversized line got %q, want ERR read: ... too long", got)
+	}
+}
+
+// TestShutdownDrainsIdleConnections verifies Shutdown returns promptly
+// even while clients sit idle at the prompt, instead of waiting out
+// their idle deadline.
+func TestShutdownDrainsIdleConnections(t *testing.T) {
+	eng, err := repro.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(eng) // default 5-minute IdleTimeout
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.conn.Close()
+	// One round trip proves the connection is established and idle.
+	if _, err := client.roundTrip("TABLE LIST"); err != nil {
+		t.Fatal(err)
+	}
+
+	finished := make(chan struct{})
+	go func() {
+		srv.Shutdown()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not drain the idle connection")
+	}
+	if err := <-done; err != nil {
+		t.Errorf("Serve: %v", err)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	eng, err := repro.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(eng)
+	sess := &session{srv: srv, table: DefaultTable}
 	for _, line := range []string{
 		"FROB",
 		"INSERT",
@@ -204,9 +596,19 @@ func TestProtocolErrors(t *testing.T) {
 		"INSERT 1 1 permit @not-a-rule",
 		"LOOKUP 1.2.3.4 5.6.7.8 80",
 		"LOOKUP 1.2.3 5.6.7.8 80 80 6",
+		"MLOOKUP",
+		"MLOOKUP 1.2.3.4 5.6.7.8 80 80",
+		"MLOOKUP 1.2.3.4 5.6.7.8 80 80 6 9.9.9.9",
 		"DELETE abc",
+		"TABLE",
+		"TABLE FROB x",
+		"TABLE CREATE",
+		"TABLE CREATE x",
+		"TABLE CREATE x linear -2",
+		"TABLE USE",
+		"TABLE DROP",
 	} {
-		resp, quit := srv.dispatch(line)
+		resp, quit := sess.dispatch(line)
 		if quit {
 			t.Errorf("%q should not quit", line)
 		}
@@ -214,7 +616,7 @@ func TestProtocolErrors(t *testing.T) {
 			t.Errorf("dispatch(%q) = %q, want ERR", line, resp)
 		}
 	}
-	if resp, quit := srv.dispatch("QUIT"); !quit || resp != "BYE" {
+	if resp, quit := sess.dispatch("QUIT"); !quit || resp != "BYE" {
 		t.Errorf("QUIT = %q, %v", resp, quit)
 	}
 }

@@ -6,18 +6,45 @@
 // deployed as a standalone daemon (cmd/classifierd) with remote rule
 // updates — the software-programmability story of the paper's conclusion.
 //
-// Protocol (one request per line, one response per line):
+// The server is multi-tenant: it holds named tables, each backed by its
+// own engine (any repro backend, optionally sharded), and every
+// connection addresses one current table (initially "main"). Lookups
+// and updates go to the engine of the current table, so one daemon
+// serves heterogeneous workloads side by side.
 //
+// Protocol grammar (one request per line, one response per line, except
+// BULK which pipelines n body lines before its single response):
+//
+//	TABLE CREATE <name> <backend> [<shards>]         -> OK
+//	TABLE DROP <name>                                -> OK
+//	TABLE USE <name>                                 -> OK
+//	TABLE LIST                                       -> TABLES <name>:<backend>:<shards>:<rules> ...
 //	INSERT <id> <prio> <action> @<classbench rule>   -> OK <cycles>
+//	BULK <n>                                         -> OK <n> <cycles>
+//	  (followed by n lines, each "<id> <prio> <action> @<classbench rule>")
 //	DELETE <id>                                      -> OK <cycles>
 //	LOOKUP <src> <dst> <sport> <dport> <proto>       -> MATCH <id> <prio> <action> | NOMATCH
+//	MLOOKUP (<src> <dst> <sport> <dport> <proto>)+   -> RESULTS <r>... with r = <id>:<prio>:<action> | -
 //	STATS                                            -> STATS <rules> <probes> <ops> <maxlist> <overflows>
 //	THROUGHPUT                                       -> THROUGHPUT <cycles/pkt> <mpps> <gbps>
 //	QUIT                                             -> BYE
 //
-// Errors are reported as "ERR <message>". The protocol is deliberately
-// text-based and stateless per line: it stands in for the paper's
-// file-driven control simulation while staying debuggable with netcat.
+// <backend> is any spelling repro.ParseBackend accepts ("decomposition",
+// "linear", "tss", ...); <shards> defaults to 1. MLOOKUP takes k headers
+// (5 fields each) on one line and classifies them as one batch against a
+// single consistent snapshot per shard; BULK streams k inserts and
+// returns one summed response, so a client can pipeline a whole ruleset
+// without per-rule round trips.
+//
+// Errors are reported as "ERR <message>". Errors inside an accepted
+// BULK transfer still drain all n body lines, keeping the stream in
+// sync; a BULK count that cannot be accepted closes the connection,
+// since the pipelined body cannot be framed without it. A connection
+// that violates the transport itself — a line over the server's size
+// limit, or idling past the server's deadline — receives a final
+// "ERR read: ..." line before the connection closes. The protocol is deliberately text-based: it
+// stands in for the paper's file-driven control simulation while staying
+// debuggable with netcat.
 package ctl
 
 import (
@@ -25,17 +52,29 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/rule"
 )
 
 // Command names.
 const (
 	cmdInsert     = "INSERT"
+	cmdBulk       = "BULK"
 	cmdDelete     = "DELETE"
 	cmdLookup     = "LOOKUP"
+	cmdMLookup    = "MLOOKUP"
 	cmdStats      = "STATS"
 	cmdThroughput = "THROUGHPUT"
+	cmdTable      = "TABLE"
 	cmdQuit       = "QUIT"
+)
+
+// TABLE subcommands.
+const (
+	subCreate = "CREATE"
+	subDrop   = "DROP"
+	subUse    = "USE"
+	subList   = "LIST"
 )
 
 // parseAction maps the protocol action token.
@@ -56,7 +95,8 @@ func parseAction(s string) (rule.Action, error) {
 	}
 }
 
-// parseInsert parses "INSERT <id> <prio> <action> @rule...".
+// parseInsert parses "<id> <prio> <action> @rule...", the argument shape
+// shared by INSERT and each BULK body line.
 func parseInsert(args string) (rule.Rule, error) {
 	fields := strings.Fields(args)
 	if len(fields) < 4 {
@@ -86,13 +126,8 @@ func parseInsert(args string) (rule.Rule, error) {
 	return r, nil
 }
 
-// parseLookup parses "LOOKUP <src> <dst> <sport> <dport> <proto>" with
-// dotted-quad addresses.
-func parseLookup(args string) (rule.Header, error) {
-	fields := strings.Fields(args)
-	if len(fields) != 5 {
-		return rule.Header{}, fmt.Errorf("LOOKUP wants 5 fields, got %d", len(fields))
-	}
+// parseHeader decodes one 5-field header group (dotted-quad addresses).
+func parseHeader(fields []string) (rule.Header, error) {
 	src, err := parseAddr(fields[0])
 	if err != nil {
 		return rule.Header{}, err
@@ -117,6 +152,57 @@ func parseLookup(args string) (rule.Header, error) {
 		SrcIP: src, DstIP: dst,
 		SrcPort: uint16(sp), DstPort: uint16(dp), Proto: uint8(pr),
 	}, nil
+}
+
+// parseLookup parses the LOOKUP argument list: exactly one header.
+func parseLookup(args string) (rule.Header, error) {
+	fields := strings.Fields(args)
+	if len(fields) != 5 {
+		return rule.Header{}, fmt.Errorf("LOOKUP wants 5 fields, got %d", len(fields))
+	}
+	return parseHeader(fields)
+}
+
+// parseMLookup parses the MLOOKUP argument list: k headers, 5 fields
+// each, on one line.
+func parseMLookup(args string) ([]rule.Header, error) {
+	fields := strings.Fields(args)
+	if len(fields) == 0 || len(fields)%5 != 0 {
+		return nil, fmt.Errorf("MLOOKUP wants k*5 fields, got %d", len(fields))
+	}
+	hs := make([]rule.Header, len(fields)/5)
+	for i := range hs {
+		h, err := parseHeader(fields[i*5 : i*5+5])
+		if err != nil {
+			return nil, fmt.Errorf("header %d: %w", i, err)
+		}
+		hs[i] = h
+	}
+	return hs, nil
+}
+
+// formatResult encodes one batch lookup outcome as a RESULTS token.
+func formatResult(r core.Result) string {
+	if !r.Found {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d:%s", r.RuleID, r.Priority, r.Action)
+}
+
+// validTableName reports whether a table name is protocol-safe: non-empty
+// and free of whitespace and the ':' used by the TABLES listing.
+func validTableName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func parseAddr(s string) (uint32, error) {

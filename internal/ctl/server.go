@@ -4,33 +4,152 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/lpm"
+	repro "repro"
 )
 
-// Server exposes one classifier over the control protocol. The
-// concurrent classifier makes its own guarantees — lookups are lock-free
-// snapshot reads and updates serialize behind the snapshot writer — so
-// connections are served fully in parallel with no server-side mutex.
+// DefaultTable is the table every connection starts on.
+const DefaultTable = "main"
+
+// DefaultIdleTimeout bounds how long a connection may sit idle between
+// protocol lines before the server reclaims it.
+const DefaultIdleTimeout = 5 * time.Minute
+
+// maxBulk bounds one BULK transfer so a bad count cannot pin a
+// connection forever.
+const maxBulk = 1 << 20
+
+// table is one named serving tenant: an engine plus the construction
+// metadata the TABLES listing reports.
+type table struct {
+	name    string
+	backend repro.Backend
+	shards  int
+	eng     repro.Engine
+}
+
+// Server exposes a registry of named tables over the control protocol.
+// Engines make their own concurrency guarantees — lookups are lock-free
+// snapshot reads and updates serialize behind each engine's snapshot
+// writer — so connections are served fully in parallel; the server-side
+// mutex guards only the table registry.
 type Server struct {
-	cls *core.Concurrent[lpm.V4]
+	mu     sync.RWMutex
+	tables map[string]*table
 
 	wg       sync.WaitGroup
 	listener net.Listener
 	closed   chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// IdleTimeout bounds the wait for the next protocol line (including
+	// BULK body lines). Zero means DefaultIdleTimeout; negative disables
+	// the deadline. Set before Serve.
+	IdleTimeout time.Duration
+	// MaxLineBytes bounds one protocol line; longer lines terminate the
+	// connection with an "ERR read" notice. Zero means 1 MiB. Set
+	// before Serve.
+	MaxLineBytes int
 }
 
-// NewServer wraps a classifier.
-func NewServer(cls *core.Concurrent[lpm.V4]) *Server {
-	return &Server{cls: cls, closed: make(chan struct{})}
+// NewServer wraps an engine as the "main" table of a fresh server.
+func NewServer(eng repro.Engine) *Server {
+	s := &Server{
+		tables: make(map[string]*table),
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.tables[DefaultTable] = &table{
+		name: DefaultTable, backend: eng.Backend(), shards: engineShards(eng), eng: eng,
+	}
+	return s
+}
+
+// engineShards reads the replica count of a sharded engine (1 for
+// unwrapped backends).
+func engineShards(eng repro.Engine) int {
+	if sh, ok := eng.(interface{ Shards() int }); ok {
+		return sh.Shards()
+	}
+	return 1
+}
+
+// AddTable creates a named table backed by a fresh engine — the same
+// path the protocol's TABLE CREATE takes, exported for daemon
+// bootstrapping from flags.
+func (s *Server) AddTable(name string, backend repro.Backend, shards int) error {
+	if !validTableName(name) {
+		return fmt.Errorf("invalid table name %q", name)
+	}
+	eng, err := repro.New(repro.WithBackend(backend), repro.WithShards(shards))
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return fmt.Errorf("table %q exists", name)
+	}
+	s.tables[name] = &table{name: name, backend: backend, shards: shards, eng: eng}
+	return nil
+}
+
+// dropTable removes a table; connections currently on it get unknown-
+// table errors until they switch.
+func (s *Server) dropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("unknown table %q", name)
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// lookupTable resolves a table name.
+func (s *Server) lookupTable(name string) (*table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown table %q", name)
+	}
+	return t, nil
+}
+
+// listTables snapshots the registry sorted by name.
+func (s *Server) listTables() []*table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*table, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
 }
 
 // Serve accepts connections until the listener is closed (via Shutdown).
 func (s *Server) Serve(l net.Listener) error {
+	s.connMu.Lock()
 	s.listener = l
+	select {
+	case <-s.closed:
+		// Shutdown already ran (e.g. a signal landed before the Serve
+		// goroutine was scheduled); close the listener it never saw.
+		s.connMu.Unlock()
+		l.Close()
+		return nil
+	default:
+	}
+	s.connMu.Unlock()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -42,34 +161,76 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 		}
 		s.wg.Add(1)
+		s.track(conn, true)
 		go func() {
 			defer s.wg.Done()
+			defer s.track(conn, false)
 			s.handle(conn)
 		}()
 	}
 }
 
-// Shutdown stops accepting and waits for in-flight connections.
+// track registers or forgets a live connection for Shutdown's drain.
+func (s *Server) track(conn net.Conn, add bool) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// Shutdown stops accepting, wakes every connection blocked waiting for
+// its next request (an in-flight response still finishes — only the
+// read side is expired), and waits for the handlers to drain.
 func (s *Server) Shutdown() {
 	close(s.closed)
+	s.connMu.Lock()
 	if s.listener != nil {
 		s.listener.Close()
 	}
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
+}
+
+// session is one connection's protocol state: the scanner it reads
+// from (shared with BULK body reads) and its current table name. The
+// name is resolved per command, so a DROP by another connection
+// surfaces as an unknown-table error rather than a stale engine.
+type session struct {
+	srv   *Server
+	conn  net.Conn
+	sc    *bufio.Scanner
+	table string
 }
 
 // handle serves one connection.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	max := s.MaxLineBytes
+	if max <= 0 {
+		max = 1 << 20
+	}
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	// The scanner's effective token limit is the larger of max and the
+	// initial buffer capacity, so the buffer must not exceed max.
+	initial := 4096
+	if initial > max {
+		initial = max
+	}
+	sc.Buffer(make([]byte, 0, initial), max)
+	sess := &session{srv: s, conn: conn, sc: sc, table: DefaultTable}
 	w := bufio.NewWriter(conn)
-	for sc.Scan() {
+	for sess.scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
-		resp, quit := s.dispatch(line)
+		resp, quit := sess.dispatch(line)
 		fmt.Fprintln(w, resp)
 		if err := w.Flush(); err != nil {
 			return
@@ -78,33 +239,89 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+	if err := sc.Err(); err != nil {
+		select {
+		case <-s.closed:
+			return // shutdown drain, not a protocol violation
+		default:
+		}
+		// Surface read-loop failures — an oversized line or an expired
+		// idle deadline — instead of closing silently. Best-effort: the
+		// peer may already be gone.
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		fmt.Fprintf(conn, "ERR read: %v\n", err)
+	}
+}
+
+// scan arms the idle deadline and reads the next line. The re-check of
+// the closed channel after arming closes the race with Shutdown: a
+// shutdown observed here (or by Shutdown's own deadline sweep, for
+// reads already blocked) expires the deadline immediately, so no
+// connection can re-arm itself past the drain.
+func (sess *session) scan() bool {
+	t := sess.srv.IdleTimeout
+	if t == 0 {
+		t = DefaultIdleTimeout
+	}
+	if t > 0 {
+		sess.conn.SetReadDeadline(time.Now().Add(t))
+	}
+	select {
+	case <-sess.srv.closed:
+		sess.conn.SetReadDeadline(time.Now())
+	default:
+	}
+	return sess.sc.Scan()
+}
+
+// engine resolves the session's current table to its engine.
+func (sess *session) engine() (repro.Engine, error) {
+	t, err := sess.srv.lookupTable(sess.table)
+	if err != nil {
+		return nil, err
+	}
+	return t.eng, nil
 }
 
 // dispatch executes one protocol line.
-func (s *Server) dispatch(line string) (resp string, quit bool) {
+func (sess *session) dispatch(line string) (resp string, quit bool) {
 	cmd := line
 	args := ""
 	if i := strings.IndexByte(line, ' '); i >= 0 {
-		cmd, args = line[:i], line[i+1:]
+		cmd, args = line[:i], strings.TrimSpace(line[i+1:])
 	}
 	switch strings.ToUpper(cmd) {
+	case cmdTable:
+		return sess.dispatchTable(args), false
+
 	case cmdInsert:
 		r, err := parseInsert(args)
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		cost, err := s.cls.Insert(core.V4Tuple(r))
+		eng, err := sess.engine()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		cost, err := eng.Insert(r)
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
 		return fmt.Sprintf("OK %d", cost.Cycles), false
 
+	case cmdBulk:
+		return sess.dispatchBulk(args)
+
 	case cmdDelete:
-		var id int
-		if _, err := fmt.Sscanf(strings.TrimSpace(args), "%d", &id); err != nil {
+		id, err := strconv.Atoi(args)
+		if err != nil {
 			return "ERR rule id: " + err.Error(), false
 		}
-		cost, err := s.cls.Delete(id)
+		eng, err := sess.engine()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		cost, err := eng.Delete(id)
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
@@ -115,19 +332,60 @@ func (s *Server) dispatch(line string) (resp string, quit bool) {
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		res, _ := s.cls.Lookup(core.V4Header(h))
+		eng, err := sess.engine()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		res, _ := eng.Lookup(h)
 		if !res.Found {
 			return "NOMATCH", false
 		}
 		return fmt.Sprintf("MATCH %d %d %s", res.RuleID, res.Priority, res.Action), false
 
+	case cmdMLookup:
+		hs, err := parseMLookup(args)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		eng, err := sess.engine()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		results := eng.LookupBatch(hs)
+		var b strings.Builder
+		b.WriteString("RESULTS")
+		for _, r := range results {
+			b.WriteByte(' ')
+			b.WriteString(formatResult(r))
+		}
+		return b.String(), false
+
 	case cmdStats:
-		st := s.cls.Stats()
+		eng, err := sess.engine()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		// The decomposition backend (sharded or not) reports full
+		// pipeline statistics; other backends report population only.
+		var st repro.Stats
+		if se, ok := eng.(interface{ Stats() repro.Stats }); ok {
+			st = se.Stats()
+		} else {
+			st.Rules = eng.Len()
+		}
 		return fmt.Sprintf("STATS %d %d %d %d %d",
 			st.Rules, st.Probes, st.ProbeOps, st.MaxListLen, st.HardwareOverflows), false
 
 	case cmdThroughput:
-		tp := s.cls.Throughput()
+		eng, err := sess.engine()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		te, ok := eng.(interface{ ModelThroughput() repro.Throughput })
+		if !ok {
+			return fmt.Sprintf("ERR backend %s does not model throughput", eng.Backend()), false
+		}
+		tp := te.ModelThroughput()
 		return fmt.Sprintf("THROUGHPUT %.2f %.2f %.2f", tp.CyclesPerPacket, tp.Mpps, tp.Gbps), false
 
 	case cmdQuit:
@@ -136,4 +394,104 @@ func (s *Server) dispatch(line string) (resp string, quit bool) {
 	default:
 		return fmt.Sprintf("ERR unknown command %q", cmd), false
 	}
+}
+
+// dispatchTable executes the TABLE subcommands.
+func (sess *session) dispatchTable(args string) string {
+	fields := strings.Fields(args)
+	if len(fields) == 0 {
+		return "ERR TABLE wants CREATE, DROP, USE or LIST"
+	}
+	switch strings.ToUpper(fields[0]) {
+	case subCreate:
+		if len(fields) < 3 || len(fields) > 4 {
+			return "ERR TABLE CREATE wants <name> <backend> [<shards>]"
+		}
+		backend, err := repro.ParseBackend(fields[2])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		shards := 1
+		if len(fields) == 4 {
+			shards, err = strconv.Atoi(fields[3])
+			if err != nil || shards < 1 {
+				return fmt.Sprintf("ERR shard count %q", fields[3])
+			}
+		}
+		if err := sess.srv.AddTable(fields[1], backend, shards); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+
+	case subDrop:
+		if len(fields) != 2 {
+			return "ERR TABLE DROP wants <name>"
+		}
+		if err := sess.srv.dropTable(fields[1]); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+
+	case subUse:
+		if len(fields) != 2 {
+			return "ERR TABLE USE wants <name>"
+		}
+		if _, err := sess.srv.lookupTable(fields[1]); err != nil {
+			return "ERR " + err.Error()
+		}
+		sess.table = fields[1]
+		return "OK"
+
+	case subList:
+		var b strings.Builder
+		b.WriteString("TABLES")
+		for _, t := range sess.srv.listTables() {
+			fmt.Fprintf(&b, " %s:%s:%d:%d",
+				t.name, strings.ToLower(t.backend.String()), t.shards, t.eng.Len())
+		}
+		return b.String()
+
+	default:
+		return fmt.Sprintf("ERR unknown TABLE subcommand %q", fields[0])
+	}
+}
+
+// dispatchBulk executes "BULK <n>": it consumes n pipelined body lines
+// from the connection and answers with one summed response. Any error
+// after the count is accepted — an unresolvable table or a bad body
+// line — still drains all n lines so the protocol stream stays in
+// sync; an unusable count itself closes the connection, because the
+// pipelined body cannot be framed without it.
+func (sess *session) dispatchBulk(args string) (resp string, quit bool) {
+	n, err := strconv.Atoi(args)
+	if err != nil || n < 1 || n > maxBulk {
+		return fmt.Sprintf("ERR BULK wants a count in [1, %d]; closing", maxBulk), true
+	}
+	eng, engErr := sess.engine()
+	inserted, cycles := 0, 0
+	firstErr := engErr
+	for i := 0; i < n; i++ {
+		if !sess.scan() {
+			// The stream died mid-transfer; no response can resync it.
+			return fmt.Sprintf("ERR bulk: stream ended after %d of %d lines", i, n), true
+		}
+		if firstErr != nil {
+			continue // drain remaining body lines
+		}
+		r, err := parseInsert(strings.TrimSpace(sess.sc.Text()))
+		if err == nil {
+			var cost repro.Cost
+			cost, err = eng.Insert(r)
+			if err == nil {
+				inserted++
+				cycles += cost.Cycles
+				continue
+			}
+		}
+		firstErr = fmt.Errorf("bulk line %d: %w (inserted %d)", i+1, err, inserted)
+	}
+	if firstErr != nil {
+		return "ERR " + firstErr.Error(), false
+	}
+	return fmt.Sprintf("OK %d %d", inserted, cycles), false
 }

@@ -1,0 +1,224 @@
+// Package shard partitions a ruleset across N replicas of one lookup
+// engine, the software analogue of replicating the paper's lookup
+// domain across parallel hardware banks. Updates are routed to one
+// replica by a hash of the rule ID, so each replica holds roughly 1/N
+// of the rules and the per-update work shrinks with N. Lookups fan out
+// to every replica — any replica may hold the highest-priority match —
+// and the per-replica results are merged by priority. Each replica
+// keeps its own RCU snapshot pair, so the sharded engine inherits the
+// lock-free read path: batch lookups run the replicas on parallel
+// goroutines against their individually consistent snapshots.
+//
+// The package is deliberately below the public repro API: it speaks the
+// same structural Engine contract (minus the backend tag, which only
+// the root package can name) so the root package can wrap any backend
+// in a Sharded without an import cycle.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hwsim"
+	"repro/internal/rule"
+)
+
+// Engine is the structural subset of the public repro.Engine interface
+// the shard layer needs: every public engine satisfies it because the
+// public Rule/Header/Result/Cost types alias the internal ones.
+type Engine interface {
+	Insert(r rule.Rule) (hwsim.Cost, error)
+	Delete(id int) (hwsim.Cost, error)
+	Len() int
+	Lookup(h rule.Header) (core.Result, hwsim.Cost)
+	LookupBatch(hs []rule.Header) []core.Result
+	Memory() hwsim.MemoryMap
+	IncrementalUpdate() bool
+}
+
+// For returns the replica owning rule id among n shards. It is a
+// stand-alone finalizer-style integer hash (splitmix64 tail) rather
+// than id%n so that sequentially allocated rule IDs spread evenly.
+// Deterministic: Insert and Delete route the same ID to the same shard.
+func For(id, n int) int {
+	x := uint64(int64(id))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(n))
+}
+
+// Sharded is N replicas of one engine behind the Engine contract.
+type Sharded struct {
+	shards []Engine
+}
+
+// New wraps the replicas. The replicas must be empty or pre-partitioned
+// with For — loading a rule into the wrong replica would make Delete
+// miss it.
+func New(shards []Engine) (*Sharded, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: need at least one shard")
+	}
+	return &Sharded{shards: shards}, nil
+}
+
+// Shards returns the replica count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Insert routes the rule to its owning replica; the replica's own
+// validation and duplicate detection apply (a duplicate ID always hashes
+// to the replica already holding it).
+func (s *Sharded) Insert(r rule.Rule) (hwsim.Cost, error) {
+	return s.shards[For(r.ID, len(s.shards))].Insert(r)
+}
+
+// Delete routes the removal by the same hash as Insert.
+func (s *Sharded) Delete(id int) (hwsim.Cost, error) {
+	return s.shards[For(id, len(s.shards))].Delete(id)
+}
+
+// Len sums the replica populations.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, e := range s.shards {
+		n += e.Len()
+	}
+	return n
+}
+
+// Lookup fans the header out to every replica and merges by priority.
+// The cost is the per-component maximum across replicas, modeling the
+// replicas searching in parallel and the merge completing with the
+// slowest.
+func (s *Sharded) Lookup(h rule.Header) (core.Result, hwsim.Cost) {
+	var best core.Result
+	var cost hwsim.Cost
+	for _, e := range s.shards {
+		r, c := e.Lookup(h)
+		cost = cost.Max(c)
+		best = better(best, r)
+	}
+	return best, cost
+}
+
+// LookupBatch runs the whole batch through every replica on its own
+// goroutine — each against its own consistent RCU snapshot — and merges
+// the per-replica result columns by priority.
+func (s *Sharded) LookupBatch(hs []rule.Header) []core.Result {
+	if len(s.shards) == 1 {
+		return s.shards[0].LookupBatch(hs)
+	}
+	perShard := make([][]core.Result, len(s.shards))
+	var wg sync.WaitGroup
+	for i, e := range s.shards {
+		wg.Add(1)
+		go func(i int, e Engine) {
+			defer wg.Done()
+			perShard[i] = e.LookupBatch(hs)
+		}(i, e)
+	}
+	wg.Wait()
+	out := perShard[0]
+	for _, col := range perShard[1:] {
+		for j := range out {
+			out[j] = better(out[j], col[j])
+		}
+	}
+	return out
+}
+
+// better returns the higher-priority of two per-shard results (lower
+// Priority value wins; rule ID breaks exact priority ties so the merge
+// is deterministic regardless of shard order). Insertion order — the
+// tie-break an unsharded linear scan falls back to — does not exist
+// across replicas, so equal-priority resolution is part of the sharding
+// contract: callers wanting oracle-identical answers keep priorities
+// unique.
+func better(a, b core.Result) core.Result {
+	switch {
+	case !b.Found:
+		return a
+	case !a.Found:
+		return b
+	case b.Priority < a.Priority:
+		return b
+	case b.Priority == a.Priority && b.RuleID < a.RuleID:
+		return b
+	default:
+		return a
+	}
+}
+
+// Memory aggregates the replica memory maps, prefixing each block with
+// its shard index.
+func (s *Sharded) Memory() hwsim.MemoryMap {
+	var mm hwsim.MemoryMap
+	for i, e := range s.shards {
+		for _, b := range e.Memory().Blocks {
+			mm.Add(fmt.Sprintf("shard%d/%s", i, b.Name), b.WordBits, b.Words)
+		}
+	}
+	return mm
+}
+
+// IncrementalUpdate reports the replicas' shared Table I property.
+func (s *Sharded) IncrementalUpdate() bool {
+	return s.shards[0].IncrementalUpdate()
+}
+
+// Stats aggregates replica statistics for replicas that expose them
+// (the decomposition backend); replicas without a Stats method
+// contribute their rule count only, so Rules is always the full
+// population.
+func (s *Sharded) Stats() core.Stats {
+	var total core.Stats
+	for _, e := range s.shards {
+		st, ok := e.(interface{ Stats() core.Stats })
+		if !ok {
+			total.Rules += e.Len()
+			continue
+		}
+		sub := st.Stats()
+		total.Rules += sub.Rules
+		total.HardwareOverflows += sub.HardwareOverflows
+		total.Probes += sub.Probes
+		total.ProbeOps += sub.ProbeOps
+		total.EngineCycles += sub.EngineCycles
+		total.FirstHitProbes += sub.FirstHitProbes
+		for i, l := range sub.Labels {
+			total.Labels[i] += l
+		}
+		if sub.MaxListLen > total.MaxListLen {
+			total.MaxListLen = sub.MaxListLen
+		}
+	}
+	return total
+}
+
+// AggregateThroughput sums the modeled forwarding rate of replicas that
+// model one (parallel replicas each sustain their own packet stream);
+// ok is false when no replica exposes the hardware model.
+func (s *Sharded) AggregateThroughput() (core.Throughput, bool) {
+	var pps float64
+	any := false
+	for _, e := range s.shards {
+		tp, ok := e.(interface{ ModelThroughput() core.Throughput })
+		if !ok {
+			continue
+		}
+		any = true
+		pps += tp.ModelThroughput().Mpps * 1e6
+	}
+	if !any || pps <= 0 {
+		return core.Throughput{}, any
+	}
+	return core.Throughput{
+		CyclesPerPacket: hwsim.DefaultClockHz / pps,
+		Mpps:            hwsim.Mpps(pps),
+		Gbps:            hwsim.Gbps(pps, hwsim.MinFrameBytes),
+	}, true
+}

@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hwsim"
+	"repro/internal/rule"
+)
+
+// fakeEngine is a minimal linear-scan Engine for wiring tests, with a
+// fixed per-lookup cost so cost aggregation is observable.
+type fakeEngine struct {
+	rules  []rule.Rule
+	cycles int
+}
+
+func (f *fakeEngine) Insert(r rule.Rule) (hwsim.Cost, error) {
+	for _, have := range f.rules {
+		if have.ID == r.ID {
+			return hwsim.Cost{}, fmt.Errorf("duplicate %d", r.ID)
+		}
+	}
+	f.rules = append(f.rules, r)
+	return hwsim.Cost{Cycles: 1, Writes: 1}, nil
+}
+
+func (f *fakeEngine) Delete(id int) (hwsim.Cost, error) {
+	for i, have := range f.rules {
+		if have.ID == id {
+			f.rules = append(f.rules[:i], f.rules[i+1:]...)
+			return hwsim.Cost{Cycles: 1}, nil
+		}
+	}
+	return hwsim.Cost{}, fmt.Errorf("unknown rule %d", id)
+}
+
+func (f *fakeEngine) Len() int { return len(f.rules) }
+
+func (f *fakeEngine) Lookup(h rule.Header) (core.Result, hwsim.Cost) {
+	var best core.Result
+	for _, r := range f.rules {
+		if r.Matches(h) && (!best.Found || r.Priority < best.Priority) {
+			best = core.Result{RuleID: r.ID, Priority: r.Priority, Action: r.Action, Found: true}
+		}
+	}
+	return best, hwsim.Cost{Cycles: f.cycles}
+}
+
+func (f *fakeEngine) Lookup1(h rule.Header) core.Result { r, _ := f.Lookup(h); return r }
+
+func (f *fakeEngine) LookupBatch(hs []rule.Header) []core.Result {
+	out := make([]core.Result, len(hs))
+	for i, h := range hs {
+		out[i], _ = f.Lookup(h)
+	}
+	return out
+}
+
+func (f *fakeEngine) Memory() hwsim.MemoryMap {
+	var mm hwsim.MemoryMap
+	mm.Add("rules", 64, len(f.rules))
+	return mm
+}
+
+func (f *fakeEngine) IncrementalUpdate() bool { return true }
+
+func wildcard(id, prio int) rule.Rule {
+	return rule.Rule{
+		ID: id, Priority: prio,
+		SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(),
+		Proto: rule.AnyProto(), Action: rule.ActionPermit,
+	}
+}
+
+func TestForDeterministicAndInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		counts := make([]int, n)
+		for id := 1; id <= 4096; id++ {
+			i := For(id, n)
+			if i < 0 || i >= n {
+				t.Fatalf("For(%d, %d) = %d out of range", id, n, i)
+			}
+			if j := For(id, n); j != i {
+				t.Fatalf("For(%d, %d) not deterministic: %d vs %d", id, n, i, j)
+			}
+			counts[i]++
+		}
+		// Sequential IDs must spread: no shard may be empty or hold
+		// more than twice its fair share.
+		for i, c := range counts {
+			if c == 0 {
+				t.Errorf("n=%d: shard %d empty", n, i)
+			}
+			if c > 2*4096/n {
+				t.Errorf("n=%d: shard %d holds %d of 4096", n, i, c)
+			}
+		}
+	}
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("New(nil) should fail")
+	}
+}
+
+func TestRoutingAndMerge(t *testing.T) {
+	shards := []Engine{&fakeEngine{cycles: 3}, &fakeEngine{cycles: 5}, &fakeEngine{cycles: 2}}
+	s, err := New(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 3 {
+		t.Fatalf("Shards() = %d", s.Shards())
+	}
+	for id := 1; id <= 60; id++ {
+		if _, err := s.Insert(wildcard(id, id)); err != nil {
+			t.Fatalf("insert %d: %v", id, err)
+		}
+	}
+	if s.Len() != 60 {
+		t.Fatalf("Len = %d, want 60", s.Len())
+	}
+	// Each rule must live exactly on its hashed replica.
+	for id := 1; id <= 60; id++ {
+		want := For(id, 3)
+		for i, e := range shards {
+			_, err := e.(*fakeEngine).find(id)
+			if (err == nil) != (i == want) {
+				t.Fatalf("rule %d on shard %d, want shard %d", id, i, want)
+			}
+		}
+	}
+	// The global best is priority 1 regardless of which shard holds it.
+	h := rule.Header{SrcIP: 1, Proto: rule.ProtoTCP}
+	res, cost := s.Lookup(h)
+	if !res.Found || res.RuleID != 1 || res.Priority != 1 {
+		t.Fatalf("Lookup = %+v", res)
+	}
+	if cost.Cycles != 5 {
+		t.Fatalf("parallel lookup cost = %d cycles, want max 5", cost.Cycles)
+	}
+	// Delete the global best; the runner-up (priority 2) takes over.
+	if _, err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := s.Lookup(h); res.RuleID != 2 {
+		t.Fatalf("after delete: %+v", res)
+	}
+	if _, err := s.Delete(999); err == nil {
+		t.Fatal("delete of unknown rule should fail")
+	}
+	if _, err := s.Insert(wildcard(2, 2)); err == nil {
+		t.Fatal("duplicate insert should fail")
+	}
+}
+
+func (f *fakeEngine) find(id int) (rule.Rule, error) {
+	for _, r := range f.rules {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return rule.Rule{}, fmt.Errorf("absent")
+}
+
+func TestMergeTieBreak(t *testing.T) {
+	// Two shards each holding a rule with the same priority: the merge
+	// must pick the lower rule ID deterministically.
+	a, b := &fakeEngine{}, &fakeEngine{}
+	a.rules = append(a.rules, wildcard(7, 4))
+	b.rules = append(b.rules, wildcard(3, 4))
+	s, err := New([]Engine{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := s.Lookup(rule.Header{})
+	if res.RuleID != 3 {
+		t.Fatalf("tie broke to rule %d, want 3", res.RuleID)
+	}
+	// Same tie-break through the batch path.
+	out := s.LookupBatch([]rule.Header{{}, {}})
+	for i, r := range out {
+		if r.RuleID != 3 {
+			t.Fatalf("batch[%d] tie broke to rule %d, want 3", i, r.RuleID)
+		}
+	}
+}
+
+func TestLookupBatchMatchesSingle(t *testing.T) {
+	shards := []Engine{&fakeEngine{}, &fakeEngine{}, &fakeEngine{}, &fakeEngine{}}
+	s, err := New(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 40; id++ {
+		r := wildcard(id, id)
+		r.SrcIP = rule.Prefix{Addr: uint32(id) << 24, Len: 8}
+		if _, err := s.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := make([]rule.Header, 0, 50)
+	for i := 0; i < 50; i++ {
+		hs = append(hs, rule.Header{SrcIP: uint32(i%45) << 24, DstPort: uint16(i)})
+	}
+	batch := s.LookupBatch(hs)
+	if len(batch) != len(hs) {
+		t.Fatalf("batch len %d, want %d", len(batch), len(hs))
+	}
+	for i, h := range hs {
+		single, _ := s.Lookup(h)
+		if single != batch[i] {
+			t.Fatalf("header %d: single %+v vs batch %+v", i, single, batch[i])
+		}
+	}
+	if out := s.LookupBatch(nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+}
+
+func TestAggregatedMemoryAndStats(t *testing.T) {
+	shards := []Engine{&fakeEngine{}, &fakeEngine{}}
+	s, err := New(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 16; id++ {
+		if _, err := s.Insert(wildcard(id, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := s.Memory().TotalBytes(), 16*8; got != want {
+		t.Fatalf("Memory = %d B, want %d", got, want)
+	}
+	if !s.IncrementalUpdate() {
+		t.Fatal("fake replicas are incremental")
+	}
+	// fakeEngine has no Stats method: the aggregate falls back to rule
+	// counts, keeping Rules authoritative.
+	if st := s.Stats(); st.Rules != 16 {
+		t.Fatalf("Stats.Rules = %d, want 16", st.Rules)
+	}
+	if _, ok := s.AggregateThroughput(); ok {
+		t.Fatal("fake replicas must not report a hardware throughput model")
+	}
+}

@@ -1,0 +1,268 @@
+package repro_test
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	repro "repro"
+)
+
+// TestShardedConformanceDifferential is the sharded counterpart of the
+// engine conformance suite: every backend behind WithShards(4) must
+// agree with the linear oracle on the full corpus — the acceptance gate
+// for the shard wrapper.
+func TestShardedConformanceDifferential(t *testing.T) {
+	corpus := conformanceCorpus(t)
+	for _, b := range repro.Backends() {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			for name, rs := range corpus {
+				eng, err := repro.New(repro.WithBackend(b), repro.WithRules(rs), repro.WithShards(4))
+				if err != nil {
+					t.Fatalf("%s: New: %v", name, err)
+				}
+				if eng.Backend() != b {
+					t.Fatalf("Backend() = %v, want %v", eng.Backend(), b)
+				}
+				if eng.Len() != rs.Len() {
+					t.Fatalf("%s: Len = %d, want %d", name, eng.Len(), rs.Len())
+				}
+				if eng.Memory().TotalBytes() < 0 {
+					t.Fatalf("%s: negative memory", name)
+				}
+				checkAgainstOracle(t, eng, rs, corpusTrace(t, rs, 300, 104))
+			}
+		})
+	}
+}
+
+// TestShardedIncremental drives sharded engines through the incremental
+// insert/delete schedule, differential-checking along the way: updates
+// must land on the hashed replica and deletes must find them there.
+func TestShardedIncremental(t *testing.T) {
+	rs, err := repro.GenerateRules(repro.GenConfig{Family: repro.FW, Size: 80, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := rs.Rules()
+	trace := corpusTrace(t, rs, 150, 105)
+	for _, b := range []repro.Backend{repro.BackendDecomposition, repro.BackendLinear, repro.BackendTSS, repro.BackendRFC} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			eng, err := repro.New(repro.WithBackend(b), repro.WithShards(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := make([]repro.Rule, 0, len(rules))
+			oracle := func() *repro.RuleSet {
+				s, err := repro.NewRuleSet(append([]repro.Rule(nil), live...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			for i, r := range rules {
+				cost, err := eng.Insert(r)
+				if err != nil {
+					t.Fatalf("insert %d: %v", r.ID, err)
+				}
+				if cost.Cycles <= 0 {
+					t.Fatalf("insert %d: non-positive cycle cost %+v", r.ID, cost)
+				}
+				live = append(live, r)
+				if i%25 == 24 {
+					checkAgainstOracle(t, eng, oracle(), trace)
+				}
+			}
+			if _, err := eng.Insert(rules[0]); err == nil {
+				t.Fatal("duplicate insert should fail")
+			}
+			for i := 0; i < len(rules); i += 2 {
+				if _, err := eng.Delete(rules[i].ID); err != nil {
+					t.Fatalf("delete %d: %v", rules[i].ID, err)
+				}
+			}
+			kept := live[:0]
+			for i, r := range live {
+				if i%2 == 1 {
+					kept = append(kept, r)
+				}
+			}
+			live = kept
+			if eng.Len() != len(live) {
+				t.Fatalf("Len = %d, want %d", eng.Len(), len(live))
+			}
+			checkAgainstOracle(t, eng, oracle(), trace)
+			if _, err := eng.Delete(-12345); err == nil {
+				t.Fatal("delete of unknown rule should fail")
+			}
+		})
+	}
+}
+
+// TestShardedOptions pins the option contract: invalid shard counts are
+// rejected, one shard builds the backend unwrapped, and the IPv6 domain
+// refuses sharding.
+func TestShardedOptions(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		if _, err := repro.New(repro.WithShards(n)); err == nil {
+			t.Errorf("WithShards(%d) should fail", n)
+		}
+	}
+	eng, err := repro.New(repro.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isClassifier := eng.(*repro.Classifier); !isClassifier {
+		t.Errorf("WithShards(1) should build the unwrapped backend, got %T", eng)
+	}
+	if _, err := repro.New6(repro.WithShards(2)); err == nil {
+		t.Error("New6 with shards should fail")
+	}
+	if _, err := repro.New6(repro.WithShards(1)); err != nil {
+		t.Errorf("New6 with one shard: %v", err)
+	}
+}
+
+// TestShardedAggregates verifies the cross-replica reporting: stats sum
+// to the full population, memory maps carry per-shard blocks, and the
+// decomposition wrapper models aggregate throughput.
+func TestShardedAggregates(t *testing.T) {
+	rs, err := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 100, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.New(repro.WithRules(rs), repro.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := corpusTrace(t, rs, 200, 106)
+	eng.LookupBatch(trace)
+
+	st, ok := eng.(interface{ Stats() repro.Stats })
+	if !ok {
+		t.Fatal("sharded decomposition engine must expose Stats")
+	}
+	stats := st.Stats()
+	if stats.Rules != rs.Len() {
+		t.Errorf("Stats.Rules = %d, want %d", stats.Rules, rs.Len())
+	}
+	if stats.ProbeOps <= 0 {
+		t.Errorf("Stats.ProbeOps = %d after %d lookups", stats.ProbeOps, len(trace))
+	}
+
+	tp, ok := eng.(interface{ ModelThroughput() repro.Throughput })
+	if !ok {
+		t.Fatal("sharded decomposition engine must expose ModelThroughput")
+	}
+	if got := tp.ModelThroughput(); got.Mpps <= 0 || got.Gbps <= 0 {
+		t.Errorf("ModelThroughput = %+v", got)
+	}
+
+	mm := eng.Memory()
+	if mm.TotalBytes() <= 0 {
+		t.Errorf("Memory = %d B", mm.TotalBytes())
+	}
+	shardsSeen := map[string]bool{}
+	for _, blk := range mm.Blocks {
+		if i := strings.IndexByte(blk.Name, '/'); i > 0 {
+			shardsSeen[blk.Name[:i]] = true
+		}
+	}
+	if len(shardsSeen) != 4 {
+		t.Errorf("memory map names %d shards, want 4: %v", len(shardsSeen), shardsSeen)
+	}
+
+	// A sharded baseline backend has no hardware model but must still
+	// report rules through the stats fallback.
+	lin, err := repro.New(repro.WithBackend(repro.BackendLinear), repro.WithRules(rs), repro.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lin.(interface{ ModelThroughput() repro.Throughput }); ok {
+		t.Error("sharded baseline should not claim a throughput model")
+	}
+	lst, ok := lin.(interface{ Stats() repro.Stats })
+	if !ok {
+		t.Fatal("sharded baseline must expose aggregate stats")
+	}
+	if got := lst.Stats().Rules; got != rs.Len() {
+		t.Errorf("sharded baseline Stats.Rules = %d, want %d", got, rs.Len())
+	}
+}
+
+// TestShardedConcurrentChurn hammers a sharded engine with parallel
+// batched lookups during rule churn — the -race gate for the sharded
+// read path on top of the per-replica RCU snapshots.
+func TestShardedConcurrentChurn(t *testing.T) {
+	pool, err := repro.GenerateRules(repro.GenConfig{Family: repro.IPC, Size: 60, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := pool.Rules()
+	trace := corpusTrace(t, pool, 64, 107)
+	for _, b := range []repro.Backend{repro.BackendDecomposition, repro.BackendTSS} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			eng, err := repro.New(repro.WithBackend(b), repro.WithShards(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var stop atomic.Bool
+			var lookups atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rnd := rand.New(rand.NewSource(int64(600 + w)))
+					for !stop.Load() {
+						h := trace[rnd.Intn(len(trace))]
+						res, _ := eng.Lookup(h)
+						if res.Found && res.RuleID == 0 {
+							t.Error("found result with zero rule ID")
+							return
+						}
+						_ = eng.LookupBatch(trace[:16])
+						lookups.Add(17)
+					}
+				}()
+			}
+			rnd := rand.New(rand.NewSource(45))
+			live := make([]int, 0, len(rules))
+			next := 0
+			for op := 0; op < 150; op++ {
+				if next < len(rules) && (len(live) == 0 || rnd.Intn(3) > 0) {
+					if _, err := eng.Insert(rules[next]); err != nil {
+						t.Fatalf("op %d insert: %v", op, err)
+					}
+					live = append(live, rules[next].ID)
+					next++
+					continue
+				}
+				if len(live) == 0 {
+					break
+				}
+				i := rnd.Intn(len(live))
+				if _, err := eng.Delete(live[i]); err != nil {
+					t.Fatalf("op %d delete: %v", op, err)
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			for lookups.Load() == 0 {
+				runtime.Gosched()
+			}
+			stop.Store(true)
+			wg.Wait()
+			if eng.Len() != len(live) {
+				t.Fatalf("Len = %d, want %d", eng.Len(), len(live))
+			}
+		})
+	}
+}
