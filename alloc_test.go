@@ -1,0 +1,41 @@
+package repro_test
+
+import (
+	"testing"
+
+	repro "repro"
+)
+
+// TestEngineLookupZeroAllocs guards the full public fast path: a
+// single-header Lookup on the decomposition backend — RCU snapshot
+// acquire, five field-engine searches into pooled label buffers, the
+// iterative ULI walk over the flat Rule Filter — must not allocate once
+// the pooled buffers are warm.
+func TestEngineLookupZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard runs in non-race CI step")
+	}
+	rs, err := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 300, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := repro.GenerateTrace(rs, repro.TraceConfig{Size: 128, HitRatio: 0.9, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.New(repro.WithRules(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range trace {
+		eng.Lookup(h)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		eng.Lookup(trace[i%len(trace)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Engine.Lookup allocates %.1f objects/op on the steady-state path, want 0", allocs)
+	}
+}

@@ -15,6 +15,7 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/baseline"
@@ -74,6 +75,7 @@ func BenchmarkTableI(b *testing.B) {
 					} else {
 						b.ReportMetric(0, "incr")
 					}
+					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
 						cls.Match(w.trace[i%len(w.trace)])
@@ -92,6 +94,7 @@ func BenchmarkTableI(b *testing.B) {
 				for i, h := range w.trace {
 					headers[i] = core.V4Header(h)
 				}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					c.Lookup(headers[i%len(headers)])
@@ -164,6 +167,7 @@ func BenchmarkTableII(b *testing.B) {
 			}
 			b.ReportMetric(meter.CyclesPerOp(), "cycles/lookup")
 			b.ReportMetric(float64(eng.Memory().TotalBytes()), "bytes")
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				buf, _ = eng.Lookup(keys[i%len(keys)], buf[:0])
@@ -204,6 +208,7 @@ func BenchmarkTableII(b *testing.B) {
 			}
 			b.ReportMetric(meter.CyclesPerOp(), "cycles/lookup")
 			b.ReportMetric(float64(eng.Memory().TotalBytes()), "bytes")
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				buf, _ = eng.Lookup(w.trace[i%len(w.trace)].DstPort, buf[:0])
@@ -290,6 +295,7 @@ func BenchmarkFig4(b *testing.B) {
 		for _, phs := range []int{1000, 5000, 10000, 50000} {
 			b.Run(fmt.Sprintf("%s/PHS-%s", mode.name, ruleset.SizeName(phs)), func(b *testing.B) {
 				b.ReportMetric(c.LookupCycles(phs), "cycles")
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					c.Lookup(headers[i%phs])
 				}
@@ -321,6 +327,7 @@ func BenchmarkThroughput(b *testing.B) {
 			for i, h := range w.trace {
 				headers[i] = core.V4Header(h)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c.Lookup(headers[i%len(headers)])
@@ -330,6 +337,53 @@ func BenchmarkThroughput(b *testing.B) {
 			b.ReportMetric(tp.Mpps, "Mpps")
 			b.ReportMetric(tp.Gbps, "Gbps")
 			b.ReportMetric(tp.CyclesPerPacket, "cycles/pkt")
+		})
+	}
+}
+
+// BenchmarkFlowCacheZipf measures the flow-cache fast path on
+// Zipf-skewed traffic: the same skewed trace through a decomposition
+// engine bare and behind WithFlowCache. The cached/uncached ns/op ratio
+// is the satellite speedup the cache claims on real (skewed) traffic;
+// hit rate is reported as a metric.
+func BenchmarkFlowCacheZipf(b *testing.B) {
+	w := workload(b, ruleset.ACL, 1000, 4096)
+	// Resample the trace with Zipf-distributed flow popularity.
+	rng := rand.New(rand.NewSource(9))
+	z := rand.NewZipf(rng, 1.2, 1, uint64(len(w.trace)-1))
+	trace := make([]rule.Header, len(w.trace))
+	for i := range trace {
+		trace[i] = w.trace[z.Uint64()]
+	}
+	for _, tc := range []struct {
+		name  string
+		cache int
+	}{
+		{"uncached", 0},
+		{"cached-64k", 1 << 16},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			rs, err := rule.NewSet(w.set.Rules())
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := New(WithRules(rs), WithFlowCache(tc.cache))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, h := range trace[:1024] {
+				eng.Lookup(h)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Lookup(trace[i%len(trace)])
+			}
+			b.StopTimer()
+			if cs, ok := eng.(interface{ CacheStats() FlowCacheStats }); ok {
+				b.ReportMetric(cs.CacheStats().HitRate(), "hit-rate")
+			}
 		})
 	}
 }
@@ -349,6 +403,7 @@ func BenchmarkAblationStride(b *testing.B) {
 			for i, h := range w.trace {
 				headers[i] = core.V4Header(h)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c.Lookup(headers[i%len(headers)])
@@ -382,6 +437,7 @@ func BenchmarkAblationULI(b *testing.B) {
 			for i, h := range w.trace {
 				headers[i] = core.V4Header(h)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c.Lookup(headers[i%len(headers)])
@@ -417,6 +473,7 @@ func BenchmarkAblationRangeEngine(b *testing.B) {
 			for i, h := range w.trace {
 				headers[i] = core.V4Header(h)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c.Lookup(headers[i%len(headers)])
@@ -453,6 +510,7 @@ func BenchmarkAblationOptimizer(b *testing.B) {
 			for i, h := range w.trace {
 				headers[i] = core.V4Header(h)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c.Lookup(headers[i%len(headers)])

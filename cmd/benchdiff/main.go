@@ -1,0 +1,140 @@
+// Command benchdiff compares two BENCH_lookup.json artifacts (see
+// cmd/lookupbench -engines) and fails when any backend's measured
+// ns/lookup regressed beyond a threshold. CI runs it against the
+// previous successful run's artifact, so a change that slows a lookup
+// path down by more than the noise band fails the build instead of
+// silently eroding the Mlookups/s trajectory.
+//
+// Usage:
+//
+//	benchdiff -old prev/BENCH_lookup.json -new BENCH_lookup.json -max-regress 15
+//
+// Records are matched on their full identity (experiment, backend,
+// family, rules, trace length, parallelism, batch, shards, zipf skew,
+// cache size); records present on only one side — a new backend, a
+// renamed experiment, an errored run — are reported and skipped.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Record mirrors the identity and measurement fields of lookupbench's
+// BenchRecord; unknown fields are ignored so the schemas can evolve
+// independently.
+type Record struct {
+	Experiment   string  `json:"experiment"`
+	Backend      string  `json:"backend"`
+	Family       string  `json:"family"`
+	Rules        int     `json:"rules"`
+	TraceLen     int     `json:"trace_len"`
+	Parallel     int     `json:"parallel"`
+	Batch        int     `json:"batch"`
+	Shards       int     `json:"shards"`
+	Zipf         float64 `json:"zipf,omitempty"`
+	CacheEntries int     `json:"cache_entries,omitempty"`
+	NsPerLookup  float64 `json:"ns_per_lookup"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// key is the record identity both artifacts must share for a
+// comparison to be meaningful.
+func (r Record) key() string {
+	return fmt.Sprintf("%s|%s|%s|%d|%d|p%d|b%d|s%d|z%g|c%d",
+		r.Experiment, r.Backend, r.Family, r.Rules, r.TraceLen,
+		r.Parallel, r.Batch, r.Shards, r.Zipf, r.CacheEntries)
+}
+
+// Regression is one record pair that slowed beyond the threshold.
+type Regression struct {
+	Key      string
+	Old, New float64 // ns/lookup
+	Pct      float64 // relative slowdown in percent
+}
+
+// compare pairs the artifacts by record identity and returns the
+// regressions beyond maxRegressPct plus a human-readable comparison log.
+func compare(old, cur []Record, maxRegressPct float64) (regs []Regression, log []string) {
+	prev := map[string]Record{}
+	for _, r := range old {
+		if r.Error == "" && r.NsPerLookup > 0 {
+			prev[r.key()] = r
+		}
+	}
+	for _, r := range cur {
+		if r.Error != "" || r.NsPerLookup <= 0 {
+			continue
+		}
+		k := r.key()
+		p, ok := prev[k]
+		if !ok {
+			log = append(log, fmt.Sprintf("new    %-60s %8.0f ns (no baseline)", k, r.NsPerLookup))
+			continue
+		}
+		delete(prev, k)
+		pct := 100 * (r.NsPerLookup - p.NsPerLookup) / p.NsPerLookup
+		verdict := "ok    "
+		if pct > maxRegressPct {
+			verdict = "REGRES"
+			regs = append(regs, Regression{Key: k, Old: p.NsPerLookup, New: r.NsPerLookup, Pct: pct})
+		}
+		log = append(log, fmt.Sprintf("%s %-60s %8.0f -> %8.0f ns (%+.1f%%)",
+			verdict, k, p.NsPerLookup, r.NsPerLookup, pct))
+	}
+	for k := range prev {
+		log = append(log, fmt.Sprintf("gone   %-60s (baseline only)", k))
+	}
+	sort.Strings(log)
+	return regs, log
+}
+
+func load(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "baseline BENCH_lookup.json (previous run's artifact)")
+		newPath = flag.String("new", "BENCH_lookup.json", "current BENCH_lookup.json")
+		maxPct  = flag.Float64("max-regress", 15, "fail when ns/lookup regresses more than this percentage")
+	)
+	flag.Parse()
+	if *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old is required")
+		os.Exit(2)
+	}
+	old, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	regs, log := compare(old, cur, *maxPct)
+	for _, line := range log {
+		fmt.Println(line)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d lookup-path regression(s) beyond %.0f%%:\n", len(regs), *maxPct)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s: %.0f -> %.0f ns/lookup (%+.1f%%)\n", r.Key, r.Old, r.New, r.Pct)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regression beyond %.0f%% across %d comparable records\n", *maxPct, len(cur))
+}

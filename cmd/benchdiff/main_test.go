@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rec(backend string, shards int, ns float64) Record {
+	return Record{
+		Experiment: "engine_parallel_lookup", Backend: backend, Family: "acl",
+		Rules: 1000, TraceLen: 5000, Parallel: 4, Batch: 64, Shards: shards,
+		NsPerLookup: ns,
+	}
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	old := []Record{
+		rec("Decomposition", 1, 100),
+		rec("Decomposition", 4, 50),
+		rec("TSS", 1, 1000),
+		rec("Linear", 1, 2000),
+		{Experiment: "engine_parallel_lookup", Backend: "RFC", Family: "acl",
+			Rules: 1000, TraceLen: 5000, Parallel: 4, Batch: 64, Shards: 1, Error: "boom"},
+	}
+	cur := []Record{
+		rec("Decomposition", 1, 110), // +10%: inside the 15% band
+		rec("Decomposition", 4, 60),  // +20%: regression
+		rec("TSS", 1, 800),           // improvement
+		rec("HiCuts", 1, 300),        // new record, no baseline
+		rec("RFC", 1, 40),            // baseline errored: counts as new
+	}
+	regs, log := compare(old, cur, 15)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the +20%% one", regs)
+	}
+	if r := regs[0]; r.Old != 50 || r.New != 60 {
+		t.Errorf("wrong pair flagged: %+v", r)
+	}
+	if len(log) == 0 {
+		t.Error("no comparison log")
+	}
+	// The Linear baseline has no current record: reported, not fatal.
+	found := false
+	for _, line := range log {
+		if len(line) >= 4 && line[:4] == "gone" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing 'gone' line in %v", log)
+	}
+}
+
+func TestCompareDistinguishesIdentity(t *testing.T) {
+	// Same backend at different shard counts or cache sizes must never
+	// be compared against each other.
+	old := []Record{rec("Decomposition", 1, 100)}
+	cur := []Record{rec("Decomposition", 4, 1000)}
+	regs, _ := compare(old, cur, 15)
+	if len(regs) != 0 {
+		t.Fatalf("cross-identity comparison: %+v", regs)
+	}
+	oldZ := rec("Decomposition", 1, 100)
+	oldZ.Zipf, oldZ.CacheEntries = 1.2, 65536
+	curZ := rec("Decomposition", 1, 500)
+	if regs, _ := compare([]Record{oldZ}, []Record{curZ}, 15); len(regs) != 0 {
+		t.Fatalf("zipf/cache identity ignored: %+v", regs)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	recs := []Record{rec("Decomposition", 1, 123.4)}
+	data, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].NsPerLookup != 123.4 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -39,12 +39,13 @@ func main() {
 		rulesPath = flag.String("rules", "", "optional ClassBench ruleset to pre-load into the main table")
 		backendF  = flag.String("backend", "decomposition", "main table backend (see repro.ParseBackend)")
 		shardsF   = flag.Int("shards", 1, "main table shard count (replicas of the backend)")
-		tablesF   = flag.String("tables", "", `extra tables, "name=backend[:shards],..."`)
+		cacheF    = flag.Int("flowcache", 0, "main table flow-cache slots (0 disables)")
+		tablesF   = flag.String("tables", "", `extra tables, "name=backend[:shards[:cache]],..."`)
 		lpmAlgo   = flag.String("lpm", "mbt", "decomposition LPM engine: mbt, bst or amtrie")
 	)
 	flag.Parse()
 
-	srv, err := buildServer(*backendF, *shardsF, *tablesF, *lpmAlgo, *rulesPath)
+	srv, err := buildServer(*backendF, *shardsF, *cacheF, *tablesF, *lpmAlgo, *rulesPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "classifierd: %v\n", err)
 		os.Exit(2)
@@ -75,9 +76,9 @@ func main() {
 }
 
 // buildServer assembles the table registry from flag values: the main
-// table from backend/shards/lpm (pre-loaded from rulesPath if given)
-// plus the extra tables of the -tables spec.
-func buildServer(backendSpec string, shards int, tablesSpec, lpmAlgo, rulesPath string) (*ctl.Server, error) {
+// table from backend/shards/flowcache/lpm (pre-loaded from rulesPath if
+// given) plus the extra tables of the -tables spec.
+func buildServer(backendSpec string, shards, flowCache int, tablesSpec, lpmAlgo, rulesPath string) (*ctl.Server, error) {
 	backend, err := repro.ParseBackend(backendSpec)
 	if err != nil {
 		return nil, err
@@ -86,7 +87,8 @@ func buildServer(backendSpec string, shards int, tablesSpec, lpmAlgo, rulesPath 
 	if err != nil {
 		return nil, err
 	}
-	opts := []repro.Option{repro.WithBackend(backend), repro.WithConfig(cfg), repro.WithShards(shards)}
+	opts := []repro.Option{repro.WithBackend(backend), repro.WithConfig(cfg),
+		repro.WithShards(shards), repro.WithFlowCache(flowCache)}
 	var loaded int
 	if rulesPath != "" {
 		f, err := os.Open(rulesPath)
@@ -115,7 +117,7 @@ func buildServer(backendSpec string, shards int, tablesSpec, lpmAlgo, rulesPath 
 		return nil, err
 	}
 	for _, spec := range extras {
-		if err := srv.AddTable(spec.name, spec.backend, spec.shards); err != nil {
+		if err := srv.AddTable(spec.name, spec.backend, spec.shards, spec.cache); err != nil {
 			return nil, fmt.Errorf("table %q: %w", spec.name, err)
 		}
 	}
@@ -143,10 +145,11 @@ type tableSpec struct {
 	name    string
 	backend repro.Backend
 	shards  int
+	cache   int
 }
 
 // parseTables decodes the -tables flag: comma-separated
-// "name=backend[:shards]" entries.
+// "name=backend[:shards[:cache]]" entries.
 func parseTables(spec string) ([]tableSpec, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil
@@ -156,21 +159,28 @@ func parseTables(spec string) ([]tableSpec, error) {
 		entry = strings.TrimSpace(entry)
 		name, rest, ok := strings.Cut(entry, "=")
 		if !ok || name == "" {
-			return nil, fmt.Errorf("table spec %q, want name=backend[:shards]", entry)
+			return nil, fmt.Errorf("table spec %q, want name=backend[:shards[:cache]]", entry)
 		}
 		backendSpec, shardsSpec, hasShards := strings.Cut(rest, ":")
 		backend, err := repro.ParseBackend(backendSpec)
 		if err != nil {
 			return nil, fmt.Errorf("table spec %q: %w", entry, err)
 		}
-		shards := 1
+		shards, cache := 1, 0
 		if hasShards {
+			shardsSpec, cacheSpec, hasCache := strings.Cut(shardsSpec, ":")
 			shards, err = strconv.Atoi(shardsSpec)
 			if err != nil || shards < 1 {
 				return nil, fmt.Errorf("table spec %q: shard count %q", entry, shardsSpec)
 			}
+			if hasCache {
+				cache, err = strconv.Atoi(cacheSpec)
+				if err != nil || cache < 0 {
+					return nil, fmt.Errorf("table spec %q: cache size %q", entry, cacheSpec)
+				}
+			}
 		}
-		out = append(out, tableSpec{name: name, backend: backend, shards: shards})
+		out = append(out, tableSpec{name: name, backend: backend, shards: shards, cache: cache})
 	}
 	return out, nil
 }

@@ -13,14 +13,14 @@ import (
 )
 
 func TestParseTables(t *testing.T) {
-	specs, err := parseTables(" edge=linear , core=decomposition:8, cache=tss:2 ")
+	specs, err := parseTables(" edge=linear , core=decomposition:8, cache=tss:2:4096 ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := []tableSpec{
 		{name: "edge", backend: repro.BackendLinear, shards: 1},
 		{name: "core", backend: repro.BackendDecomposition, shards: 8},
-		{name: "cache", backend: repro.BackendTSS, shards: 2},
+		{name: "cache", backend: repro.BackendTSS, shards: 2, cache: 4096},
 	}
 	if len(specs) != len(want) {
 		t.Fatalf("got %+v", specs)
@@ -35,6 +35,7 @@ func TestParseTables(t *testing.T) {
 	}
 	for _, bad := range []string{
 		"noequals", "=linear", "x=", "x=frob", "x=linear:0", "x=linear:abc", "x=linear,,y=tss",
+		"x=linear:2:-1", "x=linear:2:abc",
 	} {
 		if _, err := parseTables(bad); err == nil {
 			t.Errorf("parseTables(%q) should fail", bad)
@@ -65,7 +66,7 @@ func TestBuildServerErrors(t *testing.T) {
 		{"decomposition", "", "quadtree", "", 1},
 		{"decomposition", "", "mbt", "/nonexistent/rules.txt", 1},
 	} {
-		if _, err := buildServer(c.backend, c.shards, c.tables, c.lpm, c.rules); err == nil {
+		if _, err := buildServer(c.backend, c.shards, 0, c.tables, c.lpm, c.rules); err == nil {
 			t.Errorf("buildServer(%+v) should fail", c)
 		}
 	}
@@ -91,7 +92,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	f.Close()
 
-	srv, err := buildServer("decomposition", 4, "edge=linear:2,fast=tss", "mbt", rulesPath)
+	srv, err := buildServer("decomposition", 4, 1024, "edge=linear:2,fast=tss", "mbt", rulesPath)
 	if err != nil {
 		t.Fatal(err)
 	}

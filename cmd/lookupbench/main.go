@@ -10,20 +10,27 @@
 //	lookupbench -table1 -sizes 1000,10000
 //	lookupbench -fig3 -fig4 -throughput
 //	lookupbench -engines -parallel 8 -batch 64 -shards 1,4 -json BENCH_lookup.json
+//	lookupbench -engines -zipf 1.2 -flowcache 65536
 //
 // The -engines experiment drives every backend through the public Engine
 // API with parallel batched lookups (concurrent goroutines sharing one
 // engine, exercising the RCU read path) at each -shards replica count,
 // so the emitted records compare the sharded serving path against the
-// unsharded baseline. Machine-readable records go to the -json file —
-// one file per run; archive the files across revisions (CI uploads the
-// file as an artifact) to record the performance trajectory.
+// unsharded baseline. With -zipf s > 1 it additionally replays a
+// Zipf-skewed trace (flow popularity drawn from a Zipf(s) distribution,
+// the shape of real traffic) against each backend twice — once bare and
+// once behind repro.WithFlowCache(-flowcache slots) — emitting
+// cached-vs-uncached records with the measured cache hit rate.
+// Machine-readable records go to the -json file — one file per run;
+// archive the files across revisions (CI uploads the file as an
+// artifact) to record the performance trajectory.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"strconv"
@@ -58,6 +65,8 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent lookup goroutines for -engines")
 		batch      = flag.Int("batch", 64, "LookupBatch size for -engines (1 = single-lookup path)")
 		shardsFlag = flag.String("shards", "1,4", "comma-separated shard counts for -engines (1 = unsharded)")
+		zipfS      = flag.Float64("zipf", 1.2, "Zipf skew s for the -engines flow-cache experiment (> 1; 0 disables)")
+		cacheSize  = flag.Int("flowcache", 1<<16, "flow-cache slots for the -zipf experiment")
 		jsonOut    = flag.String("json", "BENCH_lookup.json", "machine-readable output file for -engines ('' disables)")
 	)
 	flag.Parse()
@@ -84,7 +93,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lookupbench: -shards:", err)
 		os.Exit(2)
 	}
-	r := runner{sizes: sizes, traceN: *traceN, seed: *seed, parallel: *parallel, batch: *batch, shards: shardCounts}
+	if *zipfS != 0 && *zipfS <= 1 {
+		fmt.Fprintln(os.Stderr, "lookupbench: -zipf wants s > 1 (or 0 to disable)")
+		os.Exit(2)
+	}
+	if *zipfS > 1 && *cacheSize <= 0 {
+		fmt.Fprintln(os.Stderr, "lookupbench: -flowcache wants a positive slot count for the -zipf experiment")
+		os.Exit(2)
+	}
+	r := runner{
+		sizes: sizes, traceN: *traceN, seed: *seed,
+		parallel: *parallel, batch: *batch, shards: shardCounts,
+		zipf: *zipfS, flowCache: *cacheSize,
+	}
 	if *table1 {
 		r.tableI()
 	}
@@ -102,6 +123,9 @@ func main() {
 	}
 	if *engines {
 		records := r.engines()
+		if r.zipf > 1 {
+			records = append(records, r.zipfCache()...)
+		}
 		if *jsonOut != "" {
 			if err := writeBenchJSON(*jsonOut, records); err != nil {
 				fmt.Fprintln(os.Stderr, "lookupbench:", err)
@@ -125,12 +149,14 @@ func parseSizes(s string) ([]int, error) {
 }
 
 type runner struct {
-	sizes    []int
-	traceN   int
-	seed     int64
-	parallel int
-	batch    int
-	shards   []int
+	sizes     []int
+	traceN    int
+	seed      int64
+	parallel  int
+	batch     int
+	shards    []int
+	zipf      float64
+	flowCache int
 }
 
 func (r runner) workload(fam ruleset.Family, size int) (*rule.Set, []rule.Header) {
@@ -392,7 +418,13 @@ type BenchRecord struct {
 	MLookupsPerSec float64 `json:"mlookups_per_sec"`
 	MemoryBytes    int     `json:"memory_bytes"`
 	Incremental    bool    `json:"incremental"`
-	Error          string  `json:"error,omitempty"`
+	// Zipf experiment fields: the skew parameter of the trace, the
+	// flow-cache slot count (0 = uncached record) and the measured
+	// cache hit rate.
+	Zipf         float64 `json:"zipf,omitempty"`
+	CacheEntries int     `json:"cache_entries,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	Error        string  `json:"error,omitempty"`
 }
 
 // engines measures every backend through the public Engine API at each
@@ -441,6 +473,80 @@ func (r runner) engines() []BenchRecord {
 				records = append(records, rec)
 				fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.2f\t%s\t%v\n",
 					b, name, shards, nsPerOp, mlps, fmtBytes(rec.MemoryBytes), rec.Incremental)
+			}
+		}
+	}
+	tw.Flush()
+	fmt.Println()
+	return records
+}
+
+// zipfTrace resamples the base trace with Zipf(s)-distributed flow
+// popularity: index 0 is the hottest flow, matching the skewed flow
+// popularity of production traffic that exact-match caches exploit.
+func (r runner) zipfTrace(base []rule.Header, n int) []rule.Header {
+	rng := rand.New(rand.NewSource(r.seed + 7))
+	z := rand.NewZipf(rng, r.zipf, 1, uint64(len(base)-1))
+	out := make([]rule.Header, n)
+	for i := range out {
+		out[i] = base[z.Uint64()]
+	}
+	return out
+}
+
+// zipfCache measures every backend on the Zipf-skewed trace twice: bare
+// and behind a flow cache, reporting the cached path's hit rate — the
+// skewed-traffic scenario exact-match caches are judged on.
+func (r runner) zipfCache() []BenchRecord {
+	shardCounts := r.shards
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1}
+	}
+	fmt.Printf("== Engine API: Zipf(s=%.2f) skewed traffic, flow cache %d entries ==\n", r.zipf, r.flowCache)
+	tw := newTab()
+	fmt.Fprintln(tw, "backend\truleset\tshards\tcache\tns/lookup\tMlookups/s\thit rate")
+	var records []BenchRecord
+	for _, size := range r.sizes {
+		set, base := r.workload(ruleset.ACL, size)
+		trace := r.zipfTrace(base, len(base))
+		name := fmt.Sprintf("acl-%s", ruleset.SizeName(size))
+		for _, b := range repro.Backends() {
+			for _, shards := range shardCounts {
+				for _, cacheEntries := range []int{0, r.flowCache} {
+					rec := BenchRecord{
+						Experiment: "engine_zipf_lookup",
+						Backend:    b.String(),
+						Family:     "acl",
+						Rules:      set.Len(),
+						TraceLen:   len(trace),
+						Parallel:   r.parallel,
+						Batch:      r.batch,
+						Shards:     shards,
+						Zipf:       r.zipf,
+					}
+					eng, err := repro.New(repro.WithBackend(b), repro.WithRules(set),
+						repro.WithShards(shards), repro.WithFlowCache(cacheEntries))
+					if err != nil {
+						rec.Error = err.Error()
+						records = append(records, rec)
+						fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%v\t-\t-\n", b, name, shards, cacheEntries, err)
+						continue
+					}
+					nsPerOp, mlps := r.measureParallel(eng, trace)
+					rec.NsPerLookup = nsPerOp
+					rec.MLookupsPerSec = mlps
+					rec.MemoryBytes = eng.Memory().TotalBytes()
+					rec.Incremental = eng.IncrementalUpdate()
+					hitRate := "-"
+					if cs, ok := eng.(interface{ CacheStats() repro.FlowCacheStats }); ok {
+						rec.CacheEntries = cacheEntries
+						rec.CacheHitRate = cs.CacheStats().HitRate()
+						hitRate = fmt.Sprintf("%.1f%%", 100*rec.CacheHitRate)
+					}
+					records = append(records, rec)
+					fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.0f\t%.2f\t%s\n",
+						b, name, shards, cacheEntries, nsPerOp, mlps, hitRate)
+				}
 			}
 		}
 	}

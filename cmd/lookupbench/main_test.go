@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/rule"
 )
 
 func TestParseSizes(t *testing.T) {
@@ -66,6 +68,66 @@ func TestEnginesJSONRoundtrip(t *testing.T) {
 	}
 	if !shardCounts[1] || !shardCounts[3] {
 		t.Errorf("missing shard counts in %v", shardCounts)
+	}
+}
+
+// TestZipfCacheRecords runs the skewed-traffic experiment at a tiny
+// scale and checks the cached-vs-uncached record pairing: every backend
+// emits one record with cache_entries=0 and one with the cache size,
+// zipf set on both, and a positive hit rate on the cached record (the
+// skewed trace repeats its hot flows within even a 120-header run).
+func TestZipfCacheRecords(t *testing.T) {
+	r := runner{sizes: []int{40}, traceN: 120, seed: 1, parallel: 2, batch: 16,
+		shards: []int{1}, zipf: 1.3, flowCache: 256}
+	records := r.zipfCache()
+	cached, uncached := map[string]BenchRecord{}, map[string]BenchRecord{}
+	for _, rec := range records {
+		if rec.Experiment != "engine_zipf_lookup" {
+			t.Fatalf("experiment = %q", rec.Experiment)
+		}
+		if rec.Zipf != 1.3 {
+			t.Fatalf("%s: zipf field = %v", rec.Backend, rec.Zipf)
+		}
+		if rec.CacheEntries > 0 {
+			cached[rec.Backend] = rec
+		} else {
+			uncached[rec.Backend] = rec
+		}
+	}
+	if len(cached) == 0 || len(cached) != len(uncached) {
+		t.Fatalf("unpaired records: %d cached, %d uncached", len(cached), len(uncached))
+	}
+	for b, rec := range cached {
+		if rec.Error != "" {
+			continue
+		}
+		if rec.CacheHitRate <= 0 || rec.CacheHitRate > 1 {
+			t.Errorf("%s: cache hit rate %v", b, rec.CacheHitRate)
+		}
+	}
+}
+
+// TestZipfTraceIsSkewed checks the resampler concentrates traffic: the
+// most popular header of the skewed trace must appear far more often
+// than a uniform draw would allow.
+func TestZipfTraceIsSkewed(t *testing.T) {
+	r := runner{seed: 1, zipf: 1.2}
+	base := make([]rule.Header, 1000)
+	for i := range base {
+		base[i] = rule.Header{SrcIP: uint32(i), DstIP: uint32(i)}
+	}
+	trace := r.zipfTrace(base, 5000)
+	counts := map[uint32]int{}
+	top := 0
+	for _, h := range trace {
+		counts[h.SrcIP]++
+		if counts[h.SrcIP] > top {
+			top = counts[h.SrcIP]
+		}
+	}
+	// Uniform resampling would put ~5 hits on each of the 1000 flows.
+	if top < 100 {
+		t.Errorf("hottest flow has %d of %d packets; trace not skewed", top, len(trace))
 	}
 }
 

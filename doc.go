@@ -34,7 +34,7 @@
 // combines labels against a Rule Filter to find the Highest-Priority
 // Matching Rule — with full incremental rule update support.
 //
-// # Concurrency
+// # Concurrency and the fast path
 //
 // Every Engine is safe for concurrent use. Lookups read an RCU-style
 // snapshot — the read path takes no locks — while Insert and Delete
@@ -42,6 +42,35 @@
 // lookups. LookupBatch classifies a whole batch against one consistent
 // snapshot, amortizing the snapshot acquisition and the per-field label
 // buffers.
+//
+// The decomposition lookup path is allocation-free in steady state:
+// per-field label buffers are pooled, the ULI label-combination walk is
+// iterative (no closures, no recursion), and the Rule Filter plus the
+// partial-combination validity maps are flat open-addressing hash
+// tables built at rule-update time and read-only during lookups.
+// AllocsPerRun guard tests pin the 0 allocs/op property.
+//
+// # Flow cache
+//
+// WithFlowCache(entries) puts a sharded, lock-free exact-match header
+// cache in front of any engine:
+//
+//	eng, err := repro.New(
+//		repro.WithRules(rs),
+//		repro.WithShards(4),
+//		repro.WithFlowCache(1<<16),
+//	)
+//
+// Real traffic is Zipf-skewed — a few flows carry most packets — so
+// caching the full classification verdict per exact 5-tuple turns the
+// common case into a single hash probe (an order of magnitude faster
+// than the full decomposition search; see cmd/lookupbench -zipf).
+// Entries are generation-stamped: every completed Insert or Delete
+// bumps the cache generation, so a lookup issued after an update
+// returns can never see a pre-update verdict. Cached engines expose
+// CacheStats (hits, misses, evictions, invalidations); the hit, miss
+// and eviction counters are also surfaced through the ctl STATS
+// response.
 //
 // # Sharding
 //

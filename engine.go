@@ -163,11 +163,12 @@ func ParseBackend(s string) (Backend, error) {
 type Option func(*engineOptions)
 
 type engineOptions struct {
-	backend  Backend
-	cfg      Config
-	rules    *RuleSet
-	optimize bool
-	shards   int
+	backend   Backend
+	cfg       Config
+	rules     *RuleSet
+	optimize  bool
+	shards    int
+	flowCache int
 }
 
 // WithBackend selects the lookup algorithm; the default is
@@ -227,6 +228,9 @@ func New(opts ...Option) (Engine, error) {
 	if o.shards < 1 {
 		return nil, fmt.Errorf("repro: shard count %d, want >= 1", o.shards)
 	}
+	if err := validateFlowCache(o.flowCache); err != nil {
+		return nil, err
+	}
 	rules := o.rules
 	if o.optimize && rules != nil {
 		opt, _, err := OptimizeRules(rules)
@@ -235,10 +239,20 @@ func New(opts ...Option) (Engine, error) {
 		}
 		rules = opt
 	}
+	var eng Engine
+	var err error
 	if o.shards > 1 {
-		return newSharded(o, rules)
+		eng, err = newSharded(o, rules)
+	} else {
+		eng, err = newSingle(o, rules)
 	}
-	return newSingle(o, rules)
+	if err != nil {
+		return nil, err
+	}
+	if o.flowCache > 0 {
+		return newFlowCached(eng, o.flowCache), nil
+	}
+	return eng, nil
 }
 
 // newSingle builds one unwrapped replica of the selected backend.
@@ -327,6 +341,9 @@ func New6(opts ...Option) (*Classifier6, error) {
 	}
 	if o.shards != 1 {
 		return nil, fmt.Errorf("repro: WithShards is IPv4-only; the IPv6 domain is unsharded")
+	}
+	if o.flowCache != 0 {
+		return nil, fmt.Errorf("repro: WithFlowCache is IPv4-only; the IPv6 domain is uncached")
 	}
 	if o.rules != nil {
 		return nil, fmt.Errorf("repro: WithRules carries IPv4 rules; insert Rule6 values instead")

@@ -85,6 +85,29 @@ func ExampleNew_sharded() {
 	// Output: 200 rules over 4 shards: 60 of 60 agree with the oracle
 }
 
+// ExampleNew_flowCache fronts an engine with the exact-match flow cache:
+// repeated flows are served from one lock-free hash probe, and a rule
+// update invalidates every cached verdict atomically.
+func ExampleNew_flowCache() {
+	rs, _ := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 200, Seed: 3})
+	trace, _ := repro.GenerateTrace(rs, repro.TraceConfig{Size: 40, HitRatio: 0.9, Seed: 4})
+	eng, err := repro.New(
+		repro.WithRules(rs),
+		repro.WithFlowCache(1024),
+	)
+	if err != nil {
+		panic(err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for _, h := range trace {
+			eng.Lookup(h)
+		}
+	}
+	cs := eng.(interface{ CacheStats() repro.FlowCacheStats }).CacheStats()
+	fmt.Printf("3 passes over %d flows: %d hits, %d misses\n", len(trace), cs.Hits, cs.Misses)
+	// Output: 3 passes over 40 flows: 80 hits, 40 misses
+}
+
 // ExampleEngine_Delete shows incremental rule removal through the Engine
 // interface: deleting the specific rule uncovers the broader one.
 func ExampleEngine_Delete() {

@@ -1,0 +1,229 @@
+package repro_test
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	repro "repro"
+)
+
+// cacheStatser is the capability a flow-cached engine must expose.
+type cacheStatser interface {
+	CacheStats() repro.FlowCacheStats
+}
+
+// TestFlowCacheConformanceDifferential runs every backend behind a flow
+// cache against the linear oracle on a repeated trace, so most of the
+// second and third passes are served from the cache, and the cached
+// verdicts must still be HPMR-identical.
+func TestFlowCacheConformanceDifferential(t *testing.T) {
+	for name, rs := range conformanceCorpus(t) {
+		name, rs := name, rs
+		t.Run(name, func(t *testing.T) {
+			trace := corpusTrace(t, rs, 200, 301)
+			for _, b := range repro.Backends() {
+				eng, err := repro.New(repro.WithBackend(b), repro.WithRules(rs), repro.WithFlowCache(1024))
+				if err != nil {
+					t.Fatalf("%v: %v", b, err)
+				}
+				for pass := 0; pass < 3; pass++ {
+					checkAgainstOracle(t, eng, rs, trace)
+				}
+				cs := eng.(cacheStatser).CacheStats()
+				if cs.Hits == 0 {
+					t.Errorf("%v: repeated trace produced no cache hits (%+v)", b, cs)
+				}
+			}
+		})
+	}
+}
+
+// TestFlowCacheIncrementalChurn is the invalidation conformance run: a
+// flow-cached engine (sharded decomposition, the full composition) is
+// churned rule by rule with the whole trace replayed between updates —
+// the cache is hot when each Insert/Delete lands, so any entry
+// surviving an update would immediately diverge from the refreshed
+// oracle.
+func TestFlowCacheIncrementalChurn(t *testing.T) {
+	rs, err := repro.GenerateRules(repro.GenConfig{Family: repro.FW, Size: 70, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := rs.Rules()
+	trace := corpusTrace(t, rs, 120, 303)
+	for _, tc := range []struct {
+		name string
+		opts []repro.Option
+	}{
+		{"decomposition", []repro.Option{repro.WithFlowCache(512)}},
+		{"decomposition-sharded", []repro.Option{repro.WithFlowCache(512), repro.WithShards(3)}},
+		{"linear", []repro.Option{repro.WithBackend(repro.BackendLinear), repro.WithFlowCache(512)}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := repro.New(tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := make([]repro.Rule, 0, len(rules))
+			oracle := func() *repro.RuleSet {
+				s, err := repro.NewRuleSet(append([]repro.Rule(nil), live...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			// Grow: warm the cache, insert, and require the post-update
+			// verdicts to match the grown oracle immediately.
+			for i, r := range rules {
+				if _, err := eng.Insert(r); err != nil {
+					t.Fatalf("insert %d: %v", r.ID, err)
+				}
+				live = append(live, r)
+				if i%10 == 9 {
+					checkAgainstOracle(t, eng, oracle(), trace)
+				}
+			}
+			// Shrink: every deletion must invalidate the hot cache.
+			for len(live) > 0 {
+				r := live[len(live)-1]
+				live = live[:len(live)-1]
+				if _, err := eng.Delete(r.ID); err != nil {
+					t.Fatalf("delete %d: %v", r.ID, err)
+				}
+				if len(live)%10 == 0 {
+					checkAgainstOracle(t, eng, oracle(), trace)
+				}
+			}
+			cs := eng.(cacheStatser).CacheStats()
+			if cs.Invalidations != uint64(2*len(rules)) {
+				t.Errorf("invalidations = %d, want %d (one per update)", cs.Invalidations, 2*len(rules))
+			}
+			if cs.Hits == 0 {
+				t.Errorf("churn run never hit the cache (%+v)", cs)
+			}
+		})
+	}
+}
+
+// TestFlowCacheCapabilities pins the wrapper's capability surface: a
+// cached decomposition engine still models throughput, a cached sharded
+// engine still reports its replica count, and baseline backends stay
+// model-free.
+func TestFlowCacheCapabilities(t *testing.T) {
+	rs, err := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 50, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := corpusTrace(t, rs, 32, 307)
+	eng, err := repro.New(repro.WithRules(rs), repro.WithShards(4), repro.WithFlowCache(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range trace {
+		eng.Lookup(h)
+	}
+	te, ok := eng.(interface{ ModelThroughput() repro.Throughput })
+	if !ok {
+		t.Fatal("cached decomposition engine lost ModelThroughput")
+	}
+	if tp := te.ModelThroughput(); tp.Mpps <= 0 {
+		t.Errorf("ModelThroughput = %+v", tp)
+	}
+	if sh, ok := eng.(interface{ Shards() int }); !ok || sh.Shards() != 4 {
+		t.Fatalf("cached engine Shards capability: %v", ok)
+	}
+	if _, ok := eng.(cacheStatser); !ok {
+		t.Fatal("cached engine lost CacheStats")
+	}
+
+	lin, err := repro.New(repro.WithBackend(repro.BackendLinear), repro.WithFlowCache(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lin.(interface{ ModelThroughput() repro.Throughput }); ok {
+		t.Error("cached linear engine claims a throughput model")
+	}
+	if sh, ok := lin.(interface{ Shards() int }); !ok || sh.Shards() != 1 {
+		t.Error("cached unsharded engine should report 1 shard")
+	}
+}
+
+// TestFlowCacheConcurrentChurn hammers a flow-cached sharded engine
+// with parallel readers while a writer churns rules; under -race this
+// exercises the lock-free cache slots against the RCU update path. Once
+// the writer is done, a full differential pass against the final oracle
+// proves no stale entry survived the last update.
+func TestFlowCacheConcurrentChurn(t *testing.T) {
+	pool, err := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 60, Seed: 57})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := pool.Rules()
+	trace := corpusTrace(t, pool, 64, 305)
+	eng, err := repro.New(repro.WithShards(2), repro.WithFlowCache(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var lookups atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(700 + w)))
+			for !stop.Load() {
+				h := trace[rnd.Intn(len(trace))]
+				res, _ := eng.Lookup(h)
+				if res.Found && res.RuleID == 0 {
+					t.Error("found result with zero rule ID")
+					return
+				}
+				_ = eng.LookupBatch(trace[:16])
+				lookups.Add(17)
+			}
+		}()
+	}
+	rnd := rand.New(rand.NewSource(58))
+	live := make([]repro.Rule, 0, len(rules))
+	next := 0
+	for op := 0; op < 200; op++ {
+		if next < len(rules) && (len(live) == 0 || rnd.Intn(3) > 0) {
+			if _, err := eng.Insert(rules[next]); err != nil {
+				t.Fatalf("op %d insert: %v", op, err)
+			}
+			live = append(live, rules[next])
+			next++
+			continue
+		}
+		if len(live) == 0 {
+			break // pool exhausted and everything deleted
+		}
+		i := rnd.Intn(len(live))
+		if _, err := eng.Delete(live[i].ID); err != nil {
+			t.Fatalf("op %d delete: %v", op, err)
+		}
+		live[i] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+	for lookups.Load() == 0 {
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	oracle, err := repro.NewRuleSet(append([]repro.Rule(nil), live...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two passes: the first may fill from the post-churn state, the
+	// second is served largely from cache — both must match the final
+	// oracle, proving no mid-churn entry is still live.
+	checkAgainstOracle(t, eng, oracle, trace)
+	checkAgainstOracle(t, eng, oracle, trace)
+}

@@ -37,17 +37,18 @@ type Classifier[K lpm.Key[K]] struct {
 	bounds [numFields]prioTracker
 
 	// filter is the Rule Filter: valid label combinations -> rules,
-	// best priority first.
-	filter map[comboKey][]ruleRef
+	// best priority first. It is a flat open-addressing table (see
+	// flathash.go) written only at rule-update time, so the per-probe
+	// read path costs one linear probe sequence and never allocates.
+	filter flatTable[[]ruleRef]
 
-	// Partial-combination validity maps, maintained by the label-rule
+	// Partial-combination validity tables, maintained by the label-rule
 	// mapping module of the decision controller (Section III.D): the
 	// refcount of rules whose label combination starts with the given
-	// prefix. The ULI skips combinations with no valid continuation,
-	// which "dramatically reduces" label combination time.
-	p2 map[[2]label.Label]int
-	p3 map[[3]label.Label]int
-	p4 map[[4]label.Label]int
+	// 2-, 3- or 4-label prefix (padded to comboKey with label.None). The
+	// ULI skips combinations with no valid continuation, which
+	// "dramatically reduces" label combination time.
+	p2, p3, p4 countTable
 
 	// rules indexes compiled rules by ID for deletion.
 	rules map[int]compiledRule[K]
@@ -136,11 +137,7 @@ func New[K lpm.Key[K]](cfg Config, prefixLens []uint8) (*Classifier[K], error) {
 		spEngine:  sp,
 		dpEngine:  dp,
 		prEngine:  pr,
-		filter:    make(map[comboKey][]ruleRef),
 		rules:     make(map[int]compiledRule[K]),
-		p2:        make(map[[2]label.Label]int),
-		p3:        make(map[[3]label.Label]int),
-		p4:        make(map[[4]label.Label]int),
 	}
 	c.srcSpecs.init()
 	c.dstSpecs.init()
@@ -228,12 +225,13 @@ func (c *Classifier[K]) Insert(t Tuple[K]) (hwsim.Cost, error) {
 	for f := 0; f < numFields; f++ {
 		c.bounds[f].add(key[f], t.Priority)
 	}
-	c.p2[[2]label.Label{key[0], key[1]}]++
-	c.p3[[3]label.Label{key[0], key[1], key[2]}]++
-	c.p4[[4]label.Label{key[0], key[1], key[2], key[3]}]++
+	c.p2.inc(partialKey(key, 2))
+	c.p3.inc(partialKey(key, 3))
+	c.p4.inc(partialKey(key, 4))
 
 	// Rule Filter write: labels combined and hashed into the table.
-	c.filter[key] = insertRef(c.filter[key], ruleRef{id: t.ID, priority: t.Priority, action: t.Action})
+	refs := c.filter.ref(key)
+	*refs = insertRef(*refs, ruleRef{id: t.ID, priority: t.Priority, action: t.Action})
 	cost.Writes++
 
 	// Update cycles follow the paper's download model: the decision
@@ -322,15 +320,16 @@ func (c *Classifier[K]) Delete(id int) (hwsim.Cost, error) {
 	for f := 0; f < numFields; f++ {
 		c.bounds[f].remove(cr.key[f], t.Priority)
 	}
-	decPartial(c.p2, [2]label.Label{cr.key[0], cr.key[1]})
-	decPartial(c.p3, [3]label.Label{cr.key[0], cr.key[1], cr.key[2]})
-	decPartial(c.p4, [4]label.Label{cr.key[0], cr.key[1], cr.key[2], cr.key[3]})
+	c.p2.dec(partialKey(cr.key, 2))
+	c.p3.dec(partialKey(cr.key, 3))
+	c.p4.dec(partialKey(cr.key, 4))
 
-	refs := removeRef(c.filter[cr.key], id)
-	if len(refs) == 0 {
-		delete(c.filter, cr.key)
-	} else {
-		c.filter[cr.key] = refs
+	if cur, ok := c.filter.get(cr.key); ok {
+		if refs := removeRef(cur, id); len(refs) == 0 {
+			c.filter.delete(cr.key)
+		} else {
+			*c.filter.ref(cr.key) = refs
+		}
 	}
 	cost.Writes++
 	cost.Cycles = 2*cost.Writes + 1 // same download model as Insert
@@ -455,15 +454,24 @@ func (t *specTable[S]) release(s S) (label.Label, bool) {
 }
 
 // prioTracker maintains, per label, the multiset of priorities of rules
-// using it, exposing the minimum as the ULI pruning bound.
+// using it, exposing the minimum as the ULI pruning bound. Labels are
+// dense small integers, so the minima live in a flat slice indexed by
+// label — min() on the lookup hot path is one bounds check and one load,
+// while the priority multiset (update-time only) stays in maps.
 type prioTracker struct {
 	counts map[label.Label]map[int]int
-	mins   map[label.Label]int
+	mins   []labelBound
+}
+
+// labelBound is one slot of the flat minimum table; ok distinguishes an
+// untracked (stale) label from any real priority value.
+type labelBound struct {
+	prio int
+	ok   bool
 }
 
 func (p *prioTracker) init() {
 	p.counts = make(map[label.Label]map[int]int)
-	p.mins = make(map[label.Label]int)
 }
 
 func (p *prioTracker) add(l label.Label, prio int) {
@@ -473,8 +481,11 @@ func (p *prioTracker) add(l label.Label, prio int) {
 		p.counts[l] = m
 	}
 	m[prio]++
-	if cur, ok := p.mins[l]; !ok || prio < cur {
-		p.mins[l] = prio
+	for int(l) >= len(p.mins) {
+		p.mins = append(p.mins, labelBound{})
+	}
+	if b := &p.mins[l]; !b.ok || prio < b.prio {
+		b.prio, b.ok = prio, true
 	}
 }
 
@@ -489,32 +500,28 @@ func (p *prioTracker) remove(l label.Label, prio int) {
 	}
 	if len(m) == 0 {
 		delete(p.counts, l)
-		delete(p.mins, l)
+		p.mins[l] = labelBound{}
 		return
 	}
-	if p.mins[l] == prio {
+	if p.mins[l].prio == prio {
 		best := -1
 		for q := range m {
 			if best < 0 || q < best {
 				best = q
 			}
 		}
-		p.mins[l] = best
+		p.mins[l].prio = best
 	}
 }
 
 // min returns the best priority bound for the label; ok is false if the
 // label is untracked.
 func (p *prioTracker) min(l label.Label) (int, bool) {
-	v, ok := p.mins[l]
-	return v, ok
-}
-
-func decPartial[P comparable](m map[P]int, k P) {
-	m[k]--
-	if m[k] <= 0 {
-		delete(m, k)
+	if int(l) >= len(p.mins) {
+		return 0, false
 	}
+	b := p.mins[l]
+	return b.prio, b.ok
 }
 
 func insertRef(refs []ruleRef, r ruleRef) []ruleRef {

@@ -1,0 +1,197 @@
+package core
+
+import "repro/internal/label"
+
+// The Rule Filter and the partial-combination validity maps are probed on
+// every ULI step, so they are stored as flat open-addressing hash tables
+// rather than Go maps: one cache line of keys per probe, no per-probe
+// hashing interface overhead, and no allocation on the read path. The
+// tables are mutated only at rule-update time — the lookup path is
+// strictly read-only — so they slot into the RCU snapshot scheme exactly
+// like the maps they replace: writers mutate the quiesced instance, and a
+// published instance is never resized or shifted under a reader.
+//
+// Deletion uses backward-shift compaction (no tombstones), keeping probe
+// sequences short under churn. Partial keys (the 2-, 3- and 4-label
+// prefixes of a combination) are padded with label.None, which no engine
+// ever emits, so all tables share one comboKey layout.
+
+// hashCombo mixes the five labels into a table index. The per-field
+// multiply-xor (FNV-style) keeps adjacent label values — the common case,
+// since the allocator hands them out densely — well distributed, and the
+// splitmix64 finalizer avalanches the low bits that the power-of-two
+// masks consume.
+func hashCombo(k comboKey) uint64 {
+	h := uint64(1469598103934665603)
+	for f := 0; f < numFields; f++ {
+		h ^= uint64(k[f])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// flatTable is an open-addressing comboKey -> V hash table with linear
+// probing and backward-shift deletion. The zero value is empty and
+// read-only usable; the first put sizes it.
+type flatTable[V any] struct {
+	keys []comboKey
+	vals []V
+	used []bool
+	mask uint64
+	live int
+}
+
+const flatTableMinSize = 16 // slots; must be a power of two
+
+// get returns the value stored under k and whether it is present. It is
+// the hot-path operation: no allocation, one probe sequence.
+func (t *flatTable[V]) get(k comboKey) (V, bool) {
+	if t.live == 0 {
+		var zero V
+		return zero, false
+	}
+	i := hashCombo(k) & t.mask
+	for t.used[i] {
+		if t.keys[i] == k {
+			return t.vals[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+	var zero V
+	return zero, false
+}
+
+// ref returns a pointer to the value stored under k, inserting a zero
+// value if absent. The pointer is valid only until the next put/delete
+// (growth and backward shifts move entries).
+func (t *flatTable[V]) ref(k comboKey) *V {
+	if t.live >= len(t.keys)*3/4 {
+		t.grow()
+	}
+	i := hashCombo(k) & t.mask
+	for t.used[i] {
+		if t.keys[i] == k {
+			return &t.vals[i]
+		}
+		i = (i + 1) & t.mask
+	}
+	t.used[i] = true
+	t.keys[i] = k
+	t.live++
+	return &t.vals[i]
+}
+
+// delete removes k if present, compacting the probe chain by shifting
+// displaced entries back toward their home slots.
+func (t *flatTable[V]) delete(k comboKey) {
+	if t.live == 0 {
+		return
+	}
+	i := hashCombo(k) & t.mask
+	for t.used[i] {
+		if t.keys[i] == k {
+			t.shiftBack(i)
+			t.live--
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// shiftBack empties slot i, moving each follower of the probe chain back
+// one slot unless it already sits at (or cannot reach past) its home.
+func (t *flatTable[V]) shiftBack(i uint64) {
+	var zero V
+	for {
+		t.used[i] = false
+		t.vals[i] = zero // release references held by the value
+		j := i
+		for {
+			j = (j + 1) & t.mask
+			if !t.used[j] {
+				return
+			}
+			home := hashCombo(t.keys[j]) & t.mask
+			// Move j back into i only if its home slot does not lie
+			// (cyclically) between i exclusive and j inclusive — i.e. the
+			// entry was displaced past i by the chain we are compacting.
+			if (j > i && (home <= i || home > j)) || (j < i && home <= i && home > j) {
+				t.keys[i] = t.keys[j]
+				t.vals[i] = t.vals[j]
+				t.used[i] = true
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// grow doubles the table (or creates it) and rehashes every live entry.
+func (t *flatTable[V]) grow() {
+	n := len(t.keys) * 2
+	if n < flatTableMinSize {
+		n = flatTableMinSize
+	}
+	oldKeys, oldVals, oldUsed := t.keys, t.vals, t.used
+	t.keys = make([]comboKey, n)
+	t.vals = make([]V, n)
+	t.used = make([]bool, n)
+	t.mask = uint64(n - 1)
+	t.live = 0
+	for i, u := range oldUsed {
+		if u {
+			*t.ref(oldKeys[i]) = oldVals[i]
+		}
+	}
+}
+
+// len returns the number of live entries.
+func (t *flatTable[V]) len() int { return t.live }
+
+// partialKey pads an f-label combination prefix into the shared comboKey
+// layout. label.None never appears in an engine's output list, so padded
+// keys cannot collide with shorter or longer prefixes within one table.
+func partialKey(k comboKey, f int) comboKey {
+	for i := f; i < numFields; i++ {
+		k[i] = label.None
+	}
+	return k
+}
+
+// countTable is a flatTable specialized to refcounts: inc/dec maintain
+// the invariant that stored counts are strictly positive, so the hot
+// path's presence test is get()'s ok bit alone.
+type countTable struct {
+	flatTable[int32]
+}
+
+func (t *countTable) inc(k comboKey) { *t.ref(k)++ }
+
+func (t *countTable) dec(k comboKey) {
+	if t.live == 0 {
+		return
+	}
+	i := hashCombo(k) & t.mask
+	for t.used[i] {
+		if t.keys[i] == k {
+			if t.vals[i]--; t.vals[i] <= 0 {
+				t.shiftBack(i)
+				t.live--
+			}
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// has reports whether the combination prefix is live — the ULI's
+// partial-combination validity probe.
+func (t *countTable) has(k comboKey) bool {
+	_, ok := t.get(k)
+	return ok
+}

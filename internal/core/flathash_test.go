@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/label"
+	"repro/internal/lpm"
+	"repro/internal/ruleset"
+)
+
+// TestFlatTableAgainstMap drives a flatTable and a Go map with the same
+// randomized insert/delete/get mix and requires identical contents
+// throughout — in particular across growth and backward-shift deletion.
+func TestFlatTableAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ft flatTable[int32]
+	oracle := map[comboKey]int32{}
+	randKey := func() comboKey {
+		var k comboKey
+		for f := 0; f < numFields; f++ {
+			// A tiny label space forces dense collisions and long
+			// probe chains.
+			k[f] = label.Label(rng.Intn(6))
+		}
+		return k
+	}
+	keys := make([]comboKey, 0, 4096)
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(keys) == 0: // upsert
+			k := randKey()
+			v := int32(rng.Intn(1000))
+			*ft.ref(k) = v
+			if _, dup := oracle[k]; !dup {
+				keys = append(keys, k)
+			}
+			oracle[k] = v
+		case op == 1: // delete (sometimes a missing key)
+			k := randKey()
+			if rng.Intn(2) == 0 {
+				k = keys[rng.Intn(len(keys))]
+			}
+			ft.delete(k)
+			delete(oracle, k)
+		default: // point get
+			k := keys[rng.Intn(len(keys))]
+			got, ok := ft.get(k)
+			want, wantOK := oracle[k]
+			if ok != wantOK || got != want {
+				t.Fatalf("step %d: get(%v) = %d,%v want %d,%v", step, k, got, ok, want, wantOK)
+			}
+		}
+		if ft.len() != len(oracle) {
+			t.Fatalf("step %d: len %d, oracle %d", step, ft.len(), len(oracle))
+		}
+	}
+	for k, want := range oracle {
+		got, ok := ft.get(k)
+		if !ok || got != want {
+			t.Fatalf("final: get(%v) = %d,%v want %d,true", k, got, ok, want)
+		}
+	}
+}
+
+// TestCountTable checks the refcount semantics: presence tracks strictly
+// positive counts, and dec of a missing key is a no-op.
+func TestCountTable(t *testing.T) {
+	var ct countTable
+	k1 := partialKey(comboKey{1, 2}, 2)
+	k2 := partialKey(comboKey{1, 3}, 2)
+	ct.dec(k1) // missing: no-op
+	if ct.has(k1) {
+		t.Fatal("empty table claims presence")
+	}
+	ct.inc(k1)
+	ct.inc(k1)
+	ct.inc(k2)
+	if !ct.has(k1) || !ct.has(k2) {
+		t.Fatal("lost a live combination")
+	}
+	ct.dec(k1)
+	if !ct.has(k1) {
+		t.Fatal("count 1 must still be present")
+	}
+	ct.dec(k1)
+	if ct.has(k1) {
+		t.Fatal("count 0 must be absent")
+	}
+	if !ct.has(k2) {
+		t.Fatal("unrelated key vanished")
+	}
+}
+
+// TestLookupZeroAllocs is the steady-state allocation guard for the
+// single-header hot path: once the pooled buffers are warm, Lookup must
+// not allocate — per field engine, since each engine fills the label
+// lists through its own code path.
+func TestLookupZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard runs in non-race CI step")
+	}
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := ruleset.GenerateTrace(s, ruleset.TraceConfig{Size: 64, HitRatio: 0.9, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	headers := make([]Header[lpm.V4], len(trace))
+	for i, h := range trace {
+		headers[i] = V4Header(h)
+	}
+	for name, cfg := range configsUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			c := buildClassifier(t, cfg, s)
+			// Warm the pooled buffers and any lazily sized engine state.
+			for _, h := range headers {
+				c.Lookup(h)
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				c.Lookup(headers[i%len(headers)])
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("Lookup allocates %.1f objects/op on the steady-state path, want 0", allocs)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/hwsim"
@@ -47,8 +48,10 @@ type Result struct {
 // that guarantee; bare Classifier users must serialize updates against
 // lookups themselves.
 func (c *Classifier[K]) Lookup(h Header[K]) (Result, hwsim.Cost) {
-	var bufs lookupBuffers
-	return c.lookupInto(h, &bufs)
+	bufs := bufPool.Get().(*lookupBuffers)
+	res, cost := c.lookupInto(h, bufs)
+	bufPool.Put(bufs)
+	return res, cost
 }
 
 // lookupBuffers holds reusable label-list storage for allocation-free
@@ -57,17 +60,25 @@ type lookupBuffers struct {
 	lists [numFields][]label.Label
 }
 
+// bufPool recycles lookupBuffers across lookups (and across classifier
+// instances — the buffers carry no per-classifier state). After a few
+// lookups the pooled slices hold enough capacity for any label list, so
+// the steady-state single-header Lookup path performs zero heap
+// allocations.
+var bufPool = sync.Pool{New: func() any { return new(lookupBuffers) }}
+
 // LookupBatch classifies headers in order, reusing buffers, and returns
 // the results plus the summed cost.
 func (c *Classifier[K]) LookupBatch(hs []Header[K]) ([]Result, hwsim.Cost) {
-	var bufs lookupBuffers
+	bufs := bufPool.Get().(*lookupBuffers)
 	out := make([]Result, len(hs))
 	var total hwsim.Cost
 	for i, h := range hs {
-		r, cost := c.lookupInto(h, &bufs)
+		r, cost := c.lookupInto(h, bufs)
 		out[i] = r
 		total = total.Add(cost)
 	}
+	bufPool.Put(bufs)
 	return out, total
 }
 
@@ -166,6 +177,11 @@ func (lc *lookupCounters) reset() {
 // match found — the decision-control optimization of Section III.D. In
 // CombineExhaustive mode every combination is probed (worst-case LCT,
 // Eq. 1).
+//
+// The walker is iterative — per-field cursor positions plus a bound per
+// level, all in fixed-size stack arrays — so the hot path builds no
+// closure and performs no recursion; the probe order is the same
+// depth-first, highest-priority-labels-first order the hardware follows.
 func (c *Classifier[K]) combine(bufs *lookupBuffers) Result {
 	for f := 0; f < numFields; f++ {
 		if len(bufs.lists[f]) == 0 {
@@ -175,14 +191,55 @@ func (c *Classifier[K]) combine(bufs *lookupBuffers) Result {
 	res := Result{}
 	best := ruleRef{priority: int(^uint(0) >> 1)}
 	found := false
-	var key comboKey
-
 	prune := c.cfg.Combine == CombinePruned
-	var walk func(f int, bound int)
-	walk = func(f int, bound int) {
-		if f == numFields {
+
+	var key comboKey
+	var idx [numFields]int       // next label position per level
+	var bound [numFields + 1]int // accumulated priority bound per level
+	bound[0] = -1
+	f := 0
+	for f >= 0 {
+		if idx[f] == len(bufs.lists[f]) {
+			idx[f] = 0
+			f--
+			continue // level exhausted: backtrack
+		}
+		lab := bufs.lists[f][idx[f]]
+		idx[f]++
+		fieldBound, ok := c.bounds[f].min(lab)
+		if !ok {
+			continue // stale label: no rule currently uses it
+		}
+		nb := bound[f]
+		if fieldBound > nb {
+			nb = fieldBound
+		}
+		if prune && found && nb >= best.priority {
+			continue // cannot beat the HPMR found so far
+		}
+		key[f] = lab
+		// The label-rule mapping tables (Section III.D) record which
+		// partial combinations occur in the ruleset; dead branches are
+		// never expanded in pruned mode.
+		if prune {
+			switch f {
+			case 1:
+				if !c.p2.has(partialKey(key, 2)) {
+					continue
+				}
+			case 2:
+				if !c.p3.has(partialKey(key, 3)) {
+					continue
+				}
+			case 3:
+				if !c.p4.has(partialKey(key, 4)) {
+					continue
+				}
+			}
+		}
+		if f == numFields-1 {
 			res.Probes++
-			if refs := c.filter[key]; len(refs) > 0 {
+			if refs, ok := c.filter.get(key); ok {
 				if !found {
 					res.FirstHitProbes = res.Probes
 					found = true
@@ -191,44 +248,11 @@ func (c *Classifier[K]) combine(bufs *lookupBuffers) Result {
 					best = refs[0]
 				}
 			}
-			return
+			continue
 		}
-		for _, lab := range bufs.lists[f] {
-			fieldBound, ok := c.bounds[f].min(lab)
-			if !ok {
-				continue // stale label: no rule currently uses it
-			}
-			nb := bound
-			if fieldBound > nb {
-				nb = fieldBound
-			}
-			if prune && found && nb >= best.priority {
-				continue // cannot beat the HPMR found so far
-			}
-			key[f] = lab
-			// The label-rule mapping maps (Section III.D) record which
-			// partial combinations occur in the ruleset; dead branches
-			// are never expanded in pruned mode.
-			if prune {
-				switch f {
-				case 1:
-					if c.p2[[2]label.Label{key[0], key[1]}] == 0 {
-						continue
-					}
-				case 2:
-					if c.p3[[3]label.Label{key[0], key[1], key[2]}] == 0 {
-						continue
-					}
-				case 3:
-					if c.p4[[4]label.Label{key[0], key[1], key[2], key[3]}] == 0 {
-						continue
-					}
-				}
-			}
-			walk(f+1, nb)
-		}
+		bound[f+1] = nb
+		f++
 	}
-	walk(0, -1)
 
 	if !found {
 		// No valid combination: hardware detects the miss only after

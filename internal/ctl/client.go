@@ -76,6 +76,12 @@ func (c *Client) TableCreate(name, backend string, shards int) error {
 	return c.expectOK(fmt.Sprintf("%s %s %s %s %d", cmdTable, subCreate, name, backend, shards))
 }
 
+// TableCreateCached creates a named table whose engine is fronted by an
+// exact-match flow cache of cacheEntries slots.
+func (c *Client) TableCreateCached(name, backend string, shards, cacheEntries int) error {
+	return c.expectOK(fmt.Sprintf("%s %s %s %s %d %d", cmdTable, subCreate, name, backend, shards, cacheEntries))
+}
+
 // TableDrop removes a named table.
 func (c *Client) TableDrop(name string) error {
 	return c.expectOK(fmt.Sprintf("%s %s %s", cmdTable, subDrop, name))
@@ -319,6 +325,24 @@ func (c *Client) Stats() (rules, probes, ops, maxList, overflows int, err error)
 		return 0, 0, 0, 0, 0, fmt.Errorf("ctl: parse %q: %w", resp, err)
 	}
 	return rules, probes, ops, maxList, overflows, nil
+}
+
+// CacheStats fetches the current table's flow-cache counters; cached is
+// false when the table's engine has no flow cache (no CACHE section in
+// the STATS response).
+func (c *Client) CacheStats() (hits, misses, evictions uint64, cached bool, err error) {
+	resp, err := c.roundTrip(cmdStats)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	i := strings.Index(resp, " CACHE ")
+	if i < 0 {
+		return 0, 0, 0, false, nil
+	}
+	if _, err := fmt.Sscanf(resp[i:], " CACHE %d %d %d", &hits, &misses, &evictions); err != nil {
+		return 0, 0, 0, false, fmt.Errorf("ctl: parse %q: %w", resp, err)
+	}
+	return hits, misses, evictions, true, nil
 }
 
 // Throughput fetches the modeled forwarding rate.

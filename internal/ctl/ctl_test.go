@@ -145,6 +145,69 @@ func TestRemoteMatchesLocalOracle(t *testing.T) {
 	}
 }
 
+// TestFlowCachedTable covers the flow-cache protocol surface: TABLE
+// CREATE with a cache size, the CACHE section of STATS, invalidation on
+// DELETE, and the absence of the section on uncached tables.
+func TestFlowCachedTable(t *testing.T) {
+	client, _, stop := startServerWith(t, nil)
+	defer stop()
+
+	// The default main table has no cache.
+	if _, _, _, cached, err := client.CacheStats(); err != nil || cached {
+		t.Fatalf("main CacheStats cached=%v err=%v, want false, nil", cached, err)
+	}
+
+	if err := client.TableCreateCached("hot", "decomposition", 2, 512); err != nil {
+		t.Fatalf("TableCreateCached: %v", err)
+	}
+	if err := client.TableUse("hot"); err != nil {
+		t.Fatal(err)
+	}
+	wild := rule.Rule{
+		ID: 1, Priority: 1,
+		SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(),
+		Proto: rule.AnyProto(), Action: rule.ActionDeny,
+	}
+	if _, err := client.Insert(wild); err != nil {
+		t.Fatal(err)
+	}
+	h := rule.Header{SrcIP: 9, DstIP: 9, SrcPort: 1, DstPort: 2, Proto: rule.ProtoTCP}
+	for i := 0; i < 3; i++ {
+		res, err := client.Lookup(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.RuleID != 1 {
+			t.Fatalf("lookup %d = %+v", i, res)
+		}
+	}
+	hits, misses, _, cached, err := client.CacheStats()
+	if err != nil || !cached {
+		t.Fatalf("CacheStats cached=%v err=%v", cached, err)
+	}
+	if hits != 2 || misses != 1 {
+		t.Errorf("CacheStats hits=%d misses=%d, want 2, 1", hits, misses)
+	}
+
+	// Deleting the rule invalidates the cache: the same header must now
+	// miss both the cache and the ruleset.
+	if _, err := client.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Lookup(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatalf("stale cached verdict served after DELETE: %+v", res)
+	}
+
+	// Bad cache sizes are rejected at the protocol level.
+	if err := client.TableCreateCached("bad", "linear", 1, -1); err == nil {
+		t.Error("negative cache size should fail")
+	}
+}
+
 // TestTablesLifecycle covers the multi-tenant protocol surface: create,
 // use, isolation between tables, list, drop and the error paths.
 func TestTablesLifecycle(t *testing.T) {

@@ -15,7 +15,7 @@
 // Protocol grammar (one request per line, one response per line, except
 // BULK which pipelines n body lines before its single response):
 //
-//	TABLE CREATE <name> <backend> [<shards>]         -> OK
+//	TABLE CREATE <name> <backend> [<shards> [<cache>]] -> OK
 //	TABLE DROP <name>                                -> OK
 //	TABLE USE <name>                                 -> OK
 //	TABLE LIST                                       -> TABLES <name>:<backend>:<shards>:<rules> ...
@@ -26,11 +26,15 @@
 //	LOOKUP <src> <dst> <sport> <dport> <proto>       -> MATCH <id> <prio> <action> | NOMATCH
 //	MLOOKUP (<src> <dst> <sport> <dport> <proto>)+   -> RESULTS <r>... with r = <id>:<prio>:<action> | -
 //	STATS                                            -> STATS <rules> <probes> <ops> <maxlist> <overflows>
+//	                                                    [CACHE <hits> <misses> <evictions>]
 //	THROUGHPUT                                       -> THROUGHPUT <cycles/pkt> <mpps> <gbps>
 //	QUIT                                             -> BYE
 //
 // <backend> is any spelling repro.ParseBackend accepts ("decomposition",
-// "linear", "tss", ...); <shards> defaults to 1. MLOOKUP takes k headers
+// "linear", "tss", ...); <shards> defaults to 1. <cache> fronts the
+// table's engine with an exact-match flow cache of that many slots
+// (repro.WithFlowCache); cached tables append their hit/miss/eviction
+// counters to the STATS response. MLOOKUP takes k headers
 // (5 fields each) on one line and classifies them as one batch against a
 // single consistent snapshot per shard; BULK streams k inserts and
 // returns one summed response, so a client can pipeline a whole ruleset

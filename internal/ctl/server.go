@@ -33,6 +33,19 @@ type table struct {
 	eng     repro.Engine
 }
 
+// unwrapped walks Unwrap through capability-transparent wrappers (the
+// flow cache) to the engine that carries model-level capabilities like
+// the shard count and the hardware throughput model.
+func unwrapped(eng repro.Engine) repro.Engine {
+	for {
+		u, ok := eng.(interface{ Unwrap() repro.Engine })
+		if !ok {
+			return eng
+		}
+		eng = u.Unwrap()
+	}
+}
+
 // Server exposes a registry of named tables over the control protocol.
 // Engines make their own concurrency guarantees — lookups are lock-free
 // snapshot reads and updates serialize behind each engine's snapshot
@@ -73,9 +86,9 @@ func NewServer(eng repro.Engine) *Server {
 }
 
 // engineShards reads the replica count of a sharded engine (1 for
-// unwrapped backends).
+// unsharded backends), looking through the flow-cache wrapper.
 func engineShards(eng repro.Engine) int {
-	if sh, ok := eng.(interface{ Shards() int }); ok {
+	if sh, ok := unwrapped(eng).(interface{ Shards() int }); ok {
 		return sh.Shards()
 	}
 	return 1
@@ -83,12 +96,14 @@ func engineShards(eng repro.Engine) int {
 
 // AddTable creates a named table backed by a fresh engine — the same
 // path the protocol's TABLE CREATE takes, exported for daemon
-// bootstrapping from flags.
-func (s *Server) AddTable(name string, backend repro.Backend, shards int) error {
+// bootstrapping from flags. cacheEntries > 0 fronts the engine with a
+// flow cache of that many slots.
+func (s *Server) AddTable(name string, backend repro.Backend, shards, cacheEntries int) error {
 	if !validTableName(name) {
 		return fmt.Errorf("invalid table name %q", name)
 	}
-	eng, err := repro.New(repro.WithBackend(backend), repro.WithShards(shards))
+	eng, err := repro.New(repro.WithBackend(backend), repro.WithShards(shards),
+		repro.WithFlowCache(cacheEntries))
 	if err != nil {
 		return err
 	}
@@ -367,21 +382,27 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 		}
 		// The decomposition backend (sharded or not) reports full
 		// pipeline statistics; other backends report population only.
+		// Flow-cached engines append their hit/miss/eviction counters.
 		var st repro.Stats
 		if se, ok := eng.(interface{ Stats() repro.Stats }); ok {
 			st = se.Stats()
 		} else {
 			st.Rules = eng.Len()
 		}
-		return fmt.Sprintf("STATS %d %d %d %d %d",
-			st.Rules, st.Probes, st.ProbeOps, st.MaxListLen, st.HardwareOverflows), false
+		resp := fmt.Sprintf("STATS %d %d %d %d %d",
+			st.Rules, st.Probes, st.ProbeOps, st.MaxListLen, st.HardwareOverflows)
+		if ce, ok := eng.(interface{ CacheStats() repro.FlowCacheStats }); ok {
+			cs := ce.CacheStats()
+			resp += fmt.Sprintf(" CACHE %d %d %d", cs.Hits, cs.Misses, cs.Evictions)
+		}
+		return resp, false
 
 	case cmdThroughput:
 		eng, err := sess.engine()
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		te, ok := eng.(interface{ ModelThroughput() repro.Throughput })
+		te, ok := unwrapped(eng).(interface{ ModelThroughput() repro.Throughput })
 		if !ok {
 			return fmt.Sprintf("ERR backend %s does not model throughput", eng.Backend()), false
 		}
@@ -404,21 +425,28 @@ func (sess *session) dispatchTable(args string) string {
 	}
 	switch strings.ToUpper(fields[0]) {
 	case subCreate:
-		if len(fields) < 3 || len(fields) > 4 {
-			return "ERR TABLE CREATE wants <name> <backend> [<shards>]"
+		if len(fields) < 3 || len(fields) > 5 {
+			return "ERR TABLE CREATE wants <name> <backend> [<shards> [<cache>]]"
 		}
 		backend, err := repro.ParseBackend(fields[2])
 		if err != nil {
 			return "ERR " + err.Error()
 		}
 		shards := 1
-		if len(fields) == 4 {
+		if len(fields) >= 4 {
 			shards, err = strconv.Atoi(fields[3])
 			if err != nil || shards < 1 {
 				return fmt.Sprintf("ERR shard count %q", fields[3])
 			}
 		}
-		if err := sess.srv.AddTable(fields[1], backend, shards); err != nil {
+		cache := 0
+		if len(fields) == 5 {
+			cache, err = strconv.Atoi(fields[4])
+			if err != nil || cache < 0 {
+				return fmt.Sprintf("ERR cache size %q", fields[4])
+			}
+		}
+		if err := sess.srv.AddTable(fields[1], backend, shards, cache); err != nil {
 			return "ERR " + err.Error()
 		}
 		return "OK"

@@ -1,0 +1,170 @@
+// Package flowcache implements a sharded, lock-free exact-match header
+// cache in front of any lookup engine — the software analogue of the
+// exact-match flow caches production classifiers (OVS microflow cache,
+// DPDK EMC) put before their full multi-dimensional pipeline. Real
+// traffic is heavily skewed: a small set of flows carries most packets,
+// so remembering the full classification verdict per exact 5-tuple
+// converts the common case from a multi-field decomposition search into
+// one hash probe.
+//
+// Concurrency model: the cache is an array of atomic.Pointer slots over
+// immutable entries. Readers load one pointer and compare the stored
+// header and generation — no locks, no retries. Fills publish a fresh
+// entry with one atomic store; whichever store lands last wins, which is
+// acceptable for a cache. Consistency with rule updates is by generation
+// stamping: every entry carries the cache generation observed *before*
+// the underlying engine lookup ran, and Invalidate (called by the engine
+// wrapper after each Insert/Delete completes) bumps the generation, so
+// every pre-update entry mismatches and reads fall through to the
+// engine. A lookup racing an update may still serve the pre-update
+// verdict — exactly the guarantee the RCU snapshot store already gives —
+// but no Get that begins after an update returns can see a pre-update
+// entry.
+//
+// The slot array is split into shards only for statistics: per-shard
+// hit/miss/eviction counters keep the hot path free of a single
+// contended cache line, while the slot indexing itself spans the whole
+// table.
+package flowcache
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/rule"
+)
+
+// statShards is the number of counter shards; a power of two so the
+// shard pick is a mask of the header hash.
+const statShards = 16
+
+// MinEntries is the smallest table the constructor will build.
+const MinEntries = 64
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	// Entries is the slot capacity of the table.
+	Entries int
+	// Hits and Misses count Get outcomes; HitRate is their ratio.
+	Hits, Misses uint64
+	// Evictions counts fills that displaced a live (same-generation,
+	// different-header) entry.
+	Evictions uint64
+	// Invalidations counts generation bumps (one per completed rule
+	// update on the wrapped engine).
+	Invalidations uint64
+}
+
+// HitRate returns hits / (hits + misses), 0 when idle.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// entry is one immutable cached verdict. gen is the cache generation
+// loaded before the verdict was computed; a mismatch with the current
+// generation marks the entry stale.
+type entry struct {
+	hdr rule.Header
+	res core.Result
+	gen uint64
+}
+
+// statShard keeps one shard of the counters, padded to a cache line so
+// shards do not false-share.
+type statShard struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	_         [5]uint64
+}
+
+// Cache is the sharded lock-free flow cache.
+type Cache struct {
+	gen   atomic.Uint64
+	inval atomic.Uint64
+	slots []atomic.Pointer[entry]
+	mask  uint64
+	stats [statShards]statShard
+}
+
+// New returns a cache with at least the requested number of entry slots
+// (rounded up to a power of two, minimum MinEntries).
+func New(entries int) *Cache {
+	n := MinEntries
+	for n < entries {
+		n <<= 1
+	}
+	return &Cache{
+		slots: make([]atomic.Pointer[entry], n),
+		mask:  uint64(n - 1),
+	}
+}
+
+// Entries returns the slot capacity.
+func (c *Cache) Entries() int { return len(c.slots) }
+
+// hash mixes the 5-tuple into a slot index (splitmix64 finalizer over
+// the packed fields).
+func hash(h rule.Header) uint64 {
+	x := uint64(h.SrcIP)<<32 | uint64(h.DstIP)
+	x ^= (uint64(h.SrcPort)<<24 | uint64(h.DstPort)<<8 | uint64(h.Proto)) * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Get probes the cache. It returns the cached verdict on a hit, plus the
+// generation observed at probe time: a caller that misses must thread
+// that generation through to Put so the fill is stamped with a
+// generation no newer than the engine state it read (see the package
+// comment's staleness argument).
+func (c *Cache) Get(h rule.Header) (res core.Result, gen uint64, ok bool) {
+	gen = c.gen.Load()
+	k := hash(h)
+	st := &c.stats[k&(statShards-1)]
+	if e := c.slots[k&c.mask].Load(); e != nil && e.gen == gen && e.hdr == h {
+		st.hits.Add(1)
+		return e.res, gen, true
+	}
+	st.misses.Add(1)
+	return core.Result{}, gen, false
+}
+
+// Put publishes a verdict computed against the engine state current at
+// generation gen. A fill stamped with a stale generation is published
+// anyway but can never be served, so a racing rule update silently turns
+// the fill into a no-op.
+func (c *Cache) Put(gen uint64, h rule.Header, res core.Result) {
+	k := hash(h)
+	slot := &c.slots[k&c.mask]
+	if old := slot.Load(); old != nil && old.hdr != h && old.gen == c.gen.Load() {
+		c.stats[k&(statShards-1)].evictions.Add(1)
+	}
+	slot.Store(&entry{hdr: h, res: res, gen: gen})
+}
+
+// Invalidate marks every cached entry stale. The engine wrapper calls it
+// after a rule update has fully completed, so the generation a reader
+// observes is always no newer than the engine state it will read.
+func (c *Cache) Invalidate() {
+	c.gen.Add(1)
+	c.inval.Add(1)
+}
+
+// Stats aggregates the per-shard counters.
+func (c *Cache) Stats() Stats {
+	s := Stats{Entries: len(c.slots), Invalidations: c.inval.Load()}
+	for i := range c.stats {
+		st := &c.stats[i]
+		s.Hits += st.hits.Load()
+		s.Misses += st.misses.Load()
+		s.Evictions += st.evictions.Load()
+	}
+	return s
+}

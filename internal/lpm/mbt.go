@@ -328,8 +328,18 @@ func (t *MultiBitTrie[K]) Lookup(k K, buf []label.Label) ([]label.Label, hwsim.C
 		n = s.child
 	}
 	// Entries collected level by level are grouped ascending by level;
-	// emit most specific first.
-	sort.Slice(matches, func(i, j int) bool { return matches[i].plen > matches[j].plen })
+	// emit most specific first. Insertion sort keeps the tiny match list
+	// (bounded by the per-field label list in practice) on the stack —
+	// sort.Slice would heap-allocate its closure on every lookup.
+	for i := 1; i < len(matches); i++ {
+		m := matches[i]
+		j := i - 1
+		for j >= 0 && matches[j].plen < m.plen {
+			matches[j+1] = matches[j]
+			j--
+		}
+		matches[j+1] = m
+	}
 	for _, m := range matches {
 		buf = append(buf, m.lab)
 	}

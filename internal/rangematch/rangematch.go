@@ -7,7 +7,6 @@ package rangematch
 
 import (
 	"errors"
-	"sort"
 
 	"repro/internal/hwsim"
 	"repro/internal/label"
@@ -53,9 +52,20 @@ func lessSpecific(a, b entry) bool {
 	return a.lab < b.lab
 }
 
-// sortEntries sorts matches into canonical priority order.
+// sortEntries sorts matches into canonical priority order. It is on the
+// lookup hot path (emit), so it is an insertion sort over the
+// stack-resident match list rather than sort.Slice, whose closure would
+// heap-allocate on every lookup.
 func sortEntries(es []entry) {
-	sort.Slice(es, func(i, j int) bool { return lessSpecific(es[i], es[j]) })
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && lessSpecific(e, es[j]) {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = e
+	}
 }
 
 func emit(buf []label.Label, es []entry) []label.Label {

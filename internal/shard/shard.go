@@ -105,29 +105,67 @@ func (s *Sharded) Lookup(h rule.Header) (core.Result, hwsim.Cost) {
 	return best, cost
 }
 
-// LookupBatch runs the whole batch through every replica on its own
-// goroutine — each against its own consistent RCU snapshot — and merges
-// the per-replica result columns by priority.
+// smallBatchFanout is the batch length below which LookupBatch runs the
+// replicas sequentially: for a handful of headers the goroutine spawn
+// and WaitGroup handoff cost more than the replica searches they would
+// parallelize.
+const smallBatchFanout = 16
+
+// LookupBatch runs the whole batch through every replica — each against
+// its own consistent RCU snapshot — and merges the per-replica result
+// columns by priority. Large batches fan the replicas out on parallel
+// goroutines; batches under smallBatchFanout walk them sequentially.
+// Either way the merge folds each column into one output as it arrives,
+// so no per-replica column collection is retained.
 func (s *Sharded) LookupBatch(hs []rule.Header) []core.Result {
 	if len(s.shards) == 1 {
 		return s.shards[0].LookupBatch(hs)
 	}
-	perShard := make([][]core.Result, len(s.shards))
-	var wg sync.WaitGroup
+	if len(hs) < smallBatchFanout {
+		out := s.shards[0].LookupBatch(hs)
+		for _, e := range s.shards[1:] {
+			col := e.LookupBatch(hs)
+			for j := range out {
+				out[j] = better(out[j], col[j])
+			}
+		}
+		return out
+	}
+	var (
+		mu        sync.Mutex
+		out       []core.Result
+		baseShard int
+		wg        sync.WaitGroup
+	)
 	for i, e := range s.shards {
 		wg.Add(1)
 		go func(i int, e Engine) {
 			defer wg.Done()
-			perShard[i] = e.LookupBatch(hs)
+			col := e.LookupBatch(hs)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case out == nil:
+				out = col // first column done becomes the merge output
+				baseShard = i
+			case i < baseShard:
+				// Keep the merge deterministic regardless of completion
+				// order: better() resolves an all-miss entry to its first
+				// argument, so the miss-state fields (probe counts) must
+				// always come from the lowest-index column — the same
+				// result the sequential path and single Lookup produce.
+				for j := range out {
+					out[j] = better(col[j], out[j])
+				}
+				baseShard = i
+			default:
+				for j := range out {
+					out[j] = better(out[j], col[j])
+				}
+			}
 		}(i, e)
 	}
 	wg.Wait()
-	out := perShard[0]
-	for _, col := range perShard[1:] {
-		for j := range out {
-			out[j] = better(out[j], col[j])
-		}
-	}
 	return out
 }
 

@@ -219,6 +219,22 @@ func TestLookupBatchMatchesSingle(t *testing.T) {
 	if out := s.LookupBatch(nil); len(out) != 0 {
 		t.Fatalf("empty batch returned %d results", len(out))
 	}
+
+	// The sequential small-batch path and the parallel fan-out must
+	// produce identical merges: exercise both sides of the threshold.
+	for _, n := range []int{1, smallBatchFanout - 1, smallBatchFanout, smallBatchFanout + 1, len(hs)} {
+		sub := hs[:n]
+		got := s.LookupBatch(sub)
+		if len(got) != n {
+			t.Fatalf("batch[%d] len %d", n, len(got))
+		}
+		for i, h := range sub {
+			single, _ := s.Lookup(h)
+			if got[i] != single {
+				t.Fatalf("batch size %d header %d: %+v vs %+v", n, i, got[i], single)
+			}
+		}
+	}
 }
 
 func TestAggregatedMemoryAndStats(t *testing.T) {
