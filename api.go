@@ -216,6 +216,31 @@ func (c *Classifier) LookupBatchCost(hs []Header) ([]Result, Cost) {
 	return c.inner.LookupBatch(headers)
 }
 
+// Snapshot implements Engine: it exports the installed ruleset from one
+// consistent RCU snapshot, sorted by ascending rule ID.
+func (c *Classifier) Snapshot() []Rule {
+	ts := c.inner.Tuples()
+	out := make([]Rule, len(ts))
+	for i, t := range ts {
+		out[i] = core.V4Rule(t)
+	}
+	return out
+}
+
+// Replace implements Engine: the replacement ruleset is built on the
+// quiesced RCU spare and published with a single pointer swap, so
+// concurrent lookups see the old or the new ruleset, never a mix.
+func (c *Classifier) Replace(rules []Rule) (Cost, error) {
+	if err := validateReplaceRules(rules); err != nil {
+		return Cost{}, err
+	}
+	ts := make([]core.Tuple[lpm.V4], len(rules))
+	for i, r := range rules {
+		ts[i] = core.V4Tuple(r)
+	}
+	return c.inner.Replace(ts)
+}
+
 // LookupPacket parses an Ethernet frame and classifies it.
 func (c *Classifier) LookupPacket(frame []byte) (Result, Cost, error) {
 	h, err := packet.ParseEthernet(frame)

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -128,6 +129,37 @@ func (e *baselineEngine) Delete(id int) (Cost, error) {
 	}
 	e.commit(next)
 	return downloadCost(len(next) + 1), nil
+}
+
+// Snapshot implements Engine, exporting the committed rule list sorted
+// by ascending ID.
+func (e *baselineEngine) Snapshot() []Rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := append([]Rule(nil), e.list...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Replace implements Engine: the replacement classifier state is built
+// on the quiesced RCU spare and published with one pointer swap — the
+// same applyList path a rebuild-on-update Insert takes, but with the
+// whole list swapped in one step. On failure the committed list stays
+// published. The cost models tearing down the old lines and downloading
+// the new ones.
+func (e *baselineEngine) Replace(rules []Rule) (Cost, error) {
+	if err := validateReplaceRules(rules); err != nil {
+		return Cost{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	next := append([]Rule(nil), rules...)
+	if err := e.applyList(next); err != nil {
+		return Cost{}, err
+	}
+	lines := len(e.list) + len(next)
+	e.commit(next)
+	return downloadCost(lines), nil
 }
 
 // Lookup implements Engine.

@@ -91,6 +91,22 @@ func (c *cachedEngine) Delete(id int) (Cost, error) {
 	return cost, err
 }
 
+// Replace atomically swaps the inner engine's whole ruleset and then
+// invalidates the cache with a single generation bump — one
+// invalidation for the entire swap, not one per rule, so the cache
+// refills immediately against the new ruleset instead of churning
+// through N generations.
+func (c *cachedEngine) Replace(rules []Rule) (Cost, error) {
+	cost, err := c.inner.Replace(rules)
+	if err == nil {
+		c.cache.Invalidate()
+	}
+	return cost, err
+}
+
+// Snapshot exports the inner engine's installed ruleset.
+func (c *cachedEngine) Snapshot() []Rule { return c.inner.Snapshot() }
+
 // Len returns the number of installed rules.
 func (c *cachedEngine) Len() int { return c.inner.Len() }
 

@@ -1,18 +1,25 @@
 // Command benchdiff compares two BENCH_lookup.json artifacts (see
 // cmd/lookupbench -engines) and fails when any backend's measured
-// ns/lookup regressed beyond a threshold. CI runs it against the
+// lookup path regressed beyond a threshold. CI runs it against the
 // previous successful run's artifact, so a change that slows a lookup
 // path down by more than the noise band fails the build instead of
 // silently eroding the Mlookups/s trajectory.
 //
 // Usage:
 //
-//	benchdiff -old prev/BENCH_lookup.json -new BENCH_lookup.json -max-regress 15
+//	benchdiff -old prev/BENCH_lookup.json -new BENCH_lookup.json -max-regress 15 -max-hitrate-drop 5
 //
 // Records are matched on their full identity (experiment, backend,
 // family, rules, trace length, parallelism, batch, shards, zipf skew,
-// cache size); records present on only one side — a new backend, a
-// renamed experiment, an errored run — are reported and skipped.
+// cache size), so the Zipf-skewed cached-vs-uncached records are gated
+// exactly like the plain engine records: a regression on the
+// flow-cache hit path fails the build the same as one on the engine
+// path. Flow-cached records are additionally gated on the measured
+// cache hit rate — a drop of more than -max-hitrate-drop percentage
+// points fails even when the ns/lookup noise band hides it, since a
+// degraded hit rate is a cached-path regression by definition. Records
+// present on only one side — a new backend, a renamed experiment, an
+// errored run — are reported and skipped.
 package main
 
 import (
@@ -38,6 +45,7 @@ type Record struct {
 	Zipf         float64 `json:"zipf,omitempty"`
 	CacheEntries int     `json:"cache_entries,omitempty"`
 	NsPerLookup  float64 `json:"ns_per_lookup"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 	Error        string  `json:"error,omitempty"`
 }
 
@@ -49,16 +57,22 @@ func (r Record) key() string {
 		r.Parallel, r.Batch, r.Shards, r.Zipf, r.CacheEntries)
 }
 
-// Regression is one record pair that slowed beyond the threshold.
+// Regression is one record pair that degraded beyond a threshold:
+// Metric names what regressed ("ns/lookup", or "hit-rate" for the
+// flow-cached records' hit-rate floor).
 type Regression struct {
 	Key      string
-	Old, New float64 // ns/lookup
-	Pct      float64 // relative slowdown in percent
+	Metric   string
+	Old, New float64 // ns/lookup, or hit-rate in percent
+	Pct      float64 // relative slowdown in percent (ns), or points dropped (hit-rate)
 }
 
 // compare pairs the artifacts by record identity and returns the
-// regressions beyond maxRegressPct plus a human-readable comparison log.
-func compare(old, cur []Record, maxRegressPct float64) (regs []Regression, log []string) {
+// degradations beyond the thresholds plus a human-readable comparison
+// log: ns/lookup beyond maxRegressPct on every record, and — for
+// flow-cached records carrying a measured hit rate on both sides — a
+// hit-rate drop beyond maxHitDropPts percentage points.
+func compare(old, cur []Record, maxRegressPct, maxHitDropPts float64) (regs []Regression, log []string) {
 	prev := map[string]Record{}
 	for _, r := range old {
 		if r.Error == "" && r.NsPerLookup > 0 {
@@ -80,10 +94,24 @@ func compare(old, cur []Record, maxRegressPct float64) (regs []Regression, log [
 		verdict := "ok    "
 		if pct > maxRegressPct {
 			verdict = "REGRES"
-			regs = append(regs, Regression{Key: k, Old: p.NsPerLookup, New: r.NsPerLookup, Pct: pct})
+			regs = append(regs, Regression{Key: k, Metric: "ns/lookup", Old: p.NsPerLookup, New: r.NsPerLookup, Pct: pct})
 		}
 		log = append(log, fmt.Sprintf("%s %-60s %8.0f -> %8.0f ns (%+.1f%%)",
 			verdict, k, p.NsPerLookup, r.NsPerLookup, pct))
+		// The gate needs a measured baseline rate; on the current side
+		// a cached record (CacheEntries > 0) always carries its
+		// measurement — lookupbench serializes cache_hit_rate without
+		// omitempty exactly so that a total collapse to 0% is a
+		// reportable drop, not an absent field.
+		if r.CacheEntries > 0 && p.CacheHitRate > 0 {
+			drop := 100 * (p.CacheHitRate - r.CacheHitRate)
+			if drop > maxHitDropPts {
+				regs = append(regs, Regression{Key: k, Metric: "hit-rate",
+					Old: 100 * p.CacheHitRate, New: 100 * r.CacheHitRate, Pct: drop})
+				log = append(log, fmt.Sprintf("REGRES %-60s hit rate %5.1f%% -> %5.1f%% (-%.1f pts)",
+					k, 100*p.CacheHitRate, 100*r.CacheHitRate, drop))
+			}
+		}
 	}
 	for k := range prev {
 		log = append(log, fmt.Sprintf("gone   %-60s (baseline only)", k))
@@ -109,6 +137,7 @@ func main() {
 		oldPath = flag.String("old", "", "baseline BENCH_lookup.json (previous run's artifact)")
 		newPath = flag.String("new", "BENCH_lookup.json", "current BENCH_lookup.json")
 		maxPct  = flag.Float64("max-regress", 15, "fail when ns/lookup regresses more than this percentage")
+		maxDrop = flag.Float64("max-hitrate-drop", 5, "fail when a flow-cached record's hit rate drops more than this many percentage points")
 	)
 	flag.Parse()
 	if *oldPath == "" {
@@ -125,16 +154,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	regs, log := compare(old, cur, *maxPct)
+	regs, log := compare(old, cur, *maxPct, *maxDrop)
 	for _, line := range log {
 		fmt.Println(line)
 	}
 	if len(regs) > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d lookup-path regression(s) beyond %.0f%%:\n", len(regs), *maxPct)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d lookup-path regression(s):\n", len(regs))
 		for _, r := range regs {
+			if r.Metric == "hit-rate" {
+				fmt.Fprintf(os.Stderr, "  %s: cache hit rate %.1f%% -> %.1f%% (-%.1f pts)\n", r.Key, r.Old, r.New, r.Pct)
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "  %s: %.0f -> %.0f ns/lookup (%+.1f%%)\n", r.Key, r.Old, r.New, r.Pct)
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: no regression beyond %.0f%% across %d comparable records\n", *maxPct, len(cur))
+	fmt.Printf("benchdiff: no regression beyond %.0f%% ns or %.0f hit-rate points across %d comparable records\n",
+		*maxPct, *maxDrop, len(cur))
 }

@@ -31,7 +31,7 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 		rec("HiCuts", 1, 300),        // new record, no baseline
 		rec("RFC", 1, 40),            // baseline errored: counts as new
 	}
-	regs, log := compare(old, cur, 15)
+	regs, log := compare(old, cur, 15, 5)
 	if len(regs) != 1 {
 		t.Fatalf("regressions = %+v, want exactly the +20%% one", regs)
 	}
@@ -58,14 +58,14 @@ func TestCompareDistinguishesIdentity(t *testing.T) {
 	// be compared against each other.
 	old := []Record{rec("Decomposition", 1, 100)}
 	cur := []Record{rec("Decomposition", 4, 1000)}
-	regs, _ := compare(old, cur, 15)
+	regs, _ := compare(old, cur, 15, 5)
 	if len(regs) != 0 {
 		t.Fatalf("cross-identity comparison: %+v", regs)
 	}
 	oldZ := rec("Decomposition", 1, 100)
 	oldZ.Zipf, oldZ.CacheEntries = 1.2, 65536
 	curZ := rec("Decomposition", 1, 500)
-	if regs, _ := compare([]Record{oldZ}, []Record{curZ}, 15); len(regs) != 0 {
+	if regs, _ := compare([]Record{oldZ}, []Record{curZ}, 15, 5); len(regs) != 0 {
 		t.Fatalf("zipf/cache identity ignored: %+v", regs)
 	}
 }
@@ -89,5 +89,81 @@ func TestLoadRoundTrip(t *testing.T) {
 	}
 	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+// zrec builds one Zipf-experiment record, the cached-path shape the
+// regression gate must cover (cacheEntries == 0 is the uncached twin).
+func zrec(backend string, shards, cacheEntries int, ns, hitRate float64) Record {
+	return Record{
+		Experiment: "engine_zipf_lookup", Backend: backend, Family: "acl",
+		Rules: 1000, TraceLen: 5000, Parallel: 4, Batch: 64, Shards: shards,
+		Zipf: 1.2, CacheEntries: cacheEntries, NsPerLookup: ns, CacheHitRate: hitRate,
+	}
+}
+
+func TestCompareGatesCachedPath(t *testing.T) {
+	old := []Record{
+		zrec("Decomposition", 1, 0, 1300, 0),
+		zrec("Decomposition", 1, 65536, 150, 0.98),
+		zrec("TSS", 1, 65536, 200, 0.97),
+	}
+	// The cached decomposition record regresses 2x while its uncached
+	// twin is stable: the gate must flag exactly the cached record.
+	cur := []Record{
+		zrec("Decomposition", 1, 0, 1320, 0),
+		zrec("Decomposition", 1, 65536, 300, 0.98),
+		zrec("TSS", 1, 65536, 205, 0.97),
+	}
+	regs, _ := compare(old, cur, 15, 5)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the cached-path one", regs)
+	}
+	if r := regs[0]; r.Metric != "ns/lookup" || r.Old != 150 || r.New != 300 {
+		t.Errorf("wrong record flagged: %+v", r)
+	}
+}
+
+func TestCompareGatesHitRateDrop(t *testing.T) {
+	old := []Record{zrec("Decomposition", 1, 65536, 150, 0.98)}
+	// ns/lookup inside the noise band, but the hit rate collapsed: a
+	// cached-path regression by definition, and it must fail the build.
+	cur := []Record{zrec("Decomposition", 1, 65536, 160, 0.80)}
+	regs, _ := compare(old, cur, 15, 5)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want the hit-rate drop", regs)
+	}
+	if r := regs[0]; r.Metric != "hit-rate" || r.Pct < 17 || r.Pct > 19 {
+		t.Errorf("hit-rate regression = %+v", r)
+	}
+	// A small wobble inside the threshold passes.
+	cur = []Record{zrec("Decomposition", 1, 65536, 160, 0.95)}
+	if regs, _ := compare(old, cur, 15, 5); len(regs) != 0 {
+		t.Fatalf("hit-rate wobble flagged: %+v", regs)
+	}
+	// Uncached records (no hit rate) are never hit-rate gated.
+	oldU := []Record{zrec("Linear", 1, 0, 500, 0)}
+	curU := []Record{zrec("Linear", 1, 0, 510, 0)}
+	if regs, _ := compare(oldU, curU, 15, 5); len(regs) != 0 {
+		t.Fatalf("uncached record hit-rate gated: %+v", regs)
+	}
+}
+
+func TestCompareCatchesTotalHitRateCollapse(t *testing.T) {
+	// A cached record whose hit rate collapses to exactly 0% — the
+	// worst cached-path regression — must be flagged even though the
+	// zero value looks like "absent" (lookupbench serializes
+	// cache_hit_rate without omitempty for exactly this case).
+	old := []Record{zrec("Decomposition", 1, 65536, 150, 0.98)}
+	cur := []Record{zrec("Decomposition", 1, 65536, 155, 0)}
+	regs, _ := compare(old, cur, 15, 5)
+	if len(regs) != 1 || regs[0].Metric != "hit-rate" {
+		t.Fatalf("total hit-rate collapse not flagged: %+v", regs)
+	}
+	// A baseline without a measured rate (uncached or pre-measurement
+	// artifact) never gates.
+	oldNoRate := []Record{zrec("Decomposition", 1, 65536, 150, 0)}
+	if regs, _ := compare(oldNoRate, cur, 15, 5); len(regs) != 0 {
+		t.Fatalf("baseline without hit rate gated: %+v", regs)
 	}
 }

@@ -1,0 +1,301 @@
+// Command classifierctl is the host-side control CLI for a running
+// classifierd: one shot per invocation, speaking the ctl protocol
+// through the same client library the tests and the CI e2e smoke use.
+// It covers the table lifecycle, rule updates (single, pipelined bulk,
+// atomic swap) and the snapshot subsystem (dump, save, restore, reset).
+//
+// Usage:
+//
+//	classifierctl -addr 127.0.0.1:9099 [-table name] <command> [args...]
+//
+//	tables                                     list tables
+//	create <name> <backend> [shards [cache]]   create a table
+//	drop <name>                                drop a table
+//	insert <id> <prio> <action> @<rule>        insert one rule
+//	bulk <classbench-file>                     pipeline a ruleset (BULK)
+//	swap <classbench-file>                     atomically replace the ruleset (SWAP)
+//	delete <id>                                delete one rule
+//	lookup <src> <dst> <sport> <dport> <proto> classify one header
+//	snapshot                                   dump the table's rules to stdout
+//	save <name>                                checkpoint the table as <name>.snap
+//	restore <name>                             atomically restore <name>.snap
+//	reset                                      atomically clear the table
+//	stats                                      table statistics
+//
+// -table switches the connection's current table before the command
+// runs, so every command operates on that table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	repro "repro"
+	"repro/internal/ctl"
+	"repro/internal/rule"
+	"repro/internal/snapfile"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "classifierctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one CLI invocation; split from main for testing.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("classifierctl", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9099", "classifierd address")
+	table := fs.String("table", "", "table to operate on (default: the connection default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("missing command (tables, create, drop, insert, bulk, swap, delete, lookup, snapshot, save, restore, reset, stats)")
+	}
+	client, err := ctl.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	if *table != "" {
+		if err := client.TableUse(*table); err != nil {
+			return err
+		}
+	}
+	return dispatch(client, fs.Arg(0), fs.Args()[1:], out)
+}
+
+func dispatch(client *ctl.Client, cmd string, args []string, out io.Writer) error {
+	switch cmd {
+	case "tables":
+		infos, err := client.Tables()
+		if err != nil {
+			return err
+		}
+		for _, info := range infos {
+			fmt.Fprintf(out, "%s\t%s\t%d shard(s)\t%d rule(s)\n",
+				info.Name, info.Backend, info.Shards, info.Rules)
+		}
+		return nil
+
+	case "create":
+		if len(args) < 2 || len(args) > 4 {
+			return fmt.Errorf("create wants <name> <backend> [shards [cache]]")
+		}
+		shards, cache := 1, 0
+		var err error
+		if len(args) >= 3 {
+			if shards, err = strconv.Atoi(args[2]); err != nil {
+				return fmt.Errorf("shards %q", args[2])
+			}
+		}
+		if len(args) == 4 {
+			if cache, err = strconv.Atoi(args[3]); err != nil {
+				return fmt.Errorf("cache %q", args[3])
+			}
+		}
+		if cache > 0 {
+			err = client.TableCreateCached(args[0], args[1], shards, cache)
+		} else {
+			err = client.TableCreate(args[0], args[1], shards)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "created %s\n", args[0])
+		return nil
+
+	case "drop":
+		if len(args) != 1 {
+			return fmt.Errorf("drop wants <name>")
+		}
+		if err := client.TableDrop(args[0]); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "dropped %s\n", args[0])
+		return nil
+
+	case "insert":
+		r, err := snapfile.ParseRuleLine(strings.Join(args, " "))
+		if err != nil {
+			return err
+		}
+		cycles, err := client.Insert(r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "inserted rule %d (%d cycles)\n", r.ID, cycles)
+		return nil
+
+	case "bulk", "swap":
+		if len(args) != 1 {
+			return fmt.Errorf("%s wants <classbench-file>", cmd)
+		}
+		set, err := loadRules(args[0])
+		if err != nil {
+			return err
+		}
+		if cmd == "bulk" {
+			cycles, err := client.BulkInsert(set.Rules())
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "bulk-inserted %d rules (%d cycles)\n", set.Len(), cycles)
+			return nil
+		}
+		cycles, err := client.Swap(set.Rules())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "swapped in %d rules atomically (%d cycles)\n", set.Len(), cycles)
+		return nil
+
+	case "delete":
+		if len(args) != 1 {
+			return fmt.Errorf("delete wants <id>")
+		}
+		id, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("rule id %q", args[0])
+		}
+		cycles, err := client.Delete(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "deleted rule %d (%d cycles)\n", id, cycles)
+		return nil
+
+	case "lookup":
+		if len(args) != 5 {
+			return fmt.Errorf("lookup wants <src> <dst> <sport> <dport> <proto>")
+		}
+		h, err := parseHeader(args)
+		if err != nil {
+			return err
+		}
+		res, err := client.Lookup(h)
+		if err != nil {
+			return err
+		}
+		if !res.Found {
+			fmt.Fprintln(out, "NOMATCH")
+			return nil
+		}
+		fmt.Fprintf(out, "MATCH rule %d priority %d action %s\n", res.RuleID, res.Priority, res.Action)
+		return nil
+
+	case "snapshot":
+		rules, err := client.Snapshot()
+		if err != nil {
+			return err
+		}
+		for i := range rules {
+			fmt.Fprintln(out, snapfile.FormatRule(rules[i]))
+		}
+		return nil
+
+	case "save":
+		if len(args) != 1 {
+			return fmt.Errorf("save wants <name>")
+		}
+		n, err := client.SnapshotSave(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "saved %d rules as %s.snap\n", n, args[0])
+		return nil
+
+	case "restore":
+		if len(args) != 1 {
+			return fmt.Errorf("restore wants <name>")
+		}
+		n, cycles, err := client.Restore(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "restored %d rules from %s.snap (%d cycles)\n", n, args[0], cycles)
+		return nil
+
+	case "reset":
+		cycles, err := client.Reset()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "reset (%d cycles)\n", cycles)
+		return nil
+
+	case "stats":
+		rules, probes, ops, maxList, overflows, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "rules %d probes %d ops %d maxlist %d overflows %d\n",
+			rules, probes, ops, maxList, overflows)
+		if hits, misses, evictions, cached, err := client.CacheStats(); err == nil && cached {
+			fmt.Fprintf(out, "cache hits %d misses %d evictions %d\n", hits, misses, evictions)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// loadRules reads a ClassBench ruleset file; IDs and priorities come
+// from line order, like classifierd's -rules pre-load.
+func loadRules(path string) (*repro.RuleSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return repro.ParseRules(f)
+}
+
+// parseHeader decodes the lookup command's five fields.
+func parseHeader(args []string) (rule.Header, error) {
+	src, err := parseAddr(args[0])
+	if err != nil {
+		return rule.Header{}, err
+	}
+	dst, err := parseAddr(args[1])
+	if err != nil {
+		return rule.Header{}, err
+	}
+	sp, err := strconv.ParseUint(args[2], 10, 16)
+	if err != nil {
+		return rule.Header{}, fmt.Errorf("source port %q", args[2])
+	}
+	dp, err := strconv.ParseUint(args[3], 10, 16)
+	if err != nil {
+		return rule.Header{}, fmt.Errorf("destination port %q", args[3])
+	}
+	pr, err := strconv.ParseUint(args[4], 10, 8)
+	if err != nil {
+		return rule.Header{}, fmt.Errorf("protocol %q", args[4])
+	}
+	return rule.Header{SrcIP: src, DstIP: dst,
+		SrcPort: uint16(sp), DstPort: uint16(dp), Proto: uint8(pr)}, nil
+}
+
+func parseAddr(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("address %q", s)
+	}
+	var addr uint32
+	for _, p := range parts {
+		b, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("address %q", s)
+		}
+		addr = addr<<8 | uint32(b)
+	}
+	return addr, nil
+}

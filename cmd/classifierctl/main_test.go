@@ -1,0 +1,118 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	repro "repro"
+	"repro/internal/ctl"
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+// startDaemon serves a fresh decomposition engine with a snapshot dir,
+// returning its address.
+func startDaemon(t *testing.T) (addr, snapDir string) {
+	t.Helper()
+	eng, err := repro.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ctl.NewServer(eng)
+	srv.SnapshotDir = t.TempDir()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return l.Addr().String(), srv.SnapshotDir
+}
+
+// cli runs one classifierctl invocation against addr and returns stdout.
+func cli(t *testing.T, addr string, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(append([]string{"-addr", addr}, args...), &b); err != nil {
+		t.Fatalf("classifierctl %v: %v", args, err)
+	}
+	return b.String()
+}
+
+func TestCLIFullCycle(t *testing.T) {
+	addr, snapDir := startDaemon(t)
+
+	set, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 40, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rulesPath := filepath.Join(t.TempDir(), "rules.txt")
+	f, err := os.Create(rulesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rule.WriteSet(f, set); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cli(t, addr, "create", "edge", "linear", "2")
+	if out := cli(t, addr, "tables"); !strings.Contains(out, "edge") {
+		t.Fatalf("tables output missing edge: %q", out)
+	}
+	cli(t, addr, "-table", "edge", "bulk", rulesPath)
+	if out := cli(t, addr, "-table", "edge", "stats"); !strings.Contains(out, "rules 40") {
+		t.Fatalf("stats after bulk: %q", out)
+	}
+	// Snapshot dump round-trips through the snapfile line format.
+	dump := cli(t, addr, "-table", "edge", "snapshot")
+	if got := len(strings.Split(strings.TrimSpace(dump), "\n")); got != 40 {
+		t.Fatalf("snapshot dumped %d lines, want 40", got)
+	}
+	// Checkpoint, clobber, restore.
+	cli(t, addr, "-table", "edge", "save", "cp")
+	if _, err := os.Stat(filepath.Join(snapDir, "cp.snap")); err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+	cli(t, addr, "-table", "edge", "reset")
+	if out := cli(t, addr, "-table", "edge", "stats"); !strings.Contains(out, "rules 0") {
+		t.Fatalf("stats after reset: %q", out)
+	}
+	if out := cli(t, addr, "-table", "edge", "restore", "cp"); !strings.Contains(out, "restored 40 rules") {
+		t.Fatalf("restore: %q", out)
+	}
+	// Atomic swap from a file, then verify a lookup answers.
+	cli(t, addr, "-table", "edge", "swap", rulesPath)
+	out := cli(t, addr, "-table", "edge", "lookup", "0.0.0.1", "0.0.0.2", "3", "4", "6")
+	if !strings.HasPrefix(out, "MATCH") && !strings.HasPrefix(out, "NOMATCH") {
+		t.Fatalf("lookup output: %q", out)
+	}
+	cli(t, addr, "drop", "edge")
+}
+
+func TestCLIErrors(t *testing.T) {
+	addr, _ := startDaemon(t)
+	var b strings.Builder
+	for _, args := range [][]string{
+		{"-addr", addr},                             // no command
+		{"-addr", addr, "frob"},                     // unknown command
+		{"-addr", addr, "create", "x"},              // missing backend
+		{"-addr", addr, "bulk", "/nonexistent"},     // unreadable file
+		{"-addr", addr, "-table", "nope", "tables"}, // unknown table
+		{"-addr", addr, "lookup", "1.2.3.4"},        // short header
+		{"-addr", addr, "restore", "absent"},        // missing snapshot
+	} {
+		if err := run(args, &b); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

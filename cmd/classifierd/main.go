@@ -12,10 +12,20 @@
 //
 //	classifierd -listen 127.0.0.1:9099 -rules acl10k.txt -lpm mbt
 //	classifierd -backend tss -shards 4 -tables "edge=linear,core=decomposition:8"
+//	classifierd -snapshot-dir /var/lib/classifierd
 //	printf 'LOOKUP 10.0.0.1 8.8.8.8 999 80 6\n' | nc 127.0.0.1 9099
 //
-// The process exits cleanly on SIGINT/SIGTERM: the listener closes and
-// in-flight connections drain before the daemon returns.
+// With -snapshot-dir the daemon is persistent: every table is saved as
+// a checksummed <table>.snap snapshot (see repro/internal/snapfile) when
+// the daemon drains, and all snapshots in the directory are restored on
+// the next start — tables that exist from flags get their saved ruleset
+// swapped in atomically, other snapshots recreate their table from the
+// file's recorded backend/shards/cache. Clients can also checkpoint at
+// runtime with the ctl SNAPSHOT SAVE / RESTORE commands.
+//
+// The process exits cleanly on SIGINT/SIGTERM: the listener closes,
+// in-flight connections drain, and (with -snapshot-dir) every table is
+// snapshotted before the daemon returns.
 package main
 
 import (
@@ -42,10 +52,11 @@ func main() {
 		cacheF    = flag.Int("flowcache", 0, "main table flow-cache slots (0 disables)")
 		tablesF   = flag.String("tables", "", `extra tables, "name=backend[:shards[:cache]],..."`)
 		lpmAlgo   = flag.String("lpm", "mbt", "decomposition LPM engine: mbt, bst or amtrie")
+		snapDir   = flag.String("snapshot-dir", "", "directory for table snapshots: restored on start, saved on drain (empty disables persistence)")
 	)
 	flag.Parse()
 
-	srv, err := buildServer(*backendF, *shardsF, *cacheF, *tablesF, *lpmAlgo, *rulesPath)
+	srv, err := buildServer(*backendF, *shardsF, *cacheF, *tablesF, *lpmAlgo, *rulesPath, *snapDir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "classifierd: %v\n", err)
 		os.Exit(2)
@@ -72,13 +83,22 @@ func main() {
 		srv.Shutdown()
 		<-done
 	}
+	if *snapDir != "" {
+		if err := srv.SaveSnapshots(); err != nil {
+			log.Fatalf("classifierd: snapshot save: %v", err)
+		}
+		log.Printf("tables snapshotted to %s", *snapDir)
+	}
 	log.Printf("shutdown complete")
 }
 
 // buildServer assembles the table registry from flag values: the main
 // table from backend/shards/flowcache/lpm (pre-loaded from rulesPath if
-// given) plus the extra tables of the -tables spec.
-func buildServer(backendSpec string, shards, flowCache int, tablesSpec, lpmAlgo, rulesPath string) (*ctl.Server, error) {
+// given) plus the extra tables of the -tables spec. With a snapshot
+// directory, saved tables are restored last, so a persisted ruleset
+// overrides a -rules pre-load while flags keep authority over engine
+// configuration.
+func buildServer(backendSpec string, shards, flowCache int, tablesSpec, lpmAlgo, rulesPath, snapDir string) (*ctl.Server, error) {
 	backend, err := repro.ParseBackend(backendSpec)
 	if err != nil {
 		return nil, err
@@ -119,6 +139,22 @@ func buildServer(backendSpec string, shards, flowCache int, tablesSpec, lpmAlgo,
 	for _, spec := range extras {
 		if err := srv.AddTable(spec.name, spec.backend, spec.shards, spec.cache); err != nil {
 			return nil, fmt.Errorf("table %q: %w", spec.name, err)
+		}
+	}
+	if snapDir != "" {
+		if err := os.MkdirAll(snapDir, 0o755); err != nil {
+			return nil, fmt.Errorf("snapshot dir: %w", err)
+		}
+		srv.SnapshotDir = snapDir
+		restored, warns, err := srv.LoadSnapshots()
+		for _, w := range warns {
+			log.Printf("snapshot warning: %s", w)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if restored > 0 {
+			log.Printf("restored %d table(s) from %s", restored, snapDir)
 		}
 	}
 	return srv, nil

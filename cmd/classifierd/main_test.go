@@ -66,7 +66,7 @@ func TestBuildServerErrors(t *testing.T) {
 		{"decomposition", "", "quadtree", "", 1},
 		{"decomposition", "", "mbt", "/nonexistent/rules.txt", 1},
 	} {
-		if _, err := buildServer(c.backend, c.shards, 0, c.tables, c.lpm, c.rules); err == nil {
+		if _, err := buildServer(c.backend, c.shards, 0, c.tables, c.lpm, c.rules, ""); err == nil {
 			t.Errorf("buildServer(%+v) should fail", c)
 		}
 	}
@@ -92,7 +92,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	f.Close()
 
-	srv, err := buildServer("decomposition", 4, 1024, "edge=linear:2,fast=tss", "mbt", rulesPath)
+	srv, err := buildServer("decomposition", 4, 1024, "edge=linear:2,fast=tss", "mbt", rulesPath, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,5 +190,142 @@ func TestDaemonEndToEnd(t *testing.T) {
 	srv.Shutdown()
 	if err := <-done; err != nil {
 		t.Errorf("Serve: %v", err)
+	}
+}
+
+// TestDaemonSnapshotRestart is the persistence contract: a daemon built
+// with -snapshot-dir saves every table on drain and a fresh daemon with
+// the same directory comes back serving identical tables — including a
+// table that only ever existed via TABLE CREATE, which must be
+// recreated from its snapshot's recorded backend/shards/cache.
+func TestDaemonSnapshotRestart(t *testing.T) {
+	dir := t.TempDir()
+	set, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 80, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynSet, err := ruleset.Generate(ruleset.Config{Family: ruleset.FW, Size: 40, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boot := func() (*ctl.Server, *ctl.Client, chan error) {
+		srv, err := buildServer("decomposition", 2, 0, "edge=linear", "mbt", "", dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(l) }()
+		client, err := ctl.Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, client, done
+	}
+
+	// First life: populate main, edge and a runtime-created table.
+	srv, client, done := boot()
+	if _, err := client.BulkInsert(set.Rules()); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.TableCreateCached("dyn", "tss", 1, 128); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.TableUse("dyn"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.BulkInsert(dynSet.Rules()); err != nil {
+		t.Fatal(err)
+	}
+	// A user checkpoint shares the directory but must NOT become a
+	// table on restart.
+	if _, err := client.SnapshotSave("usercp"); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	srv.Shutdown()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The daemon's drain hook (main runs this after Shutdown returns).
+	if err := srv.SaveSnapshots(); err != nil {
+		t.Fatalf("SaveSnapshots: %v", err)
+	}
+
+	// Second life: same flags, same dir — everything must be back.
+	srv2, client2, done2 := boot()
+	defer func() {
+		client2.Close()
+		srv2.Shutdown()
+		<-done2
+	}()
+	infos, err := client2.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ctl.TableInfo{}
+	for _, info := range infos {
+		byName[info.Name] = info
+	}
+	if m := byName["main"]; m.Rules != set.Len() || m.Shards != 2 {
+		t.Fatalf("main after restart = %+v", m)
+	}
+	if d := byName["dyn"]; d.Backend != "tss" || d.Rules != dynSet.Len() {
+		t.Fatalf("dyn after restart = %+v", d)
+	}
+	if e := byName["edge"]; e.Rules != 0 {
+		t.Fatalf("edge after restart = %+v", e)
+	}
+	if _, resurrected := byName["usercp"]; resurrected {
+		t.Fatal("user checkpoint came back as a table")
+	}
+	// But it is still restorable as a checkpoint.
+	if err := client2.TableUse("dyn"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, err := client2.Restore("usercp"); err != nil || n != dynSet.Len() {
+		t.Fatalf("Restore(usercp) = %d, %v", n, err)
+	}
+	if err := client2.TableUse("main"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-for-byte: the restored main table's snapshot equals the set
+	// that was loaded, rule by rule.
+	snap, err := client2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]rule.Rule{}
+	for _, r := range set.Rules() {
+		byID[r.ID] = r
+	}
+	if len(snap) != set.Len() {
+		t.Fatalf("main snapshot has %d rules, want %d", len(snap), set.Len())
+	}
+	for _, r := range snap {
+		if want, ok := byID[r.ID]; !ok || r != want {
+			t.Fatalf("rule %d changed across restart:\n  got  %+v\n  want %+v", r.ID, r, byID[r.ID])
+		}
+	}
+	// And the restored tables still answer like the oracle.
+	trace, err := ruleset.GenerateTrace(set, ruleset.TraceConfig{Size: 64, HitRatio: 0.8, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client2.MLookup(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range trace {
+		want, ok := set.Match(h)
+		if got[i].Found != ok || (ok && got[i].RuleID != want.ID) {
+			t.Fatalf("restored main header %d: remote (%d,%v) vs oracle (%d,%v)",
+				i, got[i].RuleID, got[i].Found, want.ID, ok)
+		}
 	}
 }

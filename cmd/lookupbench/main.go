@@ -420,10 +420,13 @@ type BenchRecord struct {
 	Incremental    bool    `json:"incremental"`
 	// Zipf experiment fields: the skew parameter of the trace, the
 	// flow-cache slot count (0 = uncached record) and the measured
-	// cache hit rate.
+	// cache hit rate. CacheHitRate is deliberately NOT omitempty: a
+	// cached record whose hit rate collapsed to exactly 0 must still
+	// carry the measurement, or the benchdiff hit-rate gate could not
+	// tell a total collapse from an uncached record.
 	Zipf         float64 `json:"zipf,omitempty"`
 	CacheEntries int     `json:"cache_entries,omitempty"`
-	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
 	Error        string  `json:"error,omitempty"`
 }
 

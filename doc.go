@@ -90,12 +90,43 @@
 // memory maps and (for the decomposition backend) the modeled
 // throughput aggregate across replicas.
 //
+// # Atomic ruleset snapshots
+//
+// A whole ruleset is a first-class unit, mirroring the paper's model of
+// downloading a complete ruleset to the hardware. Engine.Snapshot
+// exports the installed rules from one consistent snapshot (sorted by
+// ascending rule ID), and Engine.Replace swaps the entire ruleset in
+// one atomic step:
+//
+//	rules := eng.Snapshot()            // consistent export
+//	_, err := eng.Replace(newRules)    // build aside, publish with one RCU swap
+//	_, err = eng.Replace(nil)          // atomic reset
+//
+// Replace builds the new state off to the side and publishes it with a
+// single RCU pointer swap — on a sharded engine the whole replica set
+// is rebuilt aside and installed with one atomic pointer store — so
+// concurrent lookups observe either the complete old ruleset or the
+// complete new one, never the intermediate states an Insert/Delete
+// churn would expose. On error the published ruleset is unchanged. A
+// flow-cached engine invalidates with a single generation bump per
+// swap.
+//
+// The serialized form lives in internal/snapfile: a versioned,
+// CRC-32-checksummed text format that round-trips byte-for-byte. The
+// ctl protocol exposes the subsystem as SNAPSHOT (wire dump),
+// SNAPSHOT SAVE / RESTORE (checkpoint files), RESET and SWAP (pipelined
+// rule body, one atomic apply), and classifierd -snapshot-dir makes the
+// daemon persistent: tables are saved on drain and restored on start,
+// so a SIGTERM'd daemon comes back with its tables intact.
+//
 // # Serving
 //
 // The ctl protocol (internal/ctl, served by cmd/classifierd) exposes
 // engines over TCP as named tables — each table its own backend and
-// shard count — with batched MLOOKUP and pipelined BULK insert
-// commands, so one daemon serves heterogeneous workloads side by side.
+// shard count — with batched MLOOKUP, pipelined BULK insert and the
+// snapshot commands above, so one daemon serves heterogeneous
+// workloads side by side. cmd/classifierctl is the matching one-shot
+// CLI.
 //
 // # Hardware model
 //

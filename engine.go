@@ -46,6 +46,20 @@ type Engine interface {
 	// IncrementalUpdate reports whether Insert/Delete avoid a rebuild
 	// (the Table I incremental-update column).
 	IncrementalUpdate() bool
+	// Snapshot exports the installed ruleset from one consistent
+	// snapshot, sorted by ascending rule ID — the deterministic order
+	// the snapshot file format serializes.
+	Snapshot() []Rule
+	// Replace atomically swaps the entire ruleset: the new state is
+	// built off to the side and published with a single RCU pointer
+	// swap, so concurrent Lookup/LookupBatch callers observe either the
+	// complete old ruleset or the complete new one, never a mix. The
+	// rules follow the same contract as Insert (unique non-zero IDs,
+	// non-zero priorities); nil or empty rules reset the engine. On
+	// error the published ruleset is unchanged. The returned cost is
+	// the full download of the new state (plus teardown of the old),
+	// mirroring the paper's whole-ruleset download model.
+	Replace(rules []Rule) (Cost, error)
 }
 
 // Backend selects the algorithm behind an Engine: the paper's
@@ -293,7 +307,11 @@ func newSharded(o engineOptions, rules *RuleSet) (Engine, error) {
 		}
 		replicas[i] = eng
 	}
-	inner, err := shard.New(replicas)
+	// The factory hands Replace fresh, empty replicas of the same
+	// backend/config so a whole-ruleset swap can build the next replica
+	// set off to the side before its single atomic publish.
+	factory := func() (shard.Engine, error) { return newSingle(o, nil) }
+	inner, err := shard.New(replicas, factory)
 	if err != nil {
 		return nil, err
 	}
@@ -391,6 +409,23 @@ func validateEngineRule(r Rule) error {
 		return err
 	}
 	return r.Validate()
+}
+
+// validateReplaceRules checks a whole Replace candidate list up front —
+// per-rule contract plus ID uniqueness — so backends can reject a bad
+// list before touching any state.
+func validateReplaceRules(rules []Rule) error {
+	seen := make(map[int]struct{}, len(rules))
+	for i := range rules {
+		if err := validateEngineRule(rules[i]); err != nil {
+			return err
+		}
+		if _, dup := seen[rules[i].ID]; dup {
+			return fmt.Errorf("rule %d: %w", rules[i].ID, core.ErrDuplicateRule)
+		}
+		seen[rules[i].ID] = struct{}{}
+	}
+	return nil
 }
 
 // validateRuleIdentity is the identity half of the Engine rule contract,

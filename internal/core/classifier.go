@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/exactmatch"
 	"repro/internal/hwsim"
@@ -357,6 +358,45 @@ func (c *Classifier[K]) Build(ts []Tuple[K]) (hwsim.Cost, error) {
 		total = total.Add(cost)
 	}
 	return total, nil
+}
+
+// Tuples returns the installed rules sorted by ascending ID — the
+// deterministic export order the snapshot subsystem serializes.
+func (c *Classifier[K]) Tuples() []Tuple[K] {
+	out := make([]Tuple[K], 0, len(c.rules))
+	for _, cr := range c.rules {
+		out = append(out, cr.tuple)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Replace swaps the entire ruleset for ts in one transactional step:
+// every installed rule is removed (in ascending ID order, so replaying
+// the mutation on the second RCU instance stays deterministic) and the
+// new list is bulk-loaded. On failure the previous ruleset is restored
+// and the error returned, so the classifier never ends half-replaced.
+// The returned cost is the full teardown-plus-download cost.
+func (c *Classifier[K]) Replace(ts []Tuple[K]) (hwsim.Cost, error) {
+	old := c.Tuples()
+	var total hwsim.Cost
+	for _, t := range old {
+		dc, err := c.Delete(t.ID)
+		if err != nil {
+			panic(fmt.Sprintf("core: replace teardown of rule %d failed: %v", t.ID, err))
+		}
+		total = total.Add(dc)
+	}
+	bc, err := c.Build(ts)
+	if err != nil {
+		// Build already unwound its partial inserts; reinstall the old
+		// ruleset so the published state is exactly as before.
+		if _, rerr := c.Build(old); rerr != nil {
+			panic(fmt.Sprintf("core: replace rollback failed after %v: %v", err, rerr))
+		}
+		return hwsim.Cost{}, err
+	}
+	return total.Add(bc), nil
 }
 
 // Stats returns a snapshot of the accumulated statistics.

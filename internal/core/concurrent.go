@@ -61,6 +61,29 @@ func (c *Concurrent[K]) Delete(id int) (hwsim.Cost, error) {
 	return cost, err
 }
 
+// Replace atomically swaps the whole ruleset for ts. The new state is
+// built on the quiesced spare instance and published with the store's
+// single pointer swap, so concurrent Lookup/LookupBatch callers observe
+// either the complete old ruleset or the complete new one — never an
+// intermediate mix. On failure the published state is unchanged.
+func (c *Concurrent[K]) Replace(ts []Tuple[K]) (hwsim.Cost, error) {
+	var cost hwsim.Cost
+	err := c.store.Update(func(cl *Classifier[K]) error {
+		var e error
+		cost, e = cl.Replace(ts)
+		return e
+	}, nil) // Replace restores the previous ruleset on failure
+	return cost, err
+}
+
+// Tuples exports the installed rules sorted by ascending ID, read from
+// one consistent snapshot.
+func (c *Concurrent[K]) Tuples() []Tuple[K] {
+	h := c.store.Acquire()
+	defer h.Release()
+	return h.Value().Tuples()
+}
+
 // Build bulk-loads a rule list, returning the total update cost.
 func (c *Concurrent[K]) Build(ts []Tuple[K]) (hwsim.Cost, error) {
 	var total hwsim.Cost

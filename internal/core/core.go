@@ -200,6 +200,23 @@ func V4Tuple(r rule.Rule) Tuple[lpm.V4] {
 	}
 }
 
+// V4Rule converts a compiled IPv4 tuple back to the rule model — the
+// inverse of V4Tuple, used by the snapshot path to export installed
+// rules. Prefixes come back canonical (Insert canonicalizes them), which
+// is the form every parser and engine accepts.
+func V4Rule(t Tuple[lpm.V4]) rule.Rule {
+	return rule.Rule{
+		ID:       t.ID,
+		Priority: t.Priority,
+		SrcIP:    rule.Prefix{Addr: uint32(t.Src.Key), Len: t.Src.Len},
+		DstIP:    rule.Prefix{Addr: uint32(t.Dst.Key), Len: t.Dst.Len},
+		SrcPort:  t.SrcPort,
+		DstPort:  t.DstPort,
+		Proto:    t.Proto,
+		Action:   t.Action,
+	}
+}
+
 // V4Header converts a rule-model header.
 func V4Header(h rule.Header) Header[lpm.V4] {
 	return Header[lpm.V4]{

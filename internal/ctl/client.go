@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/rule"
+	"repro/internal/snapfile"
 )
 
 // Client is the host-side decision controller's view of a remote lookup
@@ -140,10 +141,9 @@ func (c *Client) Insert(r rule.Rule) (int, error) {
 }
 
 // insertArgs renders the "<id> <prio> <action> @rule" argument shape
-// shared by INSERT and BULK body lines.
-func insertArgs(r rule.Rule) string {
-	return fmt.Sprintf("%d %d %s %s", r.ID, r.Priority, r.Action, r.String())
-}
+// shared by INSERT and BULK/SWAP body lines — the snapfile line format,
+// so the wire and disk forms stay identical.
+func insertArgs(r rule.Rule) string { return snapfile.FormatRule(r) }
 
 // bulkChunk bounds the rules per BULK transfer, keeping every transfer
 // well inside the server's count limit whatever the caller passes.
@@ -191,6 +191,100 @@ func (c *Client) BulkInsert(rules []rule.Rule) (cycles int, err error) {
 	}
 	if n != len(rules) {
 		return cycles, fmt.Errorf("ctl: bulk inserted %d of %d rules", n, len(rules))
+	}
+	return cycles, nil
+}
+
+// Snapshot dumps the current table's ruleset from one consistent
+// engine snapshot, verifying the transfer against the server's CRC-32
+// before returning it. Rules come back sorted by ascending ID.
+func (c *Client) Snapshot() ([]rule.Rule, error) {
+	resp, err := c.roundTrip(cmdSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	var sum uint32
+	if _, err := fmt.Sscanf(resp, "SNAPSHOT %d %x", &n, &sum); err != nil {
+		return nil, fmt.Errorf("ctl: unexpected response %q", resp)
+	}
+	rules := make([]rule.Rule, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("ctl recv: snapshot rule %d of %d: %w", i+1, n, err)
+		}
+		r, err := snapfile.ParseRuleLine(strings.TrimSpace(line))
+		if err != nil {
+			return nil, fmt.Errorf("ctl: snapshot rule %d: %w", i+1, err)
+		}
+		rules = append(rules, r)
+	}
+	if got := snapfile.Checksum(rules); got != sum {
+		return nil, fmt.Errorf("ctl: snapshot checksum mismatch: server %08x, received %08x", sum, got)
+	}
+	return rules, nil
+}
+
+// SnapshotSave persists the current table's ruleset as <name>.snap in
+// the daemon's snapshot directory, returning the rule count written.
+func (c *Client) SnapshotSave(name string) (int, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("%s %s %s", cmdSnapshot, subSave, name))
+	if err != nil {
+		return 0, err
+	}
+	return parseOKCycles(resp) // same "OK <n>" shape, n = rules written
+}
+
+// Restore atomically replaces the current table's ruleset with the
+// contents of <name>.snap, returning the rule count and the hardware
+// download cycles of the swap.
+func (c *Client) Restore(name string) (rules, cycles int, err error) {
+	resp, err := c.roundTrip(fmt.Sprintf("%s %s", cmdRestore, name))
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := fmt.Sscanf(resp, "OK %d %d", &rules, &cycles); err != nil {
+		return 0, 0, fmt.Errorf("ctl: unexpected response %q", resp)
+	}
+	return rules, cycles, nil
+}
+
+// Reset atomically clears the current table's ruleset.
+func (c *Client) Reset() (int, error) {
+	resp, err := c.roundTrip(cmdReset)
+	if err != nil {
+		return 0, err
+	}
+	return parseOKCycles(resp)
+}
+
+// Swap pipelines the rules like BulkInsert but applies them as one
+// atomic replacement of the current table's ruleset: remote lookups
+// observe the complete old or the complete new ruleset, never a
+// partial state. Unlike BulkInsert it never chunks — atomicity is the
+// point — so the rule count must fit one SWAP transfer (the server
+// bound is 2^20 lines). It returns the hardware download cycles.
+func (c *Client) Swap(rules []rule.Rule) (cycles int, err error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d\n", cmdSwap, len(rules))
+	for _, r := range rules {
+		b.WriteString(insertArgs(r))
+		b.WriteByte('\n')
+	}
+	if _, err := c.conn.Write([]byte(b.String())); err != nil {
+		return 0, fmt.Errorf("ctl send: %w", err)
+	}
+	resp, err := c.readResponse()
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(resp, "OK %d %d", &n, &cycles); err != nil {
+		return 0, fmt.Errorf("ctl: unexpected response %q", resp)
+	}
+	if n != len(rules) {
+		return cycles, fmt.Errorf("ctl: swap applied %d of %d rules", n, len(rules))
 	}
 	return cycles, nil
 }

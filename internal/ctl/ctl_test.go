@@ -2,6 +2,8 @@ package ctl
 
 import (
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -681,5 +683,370 @@ func TestProtocolErrors(t *testing.T) {
 	}
 	if resp, quit := sess.dispatch("QUIT"); !quit || resp != "BYE" {
 		t.Errorf("QUIT = %q, %v", resp, quit)
+	}
+}
+
+// snapTestRules builds a deterministic ruleset for the snapshot tests.
+func snapTestRules(t *testing.T, size int, seed int64) []rule.Rule {
+	t.Helper()
+	set, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: size, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set.Rules()
+}
+
+func TestSnapshotSwapResetRoundTrip(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+
+	rules := snapTestRules(t, 80, 21)
+	if _, err := client.BulkInsert(rules); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wire dump: rules come back complete, checksummed and ID-sorted.
+	snap, err := client.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if len(snap) != len(rules) {
+		t.Fatalf("snapshot has %d rules, want %d", len(snap), len(rules))
+	}
+	byID := make(map[int]rule.Rule, len(rules))
+	for _, r := range rules {
+		byID[r.ID] = r
+	}
+	for i, r := range snap {
+		if i > 0 && snap[i-1].ID >= r.ID {
+			t.Fatalf("snapshot not ID-sorted at %d: %d >= %d", i, snap[i-1].ID, r.ID)
+		}
+		if want := byID[r.ID]; r != want {
+			t.Fatalf("snapshot rule %d differs:\n  got  %+v\n  want %+v", r.ID, r, want)
+		}
+	}
+
+	// SWAP to a disjoint ruleset in one atomic step.
+	next := snapTestRules(t, 40, 22)
+	for i := range next {
+		next[i].ID += 10000
+	}
+	cycles, err := client.Swap(next)
+	if err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if cycles <= 0 {
+		t.Errorf("swap cycles = %d", cycles)
+	}
+	after, err := client.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(next) {
+		t.Fatalf("after swap: %d rules, want %d", len(after), len(next))
+	}
+	for _, r := range after {
+		if r.ID <= 10000 {
+			t.Fatalf("old-generation rule %d survived the swap", r.ID)
+		}
+	}
+
+	// RESET clears the table atomically.
+	if _, err := client.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	empty, err := client.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("reset left %d rules", len(empty))
+	}
+}
+
+func TestSnapshotSaveRestorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	client, _, stop := startServerWith(t, func(s *Server) { s.SnapshotDir = dir })
+	defer stop()
+
+	rules := snapTestRules(t, 60, 23)
+	if _, err := client.BulkInsert(rules); err != nil {
+		t.Fatal(err)
+	}
+	n, err := client.SnapshotSave("checkpoint")
+	if err != nil {
+		t.Fatalf("SnapshotSave: %v", err)
+	}
+	if n != len(rules) {
+		t.Fatalf("saved %d rules, want %d", n, len(rules))
+	}
+
+	// Mutate the table, then restore: the checkpoint must win, atomically.
+	if _, err := client.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	extra := rule.Rule{ID: 99999, Priority: 7, SrcPort: rule.FullPortRange(),
+		DstPort: rule.FullPortRange(), Proto: rule.AnyProto(), Action: rule.ActionDeny}
+	if _, err := client.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	got, cycles, err := client.Restore("checkpoint")
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got != len(rules) || cycles <= 0 {
+		t.Fatalf("Restore = (%d rules, %d cycles)", got, cycles)
+	}
+	snap, err := client.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != len(rules) {
+		t.Fatalf("restored %d rules, want %d", len(snap), len(rules))
+	}
+	for _, r := range snap {
+		if r.ID == extra.ID {
+			t.Fatal("post-checkpoint rule survived the restore")
+		}
+	}
+
+	if _, _, err := client.Restore("absent"); err == nil {
+		t.Fatal("restoring a missing snapshot should fail")
+	}
+	if _, _, err := client.Restore("../escape"); err == nil {
+		t.Fatal("path-escaping snapshot name should fail")
+	}
+}
+
+func TestSnapshotSaveWithoutDirFails(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+	if _, err := client.SnapshotSave("x"); err == nil {
+		t.Fatal("SNAPSHOT SAVE without -snapshot-dir should fail")
+	}
+	if _, _, err := client.Restore("x"); err == nil {
+		t.Fatal("RESTORE without -snapshot-dir should fail")
+	}
+}
+
+func TestSwapErrorKeepsStreamAndState(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+	seedRule := rule.Rule{ID: 1, Priority: 1, SrcPort: rule.FullPortRange(),
+		DstPort: rule.FullPortRange(), Proto: rule.AnyProto(), Action: rule.ActionPermit}
+	if _, err := client.Insert(seedRule); err != nil {
+		t.Fatal(err)
+	}
+	// A SWAP with a bad body line must drain the stream, report ERR and
+	// leave the published ruleset untouched.
+	bad := "SWAP 2\n1 1 permit @10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xff\nnot a rule\n"
+	if _, err := client.conn.Write([]byte(bad)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.readResponse(); err == nil {
+		t.Fatal("bad swap body should ERR")
+	}
+	// Stream still in sync: the next command round-trips normally.
+	snap, err := client.Snapshot()
+	if err != nil {
+		t.Fatalf("stream out of sync after failed swap: %v", err)
+	}
+	if len(snap) != 1 || snap[0].ID != 1 {
+		t.Fatalf("failed swap changed state: %+v", snap)
+	}
+	// Duplicate IDs inside one SWAP are rejected atomically too.
+	dup := snapTestRules(t, 10, 24)[:2]
+	dup[1].ID = dup[0].ID
+	if _, err := client.Swap(dup); err == nil {
+		t.Fatal("duplicate-ID swap should fail")
+	}
+	if snap, err = client.Snapshot(); err != nil || len(snap) != 1 {
+		t.Fatalf("failed swap changed state: %v %d", err, len(snap))
+	}
+}
+
+// TestServerSnapshotPersistence exercises the daemon persistence hooks
+// directly: SaveSnapshots on a populated server, LoadSnapshots on a
+// fresh one, tables and rulesets must survive byte-for-byte.
+func TestServerSnapshotPersistence(t *testing.T) {
+	dir := t.TempDir()
+
+	build := func() (*Server, repro.Engine) {
+		eng, err := repro.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewServer(eng)
+		s.SnapshotDir = dir
+		return s, eng
+	}
+	srv, mainEng := build()
+	if err := srv.AddTable("edge", repro.BackendLinear, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddTable("hot", repro.BackendTSS, 1, 256); err != nil {
+		t.Fatal(err)
+	}
+	mainRules := snapTestRules(t, 50, 27)
+	if _, err := mainEng.Replace(mainRules); err != nil {
+		t.Fatal(err)
+	}
+	edge, err := srv.lookupTable("edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeRules := snapTestRules(t, 30, 28)
+	if _, err := edge.eng.Replace(edgeRules); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SaveSnapshots(); err != nil {
+		t.Fatalf("SaveSnapshots: %v", err)
+	}
+
+	// Fresh server, same dir: everything must come back.
+	srv2, _ := build()
+	restored, warns, err := srv2.LoadSnapshots()
+	if err != nil {
+		t.Fatalf("LoadSnapshots: %v", err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("LoadSnapshots warnings: %v", warns)
+	}
+	if restored != 3 {
+		t.Fatalf("restored %d tables, want 3", restored)
+	}
+	for _, tc := range []struct {
+		table string
+		rules []rule.Rule
+	}{{"main", mainRules}, {"edge", edgeRules}, {"hot", nil}} {
+		tab, err := srv2.lookupTable(tc.table)
+		if err != nil {
+			t.Fatalf("table %q did not survive: %v", tc.table, err)
+		}
+		snap := tab.eng.Snapshot()
+		if len(snap) != len(tc.rules) {
+			t.Fatalf("table %q: %d rules after restart, want %d", tc.table, len(snap), len(tc.rules))
+		}
+		byID := make(map[int]rule.Rule, len(tc.rules))
+		for _, r := range tc.rules {
+			byID[r.ID] = r
+		}
+		for _, r := range snap {
+			if want, ok := byID[r.ID]; !ok || r != want {
+				t.Fatalf("table %q rule %d changed across restart", tc.table, r.ID)
+			}
+		}
+	}
+	// Recreated tables keep their engine construction.
+	edge2, _ := srv2.lookupTable("edge")
+	if edge2.backend != repro.BackendLinear || edge2.shards != 2 {
+		t.Fatalf("edge came back as %v/%d shards", edge2.backend, edge2.shards)
+	}
+	hot2, _ := srv2.lookupTable("hot")
+	if hot2.cache == 0 {
+		t.Fatal("hot table lost its flow cache across restart")
+	}
+	if _, ok := hot2.eng.(interface{ CacheStats() repro.FlowCacheStats }); !ok {
+		t.Fatal("restored hot table engine is uncached")
+	}
+
+	// A second save must be byte-for-byte identical: the format is
+	// deterministic end to end.
+	before := readSnapDir(t, dir)
+	if err := srv2.SaveSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	after := readSnapDir(t, dir)
+	if len(before) != len(after) {
+		t.Fatalf("snapshot count changed: %d vs %d", len(before), len(after))
+	}
+	for name, b := range before {
+		if string(after[name]) != string(b) {
+			t.Fatalf("snapshot %q not byte-stable across save/load/save", name)
+		}
+	}
+}
+
+func readSnapDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(ents))
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+// TestLoadSnapshotsSkipsBadCheckpoints: a corrupt or irregularly named
+// file in the snapshot directory must not prevent startup — only
+// warnings — while intact table snapshots still restore.
+func TestLoadSnapshotsSkipsBadCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := repro.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(eng)
+	srv.SnapshotDir = dir
+	if _, err := eng.Replace(snapTestRules(t, 20, 29)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SaveSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated user checkpoint and a foreign file join the directory.
+	if err := os.WriteFile(filepath.Join(dir, "rotted.snap"), []byte("#repro-snapshot v1\n#rules 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "My Backup.snap"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, err := repro.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(eng2)
+	srv2.SnapshotDir = dir
+	restored, warns, err := srv2.LoadSnapshots()
+	if err != nil {
+		t.Fatalf("LoadSnapshots must not fail over bad checkpoints: %v", err)
+	}
+	if restored != 1 {
+		t.Fatalf("restored %d tables, want 1", restored)
+	}
+	if len(warns) != 2 {
+		t.Fatalf("warnings = %v, want 2", warns)
+	}
+	if eng2.Len() != 20 {
+		t.Fatalf("main came back with %d rules, want 20", eng2.Len())
+	}
+}
+
+// TestSnapshotSaveRejectsTableNameCollision: a user checkpoint named
+// after a live table would be clobbered by the next drain, so the save
+// is refused.
+func TestSnapshotSaveRejectsTableNameCollision(t *testing.T) {
+	dir := t.TempDir()
+	client, _, stop := startServerWith(t, func(s *Server) { s.SnapshotDir = dir })
+	defer stop()
+	if err := client.TableCreate("edge", "linear", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.SnapshotSave("main"); err == nil {
+		t.Fatal("checkpoint named after the main table should be rejected")
+	}
+	if _, err := client.SnapshotSave("edge"); err == nil {
+		t.Fatal("checkpoint named after a live table should be rejected")
+	}
+	if _, err := client.SnapshotSave("edge-backup"); err != nil {
+		t.Fatalf("non-colliding checkpoint: %v", err)
 	}
 }

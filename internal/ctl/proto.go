@@ -25,6 +25,12 @@
 //	DELETE <id>                                      -> OK <cycles>
 //	LOOKUP <src> <dst> <sport> <dport> <proto>       -> MATCH <id> <prio> <action> | NOMATCH
 //	MLOOKUP (<src> <dst> <sport> <dport> <proto>)+   -> RESULTS <r>... with r = <id>:<prio>:<action> | -
+//	SNAPSHOT                                         -> SNAPSHOT <n> <crc32>, then n rule lines
+//	SNAPSHOT SAVE <name>                             -> OK <n>
+//	RESTORE <name>                                   -> OK <n> <cycles>
+//	RESET                                            -> OK <cycles>
+//	SWAP <n>                                         -> OK <n> <cycles>
+//	  (followed by n lines, each "<id> <prio> <action> @<classbench rule>")
 //	STATS                                            -> STATS <rules> <probes> <ops> <maxlist> <overflows>
 //	                                                    [CACHE <hits> <misses> <evictions>]
 //	THROUGHPUT                                       -> THROUGHPUT <cycles/pkt> <mpps> <gbps>
@@ -40,15 +46,32 @@
 // returns one summed response, so a client can pipeline a whole ruleset
 // without per-rule round trips.
 //
+// The snapshot commands treat a whole ruleset as one unit, mirroring
+// the paper's full-ruleset download model. SNAPSHOT dumps the current
+// table's rules from one consistent engine snapshot: the first response
+// line carries the rule count and an IEEE CRC-32 over the rule lines
+// (the same arithmetic as the repro/internal/snapfile format), followed
+// by one line per rule in the BULK body shape, sorted by ascending rule
+// ID. SNAPSHOT SAVE writes that dump as a checksummed snapshot file
+// named <name>.snap in the server's snapshot directory (an error if the
+// server was started without one); RESTORE reads <name>.snap back and
+// atomically replaces the current table's ruleset with it. RESET
+// atomically clears the current table. SWAP pipelines n rule lines like
+// BULK but applies them as ONE atomic replacement: concurrent lookups
+// observe the complete old ruleset or the complete new one, never the
+// partial states an Insert/Delete churn would expose. Snapshot names
+// follow the table-name syntax, so they cannot escape the snapshot
+// directory.
+//
 // Errors are reported as "ERR <message>". Errors inside an accepted
-// BULK transfer still drain all n body lines, keeping the stream in
-// sync; a BULK count that cannot be accepted closes the connection,
-// since the pipelined body cannot be framed without it. A connection
-// that violates the transport itself — a line over the server's size
-// limit, or idling past the server's deadline — receives a final
-// "ERR read: ..." line before the connection closes. The protocol is deliberately text-based: it
-// stands in for the paper's file-driven control simulation while staying
-// debuggable with netcat.
+// BULK or SWAP transfer still drain all n body lines, keeping the
+// stream in sync; a count that cannot be accepted closes the
+// connection, since the pipelined body cannot be framed without it. A
+// connection that violates the transport itself — a line over the
+// server's size limit, or idling past the server's deadline — receives
+// a final "ERR read: ..." line before the connection closes. The
+// protocol is deliberately text-based: it stands in for the paper's
+// file-driven control simulation while staying debuggable with netcat.
 package ctl
 
 import (
@@ -58,6 +81,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rule"
+	"repro/internal/snapfile"
 )
 
 // Command names.
@@ -67,67 +91,31 @@ const (
 	cmdDelete     = "DELETE"
 	cmdLookup     = "LOOKUP"
 	cmdMLookup    = "MLOOKUP"
+	cmdSnapshot   = "SNAPSHOT"
+	cmdRestore    = "RESTORE"
+	cmdReset      = "RESET"
+	cmdSwap       = "SWAP"
 	cmdStats      = "STATS"
 	cmdThroughput = "THROUGHPUT"
 	cmdTable      = "TABLE"
 	cmdQuit       = "QUIT"
 )
 
-// TABLE subcommands.
+// TABLE and SNAPSHOT subcommands.
 const (
 	subCreate = "CREATE"
 	subDrop   = "DROP"
 	subUse    = "USE"
 	subList   = "LIST"
+	subSave   = "SAVE"
 )
 
-// parseAction maps the protocol action token.
-func parseAction(s string) (rule.Action, error) {
-	switch strings.ToLower(s) {
-	case "permit":
-		return rule.ActionPermit, nil
-	case "deny":
-		return rule.ActionDeny, nil
-	case "queue":
-		return rule.ActionQueue, nil
-	case "mirror":
-		return rule.ActionMirror, nil
-	case "count":
-		return rule.ActionCount, nil
-	default:
-		return 0, fmt.Errorf("unknown action %q", s)
-	}
-}
-
 // parseInsert parses "<id> <prio> <action> @rule...", the argument shape
-// shared by INSERT and each BULK body line.
+// shared by INSERT, each BULK/SWAP body line, and the snapshot file
+// format — the grammar lives in repro/internal/snapfile so the wire and
+// disk forms can never drift apart.
 func parseInsert(args string) (rule.Rule, error) {
-	fields := strings.Fields(args)
-	if len(fields) < 4 {
-		return rule.Rule{}, fmt.Errorf("INSERT wants <id> <prio> <action> @rule")
-	}
-	id, err := strconv.Atoi(fields[0])
-	if err != nil || id <= 0 {
-		return rule.Rule{}, fmt.Errorf("rule id %q", fields[0])
-	}
-	prio, err := strconv.Atoi(fields[1])
-	if err != nil || prio <= 0 {
-		return rule.Rule{}, fmt.Errorf("priority %q", fields[1])
-	}
-	action, err := parseAction(fields[2])
-	if err != nil {
-		return rule.Rule{}, err
-	}
-	at := strings.Index(args, "@")
-	if at < 0 {
-		return rule.Rule{}, fmt.Errorf("missing @rule body")
-	}
-	r, err := rule.ParseRule(args[at:])
-	if err != nil {
-		return rule.Rule{}, err
-	}
-	r.ID, r.Priority, r.Action = id, prio, action
-	return r, nil
+	return snapfile.ParseRuleLine(args)
 }
 
 // parseHeader decodes one 5-field header group (dotted-quad addresses).

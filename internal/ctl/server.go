@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -11,6 +13,8 @@ import (
 	"time"
 
 	repro "repro"
+	"repro/internal/rule"
+	"repro/internal/snapfile"
 )
 
 // DefaultTable is the table every connection starts on.
@@ -25,11 +29,12 @@ const DefaultIdleTimeout = 5 * time.Minute
 const maxBulk = 1 << 20
 
 // table is one named serving tenant: an engine plus the construction
-// metadata the TABLES listing reports.
+// metadata the TABLES listing and the snapshot attrs report.
 type table struct {
 	name    string
 	backend repro.Backend
 	shards  int
+	cache   int
 	eng     repro.Engine
 }
 
@@ -70,6 +75,11 @@ type Server struct {
 	// connection with an "ERR read" notice. Zero means 1 MiB. Set
 	// before Serve.
 	MaxLineBytes int
+	// SnapshotDir is where SNAPSHOT SAVE / RESTORE and the daemon's
+	// save-on-drain persistence keep their <name>.snap files. Empty
+	// disables the file-backed commands (the wire-level SNAPSHOT dump,
+	// SWAP and RESET still work). Set before Serve.
+	SnapshotDir string
 }
 
 // NewServer wraps an engine as the "main" table of a fresh server.
@@ -80,7 +90,8 @@ func NewServer(eng repro.Engine) *Server {
 		conns:  make(map[net.Conn]struct{}),
 	}
 	s.tables[DefaultTable] = &table{
-		name: DefaultTable, backend: eng.Backend(), shards: engineShards(eng), eng: eng,
+		name: DefaultTable, backend: eng.Backend(), shards: engineShards(eng),
+		cache: engineCache(eng), eng: eng,
 	}
 	return s
 }
@@ -92,6 +103,15 @@ func engineShards(eng repro.Engine) int {
 		return sh.Shards()
 	}
 	return 1
+}
+
+// engineCache reads the flow-cache slot capacity of a cached engine
+// (0 for uncached ones), so snapshot attrs can rebuild the wrapper.
+func engineCache(eng repro.Engine) int {
+	if ce, ok := eng.(interface{ CacheStats() repro.FlowCacheStats }); ok {
+		return ce.CacheStats().Entries
+	}
+	return 0
 }
 
 // AddTable creates a named table backed by a fresh engine — the same
@@ -112,7 +132,7 @@ func (s *Server) AddTable(name string, backend repro.Backend, shards, cacheEntri
 	if _, dup := s.tables[name]; dup {
 		return fmt.Errorf("table %q exists", name)
 	}
-	s.tables[name] = &table{name: name, backend: backend, shards: shards, eng: eng}
+	s.tables[name] = &table{name: name, backend: backend, shards: shards, cache: cacheEntries, eng: eng}
 	return nil
 }
 
@@ -149,6 +169,163 @@ func (s *Server) listTables() []*table {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
+}
+
+// snapshotPath resolves a snapshot name inside the configured
+// directory; the table-name syntax (no separators) keeps names from
+// escaping it.
+func (s *Server) snapshotPath(name string) (string, error) {
+	if s.SnapshotDir == "" {
+		return "", fmt.Errorf("no snapshot directory configured")
+	}
+	if !validTableName(name) {
+		return "", fmt.Errorf("invalid snapshot name %q", name)
+	}
+	return filepath.Join(s.SnapshotDir, name+".snap"), nil
+}
+
+// tableAttrs renders the engine-construction metadata stored in a
+// table's snapshot file, enough to rebuild the table from the file
+// alone. asTable additionally marks the file as daemon table
+// persistence (the save-on-drain kind LoadSnapshots restores into the
+// registry); user checkpoints from SNAPSHOT SAVE omit the mark so a
+// restart does not resurrect them as tables.
+func tableAttrs(t *table, asTable bool) map[string]string {
+	attrs := map[string]string{
+		"backend": strings.ToLower(t.backend.String()),
+		"shards":  strconv.Itoa(t.shards),
+		"cache":   strconv.Itoa(t.cache),
+	}
+	if asTable {
+		attrs["table"] = t.name
+	}
+	return attrs
+}
+
+// saveTable persists one table's ruleset as <name>.snap, returning the
+// rule count written. The engine snapshot is one consistent RCU read
+// and the file write is atomic (temp + rename), so a crash mid-save
+// leaves the previous snapshot intact.
+func (s *Server) saveTable(t *table, name string, asTable bool) (int, error) {
+	path, err := s.snapshotPath(name)
+	if err != nil {
+		return 0, err
+	}
+	rules := t.eng.Snapshot()
+	if err := snapfile.Save(path, snapfile.Snapshot{Attrs: tableAttrs(t, asTable), Rules: rules}); err != nil {
+		return 0, err
+	}
+	return len(rules), nil
+}
+
+// loadSnapshot reads and validates <name>.snap.
+func (s *Server) loadSnapshot(name string) (snapfile.Snapshot, error) {
+	path, err := s.snapshotPath(name)
+	if err != nil {
+		return snapfile.Snapshot{}, err
+	}
+	return snapfile.Load(path)
+}
+
+// SaveSnapshots persists every table as <table>.snap in SnapshotDir —
+// the daemon's save-on-drain hook. Tables are saved independently; the
+// first error is returned after attempting all of them.
+func (s *Server) SaveSnapshots() error {
+	if s.SnapshotDir == "" {
+		return fmt.Errorf("ctl: no snapshot directory configured")
+	}
+	var firstErr error
+	for _, t := range s.listTables() {
+		if _, err := s.saveTable(t, t.name, true); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("table %q: %w", t.name, err)
+		}
+	}
+	return firstErr
+}
+
+// LoadSnapshots restores every table-persistence snapshot in
+// SnapshotDir (the save-on-drain files, identified by their "table"
+// attr; user checkpoints from SNAPSHOT SAVE are left alone) — the
+// daemon's load-on-start hook. A snapshot whose table already exists
+// (the flag-built "main", or a -tables entry) has its ruleset swapped
+// into the existing engine, so flags keep authority over engine
+// configuration; other snapshots recreate their table from the file's
+// backend/shards/cache attrs.
+//
+// Files that cannot be read as table snapshots — an irregular name, a
+// failed checksum, a truncation — are skipped and reported in warns
+// rather than failing startup: a rotted user checkpoint is only ever
+// needed by an explicit RESTORE, and a daemon that refuses to boot over
+// it turns one bad file into a full outage. A *valid* table snapshot
+// that fails to apply is still a hard error, since silently serving an
+// empty table would be worse. Returns the number of tables restored.
+func (s *Server) LoadSnapshots() (restored int, warns []string, err error) {
+	if s.SnapshotDir == "" {
+		return 0, nil, fmt.Errorf("ctl: no snapshot directory configured")
+	}
+	ents, err := os.ReadDir(s.SnapshotDir)
+	if err != nil {
+		return 0, nil, fmt.Errorf("ctl: %w", err)
+	}
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".snap") {
+			continue
+		}
+		name := strings.TrimSuffix(ent.Name(), ".snap")
+		if !validTableName(name) {
+			warns = append(warns, fmt.Sprintf("snapshot file %q does not name a table; skipped", ent.Name()))
+			continue
+		}
+		snap, err := s.loadSnapshot(name)
+		if err != nil {
+			warns = append(warns, fmt.Sprintf("snapshot %q unreadable: %v; skipped", name, err))
+			continue
+		}
+		if snap.Attrs["table"] != name {
+			continue // a user checkpoint, not daemon table persistence
+		}
+		t, lookupErr := s.lookupTable(name)
+		if lookupErr != nil {
+			backend, shards, cache, err := snapAttrs(snap.Attrs)
+			if err != nil {
+				return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
+			}
+			if err := s.AddTable(name, backend, shards, cache); err != nil {
+				return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
+			}
+			t, _ = s.lookupTable(name)
+		}
+		if _, err := t.eng.Replace(snap.Rules); err != nil {
+			return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
+		}
+		restored++
+	}
+	return restored, warns, nil
+}
+
+// snapAttrs decodes a snapshot's engine-construction attrs, defaulting
+// to an unsharded, uncached decomposition table when absent.
+func snapAttrs(attrs map[string]string) (backend repro.Backend, shards, cache int, err error) {
+	backend, shards, cache = repro.BackendDecomposition, 1, 0
+	if v, ok := attrs["backend"]; ok {
+		backend, err = repro.ParseBackend(v)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	if v, ok := attrs["shards"]; ok {
+		shards, err = strconv.Atoi(v)
+		if err != nil || shards < 1 {
+			return 0, 0, 0, fmt.Errorf("shards attr %q", v)
+		}
+	}
+	if v, ok := attrs["cache"]; ok {
+		cache, err = strconv.Atoi(v)
+		if err != nil || cache < 0 {
+			return 0, 0, 0, fmt.Errorf("cache attr %q", v)
+		}
+	}
+	return backend, shards, cache, nil
 }
 
 // Serve accepts connections until the listener is closed (via Shutdown).
@@ -327,6 +504,29 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 	case cmdBulk:
 		return sess.dispatchBulk(args)
 
+	case cmdSnapshot:
+		return sess.dispatchSnapshot(args), false
+
+	case cmdRestore:
+		return sess.dispatchRestore(args), false
+
+	case cmdReset:
+		if args != "" {
+			return "ERR RESET takes no arguments", false
+		}
+		eng, err := sess.engine()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		cost, err := eng.Replace(nil)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return fmt.Sprintf("OK %d", cost.Cycles), false
+
+	case cmdSwap:
+		return sess.dispatchSwap(args)
+
 	case cmdDelete:
 		id, err := strconv.Atoi(args)
 		if err != nil {
@@ -484,6 +684,135 @@ func (sess *session) dispatchTable(args string) string {
 	}
 }
 
+// dispatchSnapshot executes "SNAPSHOT" (wire dump of the current
+// table's ruleset from one consistent engine snapshot) and
+// "SNAPSHOT SAVE <name>" (persist it as <name>.snap in the server's
+// snapshot directory).
+func (sess *session) dispatchSnapshot(args string) string {
+	fields := strings.Fields(args)
+	switch {
+	case len(fields) == 0:
+		eng, err := sess.engine()
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		rules := eng.Snapshot()
+		var b strings.Builder
+		fmt.Fprintf(&b, "SNAPSHOT %d %08x", len(rules), snapfile.Checksum(rules))
+		for i := range rules {
+			b.WriteByte('\n')
+			b.WriteString(snapfile.FormatRule(rules[i]))
+		}
+		return b.String()
+
+	case strings.EqualFold(fields[0], subSave) && len(fields) == 2:
+		t, err := sess.srv.lookupTable(sess.table)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		// Checkpoints and table persistence share the <name>.snap
+		// namespace; a checkpoint named after a live table would be
+		// overwritten by the next drain (or shadow the table's
+		// persisted ruleset after a crash), so the collision is
+		// rejected up front.
+		if _, exists := sess.srv.lookupTable(fields[1]); exists == nil {
+			return fmt.Sprintf("ERR snapshot name %q collides with a table; the drain would overwrite it", fields[1])
+		}
+		n, err := sess.srv.saveTable(t, fields[1], false)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("OK %d", n)
+
+	default:
+		return "ERR SNAPSHOT wants no arguments or SAVE <name>"
+	}
+}
+
+// dispatchRestore executes "RESTORE <name>": it loads <name>.snap from
+// the snapshot directory and atomically replaces the current table's
+// ruleset with its contents.
+func (sess *session) dispatchRestore(args string) string {
+	name := strings.TrimSpace(args)
+	if name == "" || len(strings.Fields(name)) != 1 {
+		return "ERR RESTORE wants <name>"
+	}
+	snap, err := sess.srv.loadSnapshot(name)
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	eng, err := sess.engine()
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	cost, err := eng.Replace(snap.Rules)
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	return fmt.Sprintf("OK %d %d", len(snap.Rules), cost.Cycles)
+}
+
+// readBody consumes n pipelined body lines, the shared transfer
+// protocol of BULK and SWAP: each line is handed to the callback until
+// the first error (or an initial error, e.g. an unresolvable table),
+// after which the remaining lines are still drained so the stream
+// stays framed. ok is false when the stream died mid-transfer — no
+// response can resync it, so the caller must close the connection —
+// with consumed reporting how many lines arrived before it died.
+func (sess *session) readBody(n int, firstErr error, each func(i int, line string) error) (err error, consumed int, ok bool) {
+	for i := 0; i < n; i++ {
+		if !sess.scan() {
+			return firstErr, i, false
+		}
+		if firstErr != nil {
+			continue // drain remaining body lines
+		}
+		firstErr = each(i, strings.TrimSpace(sess.sc.Text()))
+	}
+	return firstErr, n, true
+}
+
+// bodyPrealloc caps slice capacity reserved ahead of a pipelined body:
+// the count is client-controlled, so buffering capacity for the full
+// maxBulk before any line arrives would let one idle request pin tens
+// of megabytes per connection.
+const bodyPrealloc = 4096
+
+// dispatchSwap executes "SWAP <n>": it consumes n pipelined rule lines
+// like BULK, but applies them as ONE atomic replacement of the current
+// table's ruleset — readers see the complete old or complete new
+// ruleset, never the intermediate states an insert/delete churn
+// exposes. Any error after the count is accepted still drains all n
+// lines so the protocol stream stays in sync; an unusable count closes
+// the connection, like BULK.
+func (sess *session) dispatchSwap(args string) (resp string, quit bool) {
+	n, err := strconv.Atoi(args)
+	if err != nil || n < 0 || n > maxBulk {
+		return fmt.Sprintf("ERR SWAP wants a count in [0, %d]; closing", maxBulk), true
+	}
+	eng, engErr := sess.engine()
+	rules := make([]rule.Rule, 0, min(n, bodyPrealloc))
+	firstErr, consumed, ok := sess.readBody(n, engErr, func(i int, line string) error {
+		r, err := parseInsert(line)
+		if err != nil {
+			return fmt.Errorf("swap line %d: %w", i+1, err)
+		}
+		rules = append(rules, r)
+		return nil
+	})
+	if !ok {
+		return fmt.Sprintf("ERR swap: stream ended after %d of %d lines", consumed, n), true
+	}
+	if firstErr != nil {
+		return "ERR " + firstErr.Error(), false
+	}
+	cost, err := eng.Replace(rules)
+	if err != nil {
+		return "ERR " + err.Error(), false
+	}
+	return fmt.Sprintf("OK %d %d", len(rules), cost.Cycles), false
+}
+
 // dispatchBulk executes "BULK <n>": it consumes n pipelined body lines
 // from the connection and answers with one summed response. Any error
 // after the count is accepted — an unresolvable table or a bad body
@@ -497,26 +826,21 @@ func (sess *session) dispatchBulk(args string) (resp string, quit bool) {
 	}
 	eng, engErr := sess.engine()
 	inserted, cycles := 0, 0
-	firstErr := engErr
-	for i := 0; i < n; i++ {
-		if !sess.scan() {
-			// The stream died mid-transfer; no response can resync it.
-			return fmt.Sprintf("ERR bulk: stream ended after %d of %d lines", i, n), true
-		}
-		if firstErr != nil {
-			continue // drain remaining body lines
-		}
-		r, err := parseInsert(strings.TrimSpace(sess.sc.Text()))
+	firstErr, consumed, ok := sess.readBody(n, engErr, func(i int, line string) error {
+		r, err := parseInsert(line)
 		if err == nil {
 			var cost repro.Cost
 			cost, err = eng.Insert(r)
 			if err == nil {
 				inserted++
 				cycles += cost.Cycles
-				continue
+				return nil
 			}
 		}
-		firstErr = fmt.Errorf("bulk line %d: %w (inserted %d)", i+1, err, inserted)
+		return fmt.Errorf("bulk line %d: %w (inserted %d)", i+1, err, inserted)
+	})
+	if !ok {
+		return fmt.Sprintf("ERR bulk: stream ended after %d of %d lines", consumed, n), true
 	}
 	if firstErr != nil {
 		return "ERR " + firstErr.Error(), false

@@ -27,6 +27,26 @@ const (
 	ActionCount
 )
 
+// ParseAction resolves an action from its lower-case mnemonic — the
+// inverse of Action.String, shared by the ctl protocol and the snapshot
+// file format.
+func ParseAction(s string) (Action, error) {
+	switch s {
+	case "permit":
+		return ActionPermit, nil
+	case "deny":
+		return ActionDeny, nil
+	case "queue":
+		return ActionQueue, nil
+	case "mirror":
+		return ActionMirror, nil
+	case "count":
+		return ActionCount, nil
+	default:
+		return 0, fmt.Errorf("unknown action %q", s)
+	}
+}
+
 // String returns the lower-case mnemonic for the action.
 func (a Action) String() string {
 	switch a {

@@ -9,6 +9,15 @@
 // lock-free read path: batch lookups run the replicas on parallel
 // goroutines against their individually consistent snapshots.
 //
+// The replica set itself is published through an atomic pointer, which
+// is what makes whole-ruleset Replace atomic across shards: a
+// replacement builds N fresh replicas off to the side (one rebuild per
+// replica, run in parallel) and installs them with a single pointer
+// store. A reader that loaded the old set keeps using it — retired
+// replicas are never mutated again — so every lookup, and every batch,
+// observes one complete ruleset generation, never a mix of old and new
+// shards.
+//
 // The package is deliberately below the public repro API: it speaks the
 // same structural Engine contract (minus the backend tag, which only
 // the root package can name) so the root package can wrap any backend
@@ -17,7 +26,9 @@ package shard
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/hwsim"
@@ -35,6 +46,8 @@ type Engine interface {
 	LookupBatch(hs []rule.Header) []core.Result
 	Memory() hwsim.MemoryMap
 	IncrementalUpdate() bool
+	Snapshot() []rule.Rule
+	Replace(rules []rule.Rule) (hwsim.Cost, error)
 }
 
 // For returns the replica owning rule id among n shards. It is a
@@ -52,39 +65,127 @@ func For(id, n int) int {
 }
 
 // Sharded is N replicas of one engine behind the Engine contract.
+//
+// Readers load the current replica set from an atomic pointer; writers
+// (Insert, Delete, Replace) serialize behind a mutex so an update can
+// never land on a replica set that Replace has already retired.
 type Sharded struct {
-	shards []Engine
+	mu       sync.Mutex // serializes writers against the replica-set swap
+	replicas atomic.Pointer[[]Engine]
+	// factory builds one fresh, empty replica for Replace; nil disables
+	// whole-set replacement (Replace then fails without touching state).
+	factory func() (Engine, error)
 }
 
 // New wraps the replicas. The replicas must be empty or pre-partitioned
 // with For — loading a rule into the wrong replica would make Delete
-// miss it.
-func New(shards []Engine) (*Sharded, error) {
+// miss it. factory builds one fresh, empty replica of the same
+// configuration; Replace uses it to construct the next replica set off
+// to the side. A nil factory is allowed for wiring that never replaces.
+func New(shards []Engine, factory func() (Engine, error)) (*Sharded, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("shard: need at least one shard")
 	}
-	return &Sharded{shards: shards}, nil
+	s := &Sharded{factory: factory}
+	set := append([]Engine(nil), shards...)
+	s.replicas.Store(&set)
+	return s, nil
 }
 
+// engines returns the current published replica set.
+func (s *Sharded) engines() []Engine { return *s.replicas.Load() }
+
 // Shards returns the replica count.
-func (s *Sharded) Shards() int { return len(s.shards) }
+func (s *Sharded) Shards() int { return len(s.engines()) }
 
 // Insert routes the rule to its owning replica; the replica's own
 // validation and duplicate detection apply (a duplicate ID always hashes
 // to the replica already holding it).
 func (s *Sharded) Insert(r rule.Rule) (hwsim.Cost, error) {
-	return s.shards[For(r.ID, len(s.shards))].Insert(r)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.engines()
+	return set[For(r.ID, len(set))].Insert(r)
 }
 
 // Delete routes the removal by the same hash as Insert.
 func (s *Sharded) Delete(id int) (hwsim.Cost, error) {
-	return s.shards[For(id, len(s.shards))].Delete(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.engines()
+	return set[For(id, len(set))].Delete(id)
+}
+
+// Replace atomically swaps the whole sharded ruleset: the rules are
+// partitioned with For, one fresh replica per shard is built off to the
+// side (replica rebuilds run in parallel — each is a whole-partition
+// download), and the completed set is published with a single atomic
+// pointer store. Concurrent lookups that loaded the old set finish
+// against it unharmed; lookups that load after the store see the new
+// ruleset on every shard. On any build error the published set is
+// untouched. The returned cost is the per-replica maximum, modeling the
+// parallel download completing with the slowest bank.
+func (s *Sharded) Replace(rules []rule.Rule) (hwsim.Cost, error) {
+	if s.factory == nil {
+		return hwsim.Cost{}, fmt.Errorf("shard: no replica factory; Replace unavailable")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.engines())
+	parts := make([][]rule.Rule, n)
+	for _, r := range rules {
+		i := For(r.ID, n)
+		parts[i] = append(parts[i], r)
+	}
+	next := make([]Engine, n)
+	costs := make([]hwsim.Cost, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := s.factory()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			c, err := e.Replace(parts[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			next[i], costs[i] = e, c
+		}(i)
+	}
+	wg.Wait()
+	var total hwsim.Cost
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return hwsim.Cost{}, errs[i]
+		}
+		total = total.Max(costs[i])
+	}
+	s.replicas.Store(&next)
+	return total, nil
+}
+
+// Snapshot merges the replica snapshots of one published replica set,
+// sorted by ascending rule ID (each replica already exports in ID
+// order, but the partition hash interleaves the ID space).
+func (s *Sharded) Snapshot() []rule.Rule {
+	var out []rule.Rule
+	for _, e := range s.engines() {
+		out = append(out, e.Snapshot()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Len sums the replica populations.
 func (s *Sharded) Len() int {
 	n := 0
-	for _, e := range s.shards {
+	for _, e := range s.engines() {
 		n += e.Len()
 	}
 	return n
@@ -97,7 +198,7 @@ func (s *Sharded) Len() int {
 func (s *Sharded) Lookup(h rule.Header) (core.Result, hwsim.Cost) {
 	var best core.Result
 	var cost hwsim.Cost
-	for _, e := range s.shards {
+	for _, e := range s.engines() {
 		r, c := e.Lookup(h)
 		cost = cost.Max(c)
 		best = better(best, r)
@@ -116,14 +217,17 @@ const smallBatchFanout = 16
 // columns by priority. Large batches fan the replicas out on parallel
 // goroutines; batches under smallBatchFanout walk them sequentially.
 // Either way the merge folds each column into one output as it arrives,
-// so no per-replica column collection is retained.
+// so no per-replica column collection is retained. The replica set is
+// loaded once for the whole batch, so every result comes from one
+// ruleset generation even while a Replace is publishing the next.
 func (s *Sharded) LookupBatch(hs []rule.Header) []core.Result {
-	if len(s.shards) == 1 {
-		return s.shards[0].LookupBatch(hs)
+	shards := s.engines()
+	if len(shards) == 1 {
+		return shards[0].LookupBatch(hs)
 	}
 	if len(hs) < smallBatchFanout {
-		out := s.shards[0].LookupBatch(hs)
-		for _, e := range s.shards[1:] {
+		out := shards[0].LookupBatch(hs)
+		for _, e := range shards[1:] {
 			col := e.LookupBatch(hs)
 			for j := range out {
 				out[j] = better(out[j], col[j])
@@ -137,7 +241,7 @@ func (s *Sharded) LookupBatch(hs []rule.Header) []core.Result {
 		baseShard int
 		wg        sync.WaitGroup
 	)
-	for i, e := range s.shards {
+	for i, e := range shards {
 		wg.Add(1)
 		go func(i int, e Engine) {
 			defer wg.Done()
@@ -195,7 +299,7 @@ func better(a, b core.Result) core.Result {
 // its shard index.
 func (s *Sharded) Memory() hwsim.MemoryMap {
 	var mm hwsim.MemoryMap
-	for i, e := range s.shards {
+	for i, e := range s.engines() {
 		for _, b := range e.Memory().Blocks {
 			mm.Add(fmt.Sprintf("shard%d/%s", i, b.Name), b.WordBits, b.Words)
 		}
@@ -205,7 +309,7 @@ func (s *Sharded) Memory() hwsim.MemoryMap {
 
 // IncrementalUpdate reports the replicas' shared Table I property.
 func (s *Sharded) IncrementalUpdate() bool {
-	return s.shards[0].IncrementalUpdate()
+	return s.engines()[0].IncrementalUpdate()
 }
 
 // Stats aggregates replica statistics for replicas that expose them
@@ -214,7 +318,7 @@ func (s *Sharded) IncrementalUpdate() bool {
 // population.
 func (s *Sharded) Stats() core.Stats {
 	var total core.Stats
-	for _, e := range s.shards {
+	for _, e := range s.engines() {
 		st, ok := e.(interface{ Stats() core.Stats })
 		if !ok {
 			total.Rules += e.Len()
@@ -243,7 +347,7 @@ func (s *Sharded) Stats() core.Stats {
 func (s *Sharded) AggregateThroughput() (core.Throughput, bool) {
 	var pps float64
 	any := false
-	for _, e := range s.shards {
+	for _, e := range s.engines() {
 		tp, ok := e.(interface{ ModelThroughput() core.Throughput })
 		if !ok {
 			continue

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"repro/internal/core"
@@ -48,8 +49,6 @@ func (f *fakeEngine) Lookup(h rule.Header) (core.Result, hwsim.Cost) {
 	return best, hwsim.Cost{Cycles: f.cycles}
 }
 
-func (f *fakeEngine) Lookup1(h rule.Header) core.Result { r, _ := f.Lookup(h); return r }
-
 func (f *fakeEngine) LookupBatch(hs []rule.Header) []core.Result {
 	out := make([]core.Result, len(hs))
 	for i, h := range hs {
@@ -65,6 +64,24 @@ func (f *fakeEngine) Memory() hwsim.MemoryMap {
 }
 
 func (f *fakeEngine) IncrementalUpdate() bool { return true }
+
+func (f *fakeEngine) Snapshot() []rule.Rule {
+	out := append([]rule.Rule(nil), f.rules...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (f *fakeEngine) Replace(rules []rule.Rule) (hwsim.Cost, error) {
+	for i := range rules {
+		for j := range rules[:i] {
+			if rules[i].ID == rules[j].ID {
+				return hwsim.Cost{}, fmt.Errorf("duplicate %d", rules[i].ID)
+			}
+		}
+	}
+	f.rules = append(f.rules[:0:0], rules...)
+	return hwsim.Cost{Cycles: 2*len(rules) + 1, Writes: len(rules)}, nil
+}
 
 func wildcard(id, prio int) rule.Rule {
 	return rule.Rule{
@@ -101,14 +118,14 @@ func TestForDeterministicAndInRange(t *testing.T) {
 }
 
 func TestNewRejectsEmpty(t *testing.T) {
-	if _, err := New(nil); err == nil {
+	if _, err := New(nil, nil); err == nil {
 		t.Fatal("New(nil) should fail")
 	}
 }
 
 func TestRoutingAndMerge(t *testing.T) {
 	shards := []Engine{&fakeEngine{cycles: 3}, &fakeEngine{cycles: 5}, &fakeEngine{cycles: 2}}
-	s, err := New(shards)
+	s, err := New(shards, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +189,7 @@ func TestMergeTieBreak(t *testing.T) {
 	a, b := &fakeEngine{}, &fakeEngine{}
 	a.rules = append(a.rules, wildcard(7, 4))
 	b.rules = append(b.rules, wildcard(3, 4))
-	s, err := New([]Engine{a, b})
+	s, err := New([]Engine{a, b}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +208,7 @@ func TestMergeTieBreak(t *testing.T) {
 
 func TestLookupBatchMatchesSingle(t *testing.T) {
 	shards := []Engine{&fakeEngine{}, &fakeEngine{}, &fakeEngine{}, &fakeEngine{}}
-	s, err := New(shards)
+	s, err := New(shards, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +256,7 @@ func TestLookupBatchMatchesSingle(t *testing.T) {
 
 func TestAggregatedMemoryAndStats(t *testing.T) {
 	shards := []Engine{&fakeEngine{}, &fakeEngine{}}
-	s, err := New(shards)
+	s, err := New(shards, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,5 +278,85 @@ func TestAggregatedMemoryAndStats(t *testing.T) {
 	}
 	if _, ok := s.AggregateThroughput(); ok {
 		t.Fatal("fake replicas must not report a hardware throughput model")
+	}
+}
+
+func TestReplaceRepartitionsAndSnapshots(t *testing.T) {
+	shards := []Engine{&fakeEngine{}, &fakeEngine{}, &fakeEngine{}}
+	s, err := New(shards, func() (Engine, error) { return &fakeEngine{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 20; id++ {
+		if _, err := s.Insert(wildcard(id, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replace with a disjoint ruleset; every rule must land on its
+	// hashed replica of the NEW set and the old rules must be gone.
+	next := make([]rule.Rule, 0, 10)
+	for id := 100; id < 110; id++ {
+		next = append(next, wildcard(id, id))
+	}
+	if _, err := s.Replace(next); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d after replace, want 10", s.Len())
+	}
+	snap := s.Snapshot()
+	if len(snap) != 10 {
+		t.Fatalf("Snapshot len = %d, want 10", len(snap))
+	}
+	for i, r := range snap {
+		if r.ID != 100+i {
+			t.Fatalf("snapshot[%d].ID = %d, want %d (ascending IDs)", i, r.ID, 100+i)
+		}
+	}
+	// Updates after the swap must route within the new replica set.
+	if _, err := s.Delete(105); err != nil {
+		t.Fatalf("delete of replaced rule: %v", err)
+	}
+	if _, err := s.Delete(5); err == nil {
+		t.Fatal("old-generation rule should be gone")
+	}
+	// Replace(nil) resets every shard.
+	if _, err := s.Replace(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || len(s.Snapshot()) != 0 {
+		t.Fatalf("reset left %d rules", s.Len())
+	}
+}
+
+func TestReplaceFailureLeavesPublishedSet(t *testing.T) {
+	s, err := New([]Engine{&fakeEngine{}, &fakeEngine{}},
+		func() (Engine, error) { return &fakeEngine{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(wildcard(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate IDs hash to the same replica, whose Replace rejects them.
+	bad := []rule.Rule{wildcard(7, 1), wildcard(7, 2)}
+	if _, err := s.Replace(bad); err == nil {
+		t.Fatal("duplicate-ID replace should fail")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("failed replace changed population: %d", s.Len())
+	}
+	if res, _ := s.Lookup(rule.Header{}); res.RuleID != 1 {
+		t.Fatalf("failed replace changed published rules: %+v", res)
+	}
+}
+
+func TestReplaceWithoutFactoryFails(t *testing.T) {
+	s, err := New([]Engine{&fakeEngine{}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Replace(nil); err == nil {
+		t.Fatal("Replace without a factory should fail")
 	}
 }

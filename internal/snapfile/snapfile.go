@@ -1,0 +1,370 @@
+// Package snapfile defines the on-disk snapshot format for a ruleset:
+// the unit the control plane saves, ships and restores atomically. The
+// paper's hardware model downloads a whole ruleset as one unit; this
+// package is the serialized form of that unit, used by the ctl
+// protocol's SNAPSHOT/RESTORE commands and by classifierd's
+// -snapshot-dir persistence (save-on-drain, load-on-start).
+//
+// # File format (version 1)
+//
+// A snapshot is a line-oriented text file:
+//
+//	#repro-snapshot v1
+//	#attr <key> <value>      (zero or more, sorted by key)
+//	#rules <n>
+//	#crc32 <8 lowercase hex digits>
+//	<id> <prio> <action> @<classbench rule>    (exactly n lines)
+//
+// The leading magic line carries the format version; unknown versions
+// are rejected so a future format change cannot be half-read. Attr
+// lines carry optional engine metadata (classifierd records backend,
+// shards and cache so a table can be rebuilt from its snapshot alone);
+// keys are lowercase [a-z0-9_-], values are single-line. The crc32
+// line is an IEEE CRC-32 over the canonical payload — every attr line
+// and every rule line, each terminated by '\n' — so truncation,
+// reordering and bit rot are all detected before a single rule is
+// applied. Rule lines use the shared control-plane shape: numeric ID
+// and priority, the action mnemonic, then the rule body in ClassBench
+// notation (the same shape as a ctl BULK body line), so a snapshot
+// body is both machine-checked and human-diffable.
+//
+// Rules are written in the order given; engines export snapshots
+// sorted by ascending rule ID, which makes a save→restore→save cycle
+// byte-for-byte stable. Read validates the version, the rule count,
+// the checksum, every rule's structural validity, the non-zero ID and
+// priority contract, and ID uniqueness; any failure rejects the whole
+// file, never a prefix of it.
+package snapfile
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rule"
+)
+
+// magic is the version-1 header line.
+const magic = "#repro-snapshot v1"
+
+// maxRules bounds one snapshot so a corrupt count cannot drive
+// allocation; it comfortably exceeds any ruleset in the paper's scale.
+const maxRules = 1 << 22
+
+// Snapshot is one serializable ruleset plus optional engine metadata.
+type Snapshot struct {
+	// Attrs carries optional key/value metadata (e.g. backend, shards,
+	// cache). Keys must be lowercase [a-z0-9_-]; values one line.
+	Attrs map[string]string
+	// Rules is the ruleset in serialization order. Every rule must
+	// carry a unique non-zero ID and a non-zero priority.
+	Rules []rule.Rule
+}
+
+// FormatRule renders one rule in the shared control-plane line shape:
+// "<id> <prio> <action> @<classbench rule>".
+func FormatRule(r rule.Rule) string {
+	return fmt.Sprintf("%d %d %s %s", r.ID, r.Priority, r.Action, r.String())
+}
+
+// ParseRuleLine parses the FormatRule shape — the same grammar as a ctl
+// INSERT argument list or BULK body line.
+func ParseRuleLine(line string) (rule.Rule, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return rule.Rule{}, fmt.Errorf("want <id> <prio> <action> @rule")
+	}
+	id, err := strconv.Atoi(fields[0])
+	if err != nil || id <= 0 {
+		return rule.Rule{}, fmt.Errorf("rule id %q", fields[0])
+	}
+	prio, err := strconv.Atoi(fields[1])
+	if err != nil || prio <= 0 {
+		return rule.Rule{}, fmt.Errorf("priority %q", fields[1])
+	}
+	action, err := rule.ParseAction(strings.ToLower(fields[2]))
+	if err != nil {
+		return rule.Rule{}, err
+	}
+	at := strings.Index(line, "@")
+	if at < 0 {
+		return rule.Rule{}, fmt.Errorf("missing @rule body")
+	}
+	r, err := rule.ParseRule(line[at:])
+	if err != nil {
+		return rule.Rule{}, err
+	}
+	r.ID, r.Priority, r.Action = id, prio, action
+	return r, nil
+}
+
+// validAttrKey reports whether an attr key is format-safe.
+func validAttrKey(k string) bool {
+	if k == "" {
+		return false
+	}
+	for _, c := range k {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// attrLines renders the attr header lines sorted by key.
+func attrLines(s Snapshot) (string, error) {
+	var b strings.Builder
+	keys := make([]string, 0, len(s.Attrs))
+	for k := range s.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := s.Attrs[k]
+		if !validAttrKey(k) {
+			return "", fmt.Errorf("snapfile: invalid attr key %q", k)
+		}
+		if strings.ContainsAny(v, "\n\r") || v == "" {
+			return "", fmt.Errorf("snapfile: invalid attr value %q for key %q", v, k)
+		}
+		fmt.Fprintf(&b, "#attr %s %s\n", k, v)
+	}
+	return b.String(), nil
+}
+
+// payload renders the checksummed region: sorted attr lines followed by
+// rule lines, each '\n'-terminated.
+func payload(s Snapshot) (string, error) {
+	attrs, err := attrLines(s)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(attrs)
+	for i := range s.Rules {
+		b.WriteString(FormatRule(s.Rules[i]))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// validateRules enforces the snapshot rule contract shared with the
+// Engine API: structural validity, non-zero identity, unique IDs.
+func validateRules(rules []rule.Rule) error {
+	seen := make(map[int]struct{}, len(rules))
+	for i := range rules {
+		r := &rules[i]
+		if r.ID <= 0 {
+			return fmt.Errorf("rule %d: non-positive id %d", i+1, r.ID)
+		}
+		if r.Priority <= 0 {
+			return fmt.Errorf("rule %d: non-positive priority %d", r.ID, r.Priority)
+		}
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if _, dup := seen[r.ID]; dup {
+			return fmt.Errorf("rule id %d: %w", r.ID, rule.ErrDuplicateID)
+		}
+		seen[r.ID] = struct{}{}
+	}
+	return nil
+}
+
+// Write serializes the snapshot. The rules are written in the order
+// given; callers wanting the canonical byte-stable form pass them
+// sorted by ascending ID (what Engine.Snapshot returns).
+func Write(w io.Writer, s Snapshot) error {
+	if len(s.Rules) > maxRules {
+		return fmt.Errorf("snapfile: %d rules exceeds the %d-rule format bound", len(s.Rules), maxRules)
+	}
+	if err := validateRules(s.Rules); err != nil {
+		return fmt.Errorf("snapfile: %w", err)
+	}
+	attrs, err := attrLines(s)
+	if err != nil {
+		return err
+	}
+	body, err := payload(s)
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(magic)
+	b.WriteByte('\n')
+	b.WriteString(attrs)
+	// The count and checksum precede the rules so a reader can size and
+	// verify before applying anything.
+	fmt.Fprintf(&b, "#rules %d\n", len(s.Rules))
+	fmt.Fprintf(&b, "#crc32 %08x\n", crc32.ChecksumIEEE([]byte(body)))
+	for i := range s.Rules {
+		b.WriteString(FormatRule(s.Rules[i]))
+		b.WriteByte('\n')
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("snapfile: write: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes and fully validates one snapshot.
+func Read(r io.Reader) (Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line, err := nextLine(sc)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if line != magic {
+		return Snapshot{}, fmt.Errorf("snapfile: not a snapshot (or unsupported version): %q", line)
+	}
+	s := Snapshot{}
+	var count = -1
+	var sum uint32
+	var haveSum bool
+	// Header lines: attrs, then #rules, then #crc32.
+	for {
+		line, err = nextLine(sc)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		if rest, isAttr := strings.CutPrefix(line, "#attr "); isAttr {
+			k, v, ok := strings.Cut(rest, " ")
+			if !ok || !validAttrKey(k) || v == "" {
+				return Snapshot{}, fmt.Errorf("snapfile: bad attr line %q", line)
+			}
+			if s.Attrs == nil {
+				s.Attrs = make(map[string]string)
+			}
+			if _, dup := s.Attrs[k]; dup {
+				return Snapshot{}, fmt.Errorf("snapfile: duplicate attr %q", k)
+			}
+			s.Attrs[k] = v
+			continue
+		}
+		if n, ok := strings.CutPrefix(line, "#rules "); ok {
+			count, err = strconv.Atoi(n)
+			if err != nil || count < 0 || count > maxRules {
+				return Snapshot{}, fmt.Errorf("snapfile: bad rule count %q", n)
+			}
+			continue
+		}
+		if h, ok := strings.CutPrefix(line, "#crc32 "); ok {
+			v, err := strconv.ParseUint(h, 16, 32)
+			if err != nil || len(h) != 8 {
+				return Snapshot{}, fmt.Errorf("snapfile: bad checksum %q", h)
+			}
+			sum, haveSum = uint32(v), true
+			break // the checksum line closes the header
+		}
+		return Snapshot{}, fmt.Errorf("snapfile: unexpected header line %q", line)
+	}
+	if count < 0 || !haveSum {
+		return Snapshot{}, fmt.Errorf("snapfile: header missing #rules or #crc32")
+	}
+	s.Rules = make([]rule.Rule, 0, count)
+	for i := 0; i < count; i++ {
+		line, err = nextLine(sc)
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("snapfile: rule %d of %d: %w", i+1, count, err)
+		}
+		rl, err := ParseRuleLine(line)
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("snapfile: rule %d: %w", i+1, err)
+		}
+		s.Rules = append(s.Rules, rl)
+	}
+	if line, err = nextLine(sc); err == nil {
+		return Snapshot{}, fmt.Errorf("snapfile: trailing content after %d rules: %q", count, line)
+	}
+	body, err := payload(s)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if got := crc32.ChecksumIEEE([]byte(body)); got != sum {
+		return Snapshot{}, fmt.Errorf("snapfile: checksum mismatch: file says %08x, content is %08x", sum, got)
+	}
+	if err := validateRules(s.Rules); err != nil {
+		return Snapshot{}, fmt.Errorf("snapfile: %w", err)
+	}
+	return s, nil
+}
+
+// nextLine returns the next non-empty line, or io.EOF.
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+// Checksum returns the IEEE CRC-32 of a bare rule list rendered in the
+// format's line shape ('\n'-terminated FormatRule lines, no attrs) —
+// the integrity check the ctl protocol's SNAPSHOT dump carries so a
+// transfer is verifiable end to end with the same arithmetic as the
+// file format.
+func Checksum(rules []rule.Rule) uint32 {
+	h := crc32.NewIEEE()
+	for i := range rules {
+		io.WriteString(h, FormatRule(rules[i]))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum32()
+}
+
+// Save writes the snapshot to path atomically: a temp file in the same
+// directory is written, synced and renamed over the target, so a crash
+// mid-save leaves either the old snapshot or the new one, never a torn
+// file — the on-disk analogue of the engine's RCU swap.
+func Save(path string, s Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("snapfile: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Write(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapfile: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapfile: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapfile: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates the snapshot at path.
+func Load(path string) (Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("snapfile: %w", err)
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}

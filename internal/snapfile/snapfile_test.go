@@ -1,0 +1,219 @@
+package snapfile
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+// corpus generates rulesets across every family — the same generator
+// the engines are conformance-tested with, so the snapshot format is
+// property-tested against the full spec space (prefix nestings, port
+// ranges, wildcard and exact protocols).
+func corpus(t *testing.T) map[string][]rule.Rule {
+	t.Helper()
+	out := make(map[string][]rule.Rule)
+	for name, cfg := range map[string]ruleset.Config{
+		"acl":  {Family: ruleset.ACL, Size: 150, Seed: 3},
+		"fw":   {Family: ruleset.FW, Size: 120, Seed: 4},
+		"ipc":  {Family: ruleset.IPC, Size: 100, Seed: 5},
+		"acl2": {Family: ruleset.ACL, Size: 40, Seed: 99},
+	} {
+		s, err := ruleset.Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = s.Rules()
+	}
+	out["empty"] = nil
+	out["one"] = []rule.Rule{{
+		ID: 7, Priority: 9,
+		SrcIP:   rule.Prefix{Addr: 0x0a000000, Len: 8},
+		SrcPort: rule.FullPortRange(), DstPort: rule.ExactPort(443),
+		Proto: rule.ExactProto(rule.ProtoTCP), Action: rule.ActionMirror,
+	}}
+	return out
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	for name, rules := range corpus(t) {
+		t.Run(name, func(t *testing.T) {
+			snap := Snapshot{
+				Attrs: map[string]string{"backend": "linear", "shards": "4"},
+				Rules: rules,
+			}
+			var buf bytes.Buffer
+			if err := Write(&buf, snap); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			got, err := Read(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if len(got.Rules) != len(rules) {
+				t.Fatalf("round trip lost rules: %d vs %d", len(got.Rules), len(rules))
+			}
+			for i := range rules {
+				if got.Rules[i] != rules[i] {
+					t.Fatalf("rule %d changed:\n  in:  %+v\n  out: %+v", i, rules[i], got.Rules[i])
+				}
+			}
+			if got.Attrs["backend"] != "linear" || got.Attrs["shards"] != "4" {
+				t.Fatalf("attrs changed: %v", got.Attrs)
+			}
+			// Write→Read→Write must be byte-for-byte stable: the format
+			// is the persistence layer's identity function.
+			var buf2 bytes.Buffer
+			if err := Write(&buf2, got); err != nil {
+				t.Fatalf("re-Write: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Fatal("write/read/write is not byte-stable")
+			}
+		})
+	}
+}
+
+// TestRoundTripAgainstRulesetParsing cross-checks the rule body
+// serialization against the ClassBench parser the rest of the
+// repository uses: the @-body of every snapshot line must re-parse to
+// the identical match specification.
+func TestRoundTripAgainstRulesetParsing(t *testing.T) {
+	for name, rules := range corpus(t) {
+		for i := range rules {
+			line := FormatRule(rules[i])
+			at := strings.Index(line, "@")
+			if at < 0 {
+				t.Fatalf("%s rule %d: no @ body in %q", name, i, line)
+			}
+			parsed, err := rule.ParseRule(line[at:])
+			if err != nil {
+				t.Fatalf("%s rule %d: ParseRule(%q): %v", name, i, line[at:], err)
+			}
+			want := rules[i]
+			parsed.ID, parsed.Priority, parsed.Action = want.ID, want.Priority, want.Action
+			if parsed != want {
+				t.Fatalf("%s rule %d: classbench round trip changed the rule:\n  in:  %+v\n  out: %+v",
+					name, i, want, parsed)
+			}
+		}
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	rules := corpus(t)["acl"]
+	var buf bytes.Buffer
+	if err := Write(&buf, Snapshot{Rules: rules}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one byte inside the rule body (past the header lines).
+	i := bytes.LastIndexByte(data, '6')
+	if i < 0 {
+		t.Skip("no mutable digit found")
+	}
+	mut := append([]byte(nil), data...)
+	mut[i] = '7'
+	if _, err := Read(bytes.NewReader(mut)); err == nil {
+		t.Fatal("corrupted snapshot read back cleanly")
+	} else if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "rule") {
+		t.Fatalf("unexpected corruption error: %v", err)
+	}
+}
+
+func TestRejectsTruncationAndFraming(t *testing.T) {
+	rules := corpus(t)["fw"]
+	var buf bytes.Buffer
+	if err := Write(&buf, Snapshot{Rules: rules}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	lines := strings.SplitAfter(full, "\n")
+
+	cases := map[string]string{
+		"truncated":     strings.Join(lines[:len(lines)/2], ""),
+		"no magic":      strings.Replace(full, "#repro-snapshot v1", "#repro-snapshot v9", 1),
+		"extra rule":    full + lines[len(lines)-2],
+		"missing crc":   strings.Replace(full, "#crc32 ", "#crcXX ", 1),
+		"empty":         "",
+		"garbage":       "hello\nworld\n",
+		"header mangle": strings.Replace(full, "#rules ", "#rules x", 1),
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Read accepted a malformed snapshot", name)
+		}
+	}
+}
+
+func TestRejectsContractViolations(t *testing.T) {
+	ok := rule.Rule{ID: 1, Priority: 1, SrcPort: rule.FullPortRange(),
+		DstPort: rule.FullPortRange(), Proto: rule.AnyProto(), Action: rule.ActionPermit}
+	for name, rules := range map[string][]rule.Rule{
+		"zero id":       {{Priority: 1, SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(), Action: rule.ActionPermit}},
+		"zero priority": {{ID: 2, SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(), Action: rule.ActionPermit}},
+		"duplicate id":  {ok, ok},
+		"bad range": {{ID: 3, Priority: 1, SrcPort: rule.PortRange{Lo: 9, Hi: 1},
+			DstPort: rule.FullPortRange(), Action: rule.ActionPermit}},
+	} {
+		var buf bytes.Buffer
+		if err := Write(&buf, Snapshot{Rules: rules}); err == nil {
+			t.Errorf("%s: Write accepted an invalid ruleset", name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, Snapshot{Attrs: map[string]string{"Bad Key": "v"}, Rules: nil}); err == nil {
+		t.Error("Write accepted an invalid attr key")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "main.snap")
+	rules := corpus(t)["ipc"]
+	snap := Snapshot{Attrs: map[string]string{"backend": "tss"}, Rules: rules}
+	if err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a different snapshot: rename must replace whole
+	// files, and no temp litter may remain.
+	if err := Save(path, Snapshot{Rules: rules[:10]}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rules) != 10 {
+		t.Fatalf("loaded %d rules, want 10", len(got.Rules))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("snapshot dir has %d entries, want 1 (temp files must not leak)", len(ents))
+	}
+	if _, err := Load(filepath.Join(dir, "absent.snap")); err == nil {
+		t.Fatal("loading a missing snapshot should fail")
+	}
+}
+
+func TestReadEOFOnlyAfterFullBody(t *testing.T) {
+	// A reader that errors mid-stream must surface the error, not a
+	// truncated snapshot.
+	var buf bytes.Buffer
+	if err := Write(&buf, Snapshot{Rules: corpus(t)["acl2"]}); err != nil {
+		t.Fatal(err)
+	}
+	half := io.LimitReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()/2))
+	if _, err := Read(half); err == nil {
+		t.Fatal("half a snapshot read back cleanly")
+	}
+}

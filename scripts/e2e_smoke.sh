@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# e2e_smoke.sh — the CI smoke test for the classifierd snapshot
+# subsystem: boot the real daemon with -tables and -snapshot-dir, drive
+# table creation, pipelined bulk loads and snapshot checkpoints over TCP
+# through the classifierctl client, SIGTERM the process, restart it on
+# the same snapshot directory, and assert every table came back
+# byte-for-byte.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp -d)
+snaps=$(mktemp -d)
+work=$(mktemp -d)
+addr=127.0.0.1:9177
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$bin" "$snaps" "$work"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$bin/classifierd" ./cmd/classifierd
+go build -o "$bin/classifierctl" ./cmd/classifierctl
+go run ./cmd/rulegen -family acl -size 200 -seed 7 -o "$work/rules.txt"
+
+ctl() { "$bin/classifierctl" -addr "$addr" "$@"; }
+
+start_daemon() {
+    "$bin/classifierd" -listen "$addr" -tables "edge=linear:2" -snapshot-dir "$snaps" &
+    pid=$!
+    for _ in $(seq 1 100); do
+        if ctl tables >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "daemon did not come up" >&2
+    exit 1
+}
+
+stop_daemon() {
+    kill -TERM "$pid"
+    wait "$pid"
+    pid=""
+}
+
+echo "== first life: create, bulk, snapshot =="
+start_daemon
+ctl create hot tss 1 256
+ctl bulk "$work/rules.txt"
+ctl -table edge bulk "$work/rules.txt"
+ctl -table hot bulk "$work/rules.txt"
+ctl -table hot save checkpoint
+ctl -table hot snapshot > "$work/before.txt"
+ctl tables
+
+echo "== SIGTERM: drain must persist every table =="
+stop_daemon
+for t in main edge hot; do
+    if [ ! -f "$snaps/$t.snap" ]; then
+        echo "missing $snaps/$t.snap after drain" >&2
+        exit 1
+    fi
+done
+
+echo "== second life: tables must survive the restart =="
+start_daemon
+ctl tables | tee "$work/tables.txt"
+grep -q '^hot.*tss.*200 rule' "$work/tables.txt" || { echo "hot table lost" >&2; exit 1; }
+grep -q '^edge.*linear.*2 shard.*200 rule' "$work/tables.txt" || { echo "edge table lost" >&2; exit 1; }
+grep -q '^main.*200 rule' "$work/tables.txt" || { echo "main table lost" >&2; exit 1; }
+if grep -q '^checkpoint' "$work/tables.txt"; then
+    echo "user checkpoint resurrected as a table" >&2
+    exit 1
+fi
+
+ctl -table hot snapshot > "$work/after.txt"
+cmp "$work/before.txt" "$work/after.txt" || { echo "hot ruleset changed across restart" >&2; exit 1; }
+
+echo "== RESTORE: an explicit checkpoint survives a reset =="
+ctl -table hot reset
+ctl -table hot restore checkpoint
+ctl -table hot snapshot > "$work/restored.txt"
+cmp "$work/before.txt" "$work/restored.txt" || { echo "checkpoint restore diverged" >&2; exit 1; }
+
+stop_daemon
+echo "e2e smoke OK"
