@@ -1,25 +1,31 @@
-// Command benchdiff compares two BENCH_lookup.json artifacts (see
-// cmd/lookupbench -engines) and fails when any backend's measured
-// lookup path regressed beyond a threshold. CI runs it against the
-// previous successful run's artifact, so a change that slows a lookup
-// path down by more than the noise band fails the build instead of
-// silently eroding the Mlookups/s trajectory.
+// Command benchdiff compares two benchmark artifacts — BENCH_lookup.json
+// (cmd/lookupbench -engines) or BENCH_workload.json (cmd/loadgen) — and
+// fails when any measured lookup path regressed beyond a threshold. CI
+// runs it against the previous successful run's artifact, so a change
+// that slows a lookup path down by more than the noise band fails the
+// build instead of silently eroding the Mlookups/s trajectory.
 //
 // Usage:
 //
 //	benchdiff -old prev/BENCH_lookup.json -new BENCH_lookup.json -max-regress 15 -max-hitrate-drop 5
+//	benchdiff -old prev/BENCH_workload.json -new BENCH_workload.json -max-latency-regress 50
 //
 // Records are matched on their full identity (experiment, backend,
 // family, rules, trace length, parallelism, batch, shards, zipf skew,
-// cache size), so the Zipf-skewed cached-vs-uncached records are gated
+// cache size — plus model, workers and event count for workload
+// records), so the Zipf-skewed cached-vs-uncached records are gated
 // exactly like the plain engine records: a regression on the
 // flow-cache hit path fails the build the same as one on the engine
 // path. Flow-cached records are additionally gated on the measured
 // cache hit rate — a drop of more than -max-hitrate-drop percentage
 // points fails even when the ns/lookup noise band hides it, since a
-// degraded hit rate is a cached-path regression by definition. Records
-// present on only one side — a new backend, a renamed experiment, an
-// errored run — are reported and skipped.
+// degraded hit rate is a cached-path regression by definition.
+// Workload-replay records are gated on their lookup latency quantiles
+// (p50 and p99) against the looser -max-latency-regress threshold:
+// open-loop tail latency on shared CI runners is far noisier than
+// steady-state ns/lookup, so the two bands are tuned independently.
+// Records present on only one side — a new backend, a renamed
+// experiment, an errored run — are reported and skipped.
 package main
 
 import (
@@ -31,8 +37,10 @@ import (
 )
 
 // Record mirrors the identity and measurement fields of lookupbench's
-// BenchRecord; unknown fields are ignored so the schemas can evolve
-// independently.
+// BenchRecord and loadgen's workload Record; unknown fields are ignored
+// so the schemas can evolve independently. A record carries ns_per_lookup
+// (steady-state benchmarks), lookup latency quantiles (workload
+// replays), or both; each present measurement is gated independently.
 type Record struct {
 	Experiment   string  `json:"experiment"`
 	Backend      string  `json:"backend"`
@@ -44,7 +52,12 @@ type Record struct {
 	Shards       int     `json:"shards"`
 	Zipf         float64 `json:"zipf,omitempty"`
 	CacheEntries int     `json:"cache_entries,omitempty"`
+	Model        string  `json:"model,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+	Events       int     `json:"events,omitempty"`
 	NsPerLookup  float64 `json:"ns_per_lookup"`
+	LookupP50Ns  float64 `json:"lookup_p50_ns,omitempty"`
+	LookupP99Ns  float64 `json:"lookup_p99_ns,omitempty"`
 	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 	Error        string  `json:"error,omitempty"`
 }
@@ -52,9 +65,15 @@ type Record struct {
 // key is the record identity both artifacts must share for a
 // comparison to be meaningful.
 func (r Record) key() string {
-	return fmt.Sprintf("%s|%s|%s|%d|%d|p%d|b%d|s%d|z%g|c%d",
+	return fmt.Sprintf("%s|%s|%s|%d|%d|p%d|b%d|s%d|z%g|c%d|m%s|w%d|e%d",
 		r.Experiment, r.Backend, r.Family, r.Rules, r.TraceLen,
-		r.Parallel, r.Batch, r.Shards, r.Zipf, r.CacheEntries)
+		r.Parallel, r.Batch, r.Shards, r.Zipf, r.CacheEntries,
+		r.Model, r.Workers, r.Events)
+}
+
+// measured reports whether the record carries any gateable measurement.
+func (r Record) measured() bool {
+	return r.Error == "" && (r.NsPerLookup > 0 || r.LookupP99Ns > 0)
 }
 
 // Regression is one record pair that degraded beyond a threshold:
@@ -69,35 +88,45 @@ type Regression struct {
 
 // compare pairs the artifacts by record identity and returns the
 // degradations beyond the thresholds plus a human-readable comparison
-// log: ns/lookup beyond maxRegressPct on every record, and — for
-// flow-cached records carrying a measured hit rate on both sides — a
-// hit-rate drop beyond maxHitDropPts percentage points.
-func compare(old, cur []Record, maxRegressPct, maxHitDropPts float64) (regs []Regression, log []string) {
+// log: ns/lookup beyond maxRegressPct, workload lookup quantiles (p50,
+// p99) beyond maxLatencyPct, and — for flow-cached records carrying a
+// measured hit rate on both sides — a hit-rate drop beyond
+// maxHitDropPts percentage points. Each metric gates only when both
+// sides measured it, so mixed-schema artifacts compare cleanly.
+func compare(old, cur []Record, maxRegressPct, maxHitDropPts, maxLatencyPct float64) (regs []Regression, log []string) {
 	prev := map[string]Record{}
 	for _, r := range old {
-		if r.Error == "" && r.NsPerLookup > 0 {
+		if r.measured() {
 			prev[r.key()] = r
 		}
 	}
 	for _, r := range cur {
-		if r.Error != "" || r.NsPerLookup <= 0 {
+		if !r.measured() {
 			continue
 		}
 		k := r.key()
 		p, ok := prev[k]
 		if !ok {
-			log = append(log, fmt.Sprintf("new    %-60s %8.0f ns (no baseline)", k, r.NsPerLookup))
+			log = append(log, fmt.Sprintf("new    %-60s %8.0f ns (no baseline)", k, primaryNs(r)))
 			continue
 		}
 		delete(prev, k)
-		pct := 100 * (r.NsPerLookup - p.NsPerLookup) / p.NsPerLookup
-		verdict := "ok    "
-		if pct > maxRegressPct {
-			verdict = "REGRES"
-			regs = append(regs, Regression{Key: k, Metric: "ns/lookup", Old: p.NsPerLookup, New: r.NsPerLookup, Pct: pct})
+		gate := func(metric string, oldNs, newNs, maxPct float64) {
+			if oldNs <= 0 || newNs <= 0 {
+				return
+			}
+			pct := 100 * (newNs - oldNs) / oldNs
+			verdict := "ok    "
+			if pct > maxPct {
+				verdict = "REGRES"
+				regs = append(regs, Regression{Key: k, Metric: metric, Old: oldNs, New: newNs, Pct: pct})
+			}
+			log = append(log, fmt.Sprintf("%s %-60s %-10s %8.0f -> %8.0f ns (%+.1f%%)",
+				verdict, k, metric, oldNs, newNs, pct))
 		}
-		log = append(log, fmt.Sprintf("%s %-60s %8.0f -> %8.0f ns (%+.1f%%)",
-			verdict, k, p.NsPerLookup, r.NsPerLookup, pct))
+		gate("ns/lookup", p.NsPerLookup, r.NsPerLookup, maxRegressPct)
+		gate("lookup-p50", p.LookupP50Ns, r.LookupP50Ns, maxLatencyPct)
+		gate("lookup-p99", p.LookupP99Ns, r.LookupP99Ns, maxLatencyPct)
 		// The gate needs a measured baseline rate; on the current side
 		// a cached record (CacheEntries > 0) always carries its
 		// measurement — lookupbench serializes cache_hit_rate without
@@ -120,6 +149,14 @@ func compare(old, cur []Record, maxRegressPct, maxHitDropPts float64) (regs []Re
 	return regs, log
 }
 
+// primaryNs picks the record's headline measurement for log lines.
+func primaryNs(r Record) float64 {
+	if r.NsPerLookup > 0 {
+		return r.NsPerLookup
+	}
+	return r.LookupP99Ns
+}
+
 func load(path string) ([]Record, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -134,10 +171,11 @@ func load(path string) ([]Record, error) {
 
 func main() {
 	var (
-		oldPath = flag.String("old", "", "baseline BENCH_lookup.json (previous run's artifact)")
-		newPath = flag.String("new", "BENCH_lookup.json", "current BENCH_lookup.json")
+		oldPath = flag.String("old", "", "baseline artifact (previous run's BENCH_lookup.json or BENCH_workload.json)")
+		newPath = flag.String("new", "BENCH_lookup.json", "current artifact")
 		maxPct  = flag.Float64("max-regress", 15, "fail when ns/lookup regresses more than this percentage")
 		maxDrop = flag.Float64("max-hitrate-drop", 5, "fail when a flow-cached record's hit rate drops more than this many percentage points")
+		maxLat  = flag.Float64("max-latency-regress", 50, "fail when a workload record's lookup p50/p99 regresses more than this percentage")
 	)
 	flag.Parse()
 	if *oldPath == "" {
@@ -154,7 +192,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	regs, log := compare(old, cur, *maxPct, *maxDrop)
+	regs, log := compare(old, cur, *maxPct, *maxDrop, *maxLat)
 	for _, line := range log {
 		fmt.Println(line)
 	}
@@ -165,10 +203,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "  %s: cache hit rate %.1f%% -> %.1f%% (-%.1f pts)\n", r.Key, r.Old, r.New, r.Pct)
 				continue
 			}
-			fmt.Fprintf(os.Stderr, "  %s: %.0f -> %.0f ns/lookup (%+.1f%%)\n", r.Key, r.Old, r.New, r.Pct)
+			fmt.Fprintf(os.Stderr, "  %s: %.0f -> %.0f ns %s (%+.1f%%)\n", r.Key, r.Old, r.New, r.Metric, r.Pct)
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: no regression beyond %.0f%% ns or %.0f hit-rate points across %d comparable records\n",
-		*maxPct, *maxDrop, len(cur))
+	fmt.Printf("benchdiff: no regression beyond %.0f%% ns, %.0f%% latency or %.0f hit-rate points across %d comparable records\n",
+		*maxPct, *maxLat, *maxDrop, len(cur))
 }

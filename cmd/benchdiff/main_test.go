@@ -31,7 +31,7 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 		rec("HiCuts", 1, 300),        // new record, no baseline
 		rec("RFC", 1, 40),            // baseline errored: counts as new
 	}
-	regs, log := compare(old, cur, 15, 5)
+	regs, log := compare(old, cur, 15, 5, 50)
 	if len(regs) != 1 {
 		t.Fatalf("regressions = %+v, want exactly the +20%% one", regs)
 	}
@@ -58,14 +58,14 @@ func TestCompareDistinguishesIdentity(t *testing.T) {
 	// be compared against each other.
 	old := []Record{rec("Decomposition", 1, 100)}
 	cur := []Record{rec("Decomposition", 4, 1000)}
-	regs, _ := compare(old, cur, 15, 5)
+	regs, _ := compare(old, cur, 15, 5, 50)
 	if len(regs) != 0 {
 		t.Fatalf("cross-identity comparison: %+v", regs)
 	}
 	oldZ := rec("Decomposition", 1, 100)
 	oldZ.Zipf, oldZ.CacheEntries = 1.2, 65536
 	curZ := rec("Decomposition", 1, 500)
-	if regs, _ := compare([]Record{oldZ}, []Record{curZ}, 15, 5); len(regs) != 0 {
+	if regs, _ := compare([]Record{oldZ}, []Record{curZ}, 15, 5, 50); len(regs) != 0 {
 		t.Fatalf("zipf/cache identity ignored: %+v", regs)
 	}
 }
@@ -115,7 +115,7 @@ func TestCompareGatesCachedPath(t *testing.T) {
 		zrec("Decomposition", 1, 65536, 300, 0.98),
 		zrec("TSS", 1, 65536, 205, 0.97),
 	}
-	regs, _ := compare(old, cur, 15, 5)
+	regs, _ := compare(old, cur, 15, 5, 50)
 	if len(regs) != 1 {
 		t.Fatalf("regressions = %+v, want exactly the cached-path one", regs)
 	}
@@ -129,7 +129,7 @@ func TestCompareGatesHitRateDrop(t *testing.T) {
 	// ns/lookup inside the noise band, but the hit rate collapsed: a
 	// cached-path regression by definition, and it must fail the build.
 	cur := []Record{zrec("Decomposition", 1, 65536, 160, 0.80)}
-	regs, _ := compare(old, cur, 15, 5)
+	regs, _ := compare(old, cur, 15, 5, 50)
 	if len(regs) != 1 {
 		t.Fatalf("regressions = %+v, want the hit-rate drop", regs)
 	}
@@ -138,13 +138,13 @@ func TestCompareGatesHitRateDrop(t *testing.T) {
 	}
 	// A small wobble inside the threshold passes.
 	cur = []Record{zrec("Decomposition", 1, 65536, 160, 0.95)}
-	if regs, _ := compare(old, cur, 15, 5); len(regs) != 0 {
+	if regs, _ := compare(old, cur, 15, 5, 50); len(regs) != 0 {
 		t.Fatalf("hit-rate wobble flagged: %+v", regs)
 	}
 	// Uncached records (no hit rate) are never hit-rate gated.
 	oldU := []Record{zrec("Linear", 1, 0, 500, 0)}
 	curU := []Record{zrec("Linear", 1, 0, 510, 0)}
-	if regs, _ := compare(oldU, curU, 15, 5); len(regs) != 0 {
+	if regs, _ := compare(oldU, curU, 15, 5, 50); len(regs) != 0 {
 		t.Fatalf("uncached record hit-rate gated: %+v", regs)
 	}
 }
@@ -156,14 +156,84 @@ func TestCompareCatchesTotalHitRateCollapse(t *testing.T) {
 	// cache_hit_rate without omitempty for exactly this case).
 	old := []Record{zrec("Decomposition", 1, 65536, 150, 0.98)}
 	cur := []Record{zrec("Decomposition", 1, 65536, 155, 0)}
-	regs, _ := compare(old, cur, 15, 5)
+	regs, _ := compare(old, cur, 15, 5, 50)
 	if len(regs) != 1 || regs[0].Metric != "hit-rate" {
 		t.Fatalf("total hit-rate collapse not flagged: %+v", regs)
 	}
 	// A baseline without a measured rate (uncached or pre-measurement
 	// artifact) never gates.
 	oldNoRate := []Record{zrec("Decomposition", 1, 65536, 150, 0)}
-	if regs, _ := compare(oldNoRate, cur, 15, 5); len(regs) != 0 {
+	if regs, _ := compare(oldNoRate, cur, 15, 5, 50); len(regs) != 0 {
 		t.Fatalf("baseline without hit rate gated: %+v", regs)
+	}
+}
+
+// wrec builds one workload-replay record, the BENCH_workload.json shape
+// cmd/loadgen emits.
+func wrec(model string, workers int, p50, p99 float64) Record {
+	return Record{
+		Experiment: "workload_replay", Backend: "Decomposition", Family: "acl",
+		Rules: 1000, Events: 10000, Workers: workers, Batch: 16, Shards: 1,
+		Model: model, Zipf: 1.2, LookupP50Ns: p50, LookupP99Ns: p99,
+	}
+}
+
+func TestCompareGatesWorkloadLatency(t *testing.T) {
+	old := []Record{
+		wrec("zipf", 4, 1000, 20000),
+		wrec("shift", 4, 1200, 25000),
+		wrec("bursty", 4, 1500, 40000),
+	}
+	cur := []Record{
+		wrec("zipf", 4, 1100, 26000),   // +10% / +30%: inside the 50% band
+		wrec("shift", 4, 2400, 26000),  // p50 doubled: regression
+		wrec("bursty", 4, 1500, 90000), // p99 more than doubled: regression
+	}
+	regs, log := compare(old, cur, 15, 5, 50)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want the p50 and p99 ones", regs)
+	}
+	metrics := map[string]bool{}
+	for _, r := range regs {
+		metrics[r.Metric] = true
+	}
+	if !metrics["lookup-p50"] || !metrics["lookup-p99"] {
+		t.Fatalf("wrong metrics flagged: %+v", regs)
+	}
+	if len(log) == 0 {
+		t.Error("no comparison log")
+	}
+}
+
+func TestCompareWorkloadIdentity(t *testing.T) {
+	// Different models or worker counts are different experiments.
+	if regs, _ := compare([]Record{wrec("zipf", 4, 1000, 20000)},
+		[]Record{wrec("shift", 4, 9000, 90000)}, 15, 5, 50); len(regs) != 0 {
+		t.Fatalf("cross-model comparison: %+v", regs)
+	}
+	if regs, _ := compare([]Record{wrec("zipf", 4, 1000, 20000)},
+		[]Record{wrec("zipf", 8, 9000, 90000)}, 15, 5, 50); len(regs) != 0 {
+		t.Fatalf("cross-worker comparison: %+v", regs)
+	}
+	// The steady-state ns gate never fires on workload records (no
+	// ns_per_lookup), and the latency gate never fires on lookupbench
+	// records (no quantiles) — mixed artifacts compare cleanly.
+	mixed := []Record{rec("Decomposition", 1, 100), wrec("zipf", 4, 1000, 20000)}
+	if regs, _ := compare(mixed, mixed, 15, 5, 50); len(regs) != 0 {
+		t.Fatalf("self-comparison flagged: %+v", regs)
+	}
+}
+
+func TestCompareWorkloadErrorRecordsSkipped(t *testing.T) {
+	bad := wrec("zipf", 4, 1000, 20000)
+	bad.Error = "lookup: boom"
+	if regs, _ := compare([]Record{wrec("zipf", 4, 1000, 20000)},
+		[]Record{bad}, 15, 5, 50); len(regs) != 0 {
+		t.Fatalf("errored record gated: %+v", regs)
+	}
+	zero := wrec("zipf", 4, 0, 0)
+	if regs, _ := compare([]Record{wrec("zipf", 4, 1000, 20000)},
+		[]Record{zero}, 15, 5, 50); len(regs) != 0 {
+		t.Fatalf("unmeasured record gated: %+v", regs)
 	}
 }

@@ -116,3 +116,136 @@ func TestCLIErrors(t *testing.T) {
 		}
 	}
 }
+
+// startBareDaemon serves a daemon with no snapshot directory, so the
+// file-backed snapshot commands fail.
+func startBareDaemon(t *testing.T) string {
+	t.Helper()
+	eng, err := repro.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ctl.NewServer(eng)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return l.Addr().String()
+}
+
+// cliErr runs one classifierctl invocation expecting failure, returning
+// the error.
+func cliErr(t *testing.T, args ...string) error {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	if err == nil {
+		t.Fatalf("classifierctl %v should fail; output: %q", args, b.String())
+	}
+	return err
+}
+
+// TestCLIConnectionRefused covers the dial error path: the daemon is
+// gone before the CLI connects.
+func TestCLIConnectionRefused(t *testing.T) {
+	// Grab a port that nothing listens on: bind, read the address, close.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	err = cliErr(t, "-addr", addr, "tables")
+	if !strings.Contains(err.Error(), "dial") {
+		t.Fatalf("error %v does not surface the dial failure", err)
+	}
+}
+
+// TestCLIMalformedSwapBody covers swap/bulk input files the rule parser
+// rejects: the CLI must fail before (or while) talking to the daemon
+// and the daemon must stay healthy for the next command.
+func TestCLIMalformedSwapBody(t *testing.T) {
+	addr, _ := startDaemon(t)
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("@not-a-rule this line is garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range []string{"swap", "bulk"} {
+		if err := cliErr(t, "-addr", addr, cmd, bad); err == nil {
+			t.Fatalf("%s with malformed body should fail", cmd)
+		}
+	}
+	// An empty file parses to zero rules: swap must atomically clear,
+	// not error — the boundary between malformed and merely empty.
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out := cli(t, addr, "swap", empty); !strings.Contains(out, "swapped in 0 rules") {
+		t.Fatalf("empty swap: %q", out)
+	}
+	if out := cli(t, addr, "stats"); !strings.Contains(out, "rules 0") {
+		t.Fatalf("stats after empty swap: %q", out)
+	}
+}
+
+// TestCLIServerSideErrors covers errors the daemon reports back over
+// the protocol rather than local parse failures.
+func TestCLIServerSideErrors(t *testing.T) {
+	addr, _ := startDaemon(t)
+	cli(t, addr, "create", "dup", "linear")
+	for _, args := range [][]string{
+		{"create", "dup", "linear"},          // duplicate table
+		{"create", "x", "nosuchbackend"},     // unknown backend
+		{"create", "bad/name", "linear"},     // invalid table name
+		{"drop", "absent"},                   // unknown table
+		{"delete", "99"},                     // unknown rule id
+		{"-table", "dup", "restore", "nope"}, // missing snapshot file
+		{"save", "dup"},                      // checkpoint name collides with a table
+		{"insert", "1", "1", "permit"},       // truncated rule line
+		{"-table", "gone", "stats"},          // unknown table via -table
+	} {
+		cliErr(t, append([]string{"-addr", addr}, args...)...)
+	}
+	// The malformed commands must not have corrupted the registry.
+	if out := cli(t, addr, "tables"); !strings.Contains(out, "dup") {
+		t.Fatalf("tables after errors: %q", out)
+	}
+}
+
+// TestCLIBadLocalArgs covers argument validation that fails before any
+// connection state is consulted.
+func TestCLIBadLocalArgs(t *testing.T) {
+	addr, _ := startDaemon(t)
+	for _, args := range [][]string{
+		{"create", "x", "linear", "notanumber"},      // bad shard count
+		{"create", "x", "linear", "2", "notanumber"}, // bad cache size
+		{"delete", "notanumber"},
+		{"lookup", "1.2.3.4", "5.6.7.8", "70000", "80", "6"}, // port overflow
+		{"lookup", "1.2.3", "5.6.7.8", "1", "2", "3"},        // short address
+		{"swap"},    // missing file
+		{"save"},    // missing name
+		{"restore"}, // missing name
+		{"drop"},    // missing name
+	} {
+		cliErr(t, append([]string{"-addr", addr}, args...)...)
+	}
+}
+
+// TestCLISaveWithoutSnapshotDir covers the save path against a daemon
+// that has no snapshot directory configured.
+func TestCLISaveWithoutSnapshotDir(t *testing.T) {
+	addr := startBareDaemon(t)
+	err := cliErr(t, "-addr", addr, "save", "cp")
+	if !strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("error %v does not mention the missing snapshot directory", err)
+	}
+}

@@ -1,0 +1,369 @@
+// Command loadgen replays deterministic trace workloads — timestamped
+// schedules mixing lookups, incremental updates and atomic whole-ruleset
+// swaps under four traffic models (uniform, zipf, bursty, shift; see
+// repro/internal/workload) — against either an in-process engine
+// composition (any backend × shards × flow cache) or a live classifierd
+// over the ctl protocol, and reports HDR-style latency distributions
+// (p50/p90/p99/p999), achieved throughput and per-op error counts.
+//
+// Usage:
+//
+//	loadgen -model zipf -duration 5s
+//	loadgen -model all -events 10000 -duration 1s -backend tss -shards 4
+//	loadgen -model shift -flowcache 65536 -update-ratio 0.05 -swaps 2
+//	loadgen -addr 127.0.0.1:9099 -model shift -workers 4 -batch 32
+//
+// The replay is open loop: every event carries a scheduled arrival
+// offset, N workers pace their lookup stripes against the wall clock,
+// and latency is measured from the scheduled arrival — so queueing delay
+// when the target falls behind is charged to the distribution instead of
+// silently coordinating with the load (no coordinated omission). Updates
+// run in schedule order on a dedicated control lane, the paper's single
+// decision-control channel. Remote workers each hold their own ctl
+// connection and drain arrival backlog through pipelined LOOKUP writes
+// (-batch).
+//
+// Machine-readable records append to the -json file once per model as a
+// BENCH_workload.json array that cmd/benchdiff compares across runs, the
+// same trajectory-tracking contract as BENCH_lookup.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	repro "repro"
+	"repro/internal/ctl"
+	"repro/internal/ruleset"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// options carries the parsed flag set.
+type options struct {
+	models   []workload.Model
+	events   int
+	duration time.Duration
+	seed     int64
+
+	family   ruleset.Family
+	size     int
+	rules    string
+	zipf     float64
+	pool     int
+	update   float64
+	swaps    int
+	burstOn  time.Duration
+	burstOff time.Duration
+	shifts   int
+
+	workers int
+	batch   int
+
+	backend   repro.Backend
+	shards    int
+	flowCache int
+
+	addr  string
+	table string
+
+	jsonOut string
+}
+
+// run executes one loadgen invocation; split from main for testing.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		modelF    = fs.String("model", "zipf", "traffic model: uniform, zipf, bursty, shift — comma-separated list or 'all'")
+		events    = fs.Int("events", 50000, "events per model run")
+		duration  = fs.Duration("duration", 5*time.Second, "schedule horizon (arrival offsets span it)")
+		seed      = fs.Int64("seed", 1, "generation seed")
+		familyF   = fs.String("family", "acl", "generated ruleset family: acl, fw or ipc")
+		size      = fs.Int("size", 1000, "generated ruleset size")
+		rulesPath = fs.String("rules", "", "ClassBench ruleset file (overrides -family/-size)")
+		zipfS     = fs.Float64("zipf", 1.2, "Zipf skew s for the skewed models (> 1)")
+		pool      = fs.Int("pool", 4096, "distinct flows in the header pool")
+		update    = fs.Float64("update-ratio", 0.02, "fraction of events that are rule updates")
+		swaps     = fs.Int("swaps", 2, "whole-ruleset swap events per run")
+		burstOn   = fs.Duration("burst-on", 50*time.Millisecond, "bursty model on-window")
+		burstOff  = fs.Duration("burst-off", 50*time.Millisecond, "bursty model off-window")
+		shifts    = fs.Int("shifts", 3, "hot-set migrations for the shift model")
+		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent lookup workers")
+		batch     = fs.Int("batch", 16, "max overdue lookups drained per batched call (1 disables)")
+		backendF  = fs.String("backend", "decomposition", "in-process backend (see repro.ParseBackend)")
+		shards    = fs.Int("shards", 1, "in-process shard replicas")
+		flowCache = fs.Int("flowcache", 0, "in-process flow-cache slots (0 disables)")
+		addr      = fs.String("addr", "", "replay against a live classifierd at this address instead of in-process")
+		table     = fs.String("table", "", "remote table to replay into (default: the connection default)")
+		jsonOut   = fs.String("json", "BENCH_workload.json", "machine-readable output file ('' disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := options{
+		events: *events, duration: *duration, seed: *seed,
+		size: *size, rules: *rulesPath, zipf: *zipfS, pool: *pool,
+		update: *update, swaps: *swaps, burstOn: *burstOn, burstOff: *burstOff,
+		shifts: *shifts, workers: *workers, batch: *batch,
+		shards: *shards, flowCache: *flowCache,
+		addr: *addr, table: *table, jsonOut: *jsonOut,
+	}
+	var err error
+	if o.models, err = parseModels(*modelF); err != nil {
+		return err
+	}
+	if o.family, err = ruleset.ParseFamily(*familyF); err != nil {
+		return err
+	}
+	if o.backend, err = repro.ParseBackend(*backendF); err != nil {
+		return err
+	}
+	if o.workers < 1 {
+		o.workers = 1
+	}
+	if o.events < 1 {
+		return fmt.Errorf("-events %d, want >= 1", o.events)
+	}
+
+	rs, err := loadRuleset(o)
+	if err != nil {
+		return err
+	}
+	records := make([]Record, 0, len(o.models))
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\ttarget\tevents\telapsed\tev/s\tlookup p50\tp90\tp99\tp999\terrors")
+	opErrors := 0
+	for _, m := range o.models {
+		rec, err := runModel(o, m, rs, tw)
+		if err != nil {
+			return fmt.Errorf("model %s: %w", m, err)
+		}
+		opErrors += rec.LookupErrors + rec.UpdateErrors
+		records = append(records, rec)
+	}
+	tw.Flush()
+	if o.jsonOut != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d records to %s\n", len(records), o.jsonOut)
+	}
+	// Per-op failures are tallied in the records (and printed above), but
+	// a replay that errored is a failed run: CI smoke must go red, not
+	// rely on someone reading the error column.
+	if opErrors > 0 {
+		return fmt.Errorf("replay finished with %d operation error(s); see the error columns above", opErrors)
+	}
+	return nil
+}
+
+// Record is one machine-readable replay measurement — the
+// BENCH_workload.json schema cmd/benchdiff compares across runs.
+type Record struct {
+	Experiment   string  `json:"experiment"`
+	Model        string  `json:"model"`
+	Backend      string  `json:"backend"`
+	Family       string  `json:"family"`
+	Rules        int     `json:"rules"`
+	Events       int     `json:"events"`
+	Workers      int     `json:"workers"`
+	Batch        int     `json:"batch"`
+	Shards       int     `json:"shards"`
+	CacheEntries int     `json:"cache_entries,omitempty"`
+	Zipf         float64 `json:"zipf,omitempty"`
+	UpdateRatio  float64 `json:"update_ratio,omitempty"`
+	Swaps        int     `json:"swaps,omitempty"`
+	Remote       bool    `json:"remote,omitempty"`
+
+	DurationSec  float64 `json:"duration_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Lookups      int     `json:"lookups"`
+	Updates      int     `json:"updates"`
+
+	// Latency quantiles are in nanoseconds. The lookup quantiles are
+	// deliberately NOT omitempty: a collapse to zero must stay a
+	// reportable regression, not an absent field (the same contract as
+	// lookupbench's cache_hit_rate).
+	LookupP50Ns  float64 `json:"lookup_p50_ns"`
+	LookupP90Ns  float64 `json:"lookup_p90_ns"`
+	LookupP99Ns  float64 `json:"lookup_p99_ns"`
+	LookupP999Ns float64 `json:"lookup_p999_ns"`
+	LookupMaxNs  float64 `json:"lookup_max_ns"`
+	UpdateP99Ns  float64 `json:"update_p99_ns,omitempty"`
+
+	LookupErrors int    `json:"lookup_errors"`
+	UpdateErrors int    `json:"update_errors"`
+	Error        string `json:"error,omitempty"`
+}
+
+// runModel generates one schedule and replays it against the configured
+// target, printing one summary row and returning the JSON record.
+func runModel(o options, m workload.Model, rs *repro.RuleSet, tw *tabwriter.Writer) (Record, error) {
+	sched, err := workload.Generate(rs, workload.Config{
+		Model: m, Events: o.events, Duration: o.duration, Seed: o.seed,
+		ZipfSkew: o.zipf, HeaderPool: o.pool, UpdateRatio: o.update,
+		Swaps: o.swaps, Family: o.family,
+		BurstOn: o.burstOn, BurstOff: o.burstOff, Shifts: o.shifts,
+	})
+	if err != nil {
+		return Record{}, err
+	}
+	cfg := workload.ReplayConfig{Batch: o.batch}
+	target := "in-process"
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	if o.addr != "" {
+		target = o.addr
+		// One connection per worker plus the control lane: a ctl client
+		// is sequential, so concurrency needs connection parallelism.
+		for i := 0; i < o.workers+1; i++ {
+			client, err := ctl.Dial(o.addr)
+			if err != nil {
+				return Record{}, err
+			}
+			closers = append(closers, client)
+			if o.table != "" {
+				if err := client.TableUse(o.table); err != nil {
+					return Record{}, err
+				}
+			}
+			t := workload.ClientTarget{C: client}
+			if i == o.workers {
+				cfg.Control = t
+			} else {
+				cfg.Lookups = append(cfg.Lookups, t)
+			}
+		}
+	} else {
+		eng, err := repro.New(repro.WithBackend(o.backend),
+			repro.WithShards(o.shards), repro.WithFlowCache(o.flowCache))
+		if err != nil {
+			return Record{}, err
+		}
+		t := workload.EngineTarget{Eng: eng}
+		for i := 0; i < o.workers; i++ {
+			cfg.Lookups = append(cfg.Lookups, t)
+		}
+		cfg.Control = t
+	}
+	rep, err := workload.Replay(sched, cfg)
+	if err != nil {
+		return Record{}, err
+	}
+	rec := newRecord(o, m, rs.Len(), rep)
+	lk := rep.Ops[workload.OpLookup]
+	if lk == nil {
+		lk = &workload.OpStats{}
+	}
+	fmt.Fprintf(tw, "%s\t%s\t%d\t%v\t%.0f\t%v\t%v\t%v\t%v\t%d\n",
+		m, target, o.events, rep.Elapsed.Round(time.Millisecond), rep.EventsPerSec(),
+		lk.Latency.Quantile(0.50), lk.Latency.Quantile(0.90),
+		lk.Latency.Quantile(0.99), lk.Latency.Quantile(0.999), rep.TotalErrors())
+	if rep.FirstError != nil {
+		fmt.Fprintf(tw, "\tfirst error: %v\n", rep.FirstError)
+	}
+	return rec, nil
+}
+
+// newRecord folds a replay report into the JSON record shape.
+func newRecord(o options, m workload.Model, rules int, rep *workload.Report) Record {
+	rec := Record{
+		Experiment:  "workload_replay",
+		Model:       m.String(),
+		Backend:     o.backend.String(),
+		Family:      strings.ToLower(o.family.String()),
+		Rules:       rules,
+		Events:      o.events,
+		Workers:     o.workers,
+		Batch:       o.batch,
+		Shards:      o.shards,
+		Zipf:        o.zipf,
+		UpdateRatio: o.update,
+		Swaps:       o.swaps,
+		Remote:      o.addr != "",
+
+		CacheEntries: o.flowCache,
+		DurationSec:  rep.Elapsed.Seconds(),
+		EventsPerSec: rep.EventsPerSec(),
+	}
+	if rec.Remote {
+		rec.Backend = "remote"
+		rec.Shards = 0
+		rec.CacheEntries = 0
+	}
+	var updates workload.Histogram
+	for op, st := range rep.Ops {
+		if op == workload.OpLookup {
+			rec.Lookups = st.Count
+			rec.LookupErrors = st.Errors
+			rec.LookupP50Ns = float64(st.Latency.Quantile(0.50))
+			rec.LookupP90Ns = float64(st.Latency.Quantile(0.90))
+			rec.LookupP99Ns = float64(st.Latency.Quantile(0.99))
+			rec.LookupP999Ns = float64(st.Latency.Quantile(0.999))
+			rec.LookupMaxNs = float64(st.Latency.Max())
+			continue
+		}
+		rec.Updates += st.Count
+		rec.UpdateErrors += st.Errors
+		updates.Merge(&st.Latency)
+	}
+	rec.UpdateP99Ns = float64(updates.Quantile(0.99))
+	if rep.FirstError != nil {
+		rec.Error = rep.FirstError.Error()
+	}
+	return rec
+}
+
+// parseModels decodes the -model flag: a comma-separated list or "all".
+func parseModels(s string) ([]workload.Model, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return workload.Models(), nil
+	}
+	var out []workload.Model
+	for _, part := range strings.Split(s, ",") {
+		m, err := workload.ParseModel(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-model wants at least one model")
+	}
+	return out, nil
+}
+
+// loadRuleset builds the base ruleset from -rules or the generator.
+func loadRuleset(o options) (*repro.RuleSet, error) {
+	if o.rules != "" {
+		f, err := os.Open(o.rules)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return repro.ParseRules(f)
+	}
+	return repro.GenerateRules(repro.GenConfig{Family: repro.Family(o.family), Size: o.size, Seed: o.seed})
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	repro "repro"
+	"repro/internal/ctl"
+)
+
+// startDaemon serves a fresh engine over TCP, as classifierd would.
+func startDaemon(t *testing.T, opts ...repro.Option) string {
+	t.Helper()
+	eng, err := repro.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ctl.NewServer(eng)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return l.Addr().String()
+}
+
+// loadRecords runs one loadgen invocation and decodes its JSON output.
+func loadRecords(t *testing.T, args ...string) []Record {
+	t.Helper()
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_workload.json")
+	var b strings.Builder
+	if err := run(append(args, "-json", jsonPath), &b); err != nil {
+		t.Fatalf("loadgen %v: %v\noutput:\n%s", args, err, b.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// checkRecord asserts the acceptance contract every loadgen run must
+// meet: non-zero latency quantiles and zero errors.
+func checkRecord(t *testing.T, rec Record) {
+	t.Helper()
+	if rec.Experiment != "workload_replay" {
+		t.Errorf("experiment = %q", rec.Experiment)
+	}
+	if rec.Lookups == 0 {
+		t.Errorf("%s: no lookups issued", rec.Model)
+	}
+	if rec.LookupP50Ns <= 0 || rec.LookupP99Ns <= 0 {
+		t.Errorf("%s: zero latency quantiles: p50=%v p99=%v", rec.Model, rec.LookupP50Ns, rec.LookupP99Ns)
+	}
+	if rec.LookupP50Ns > rec.LookupP99Ns {
+		t.Errorf("%s: p50 %v above p99 %v", rec.Model, rec.LookupP50Ns, rec.LookupP99Ns)
+	}
+	if rec.LookupErrors != 0 || rec.UpdateErrors != 0 || rec.Error != "" {
+		t.Errorf("%s: errors: lookup=%d update=%d err=%q", rec.Model, rec.LookupErrors, rec.UpdateErrors, rec.Error)
+	}
+	if rec.EventsPerSec <= 0 || rec.DurationSec <= 0 {
+		t.Errorf("%s: bad throughput: %v ev/s over %vs", rec.Model, rec.EventsPerSec, rec.DurationSec)
+	}
+}
+
+// TestInProcessAllModels is the in-process acceptance path: every
+// traffic model replayed against the default engine with updates and
+// swaps, all producing non-zero latency quantiles and zero errors.
+func TestInProcessAllModels(t *testing.T) {
+	recs := loadRecords(t, "-model", "all", "-events", "3000", "-duration", "250ms",
+		"-size", "150", "-workers", "2")
+	if len(recs) != 4 {
+		t.Fatalf("%d records, want 4", len(recs))
+	}
+	seen := map[string]bool{}
+	for _, rec := range recs {
+		checkRecord(t, rec)
+		seen[rec.Model] = true
+		if rec.Remote {
+			t.Errorf("%s: marked remote", rec.Model)
+		}
+		if rec.Updates == 0 {
+			t.Errorf("%s: no updates issued", rec.Model)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("models covered: %v", seen)
+	}
+}
+
+// TestInProcessComposition exercises a sharded, flow-cached non-default
+// backend.
+func TestInProcessComposition(t *testing.T) {
+	recs := loadRecords(t, "-model", "zipf", "-events", "2000", "-duration", "150ms",
+		"-size", "120", "-backend", "tss", "-shards", "2", "-flowcache", "4096")
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	checkRecord(t, recs[0])
+	if recs[0].Backend != "TSS" || recs[0].Shards != 2 || recs[0].CacheEntries != 4096 {
+		t.Fatalf("composition not recorded: %+v", recs[0])
+	}
+}
+
+// TestRemoteShift is the remote acceptance path: loadgen -addr against
+// a live daemon with the locality-shift model.
+func TestRemoteShift(t *testing.T) {
+	addr := startDaemon(t)
+	recs := loadRecords(t, "-addr", addr, "-model", "shift", "-events", "2000",
+		"-duration", "250ms", "-size", "120", "-workers", "3", "-batch", "16")
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	rec := recs[0]
+	checkRecord(t, rec)
+	if !rec.Remote || rec.Backend != "remote" {
+		t.Fatalf("record not marked remote: %+v", rec)
+	}
+	if rec.Updates == 0 {
+		t.Fatalf("no updates replayed remotely")
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var b strings.Builder
+	for _, args := range [][]string{
+		{"-model", "nope"},
+		{"-family", "nope"},
+		{"-backend", "nope"},
+		{"-events", "0"},
+		{"-rules", "/nonexistent"},
+		{"-addr", "127.0.0.1:1", "-events", "10", "-duration", "10ms"}, // connection refused
+		{"-model", "zipf", "-zipf", "0.5", "-events", "10", "-duration", "10ms"},
+	} {
+		if err := run(append(args, "-json", ""), &b); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/rule"
 	"repro/internal/ruleset"
@@ -35,7 +34,7 @@ func main() {
 	)
 	flag.Parse()
 
-	fam, err := parseFamily(*family)
+	fam, err := ruleset.ParseFamily(*family)
 	if err != nil {
 		fatal(err)
 	}
@@ -54,19 +53,6 @@ func main() {
 		if err := writeTrace(*traceOut, trace); err != nil {
 			fatal(err)
 		}
-	}
-}
-
-func parseFamily(s string) (ruleset.Family, error) {
-	switch strings.ToLower(s) {
-	case "acl":
-		return ruleset.ACL, nil
-	case "fw":
-		return ruleset.FW, nil
-	case "ipc":
-		return ruleset.IPC, nil
-	default:
-		return 0, fmt.Errorf("unknown family %q (want acl, fw or ipc)", s)
 	}
 }
 

@@ -15,12 +15,12 @@ func TestParseFamily(t *testing.T) {
 		"acl": ruleset.ACL, "ACL": ruleset.ACL,
 		"fw": ruleset.FW, "ipc": ruleset.IPC,
 	} {
-		got, err := parseFamily(s)
+		got, err := ruleset.ParseFamily(s)
 		if err != nil || got != want {
-			t.Errorf("parseFamily(%q) = %v, %v", s, got, err)
+			t.Errorf("ParseFamily(%q) = %v, %v", s, got, err)
 		}
 	}
-	if _, err := parseFamily("bogus"); err == nil {
+	if _, err := ruleset.ParseFamily("bogus"); err == nil {
 		t.Error("bogus family should fail")
 	}
 }

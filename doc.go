@@ -128,6 +128,31 @@
 // workloads side by side. cmd/classifierctl is the matching one-shot
 // CLI.
 //
+// # Workload replay
+//
+// internal/workload generates and replays deterministic trace
+// workloads: timestamped event schedules mixing lookups, incremental
+// updates and atomic whole-ruleset swaps under four traffic models —
+// uniform, Zipf-skewed popularity, bursty on/off arrivals, and a
+// locality-shift model whose hot set migrates mid-run (the flow-cache
+// stress case). The same (ruleset, config) pair always yields the same
+// schedule, so a schedule is a reproducible experiment: the conformance
+// suite replays each one sequentially against every backend composition
+// and asserts identical per-lookup verdict sequences.
+//
+// cmd/loadgen is the load driver: it replays a schedule either
+// in-process against any Engine composition (backend × WithShards ×
+// WithFlowCache) or over TCP against a live classifierd, using N
+// concurrent workers with an open-loop pacer — latency is measured from
+// each event's scheduled arrival, so queueing delay is charged to the
+// distribution rather than coordinating with the load. Updates apply in
+// schedule order on a dedicated control lane, mirroring the paper's
+// single decision-control channel; remote workers drain arrival backlog
+// through pipelined LOOKUP writes. Results — HDR-style latency
+// quantiles (p50/p90/p99/p999), achieved throughput and per-op error
+// counts — are written as BENCH_workload.json, which cmd/benchdiff
+// compares across runs the same way it gates BENCH_lookup.json.
+//
 // # Hardware model
 //
 // Operations on the decomposition backend report a hardware cost (clock

@@ -328,6 +328,11 @@ func (c *Client) Lookup(h rule.Header) (LookupResult, error) {
 	if resp == "NOMATCH" {
 		return LookupResult{}, nil
 	}
+	return parseMatch(resp)
+}
+
+// parseMatch decodes a "MATCH <id> <prio> <action>" response line.
+func parseMatch(resp string) (LookupResult, error) {
 	fields := strings.Fields(resp)
 	if len(fields) != 4 || fields[0] != "MATCH" {
 		return LookupResult{}, fmt.Errorf("ctl: unexpected response %q", resp)
@@ -341,6 +346,83 @@ func (c *Client) Lookup(h rule.Header) (LookupResult, error) {
 		return LookupResult{}, fmt.Errorf("ctl: priority in %q", resp)
 	}
 	return LookupResult{Found: true, RuleID: id, Priority: prio, Action: fields[3]}, nil
+}
+
+// pipelineChunk bounds the LOOKUP lines in flight per PipelineLookups
+// write: both directions stay far below the kernel socket buffers, so
+// the client can finish its write before draining a single response.
+const pipelineChunk = 1024
+
+// PipelineLookups classifies the headers as pipelined LOOKUP requests:
+// all request lines go out in one write, then the responses are read
+// back in order — one round trip for the whole run instead of one per
+// header. Unlike MLookup (a single server-side batch against one
+// consistent snapshot per shard), each pipelined lookup is dispatched
+// independently and sees the freshest installed ruleset, which is the
+// semantics a workload replay interleaving updates wants. A NOMATCH
+// comes back as a zero LookupResult, like Lookup.
+func (c *Client) PipelineLookups(hs []rule.Header) ([]LookupResult, error) {
+	if len(hs) > pipelineChunk {
+		out := make([]LookupResult, 0, len(hs))
+		for off := 0; off < len(hs); off += pipelineChunk {
+			end := off + pipelineChunk
+			if end > len(hs) {
+				end = len(hs)
+			}
+			part, err := c.PipelineLookups(hs[off:end])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
+		}
+		return out, nil
+	}
+	if len(hs) == 0 {
+		return nil, nil
+	}
+	var b strings.Builder
+	for _, h := range hs {
+		b.WriteString(cmdLookup)
+		b.WriteByte(' ')
+		b.WriteString(headerArgs(h))
+		b.WriteByte('\n')
+	}
+	if _, err := c.conn.Write([]byte(b.String())); err != nil {
+		return nil, fmt.Errorf("ctl send: %w", err)
+	}
+	// Every request line has a response in flight: after the first bad
+	// response the remaining ones are still drained, so the connection
+	// stays framed and usable for the caller's next command. Only a
+	// transport failure aborts the drain — nothing more can arrive.
+	out := make([]LookupResult, len(hs))
+	var firstErr error
+	for i := range hs {
+		raw, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("ctl recv: pipelined lookup %d of %d: %w", i+1, len(hs), err)
+		}
+		resp := strings.TrimSpace(raw)
+		if firstErr != nil {
+			continue // draining
+		}
+		switch {
+		case strings.HasPrefix(resp, "ERR "):
+			firstErr = fmt.Errorf("ctl: pipelined lookup %d of %d: %s",
+				i+1, len(hs), strings.TrimPrefix(resp, "ERR "))
+		case resp == "NOMATCH":
+		default:
+			res, err := parseMatch(resp)
+			if err != nil {
+				firstErr = fmt.Errorf("pipelined lookup %d of %d: %w", i+1, len(hs), err)
+				continue
+			}
+			out[i] = res
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // mlookupChunk bounds the headers per MLOOKUP line (~35 B each), so

@@ -1050,3 +1050,125 @@ func TestSnapshotSaveRejectsTableNameCollision(t *testing.T) {
 		t.Fatalf("non-colliding checkpoint: %v", err)
 	}
 }
+
+// TestPipelineLookups verifies the pipelined LOOKUP path: verdicts come
+// back in request order, match the one-at-a-time path, and interleave
+// correctly with updates on the same connection.
+func TestPipelineLookups(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+
+	set, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 60, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.BulkInsert(set.Rules()); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := ruleset.GenerateTrace(set, ruleset.TraceConfig{Size: 300, HitRatio: 0.8, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.PipelineLookups(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("%d results for %d headers", len(got), len(trace))
+	}
+	for i, h := range trace {
+		single, err := client.Lookup(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != single {
+			t.Fatalf("header %d: pipelined %+v, single %+v", i, got[i], single)
+		}
+	}
+	// Empty batch is a no-op.
+	if out, err := client.PipelineLookups(nil); err != nil || out != nil {
+		t.Fatalf("empty pipeline: %v, %v", out, err)
+	}
+	// The connection stays usable for ordinary commands afterwards.
+	if _, err := client.Delete(set.Rules()[0].ID); err != nil {
+		t.Fatalf("delete after pipeline: %v", err)
+	}
+}
+
+// TestPipelineLookupsChunking pushes a batch beyond the pipeline chunk
+// to exercise the chunked write path.
+func TestPipelineLookupsChunking(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+	r := rule.Rule{
+		ID: 1, Priority: 1,
+		SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(),
+		Proto:  rule.AnyProto(),
+		Action: rule.ActionDeny,
+	}
+	if _, err := client.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	hs := make([]rule.Header, pipelineChunk+37)
+	for i := range hs {
+		hs[i] = rule.Header{SrcIP: uint32(i), DstIP: uint32(i * 7), SrcPort: uint16(i), DstPort: 80}
+	}
+	out, err := client.PipelineLookups(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(hs) {
+		t.Fatalf("%d results for %d headers", len(out), len(hs))
+	}
+	for i, res := range out {
+		if !res.Found || res.RuleID != 1 {
+			t.Fatalf("header %d: %+v, want the catch-all rule", i, res)
+		}
+	}
+}
+
+// TestPipelineLookupsErrorKeepsStreamInSync covers mid-pipeline server
+// errors: the client must drain every in-flight response so the
+// connection stays framed, report the first error, and remain usable —
+// no later command may consume a stale pipelined response.
+func TestPipelineLookupsErrorKeepsStreamInSync(t *testing.T) {
+	client, addr, stop := startServerWith(t, nil)
+	defer stop()
+	if err := client.TableCreate("t", "linear", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.TableUse("t"); err != nil {
+		t.Fatal(err)
+	}
+	// A second client drops the table out from under the first: every
+	// pipelined lookup on the dropped table answers ERR.
+	other, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if err := other.TableDrop("t"); err != nil {
+		t.Fatal(err)
+	}
+	hs := make([]rule.Header, 20)
+	for i := range hs {
+		hs[i] = rule.Header{SrcIP: uint32(i), DstPort: 80}
+	}
+	if _, err := client.PipelineLookups(hs); err == nil {
+		t.Fatal("pipelined lookups on a dropped table should fail")
+	} else if !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("error %v does not surface the table failure", err)
+	}
+	// The stream must be in sync: the next commands get their own
+	// responses, not stale pipelined ones.
+	if err := client.TableUse(DefaultTable); err != nil {
+		t.Fatalf("TableUse after failed pipeline: %v", err)
+	}
+	res, err := client.Lookup(rule.Header{SrcIP: 1, DstPort: 80})
+	if err != nil {
+		t.Fatalf("Lookup after failed pipeline: %v", err)
+	}
+	if res.Found {
+		t.Fatalf("empty main table matched: %+v", res)
+	}
+}

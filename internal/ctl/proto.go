@@ -63,6 +63,16 @@
 // follow the table-name syntax, so they cannot escape the snapshot
 // directory.
 //
+// The protocol is pipelining-safe: the server reads one line at a
+// time and answers strictly in order, so a client may write several
+// requests before draining their responses. Client.PipelineLookups
+// exploits this for workload replay — a backlog of LOOKUP lines goes
+// out as one write and the verdicts stream back in request order, each
+// lookup still dispatched independently against the freshest ruleset
+// (MLOOKUP, by contrast, classifies its whole batch against one
+// consistent snapshot per shard; choose by whether snapshot consistency
+// or update freshness is the point).
+//
 // Errors are reported as "ERR <message>". Errors inside an accepted
 // BULK or SWAP transfer still drain all n body lines, keeping the
 // stream in sync; a count that cannot be accepted closes the

@@ -12,6 +12,7 @@ package ruleset
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/rule"
 )
@@ -48,6 +49,22 @@ func (f Family) String() string {
 
 // Families lists all generated families in figure order.
 func Families() []Family { return []Family{ACL, FW, IPC} }
+
+// ParseFamily resolves a family from its flag spelling (case-
+// insensitive: "acl", "fw" or "ipc") — the shared parser behind every
+// command's -family flag.
+func ParseFamily(s string) (Family, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "acl":
+		return ACL, nil
+	case "fw":
+		return FW, nil
+	case "ipc":
+		return IPC, nil
+	default:
+		return 0, fmt.Errorf("unknown family %q (want acl, fw or ipc)", s)
+	}
+}
 
 // Config parameterizes generation.
 type Config struct {

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram is an HDR-style latency histogram: values are bucketed with
+// a bounded relative error (~3%, 5 significant bits) instead of a bounded
+// absolute error, so one histogram spans nanosecond lookups and second
+// stalls without losing tail resolution. Recording is allocation-free;
+// replay gives each worker its own histogram and merges at the end, so
+// the hot path needs no atomics.
+//
+// The zero value is an empty histogram ready for use.
+type Histogram struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    uint64
+	max    uint64
+	min    uint64
+}
+
+const (
+	// histSubBits is the number of significant bits kept per bucket:
+	// each power of two is split into 2^histSubBits linear sub-buckets.
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	// histExact is the range [0, histExact) tracked exactly (one bucket
+	// per nanosecond).
+	histExact = 64
+	// histBuckets covers exact values plus every (exponent, sub-bucket)
+	// pair up to the full uint64 range.
+	histBuckets = histExact + (63-histSubBits)*histSub
+)
+
+// histIndex maps a value to its bucket.
+func histIndex(v uint64) int {
+	if v < histExact {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // v in [2^exp, 2^exp+1), exp >= 6
+	frac := (v >> (exp - histSubBits)) & (histSub - 1)
+	return histExact + (exp-6)*histSub + int(frac)
+}
+
+// histValue returns the midpoint of a bucket — the value reported for
+// samples that landed in it.
+func histValue(i int) uint64 {
+	if i < histExact {
+		return uint64(i)
+	}
+	exp := 6 + (i-histExact)/histSub
+	frac := uint64((i - histExact) % histSub)
+	lo := uint64(1)<<exp | frac<<(exp-histSubBits)
+	return lo + uint64(1)<<(exp-histSubBits)/2
+}
+
+// Record adds one latency sample. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d.Nanoseconds())
+	}
+	h.counts[histIndex(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+}
+
+// Merge folds another histogram into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() time.Duration { return time.Duration(h.min) }
+
+// Mean returns the arithmetic mean of the recorded samples.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Quantile returns the latency at quantile q in [0, 1]: the bucket
+// midpoint below which at least q of the samples fall, clamped to the
+// recorded min/max so q=0 and q=1 report exact extremes.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			v := histValue(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return h.Max()
+}

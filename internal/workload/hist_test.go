@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramExactRegion(t *testing.T) {
+	var h Histogram
+	for v := 0; v < histExact; v++ {
+		h.Record(time.Duration(v))
+	}
+	if h.Count() != histExact {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != histExact-1 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	// Small values are stored exactly: the median of 0..63 is 32 (ceil
+	// quantile over 64 samples picks the 32nd).
+	if got := h.Quantile(0.5); got != 31 {
+		t.Fatalf("p50 = %v, want 31ns", got)
+	}
+}
+
+// TestHistogramRelativeError checks the ~3% bucket error bound across
+// magnitudes against exact order statistics.
+func TestHistogramRelativeError(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	var h Histogram
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over [1µs, 1s) to span many buckets.
+		v := time.Duration(float64(time.Microsecond) * pow10(rnd.Float64()*6))
+		samples = append(samples, float64(v))
+		h.Record(v)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		idx := int(q*float64(len(samples))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		exact := samples[idx]
+		got := float64(h.Quantile(q))
+		if rel := abs(got-exact) / exact; rel > 0.05 {
+			t.Errorf("q%g: hist %v, exact %v (rel err %.3f)", q, got, exact, rel)
+		}
+	}
+}
+
+func pow10(x float64) float64 {
+	out := 1.0
+	for x >= 1 {
+		out *= 10
+		x--
+	}
+	// Linear interpolation within the last decade is fine for a spread.
+	return out * (1 + 9*x)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	rnd := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rnd.Intn(1 << 20))
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Max() != all.Max() || a.Min() != all.Min() {
+		t.Fatalf("merge count/max/min mismatch")
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q%g: merged %v, direct %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-time.Second) // clamps to 0
+	h.Record(time.Hour)
+	if h.Min() != 0 {
+		t.Fatalf("min = %v", h.Min())
+	}
+	if got := h.Quantile(1); got != time.Hour {
+		t.Fatalf("p100 = %v, want clamped max", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %v, want clamped min", got)
+	}
+}
+
+// TestHistIndexRoundTrip pins the bucket arithmetic: every bucket's
+// midpoint maps back to that bucket, and indexes are monotone.
+func TestHistIndexRoundTrip(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		if got := histIndex(histValue(i)); got != i {
+			t.Fatalf("bucket %d: midpoint %d maps to %d", i, histValue(i), got)
+		}
+	}
+	prev := -1
+	for _, v := range []uint64{0, 1, 63, 64, 127, 128, 1 << 10, 1<<20 + 12345, 1 << 40, 1<<63 + 1} {
+		idx := histIndex(v)
+		if idx <= prev {
+			t.Fatalf("index not monotone at %d", v)
+		}
+		prev = idx
+	}
+}

@@ -1,0 +1,430 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	repro "repro"
+	"repro/internal/ctl"
+	"repro/internal/rule"
+)
+
+// Verdict is the classification outcome of one replayed lookup — the
+// identity of the Highest-Priority Matching Rule, which is what the
+// differential property test compares across backends.
+type Verdict struct {
+	Found    bool
+	RuleID   int
+	Priority int
+}
+
+// Target is the replay surface: anything that can classify headers and
+// apply rule updates. EngineTarget adapts an in-process repro.Engine;
+// ClientTarget adapts a ctl connection to a live classifierd.
+type Target interface {
+	Lookup(h rule.Header) (Verdict, error)
+	Insert(r rule.Rule) error
+	Delete(id int) error
+	// Swap atomically replaces the whole installed ruleset.
+	Swap(rules []rule.Rule) error
+}
+
+// BatchTarget is implemented by targets that can classify several
+// headers in one call; the replay workers use it to drain arrival
+// backlog in one round trip when they fall behind the pacer.
+type BatchTarget interface {
+	Target
+	LookupBatch(hs []rule.Header) ([]Verdict, error)
+}
+
+// EngineTarget replays against an in-process Engine — any backend ×
+// shards × flow-cache composition built with repro.New. The engines are
+// safe for concurrent use, so one EngineTarget may back every worker.
+type EngineTarget struct {
+	Eng repro.Engine
+}
+
+// Lookup implements Target.
+func (t EngineTarget) Lookup(h rule.Header) (Verdict, error) {
+	res, _ := t.Eng.Lookup(h)
+	return Verdict{Found: res.Found, RuleID: res.RuleID, Priority: res.Priority}, nil
+}
+
+// LookupBatch implements BatchTarget.
+func (t EngineTarget) LookupBatch(hs []rule.Header) ([]Verdict, error) {
+	res := t.Eng.LookupBatch(hs)
+	out := make([]Verdict, len(res))
+	for i, r := range res {
+		out[i] = Verdict{Found: r.Found, RuleID: r.RuleID, Priority: r.Priority}
+	}
+	return out, nil
+}
+
+// Insert implements Target.
+func (t EngineTarget) Insert(r rule.Rule) error {
+	_, err := t.Eng.Insert(r)
+	return err
+}
+
+// Delete implements Target.
+func (t EngineTarget) Delete(id int) error {
+	_, err := t.Eng.Delete(id)
+	return err
+}
+
+// Swap implements Target.
+func (t EngineTarget) Swap(rules []rule.Rule) error {
+	_, err := t.Eng.Replace(rules)
+	return err
+}
+
+// ClientTarget replays against a live classifierd over one ctl
+// connection. A ctl client is sequential (one request in flight), so
+// every replay worker needs its own ClientTarget over its own
+// connection.
+type ClientTarget struct {
+	C *ctl.Client
+}
+
+// Lookup implements Target.
+func (t ClientTarget) Lookup(h rule.Header) (Verdict, error) {
+	res, err := t.C.Lookup(h)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Found: res.Found, RuleID: res.RuleID, Priority: res.Priority}, nil
+}
+
+// LookupBatch implements BatchTarget: the headers go out as one
+// pipelined write of LOOKUP lines — one round trip for the whole
+// backlog, with each lookup still classified against the freshest
+// ruleset (unlike MLOOKUP's single-snapshot batch semantics).
+func (t ClientTarget) LookupBatch(hs []rule.Header) ([]Verdict, error) {
+	res, err := t.C.PipelineLookups(hs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Verdict, len(res))
+	for i, r := range res {
+		out[i] = Verdict{Found: r.Found, RuleID: r.RuleID, Priority: r.Priority}
+	}
+	return out, nil
+}
+
+// Insert implements Target.
+func (t ClientTarget) Insert(r rule.Rule) error {
+	_, err := t.C.Insert(r)
+	return err
+}
+
+// Delete implements Target.
+func (t ClientTarget) Delete(id int) error {
+	_, err := t.C.Delete(id)
+	return err
+}
+
+// Swap implements Target.
+func (t ClientTarget) Swap(rules []rule.Rule) error {
+	_, err := t.C.Swap(rules)
+	return err
+}
+
+// ReplayConfig parameterizes Replay.
+type ReplayConfig struct {
+	// Lookups are the per-worker lookup targets; len(Lookups) is the
+	// lookup concurrency. In-process engines are concurrency-safe, so
+	// the same EngineTarget may appear at every index; remote replays
+	// need one ClientTarget (one connection) per slot.
+	Lookups []Target
+	// Control handles updates (insert/delete/swap) on a dedicated
+	// in-order lane — the paper's single decision-control channel — so
+	// the update sequence applies exactly as generated whatever the
+	// lookup workers are doing. Nil uses Lookups[0] (only valid for
+	// concurrency-safe in-process targets).
+	Control Target
+	// Batch bounds how many overdue consecutive lookups a worker may
+	// drain through one BatchTarget call when it falls behind the pacer
+	// (default 1 = no batching).
+	Batch int
+	// Sequential replays every event in schedule order on the calling
+	// goroutine with no pacing: latencies are pure service times and the
+	// verdict sequence is deterministic — the differential-test mode.
+	Sequential bool
+	// CollectVerdicts records every lookup's verdict in event order.
+	// Only meaningful with Sequential (concurrent replay interleaves
+	// updates nondeterministically), and rejected otherwise.
+	CollectVerdicts bool
+	// SkipInstall starts replaying without first swapping in
+	// Schedule.Initial (for targets already holding the ruleset).
+	SkipInstall bool
+}
+
+// OpStats aggregates one operation kind across the replay.
+type OpStats struct {
+	// Count is the number of issued operations; Errors how many failed.
+	Count  int
+	Errors int
+	// Latency is the operation's latency distribution. Under the pacer
+	// it is open-loop latency — completion minus scheduled arrival, so
+	// queueing delay is charged to the laggard, never silently omitted;
+	// in sequential mode it is pure service time.
+	Latency Histogram
+}
+
+// Report is the outcome of one replay.
+type Report struct {
+	// Elapsed is the wall-clock replay time (installation excluded).
+	Elapsed time.Duration
+	// Ops maps each operation kind to its aggregated stats.
+	Ops map[Op]*OpStats
+	// Verdicts holds the per-lookup verdicts in event order when
+	// ReplayConfig.CollectVerdicts was set.
+	Verdicts []Verdict
+	// FirstError samples the first operation failure (nil when every
+	// operation succeeded); the per-op Errors counters carry the totals.
+	FirstError error
+}
+
+// EventsPerSec is the achieved event throughput.
+func (r *Report) EventsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	n := 0
+	for _, st := range r.Ops {
+		n += st.Count
+	}
+	return float64(n) / r.Elapsed.Seconds()
+}
+
+// TotalErrors sums the per-op error counts.
+func (r *Report) TotalErrors() int {
+	n := 0
+	for _, st := range r.Ops {
+		n += st.Errors
+	}
+	return n
+}
+
+// opSet is one goroutine's private stats, merged into the report at the
+// end so the replay hot path touches no shared state.
+type opSet struct {
+	stats    [4]OpStats // indexed by Op-1
+	firstErr error
+}
+
+func (s *opSet) record(op Op, d time.Duration, err error) {
+	st := &s.stats[op-1]
+	st.Count++
+	if err != nil {
+		st.Errors++
+		if s.firstErr == nil {
+			s.firstErr = fmt.Errorf("%s: %w", op, err)
+		}
+		return
+	}
+	st.Latency.Record(d)
+}
+
+// Replay drives the schedule against the configured targets and reports
+// latency histograms, throughput and per-op error counts. Updates apply
+// in schedule order on the control lane; lookups are striped across the
+// workers, each an open-loop pacer over its stripe.
+func Replay(s *Schedule, cfg ReplayConfig) (*Report, error) {
+	if len(cfg.Lookups) == 0 {
+		return nil, fmt.Errorf("workload: replay needs at least one lookup target")
+	}
+	for i, t := range cfg.Lookups {
+		if t == nil {
+			return nil, fmt.Errorf("workload: nil lookup target %d", i)
+		}
+	}
+	control := cfg.Control
+	if control == nil {
+		control = cfg.Lookups[0]
+	}
+	if cfg.CollectVerdicts && !cfg.Sequential {
+		return nil, fmt.Errorf("workload: CollectVerdicts requires Sequential replay")
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
+	}
+	if !cfg.SkipInstall {
+		if err := control.Swap(s.Initial); err != nil {
+			return nil, fmt.Errorf("workload: install initial ruleset: %w", err)
+		}
+	}
+	if cfg.Sequential {
+		return replaySequential(s, cfg.Lookups[0], control, cfg.CollectVerdicts)
+	}
+	return replayPaced(s, cfg, control)
+}
+
+// replaySequential executes every event in order on one goroutine.
+func replaySequential(s *Schedule, lookups, control Target, collect bool) (*Report, error) {
+	var set opSet
+	var verdicts []Verdict
+	if collect {
+		verdicts = make([]Verdict, 0, len(s.Events))
+	}
+	start := time.Now()
+	for i := range s.Events {
+		ev := &s.Events[i]
+		t0 := time.Now()
+		var err error
+		switch ev.Op {
+		case OpLookup:
+			var v Verdict
+			v, err = lookups.Lookup(ev.Header)
+			if collect && err == nil {
+				verdicts = append(verdicts, v)
+			}
+		case OpInsert:
+			err = control.Insert(ev.Rule)
+		case OpDelete:
+			err = control.Delete(ev.RuleID)
+		case OpSwap:
+			err = control.Swap(s.Swaps[ev.Swap])
+		}
+		set.record(ev.Op, time.Since(t0), err)
+	}
+	rep := newReport(time.Since(start), []*opSet{&set})
+	rep.Verdicts = verdicts
+	return rep, nil
+}
+
+// replayPaced runs the open-loop replay: a control goroutine applies the
+// updates in order at their scheduled times while the workers pace the
+// lookup stripes.
+func replayPaced(s *Schedule, cfg ReplayConfig, control Target) (*Report, error) {
+	workers := len(cfg.Lookups)
+	// Pre-split the schedule: update events keep their global order on
+	// the control lane; lookup events stripe round-robin across workers,
+	// preserving each stripe's time order.
+	var updates []*Event
+	stripes := make([][]*Event, workers)
+	li := 0
+	for i := range s.Events {
+		ev := &s.Events[i]
+		if ev.Op == OpLookup {
+			stripes[li%workers] = append(stripes[li%workers], ev)
+			li++
+		} else {
+			updates = append(updates, ev)
+		}
+	}
+	sets := make([]*opSet, 0, workers+1)
+	var wg sync.WaitGroup
+	start := time.Now()
+	ctlSet := &opSet{}
+	sets = append(sets, ctlSet)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, ev := range updates {
+			sleepUntil(start, ev.At)
+			var err error
+			switch ev.Op {
+			case OpInsert:
+				err = control.Insert(ev.Rule)
+			case OpDelete:
+				err = control.Delete(ev.RuleID)
+			case OpSwap:
+				err = control.Swap(s.Swaps[ev.Swap])
+			}
+			ctlSet.record(ev.Op, time.Since(start)-ev.At, err)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		set := &opSet{}
+		sets = append(sets, set)
+		wg.Add(1)
+		go func(target Target, stripe []*Event) {
+			defer wg.Done()
+			runStripe(target, stripe, start, cfg.Batch, set)
+		}(cfg.Lookups[w], stripes[w])
+	}
+	wg.Wait()
+	return newReport(time.Since(start), sets), nil
+}
+
+// runStripe paces one worker's lookup stripe. When the worker is behind
+// schedule and the target batches, all overdue events (up to batch) go
+// out as one call, each still measured from its own scheduled arrival.
+func runStripe(target Target, stripe []*Event, start time.Time, batch int, set *opSet) {
+	bt, canBatch := target.(BatchTarget)
+	var headers []rule.Header
+	if canBatch && batch > 1 {
+		headers = make([]rule.Header, 0, batch)
+	}
+	for i := 0; i < len(stripe); {
+		ev := stripe[i]
+		sleepUntil(start, ev.At)
+		if canBatch && batch > 1 {
+			// Drain the overdue run: ev plus every consecutive event
+			// whose arrival has already passed.
+			now := time.Since(start)
+			end := i + 1
+			for end < len(stripe) && end-i < batch && stripe[end].At <= now {
+				end++
+			}
+			if end-i > 1 {
+				headers = headers[:0]
+				for _, e := range stripe[i:end] {
+					headers = append(headers, e.Header)
+				}
+				_, err := bt.LookupBatch(headers)
+				done := time.Since(start)
+				for _, e := range stripe[i:end] {
+					set.record(OpLookup, done-e.At, err)
+				}
+				i = end
+				continue
+			}
+		}
+		_, err := target.Lookup(ev.Header)
+		set.record(OpLookup, time.Since(start)-ev.At, err)
+		i++
+	}
+}
+
+// sleepUntil blocks until offset `at` past start. The coarse wait uses
+// the OS timer, but the final stretch is a yield loop: time.Sleep wakes
+// up to ~1ms late under load, and charging that pacer jitter to every
+// event would swamp microsecond-scale service times in the open-loop
+// latency distribution.
+func sleepUntil(start time.Time, at time.Duration) {
+	const spin = 500 * time.Microsecond
+	if d := at - time.Since(start); d > spin {
+		time.Sleep(d - spin)
+	}
+	for time.Since(start) < at {
+		runtime.Gosched()
+	}
+}
+
+// newReport merges the per-goroutine stat sets.
+func newReport(elapsed time.Duration, sets []*opSet) *Report {
+	rep := &Report{Elapsed: elapsed, Ops: make(map[Op]*OpStats, 4)}
+	for _, op := range Ops() {
+		agg := &OpStats{}
+		for _, s := range sets {
+			st := &s.stats[op-1]
+			agg.Count += st.Count
+			agg.Errors += st.Errors
+			agg.Latency.Merge(&st.Latency)
+		}
+		if agg.Count > 0 {
+			rep.Ops[op] = agg
+		}
+	}
+	for _, s := range sets {
+		if s.firstErr != nil {
+			rep.FirstError = s.firstErr
+			break
+		}
+	}
+	return rep
+}

