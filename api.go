@@ -194,6 +194,8 @@ func (c *Classifier) Len() int { return c.inner.Len() }
 
 // Lookup classifies one header. Safe for concurrent use, including while
 // rules are being inserted or deleted.
+//
+//repro:noalloc
 func (c *Classifier) Lookup(h Header) (Result, Cost) {
 	return c.inner.Lookup(core.V4Header(h))
 }

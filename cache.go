@@ -116,6 +116,8 @@ var flowCacheHitCost = hwsim.Cost{Cycles: 1, Reads: 1}
 
 // Lookup serves the header from the cache when possible, otherwise runs
 // the full engine lookup and publishes the verdict.
+//
+//repro:noalloc
 func (c *cachedEngine) Lookup(h Header) (Result, Cost) {
 	res, gen, ok := c.cache.Get(h)
 	if ok {

@@ -30,8 +30,11 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"sort"
 )
@@ -162,51 +165,71 @@ func load(path string) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%s: artifact is empty (truncated upload?)", path)
+	}
 	var recs []Record
 	if err := json.Unmarshal(data, &recs); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: not a benchmark artifact: %w", path, err)
 	}
 	return recs, nil
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected: exit code 0 means no
+// regression (or a tolerated missing baseline), 1 means regressions,
+// 2 means the invocation or an artifact was unusable.
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	flags.SetOutput(stderr)
 	var (
-		oldPath = flag.String("old", "", "baseline artifact (previous run's BENCH_lookup.json or BENCH_workload.json)")
-		newPath = flag.String("new", "BENCH_lookup.json", "current artifact")
-		maxPct  = flag.Float64("max-regress", 15, "fail when ns/lookup regresses more than this percentage")
-		maxDrop = flag.Float64("max-hitrate-drop", 5, "fail when a flow-cached record's hit rate drops more than this many percentage points")
-		maxLat  = flag.Float64("max-latency-regress", 50, "fail when a workload record's lookup p50/p99 regresses more than this percentage")
+		oldPath   = flags.String("old", "", "baseline artifact (previous run's BENCH_lookup.json or BENCH_workload.json)")
+		newPath   = flags.String("new", "BENCH_lookup.json", "current artifact")
+		maxPct    = flags.Float64("max-regress", 15, "fail when ns/lookup regresses more than this percentage")
+		maxDrop   = flags.Float64("max-hitrate-drop", 5, "fail when a flow-cached record's hit rate drops more than this many percentage points")
+		maxLat    = flags.Float64("max-latency-regress", 50, "fail when a workload record's lookup p50/p99 regresses more than this percentage")
+		missingOK = flags.Bool("missing-old-ok", false, "exit 0 when the baseline artifact does not exist (first run of a new schema); a present-but-corrupt baseline still fails")
 	)
-	flag.Parse()
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
 	if *oldPath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -old is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff: -old is required")
+		return 2
 	}
 	old, err := load(*oldPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		if *missingOK && errors.Is(err, fs.ErrNotExist) {
+			fmt.Fprintf(stdout, "benchdiff: no baseline at %s; skipping comparison (first run of this artifact)\n", *oldPath)
+			return 0
+		}
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 	cur, err := load(*newPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 	regs, log := compare(old, cur, *maxPct, *maxDrop, *maxLat)
 	for _, line := range log {
-		fmt.Println(line)
+		fmt.Fprintln(stdout, line)
 	}
 	if len(regs) > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d lookup-path regression(s):\n", len(regs))
+		fmt.Fprintf(stderr, "benchdiff: %d lookup-path regression(s):\n", len(regs))
 		for _, r := range regs {
 			if r.Metric == "hit-rate" {
-				fmt.Fprintf(os.Stderr, "  %s: cache hit rate %.1f%% -> %.1f%% (-%.1f pts)\n", r.Key, r.Old, r.New, r.Pct)
+				fmt.Fprintf(stderr, "  %s: cache hit rate %.1f%% -> %.1f%% (-%.1f pts)\n", r.Key, r.Old, r.New, r.Pct)
 				continue
 			}
-			fmt.Fprintf(os.Stderr, "  %s: %.0f -> %.0f ns %s (%+.1f%%)\n", r.Key, r.Old, r.New, r.Metric, r.Pct)
+			fmt.Fprintf(stderr, "  %s: %.0f -> %.0f ns %s (%+.1f%%)\n", r.Key, r.Old, r.New, r.Metric, r.Pct)
 		}
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("benchdiff: no regression beyond %.0f%% ns, %.0f%% latency or %.0f hit-rate points across %d comparable records\n",
+	fmt.Fprintf(stdout, "benchdiff: no regression beyond %.0f%% ns, %.0f%% latency or %.0f hit-rate points across %d comparable records\n",
 		*maxPct, *maxLat, *maxDrop, len(cur))
+	return 0
 }

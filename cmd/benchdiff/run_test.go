@@ -1,0 +1,147 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cleanArtifact = `[
+  {"experiment":"engines","backend":"linear","family":"acl","rules":100,
+   "trace_len":1000,"parallel":1,"batch":1,"shards":1,"ns_per_lookup":100}
+]`
+
+func writeArtifact(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runDiff runs the CLI entry point with captured output.
+func runDiff(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestRunMissingBaselineFailsByDefault(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeArtifact(t, dir, "new.json", cleanArtifact)
+	code, _, stderr := runDiff(t, "-old", filepath.Join(dir, "absent.json"), "-new", cur)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "absent.json") {
+		t.Errorf("stderr should name the missing artifact, got: %s", stderr)
+	}
+}
+
+func TestRunMissingBaselineToleratedWithFlag(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeArtifact(t, dir, "new.json", cleanArtifact)
+	code, stdout, stderr := runDiff(t,
+		"-missing-old-ok", "-old", filepath.Join(dir, "absent.json"), "-new", cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "skipping comparison") {
+		t.Errorf("stdout should explain the skip, got: %s", stdout)
+	}
+}
+
+func TestRunTruncatedBaselineFailsEvenWithFlag(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", "")
+	cur := writeArtifact(t, dir, "new.json", cleanArtifact)
+	code, _, stderr := runDiff(t, "-missing-old-ok", "-old", old, "-new", cur)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (an empty artifact is corruption, not a first run); stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "empty") {
+		t.Errorf("stderr should call out the empty artifact, got: %s", stderr)
+	}
+}
+
+func TestRunCorruptBaselineFailsWithClearMessage(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", `[{"experiment":"engines","ns_per_look`) // cut mid-record
+	cur := writeArtifact(t, dir, "new.json", cleanArtifact)
+	code, _, stderr := runDiff(t, "-missing-old-ok", "-old", old, "-new", cur)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "not a benchmark artifact") {
+		t.Errorf("stderr should explain the parse failure, got: %s", stderr)
+	}
+}
+
+func TestRunCorruptCurrentArtifactFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", cleanArtifact)
+	cur := writeArtifact(t, dir, "new.json", `{"not":"an array"}`)
+	code, _, stderr := runDiff(t, "-old", old, "-new", cur)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "new.json") {
+		t.Errorf("stderr should name the bad artifact, got: %s", stderr)
+	}
+}
+
+func TestRunCleanComparisonPasses(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", cleanArtifact)
+	cur := writeArtifact(t, dir, "new.json", cleanArtifact)
+	code, stdout, stderr := runDiff(t, "-old", old, "-new", cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "no regression") {
+		t.Errorf("stdout should report the clean verdict, got: %s", stdout)
+	}
+}
+
+func TestRunRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", cleanArtifact)
+	cur := writeArtifact(t, dir, "new.json",
+		strings.Replace(cleanArtifact, `"ns_per_lookup":100`, `"ns_per_lookup":200`, 1))
+	code, _, stderr := runDiff(t, "-old", old, "-new", cur)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "regression") {
+		t.Errorf("stderr should report the regression, got: %s", stderr)
+	}
+}
+
+// TestRunSchemaDriftPasses: the first CI run after a schema change sees
+// records whose identities exist on only one side — reported, not fatal.
+func TestRunSchemaDriftPasses(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", cleanArtifact)
+	cur := writeArtifact(t, dir, "new.json",
+		strings.Replace(cleanArtifact, `"backend":"linear"`, `"backend":"decomposed"`, 1))
+	code, stdout, stderr := runDiff(t, "-old", old, "-new", cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "no baseline") {
+		t.Errorf("stdout should log the unmatched record, got: %s", stdout)
+	}
+}
+
+func TestRunOldFlagRequired(t *testing.T) {
+	code, _, stderr := runDiff(t)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "-old is required") {
+		t.Errorf("stderr should demand -old, got: %s", stderr)
+	}
+}

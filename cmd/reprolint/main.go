@@ -1,0 +1,108 @@
+// Command reprolint is the multichecker for the repro static-analysis
+// suite (internal/lint): it loads the requested packages from source,
+// runs every analyzer, and prints diagnostics in the familiar
+// file:line:col format. It exits non-zero when any diagnostic (or type
+// error) is found, so CI can gate on it exactly like go vet.
+//
+// Usage:
+//
+//	go run ./cmd/reprolint ./...
+//	go run ./cmd/reprolint -only rcusafe,noalloc ./internal/core
+//	go run ./cmd/reprolint -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reprolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", ".", "module directory to analyze in")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: reprolint [-only a,b] [-C dir] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintf(stderr, "reprolint: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "reprolint: %v\n", err)
+		return 2
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintf(stderr, "reprolint: %s: %v\n", pkg.PkgPath, e)
+			}
+			exit = 1
+			continue
+		}
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "reprolint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// selectAnalyzers resolves the -only filter against the suite.
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d; stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"rcusafe", "atomicfield", "noalloc", "ctlerr"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-only", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-only nosuch) = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr should name the bad analyzer, got: %s", stderr.String())
+	}
+}
+
+// TestCleanPackagePasses drives the full load-and-analyze pipeline over
+// one real package; internal/rcu is small and must always be clean.
+func TestCleanPackagePasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"-C", moduleRoot(t), "./internal/rcu"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run(./internal/rcu) = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}

@@ -171,11 +171,44 @@
 // decomposition architecture over 128-bit prefixes (the Table I
 // baselines are defined over the IPv4 5-tuple only).
 //
+// # Checked invariants
+//
+// The concurrency and hot-path contracts above are machine-checked by
+// reprolint, the repo's static-analysis suite (internal/lint, run via
+// `go run ./cmd/reprolint ./...` and as a required CI step):
+//
+//   - rcusafe: a value read from an RCU store (rcu.Handle.Value), an
+//     atomic.Pointer load, or an engine Snapshot is a published
+//     snapshot shared with lock-free readers; any write to memory
+//     reachable from it — field stores, slice-element writes, copy or
+//     append into it — is flagged as a data race at analysis time.
+//
+//   - atomicfield: a struct field accessed through sync/atomic anywhere
+//     in its package must be accessed that way everywhere; one plain
+//     load of a generation counter reintroduces the torn read the
+//     atomic was bought to prevent. Copying a sync/atomic wrapper-typed
+//     field is flagged for the same reason.
+//
+//   - noalloc: functions carrying a //repro:noalloc directive in their
+//     doc comment (the lookup fast path, the RCU read side, the flow
+//     cache probe, the shard fan-out) must contain no allocation-
+//     introducing constructs — make/new/literals, growing appends,
+//     interface boxing, fmt calls, string building. This is the
+//     build-time complement of the testing.AllocsPerRun guards, which
+//     cannot run under -race; a meta-test additionally requires every
+//     exported annotated function to have such a runtime guard in its
+//     package.
+//
+//   - ctlerr: every statically-analyzable ctl response string and conn
+//     write must lead with a protocol verb, keeping the line protocol's
+//     first-token dispatch grammar closed.
+//
 // The internal packages implement the substrates: internal/core (the
 // paper's architecture and its concurrent wrapper), internal/rcu (the
 // snapshot store), internal/lpm, internal/rangematch and
 // internal/exactmatch (the per-field engines of Table II),
 // internal/baseline (the multi-dimensional comparators of Table I),
-// internal/ruleset (ClassBench-style ACL/FW/IPC generators) and
-// internal/hwsim (the FPGA cycle and memory model).
+// internal/ruleset (ClassBench-style ACL/FW/IPC generators),
+// internal/hwsim (the FPGA cycle and memory model) and internal/lint
+// (the invariant analyzers behind cmd/reprolint).
 package repro

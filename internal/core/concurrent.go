@@ -104,6 +104,8 @@ func (c *Concurrent[K]) Len() int {
 
 // Lookup classifies one header. Safe for any number of concurrent
 // callers, including during Insert/Delete.
+//
+//repro:noalloc
 func (c *Concurrent[K]) Lookup(h Header[K]) (Result, hwsim.Cost) {
 	hd := c.store.Acquire()
 	res, cost := hd.Value().Lookup(h)

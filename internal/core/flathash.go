@@ -21,6 +21,8 @@ import "repro/internal/label"
 // since the allocator hands them out densely — well distributed, and the
 // splitmix64 finalizer avalanches the low bits that the power-of-two
 // masks consume.
+//
+//repro:noalloc
 func hashCombo(k comboKey) uint64 {
 	h := uint64(1469598103934665603)
 	for f := 0; f < numFields; f++ {
@@ -50,6 +52,8 @@ const flatTableMinSize = 16 // slots; must be a power of two
 
 // get returns the value stored under k and whether it is present. It is
 // the hot-path operation: no allocation, one probe sequence.
+//
+//repro:noalloc
 func (t *flatTable[V]) get(k comboKey) (V, bool) {
 	if t.live == 0 {
 		var zero V

@@ -47,6 +47,8 @@ type Result struct {
 // writer mutates it at the same time. The Concurrent wrapper provides
 // that guarantee; bare Classifier users must serialize updates against
 // lookups themselves.
+//
+//repro:noalloc
 func (c *Classifier[K]) Lookup(h Header[K]) (Result, hwsim.Cost) {
 	bufs := bufPool.Get().(*lookupBuffers)
 	res, cost := c.lookupInto(h, bufs)
@@ -82,6 +84,7 @@ func (c *Classifier[K]) LookupBatch(hs []Header[K]) ([]Result, hwsim.Cost) {
 	return out, total
 }
 
+//repro:noalloc
 func (c *Classifier[K]) lookupInto(h Header[K], bufs *lookupBuffers) (Result, hwsim.Cost) {
 	// Packet Header Partition: each field goes to its engine. The five
 	// searches run in parallel in hardware; the stage cost is the
@@ -182,6 +185,8 @@ func (lc *lookupCounters) reset() {
 // level, all in fixed-size stack arrays — so the hot path builds no
 // closure and performs no recursion; the probe order is the same
 // depth-first, highest-priority-labels-first order the hardware follows.
+//
+//repro:noalloc
 func (c *Classifier[K]) combine(bufs *lookupBuffers) Result {
 	for f := 0; f < numFields; f++ {
 		if len(bufs.lists[f]) == 0 {

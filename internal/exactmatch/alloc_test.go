@@ -1,0 +1,34 @@
+package exactmatch
+
+import (
+	"testing"
+
+	"repro/internal/label"
+	"repro/internal/rule"
+)
+
+// TestDirectIndexLookupZeroAllocs is the runtime counterpart of the
+// //repro:noalloc annotation on DirectIndex.Lookup: with a caller-
+// supplied result buffer the single-probe path must stay off the heap.
+func TestDirectIndexLookupZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations")
+	}
+	d := NewDirectIndex()
+	if _, err := d.Insert(uint8(rule.ProtoTCP), 1); err != nil {
+		t.Fatal(err)
+	}
+	d.InsertWildcard(7)
+	buf := make([]label.Label, 0, 8)
+	matched := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		out, _ := d.Lookup(uint8(rule.ProtoTCP), buf[:0])
+		matched += len(out)
+	})
+	if allocs != 0 {
+		t.Errorf("Lookup allocated %v times per run, want 0", allocs)
+	}
+	if matched == 0 {
+		t.Fatal("exact + wildcard labels should match")
+	}
+}

@@ -56,6 +56,8 @@ func (d *DirectIndex) DeleteWildcard() (label.Label, hwsim.Cost, bool) {
 }
 
 // Lookup reads one table word: exact label first, then wildcard.
+//
+//repro:noalloc
 func (d *DirectIndex) Lookup(v uint8, buf []label.Label) ([]label.Label, hwsim.Cost) {
 	cost := hwsim.Cost{Cycles: 1, Reads: 1}
 	if d.table[v].has {

@@ -1,0 +1,38 @@
+package flowcache
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rule"
+)
+
+// TestGetZeroAllocs is the runtime counterpart of the //repro:noalloc
+// annotation on Get (and the hash it calls): the probe path must stay
+// off the heap on both hits and misses.
+func TestGetZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations")
+	}
+	c := New(256)
+	h := rule.Header{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 80, Proto: rule.ProtoTCP}
+	miss := rule.Header{SrcIP: 9, DstIP: 9, SrcPort: 9, DstPort: 9, Proto: rule.ProtoUDP}
+	_, gen, _ := c.Get(h)
+	c.Put(gen, h, core.Result{RuleID: 7, Found: true})
+	if _, _, ok := c.Get(h); !ok {
+		t.Fatal("warm entry should hit")
+	}
+	hits := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, ok := c.Get(h); ok {
+			hits++
+		}
+		c.Get(miss)
+	})
+	if allocs != 0 {
+		t.Errorf("Get allocated %v times per run, want 0", allocs)
+	}
+	if hits == 0 {
+		t.Fatal("hit path never exercised")
+	}
+}

@@ -108,6 +108,8 @@ func (c *Cache) Entries() int { return len(c.slots) }
 
 // hash mixes the 5-tuple into a slot index (splitmix64 finalizer over
 // the packed fields).
+//
+//repro:noalloc
 func hash(h rule.Header) uint64 {
 	x := uint64(h.SrcIP)<<32 | uint64(h.DstIP)
 	x ^= (uint64(h.SrcPort)<<24 | uint64(h.DstPort)<<8 | uint64(h.Proto)) * 0x9e3779b97f4a7c15
@@ -124,6 +126,8 @@ func hash(h rule.Header) uint64 {
 // that generation through to Put so the fill is stamped with a
 // generation no newer than the engine state it read (see the package
 // comment's staleness argument).
+//
+//repro:noalloc
 func (c *Cache) Get(h rule.Header) (res core.Result, gen uint64, ok bool) {
 	gen = c.gen.Load()
 	k := hash(h)

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomic field access, the bug
+// class the generation counters (flowcache.Cache.gen) and the replica
+// pointer (shard.Sharded.replicas) are most exposed to:
+//
+//   - a plain-typed struct field whose address is passed to a
+//     sync/atomic function anywhere in the package must be accessed
+//     through sync/atomic everywhere — a single plain load of a
+//     generation counter reintroduces exactly the torn read the atomic
+//     was bought to prevent;
+//
+//   - a field whose type is one of the sync/atomic wrapper types
+//     (atomic.Uint64, atomic.Pointer[T], ...) must only be used as a
+//     method receiver or have its address taken — copying it smuggles
+//     a non-atomic read of the underlying word out of the type.
+//
+// The check is per package, the granularity at which unexported fields
+// are reachable.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "flag mixed atomic/plain access to a struct field",
+	Run:  runAtomicField,
+}
+
+// atomicFuncs is the set of sync/atomic package functions that take
+// &field as their first argument.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"AndInt32": true, "AndInt64": true, "AndUint32": true, "AndUint64": true, "AndUintptr": true,
+	"OrInt32": true, "OrInt64": true, "OrUint32": true, "OrUint64": true, "OrUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: collect the struct fields the package accesses atomically
+	// via &field arguments to sync/atomic functions, and remember which
+	// selector expressions those arguments are so pass 2 can skip them.
+	atomicallyUsed := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !isAtomicPkg(fn.Pkg()) || !atomicFuncs[fn.Name()] {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			if f, sel := fieldAddrArg(pass.Info, call.Args[0]); f != nil {
+				atomicallyUsed[f] = true
+				sanctioned[sel] = true
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag every other plain access to those fields, and every
+	// copying use of a field whose type is itself a sync/atomic wrapper.
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := selectedField(pass.Info, sel)
+			if f == nil {
+				return true
+			}
+			if atomicallyUsed[f] && !sanctioned[sel] {
+				pass.Reportf(sel.Sel.Pos(),
+					"plain access to field %s, which is accessed atomically elsewhere in this package (use sync/atomic consistently)",
+					fieldLabel(pass.Info, sel, f))
+				return true
+			}
+			if isAtomicWrapperType(f.Type()) && !atomicMethodContext(stack) {
+				pass.Reportf(sel.Sel.Pos(),
+					"non-atomic use of %s field %s (copying or overwriting it bypasses the atomic API)",
+					f.Type().String(), fieldLabel(pass.Info, sel, f))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldAddrArg matches the &x.f shape of a sync/atomic argument and
+// returns the field object (origin, so generic instantiations collapse)
+// plus the selector node.
+func fieldAddrArg(info *types.Info, arg ast.Expr) (*types.Var, *ast.SelectorExpr) {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	return selectedField(info, sel), sel
+}
+
+// selectedField resolves a selector to the struct field it names, or
+// nil for methods, package selectors and qualified identifiers.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var).Origin()
+}
+
+// isAtomicWrapperType reports whether t is one of the sync/atomic
+// wrapper types (atomic.Bool through atomic.Value, incl. Pointer[T]).
+func isAtomicWrapperType(t types.Type) bool {
+	n := namedOrigin(t)
+	return n != nil && isAtomicPkg(n.Obj().Pkg())
+}
+
+// atomicMethodContext reports whether the innermost selector on the
+// stack is used in one of the sanctioned shapes for an atomic-typed
+// field: as the receiver of a (method) selector, or with its address
+// taken.
+func atomicMethodContext(stack []ast.Node) bool {
+	// stack[len-1] is the selector itself; find its parent, skipping
+	// any wrapping parentheses.
+	i := len(stack) - 2
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	switch p := stack[i].(type) {
+	case *ast.SelectorExpr:
+		// Field is the base of a further selection: x.f.Load() — the
+		// method selector on the atomic value.
+		return true
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}
+
+// fieldLabel renders Type.field for diagnostics.
+func fieldLabel(info *types.Info, sel *ast.SelectorExpr, f *types.Var) string {
+	if n := namedOrigin(info.TypeOf(sel.X)); n != nil {
+		return n.Obj().Name() + "." + f.Name()
+	}
+	return f.Name()
+}

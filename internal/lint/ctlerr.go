@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtlErr enforces the ctl line protocol's first-token contract: every
+// line written on a control connection leads with a known protocol
+// verb, so clients (and the future typed control plane) can dispatch on
+// the first word without ever guessing. Two shapes are checked:
+//
+//   - return values of response-producing functions — methods on a
+//     `session` type and functions named dispatch* whose first result
+//     is a string;
+//
+//   - fmt.Fprint/Fprintf/Fprintln writes whose destination is a
+//     net.Conn.
+//
+// Only statically-analyzable strings are checked: literals, literal
+// Sprintf formats, constants, "ERR " + err concatenations, and locals
+// whose initializer is one of those. A response assembled dynamically
+// (strings.Builder) is skipped, not guessed at.
+var CtlErr = &Analyzer{
+	Name: "ctlerr",
+	Doc:  "flag ctl protocol lines whose first token is not a known protocol verb",
+	Run:  runCtlErr,
+}
+
+// ctlVerbs is every token that may legally start a line of the ctl
+// protocol, responses and requests both (the client and server share
+// one wire, so both directions are gated). Mirrors the grammar in the
+// internal/ctl package comment.
+var ctlVerbs = map[string]bool{
+	// Response verbs.
+	"OK": true, "ERR": true, "MATCH": true, "NOMATCH": true,
+	"RESULTS": true, "STATS": true, "THROUGHPUT": true, "TABLES": true,
+	"SNAPSHOT": true, "BYE": true,
+	// Request verbs.
+	"TABLE": true, "INSERT": true, "BULK": true, "DELETE": true,
+	"LOOKUP": true, "MLOOKUP": true, "RESTORE": true, "RESET": true,
+	"SWAP": true, "QUIT": true,
+}
+
+func runCtlErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isResponseProducer(pass, fd) {
+				checkResponseReturns(pass, fd)
+			}
+			checkConnWrites(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isResponseProducer reports whether fd's return values are protocol
+// responses: a method on a type named session, or a dispatch* function,
+// whose first result is a string.
+func isResponseProducer(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+		return false
+	}
+	first := pass.Info.TypeOf(fd.Type.Results.List[0].Type)
+	if !isStringType(first) {
+		return false
+	}
+	if strings.HasPrefix(fd.Name.Name, "dispatch") {
+		return true
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if n := namedOrigin(pass.Info.TypeOf(fd.Recv.List[0].Type)); n != nil {
+			return n.Obj().Name() == "session"
+		}
+	}
+	return false
+}
+
+// checkResponseReturns validates the first token of every statically-
+// known string returned as the response value.
+func checkResponseReturns(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		checkProtocolString(pass, fd, ret.Results[0])
+		return true
+	})
+}
+
+// checkConnWrites validates fmt.Fprint* calls that write directly to a
+// net.Conn.
+func checkConnWrites(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+			return true
+		}
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+		default:
+			return true
+		}
+		if len(call.Args) < 2 || !isNetConn(pass.Info.TypeOf(call.Args[0])) {
+			return true
+		}
+		checkProtocolString(pass, fd, call.Args[1])
+		return true
+	})
+}
+
+// isNetConn reports whether t is net.Conn (or implements it as a named
+// non-interface connection type from package net).
+func isNetConn(t types.Type) bool {
+	n := namedOrigin(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net" &&
+		(obj.Name() == "Conn" || strings.HasSuffix(obj.Name(), "Conn"))
+}
+
+// checkProtocolString extracts the statically-known leading text of the
+// expression and reports when its first token is not a protocol verb.
+func checkProtocolString(pass *Pass, fd *ast.FuncDecl, e ast.Expr) {
+	prefix, known := staticPrefix(pass, fd, e, 4)
+	if !known {
+		return
+	}
+	tok := firstToken(prefix)
+	if tok == "" {
+		// The static prefix ended before a token boundary (e.g. a
+		// format starting with a verb placeholder); nothing to judge.
+		return
+	}
+	if !ctlVerbs[tok] {
+		pass.Reportf(e.Pos(),
+			"ctl protocol line starts with %q, not a protocol verb (want one of the grammar's first tokens, e.g. OK/ERR/MATCH)", tok)
+	}
+}
+
+// staticPrefix computes the compile-time-known leading text of a string
+// expression: literals and constants yield themselves, Sprintf yields
+// its literal format, X + Y yields X's prefix, and a local variable
+// yields the prefix of its initializer. known is false when nothing
+// static can be said.
+func staticPrefix(pass *Pass, fd *ast.FuncDecl, e ast.Expr, depth int) (prefix string, known bool) {
+	if depth == 0 {
+		return "", false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return "", false
+		}
+		if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return constant.StringVal(tv.Value), true
+		}
+		return "", false
+	case *ast.Ident:
+		// A constant: use its value. A local variable: follow its
+		// initializer once.
+		obj := pass.Info.Uses[e]
+		switch obj := obj.(type) {
+		case *types.Const:
+			if obj.Val().Kind() == constant.String {
+				return constant.StringVal(obj.Val()), true
+			}
+		case *types.Var:
+			if init := localInit(pass, fd, obj); init != nil {
+				return staticPrefix(pass, fd, init, depth-1)
+			}
+		}
+		return "", false
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			return staticPrefix(pass, fd, e.X, depth-1)
+		}
+		return "", false
+	case *ast.CallExpr:
+		fn := calleeFunc(pass.Info, e)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fn.Name() == "Sprintf" && len(e.Args) > 0 {
+			format, ok := staticPrefix(pass, fd, e.Args[0], depth-1)
+			if !ok {
+				return "", false
+			}
+			// The format is static only up to its first verb.
+			if i := strings.IndexByte(format, '%'); i >= 0 {
+				format = format[:i]
+			}
+			return format, true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// localInit finds the := / var initializer of a local variable inside
+// fd, or nil when the variable is assigned more than once (its value is
+// then not static).
+func localInit(pass *Pass, fd *ast.FuncDecl, v *types.Var) ast.Expr {
+	var init ast.Expr
+	assigns := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if pass.Info.Defs[id] == v {
+					if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+						init = n.Rhs[i]
+					}
+				} else if pass.Info.Uses[id] == v && n.Tok != token.ADD_ASSIGN {
+					// Reassigned (not just appended to): the initial
+					// prefix no longer describes the returned value.
+					assigns++
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.Info.Defs[name] == v && i < len(n.Values) {
+					init = n.Values[i]
+				}
+			}
+		}
+		return true
+	})
+	if assigns > 0 {
+		return nil
+	}
+	return init
+}
+
+// firstToken returns the first space-delimited token of s fully
+// contained in the static prefix: the token must be terminated by a
+// space, newline or the end of a string that is known in full. A
+// prefix that ends mid-word (Sprintf format cut at a verb) yields "".
+func firstToken(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\n' || s[i] == '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}

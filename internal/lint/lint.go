@@ -1,0 +1,213 @@
+// Package lint is the repro static-analysis suite: a minimal, self-
+// contained go/analysis-style framework plus four analyzers that turn
+// the repository's hand-maintained concurrency and hot-path invariants
+// into machine-checked build-time properties.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis surface
+// (Analyzer, Pass, Diagnostic) but is built entirely on the standard
+// library — go/parser and go/types over export data produced by
+// `go list -export` — so the suite runs offline with no module
+// dependencies. cmd/reprolint is the multichecker binary over these
+// analyzers; `go run ./cmd/reprolint ./...` checks the whole module.
+//
+// # Checked invariants
+//
+// rcusafe: a value obtained from an RCU read — rcu.Handle.Value, an
+// atomic.Pointer Load, or an engine Snapshot — is a published snapshot
+// and must be treated as frozen. The analyzer flags writes to memory
+// reachable from such a value, including slice-element, map and
+// aliased writes.
+//
+// atomicfield: a struct field accessed via sync/atomic anywhere must
+// be accessed atomically everywhere. The analyzer flags plain reads
+// and writes of fields that are elsewhere passed to sync/atomic
+// functions, and plain copies or stores of fields whose type is one of
+// the sync/atomic wrapper types.
+//
+// noalloc: functions carrying a `//repro:noalloc` directive in their
+// doc comment must not contain allocation-introducing constructs. The
+// check is intraprocedural and complements the runtime AllocsPerRun
+// guards (which cannot run under -race).
+//
+// ctlerr: ctl responses and wire writes must keep the line protocol's
+// first-token contract: every statically-analyzable response string
+// must lead with a known protocol verb.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, structurally compatible with the
+// golang.org/x/tools/go/analysis Analyzer so the suite can migrate to
+// the upstream framework without rewriting the checks.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI filters.
+	Name string
+	// Doc is the one-paragraph description shown by reprolint -help.
+	Doc string
+	// Run reports diagnostics for one type-checked package via
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Report records one diagnostic. The framework fills in the
+	// analyzer name.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the repro analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{RCUSafe, AtomicField, NoAlloc, CtlErr}
+}
+
+// Run executes the analyzers over one loaded package and returns the
+// diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// NoAllocDirective is the annotation that opts a function into the
+// noalloc analyzer; it must appear as its own line in the function's
+// doc comment, directive-style (no space after the slashes).
+const NoAllocDirective = "//repro:noalloc"
+
+// HasNoAllocDirective reports whether the function declaration carries
+// the //repro:noalloc annotation.
+func HasNoAllocDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == NoAllocDirective || strings.HasPrefix(text, NoAllocDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// pointerShaped reports whether a value of type t is represented as a
+// single pointer word at runtime, so converting it to an interface
+// stores the value inline without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// aliasKind reports whether a value of type t shares underlying memory
+// when copied (so taint must follow assignments of it).
+func aliasKind(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// isAtomicPkg reports whether pkg is sync/atomic (or its race-build
+// internal twin).
+func isAtomicPkg(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "sync/atomic" || pkg.Path() == "internal/race/atomic")
+}
+
+// namedOrigin returns the origin named type behind t, unwrapping
+// pointers, aliases and generic instantiation; nil when t has none.
+func namedOrigin(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n.Origin()
+}
+
+// calleeFunc resolves the called function or method object of a call
+// expression, or nil for builtins, conversions and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			f, _ := info.Uses[id].(*types.Func)
+			return f
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			f, _ := info.Uses[id].(*types.Func)
+			return f
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

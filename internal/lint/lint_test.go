@@ -1,0 +1,100 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestRCUSafe(t *testing.T) {
+	linttest.Run(t, "testdata/src/rcusafe", lint.RCUSafe)
+}
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, "testdata/src/atomicfield", lint.AtomicField)
+}
+
+func TestNoAlloc(t *testing.T) {
+	linttest.Run(t, "testdata/src/noalloc", lint.NoAlloc)
+}
+
+func TestCtlErr(t *testing.T) {
+	linttest.Run(t, "testdata/src/ctlerr", lint.CtlErr)
+}
+
+// moduleRoot walks up to go.mod so the module-wide tests work from the
+// package directory go test runs them in.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}
+
+// TestLoadModule exercises the export-data loader over the whole
+// module: every package must parse and type-check from source.
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	pkgs, err := lint.Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("Load(./...) = %d packages, want at least the core packages", len(pkgs))
+	}
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		seen[p.PkgPath] = true
+		for _, e := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.PkgPath, e)
+		}
+	}
+	for _, want := range []string{"repro", "repro/internal/core", "repro/internal/rcu", "repro/internal/ctl"} {
+		if !seen[want] {
+			t.Errorf("Load(./...) missed %s", want)
+		}
+	}
+}
+
+// TestRepoClean is the gate the CI step automates: the shipped tree
+// must be free of diagnostics from every analyzer in the suite.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	root := moduleRoot(t)
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: not type-checked, skipping analysis", p.PkgPath)
+			continue
+		}
+		diags, err := lint.Run(p, lint.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			pos := p.Fset.Position(d.Pos)
+			t.Errorf("%s: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package linttest drives lint analyzers over testdata fixture
+// packages, in the style of golang.org/x/tools' analysistest: fixture
+// source lines carry `// want "regexp"` comments naming the diagnostics
+// the analyzer must produce on that line, and the runner fails the test
+// on both missed expectations and unexpected diagnostics.
+package linttest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe matches one expectation comment. Several expectations may
+// share a line: `// want "a" "b"`.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one `// want` entry, keyed by file base name and line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	src  string
+	hit  bool
+}
+
+// Run loads the fixture package at dir (relative to the caller's
+// working directory, conventionally testdata/src/<analyzer>), runs the
+// analyzer over it, and cross-checks diagnostics against the fixture's
+// `// want` comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+
+	modDir := moduleRoot(t)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkg, err := lint.CheckDir(modDir, abs)
+	if err != nil {
+		t.Fatalf("linttest: loading %s: %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("linttest: %s: fixture does not type-check: %v", dir, terr)
+	}
+	if t.Failed() {
+		return
+	}
+
+	wants, err := collectWants(abs)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	diags, err := lint.Run(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != filepath.Base(pos.Filename) || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s",
+				filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.src)
+		}
+	}
+}
+
+// collectWants parses every fixture file's comments for `// want`
+// expectations.
+func collectWants(dir string) ([]*expectation, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	fset := token.NewFileSet()
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				patterns, err := splitPatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", e.Name(), line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", e.Name(), line, p, err)
+					}
+					wants = append(wants, &expectation{file: e.Name(), line: line, re: re, src: p})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants, nil
+}
+
+// splitPatterns decodes the quoted regexps after `want`.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("want patterns must be quoted strings, got %q", s)
+		}
+		// Find the end of this Go-quoted string and unquote it.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == s[0] && (s[0] == '`' || s[i-1] != '\\') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		p, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %q: %v", s[:end+1], err)
+		}
+		out = append(out, p)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}
+
+// moduleRoot walks up from the working directory to the go.mod, so
+// fixtures can import repro packages regardless of which package runs
+// the test.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,105 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestNoAllocAnnotationsHaveGuards cross-checks the two halves of the
+// allocation-free contract: the //repro:noalloc directive gives the
+// build-time (analyzer) half, and a testing.AllocsPerRun guard in the
+// same package gives the runtime half. Every exported annotated
+// function must be called from a test file in its package that uses
+// AllocsPerRun — so neither half can silently rot while the other
+// appears green. (Unexported helpers are covered transitively through
+// the exported entry points that call them.)
+func TestNoAllocAnnotationsHaveGuards(t *testing.T) {
+	root := moduleRoot(t)
+	fset := token.NewFileSet()
+	annotated := map[string][]string{}      // package dir -> exported annotated function names
+	guarded := map[string]map[string]bool{} // package dir -> names called in AllocsPerRun test files
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if filepath.Ext(path) != ".go" {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if strings.HasSuffix(path, "_test.go") {
+			f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			usesAllocsPerRun := false
+			calls := map[string]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fn := call.Fun.(type) {
+				case *ast.Ident:
+					calls[fn.Name] = true
+				case *ast.SelectorExpr:
+					calls[fn.Sel.Name] = true
+					if fn.Sel.Name == "AllocsPerRun" {
+						usesAllocsPerRun = true
+					}
+				}
+				return true
+			})
+			if usesAllocsPerRun {
+				if guarded[dir] == nil {
+					guarded[dir] = map[string]bool{}
+				}
+				for c := range calls {
+					guarded[dir][c] = true
+				}
+			}
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !lint.HasNoAllocDirective(fd) || !fd.Name.IsExported() {
+				continue
+			}
+			annotated[dir] = append(annotated[dir], fd.Name.Name)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(annotated) == 0 {
+		t.Fatal("no //repro:noalloc annotations found anywhere; the hot-path contract has been deleted, not satisfied")
+	}
+	for dir, names := range annotated {
+		rel, _ := filepath.Rel(root, dir)
+		for _, name := range names {
+			if !guarded[dir][name] {
+				t.Errorf("%s: %s is annotated %s but no test in the package calls it under testing.AllocsPerRun",
+					rel, name, lint.NoAllocDirective)
+			}
+		}
+	}
+}

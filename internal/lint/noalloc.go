@@ -1,0 +1,396 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc checks functions annotated //repro:noalloc for allocation-
+// introducing constructs. The runtime AllocsPerRun guards prove the
+// steady state empirically but are skipped under -race (the race
+// runtime allocates on clean paths); this analyzer gives the same
+// invariant build-time coverage, including in race CI legs.
+//
+// Flagged inside an annotated function:
+//
+//   - make, new, map/slice composite literals, &T{...}
+//   - append whose destination does not trace to a caller-supplied
+//     buffer (parameter, receiver, struct field, package variable) or
+//     a slice of a local fixed-size array (the stack-scratch idiom)
+//   - conversions of non-constant, non-pointer-shaped values to
+//     interface types, explicit or implicit (call arguments, returns,
+//     assignments) — interface boxing allocates
+//   - calls into package fmt, string concatenation and string<->[]byte
+//     conversions
+//   - closure literals and go statements
+//
+// The check is intraprocedural: callees are not inspected, so an
+// annotated function may call helpers that are themselves annotated or
+// dynamically guarded. Composition is what the AllocsPerRun guards and
+// the annotations meta-test cover.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocation-introducing constructs in //repro:noalloc functions",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !HasNoAllocDirective(fd) {
+				continue
+			}
+			checkNoAllocFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoAllocFunc(pass *Pass, fd *ast.FuncDecl) {
+	c := &noallocCheck{pass: pass, fd: fd}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.reportf(n.Pos(), "closure literal (may allocate at each evaluation)")
+			return false // the closure body is the closure's problem
+		case *ast.GoStmt:
+			c.reportf(n.Pos(), "go statement (spawning a goroutine allocates)")
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.reportf(n.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass.Info.TypeOf(n)) {
+				c.reportf(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.ValueSpec:
+			c.checkValueSpec(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		}
+		return true
+	})
+}
+
+type noallocCheck struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+}
+
+func (c *noallocCheck) reportf(pos token.Pos, format string, args ...any) {
+	c.pass.Reportf(pos, "%s is annotated %s but contains: "+format,
+		append([]any{c.fd.Name.Name, NoAllocDirective}, args...)...)
+}
+
+// checkCompositeLit flags literals whose construction heap-allocates:
+// maps and slices. Struct and array value literals live on the stack
+// (their &-escape is caught at the UnaryExpr).
+func (c *noallocCheck) checkCompositeLit(lit *ast.CompositeLit) {
+	t := c.pass.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		c.reportf(lit.Pos(), "map literal allocates")
+	case *types.Slice:
+		c.reportf(lit.Pos(), "slice literal allocates")
+	}
+}
+
+func (c *noallocCheck) checkCall(call *ast.CallExpr) {
+	info := c.pass.Info
+	switch {
+	case isBuiltin(info, call, "make"):
+		c.reportf(call.Pos(), "make allocates")
+		return
+	case isBuiltin(info, call, "new"):
+		c.reportf(call.Pos(), "new allocates")
+		return
+	case isBuiltin(info, call, "append"):
+		if len(call.Args) > 0 && !c.allowedAppendBase(call.Args[0]) {
+			c.reportf(call.Pos(), "append to a slice of unknown capacity (grow allocates); append into a caller-supplied or fixed-size buffer instead")
+		}
+		return
+	}
+
+	// Conversion to a type (T(x)): boxing when T is an interface,
+	// copying when it crosses the string/byte-slice boundary.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			switch {
+			case types.IsInterface(tv.Type):
+				c.checkBoxing(call.Args[0], tv.Type, "explicit interface conversion")
+			case stringBytesConversion(tv.Type, info.TypeOf(call.Args[0])):
+				c.reportf(call.Pos(), "string <-> byte/rune slice conversion copies and allocates")
+			}
+		}
+		return
+	}
+
+	if fn := calleeFunc(info, call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			c.reportf(call.Pos(), "call to fmt.%s (fmt formats through reflection and allocates)", fn.Name())
+			// Fall through: the variadic boxing of the arguments is
+			// reported per argument below, which keeps each diagnostic
+			// attached to the value that would be boxed.
+		}
+		c.checkCallArgs(call, fn)
+		return
+	}
+	// Indirect calls (function values, interface methods): parameter
+	// types still come from the call expression's static type.
+	if sig, ok := info.TypeOf(call.Fun).(*types.Signature); ok && sig != nil {
+		c.checkArgsAgainst(call, sig)
+	}
+}
+
+// checkCallArgs boxes-checks the arguments of a resolved call.
+func (c *noallocCheck) checkCallArgs(call *ast.CallExpr, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	c.checkArgsAgainst(call, sig)
+}
+
+// checkArgsAgainst flags arguments that are implicitly converted to an
+// interface parameter type.
+func (c *noallocCheck) checkArgsAgainst(call *ast.CallExpr, sig *types.Signature) {
+	if call.Ellipsis != token.NoPos {
+		return // s... forwards the slice, no per-element boxing
+	}
+	params := sig.Params()
+	n := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= n-1:
+			last := params.At(n - 1).Type()
+			if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < n:
+			pt = params.At(i).Type()
+		}
+		if pt != nil && types.IsInterface(pt) {
+			c.checkBoxing(arg, pt, "argument passed as interface")
+		}
+	}
+}
+
+// checkBoxing reports a conversion of expr to an interface type when
+// it would allocate: the value is non-constant (constants are boxed to
+// static data by the compiler), not already an interface, and not
+// pointer-shaped (pointers are stored inline in the interface word).
+func (c *noallocCheck) checkBoxing(expr ast.Expr, to types.Type, what string) {
+	tv, ok := c.pass.Info.Types[ast.Unparen(expr)]
+	if !ok || tv.Value != nil { // constant: boxed at compile time
+		return
+	}
+	from := tv.Type
+	if from == nil || types.IsInterface(from) || pointerShaped(from) {
+		return
+	}
+	if b, ok := from.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	c.reportf(expr.Pos(), "%s boxes a %s (interface conversion allocates)", what, from.String())
+}
+
+// checkAssign flags implicit boxing on assignment to interface-typed
+// destinations and string conversions hiding in multi-assigns.
+func (c *noallocCheck) checkAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := c.pass.Info.TypeOf(lhs)
+		if lt != nil && types.IsInterface(lt) {
+			c.checkBoxing(as.Rhs[i], lt, "assignment to interface")
+		}
+	}
+}
+
+// checkValueSpec flags boxing in `var x interface{} = expr` forms.
+func (c *noallocCheck) checkValueSpec(vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		t := c.pass.Info.TypeOf(name)
+		if t != nil && types.IsInterface(t) {
+			c.checkBoxing(vs.Values[i], t, "assignment to interface")
+		}
+	}
+}
+
+// checkReturn flags boxing of returned values into interface results.
+func (c *noallocCheck) checkReturn(ret *ast.ReturnStmt) {
+	if c.fd.Type.Results == nil {
+		return
+	}
+	def, ok := c.pass.Info.Defs[c.fd.Name]
+	if !ok {
+		return
+	}
+	sig, ok := def.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	if len(ret.Results) != res.Len() {
+		return // bare return or tuple-forwarding call
+	}
+	for i, r := range ret.Results {
+		if types.IsInterface(res.At(i).Type()) {
+			c.checkBoxing(r, res.At(i).Type(), "return as interface")
+		}
+	}
+}
+
+// allowedAppendBase reports whether the append destination traces to
+// storage the caller supplied or the function pre-sized: a parameter or
+// receiver, a struct field, a package-level variable, a slice of a
+// local fixed-size array, or a local variable initialized from one of
+// those (one level of indirection — `out := buf[:0]`).
+func (c *noallocCheck) allowedAppendBase(e ast.Expr) bool {
+	return c.appendBaseOK(e, 4)
+}
+
+func (c *noallocCheck) appendBaseOK(e ast.Expr, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj, ok := c.pass.Info.Uses[e].(*types.Var)
+		if !ok {
+			return false
+		}
+		if obj.IsField() || c.isParamOrRecv(obj) || obj.Parent() == c.pass.Pkg.Scope() {
+			return true
+		}
+		// A local: accept when its initialization traces to an allowed
+		// base (e.g. out := buf[:0] / scratch[:0]).
+		if init := c.findInit(obj); init != nil {
+			return c.appendBaseOK(init, depth-1)
+		}
+		return false
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return true // struct field: pooled/pre-sized buffer
+		}
+		// Package-qualified variable.
+		_, isVar := c.pass.Info.Uses[e.Sel].(*types.Var)
+		return isVar
+	case *ast.SliceExpr:
+		// buf[:0] of an allowed base, or scratch[:0] of a local array.
+		if t := c.pass.Info.TypeOf(e.X); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Array:
+				return true
+			case *types.Pointer:
+				return true // *[N]T scratch
+			}
+		}
+		return c.appendBaseOK(e.X, depth-1)
+	case *ast.IndexExpr:
+		return c.appendBaseOK(e.X, depth-1)
+	case *ast.StarExpr:
+		return c.appendBaseOK(e.X, depth-1)
+	}
+	return false
+}
+
+// isParamOrRecv reports whether v is a parameter or the receiver of the
+// function under check.
+func (c *noallocCheck) isParamOrRecv(v *types.Var) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if c.pass.Info.Defs[name] == v {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(c.fd.Recv) || check(c.fd.Type.Params) || check(c.fd.Type.Results)
+}
+
+// findInit locates the defining expression of a local variable: the
+// right-hand side paired with it in its := statement or var spec.
+func (c *noallocCheck) findInit(v *types.Var) ast.Expr {
+	var init ast.Expr
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		if init != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && c.pass.Info.Defs[id] == v {
+					init = n.Rhs[i]
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if c.pass.Info.Defs[name] == v && i < len(n.Values) {
+					init = n.Values[i]
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return init
+}
+
+// stringBytesConversion reports whether a conversion from `from` to
+// `to` crosses the string / []byte / []rune boundary (a copying,
+// allocating conversion in either direction).
+func stringBytesConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+// isByteOrRuneSlice reports whether t is []byte or []rune.
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 ||
+		b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

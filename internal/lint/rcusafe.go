@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RCUSafe flags writes to memory reachable from an RCU-published value.
+//
+// The left-right snapshot scheme (internal/rcu), the flow cache's
+// atomic.Pointer slots and every engine's Snapshot export all share one
+// contract: once a value is published through an atomic pointer, it is
+// frozen — readers hold it without locks, so any in-place mutation is a
+// data race even when -race happens not to catch it. The analyzer
+// treats the results of
+//
+//   - rcu.Handle.Value (and rcu.Store.Acquire via Value),
+//   - any (*sync/atomic.Pointer[T]).Load, and
+//   - any zero-argument Snapshot method returning a slice
+//
+// as frozen, propagates that taint through aliasing assignments
+// (pointers, slices, maps, interfaces — value copies of structs and
+// scalars drop it), and reports assignments, copy calls and appends
+// whose destination lies inside frozen memory. The analysis is
+// intraprocedural: taint does not cross function boundaries.
+var RCUSafe = &Analyzer{
+	Name: "rcusafe",
+	Doc:  "flag writes to memory reachable from RCU snapshots, atomic.Pointer loads and engine Snapshot results",
+	Run:  runRCUSafe,
+}
+
+func runRCUSafe(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkRCUFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// frozenSource reports whether the call produces an RCU-frozen value.
+func frozenSource(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := namedOrigin(sig.Recv().Type())
+	switch fn.Name() {
+	case "Value":
+		return recv != nil && recv.Obj().Name() == "Handle" &&
+			recv.Obj().Pkg() != nil && recv.Obj().Pkg().Name() == "rcu"
+	case "Load":
+		return recv != nil && recv.Obj().Name() == "Pointer" && isAtomicPkg(recv.Obj().Pkg())
+	case "Snapshot":
+		if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			return false
+		}
+		_, isSlice := sig.Results().At(0).Type().Underlying().(*types.Slice)
+		return isSlice
+	}
+	return false
+}
+
+// rcuState is the per-function taint set.
+type rcuState struct {
+	pass   *Pass
+	frozen map[types.Object]bool
+}
+
+// isFrozen reports whether evaluating e yields a view of frozen memory.
+func (st *rcuState) isFrozen(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := st.pass.Info.Uses[e]
+		return obj != nil && st.frozen[obj]
+	case *ast.CallExpr:
+		return frozenSource(st.pass.Info, e)
+	case *ast.SelectorExpr:
+		// A field of a frozen struct (or through a frozen pointer) lives
+		// in frozen memory. Package-qualified selectors have no base
+		// expression taint.
+		if sel, ok := st.pass.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return st.isFrozen(e.X)
+		}
+		return false
+	case *ast.IndexExpr:
+		return st.isFrozen(e.X)
+	case *ast.SliceExpr:
+		return st.isFrozen(e.X)
+	case *ast.StarExpr:
+		return st.isFrozen(e.X)
+	case *ast.TypeAssertExpr:
+		return st.isFrozen(e.X)
+	}
+	return false
+}
+
+// checkRCUFunc runs the taint walk over one function body. Statements
+// are visited in source order, which matches the dominance order of
+// straight-line taint introduction well enough for this analysis:
+// over-approximation only ever adds diagnostics inside the same
+// function that produced the frozen value.
+func checkRCUFunc(pass *Pass, body *ast.BlockStmt) {
+	st := &rcuState{pass: pass, frozen: map[types.Object]bool{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // has its own walk
+		case *ast.AssignStmt:
+			st.checkAssign(n)
+		case *ast.IncDecStmt:
+			if st.writesFrozen(n.X) {
+				pass.Reportf(n.Pos(), "write to RCU-frozen memory (value obtained from a published snapshot)")
+			}
+		case *ast.RangeStmt:
+			st.propagateRange(n)
+		case *ast.CallExpr:
+			st.checkCall(n)
+		}
+		return true
+	})
+}
+
+// writesFrozen reports whether the assignable expression lhs denotes a
+// location inside frozen memory. Rebinding a tainted variable itself
+// (`v = ...`) is not a write into frozen memory.
+func (st *rcuState) writesFrozen(lhs ast.Expr) bool {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.StarExpr:
+		return st.isFrozen(e.X)
+	case *ast.IndexExpr:
+		return st.isFrozen(e.X)
+	case *ast.SelectorExpr:
+		if sel, ok := st.pass.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return st.isFrozen(e.X)
+		}
+		return false
+	}
+	return false
+}
+
+// checkAssign reports frozen-memory writes on the left side and
+// propagates taint from right to left.
+func (st *rcuState) checkAssign(as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		if st.writesFrozen(lhs) {
+			st.pass.Reportf(lhs.Pos(), "write to RCU-frozen memory (value obtained from a published snapshot)")
+		}
+	}
+	// Taint propagation: only 1:1 assignments and the single-call tuple
+	// form can transfer aliases.
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			st.bind(as.Lhs[i], rhs)
+		}
+	} else if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && frozenSource(st.pass.Info, call) {
+			for _, lhs := range as.Lhs {
+				st.taintIdent(lhs)
+			}
+		}
+	}
+}
+
+// bind transfers (or clears) taint for one lhs := rhs pair.
+func (st *rcuState) bind(lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := st.pass.Info.Defs[id]
+	if obj == nil {
+		obj = st.pass.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if st.isFrozen(rhs) && aliasKind(st.pass.Info.TypeOf(ast.Unparen(rhs))) {
+		st.frozen[obj] = true
+	} else {
+		delete(st.frozen, obj) // rebound to something unfrozen
+	}
+}
+
+// taintIdent marks an identifier frozen when its type can alias.
+func (st *rcuState) taintIdent(lhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := st.pass.Info.Defs[id]
+	if obj == nil {
+		obj = st.pass.Info.Uses[id]
+	}
+	if obj != nil && aliasKind(obj.Type()) {
+		st.frozen[obj] = true
+	}
+}
+
+// propagateRange taints range variables that alias frozen memory:
+// ranging over a frozen slice of pointers hands out frozen pointers,
+// while ranging over a slice of structs copies the elements.
+func (st *rcuState) propagateRange(rs *ast.RangeStmt) {
+	if rs.X == nil || !st.isFrozen(rs.X) {
+		return
+	}
+	if rs.Value != nil {
+		st.taintIdent(rs.Value)
+	}
+}
+
+// checkCall flags builtin calls that mutate frozen memory.
+func (st *rcuState) checkCall(call *ast.CallExpr) {
+	switch {
+	case isBuiltin(st.pass.Info, call, "copy"):
+		if len(call.Args) == 2 && st.isFrozen(call.Args[0]) {
+			st.pass.Reportf(call.Pos(), "copy into RCU-frozen slice")
+		}
+	case isBuiltin(st.pass.Info, call, "append"):
+		if len(call.Args) > 0 && st.isFrozen(call.Args[0]) {
+			st.pass.Reportf(call.Pos(), "append to RCU-frozen slice (may write the shared backing array in place)")
+		}
+	case isBuiltin(st.pass.Info, call, "clear"), isBuiltin(st.pass.Info, call, "delete"):
+		if len(call.Args) > 0 && st.isFrozen(call.Args[0]) {
+			st.pass.Reportf(call.Pos(), "mutating builtin on RCU-frozen value")
+		}
+	}
+}

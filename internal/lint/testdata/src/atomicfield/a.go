@@ -1,0 +1,50 @@
+// Fixture for the atomicfield analyzer: a field touched by sync/atomic
+// anywhere must be touched by sync/atomic everywhere, and wrapper-typed
+// fields must not be copied.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	gen   uint64
+	hits  uint64
+	slot  atomic.Pointer[int]
+	flags atomic.Uint32
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.gen, 1)
+}
+
+func (c *counter) badRead() uint64 {
+	return c.gen // want `plain access to field counter\.gen`
+}
+
+func (c *counter) badWrite() {
+	c.gen = 0 // want `plain access to field counter\.gen`
+}
+
+func (c *counter) badCopy() {
+	s := c.slot // want `non-atomic use of .*Pointer.* field counter\.slot`
+	_ = s
+}
+
+func (c *counter) okPlain() uint64 {
+	return c.hits // never accessed atomically: plain access is fine
+}
+
+func (c *counter) okLoad() uint64 {
+	return atomic.LoadUint64(&c.gen)
+}
+
+func (c *counter) okWrapperMethod() *int {
+	return c.slot.Load()
+}
+
+func (c *counter) okWrapperAddr() *atomic.Uint32 {
+	return &c.flags
+}
+
+func (c *counter) okWrapperStore(v uint32) {
+	c.flags.Store(v)
+}

@@ -1,0 +1,57 @@
+// Fixture for the ctlerr analyzer: statically-known response strings
+// and conn writes must lead with a protocol verb.
+package ctlerr
+
+import (
+	"fmt"
+	"net"
+)
+
+type session struct{ n int }
+
+func (s *session) dispatchPing() (string, bool) {
+	return "OK pong", false
+}
+
+func (s *session) dispatchBad() (string, bool) {
+	return "FAIL nope", false // want `starts with "FAIL"`
+}
+
+func (s *session) dispatchStats() (string, bool) {
+	resp := fmt.Sprintf("STATS n=%d", s.n)
+	resp += " uptime=1"
+	return resp, false
+}
+
+func (s *session) dispatchOops() (string, bool) {
+	resp := fmt.Sprintf("oops %d", s.n)
+	return resp, false // want `starts with "oops"`
+}
+
+func (s *session) dispatchErr(err error) (string, bool) {
+	return "ERR " + err.Error(), false
+}
+
+func (s *session) dynamic(b fmt.Stringer) (string, bool) {
+	return b.String(), false // not statically analyzable: skipped
+}
+
+func dispatchHelp() string {
+	return "TABLES v4 v6"
+}
+
+func dispatchBroken() string {
+	return "sorry, no" // want `starts with "sorry,"`
+}
+
+func writeLines(conn net.Conn, err error) {
+	fmt.Fprintf(conn, "ERR read: %v\n", err)
+	fmt.Fprintln(conn, "QUIT")
+	fmt.Fprintln(conn, "goodbye") // want `starts with "goodbye"`
+}
+
+// notAResponse returns a string but is neither a session method nor a
+// dispatch function, so its returns are unchecked.
+func notAResponse() string {
+	return "hello world"
+}

@@ -1,0 +1,109 @@
+// Fixture for the noalloc analyzer: //repro:noalloc functions must be
+// free of allocation-introducing constructs; unannotated code and the
+// sanctioned buffer idioms must pass.
+package noalloc
+
+import "fmt"
+
+type entry struct{ k, v uint64 }
+
+type store struct {
+	buf []entry
+}
+
+//repro:noalloc
+func badMake(n int) []entry {
+	return make([]entry, n) // want `make allocates`
+}
+
+//repro:noalloc
+func badNew() *entry {
+	return new(entry) // want `new allocates`
+}
+
+//repro:noalloc
+func badLit() *entry {
+	return &entry{k: 1} // want `&composite literal escapes`
+}
+
+//repro:noalloc
+func badMap() map[uint64]uint64 {
+	return map[uint64]uint64{1: 2} // want `map literal allocates`
+}
+
+//repro:noalloc
+func badSlice() []int {
+	return []int{1, 2} // want `slice literal allocates`
+}
+
+//repro:noalloc
+func badClosure() func() int {
+	return func() int { return 1 } // want `closure literal`
+}
+
+//repro:noalloc
+func badGo() {
+	go helper() // want `go statement`
+}
+
+//repro:noalloc
+func badAppend(e entry) []entry {
+	var out []entry
+	return append(out, e) // want `append to a slice of unknown capacity`
+}
+
+//repro:noalloc
+func badBox(x int) any {
+	return x // want `return as interface boxes a int`
+}
+
+//repro:noalloc
+func badFmt(x int) {
+	fmt.Println(x) // want `call to fmt\.Println` `argument passed as interface boxes a int`
+}
+
+//repro:noalloc
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//repro:noalloc
+func badBytes(s string) []byte {
+	return []byte(s) // want `string <-> byte/rune slice conversion`
+}
+
+//repro:noalloc
+func okAppendParam(buf []entry, e entry) []entry {
+	return append(buf, e) // caller-supplied buffer
+}
+
+//repro:noalloc
+func okScratch(src []entry) int {
+	var scratch [8]entry
+	tmp := scratch[:0] // stack scratch: append stays in the array
+	for i := range src {
+		tmp = append(tmp, src[i])
+	}
+	return len(tmp)
+}
+
+//repro:noalloc
+func (s *store) okAppendField(e entry) {
+	s.buf = append(s.buf, e) // pre-sized struct buffer
+}
+
+//repro:noalloc
+func okConstBox() any {
+	return 42 // constants box to static data
+}
+
+//repro:noalloc
+func okPointerBox(e *entry) any {
+	return e // pointer-shaped values store inline in the interface
+}
+
+func helper() {}
+
+func unannotated() []entry {
+	return make([]entry, 4) // no directive: anything goes
+}

@@ -1,0 +1,95 @@
+// Fixture for the rcusafe analyzer: writes through RCU-published
+// values must be flagged, value copies and rebinding must not.
+package rcusafe
+
+import (
+	"sync/atomic"
+
+	"repro/internal/rcu"
+)
+
+type config struct {
+	limit int
+	tags  []string
+}
+
+type rule struct{ id int }
+
+type table struct{ rules []rule }
+
+// Snapshot matches the frozen-source shape: zero arguments, slice
+// result. The body itself builds a fresh copy, which is the point.
+func (t *table) Snapshot() []rule {
+	out := make([]rule, len(t.rules))
+	copy(out, t.rules)
+	return out
+}
+
+type node struct{ val int }
+
+type ptable struct{ nodes []*node }
+
+func (p *ptable) Snapshot() []*node { return p.nodes }
+
+func badHandle(s *rcu.Store[*config]) {
+	h := s.Acquire()
+	defer h.Release()
+	cfg := h.Value()
+	cfg.limit = 99 // want `write to RCU-frozen memory`
+}
+
+func badLoad(p *atomic.Pointer[config]) {
+	c := p.Load()
+	c.limit = 1     // want `write to RCU-frozen memory`
+	c.tags[0] = "x" // want `write to RCU-frozen memory`
+}
+
+func badStar(p *atomic.Pointer[config]) {
+	c := p.Load()
+	*c = config{} // want `write to RCU-frozen memory`
+}
+
+func badSnapshot(t *table) {
+	rs := t.Snapshot()
+	rs[0] = rule{}              // want `write to RCU-frozen memory`
+	_ = append(rs, rule{id: 1}) // want `append to RCU-frozen slice`
+}
+
+func badCopy(t *table) {
+	rs := t.Snapshot()
+	copy(rs, []rule{{id: 2}}) // want `copy into RCU-frozen slice`
+}
+
+func badRange(p *ptable) {
+	for _, n := range p.Snapshot() {
+		n.val = 1 // want `write to RCU-frozen memory`
+	}
+}
+
+func goodCopyOut(t *table) []rule {
+	rs := t.Snapshot()
+	out := make([]rule, len(rs))
+	copy(out, rs) // destination is fresh memory: fine
+	out[0] = rule{id: 3}
+	return out
+}
+
+func goodRebind(p *atomic.Pointer[config]) {
+	c := p.Load()
+	c = &config{limit: 5}
+	c.limit = 6 // c now points at private memory
+	_ = c
+}
+
+func goodValueCopy(p *atomic.Pointer[config]) int {
+	c := p.Load()
+	v := *c     // struct copy: does not alias the snapshot
+	v.limit = 7 // mutating the copy is fine
+	return v.limit
+}
+
+func goodRead(s *rcu.Store[*config]) int {
+	h := s.Acquire()
+	defer h.Release()
+	return h.Value().limit // reads are the whole point
+}

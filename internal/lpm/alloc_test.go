@@ -1,0 +1,41 @@
+package lpm
+
+import (
+	"testing"
+
+	"repro/internal/label"
+)
+
+// TestMultiBitTrieLookupZeroAllocs is the runtime counterpart of the
+// //repro:noalloc annotation on MultiBitTrie.Lookup: with a caller-
+// supplied result buffer the walk must stay off the heap.
+func TestMultiBitTrieLookupZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations")
+	}
+	trie, err := NewMultiBitTrie[V4](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := []Prefix[V4]{
+		Prefix[V4]{Key: 0x0a000000, Len: 8}.Canonical(),
+		Prefix[V4]{Key: 0x0a0a0000, Len: 16}.Canonical(),
+		Prefix[V4]{Key: 0x0a0a0100, Len: 24}.Canonical(),
+	}
+	for i, p := range ps {
+		trie.Insert(p, label.Label(i+1))
+	}
+	buf := make([]label.Label, 0, 16)
+	k := V4(0x0a0a0101)
+	matched := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		out, _ := trie.Lookup(k, buf[:0])
+		matched += len(out)
+	})
+	if allocs != 0 {
+		t.Errorf("Lookup allocated %v times per run, want 0", allocs)
+	}
+	if matched == 0 {
+		t.Fatal("nested prefixes should match")
+	}
+}

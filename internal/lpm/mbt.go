@@ -315,6 +315,8 @@ func (t *MultiBitTrie[K]) Delete(p Prefix[K]) (label.Label, hwsim.Cost, bool) {
 // visited. In the pipelined hardware these reads are successive stages, so
 // per-packet latency is the trie depth while the initiation interval stays
 // constant.
+//
+//repro:noalloc
 func (t *MultiBitTrie[K]) Lookup(k K, buf []label.Label) ([]label.Label, hwsim.Cost) {
 	var cost hwsim.Cost
 	var scratch [8]mbtEntry

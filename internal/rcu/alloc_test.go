@@ -1,0 +1,25 @@
+package rcu
+
+import "testing"
+
+// TestAcquireValueReleaseZeroAllocs is the runtime counterpart of the
+// //repro:noalloc annotations on Acquire, Value and Release: the whole
+// read-side critical section must stay off the heap.
+func TestAcquireValueReleaseZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations")
+	}
+	s := NewStore(1, 1)
+	sink := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		h := s.Acquire()
+		sink += h.Value()
+		h.Release()
+	})
+	if allocs != 0 {
+		t.Errorf("Acquire/Value/Release allocated %v times per run, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Fatal("reads were optimized away")
+	}
+}

@@ -47,6 +47,8 @@ type Handle[T any] struct {
 // Acquire leases the active instance for reading. The increment-recheck
 // loop closes the race with a concurrent pointer swap: a reader that
 // loses the race backs off without ever dereferencing the instance.
+//
+//repro:noalloc
 func (s *Store[T]) Acquire() Handle[T] {
 	for {
 		in := s.active.Load()
@@ -59,10 +61,14 @@ func (s *Store[T]) Acquire() Handle[T] {
 }
 
 // Value returns the leased instance.
+//
+//repro:noalloc
 func (h Handle[T]) Value() T { return h.inst.val }
 
 // Release returns the lease. After the last release of a retired
 // instance, the writer's drain loop proceeds.
+//
+//repro:noalloc
 func (h Handle[T]) Release() { h.inst.readers.Add(-1) }
 
 // Update applies a deterministic mutation to both instances: spare first,

@@ -1,0 +1,42 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/rule"
+)
+
+// TestLookupZeroAllocs is the runtime counterpart of the
+// //repro:noalloc annotations on Sharded.Lookup, For and better: the
+// single-header fan-out and merge must stay off the heap.
+func TestLookupZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations")
+	}
+	a, b := &fakeEngine{}, &fakeEngine{}
+	if _, err := a.Insert(wildcard(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Insert(wildcard(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New([]Engine{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rule.Header{Proto: rule.ProtoTCP}
+	found := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		res, _ := s.Lookup(h)
+		if res.Found {
+			found++
+		}
+		_ = For(res.RuleID, 3)
+	})
+	if allocs != 0 {
+		t.Errorf("Lookup allocated %v times per run, want 0", allocs)
+	}
+	if found == 0 {
+		t.Fatal("wildcard rule should match")
+	}
+}

@@ -54,6 +54,8 @@ type Engine interface {
 // stand-alone finalizer-style integer hash (splitmix64 tail) rather
 // than id%n so that sequentially allocated rule IDs spread evenly.
 // Deterministic: Insert and Delete route the same ID to the same shard.
+//
+//repro:noalloc
 func For(id, n int) int {
 	x := uint64(int64(id))
 	x ^= x >> 33
@@ -195,6 +197,8 @@ func (s *Sharded) Len() int {
 // The cost is the per-component maximum across replicas, modeling the
 // replicas searching in parallel and the merge completing with the
 // slowest.
+//
+//repro:noalloc
 func (s *Sharded) Lookup(h rule.Header) (core.Result, hwsim.Cost) {
 	var best core.Result
 	var cost hwsim.Cost
@@ -280,6 +284,8 @@ func (s *Sharded) LookupBatch(hs []rule.Header) []core.Result {
 // across replicas, so equal-priority resolution is part of the sharding
 // contract: callers wanting oracle-identical answers keep priorities
 // unique.
+//
+//repro:noalloc
 func better(a, b core.Result) core.Result {
 	switch {
 	case !b.Found:

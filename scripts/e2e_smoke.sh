@@ -5,6 +5,9 @@
 # through the classifierctl client, SIGTERM the process, restart it on
 # the same snapshot directory, and assert every table came back
 # byte-for-byte.
+#
+# Set E2E_RACE=1 to build the daemon and client with -race, turning the
+# whole drive into a race-detector pass over the real server loop.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,9 +23,15 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== build =="
-go build -o "$bin/classifierd" ./cmd/classifierd
-go build -o "$bin/classifierctl" ./cmd/classifierctl
+build_flags=()
+if [ "${E2E_RACE:-0}" = "1" ]; then
+    build_flags+=(-race)
+    echo "== build (-race) =="
+else
+    echo "== build =="
+fi
+go build "${build_flags[@]}" -o "$bin/classifierd" ./cmd/classifierd
+go build "${build_flags[@]}" -o "$bin/classifierctl" ./cmd/classifierctl
 go run ./cmd/rulegen -family acl -size 200 -seed 7 -o "$work/rules.txt"
 
 ctl() { "$bin/classifierctl" -addr "$addr" "$@"; }
