@@ -70,6 +70,13 @@ func AnyProto() ProtoMatch { return rule.AnyProto() }
 // ParsePrefix parses "a.b.c.d/len" notation.
 func ParsePrefix(s string) (Prefix, error) { return rule.ParsePrefix(s) }
 
+// ParsePrefix6 parses colon-hex IPv6 prefix notation (eight explicit
+// hex groups, "hhhh:...:hhhh/len").
+func ParsePrefix6(s string) (Prefix6, error) { return rule.ParsePrefix6(s) }
+
+// ParseRule6 parses one ClassBench-style IPv6 rule line.
+func ParseRule6(line string) (Rule6, error) { return rule.ParseRule6(line) }
+
 // MustParsePrefix parses a prefix, panicking on malformed input; intended
 // for literals in examples and tests.
 func MustParsePrefix(s string) Prefix {
@@ -118,6 +125,7 @@ const (
 	LPMMultiBitTrie     = core.LPMMultiBitTrie
 	LPMBinarySearchTree = core.LPMBinarySearchTree
 	LPMAMTrie           = core.LPMAMTrie
+	LPMSplit64          = core.LPMSplit64
 
 	RangeRegisterBank = core.RangeRegisterBank
 	RangeSegmentTree  = core.RangeSegmentTree
@@ -306,6 +314,51 @@ func (c *Classifier6) Len() int { return c.inner.Len() }
 // Lookup classifies one IPv6 header.
 func (c *Classifier6) Lookup(h Header6) (Result, Cost) {
 	return c.inner.Lookup(core.V6Header(h))
+}
+
+// LookupBatch classifies the headers in order against one consistent
+// snapshot, mirroring the IPv4 engines.
+func (c *Classifier6) LookupBatch(hs []Header6) []Result {
+	headers := make([]core.Header[lpm.V6], len(hs))
+	for i, h := range hs {
+		headers[i] = core.V6Header(h)
+	}
+	res, _ := c.inner.LookupBatch(headers)
+	return res
+}
+
+// Snapshot exports the installed IPv6 ruleset from one consistent RCU
+// snapshot, sorted by ascending rule ID.
+func (c *Classifier6) Snapshot() []Rule6 {
+	ts := c.inner.Tuples()
+	out := make([]Rule6, len(ts))
+	for i, t := range ts {
+		out[i] = core.V6Rule(t)
+	}
+	return out
+}
+
+// Replace atomically swaps the whole IPv6 ruleset, with the same
+// contract as Engine.Replace: the new state is built on the quiesced RCU
+// spare and published with a single pointer swap; nil or empty rules
+// reset the domain; on error the published ruleset is unchanged.
+func (c *Classifier6) Replace(rules []Rule6) (Cost, error) {
+	seen := make(map[int]struct{}, len(rules))
+	ts := make([]core.Tuple[lpm.V6], len(rules))
+	for i := range rules {
+		if err := validateRuleIdentity(rules[i].ID, rules[i].Priority); err != nil {
+			return Cost{}, err
+		}
+		if err := rules[i].Validate(); err != nil {
+			return Cost{}, err
+		}
+		if _, dup := seen[rules[i].ID]; dup {
+			return Cost{}, fmt.Errorf("rule %d: %w", rules[i].ID, core.ErrDuplicateRule)
+		}
+		seen[rules[i].ID] = struct{}{}
+		ts[i] = core.V6Tuple(rules[i])
+	}
+	return c.inner.Replace(ts)
 }
 
 // LookupPacket parses an IPv6 Ethernet frame and classifies it.

@@ -11,6 +11,7 @@
 //	loadgen -model zipf -duration 5s
 //	loadgen -model all -events 10000 -duration 1s -backend tss -shards 4
 //	loadgen -model shift -flowcache 65536 -update-ratio 0.05 -swaps 2
+//	loadgen -model zipf -raw -batch 64
 //	loadgen -addr 127.0.0.1:9099 -model shift -workers 4 -batch 32
 //
 // The replay is open loop: every event carries a scheduled arrival
@@ -22,6 +23,12 @@
 // decision-control channel. Remote workers each hold their own ctl
 // connection and drain arrival backlog through pipelined LOOKUP writes
 // (-batch).
+//
+// With -raw (in-process only) every lookup worker synthesizes its
+// headers into Ethernet+IPv4 frame slabs and classifies them through
+// LookupBytesBatch — the zero-allocation raw ingress path — emitting
+// workload_replay_raw records so benchdiff tracks the raw path
+// separately from the pre-parsed one.
 //
 // Machine-readable records append to the -json file once per model as a
 // BENCH_workload.json array that cmd/benchdiff compares across runs, the
@@ -76,6 +83,7 @@ type options struct {
 	backend   repro.Backend
 	shards    int
 	flowCache int
+	raw       bool
 
 	addr  string
 	table string
@@ -107,6 +115,7 @@ func run(args []string, out io.Writer) error {
 		backendF  = fs.String("backend", "decomposition", "in-process backend (see repro.ParseBackend)")
 		shards    = fs.Int("shards", 1, "in-process shard replicas")
 		flowCache = fs.Int("flowcache", 0, "in-process flow-cache slots (0 disables)")
+		raw       = fs.Bool("raw", false, "replay lookups as synthesized Ethernet frames through LookupBytesBatch (in-process only)")
 		addr      = fs.String("addr", "", "replay against a live classifierd at this address instead of in-process")
 		table     = fs.String("table", "", "remote table to replay into (default: the connection default)")
 		jsonOut   = fs.String("json", "BENCH_workload.json", "machine-readable output file ('' disables)")
@@ -119,8 +128,11 @@ func run(args []string, out io.Writer) error {
 		size: *size, rules: *rulesPath, zipf: *zipfS, pool: *pool,
 		update: *update, swaps: *swaps, burstOn: *burstOn, burstOff: *burstOff,
 		shifts: *shifts, workers: *workers, batch: *batch,
-		shards: *shards, flowCache: *flowCache,
+		shards: *shards, flowCache: *flowCache, raw: *raw,
 		addr: *addr, table: *table, jsonOut: *jsonOut,
+	}
+	if o.raw && o.addr != "" {
+		return fmt.Errorf("-raw replays in-process only; drop -addr")
 	}
 	var err error
 	if o.models, err = parseModels(*modelF); err != nil {
@@ -263,8 +275,17 @@ func runModel(o options, m workload.Model, rs *repro.RuleSet, tw *tabwriter.Writ
 			return Record{}, err
 		}
 		t := workload.EngineTarget{Eng: eng}
-		for i := 0; i < o.workers; i++ {
-			cfg.Lookups = append(cfg.Lookups, t)
+		if o.raw {
+			// The raw target reuses its frame slab, so each worker needs
+			// its own; updates keep the shared pre-parsed control lane.
+			target = "in-process raw"
+			for i := 0; i < o.workers; i++ {
+				cfg.Lookups = append(cfg.Lookups, &workload.RawEngineTarget{Eng: eng})
+			}
+		} else {
+			for i := 0; i < o.workers; i++ {
+				cfg.Lookups = append(cfg.Lookups, t)
+			}
 		}
 		cfg.Control = t
 	}
@@ -289,8 +310,14 @@ func runModel(o options, m workload.Model, rs *repro.RuleSet, tw *tabwriter.Writ
 
 // newRecord folds a replay report into the JSON record shape.
 func newRecord(o options, m workload.Model, rules int, rep *workload.Report) Record {
+	experiment := "workload_replay"
+	if o.raw {
+		// A distinct experiment name keeps raw-ingress records from being
+		// compared against pre-parsed baselines in benchdiff.
+		experiment = "workload_replay_raw"
+	}
 	rec := Record{
-		Experiment:  "workload_replay",
+		Experiment:  experiment,
 		Model:       m.String(),
 		Backend:     o.backend.String(),
 		Family:      strings.ToLower(o.family.String()),

@@ -21,6 +21,12 @@
 // the shape of real traffic) against each backend twice — once bare and
 // once behind repro.WithFlowCache(-flowcache slots) — emitting
 // cached-vs-uncached records with the measured cache hit rate.
+//
+// The -raw experiment drives the zero-allocation raw-frame ingress
+// path: synthesized Ethernet frames stream through LookupBytesBatch on
+// every backend at each -shards count, plus the split-64 IPv6 engine on
+// the embedded ruleset (family "acl-v6"), emitting engine_raw_lookup
+// records alongside the -engines ones.
 // Machine-readable records go to the -json file — one file per run;
 // archive the files across revisions (CI uploads the file as an
 // artifact) to record the performance trajectory.
@@ -45,6 +51,7 @@ import (
 	"repro/internal/hwsim"
 	"repro/internal/label"
 	"repro/internal/lpm"
+	"repro/internal/packet"
 	"repro/internal/rangematch"
 	"repro/internal/rule"
 	"repro/internal/ruleset"
@@ -58,6 +65,7 @@ func main() {
 		fig4       = flag.Bool("fig4", false, "run the Fig. 4 lookup-time experiment")
 		throughput = flag.Bool("throughput", false, "run the Section IV.D throughput experiment")
 		engines    = flag.Bool("engines", false, "run the Engine API parallel-lookup benchmark")
+		raw        = flag.Bool("raw", false, "run the raw-frame LookupBytesBatch benchmark (IPv4 and IPv6)")
 		all        = flag.Bool("all", false, "run everything")
 		sizesFlag  = flag.String("sizes", "1000,5000,10000", "comma-separated ruleset sizes")
 		traceN     = flag.Int("trace", 20000, "packet header set size for lookup experiments")
@@ -71,9 +79,9 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*table1, *table2, *fig3, *fig4, *throughput, *engines = true, true, true, true, true, true
+		*table1, *table2, *fig3, *fig4, *throughput, *engines, *raw = true, true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*fig3 && !*fig4 && !*throughput && !*engines {
+	if !*table1 && !*table2 && !*fig3 && !*fig4 && !*throughput && !*engines && !*raw {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -121,10 +129,16 @@ func main() {
 	if *throughput {
 		r.throughput()
 	}
-	if *engines {
-		records := r.engines()
-		if r.zipf > 1 {
-			records = append(records, r.zipfCache()...)
+	if *engines || *raw {
+		var records []BenchRecord
+		if *engines {
+			records = r.engines()
+			if r.zipf > 1 {
+				records = append(records, r.zipfCache()...)
+			}
+		}
+		if *raw {
+			records = append(records, r.rawLookup()...)
 		}
 		if *jsonOut != "" {
 			if err := writeBenchJSON(*jsonOut, records); err != nil {
@@ -556,6 +570,146 @@ func (r runner) zipfCache() []BenchRecord {
 	tw.Flush()
 	fmt.Println()
 	return records
+}
+
+// rawBatcher is the raw-frame burst entry point shared by repro.Engine
+// and *repro.Classifier6.
+type rawBatcher interface {
+	LookupBytesBatch(frames [][]byte, out []repro.Result) int
+}
+
+// rawFrames synthesizes one Ethernet frame per trace header. Only
+// TCP/UDP carry port bytes on the wire, so other protocols have their
+// ports zeroed first — the headers the decoder recovers are then
+// byte-identical to what the parsed path would see.
+func rawFrames(trace []rule.Header) [][]byte {
+	frames := make([][]byte, len(trace))
+	for i, h := range trace {
+		if h.Proto != rule.ProtoTCP && h.Proto != rule.ProtoUDP {
+			h.SrcPort, h.DstPort = 0, 0
+		}
+		frames[i] = packet.BuildEthernet(packet.BuildIPv4(h))
+	}
+	return frames
+}
+
+// rawLookup measures the raw-frame ingress path: frames stream through
+// LookupBytesBatch from r.parallel goroutines on every backend at each
+// shard count, plus the split-64 IPv6 engine on the embedded ruleset.
+func (r runner) rawLookup() []BenchRecord {
+	shardCounts := r.shards
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1}
+	}
+	fmt.Printf("== Engine API: raw-frame burst ingestion (%d goroutines, batch %d, shards %v) ==\n",
+		r.parallel, r.batch, shardCounts)
+	tw := newTab()
+	fmt.Fprintln(tw, "backend\truleset\tshards\tns/lookup\tMlookups/s")
+	var records []BenchRecord
+	for _, size := range r.sizes {
+		set, trace := r.workload(ruleset.ACL, size)
+		frames := rawFrames(trace)
+		name := fmt.Sprintf("acl-%s", ruleset.SizeName(size))
+		for _, b := range repro.Backends() {
+			for _, shards := range shardCounts {
+				rec := BenchRecord{
+					Experiment: "engine_raw_lookup",
+					Backend:    b.String(),
+					Family:     "acl",
+					Rules:      set.Len(),
+					TraceLen:   len(trace),
+					Parallel:   r.parallel,
+					Batch:      r.batch,
+					Shards:     shards,
+				}
+				eng, err := repro.New(repro.WithBackend(b), repro.WithRules(set), repro.WithShards(shards))
+				if err != nil {
+					rec.Error = err.Error()
+					records = append(records, rec)
+					fmt.Fprintf(tw, "%s\t%s\t%d\t%v\t-\n", b, name, shards, err)
+					continue
+				}
+				rec.NsPerLookup, rec.MLookupsPerSec = r.measureRaw(eng, frames)
+				rec.MemoryBytes = eng.Memory().TotalBytes()
+				rec.Incremental = eng.IncrementalUpdate()
+				records = append(records, rec)
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.2f\n",
+					b, name, shards, rec.NsPerLookup, rec.MLookupsPerSec)
+			}
+		}
+		// IPv6: the same ruleset and trace mapped through the verdict-
+		// preserving embedding, served by the split-64 decomposition.
+		rules6 := ruleset.Embed6Set(set)
+		frames6 := make([][]byte, len(trace))
+		for i, h := range trace {
+			if h.Proto != rule.ProtoTCP && h.Proto != rule.ProtoUDP {
+				h.SrcPort, h.DstPort = 0, 0
+			}
+			frames6[i] = packet.BuildEthernet6(ruleset.Embed6Header(h))
+		}
+		rec := BenchRecord{
+			Experiment: "engine_raw_lookup",
+			Backend:    repro.BackendDecomposition.String(),
+			Family:     "acl-v6",
+			Rules:      len(rules6),
+			TraceLen:   len(trace),
+			Parallel:   r.parallel,
+			Batch:      r.batch,
+			Shards:     1,
+		}
+		eng6, err := repro.New6()
+		if err == nil {
+			_, err = eng6.Replace(rules6)
+		}
+		if err != nil {
+			rec.Error = err.Error()
+			records = append(records, rec)
+			fmt.Fprintf(tw, "%s\t%s-v6\t%d\t%v\t-\n", repro.BackendDecomposition, name, 1, err)
+		} else {
+			rec.NsPerLookup, rec.MLookupsPerSec = r.measureRaw(eng6, frames6)
+			rec.MemoryBytes = eng6.Memory().TotalBytes()
+			rec.Incremental = true
+			records = append(records, rec)
+			fmt.Fprintf(tw, "%s\t%s-v6\t%d\t%.0f\t%.2f\n",
+				repro.BackendDecomposition, name, 1, rec.NsPerLookup, rec.MLookupsPerSec)
+		}
+	}
+	tw.Flush()
+	fmt.Println()
+	return records
+}
+
+// measureRaw streams the frame slab through LookupBytesBatch from
+// r.parallel goroutines and returns wall-clock ns per frame and
+// aggregate Mlookups/s.
+func (r runner) measureRaw(eng rawBatcher, frames [][]byte) (nsPerOp, mlps float64) {
+	batch, workers := r.batch, r.parallel // clamped to >= 1 at flag parsing
+	run := func() time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out := make([]repro.Result, batch)
+				for off := 0; off < len(frames); off += batch {
+					end := off + batch
+					if end > len(frames) {
+						end = len(frames)
+					}
+					eng.LookupBytesBatch(frames[off:end], out[:end-off])
+				}
+			}()
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	run() // warm up pools, caches and lazy tables
+	elapsed := run()
+	lookups := workers * len(frames)
+	nsPerOp = float64(elapsed.Nanoseconds()) / float64(lookups)
+	mlps = float64(lookups) / elapsed.Seconds() / 1e6
+	return nsPerOp, mlps
 }
 
 // measureParallel streams the trace through the engine from r.parallel

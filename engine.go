@@ -41,6 +41,15 @@ type Engine interface {
 	// against one consistent snapshot.
 	Lookup(h Header) (Result, Cost)
 	LookupBatch(hs []Header) []Result
+	// LookupBytes decodes a raw IPv4-over-Ethernet frame in place and
+	// classifies it — the bytes-in/verdict-out ingestion path, which
+	// never allocates on the decomposition backend. LookupBytesBatch
+	// does the same for a frame slab against one consistent snapshot:
+	// frames that fail to decode yield the zero Result at their index,
+	// the return value is the number of frames decoded, and out must
+	// hold at least len(frames) results.
+	LookupBytes(frame []byte) (Result, error)
+	LookupBytesBatch(frames [][]byte, out []Result) int
 	// Memory reports the data-structure storage as hardware RAM blocks.
 	Memory() MemoryMap
 	// IncrementalUpdate reports whether Insert/Delete avoid a rebuild
@@ -365,6 +374,12 @@ func New6(opts ...Option) (*Classifier6, error) {
 	}
 	if o.rules != nil {
 		return nil, fmt.Errorf("repro: WithRules carries IPv4 rules; insert Rule6 values instead")
+	}
+	if o.cfg.LPM == 0 {
+		// The IPv6 fast path defaults to the split-64 decomposition: two
+		// 64-bit LPM probes plus a combination table, instead of walking
+		// a single 128-bit trie.
+		o.cfg.LPM = core.LPMSplit64
 	}
 	inner, err := core.NewConcurrent[lpm.V6](o.cfg, nil)
 	if err != nil {

@@ -123,6 +123,18 @@ func (c *Concurrent[K]) LookupBatch(hs []Header[K]) ([]Result, hwsim.Cost) {
 	return res, cost
 }
 
+// LookupBatchInto classifies headers into a caller-owned result slab
+// against one consistent snapshot — the allocation-free batch path.
+// out must hold at least len(hs) results.
+//
+//repro:noalloc
+func (c *Concurrent[K]) LookupBatchInto(hs []Header[K], out []Result) hwsim.Cost {
+	hd := c.store.Acquire()
+	cost := hd.Value().LookupBatchInto(hs, out)
+	hd.Release()
+	return cost
+}
+
 // Stats merges the statistics of both snapshot instances: lookups land on
 // whichever instance was active, so the lookup counters are summed, while
 // the rule and label population (identical in both) is read once.

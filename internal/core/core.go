@@ -42,6 +42,10 @@ const (
 	LPMBinarySearchTree
 	// LPMAMTrie is the adaptive variable-stride trie.
 	LPMAMTrie
+	// LPMSplit64 is the first-class IPv6 mode: two 64-bit LPM probes
+	// (hi/lo halves of the address) plus a combination table, the yanet2
+	// net6 decomposition. Valid only for 128-bit keys.
+	LPMSplit64
 )
 
 // String returns the mode name used in the figures.
@@ -53,6 +57,8 @@ func (a LPMAlgo) String() string {
 		return "BST"
 	case LPMAMTrie:
 		return "AM-Trie"
+	case LPMSplit64:
+		return "Split64"
 	default:
 		return fmt.Sprintf("lpm(%d)", int(a))
 	}
@@ -239,6 +245,22 @@ func V6Tuple(r rule.Rule6) Tuple[lpm.V6] {
 	}
 }
 
+// V6Rule converts a compiled IPv6 tuple back to the rule model — the
+// inverse of V6Tuple, used by the snapshot path. Prefixes come back
+// canonical, like V4Rule.
+func V6Rule(t Tuple[lpm.V6]) rule.Rule6 {
+	return rule.Rule6{
+		ID:       t.ID,
+		Priority: t.Priority,
+		SrcIP:    rule.Prefix6{Addr: rule.Addr6{Hi: t.Src.Key.Hi, Lo: t.Src.Key.Lo}, Len: t.Src.Len},
+		DstIP:    rule.Prefix6{Addr: rule.Addr6{Hi: t.Dst.Key.Hi, Lo: t.Dst.Key.Lo}, Len: t.Dst.Len},
+		SrcPort:  t.SrcPort,
+		DstPort:  t.DstPort,
+		Proto:    t.Proto,
+		Action:   t.Action,
+	}
+}
+
 // V6Header converts a rule-model IPv6 header.
 func V6Header(h rule.Header6) Header[lpm.V6] {
 	return Header[lpm.V6]{
@@ -265,6 +287,17 @@ func newLPMEngine[K lpm.Key[K]](cfg Config, lens []uint8) (lpmEngine[K], error) 
 	case LPMAMTrie:
 		var zero K
 		return lpm.NewVariableStrideTrie[K](lpm.ChooseStrides(zero.Bits(), lens, cfg.MBTStride))
+	case LPMSplit64:
+		var zero K
+		if zero.Bits() != 128 {
+			return nil, fmt.Errorf("lpm split64 is 128-bit-only (key is %d bits): %w", zero.Bits(), ErrUnknownAlgorithm)
+		}
+		e, err := lpm.NewSplit6(cfg.MBTStride)
+		if err != nil {
+			return nil, err
+		}
+		// The Bits check above guarantees K is the 128-bit key type.
+		return any(e).(lpmEngine[K]), nil
 	default:
 		return nil, fmt.Errorf("lpm algorithm %d: %w", int(cfg.LPM), ErrUnknownAlgorithm)
 	}

@@ -72,8 +72,18 @@ var bufPool = sync.Pool{New: func() any { return new(lookupBuffers) }}
 // LookupBatch classifies headers in order, reusing buffers, and returns
 // the results plus the summed cost.
 func (c *Classifier[K]) LookupBatch(hs []Header[K]) ([]Result, hwsim.Cost) {
-	bufs := bufPool.Get().(*lookupBuffers)
 	out := make([]Result, len(hs))
+	return out, c.LookupBatchInto(hs, out)
+}
+
+// LookupBatchInto classifies headers in order into out[:len(hs)] — the
+// allocation-free batch path used by raw-frame ingestion, where the
+// caller owns (and pools) the result slab. out must hold at least
+// len(hs) results.
+//
+//repro:noalloc
+func (c *Classifier[K]) LookupBatchInto(hs []Header[K], out []Result) hwsim.Cost {
+	bufs := bufPool.Get().(*lookupBuffers)
 	var total hwsim.Cost
 	for i, h := range hs {
 		r, cost := c.lookupInto(h, bufs)
@@ -81,7 +91,7 @@ func (c *Classifier[K]) LookupBatch(hs []Header[K]) ([]Result, hwsim.Cost) {
 		total = total.Add(cost)
 	}
 	bufPool.Put(bufs)
-	return out, total
+	return total
 }
 
 //repro:noalloc

@@ -83,6 +83,12 @@ func (c *Client) TableCreateCached(name, backend string, shards, cacheEntries in
 	return c.expectOK(fmt.Sprintf("%s %s %s %s %d %d", cmdTable, subCreate, name, backend, shards, cacheEntries))
 }
 
+// TableCreateV6 creates a named IPv6 table backed by a fresh split-64
+// decomposition engine on the daemon.
+func (c *Client) TableCreateV6(name string) error {
+	return c.expectOK(fmt.Sprintf("%s %s %s %s", cmdTable, subCreate, name, tokenV6))
+}
+
 // TableDrop removes a named table.
 func (c *Client) TableDrop(name string) error {
 	return c.expectOK(fmt.Sprintf("%s %s %s", cmdTable, subDrop, name))
@@ -144,6 +150,16 @@ func (c *Client) Insert(r rule.Rule) (int, error) {
 // shared by INSERT and BULK/SWAP body lines — the snapfile line format,
 // so the wire and disk forms stay identical.
 func insertArgs(r rule.Rule) string { return snapfile.FormatRule(r) }
+
+// Insert6 installs an IPv6 rule remotely; the current table must be an
+// IPv6 table.
+func (c *Client) Insert6(r rule.Rule6) (int, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("%s %s", cmdInsert, snapfile.FormatRule6(r)))
+	if err != nil {
+		return 0, err
+	}
+	return parseOKCycles(resp)
+}
 
 // bulkChunk bounds the rules per BULK transfer, keeping every transfer
 // well inside the server's count limit whatever the caller passes.
@@ -221,6 +237,36 @@ func (c *Client) Snapshot() ([]rule.Rule, error) {
 		rules = append(rules, r)
 	}
 	if got := snapfile.Checksum(rules); got != sum {
+		return nil, fmt.Errorf("ctl: snapshot checksum mismatch: server %08x, received %08x", sum, got)
+	}
+	return rules, nil
+}
+
+// Snapshot6 dumps an IPv6 table's ruleset from one consistent engine
+// snapshot, verifying the transfer against the server's CRC-32.
+func (c *Client) Snapshot6() ([]rule.Rule6, error) {
+	resp, err := c.roundTrip(cmdSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	var sum uint32
+	if _, err := fmt.Sscanf(resp, "SNAPSHOT %d %x", &n, &sum); err != nil {
+		return nil, fmt.Errorf("ctl: unexpected response %q", resp)
+	}
+	rules := make([]rule.Rule6, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("ctl recv: snapshot rule %d of %d: %w", i+1, n, err)
+		}
+		r, err := snapfile.ParseRuleLine6(strings.TrimSpace(line))
+		if err != nil {
+			return nil, fmt.Errorf("ctl: snapshot rule %d: %w", i+1, err)
+		}
+		rules = append(rules, r)
+	}
+	if got := snapfile.Checksum6(rules); got != sum {
 		return nil, fmt.Errorf("ctl: snapshot checksum mismatch: server %08x, received %08x", sum, got)
 	}
 	return rules, nil
@@ -322,6 +368,24 @@ func headerArgs(h rule.Header) string {
 // Lookup classifies a header remotely.
 func (c *Client) Lookup(h rule.Header) (LookupResult, error) {
 	resp, err := c.roundTrip(fmt.Sprintf("%s %s", cmdLookup, headerArgs(h)))
+	if err != nil {
+		return LookupResult{}, err
+	}
+	if resp == "NOMATCH" {
+		return LookupResult{}, nil
+	}
+	return parseMatch(resp)
+}
+
+func headerArgs6(h rule.Header6) string {
+	return fmt.Sprintf("%s %s %d %d %d",
+		formatAddr6(h.SrcIP), formatAddr6(h.DstIP), h.SrcPort, h.DstPort, h.Proto)
+}
+
+// Lookup6 classifies an IPv6 header remotely; the current table must be
+// an IPv6 table.
+func (c *Client) Lookup6(h rule.Header6) (LookupResult, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("%s %s", cmdLookup, headerArgs6(h)))
 	if err != nil {
 		return LookupResult{}, err
 	}

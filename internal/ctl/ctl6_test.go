@@ -1,0 +1,296 @@
+package ctl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	repro "repro"
+	"repro/internal/rule"
+	"repro/internal/ruleset"
+	"repro/internal/snapfile"
+)
+
+// v6Fixture builds an embedded IPv6 ruleset plus a trace of embedded
+// headers whose verdicts are pinned by the IPv4 oracle (the embedding
+// preserves verdicts verbatim, see ruleset.Embed6Set).
+func v6Fixture(t *testing.T, size int, seed int64) (rules6 []rule.Rule6, hs6 []rule.Header6, oracle *rule.Set, trace []rule.Header) {
+	t.Helper()
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: size, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err = ruleset.GenerateTrace(s, ruleset.TraceConfig{Size: 192, HitRatio: 0.7, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules6 = ruleset.Embed6Set(s)
+	hs6 = make([]rule.Header6, len(trace))
+	for i := range trace {
+		hs6[i] = ruleset.Embed6Header(trace[i])
+	}
+	return rules6, hs6, s, trace
+}
+
+func TestV6TableEndToEnd(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+
+	if err := client.TableCreateV6("six"); err != nil {
+		t.Fatalf("TableCreateV6: %v", err)
+	}
+	if err := client.TableUse("six"); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := client.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, info := range infos {
+		if info.Name == "six" {
+			found = true
+			if info.Backend != "v6" || info.Shards != 1 {
+				t.Fatalf("six listed as %+v, want backend v6, 1 shard", info)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("v6 table missing from TABLES listing")
+	}
+
+	rules6, hs6, oracle, trace := v6Fixture(t, 150, 41)
+	for _, r := range rules6 {
+		if _, err := client.Insert6(r); err != nil {
+			t.Fatalf("Insert6 rule %d: %v", r.ID, err)
+		}
+	}
+
+	// Remote IPv6 lookups must reproduce the IPv4 oracle's verdicts.
+	for i, h := range hs6 {
+		got, err := client.Lookup6(h)
+		if err != nil {
+			t.Fatalf("Lookup6 header %d: %v", i, err)
+		}
+		want, wantOK := oracle.Match(trace[i])
+		if got.Found != wantOK || (wantOK && got.RuleID != want.ID) {
+			t.Fatalf("header %d: remote (%d,%v), oracle (%d,%v)",
+				i, got.RuleID, got.Found, want.ID, wantOK)
+		}
+	}
+
+	// MLOOKUP keeps its line shape with colon-hex addresses.
+	var b strings.Builder
+	b.WriteString(cmdMLookup)
+	for _, h := range hs6[:8] {
+		b.WriteByte(' ')
+		b.WriteString(headerArgs6(h))
+	}
+	resp, err := client.roundTrip(b.String())
+	if err != nil {
+		t.Fatalf("v6 MLOOKUP: %v", err)
+	}
+	if toks := strings.Fields(resp); len(toks) != 9 || toks[0] != "RESULTS" {
+		t.Fatalf("v6 MLOOKUP response %q", resp)
+	}
+
+	// Wire snapshot round-trips through the v6 rule-line grammar.
+	snap, err := client.Snapshot6()
+	if err != nil {
+		t.Fatalf("Snapshot6: %v", err)
+	}
+	if len(snap) != len(rules6) {
+		t.Fatalf("snapshot has %d rules, want %d", len(snap), len(rules6))
+	}
+
+	// STATS and THROUGHPUT serve the v6 engine's pipeline model.
+	nrules, _, _, _, _, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrules != len(rules6) {
+		t.Fatalf("STATS reports %d rules, want %d", nrules, len(rules6))
+	}
+	if _, mpps, _, err := client.Throughput(); err != nil || mpps <= 0 {
+		t.Fatalf("THROUGHPUT = %v mpps, err %v", mpps, err)
+	}
+
+	// DELETE is family-agnostic; the rule must stop matching.
+	victim := rules6[0].ID
+	if _, err := client.Delete(victim); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if snap, err = client.Snapshot6(); err != nil || len(snap) != len(rules6)-1 {
+		t.Fatalf("after delete: %d rules, err %v", len(snap), err)
+	}
+
+	// SWAP applies v6 body lines as one atomic replacement.
+	b.Reset()
+	fmt.Fprintf(&b, "%s %d\n", cmdSwap, 2)
+	for _, r := range rules6[:2] {
+		b.WriteString(snapfile.FormatRule6(r))
+		b.WriteByte('\n')
+	}
+	if _, err := client.conn.Write([]byte(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = client.readResponse(); err != nil {
+		t.Fatalf("v6 SWAP: %v", err)
+	}
+	if snap, err = client.Snapshot6(); err != nil || len(snap) != 2 {
+		t.Fatalf("after swap: %d rules, err %v (%q)", len(snap), err, resp)
+	}
+
+	// RESET clears the v6 table.
+	if _, err := client.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if snap, err = client.Snapshot6(); err != nil || len(snap) != 0 {
+		t.Fatalf("reset left %d rules, err %v", len(snap), err)
+	}
+
+	// The IPv4 grammar is rejected on an IPv6 table — dotted-quad rule
+	// lines and lookup addresses do not parse as colon-hex.
+	v4 := rule.Rule{ID: 1, Priority: 1, SrcPort: rule.FullPortRange(),
+		DstPort: rule.FullPortRange(), Proto: rule.AnyProto(), Action: rule.ActionPermit}
+	if _, err := client.Insert(v4); err == nil {
+		t.Fatal("IPv4 INSERT line accepted on an IPv6 table")
+	}
+	if _, err := client.Lookup(rule.Header{SrcIP: 1, DstIP: 2}); err == nil {
+		t.Fatal("IPv4 LOOKUP accepted on an IPv6 table")
+	}
+}
+
+func TestV6TableCreateArguments(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+
+	if _, err := client.roundTrip("TABLE CREATE bad v6 4"); err == nil {
+		t.Fatal("TABLE CREATE v6 with a shard count should fail")
+	}
+	// The family token is case-insensitive like backend spellings.
+	if _, err := client.roundTrip("TABLE CREATE upper V6"); err != nil {
+		t.Fatalf("TABLE CREATE V6: %v", err)
+	}
+	if err := client.TableCreateV6("upper"); err == nil {
+		t.Fatal("duplicate v6 table name should fail")
+	}
+}
+
+func TestV6SnapshotSaveRestore(t *testing.T) {
+	dir := t.TempDir()
+	client, _, stop := startServerWith(t, func(s *Server) { s.SnapshotDir = dir })
+	defer stop()
+
+	rules6, _, _, _ := v6Fixture(t, 80, 43)
+	if err := client.TableCreateV6("six"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.TableUse("six"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules6 {
+		if _, err := client.Insert6(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := client.SnapshotSave("chk6")
+	if err != nil {
+		t.Fatalf("SnapshotSave: %v", err)
+	}
+	if n != len(rules6) {
+		t.Fatalf("saved %d rules, want %d", n, len(rules6))
+	}
+	if _, err := client.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	got, cycles, err := client.Restore("chk6")
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got != len(rules6) || cycles <= 0 {
+		t.Fatalf("Restore = (%d rules, %d cycles)", got, cycles)
+	}
+	if snap, err := client.Snapshot6(); err != nil || len(snap) != len(rules6) {
+		t.Fatalf("restored %d rules, err %v", len(snap), err)
+	}
+
+	// Cross-family restores are rejected in both directions.
+	if err := client.TableUse(DefaultTable); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Restore("chk6"); err == nil {
+		t.Fatal("IPv6 snapshot restored into an IPv4 table")
+	}
+	if _, err := client.SnapshotSave("chk4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.TableUse("six"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Restore("chk4"); err == nil {
+		t.Fatal("IPv4 snapshot restored into an IPv6 table")
+	}
+}
+
+// TestV6ServerPersistence exercises the daemon hooks: a v6 table must
+// survive SaveSnapshots/LoadSnapshots with its family and ruleset.
+func TestV6ServerPersistence(t *testing.T) {
+	dir := t.TempDir()
+	build := func() *Server {
+		eng, err := repro.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewServer(eng)
+		s.SnapshotDir = dir
+		return s
+	}
+	srv := build()
+	if err := srv.AddTable6("six"); err != nil {
+		t.Fatal(err)
+	}
+	six, err := srv.lookupTable("six")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules6, _, _, _ := v6Fixture(t, 60, 47)
+	if _, err := six.eng6.Replace(rules6); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SaveSnapshots(); err != nil {
+		t.Fatalf("SaveSnapshots: %v", err)
+	}
+
+	srv2 := build()
+	restored, warns, err := srv2.LoadSnapshots()
+	if err != nil {
+		t.Fatalf("LoadSnapshots: %v", err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("LoadSnapshots warnings: %v", warns)
+	}
+	if restored != 2 { // main + six
+		t.Fatalf("restored %d tables, want 2", restored)
+	}
+	six2, err := srv2.lookupTable("six")
+	if err != nil {
+		t.Fatalf("v6 table did not survive restart: %v", err)
+	}
+	if !six2.v6() {
+		t.Fatal("restored table lost its address family")
+	}
+	snap := six2.eng6.Snapshot()
+	if len(snap) != len(rules6) {
+		t.Fatalf("restored %d rules, want %d", len(snap), len(rules6))
+	}
+	byID := make(map[int]bool, len(rules6))
+	for _, r := range rules6 {
+		byID[r.ID] = true
+	}
+	for _, r := range snap {
+		if !byID[r.ID] {
+			t.Fatalf("unknown rule %d after restart", r.ID)
+		}
+	}
+}

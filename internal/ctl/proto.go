@@ -16,6 +16,7 @@
 // BULK which pipelines n body lines before its single response):
 //
 //	TABLE CREATE <name> <backend> [<shards> [<cache>]] -> OK
+//	TABLE CREATE <name> v6                           -> OK
 //	TABLE DROP <name>                                -> OK
 //	TABLE USE <name>                                 -> OK
 //	TABLE LIST                                       -> TABLES <name>:<backend>:<shards>:<rules> ...
@@ -40,7 +41,18 @@
 // "linear", "tss", ...); <shards> defaults to 1. <cache> fronts the
 // table's engine with an exact-match flow cache of that many slots
 // (repro.WithFlowCache); cached tables append their hit/miss/eviction
-// counters to the STATS response. MLOOKUP takes k headers
+// counters to the STATS response.
+//
+// "TABLE CREATE <name> v6" creates an IPv6 table instead, backed by a
+// split-64 decomposition engine (repro.New6); IPv6 tables take no shard
+// or cache arguments and list their backend as "v6". Every data command
+// keeps its line shape on an IPv6 table but switches address grammar:
+// rule lines (INSERT, BULK/SWAP bodies, SNAPSHOT dumps) use the
+// rule.ParseRule6 colon-hex prefix notation, and LOOKUP/MLOOKUP
+// addresses are eight colon-separated 16-bit hex groups (no "::"
+// compression — the spelling Prefix6.String emits). Snapshot files of
+// IPv6 tables carry the snapfile "family" attr, so RESTORE refuses to
+// load a snapshot across families. MLOOKUP takes k headers
 // (5 fields each) on one line and classifies them as one batch against a
 // single consistent snapshot per shard; BULK streams k inserts and
 // returns one summed response, so a client can pipeline a whole ruleset
@@ -120,6 +132,11 @@ const (
 	subSave   = "SAVE"
 )
 
+// tokenV6 selects the IPv6 data path: it replaces the backend argument
+// in TABLE CREATE, stands for the backend in the TABLES listing, and is
+// the snapfile family attr value of IPv6 snapshots.
+const tokenV6 = "v6"
+
 // parseInsert parses "<id> <prio> <action> @rule...", the argument shape
 // shared by INSERT, each BULK/SWAP body line, and the snapshot file
 // format — the grammar lives in repro/internal/snapfile so the wire and
@@ -163,6 +180,91 @@ func parseLookup(args string) (rule.Header, error) {
 		return rule.Header{}, fmt.Errorf("LOOKUP wants 5 fields, got %d", len(fields))
 	}
 	return parseHeader(fields)
+}
+
+// parseInsert6 parses the IPv6 spelling of the INSERT argument shape,
+// shared with BULK/SWAP body lines on IPv6 tables and the IPv6 snapshot
+// file format.
+func parseInsert6(args string) (rule.Rule6, error) {
+	return snapfile.ParseRuleLine6(args)
+}
+
+// parseAddr6 decodes an IPv6 address as eight colon-separated 16-bit
+// hex groups — the uncompressed spelling Prefix6.String emits ("::"
+// runs are not accepted, keeping the wire and disk grammars identical).
+func parseAddr6(s string) (rule.Addr6, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 8 {
+		return rule.Addr6{}, fmt.Errorf("IPv6 address %q", s)
+	}
+	var a rule.Addr6
+	for i, p := range parts {
+		g, err := strconv.ParseUint(p, 16, 16)
+		if err != nil {
+			return rule.Addr6{}, fmt.Errorf("IPv6 address %q", s)
+		}
+		if i < 4 {
+			a.Hi = a.Hi<<16 | g
+		} else {
+			a.Lo = a.Lo<<16 | g
+		}
+	}
+	return a, nil
+}
+
+// parseHeader6 decodes one 5-field header group with colon-hex
+// addresses, the IPv6 twin of parseHeader.
+func parseHeader6(fields []string) (rule.Header6, error) {
+	src, err := parseAddr6(fields[0])
+	if err != nil {
+		return rule.Header6{}, err
+	}
+	dst, err := parseAddr6(fields[1])
+	if err != nil {
+		return rule.Header6{}, err
+	}
+	sp, err := strconv.ParseUint(fields[2], 10, 16)
+	if err != nil {
+		return rule.Header6{}, fmt.Errorf("source port %q", fields[2])
+	}
+	dp, err := strconv.ParseUint(fields[3], 10, 16)
+	if err != nil {
+		return rule.Header6{}, fmt.Errorf("destination port %q", fields[3])
+	}
+	pr, err := strconv.ParseUint(fields[4], 10, 8)
+	if err != nil {
+		return rule.Header6{}, fmt.Errorf("protocol %q", fields[4])
+	}
+	return rule.Header6{
+		SrcIP: src, DstIP: dst,
+		SrcPort: uint16(sp), DstPort: uint16(dp), Proto: uint8(pr),
+	}, nil
+}
+
+// parseLookup6 parses the LOOKUP argument list on an IPv6 table.
+func parseLookup6(args string) (rule.Header6, error) {
+	fields := strings.Fields(args)
+	if len(fields) != 5 {
+		return rule.Header6{}, fmt.Errorf("LOOKUP wants 5 fields, got %d", len(fields))
+	}
+	return parseHeader6(fields)
+}
+
+// parseMLookup6 parses the MLOOKUP argument list on an IPv6 table.
+func parseMLookup6(args string) ([]rule.Header6, error) {
+	fields := strings.Fields(args)
+	if len(fields) == 0 || len(fields)%5 != 0 {
+		return nil, fmt.Errorf("MLOOKUP wants k*5 fields, got %d", len(fields))
+	}
+	hs := make([]rule.Header6, len(fields)/5)
+	for i := range hs {
+		h, err := parseHeader6(fields[i*5 : i*5+5])
+		if err != nil {
+			return nil, fmt.Errorf("header %d: %w", i, err)
+		}
+		hs[i] = h
+	}
+	return hs, nil
 }
 
 // parseMLookup parses the MLOOKUP argument list: k headers, 5 fields
@@ -225,4 +327,10 @@ func parseAddr(s string) (uint32, error) {
 
 func formatAddr(a uint32) string {
 	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+func formatAddr6(a rule.Addr6) string {
+	return fmt.Sprintf("%04x:%04x:%04x:%04x:%04x:%04x:%04x:%04x",
+		uint16(a.Hi>>48), uint16(a.Hi>>32), uint16(a.Hi>>16), uint16(a.Hi),
+		uint16(a.Lo>>48), uint16(a.Lo>>32), uint16(a.Lo>>16), uint16(a.Lo))
 }

@@ -29,13 +29,36 @@ const DefaultIdleTimeout = 5 * time.Minute
 const maxBulk = 1 << 20
 
 // table is one named serving tenant: an engine plus the construction
-// metadata the TABLES listing and the snapshot attrs report.
+// metadata the TABLES listing and the snapshot attrs report. Exactly
+// one of eng and eng6 is set — eng6 marks an IPv6 table, whose data
+// commands parse the colon-hex grammar instead of the IPv4 one.
 type table struct {
 	name    string
 	backend repro.Backend
 	shards  int
 	cache   int
 	eng     repro.Engine
+	eng6    *repro.Classifier6
+}
+
+// v6 reports whether the table serves the IPv6 data path.
+func (t *table) v6() bool { return t.eng6 != nil }
+
+// ruleCount reads the table's live rule population.
+func (t *table) ruleCount() int {
+	if t.eng6 != nil {
+		return t.eng6.Len()
+	}
+	return t.eng.Len()
+}
+
+// backendLabel is the TABLES-listing backend token: the ParseBackend
+// spelling for IPv4 tables, the CREATE spelling "v6" for IPv6 ones.
+func (t *table) backendLabel() string {
+	if t.eng6 != nil {
+		return tokenV6
+	}
+	return strings.ToLower(t.backend.String())
 }
 
 // unwrapped walks Unwrap through capability-transparent wrappers (the
@@ -136,6 +159,27 @@ func (s *Server) AddTable(name string, backend repro.Backend, shards, cacheEntri
 	return nil
 }
 
+// AddTable6 creates a named IPv6 table backed by a fresh split-64
+// decomposition engine (repro.New6) — the path the protocol's
+// "TABLE CREATE <name> v6" takes. IPv6 engines are unsharded and
+// uncached.
+func (s *Server) AddTable6(name string) error {
+	if !validTableName(name) {
+		return fmt.Errorf("invalid table name %q", name)
+	}
+	eng6, err := repro.New6()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return fmt.Errorf("table %q exists", name)
+	}
+	s.tables[name] = &table{name: name, backend: repro.BackendDecomposition, shards: 1, eng6: eng6}
+	return nil
+}
+
 // dropTable removes a table; connections currently on it get unknown-
 // table errors until they switch.
 func (s *Server) dropTable(name string) error {
@@ -196,6 +240,9 @@ func tableAttrs(t *table, asTable bool) map[string]string {
 		"shards":  strconv.Itoa(t.shards),
 		"cache":   strconv.Itoa(t.cache),
 	}
+	if t.v6() {
+		attrs[snapfile.FamilyAttr] = tokenV6
+	}
 	if asTable {
 		attrs["table"] = t.name
 	}
@@ -210,6 +257,13 @@ func (s *Server) saveTable(t *table, name string, asTable bool) (int, error) {
 	path, err := s.snapshotPath(name)
 	if err != nil {
 		return 0, err
+	}
+	if t.v6() {
+		rules := t.eng6.Snapshot()
+		if err := snapfile.Save(path, snapfile.Snapshot{Attrs: tableAttrs(t, asTable), Rules6: rules}); err != nil {
+			return 0, err
+		}
+		return len(rules), nil
 	}
 	rules := t.eng.Snapshot()
 	if err := snapfile.Save(path, snapfile.Snapshot{Attrs: tableAttrs(t, asTable), Rules: rules}); err != nil {
@@ -284,18 +338,32 @@ func (s *Server) LoadSnapshots() (restored int, warns []string, err error) {
 		if snap.Attrs["table"] != name {
 			continue // a user checkpoint, not daemon table persistence
 		}
+		snapV6 := snap.Attrs[snapfile.FamilyAttr] == tokenV6
 		t, lookupErr := s.lookupTable(name)
 		if lookupErr != nil {
-			backend, shards, cache, err := snapAttrs(snap.Attrs)
-			if err != nil {
-				return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
-			}
-			if err := s.AddTable(name, backend, shards, cache); err != nil {
-				return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
+			if snapV6 {
+				if err := s.AddTable6(name); err != nil {
+					return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
+				}
+			} else {
+				backend, shards, cache, err := snapAttrs(snap.Attrs)
+				if err != nil {
+					return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
+				}
+				if err := s.AddTable(name, backend, shards, cache); err != nil {
+					return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
+				}
 			}
 			t, _ = s.lookupTable(name)
 		}
-		if _, err := t.eng.Replace(snap.Rules); err != nil {
+		if snapV6 != t.v6() {
+			return restored, warns, fmt.Errorf("ctl: snapshot %q: address family does not match table %q", name, t.name)
+		}
+		if t.v6() {
+			if _, err := t.eng6.Replace(snap.Rules6); err != nil {
+				return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
+			}
+		} else if _, err := t.eng.Replace(snap.Rules); err != nil {
 			return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
 		}
 		restored++
@@ -466,13 +534,11 @@ func (sess *session) scan() bool {
 	return sess.sc.Scan()
 }
 
-// engine resolves the session's current table to its engine.
-func (sess *session) engine() (repro.Engine, error) {
-	t, err := sess.srv.lookupTable(sess.table)
-	if err != nil {
-		return nil, err
-	}
-	return t.eng, nil
+// tbl resolves the session's current table. Commands branch on the
+// table's address family from here: t.eng6 carries the IPv6 data path,
+// t.eng everything else.
+func (sess *session) tbl() (*table, error) {
+	return sess.srv.lookupTable(sess.table)
 }
 
 // dispatch executes one protocol line.
@@ -487,17 +553,27 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 		return sess.dispatchTable(args), false
 
 	case cmdInsert:
-		r, err := parseInsert(args)
+		t, err := sess.tbl()
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		eng, err := sess.engine()
-		if err != nil {
-			return "ERR " + err.Error(), false
-		}
-		cost, err := eng.Insert(r)
-		if err != nil {
-			return "ERR " + err.Error(), false
+		var cost repro.Cost
+		if t.v6() {
+			r, err := parseInsert6(args)
+			if err != nil {
+				return "ERR " + err.Error(), false
+			}
+			if cost, err = t.eng6.Insert(r); err != nil {
+				return "ERR " + err.Error(), false
+			}
+		} else {
+			r, err := parseInsert(args)
+			if err != nil {
+				return "ERR " + err.Error(), false
+			}
+			if cost, err = t.eng.Insert(r); err != nil {
+				return "ERR " + err.Error(), false
+			}
 		}
 		return fmt.Sprintf("OK %d", cost.Cycles), false
 
@@ -514,11 +590,16 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 		if args != "" {
 			return "ERR RESET takes no arguments", false
 		}
-		eng, err := sess.engine()
+		t, err := sess.tbl()
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		cost, err := eng.Replace(nil)
+		var cost repro.Cost
+		if t.v6() {
+			cost, err = t.eng6.Replace(nil)
+		} else {
+			cost, err = t.eng.Replace(nil)
+		}
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
@@ -532,41 +613,64 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 		if err != nil {
 			return "ERR rule id: " + err.Error(), false
 		}
-		eng, err := sess.engine()
+		t, err := sess.tbl()
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		cost, err := eng.Delete(id)
+		var cost repro.Cost
+		if t.v6() {
+			cost, err = t.eng6.Delete(id)
+		} else {
+			cost, err = t.eng.Delete(id)
+		}
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
 		return fmt.Sprintf("OK %d", cost.Cycles), false
 
 	case cmdLookup:
-		h, err := parseLookup(args)
+		t, err := sess.tbl()
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		eng, err := sess.engine()
-		if err != nil {
-			return "ERR " + err.Error(), false
+		var res repro.Result
+		if t.v6() {
+			h, err := parseLookup6(args)
+			if err != nil {
+				return "ERR " + err.Error(), false
+			}
+			res, _ = t.eng6.Lookup(h)
+		} else {
+			h, err := parseLookup(args)
+			if err != nil {
+				return "ERR " + err.Error(), false
+			}
+			res, _ = t.eng.Lookup(h)
 		}
-		res, _ := eng.Lookup(h)
 		if !res.Found {
 			return "NOMATCH", false
 		}
 		return fmt.Sprintf("MATCH %d %d %s", res.RuleID, res.Priority, res.Action), false
 
 	case cmdMLookup:
-		hs, err := parseMLookup(args)
+		t, err := sess.tbl()
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		eng, err := sess.engine()
-		if err != nil {
-			return "ERR " + err.Error(), false
+		var results []repro.Result
+		if t.v6() {
+			hs, err := parseMLookup6(args)
+			if err != nil {
+				return "ERR " + err.Error(), false
+			}
+			results = t.eng6.LookupBatch(hs)
+		} else {
+			hs, err := parseMLookup(args)
+			if err != nil {
+				return "ERR " + err.Error(), false
+			}
+			results = t.eng.LookupBatch(hs)
 		}
-		results := eng.LookupBatch(hs)
 		var b strings.Builder
 		b.WriteString("RESULTS")
 		for _, r := range results {
@@ -576,35 +680,47 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 		return b.String(), false
 
 	case cmdStats:
-		eng, err := sess.engine()
+		t, err := sess.tbl()
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		// The decomposition backend (sharded or not) reports full
-		// pipeline statistics; other backends report population only.
-		// Flow-cached engines append their hit/miss/eviction counters.
+		// The decomposition backend (v4 or v6, sharded or not) reports
+		// full pipeline statistics; other backends report population
+		// only. Flow-cached engines append their hit/miss/eviction
+		// counters.
 		var st repro.Stats
-		if se, ok := eng.(interface{ Stats() repro.Stats }); ok {
-			st = se.Stats()
-		} else {
-			st.Rules = eng.Len()
+		switch {
+		case t.v6():
+			st = t.eng6.Stats()
+		default:
+			if se, ok := t.eng.(interface{ Stats() repro.Stats }); ok {
+				st = se.Stats()
+			} else {
+				st.Rules = t.eng.Len()
+			}
 		}
 		resp := fmt.Sprintf("STATS %d %d %d %d %d",
 			st.Rules, st.Probes, st.ProbeOps, st.MaxListLen, st.HardwareOverflows)
-		if ce, ok := eng.(interface{ CacheStats() repro.FlowCacheStats }); ok {
-			cs := ce.CacheStats()
-			resp += fmt.Sprintf(" CACHE %d %d %d", cs.Hits, cs.Misses, cs.Evictions)
+		if !t.v6() {
+			if ce, ok := t.eng.(interface{ CacheStats() repro.FlowCacheStats }); ok {
+				cs := ce.CacheStats()
+				resp += fmt.Sprintf(" CACHE %d %d %d", cs.Hits, cs.Misses, cs.Evictions)
+			}
 		}
 		return resp, false
 
 	case cmdThroughput:
-		eng, err := sess.engine()
+		t, err := sess.tbl()
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		te, ok := unwrapped(eng).(interface{ ModelThroughput() repro.Throughput })
+		if t.v6() {
+			tp := t.eng6.ModelThroughput()
+			return fmt.Sprintf("THROUGHPUT %.2f %.2f %.2f", tp.CyclesPerPacket, tp.Mpps, tp.Gbps), false
+		}
+		te, ok := unwrapped(t.eng).(interface{ ModelThroughput() repro.Throughput })
 		if !ok {
-			return fmt.Sprintf("ERR backend %s does not model throughput", eng.Backend()), false
+			return fmt.Sprintf("ERR backend %s does not model throughput", t.eng.Backend()), false
 		}
 		tp := te.ModelThroughput()
 		return fmt.Sprintf("THROUGHPUT %.2f %.2f %.2f", tp.CyclesPerPacket, tp.Mpps, tp.Gbps), false
@@ -627,6 +743,15 @@ func (sess *session) dispatchTable(args string) string {
 	case subCreate:
 		if len(fields) < 3 || len(fields) > 5 {
 			return "ERR TABLE CREATE wants <name> <backend> [<shards> [<cache>]]"
+		}
+		if strings.EqualFold(fields[2], tokenV6) {
+			if len(fields) != 3 {
+				return "ERR TABLE CREATE v6 takes no shard or cache arguments"
+			}
+			if err := sess.srv.AddTable6(fields[1]); err != nil {
+				return "ERR " + err.Error()
+			}
+			return "OK"
 		}
 		backend, err := repro.ParseBackend(fields[2])
 		if err != nil {
@@ -675,7 +800,7 @@ func (sess *session) dispatchTable(args string) string {
 		b.WriteString("TABLES")
 		for _, t := range sess.srv.listTables() {
 			fmt.Fprintf(&b, " %s:%s:%d:%d",
-				t.name, strings.ToLower(t.backend.String()), t.shards, t.eng.Len())
+				t.name, t.backendLabel(), t.shards, t.ruleCount())
 		}
 		return b.String()
 
@@ -692,12 +817,21 @@ func (sess *session) dispatchSnapshot(args string) string {
 	fields := strings.Fields(args)
 	switch {
 	case len(fields) == 0:
-		eng, err := sess.engine()
+		t, err := sess.tbl()
 		if err != nil {
 			return "ERR " + err.Error()
 		}
-		rules := eng.Snapshot()
 		var b strings.Builder
+		if t.v6() {
+			rules := t.eng6.Snapshot()
+			fmt.Fprintf(&b, "SNAPSHOT %d %08x", len(rules), snapfile.Checksum6(rules))
+			for i := range rules {
+				b.WriteByte('\n')
+				b.WriteString(snapfile.FormatRule6(rules[i]))
+			}
+			return b.String()
+		}
+		rules := t.eng.Snapshot()
 		fmt.Fprintf(&b, "SNAPSHOT %d %08x", len(rules), snapfile.Checksum(rules))
 		for i := range rules {
 			b.WriteByte('\n')
@@ -741,11 +875,23 @@ func (sess *session) dispatchRestore(args string) string {
 	if err != nil {
 		return "ERR " + err.Error()
 	}
-	eng, err := sess.engine()
+	t, err := sess.tbl()
 	if err != nil {
 		return "ERR " + err.Error()
 	}
-	cost, err := eng.Replace(snap.Rules)
+	// Restoring across address families would silently install an empty
+	// ruleset (the other family's slice), so the mismatch is rejected.
+	if snapV6 := snap.Attrs[snapfile.FamilyAttr] == tokenV6; snapV6 != t.v6() {
+		return fmt.Sprintf("ERR snapshot %q: address family does not match table %q", name, t.name)
+	}
+	if t.v6() {
+		cost, err := t.eng6.Replace(snap.Rules6)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("OK %d %d", len(snap.Rules6), cost.Cycles)
+	}
+	cost, err := t.eng.Replace(snap.Rules)
 	if err != nil {
 		return "ERR " + err.Error()
 	}
@@ -790,9 +936,24 @@ func (sess *session) dispatchSwap(args string) (resp string, quit bool) {
 	if err != nil || n < 0 || n > maxBulk {
 		return fmt.Sprintf("ERR SWAP wants a count in [0, %d]; closing", maxBulk), true
 	}
-	eng, engErr := sess.engine()
-	rules := make([]rule.Rule, 0, min(n, bodyPrealloc))
-	firstErr, consumed, ok := sess.readBody(n, engErr, func(i int, line string) error {
+	t, tblErr := sess.tbl()
+	v6 := tblErr == nil && t.v6()
+	var rules []rule.Rule
+	var rules6 []rule.Rule6
+	if v6 {
+		rules6 = make([]rule.Rule6, 0, min(n, bodyPrealloc))
+	} else {
+		rules = make([]rule.Rule, 0, min(n, bodyPrealloc))
+	}
+	firstErr, consumed, ok := sess.readBody(n, tblErr, func(i int, line string) error {
+		if v6 {
+			r, err := parseInsert6(line)
+			if err != nil {
+				return fmt.Errorf("swap line %d: %w", i+1, err)
+			}
+			rules6 = append(rules6, r)
+			return nil
+		}
 		r, err := parseInsert(line)
 		if err != nil {
 			return fmt.Errorf("swap line %d: %w", i+1, err)
@@ -806,7 +967,14 @@ func (sess *session) dispatchSwap(args string) (resp string, quit bool) {
 	if firstErr != nil {
 		return "ERR " + firstErr.Error(), false
 	}
-	cost, err := eng.Replace(rules)
+	if v6 {
+		cost, err := t.eng6.Replace(rules6)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return fmt.Sprintf("OK %d %d", len(rules6), cost.Cycles), false
+	}
+	cost, err := t.eng.Replace(rules)
 	if err != nil {
 		return "ERR " + err.Error(), false
 	}
@@ -824,18 +992,27 @@ func (sess *session) dispatchBulk(args string) (resp string, quit bool) {
 	if err != nil || n < 1 || n > maxBulk {
 		return fmt.Sprintf("ERR BULK wants a count in [1, %d]; closing", maxBulk), true
 	}
-	eng, engErr := sess.engine()
+	t, tblErr := sess.tbl()
+	v6 := tblErr == nil && t.v6()
 	inserted, cycles := 0, 0
-	firstErr, consumed, ok := sess.readBody(n, engErr, func(i int, line string) error {
-		r, err := parseInsert(line)
-		if err == nil {
-			var cost repro.Cost
-			cost, err = eng.Insert(r)
-			if err == nil {
-				inserted++
-				cycles += cost.Cycles
-				return nil
+	firstErr, consumed, ok := sess.readBody(n, tblErr, func(i int, line string) error {
+		var cost repro.Cost
+		var err error
+		if v6 {
+			var r rule.Rule6
+			if r, err = parseInsert6(line); err == nil {
+				cost, err = t.eng6.Insert(r)
 			}
+		} else {
+			var r rule.Rule
+			if r, err = parseInsert(line); err == nil {
+				cost, err = t.eng.Insert(r)
+			}
+		}
+		if err == nil {
+			inserted++
+			cycles += cost.Cycles
+			return nil
 		}
 		return fmt.Errorf("bulk line %d: %w (inserted %d)", i+1, err, inserted)
 	})

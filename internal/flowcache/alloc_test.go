@@ -36,3 +36,28 @@ func TestGetZeroAllocs(t *testing.T) {
 		t.Fatal("hit path never exercised")
 	}
 }
+
+// TestGetHashedZeroAllocs covers the raw-key probe pair (Hash +
+// GetHashed) the bytes-ingestion path uses.
+func TestGetHashedZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations")
+	}
+	c := New(256)
+	h := rule.Header{SrcIP: 4, DstIP: 5, SrcPort: 6, DstPort: 443, Proto: rule.ProtoTCP}
+	k := c.Hash(h)
+	_, gen, _ := c.GetHashed(k, h)
+	c.PutHashed(k, gen, h, core.Result{RuleID: 3, Found: true})
+	hits := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, ok := c.GetHashed(c.Hash(h), h); ok {
+			hits++
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Hash+GetHashed allocated %v times per run, want 0", allocs)
+	}
+	if hits == 0 {
+		t.Fatal("hashed hit path never exercised")
+	}
+}

@@ -121,6 +121,14 @@ func hash(h rule.Header) uint64 {
 	return x
 }
 
+// Hash exposes the slot hash of a header — the raw-key probe for
+// callers on the bytes-ingestion path, which compute the hash once off
+// the freshly decoded 5-tuple and thread it through GetHashed and
+// PutHashed instead of hashing the header struct twice per miss.
+//
+//repro:noalloc
+func (c *Cache) Hash(h rule.Header) uint64 { return hash(h) }
+
 // Get probes the cache. It returns the cached verdict on a hit, plus the
 // generation observed at probe time: a caller that misses must thread
 // that generation through to Put so the fill is stamped with a
@@ -129,8 +137,15 @@ func hash(h rule.Header) uint64 {
 //
 //repro:noalloc
 func (c *Cache) Get(h rule.Header) (res core.Result, gen uint64, ok bool) {
+	return c.GetHashed(hash(h), h)
+}
+
+// GetHashed is Get with the caller-computed hash k (which must equal
+// Hash(h)).
+//
+//repro:noalloc
+func (c *Cache) GetHashed(k uint64, h rule.Header) (res core.Result, gen uint64, ok bool) {
 	gen = c.gen.Load()
-	k := hash(h)
 	st := &c.stats[k&(statShards-1)]
 	if e := c.slots[k&c.mask].Load(); e != nil && e.gen == gen && e.hdr == h {
 		st.hits.Add(1)
@@ -145,7 +160,12 @@ func (c *Cache) Get(h rule.Header) (res core.Result, gen uint64, ok bool) {
 // anyway but can never be served, so a racing rule update silently turns
 // the fill into a no-op.
 func (c *Cache) Put(gen uint64, h rule.Header, res core.Result) {
-	k := hash(h)
+	c.PutHashed(hash(h), gen, h, res)
+}
+
+// PutHashed is Put with the caller-computed hash k (which must equal
+// Hash(h)).
+func (c *Cache) PutHashed(k uint64, gen uint64, h rule.Header, res core.Result) {
 	slot := &c.slots[k&c.mask]
 	if old := slot.Load(); old != nil && old.hdr != h && old.gen == c.gen.Load() {
 		c.stats[k&(statShards-1)].evictions.Add(1)

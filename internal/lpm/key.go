@@ -76,6 +76,52 @@ func (k V4) Cmp(o V4) int {
 	}
 }
 
+// K64 is a 64-bit key: one half of a split IPv6 address, letting the
+// 64-bit-generic engines serve the hi/lo halves of the Split6 scheme.
+type K64 uint64
+
+// Bits returns 64.
+func (K64) Bits() int { return 64 }
+
+// Slice returns n bits at MSB offset start.
+func (k K64) Slice(start, n uint8) uint32 {
+	if n == 0 {
+		return 0
+	}
+	return uint32(uint64(k) << start >> (64 - uint64(n)))
+}
+
+// Masked clears all but the top n bits.
+func (k K64) Masked(n uint8) K64 {
+	if n == 0 {
+		return 0
+	}
+	if n >= 64 {
+		return k
+	}
+	return k & (^K64(0) << (64 - n))
+}
+
+// UpperBound sets all but the top n bits.
+func (k K64) UpperBound(n uint8) K64 {
+	if n >= 64 {
+		return k
+	}
+	return k | ^(^K64(0) << (64 - n))
+}
+
+// Cmp compares as unsigned integers.
+func (k K64) Cmp(o K64) int {
+	switch {
+	case k < o:
+		return -1
+	case k > o:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // V6 is a 128-bit IPv6 address key.
 type V6 struct {
 	Hi, Lo uint64

@@ -1,0 +1,213 @@
+package lpm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hwsim"
+	"repro/internal/label"
+)
+
+// Split6 is the first-class IPv6 LPM engine: instead of one 128-bit
+// trie it keeps two 64-bit multi-bit tries — one over the high half of
+// the address, one over the low half — plus a combination table mapping
+// (hi label, lo label) pairs back to the caller's prefix labels. A
+// 128-bit lookup is therefore two bounded 64-bit LPM probes and a
+// handful of exact-match combination probes, which is how production
+// v6 classifiers (yanet2's net6 classifier among them) keep IPv6 on
+// the same pipeline budget as IPv4.
+//
+// The split of an inserted prefix is canonical: a prefix of length
+// <= 64 becomes (hi prefix of that length, lo wildcard /0); a longer
+// one becomes (exact hi /64, lo prefix of the remainder). Each distinct
+// half-prefix gets one internal label, refcounted across the 128-bit
+// prefixes sharing it, so the half tries stay as small as the distinct
+// halves — the memory argument for splitting in the first place.
+type Split6 struct {
+	hi, lo *MultiBitTrie[K64]
+	// hiRefs/loRefs refcount the internal label of each distinct
+	// half-prefix.
+	hiRefs           map[Prefix[K64]]*splitRef
+	loRefs           map[Prefix[K64]]*splitRef
+	hiAlloc, loAlloc label.Allocator
+	// comb maps an internal (hi, lo) label pair to the external label
+	// of the 128-bit prefix the pair reconstructs.
+	comb  map[uint64]label.Label
+	count int
+
+	scratch sync.Pool
+}
+
+// splitRef is one refcounted internal half-prefix label.
+type splitRef struct {
+	lab  label.Label
+	refs int
+}
+
+// split6Scratch holds the per-lookup label lists of the two half tries.
+type split6Scratch struct {
+	hi, lo []label.Label
+}
+
+// NewSplit6 returns a split hi/lo IPv6 engine whose half tries use the
+// given multi-bit-trie stride (0 selects 8, the same default as the
+// IPv4 pipeline — eight levels per 64-bit half).
+func NewSplit6(stride int) (*Split6, error) {
+	if stride == 0 {
+		stride = 8
+	}
+	hi, err := NewMultiBitTrie[K64](stride)
+	if err != nil {
+		return nil, fmt.Errorf("split6 hi trie: %w", err)
+	}
+	lo, err := NewMultiBitTrie[K64](stride)
+	if err != nil {
+		return nil, fmt.Errorf("split6 lo trie: %w", err)
+	}
+	return &Split6{
+		hi:      hi,
+		lo:      lo,
+		hiRefs:  make(map[Prefix[K64]]*splitRef),
+		loRefs:  make(map[Prefix[K64]]*splitRef),
+		comb:    make(map[uint64]label.Label),
+		scratch: sync.Pool{New: func() any { return new(split6Scratch) }},
+	}, nil
+}
+
+// splitPrefix maps a 128-bit prefix to its canonical (hi, lo) halves.
+func splitPrefix(p Prefix[V6]) (hi, lo Prefix[K64]) {
+	p = p.Canonical()
+	if p.Len <= 64 {
+		return Prefix[K64]{Key: K64(p.Key.Hi), Len: p.Len}, Prefix[K64]{}
+	}
+	return Prefix[K64]{Key: K64(p.Key.Hi), Len: 64},
+		Prefix[K64]{Key: K64(p.Key.Lo), Len: p.Len - 64}
+}
+
+// combKey packs an internal label pair into the combination-table key.
+func combKey(hi, lo label.Label) uint64 {
+	return uint64(hi)<<32 | uint64(lo)
+}
+
+// acquire returns the ref for a half-prefix, inserting it into the half
+// trie with a fresh internal label on first use.
+func acquire(t *MultiBitTrie[K64], refs map[Prefix[K64]]*splitRef, alloc *label.Allocator, p Prefix[K64], cost *hwsim.Cost) *splitRef {
+	r := refs[p]
+	if r == nil {
+		r = &splitRef{lab: alloc.Alloc()}
+		refs[p] = r
+		*cost = cost.Add(t.Insert(p, r.lab))
+	}
+	return r
+}
+
+// release drops one reference, deleting the half-prefix from its trie
+// when the last 128-bit prefix using it goes away.
+func release(t *MultiBitTrie[K64], refs map[Prefix[K64]]*splitRef, alloc *label.Allocator, p Prefix[K64], r *splitRef, cost *hwsim.Cost) {
+	r.refs--
+	if r.refs == 0 {
+		_, c, _ := t.Delete(p)
+		*cost = cost.Add(c)
+		alloc.Free(r.lab)
+		delete(refs, p)
+	}
+}
+
+// Insert stores the prefix with its label, replacing the label if the
+// prefix is already present. The cost covers the half-trie downloads
+// (only on first use of a half) plus the combination-table write.
+func (s *Split6) Insert(p Prefix[V6], lab label.Label) hwsim.Cost {
+	var cost hwsim.Cost
+	hp, lp := splitPrefix(p)
+	hr := acquire(s.hi, s.hiRefs, &s.hiAlloc, hp, &cost)
+	lr := acquire(s.lo, s.loRefs, &s.loAlloc, lp, &cost)
+	key := combKey(hr.lab, lr.lab)
+	if _, exists := s.comb[key]; !exists {
+		hr.refs++
+		lr.refs++
+		s.count++
+	}
+	s.comb[key] = lab
+	cost.Writes++
+	cost.Cycles = cost.Reads + cost.Writes
+	return cost
+}
+
+// Delete removes the prefix, returning its label and whether it was
+// present.
+func (s *Split6) Delete(p Prefix[V6]) (label.Label, hwsim.Cost, bool) {
+	var cost hwsim.Cost
+	cost.Reads = 2 // half-ref probes
+	hp, lp := splitPrefix(p)
+	hr := s.hiRefs[hp]
+	lr := s.loRefs[lp]
+	if hr == nil || lr == nil {
+		cost.Cycles = cost.Reads
+		return label.None, cost, false
+	}
+	key := combKey(hr.lab, lr.lab)
+	ext, ok := s.comb[key]
+	if !ok {
+		cost.Cycles = cost.Reads
+		return label.None, cost, false
+	}
+	delete(s.comb, key)
+	s.count--
+	cost.Writes++
+	release(s.hi, s.hiRefs, &s.hiAlloc, hp, hr, &cost)
+	release(s.lo, s.loRefs, &s.loAlloc, lp, lr, &cost)
+	cost.Cycles = cost.Reads + cost.Writes
+	return ext, cost, true
+}
+
+// Lookup appends the labels of all prefixes matching the key to buf and
+// returns the hardware cost. The two half probes run in parallel in
+// hardware (cycle cost combines by max); every (hi, lo) pair then costs
+// one combination-table probe, mirroring the ULI's rule-filter probes
+// one level down.
+//
+// The match set is exact: a 128-bit prefix matches the key iff its hi
+// half matches the high 64 bits and its lo half matches the low 64
+// bits, and each matching prefix contributes exactly one (hi, lo) pair.
+// Labels are emitted hi-most-specific first.
+//
+//repro:noalloc
+func (s *Split6) Lookup(k V6, buf []label.Label) ([]label.Label, hwsim.Cost) {
+	sc := s.scratch.Get().(*split6Scratch)
+	hiList, hiCost := s.hi.Lookup(K64(k.Hi), sc.hi[:0])
+	loList, loCost := s.lo.Lookup(K64(k.Lo), sc.lo[:0])
+	sc.hi, sc.lo = hiList, loList
+	cost := hiCost.Max(loCost)
+	cost.Reads = hiCost.Reads + loCost.Reads
+	for _, hl := range hiList {
+		for _, ll := range loList {
+			cost.Reads++
+			cost.Cycles++
+			if ext, ok := s.comb[combKey(hl, ll)]; ok {
+				buf = append(buf, ext)
+			}
+		}
+	}
+	s.scratch.Put(sc)
+	return buf, cost
+}
+
+// Len returns the number of stored 128-bit prefixes.
+func (s *Split6) Len() int { return s.count }
+
+// combEntryBits is the modeled combination-table word: two internal
+// labels and the external label.
+const combEntryBits = 96
+
+// Memory reports the two half tries plus the combination table.
+func (s *Split6) Memory() hwsim.MemoryMap {
+	var mm hwsim.MemoryMap
+	for _, b := range s.hi.Memory().Blocks {
+		mm.Add("net6-hi/"+b.Name, b.WordBits, b.Words)
+	}
+	for _, b := range s.lo.Memory().Blocks {
+		mm.Add("net6-lo/"+b.Name, b.WordBits, b.Words)
+	}
+	mm.Add("net6-comb", combEntryBits, len(s.comb))
+	return mm
+}

@@ -1,0 +1,217 @@
+package lpm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/label"
+)
+
+// randPrefix6 draws a prefix with lengths covering both halves of the
+// split (0, short, exactly 64, long, full 128).
+func randPrefix6(rnd *rand.Rand) Prefix[V6] {
+	lens := []uint8{0, 16, 32, 48, 64, 72, 96, 112, 128}
+	p := Prefix[V6]{
+		Key: V6{Hi: rnd.Uint64(), Lo: rnd.Uint64()},
+		Len: lens[rnd.Intn(len(lens))],
+	}
+	return p.Canonical()
+}
+
+// TestSplit6MatchesLinearOracle cross-checks the split engine's label
+// lists against a brute-force prefix scan through insert/delete churn.
+func TestSplit6MatchesLinearOracle(t *testing.T) {
+	rnd := rand.New(rand.NewSource(21))
+	s, err := NewSplit6(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installed := map[Prefix[V6]]label.Label{}
+	next := label.Label(1)
+
+	check := func(k V6) {
+		t.Helper()
+		var want []label.Label
+		for p, lab := range installed {
+			if p.Matches(k) {
+				want = append(want, lab)
+			}
+		}
+		got, _ := s.Lookup(k, nil)
+		if len(got) != len(want) {
+			t.Fatalf("key %v: got %d labels %v, want %d %v", k, len(got), got, len(want), want)
+		}
+		gs := append([]label.Label(nil), got...)
+		sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range gs {
+			if gs[i] != want[i] {
+				t.Fatalf("key %v: labels %v, want %v", k, got, want)
+			}
+		}
+	}
+
+	var pool []Prefix[V6]
+	for step := 0; step < 400; step++ {
+		if len(pool) == 0 || rnd.Intn(3) != 0 {
+			p := randPrefix6(rnd)
+			if _, dup := installed[p]; dup {
+				continue
+			}
+			s.Insert(p, next)
+			installed[p] = next
+			next++
+			pool = append(pool, p)
+		} else {
+			i := rnd.Intn(len(pool))
+			p := pool[i]
+			lab, _, ok := s.Delete(p)
+			if !ok {
+				t.Fatalf("delete of installed prefix %v failed", p)
+			}
+			if lab != installed[p] {
+				t.Fatalf("delete of %v returned label %v, want %v", p, lab, installed[p])
+			}
+			delete(installed, p)
+			pool[i] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+		}
+		if s.Len() != len(installed) {
+			t.Fatalf("Len = %d, want %d", s.Len(), len(installed))
+		}
+		// Probe keys correlated with installed prefixes plus pure noise.
+		for probe := 0; probe < 4; probe++ {
+			var k V6
+			if len(pool) > 0 && probe%2 == 0 {
+				p := pool[rnd.Intn(len(pool))]
+				k = V6{Hi: p.Key.Hi | rnd.Uint64()&^v6mask(int(p.Len)),
+					Lo: p.Key.Lo | rnd.Uint64()&^v6mask(int(p.Len)-64)}
+			} else {
+				k = V6{Hi: rnd.Uint64(), Lo: rnd.Uint64()}
+			}
+			check(k)
+		}
+	}
+	// Drain and confirm empty.
+	for _, p := range pool {
+		if _, _, ok := s.Delete(p); !ok {
+			t.Fatalf("drain delete of %v failed", p)
+		}
+	}
+	if s.Len() != 0 || s.hi.Len() != 0 || s.lo.Len() != 0 {
+		t.Fatalf("drained engine not empty: %d prefixes, hi %d, lo %d", s.Len(), s.hi.Len(), s.lo.Len())
+	}
+}
+
+// TestSplit6SharedHalves checks the refcounting: prefixes sharing a
+// half keep it alive until the last user is deleted.
+func TestSplit6SharedHalves(t *testing.T) {
+	s, err := NewSplit6(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := uint64(0x20010db8_0000_0000)
+	a := Prefix[V6]{Key: V6{Hi: site, Lo: 1 << 32}, Len: 96}.Canonical()
+	b := Prefix[V6]{Key: V6{Hi: site, Lo: 2 << 32}, Len: 96}.Canonical()
+	s.Insert(a, 1)
+	s.Insert(b, 2)
+	if s.hi.Len() != 1 {
+		t.Fatalf("hi trie holds %d prefixes, want 1 shared /64", s.hi.Len())
+	}
+	if _, _, ok := s.Delete(a); !ok {
+		t.Fatal("delete a")
+	}
+	if s.hi.Len() != 1 {
+		t.Fatalf("hi trie holds %d prefixes after first delete, want 1", s.hi.Len())
+	}
+	got, _ := s.Lookup(V6{Hi: site, Lo: 2 << 32}, nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("lookup after partial delete = %v, want [2]", got)
+	}
+	if _, _, ok := s.Delete(b); !ok {
+		t.Fatal("delete b")
+	}
+	if s.hi.Len() != 0 || s.lo.Len() != 0 {
+		t.Fatalf("half tries not drained: hi %d, lo %d", s.hi.Len(), s.lo.Len())
+	}
+}
+
+// TestSplit6ReplaceLabel pins MBT-compatible replace semantics: a
+// second Insert of the same prefix swaps the label in place.
+func TestSplit6ReplaceLabel(t *testing.T) {
+	s, err := NewSplit6(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Prefix[V6]{Key: V6{Hi: 0xff00_0000_0000_0000}, Len: 8}.Canonical()
+	s.Insert(p, 1)
+	s.Insert(p, 9)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after replace, want 1", s.Len())
+	}
+	got, _ := s.Lookup(V6{Hi: 0xff12_3456_0000_0000}, nil)
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("lookup = %v, want [9]", got)
+	}
+	if lab, _, ok := s.Delete(p); !ok || lab != 9 {
+		t.Fatalf("delete = %v/%v, want 9/true", lab, ok)
+	}
+}
+
+// TestSplit6Memory sanity-checks the memory map names the three blocks.
+func TestSplit6Memory(t *testing.T) {
+	s, err := NewSplit6(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(Prefix[V6]{Key: V6{Hi: 1 << 63, Lo: 1 << 63}, Len: 100}.Canonical(), 1)
+	mm := s.Memory()
+	seen := map[string]bool{}
+	for _, b := range mm.Blocks {
+		seen[b.Name] = true
+	}
+	for _, want := range []string{"net6-hi/mbt-slots", "net6-lo/mbt-slots", "net6-comb"} {
+		if !seen[want] {
+			t.Errorf("memory map missing block %q (have %v)", want, mm.Blocks)
+		}
+	}
+}
+
+// TestSplit6LookupZeroAllocs is the runtime half of the //repro:noalloc
+// annotation on Split6.Lookup.
+func TestSplit6LookupZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations")
+	}
+	s, err := NewSplit6(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := uint64(0x20010db8_0000_0000)
+	ps := []Prefix[V6]{
+		{Key: V6{Hi: site}, Len: 32},
+		{Key: V6{Hi: site}, Len: 64},
+		{Key: V6{Hi: site, Lo: 5 << 32}, Len: 96},
+	}
+	for i, p := range ps {
+		s.Insert(p.Canonical(), label.Label(i+1))
+	}
+	k := V6{Hi: site, Lo: 5 << 32}
+	buf := make([]label.Label, 0, 16)
+	// Warm the scratch pool.
+	if out, _ := s.Lookup(k, buf[:0]); len(out) != 3 {
+		t.Fatalf("warm lookup matched %d labels, want 3", len(out))
+	}
+	matched := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		out, _ := s.Lookup(k, buf[:0])
+		matched += len(out)
+	})
+	if allocs != 0 {
+		t.Errorf("Lookup allocated %v times per run, want 0", allocs)
+	}
+	if matched == 0 {
+		t.Fatal("nested v6 prefixes should match")
+	}
+}

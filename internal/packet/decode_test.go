@@ -1,0 +1,236 @@
+package packet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rule"
+)
+
+func randHeader4(rnd *rand.Rand) rule.Header {
+	protos := []uint8{rule.ProtoTCP, rule.ProtoUDP, rule.ProtoICMP, 89 /* OSPF */}
+	h := rule.Header{
+		SrcIP: rnd.Uint32(),
+		DstIP: rnd.Uint32(),
+		Proto: protos[rnd.Intn(len(protos))],
+	}
+	if h.Proto == rule.ProtoTCP || h.Proto == rule.ProtoUDP {
+		h.SrcPort = uint16(rnd.Intn(1 << 16))
+		h.DstPort = uint16(rnd.Intn(1 << 16))
+	}
+	return h
+}
+
+func randHeader6(rnd *rand.Rand) rule.Header6 {
+	protos := []uint8{rule.ProtoTCP, rule.ProtoUDP, 58 /* ICMPv6 */}
+	h := rule.Header6{
+		SrcIP: rule.Addr6{Hi: rnd.Uint64(), Lo: rnd.Uint64()},
+		DstIP: rule.Addr6{Hi: rnd.Uint64(), Lo: rnd.Uint64()},
+		Proto: protos[rnd.Intn(len(protos))],
+	}
+	if h.Proto == rule.ProtoTCP || h.Proto == rule.ProtoUDP {
+		h.SrcPort = uint16(rnd.Intn(1 << 16))
+		h.DstPort = uint16(rnd.Intn(1 << 16))
+	}
+	return h
+}
+
+// TestDecodeMatchesParseIPv4 pins the in-place decoder to the allocating
+// parser on round-tripped frames and on every truncation of them.
+func TestDecodeMatchesParseIPv4(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		want := randHeader4(rnd)
+		frame := BuildEthernet(BuildIPv4(want))
+		var got rule.Header
+		if err := DecodeEthernet(frame, &got); err != nil {
+			t.Fatalf("DecodeEthernet: %v", err)
+		}
+		if got != want {
+			t.Fatalf("DecodeEthernet = %+v, want %+v", got, want)
+		}
+		for cut := 0; cut < len(frame); cut++ {
+			ph, perr := ParseEthernet(frame[:cut])
+			var dh rule.Header
+			derr := DecodeEthernet(frame[:cut], &dh)
+			if (perr == nil) != (derr == nil) {
+				t.Fatalf("cut %d: parse err %v, decode err %v", cut, perr, derr)
+			}
+			if perr == nil && ph != dh {
+				t.Fatalf("cut %d: parse %+v, decode %+v", cut, ph, dh)
+			}
+		}
+	}
+}
+
+// TestDecodeMatchesParseIPv6 does the same for the IPv6 pair, via
+// BuildEthernet6 round trips.
+func TestDecodeMatchesParseIPv6(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		want := randHeader6(rnd)
+		frame := BuildEthernet6(want)
+		var got rule.Header6
+		if err := DecodeEthernet6(frame, &got); err != nil {
+			t.Fatalf("DecodeEthernet6: %v", err)
+		}
+		if got != want {
+			t.Fatalf("DecodeEthernet6 = %+v, want %+v", got, want)
+		}
+		for cut := 0; cut < len(frame); cut++ {
+			ph, perr := ParseEthernet6(frame[:cut])
+			var dh rule.Header6
+			derr := DecodeEthernet6(frame[:cut], &dh)
+			if (perr == nil) != (derr == nil) {
+				t.Fatalf("cut %d: parse err %v, decode err %v", cut, perr, derr)
+			}
+			if perr == nil && ph != dh {
+				t.Fatalf("cut %d: parse %+v, decode %+v", cut, ph, dh)
+			}
+		}
+	}
+}
+
+// TestDecodeSentinelErrors checks the decoders return the bare package
+// sentinels (the allocation-free error contract).
+func TestDecodeSentinelErrors(t *testing.T) {
+	var h4 rule.Header
+	var h6 rule.Header6
+	if err := DecodeEthernet(nil, &h4); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty frame: %v, want ErrTruncated", err)
+	}
+	v6frame := BuildEthernet6(rule.Header6{Proto: rule.ProtoTCP})
+	if err := DecodeEthernet(v6frame, &h4); !errors.Is(err, ErrNotIP) {
+		t.Errorf("v6 frame on v4 decoder: %v, want ErrNotIP", err)
+	}
+	v4frame := BuildEthernet(BuildIPv4(rule.Header{Proto: rule.ProtoTCP}))
+	if err := DecodeEthernet6(v4frame, &h6); !errors.Is(err, ErrNotIP) {
+		t.Errorf("v4 frame on v6 decoder: %v, want ErrNotIP", err)
+	}
+	bad := BuildIPv4(rule.Header{})
+	bad[0] = 6 << 4
+	if err := DecodeIPv4(bad, &h4); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version 6 on v4 decoder: %v, want ErrBadVersion", err)
+	}
+	bad = BuildIPv4(rule.Header{})
+	bad[0] = 0x42 // IHL 2 < 5
+	if err := DecodeIPv4(bad, &h4); !errors.Is(err, ErrBadIHL) {
+		t.Errorf("short IHL: %v, want ErrBadIHL", err)
+	}
+	bad6 := BuildIPv6(rule.Header6{})
+	bad6[0] = 4 << 4
+	if err := DecodeIPv6(bad6, &h6); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version 4 on v6 decoder: %v, want ErrBadVersion", err)
+	}
+}
+
+// TestDecodeStaleHeaderOverwrite feeds one reused header through frames
+// of different shapes: a portless decode after a ported one must clear
+// the stale ports.
+func TestDecodeStaleHeaderOverwrite(t *testing.T) {
+	var h rule.Header
+	tcp := rule.Header{SrcIP: 1, DstIP: 2, SrcPort: 100, DstPort: 200, Proto: rule.ProtoTCP}
+	if err := DecodeEthernet(BuildEthernet(BuildIPv4(tcp)), &h); err != nil {
+		t.Fatal(err)
+	}
+	icmp := rule.Header{SrcIP: 3, DstIP: 4, Proto: rule.ProtoICMP}
+	if err := DecodeEthernet(BuildEthernet(BuildIPv4(icmp)), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h != icmp {
+		t.Fatalf("reused header = %+v, want %+v", h, icmp)
+	}
+}
+
+// TestBurstDecode drives the slab decoder over a mixed slab (valid v4,
+// valid v6, garbage) and checks compaction and index bookkeeping, twice
+// to exercise storage reuse.
+func TestBurstDecode(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	var b Burst
+	for round := 0; round < 2; round++ {
+		var frames [][]byte
+		var want4 []rule.Header
+		var wantIdx []int
+		for i := 0; i < 64; i++ {
+			switch i % 3 {
+			case 0:
+				h := randHeader4(rnd)
+				frames = append(frames, BuildEthernet(BuildIPv4(h)))
+				want4 = append(want4, h)
+				wantIdx = append(wantIdx, i)
+			case 1:
+				frames = append(frames, BuildEthernet6(randHeader6(rnd)))
+			default:
+				frames = append(frames, []byte{0xde, 0xad})
+			}
+		}
+		hdrs, idx := b.DecodeV4(frames)
+		if len(hdrs) != len(want4) || len(idx) != len(wantIdx) {
+			t.Fatalf("round %d: decoded %d/%d, want %d", round, len(hdrs), len(idx), len(want4))
+		}
+		for j := range hdrs {
+			if hdrs[j] != want4[j] || idx[j] != wantIdx[j] {
+				t.Fatalf("round %d entry %d: got %+v@%d, want %+v@%d",
+					round, j, hdrs[j], idx[j], want4[j], wantIdx[j])
+			}
+		}
+		hdrs6, idx6 := b.DecodeV6(frames)
+		if len(hdrs6) == 0 || len(hdrs6) != len(idx6) {
+			t.Fatalf("round %d: v6 decode %d headers, %d indices", round, len(hdrs6), len(idx6))
+		}
+		for j, k := range idx6 {
+			if k%3 != 1 {
+				t.Fatalf("round %d: v6 index %d not a v6 slab slot", round, k)
+			}
+			_ = hdrs6[j]
+		}
+	}
+}
+
+// TestDecodeZeroAllocs is the runtime half of the //repro:noalloc
+// contract on every in-place decoder: frame→header must stay off the
+// heap.
+func TestDecodeZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations")
+	}
+	f4 := BuildEthernet(BuildIPv4(rule.Header{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: rule.ProtoTCP}))
+	f6 := BuildEthernet6(rule.Header6{SrcIP: rule.Addr6{Hi: 1}, DstIP: rule.Addr6{Lo: 2}, SrcPort: 3, DstPort: 4, Proto: rule.ProtoUDP})
+	var h4 rule.Header
+	var h6 rule.Header6
+	if allocs := testing.AllocsPerRun(500, func() {
+		if err := DecodeEthernet(f4, &h4); err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeIPv4(f4[14:], &h4); err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeEthernet6(f6, &h6); err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeIPv6(f6[14:], &h6); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("single-frame decoders allocated %v times per run, want 0", allocs)
+	}
+
+	frames := [][]byte{f4, f6, {0x01}, f4, f6}
+	var b Burst
+	b.DecodeV4(frames) // warm the slab storage
+	b.DecodeV6(frames)
+	if allocs := testing.AllocsPerRun(500, func() {
+		hdrs, _ := b.DecodeV4(frames)
+		if len(hdrs) != 2 {
+			t.Fatal("v4 burst decode count")
+		}
+		hdrs6, _ := b.DecodeV6(frames)
+		if len(hdrs6) != 2 {
+			t.Fatal("v6 burst decode count")
+		}
+	}); allocs != 0 {
+		t.Errorf("burst decoder allocated %v times per run, want 0", allocs)
+	}
+}

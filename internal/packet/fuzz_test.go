@@ -1,0 +1,123 @@
+package packet
+
+import (
+	"testing"
+
+	"repro/internal/rule"
+)
+
+// Fuzz seed corpus: round-trippable frames plus adversarial shapes
+// (extension-header chains, fragments, bad versions/IHL, truncations).
+func seedFrames() [][]byte {
+	tcp4 := BuildEthernet(BuildIPv4(rule.Header{SrcIP: 0x0a000001, DstIP: 0xc0a80001, SrcPort: 1234, DstPort: 80, Proto: rule.ProtoTCP}))
+	udp4 := BuildEthernet(BuildIPv4(rule.Header{SrcIP: 1, DstIP: 2, SrcPort: 53, DstPort: 53, Proto: rule.ProtoUDP}))
+	icmp4 := BuildEthernet(BuildIPv4(rule.Header{SrcIP: 3, DstIP: 4, Proto: rule.ProtoICMP}))
+	tcp6 := BuildEthernet6(rule.Header6{SrcIP: rule.Addr6{Hi: 0x20010db800000000, Lo: 1}, DstIP: rule.Addr6{Hi: 0x20010db800000000, Lo: 2}, SrcPort: 443, DstPort: 40000, Proto: rule.ProtoTCP})
+	udp6 := BuildEthernet6(rule.Header6{SrcIP: rule.Addr6{Lo: 9}, DstIP: rule.Addr6{Hi: 7}, SrcPort: 53, DstPort: 53, Proto: rule.ProtoUDP})
+
+	// Fragmented IPv4: non-zero fragment offset, no transport header.
+	frag := BuildIPv4(rule.Header{SrcIP: 5, DstIP: 6, Proto: rule.ProtoUDP})
+	frag[6], frag[7] = 0x00, 0x10
+
+	// IPv6 with a hop-by-hop extension header chained to UDP.
+	ext6 := make([]byte, 40+8+8)
+	ext6[0] = 6 << 4
+	ext6[6] = 0 // hop-by-hop
+	ext6[40] = rule.ProtoUDP
+	ext6[41] = 0 // 8-byte extension
+
+	// IPv4 with options (IHL 6) and a huge claimed IHL.
+	opts := make([]byte, 28)
+	opts[0] = 0x46
+	opts[9] = rule.ProtoICMP
+	badIHL := BuildIPv4(rule.Header{})
+	badIHL[0] = 0x4f
+
+	return [][]byte{
+		tcp4, udp4, icmp4, tcp6, udp6,
+		BuildEthernet(frag), BuildEthernet(ext6), BuildEthernet(opts), BuildEthernet(badIHL),
+		tcp4[:20], tcp6[:30], {}, {0x45},
+	}
+}
+
+// FuzzParseIPv4 cross-checks ParseIPv4 against DecodeIPv4 on arbitrary
+// bytes: both must agree on success and header, and neither may panic
+// or over-read.
+func FuzzParseIPv4(f *testing.F) {
+	for _, fr := range seedFrames() {
+		if len(fr) > etherHeaderLen {
+			f.Add(fr[etherHeaderLen:])
+		}
+		f.Add(fr)
+	}
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		ph, perr := ParseIPv4(pkt)
+		var dh rule.Header
+		derr := DecodeIPv4(pkt, &dh)
+		if (perr == nil) != (derr == nil) {
+			t.Fatalf("ParseIPv4 err %v, DecodeIPv4 err %v", perr, derr)
+		}
+		if perr == nil && ph != dh {
+			t.Fatalf("ParseIPv4 %+v, DecodeIPv4 %+v", ph, dh)
+		}
+	})
+}
+
+// FuzzParseIPv6 does the same for the IPv6 pair, whose extension-header
+// walk is the likeliest over-read site.
+func FuzzParseIPv6(f *testing.F) {
+	for _, fr := range seedFrames() {
+		if len(fr) > etherHeaderLen {
+			f.Add(fr[etherHeaderLen:])
+		}
+		f.Add(fr)
+	}
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		ph, perr := ParseIPv6(pkt)
+		var dh rule.Header6
+		derr := DecodeIPv6(pkt, &dh)
+		if (perr == nil) != (derr == nil) {
+			t.Fatalf("ParseIPv6 err %v, DecodeIPv6 err %v", perr, derr)
+		}
+		if perr == nil && ph != dh {
+			t.Fatalf("ParseIPv6 %+v, DecodeIPv6 %+v", ph, dh)
+		}
+	})
+}
+
+// FuzzParseEthernet covers the frame-level dispatch of both families,
+// the burst decoder included.
+func FuzzParseEthernet(f *testing.F) {
+	for _, fr := range seedFrames() {
+		f.Add(fr)
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		ph4, perr4 := ParseEthernet(frame)
+		var dh4 rule.Header
+		derr4 := DecodeEthernet(frame, &dh4)
+		if (perr4 == nil) != (derr4 == nil) {
+			t.Fatalf("ParseEthernet err %v, DecodeEthernet err %v", perr4, derr4)
+		}
+		if perr4 == nil && ph4 != dh4 {
+			t.Fatalf("ParseEthernet %+v, DecodeEthernet %+v", ph4, dh4)
+		}
+		ph6, perr6 := ParseEthernet6(frame)
+		var dh6 rule.Header6
+		derr6 := DecodeEthernet6(frame, &dh6)
+		if (perr6 == nil) != (derr6 == nil) {
+			t.Fatalf("ParseEthernet6 err %v, DecodeEthernet6 err %v", perr6, derr6)
+		}
+		if perr6 == nil && ph6 != dh6 {
+			t.Fatalf("ParseEthernet6 %+v, DecodeEthernet6 %+v", ph6, dh6)
+		}
+		var b Burst
+		hdrs, idx := b.DecodeV4([][]byte{frame, frame})
+		if len(hdrs) != len(idx) {
+			t.Fatal("burst v4 slab length mismatch")
+		}
+		hdrs6, idx6 := b.DecodeV6([][]byte{frame, frame})
+		if len(hdrs6) != len(idx6) {
+			t.Fatal("burst v6 slab length mismatch")
+		}
+	})
+}

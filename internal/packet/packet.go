@@ -167,6 +167,45 @@ func BuildIPv4(h rule.Header) []byte {
 	return pkt
 }
 
+// BuildIPv6 serializes a header into a minimal valid IPv6 packet with an
+// empty transport payload — the inverse of ParseIPv6/DecodeIPv6 for test
+// stimulus and raw-replay frame synthesis. Headers whose Proto is an
+// extension-header value (0, 43, 60) are not representable as a minimal
+// packet; the decoders would walk a nonexistent extension chain.
+func BuildIPv6(h rule.Header6) []byte {
+	transport := 0
+	if h.Proto == rule.ProtoTCP {
+		transport = 20
+	} else if h.Proto == rule.ProtoUDP {
+		transport = 8
+	}
+	pkt := make([]byte, ipv6HeaderLen+transport)
+	pkt[0] = 6 << 4
+	binary.BigEndian.PutUint16(pkt[4:6], uint16(transport)) // payload length
+	pkt[6] = h.Proto
+	pkt[7] = 64 // hop limit
+	binary.BigEndian.PutUint64(pkt[8:16], h.SrcIP.Hi)
+	binary.BigEndian.PutUint64(pkt[16:24], h.SrcIP.Lo)
+	binary.BigEndian.PutUint64(pkt[24:32], h.DstIP.Hi)
+	binary.BigEndian.PutUint64(pkt[32:40], h.DstIP.Lo)
+	if transport > 0 {
+		binary.BigEndian.PutUint16(pkt[40:42], h.SrcPort)
+		binary.BigEndian.PutUint16(pkt[42:44], h.DstPort)
+		if h.Proto == rule.ProtoUDP {
+			binary.BigEndian.PutUint16(pkt[44:46], 8) // UDP length
+		} else {
+			pkt[52] = 5 << 4 // TCP data offset
+		}
+	}
+	return pkt
+}
+
+// BuildEthernet6 serializes a header into a complete IPv6-over-Ethernet
+// frame: BuildIPv6 wrapped by BuildEthernet.
+func BuildEthernet6(h rule.Header6) []byte {
+	return BuildEthernet(BuildIPv6(h))
+}
+
 // BuildEthernet wraps an IP packet in an Ethernet frame with the given
 // EtherType inferred from the IP version byte.
 func BuildEthernet(ip []byte) []byte {

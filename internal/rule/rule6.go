@@ -1,6 +1,10 @@
 package rule
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // IPv6 support. The paper motivates the architecture with the need to
 // migrate to IPv6, where headers differ in field number and length; the
@@ -83,6 +87,99 @@ type Header6 struct {
 	SrcPort uint16
 	DstPort uint16
 	Proto   uint8
+}
+
+// Validate checks structural validity, mirroring Rule.Validate.
+func (r *Rule6) Validate() error {
+	if !r.SrcIP.Valid() {
+		return fmt.Errorf("rule %d: source prefix %v: %w", r.ID, r.SrcIP, ErrBadPrefix)
+	}
+	if !r.DstIP.Valid() {
+		return fmt.Errorf("rule %d: destination prefix %v: %w", r.ID, r.DstIP, ErrBadPrefix)
+	}
+	if !r.SrcPort.Valid() {
+		return fmt.Errorf("rule %d: source port range %v: %w", r.ID, r.SrcPort, ErrBadRange)
+	}
+	if !r.DstPort.Valid() {
+		return fmt.Errorf("rule %d: destination port range %v: %w", r.ID, r.DstPort, ErrBadRange)
+	}
+	if m := r.Proto.Mask; m != 0 && m != 0xff {
+		return fmt.Errorf("rule %d: protocol mask 0x%02x: %w", r.ID, m, ErrBadProtoMask)
+	}
+	return nil
+}
+
+// String formats the rule in the ClassBench-style notation ParseRule6
+// reads, with colon-hex IPv6 prefixes in the address slots.
+func (r *Rule6) String() string {
+	return fmt.Sprintf("@%v\t%v\t%v\t%v\t%v", r.SrcIP, r.DstIP, r.SrcPort, r.DstPort, r.Proto)
+}
+
+// ParsePrefix6 parses colon-hex prefix notation
+// "hhhh:hhhh:hhhh:hhhh:hhhh:hhhh:hhhh:hhhh/len" — eight explicit 16-bit
+// hex groups (no "::" compression), the format Prefix6.String emits.
+func ParsePrefix6(s string) (Prefix6, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix6{}, fmt.Errorf("missing '/len' in %q: %w", s, ErrBadPrefix)
+	}
+	groups := strings.Split(s[:slash], ":")
+	if len(groups) != 8 {
+		return Prefix6{}, fmt.Errorf("address %q: want 8 colon-separated hex groups, got %d: %w",
+			s[:slash], len(groups), ErrBadPrefix)
+	}
+	var a Addr6
+	for i, g := range groups {
+		v, err := strconv.ParseUint(g, 16, 16)
+		if err != nil {
+			return Prefix6{}, fmt.Errorf("address group %q: %w", g, ErrBadPrefix)
+		}
+		if i < 4 {
+			a.Hi = a.Hi<<16 | v
+		} else {
+			a.Lo = a.Lo<<16 | v
+		}
+	}
+	l, err := strconv.ParseUint(s[slash+1:], 10, 8)
+	if err != nil || l > MaxPrefixLen6 {
+		return Prefix6{}, fmt.Errorf("prefix length %q: %w", s[slash+1:], ErrBadPrefix)
+	}
+	return Prefix6{Addr: a, Len: uint8(l)}.Canonical(), nil
+}
+
+// ParseRule6 parses one IPv6 rule line in the same shape as ParseRule:
+//
+//	@<srcPrefix6> <dstPrefix6> <loSP> : <hiSP> <loDP> : <hiDP> <proto>/<mask>
+//
+// with the prefixes in ParsePrefix6's colon-hex notation.
+func ParseRule6(line string) (Rule6, error) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "@") {
+		return Rule6{}, fmt.Errorf("rule must start with '@': %q", line)
+	}
+	fields := strings.Fields(line[1:])
+	if len(fields) != 9 {
+		return Rule6{}, fmt.Errorf("want 9 whitespace-separated tokens, got %d: %q", len(fields), line)
+	}
+	var r Rule6
+	var err error
+	if r.SrcIP, err = ParsePrefix6(fields[0]); err != nil {
+		return Rule6{}, fmt.Errorf("source prefix: %w", err)
+	}
+	if r.DstIP, err = ParsePrefix6(fields[1]); err != nil {
+		return Rule6{}, fmt.Errorf("destination prefix: %w", err)
+	}
+	if r.SrcPort, err = parseRangeTokens(fields[2], fields[3], fields[4]); err != nil {
+		return Rule6{}, fmt.Errorf("source port range: %w", err)
+	}
+	if r.DstPort, err = parseRangeTokens(fields[5], fields[6], fields[7]); err != nil {
+		return Rule6{}, fmt.Errorf("destination port range: %w", err)
+	}
+	if r.Proto, err = ParseProtoMatch(fields[8]); err != nil {
+		return Rule6{}, fmt.Errorf("protocol: %w", err)
+	}
+	r.Action = ActionPermit
+	return r, nil
 }
 
 // Matches reports whether the header satisfies all five field matches.

@@ -1,0 +1,76 @@
+package ruleset
+
+import "repro/internal/rule"
+
+// IPv6 embedding of the IPv4 benchmark universe. The synthetic
+// generator produces IPv4 rulesets and traces; the IPv6 engines are
+// exercised by mapping both through one injective address embedding, so
+// every IPv4 verdict carries over verbatim:
+//
+//	Hi = 2001:db8:<v4 address>      (the documentation /32 plus v4)
+//	Lo = <v4 address> << 32
+//
+// An IPv4 /l prefix with l < 32 becomes a /(32+l) IPv6 prefix — it ends
+// inside the high 64-bit half, exercising the hi-trie of the split-64
+// decomposition with the lo-trie wildcarded. An exact /32 becomes a /96
+// — hi half exact plus 32 bits of the lo half — exercising both tries
+// and the combination table. Ports, protocol, identity and action copy
+// through unchanged, so a linear scan over the embedded Rule6 list
+// yields exactly the IPv4 oracle's verdicts on embedded traffic.
+
+// embed6Site is the 2001:db8::/32 documentation prefix the embedding
+// plants in the top 32 address bits.
+const embed6Site = uint64(0x20010db8)
+
+// Embed6Addr maps one IPv4 address into the embedded IPv6 universe.
+func Embed6Addr(a uint32) rule.Addr6 {
+	return rule.Addr6{Hi: embed6Site<<32 | uint64(a), Lo: uint64(a) << 32}
+}
+
+// Embed6Header maps an IPv4 5-tuple into the embedded IPv6 universe.
+func Embed6Header(h rule.Header) rule.Header6 {
+	return rule.Header6{
+		SrcIP:   Embed6Addr(h.SrcIP),
+		DstIP:   Embed6Addr(h.DstIP),
+		SrcPort: h.SrcPort,
+		DstPort: h.DstPort,
+		Proto:   h.Proto,
+	}
+}
+
+// embed6Prefix maps one IPv4 prefix into the embedded universe.
+func embed6Prefix(p rule.Prefix) rule.Prefix6 {
+	if p.Len < rule.MaxPrefixLen {
+		return rule.Prefix6{
+			Addr: rule.Addr6{Hi: embed6Site<<32 | uint64(p.Addr)},
+			Len:  32 + p.Len,
+		}.Canonical()
+	}
+	return rule.Prefix6{Addr: Embed6Addr(p.Addr), Len: 96}
+}
+
+// Embed6Rule maps an IPv4 rule into the embedded IPv6 universe,
+// preserving identity, priority, ports, protocol and action.
+func Embed6Rule(r rule.Rule) rule.Rule6 {
+	return rule.Rule6{
+		ID:       r.ID,
+		Priority: r.Priority,
+		SrcIP:    embed6Prefix(r.SrcIP),
+		DstIP:    embed6Prefix(r.DstIP),
+		SrcPort:  r.SrcPort,
+		DstPort:  r.DstPort,
+		Proto:    r.Proto,
+		Action:   r.Action,
+	}
+}
+
+// Embed6Set maps a whole IPv4 ruleset into embedded Rule6 values in
+// priority order.
+func Embed6Set(s *rule.Set) []rule.Rule6 {
+	rs := s.Rules()
+	out := make([]rule.Rule6, len(rs))
+	for i := range rs {
+		out[i] = Embed6Rule(rs[i])
+	}
+	return out
+}

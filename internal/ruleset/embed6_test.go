@@ -1,0 +1,62 @@
+package ruleset
+
+import (
+	"testing"
+
+	"repro/internal/rule"
+)
+
+// TestEmbed6PreservesVerdicts is the embedding's correctness contract:
+// a linear scan over the embedded Rule6 list returns exactly the IPv4
+// oracle's verdict for every embedded trace header.
+func TestEmbed6PreservesVerdicts(t *testing.T) {
+	s, err := Generate(Config{Family: ACL, Size: 400, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := GenerateTrace(s, TraceConfig{Size: 512, HitRatio: 0.7, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules6 := Embed6Set(s)
+	for i := range rules6 {
+		if err := rules6[i].Validate(); err != nil {
+			t.Fatalf("embedded rule %d invalid: %v", rules6[i].ID, err)
+		}
+	}
+	for _, h := range trace {
+		want, wantOK := s.Match(h)
+		h6 := Embed6Header(h)
+		gotID, gotOK := 0, false
+		best := 0
+		for i := range rules6 {
+			if rules6[i].Matches(h6) && (!gotOK || rules6[i].Priority < best) {
+				gotID, best, gotOK = rules6[i].ID, rules6[i].Priority, true
+			}
+		}
+		if gotOK != wantOK || (wantOK && gotID != want.ID) {
+			t.Fatalf("header %+v: embedded verdict (%d,%v), v4 oracle (%d,%v)",
+				h, gotID, gotOK, want.ID, wantOK)
+		}
+	}
+}
+
+// TestEmbed6PrefixShapes pins the split-64 coverage intent: short v4
+// prefixes land entirely in the high half, exact /32s straddle into the
+// low half as /96s.
+func TestEmbed6PrefixShapes(t *testing.T) {
+	short := embed6Prefix(rule.Prefix{Addr: 0x0a000000, Len: 8})
+	if short.Len != 40 || short.Addr.Lo != 0 {
+		t.Errorf("embedded /8 = %v, want /40 with zero low half", short)
+	}
+	exact := embed6Prefix(rule.Prefix{Addr: 0xc0a80101, Len: 32})
+	if exact.Len != 96 || exact.Addr.Lo != uint64(0xc0a80101)<<32 {
+		t.Errorf("embedded /32 = %v, want /96 carrying the address in the low half", exact)
+	}
+	if !exact.Matches(Embed6Addr(0xc0a80101)) {
+		t.Error("embedded /96 must match its own embedded address")
+	}
+	if exact.Matches(Embed6Addr(0xc0a80102)) {
+		t.Error("embedded /96 must not match a different embedded address")
+	}
+}

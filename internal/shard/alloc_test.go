@@ -3,6 +3,7 @@ package shard
 import (
 	"testing"
 
+	"repro/internal/packet"
 	"repro/internal/rule"
 )
 
@@ -38,5 +39,42 @@ func TestLookupZeroAllocs(t *testing.T) {
 	}
 	if found == 0 {
 		t.Fatal("wildcard rule should match")
+	}
+}
+
+// TestLookupBytesZeroAllocs is the runtime counterpart of the
+// //repro:noalloc annotation on Sharded.LookupBytes: frame decode plus
+// replica fan-out must stay off the heap.
+func TestLookupBytesZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations")
+	}
+	a, b := &fakeEngine{}, &fakeEngine{}
+	if _, err := a.Insert(wildcard(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Insert(wildcard(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New([]Engine{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := packet.BuildEthernet(packet.BuildIPv4(rule.Header{
+		SrcIP: 0x0a000001, DstIP: 0x0a000002,
+		SrcPort: 1234, DstPort: 80, Proto: rule.ProtoTCP,
+	}))
+	found := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		res, err := s.LookupBytes(frame)
+		if err == nil && res.Found {
+			found++
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("LookupBytes allocated %v times per run, want 0", allocs)
+	}
+	if found == 0 {
+		t.Fatal("wildcard rule should match the decoded frame")
 	}
 }

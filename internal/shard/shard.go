@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hwsim"
+	"repro/internal/packet"
 	"repro/internal/rule"
 )
 
@@ -275,6 +276,45 @@ func (s *Sharded) LookupBatch(hs []rule.Header) []core.Result {
 	}
 	wg.Wait()
 	return out
+}
+
+// burstPool recycles the frame-slab decoders of LookupBytesBatch.
+var burstPool = sync.Pool{New: func() any { return new(packet.Burst) }}
+
+// LookupBytes decodes a raw IPv4-over-Ethernet frame in place and fans
+// it out across the replicas like Lookup — the sharded leg of the
+// bytes-in/verdict-out path.
+//
+//repro:noalloc
+func (s *Sharded) LookupBytes(frame []byte) (core.Result, error) {
+	var h rule.Header
+	if err := packet.DecodeEthernet(frame, &h); err != nil {
+		return core.Result{}, err
+	}
+	res, _ := s.Lookup(h)
+	return res, nil
+}
+
+// LookupBytesBatch decodes a frame slab with a pooled burst decoder and
+// runs the decoded headers through LookupBatch, so the burst fans out
+// over the replicas' RCU snapshots exactly like a header batch. Frames
+// that fail to decode produce the zero Result at their index; the
+// return value is the number of frames decoded. out must hold at least
+// len(frames) results.
+func (s *Sharded) LookupBytesBatch(frames [][]byte, out []core.Result) int {
+	b := burstPool.Get().(*packet.Burst)
+	hdrs, idx := b.DecodeV4(frames)
+	for i := range frames {
+		out[i] = core.Result{}
+	}
+	if len(hdrs) > 0 {
+		for j, res := range s.LookupBatch(hdrs) {
+			out[idx[j]] = res
+		}
+	}
+	n := len(hdrs)
+	burstPool.Put(b)
+	return n
 }
 
 // better returns the higher-priority of two per-shard results (lower

@@ -26,7 +26,10 @@
 // applied. Rule lines use the shared control-plane shape: numeric ID
 // and priority, the action mnemonic, then the rule body in ClassBench
 // notation (the same shape as a ctl BULK body line), so a snapshot
-// body is both machine-checked and human-diffable.
+// body is both machine-checked and human-diffable. A "family" attr of
+// "v6" switches the rule lines to the IPv6 grammar (colon-hex prefixes,
+// see FormatRule6); absent or "v4" means IPv4, so existing files stay
+// readable.
 //
 // Rules are written in the order given; engines export snapshots
 // sorted by ascending rule ID, which makes a save→restore→save cycle
@@ -58,13 +61,50 @@ const magic = "#repro-snapshot v1"
 const maxRules = 1 << 22
 
 // Snapshot is one serializable ruleset plus optional engine metadata.
+// A snapshot holds either IPv4 rules (Rules) or IPv6 rules (Rules6),
+// never both; the "family" attr selects which, defaulting to IPv4 when
+// absent so every version-1 file stays readable.
 type Snapshot struct {
 	// Attrs carries optional key/value metadata (e.g. backend, shards,
-	// cache). Keys must be lowercase [a-z0-9_-]; values one line.
+	// cache, family). Keys must be lowercase [a-z0-9_-]; values one line.
 	Attrs map[string]string
-	// Rules is the ruleset in serialization order. Every rule must
+	// Rules is the IPv4 ruleset in serialization order. Every rule must
 	// carry a unique non-zero ID and a non-zero priority.
 	Rules []rule.Rule
+	// Rules6 is the IPv6 ruleset, under the same contract; it requires
+	// the "family" attr to be "v6".
+	Rules6 []rule.Rule6
+}
+
+// FamilyAttr is the attr key selecting the snapshot's rule family.
+const FamilyAttr = "family"
+
+// family resolves the snapshot's rule family from its attrs: "" or
+// "v4" select IPv4, "v6" selects IPv6, anything else is rejected.
+func family(attrs map[string]string) (v6 bool, err error) {
+	switch attrs[FamilyAttr] {
+	case "", "v4":
+		return false, nil
+	case "v6":
+		return true, nil
+	default:
+		return false, fmt.Errorf("snapfile: unknown family attr %q", attrs[FamilyAttr])
+	}
+}
+
+// checkFamily verifies the rule slices agree with the family attr.
+func checkFamily(s Snapshot) (v6 bool, err error) {
+	v6, err = family(s.Attrs)
+	if err != nil {
+		return false, err
+	}
+	if v6 && len(s.Rules) > 0 {
+		return false, fmt.Errorf("snapfile: IPv4 rules in a family=v6 snapshot")
+	}
+	if !v6 && len(s.Rules6) > 0 {
+		return false, fmt.Errorf("snapfile: IPv6 rules require the family=v6 attr")
+	}
+	return v6, nil
 }
 
 // FormatRule renders one rule in the shared control-plane line shape:
@@ -99,6 +139,43 @@ func ParseRuleLine(line string) (rule.Rule, error) {
 	r, err := rule.ParseRule(line[at:])
 	if err != nil {
 		return rule.Rule{}, err
+	}
+	r.ID, r.Priority, r.Action = id, prio, action
+	return r, nil
+}
+
+// FormatRule6 renders one IPv6 rule in the same line shape, with
+// colon-hex prefixes in the address slots.
+func FormatRule6(r rule.Rule6) string {
+	return fmt.Sprintf("%d %d %s %s", r.ID, r.Priority, r.Action, r.String())
+}
+
+// ParseRuleLine6 parses the FormatRule6 shape — the grammar of an IPv6
+// table's INSERT argument list and snapshot body lines.
+func ParseRuleLine6(line string) (rule.Rule6, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return rule.Rule6{}, fmt.Errorf("want <id> <prio> <action> @rule")
+	}
+	id, err := strconv.Atoi(fields[0])
+	if err != nil || id <= 0 {
+		return rule.Rule6{}, fmt.Errorf("rule id %q", fields[0])
+	}
+	prio, err := strconv.Atoi(fields[1])
+	if err != nil || prio <= 0 {
+		return rule.Rule6{}, fmt.Errorf("priority %q", fields[1])
+	}
+	action, err := rule.ParseAction(strings.ToLower(fields[2]))
+	if err != nil {
+		return rule.Rule6{}, err
+	}
+	at := strings.Index(line, "@")
+	if at < 0 {
+		return rule.Rule6{}, fmt.Errorf("missing @rule body")
+	}
+	r, err := rule.ParseRule6(line[at:])
+	if err != nil {
+		return rule.Rule6{}, err
 	}
 	r.ID, r.Priority, r.Action = id, prio, action
 	return r, nil
@@ -153,6 +230,10 @@ func payload(s Snapshot) (string, error) {
 		b.WriteString(FormatRule(s.Rules[i]))
 		b.WriteByte('\n')
 	}
+	for i := range s.Rules6 {
+		b.WriteString(FormatRule6(s.Rules6[i]))
+		b.WriteByte('\n')
+	}
 	return b.String(), nil
 }
 
@@ -179,14 +260,43 @@ func validateRules(rules []rule.Rule) error {
 	return nil
 }
 
+// validateRules6 is the IPv6 counterpart of validateRules.
+func validateRules6(rules []rule.Rule6) error {
+	seen := make(map[int]struct{}, len(rules))
+	for i := range rules {
+		r := &rules[i]
+		if r.ID <= 0 {
+			return fmt.Errorf("rule %d: non-positive id %d", i+1, r.ID)
+		}
+		if r.Priority <= 0 {
+			return fmt.Errorf("rule %d: non-positive priority %d", r.ID, r.Priority)
+		}
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if _, dup := seen[r.ID]; dup {
+			return fmt.Errorf("rule id %d: %w", r.ID, rule.ErrDuplicateID)
+		}
+		seen[r.ID] = struct{}{}
+	}
+	return nil
+}
+
 // Write serializes the snapshot. The rules are written in the order
 // given; callers wanting the canonical byte-stable form pass them
 // sorted by ascending ID (what Engine.Snapshot returns).
 func Write(w io.Writer, s Snapshot) error {
-	if len(s.Rules) > maxRules {
-		return fmt.Errorf("snapfile: %d rules exceeds the %d-rule format bound", len(s.Rules), maxRules)
+	if _, err := checkFamily(s); err != nil {
+		return err
+	}
+	count := len(s.Rules) + len(s.Rules6)
+	if count > maxRules {
+		return fmt.Errorf("snapfile: %d rules exceeds the %d-rule format bound", count, maxRules)
 	}
 	if err := validateRules(s.Rules); err != nil {
+		return fmt.Errorf("snapfile: %w", err)
+	}
+	if err := validateRules6(s.Rules6); err != nil {
 		return fmt.Errorf("snapfile: %w", err)
 	}
 	attrs, err := attrLines(s)
@@ -203,10 +313,14 @@ func Write(w io.Writer, s Snapshot) error {
 	b.WriteString(attrs)
 	// The count and checksum precede the rules so a reader can size and
 	// verify before applying anything.
-	fmt.Fprintf(&b, "#rules %d\n", len(s.Rules))
+	fmt.Fprintf(&b, "#rules %d\n", count)
 	fmt.Fprintf(&b, "#crc32 %08x\n", crc32.ChecksumIEEE([]byte(body)))
 	for i := range s.Rules {
 		b.WriteString(FormatRule(s.Rules[i]))
+		b.WriteByte('\n')
+	}
+	for i := range s.Rules6 {
+		b.WriteString(FormatRule6(s.Rules6[i]))
 		b.WriteByte('\n')
 	}
 	if _, err := io.WriteString(w, b.String()); err != nil {
@@ -270,11 +384,27 @@ func Read(r io.Reader) (Snapshot, error) {
 	if count < 0 || !haveSum {
 		return Snapshot{}, fmt.Errorf("snapfile: header missing #rules or #crc32")
 	}
-	s.Rules = make([]rule.Rule, 0, count)
+	v6, err := family(s.Attrs)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if v6 {
+		s.Rules6 = make([]rule.Rule6, 0, count)
+	} else {
+		s.Rules = make([]rule.Rule, 0, count)
+	}
 	for i := 0; i < count; i++ {
 		line, err = nextLine(sc)
 		if err != nil {
 			return Snapshot{}, fmt.Errorf("snapfile: rule %d of %d: %w", i+1, count, err)
+		}
+		if v6 {
+			rl, err := ParseRuleLine6(line)
+			if err != nil {
+				return Snapshot{}, fmt.Errorf("snapfile: rule %d: %w", i+1, err)
+			}
+			s.Rules6 = append(s.Rules6, rl)
+			continue
 		}
 		rl, err := ParseRuleLine(line)
 		if err != nil {
@@ -293,6 +423,9 @@ func Read(r io.Reader) (Snapshot, error) {
 		return Snapshot{}, fmt.Errorf("snapfile: checksum mismatch: file says %08x, content is %08x", sum, got)
 	}
 	if err := validateRules(s.Rules); err != nil {
+		return Snapshot{}, fmt.Errorf("snapfile: %w", err)
+	}
+	if err := validateRules6(s.Rules6); err != nil {
 		return Snapshot{}, fmt.Errorf("snapfile: %w", err)
 	}
 	return s, nil
@@ -322,6 +455,16 @@ func Checksum(rules []rule.Rule) uint32 {
 	h := crc32.NewIEEE()
 	for i := range rules {
 		io.WriteString(h, FormatRule(rules[i]))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum32()
+}
+
+// Checksum6 is Checksum over IPv6 rule lines.
+func Checksum6(rules []rule.Rule6) uint32 {
+	h := crc32.NewIEEE()
+	for i := range rules {
+		io.WriteString(h, FormatRule6(rules[i]))
 		h.Write([]byte{'\n'})
 	}
 	return h.Sum32()

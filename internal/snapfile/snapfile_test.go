@@ -217,3 +217,72 @@ func TestReadEOFOnlyAfterFullBody(t *testing.T) {
 		t.Fatal("half a snapshot read back cleanly")
 	}
 }
+
+// TestRoundTripV6 property-tests the IPv6 snapshot family: embedded
+// rulesets survive a write/read cycle bit-exactly, and the family
+// cross-checks reject mixed or mislabeled snapshots.
+func TestRoundTripV6(t *testing.T) {
+	s, err := ruleset.Generate(ruleset.Config{Family: ruleset.ACL, Size: 120, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules6 := ruleset.Embed6Set(s)
+	snap := Snapshot{
+		Attrs:  map[string]string{FamilyAttr: "v6", "backend": "decomposition"},
+		Rules6: rules6,
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got.Rules) != 0 || len(got.Rules6) != len(rules6) {
+		t.Fatalf("round trip families: %d v4 + %d v6, want 0 + %d",
+			len(got.Rules), len(got.Rules6), len(rules6))
+	}
+	for i := range rules6 {
+		if got.Rules6[i] != rules6[i] {
+			t.Fatalf("rule %d round-tripped to %+v, want %+v", i, got.Rules6[i], rules6[i])
+		}
+	}
+	// A second write of the read-back snapshot must be byte-identical.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, got); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("write-read-write is not byte-stable for v6 snapshots")
+	}
+	// Family cross-checks.
+	if err := Write(io.Discard, Snapshot{Rules6: rules6}); err == nil {
+		t.Fatal("IPv6 rules without family=v6 must be rejected")
+	}
+	if err := Write(io.Discard, Snapshot{
+		Attrs: map[string]string{FamilyAttr: "v6"},
+		Rules: []rule.Rule{{ID: 1, Priority: 1, SrcPort: rule.FullPortRange(),
+			DstPort: rule.FullPortRange(), Proto: rule.AnyProto()}},
+	}); err == nil {
+		t.Fatal("IPv4 rules in a family=v6 snapshot must be rejected")
+	}
+	if err := Write(io.Discard, Snapshot{
+		Attrs: map[string]string{FamilyAttr: "v9"},
+	}); err == nil {
+		t.Fatal("unknown family attr must be rejected")
+	}
+	// ParseRuleLine6 round trip with checksum agreement.
+	if Checksum6(rules6) == 0 && len(rules6) > 0 {
+		t.Fatal("suspicious zero checksum")
+	}
+	for i := range rules6 {
+		rl, err := ParseRuleLine6(FormatRule6(rules6[i]))
+		if err != nil {
+			t.Fatalf("ParseRuleLine6: %v", err)
+		}
+		if rl != rules6[i] {
+			t.Fatalf("rule line round trip: %+v vs %+v", rl, rules6[i])
+		}
+	}
+}

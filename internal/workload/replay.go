@@ -8,6 +8,7 @@ import (
 
 	repro "repro"
 	"repro/internal/ctl"
+	"repro/internal/packet"
 	"repro/internal/rule"
 )
 
@@ -76,6 +77,76 @@ func (t EngineTarget) Delete(id int) error {
 
 // Swap implements Target.
 func (t EngineTarget) Swap(rules []rule.Rule) error {
+	_, err := t.Eng.Replace(rules)
+	return err
+}
+
+// RawEngineTarget replays lookups through the raw-frame ingress path:
+// each header is synthesized into its Ethernet+IPv4 wire form and
+// classified via LookupBytes / LookupBytesBatch, exercising the
+// in-place decoders and the pooled burst path the way a NIC-fed
+// pipeline would. Ports of protocols without a wire port encoding
+// (anything but TCP/UDP) are zeroed before synthesis, so the header the
+// decoder recovers is exactly the one the frame was built from. Updates
+// pass through to the engine unchanged. The frame slab and result
+// buffer are reused across calls, so a RawEngineTarget is NOT safe for
+// concurrent use — give each replay worker its own.
+type RawEngineTarget struct {
+	Eng    repro.Engine
+	frames [][]byte
+	out    []repro.Result
+}
+
+// wireHeader normalizes a header to its wire-representable form.
+func wireHeader(h rule.Header) rule.Header {
+	if h.Proto != rule.ProtoTCP && h.Proto != rule.ProtoUDP {
+		h.SrcPort, h.DstPort = 0, 0
+	}
+	return h
+}
+
+// Lookup implements Target.
+func (t *RawEngineTarget) Lookup(h rule.Header) (Verdict, error) {
+	res, err := t.Eng.LookupBytes(packet.BuildEthernet(packet.BuildIPv4(wireHeader(h))))
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Found: res.Found, RuleID: res.RuleID, Priority: res.Priority}, nil
+}
+
+// LookupBatch implements BatchTarget: the backlog becomes one frame
+// slab classified by a single LookupBytesBatch burst.
+func (t *RawEngineTarget) LookupBatch(hs []rule.Header) ([]Verdict, error) {
+	t.frames = t.frames[:0]
+	for _, h := range hs {
+		t.frames = append(t.frames, packet.BuildEthernet(packet.BuildIPv4(wireHeader(h))))
+	}
+	if cap(t.out) < len(hs) {
+		t.out = make([]repro.Result, len(hs))
+	}
+	out := t.out[:len(hs)]
+	t.Eng.LookupBytesBatch(t.frames, out)
+	vs := make([]Verdict, len(hs))
+	for i, r := range out {
+		vs[i] = Verdict{Found: r.Found, RuleID: r.RuleID, Priority: r.Priority}
+	}
+	return vs, nil
+}
+
+// Insert implements Target.
+func (t *RawEngineTarget) Insert(r rule.Rule) error {
+	_, err := t.Eng.Insert(r)
+	return err
+}
+
+// Delete implements Target.
+func (t *RawEngineTarget) Delete(id int) error {
+	_, err := t.Eng.Delete(id)
+	return err
+}
+
+// Swap implements Target.
+func (t *RawEngineTarget) Swap(rules []rule.Rule) error {
 	_, err := t.Eng.Replace(rules)
 	return err
 }
