@@ -39,3 +39,53 @@ func TestEngineLookupZeroAllocs(t *testing.T) {
 		t.Errorf("Engine.Lookup allocates %.1f objects/op on the steady-state path, want 0", allocs)
 	}
 }
+
+// TestEngineLookupBatchIntoZeroAllocs guards the batched fast path on
+// every composition the Engine options can assemble: plain
+// decomposition (the stage-fused burst kernel), the flow cache's pooled
+// miss compaction, the shard layer's pooled column merge, and the two
+// stacked. Once the pools are warm and the cache is filled, a
+// LookupBatchInto into caller-owned memory must not allocate.
+func TestEngineLookupBatchIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard runs in non-race CI step")
+	}
+	rs, err := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 300, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := repro.GenerateTrace(rs, repro.TraceConfig{Size: 64, HitRatio: 0.9, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compositions := []struct {
+		name string
+		opts []repro.Option
+	}{
+		{"plain", nil},
+		{"cache", []repro.Option{repro.WithFlowCache(4096)}},
+		{"shards4", []repro.Option{repro.WithShards(4)}},
+		{"shards4+cache", []repro.Option{repro.WithShards(4), repro.WithFlowCache(4096)}},
+	}
+	for _, c := range compositions {
+		t.Run(c.name, func(t *testing.T) {
+			eng, err := repro.New(append([]repro.Option{repro.WithRules(rs)}, c.opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := make([]repro.Result, len(trace))
+			// Warm the scratch pools and fill the flow cache.
+			eng.LookupBatchInto(trace, out)
+			eng.LookupBatchInto(trace, out)
+			allocs := testing.AllocsPerRun(200, func() {
+				eng.LookupBatchInto(trace, out)
+			})
+			if allocs != 0 {
+				t.Errorf("%s: LookupBatchInto allocates %.1f objects/batch steady state, want 0", c.name, allocs)
+			}
+			if !out[0].Found && !out[1].Found {
+				t.Fatal("trace should mostly hit")
+			}
+		})
+	}
+}

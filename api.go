@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/hwsim"
@@ -212,8 +213,34 @@ func (c *Classifier) Lookup(h Header) (Result, Cost) {
 // against one consistent snapshot, amortizing the snapshot acquisition
 // and the per-field label buffers over the batch.
 func (c *Classifier) LookupBatch(hs []Header) []Result {
-	res, _ := c.LookupBatchCost(hs)
-	return res
+	out := make([]Result, len(hs))
+	c.LookupBatchInto(hs, out)
+	return out
+}
+
+// v4BatchScratch is the pooled header-conversion slab behind
+// Classifier.LookupBatchInto: public rule.Header values are re-typed to
+// the core's key-typed headers without a per-call allocation.
+type v4BatchScratch struct {
+	hdrs []core.Header[lpm.V4]
+}
+
+var v4BatchPool = sync.Pool{New: func() any { return new(v4BatchScratch) }}
+
+// LookupBatchInto implements Engine: it classifies the headers in order
+// into out[:len(hs)] — the allocation-free batch path. Batches of four
+// or more headers run through the core's stage-fused vector kernel.
+//
+//repro:noalloc
+func (c *Classifier) LookupBatchInto(hs []Header, out []Result) {
+	sc := v4BatchPool.Get().(*v4BatchScratch)
+	hdrs := sc.hdrs[:0]
+	for _, h := range hs {
+		hdrs = append(hdrs, core.V4Header(h))
+	}
+	sc.hdrs = hdrs
+	c.inner.LookupBatchInto(hdrs, out[:len(hs)])
+	v4BatchPool.Put(sc)
 }
 
 // LookupBatchCost classifies a batch like LookupBatch and additionally
@@ -319,12 +346,31 @@ func (c *Classifier6) Lookup(h Header6) (Result, Cost) {
 // LookupBatch classifies the headers in order against one consistent
 // snapshot, mirroring the IPv4 engines.
 func (c *Classifier6) LookupBatch(hs []Header6) []Result {
-	headers := make([]core.Header[lpm.V6], len(hs))
-	for i, h := range hs {
-		headers[i] = core.V6Header(h)
+	out := make([]Result, len(hs))
+	c.LookupBatchInto(hs, out)
+	return out
+}
+
+// v6BatchScratch is the IPv6 counterpart of v4BatchScratch.
+type v6BatchScratch struct {
+	hdrs []core.Header[lpm.V6]
+}
+
+var v6BatchPool = sync.Pool{New: func() any { return new(v6BatchScratch) }}
+
+// LookupBatchInto classifies the headers in order into out[:len(hs)],
+// mirroring the IPv4 engines' allocation-free batch path.
+//
+//repro:noalloc
+func (c *Classifier6) LookupBatchInto(hs []Header6, out []Result) {
+	sc := v6BatchPool.Get().(*v6BatchScratch)
+	hdrs := sc.hdrs[:0]
+	for _, h := range hs {
+		hdrs = append(hdrs, core.V6Header(h))
 	}
-	res, _ := c.inner.LookupBatch(headers)
-	return res
+	sc.hdrs = hdrs
+	c.inner.LookupBatchInto(hdrs, out[:len(hs)])
+	v6BatchPool.Put(sc)
 }
 
 // Snapshot exports the installed IPv6 ruleset from one consistent RCU

@@ -173,15 +173,23 @@ func (e *baselineEngine) Lookup(h Header) (Result, Cost) {
 // LookupBatch implements Engine: one snapshot acquisition for the whole
 // batch.
 func (e *baselineEngine) LookupBatch(hs []Header) []Result {
+	out := make([]Result, len(hs))
+	e.LookupBatchInto(hs, out)
+	return out
+}
+
+// LookupBatchInto implements Engine: one snapshot acquisition, verdicts
+// into caller-owned memory. The adapter itself is allocation-free;
+// whether the wrapped baseline's Match allocates depends on the
+// algorithm.
+func (e *baselineEngine) LookupBatchInto(hs []Header, out []Result) {
 	hd := e.store.Acquire()
 	cls := hd.Value()
-	out := make([]Result, len(hs))
 	for i, h := range hs {
 		r, ok := cls.Match(h)
 		out[i] = matchResult(r, ok)
 	}
 	hd.Release()
-	return out
 }
 
 // Memory implements Engine, presenting the baseline's byte estimate as

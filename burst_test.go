@@ -1,0 +1,166 @@
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	repro "repro"
+)
+
+// batchCompositions are the engine stackings the burst path crosses:
+// bare backend, sharded fan-out, flow cache, and both.
+var batchCompositions = []struct {
+	name string
+	opts []repro.Option
+}{
+	{"plain", nil},
+	{"shards4", []repro.Option{repro.WithShards(4)}},
+	{"cache", []repro.Option{repro.WithFlowCache(1024)}},
+	{"shards4+cache", []repro.Option{repro.WithShards(4), repro.WithFlowCache(1024)}},
+}
+
+// verdictEq compares the classification verdict (HPMR identity), the
+// property the burst path must preserve bit-for-bit against the
+// single-header path.
+func verdictEq(a, b repro.Result) bool {
+	return a.Found == b.Found && a.RuleID == b.RuleID && a.Priority == b.Priority
+}
+
+// TestBurstVsSingleDifferential is the burst-vs-single property: for
+// every backend × composition × burst size — straddling the fusion
+// threshold (1, 3), one full fused pass (64) and a chunked pass (257 >
+// maxBurst) — LookupBatch and LookupBatchInto must return exactly the
+// verdicts single-header Lookup produces.
+func TestBurstVsSingleDifferential(t *testing.T) {
+	rs, err := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 100, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := repro.GenerateTrace(rs, repro.TraceConfig{Size: 257, HitRatio: 0.8, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range repro.Backends() {
+		for _, c := range batchCompositions {
+			t.Run(fmt.Sprintf("%s/%s", b, c.name), func(t *testing.T) {
+				opts := append([]repro.Option{repro.WithBackend(b), repro.WithRules(rs)}, c.opts...)
+				eng, err := repro.New(opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				single := make([]repro.Result, len(trace))
+				for i, h := range trace {
+					single[i], _ = eng.Lookup(h)
+				}
+				for _, burst := range []int{1, 3, 64, 257} {
+					out := make([]repro.Result, burst)
+					for off := 0; off < len(trace); off += burst {
+						end := off + burst
+						if end > len(trace) {
+							end = len(trace)
+						}
+						hs := trace[off:end]
+						got := eng.LookupBatch(hs)
+						if len(got) != len(hs) {
+							t.Fatalf("burst %d: LookupBatch returned %d results for %d headers", burst, len(got), len(hs))
+						}
+						eng.LookupBatchInto(hs, out[:len(hs)])
+						for j := range hs {
+							want := single[off+j]
+							if !verdictEq(got[j], want) {
+								t.Fatalf("burst %d header %d: LookupBatch %+v != Lookup %+v", burst, off+j, got[j], want)
+							}
+							if !verdictEq(out[j], want) {
+								t.Fatalf("burst %d header %d: LookupBatchInto %+v != Lookup %+v", burst, off+j, out[j], want)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBurstChurnDifferential drives fused bursts while a writer flips
+// the whole ruleset between two generations with Replace. Every verdict
+// must equal what one of the two rulesets' linear oracles produces for
+// that header — the RCU swap (single pointer store, sharded or not) and
+// the flow cache's generation stamp guarantee no burst ever observes a
+// mix within one header's classification. Run under -race this doubles
+// as the data-race exercise for the burst kernel's pooled slabs.
+func TestBurstChurnDifferential(t *testing.T) {
+	rsA, err := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 80, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsB, err := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 80, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := repro.GenerateTrace(rsA, repro.TraceConfig{Size: 256, HitRatio: 0.8, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type oracle struct {
+		found bool
+		id    int
+	}
+	oracleA := make([]oracle, len(trace))
+	oracleB := make([]oracle, len(trace))
+	for i, h := range trace {
+		rA, okA := rsA.Match(h)
+		rB, okB := rsB.Match(h)
+		oracleA[i] = oracle{okA, rA.ID}
+		oracleB[i] = oracle{okB, rB.ID}
+	}
+	for _, c := range batchCompositions {
+		t.Run(c.name, func(t *testing.T) {
+			opts := append([]repro.Option{repro.WithRules(rsA)}, c.opts...)
+			eng, err := repro.New(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					next := rsB
+					if i%2 == 1 {
+						next = rsA
+					}
+					if _, err := eng.Replace(next.Rules()); err != nil {
+						t.Errorf("Replace: %v", err)
+						return
+					}
+				}
+			}()
+			const burst = 64
+			out := make([]repro.Result, burst)
+			for iter := 0; iter < 100; iter++ {
+				off := (iter * burst) % (len(trace) - burst + 1)
+				hs := trace[off : off+burst]
+				eng.LookupBatchInto(hs, out)
+				for j := range hs {
+					got := out[j]
+					a, b := oracleA[off+j], oracleB[off+j]
+					okA := got.Found == a.found && (!got.Found || got.RuleID == a.id)
+					okB := got.Found == b.found && (!got.Found || got.RuleID == b.id)
+					if !okA && !okB {
+						t.Fatalf("header %d: verdict %+v matches neither ruleset generation (A=%+v, B=%+v)",
+							off+j, got, a, b)
+					}
+				}
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}

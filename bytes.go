@@ -140,16 +140,21 @@ func (c *cachedEngine) LookupBytes(frame []byte) (Result, error) {
 
 // LookupBytesBatch implements Engine: decoded headers probe the cache
 // with once-computed hashes; only the misses reach the inner engine's
-// batched path, and their fills reuse the same hashes.
+// batched path — compacted into pooled scratch, classified by one
+// batched inner lookup, and scattered back — and their fills reuse the
+// same hashes. Zero allocations per slab in steady state.
+//
+//repro:noalloc
 func (c *cachedEngine) LookupBytesBatch(frames [][]byte, out []Result) int {
 	b := rawBurstPool.Get().(*packet.Burst)
 	hdrs, idx := b.DecodeV4(frames)
 	for i := range frames {
 		out[i] = Result{}
 	}
-	var missIdx []int
-	var miss []rule.Header
-	var missKey []uint64
+	sc := cacheBatchPool.Get().(*cacheBatchScratch)
+	missIdx := sc.missIdx[:0]
+	miss := sc.miss[:0]
+	missKey := sc.missKey[:0]
 	var fillGen uint64
 	for j, h := range hdrs {
 		k := c.cache.Hash(h)
@@ -158,10 +163,10 @@ func (c *cachedEngine) LookupBytesBatch(frames [][]byte, out []Result) int {
 			out[idx[j]] = res
 			continue
 		}
-		if miss == nil {
+		if len(miss) == 0 {
 			// The first generation observed lower-bounds every later one
 			// and precedes the engine read below, so stamping all fills
-			// with it is safe (see cachedEngine.LookupBatch).
+			// with it is safe (see cachedEngine.LookupBatchInto).
 			fillGen = gen
 		}
 		missIdx = append(missIdx, idx[j])
@@ -169,11 +174,19 @@ func (c *cachedEngine) LookupBytesBatch(frames [][]byte, out []Result) int {
 		missKey = append(missKey, k)
 	}
 	if len(miss) > 0 {
-		for j, res := range c.inner.LookupBatch(miss) {
-			out[missIdx[j]] = res
-			c.cache.PutHashed(missKey[j], fillGen, miss[j], res)
+		res := sc.res[:0]
+		for range miss {
+			res = append(res, Result{})
+		}
+		sc.res = res
+		c.inner.LookupBatchInto(miss, res)
+		for j, r := range res {
+			out[missIdx[j]] = r
+			c.cache.PutHashed(missKey[j], fillGen, miss[j], r)
 		}
 	}
+	sc.missIdx, sc.miss, sc.missKey = missIdx, miss, missKey
+	cacheBatchPool.Put(sc)
 	n := len(hdrs)
 	rawBurstPool.Put(b)
 	return n

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/flowcache"
 	"repro/internal/hwsim"
@@ -133,8 +134,36 @@ func (c *cachedEngine) Lookup(h Header) (Result, Cost) {
 // order.
 func (c *cachedEngine) LookupBatch(hs []Header) []Result {
 	out := make([]Result, len(hs))
-	var missIdx []int
-	var miss []rule.Header
+	c.LookupBatchInto(hs, out)
+	return out
+}
+
+// cacheBatchScratch is the pooled miss-compaction working set of the
+// flow-cached batch paths: the miss headers are compacted into one
+// contiguous slab (so the inner engine sees a dense burst for its
+// stage-fused kernel), classified into a pooled result slab, and
+// scattered back to their original positions. missKey carries the
+// once-computed 5-tuple hashes on the raw-bytes path.
+type cacheBatchScratch struct {
+	missIdx []int
+	miss    []rule.Header
+	missKey []uint64
+	res     []Result
+}
+
+var cacheBatchPool = sync.Pool{New: func() any { return new(cacheBatchScratch) }}
+
+// LookupBatchInto implements Engine: all N cache slots are probed
+// first, the misses are compacted into pooled scratch, one batched
+// inner lookup classifies them (the fused burst on the decomposition
+// backend), and the verdicts scatter back — zero allocations per call
+// in steady state.
+//
+//repro:noalloc
+func (c *cachedEngine) LookupBatchInto(hs []Header, out []Result) {
+	sc := cacheBatchPool.Get().(*cacheBatchScratch)
+	missIdx := sc.missIdx[:0]
+	miss := sc.miss[:0]
 	var fillGen uint64
 	for i, h := range hs {
 		res, gen, ok := c.cache.Get(h)
@@ -142,7 +171,7 @@ func (c *cachedEngine) LookupBatch(hs []Header) []Result {
 			out[i] = res
 			continue
 		}
-		if miss == nil {
+		if len(miss) == 0 {
 			// The first generation observed lower-bounds every later
 			// one and precedes the engine read below, so stamping all
 			// fills with it is safe.
@@ -152,12 +181,19 @@ func (c *cachedEngine) LookupBatch(hs []Header) []Result {
 		miss = append(miss, h)
 	}
 	if len(miss) > 0 {
-		for j, res := range c.inner.LookupBatch(miss) {
-			out[missIdx[j]] = res
-			c.cache.Put(fillGen, miss[j], res)
+		res := sc.res[:0]
+		for range miss {
+			res = append(res, Result{})
+		}
+		sc.res = res
+		c.inner.LookupBatchInto(miss, res)
+		for j, r := range res {
+			out[missIdx[j]] = r
+			c.cache.Put(fillGen, miss[j], r)
 		}
 	}
-	return out
+	sc.missIdx, sc.miss = missIdx, miss
+	cacheBatchPool.Put(sc)
 }
 
 // Memory reports the inner engine's RAM blocks plus the cache slot

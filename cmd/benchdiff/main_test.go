@@ -237,3 +237,38 @@ func TestCompareWorkloadErrorRecordsSkipped(t *testing.T) {
 		t.Fatalf("unmeasured record gated: %+v", regs)
 	}
 }
+
+// brec builds one stage-fused burst-sweep record; the burst size rides
+// in the batch identity field, so each point on the burst curve is its
+// own gated comparison.
+func brec(burst int, ns float64) Record {
+	return Record{
+		Experiment: "engine_burst_lookup", Backend: "Decomposition", Family: "acl",
+		Rules: 10000, TraceLen: 4096, Parallel: 4, Batch: burst, Shards: 1,
+		NsPerLookup: ns,
+	}
+}
+
+func TestCompareGatesBurstSweep(t *testing.T) {
+	old := []Record{brec(1, 1500), brec(16, 1400), brec(64, 900), brec(256, 880)}
+	cur := []Record{brec(1, 1550), brec(16, 1450), brec(64, 1200), brec(256, 890)}
+	regs, _ := compare(old, cur, 15, 5, 50)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the burst-64 one", regs)
+	}
+	if r := regs[0]; r.Old != 900 || r.New != 1200 {
+		t.Errorf("wrong burst point flagged: %+v", r)
+	}
+	// Different burst sizes are distinct identities: the burst-1 baseline
+	// must never gate the burst-64 measurement, and the burst records
+	// must never collide with the engine_parallel_lookup records that
+	// share backend/rules/trace identity.
+	if regs, _ := compare([]Record{brec(1, 1500)}, []Record{brec(64, 900)}, 15, 5, 50); len(regs) != 0 {
+		t.Fatalf("cross-burst comparison: %+v", regs)
+	}
+	par := rec("Decomposition", 1, 100)
+	par.Rules, par.TraceLen = 10000, 4096
+	if regs, _ := compare([]Record{par}, []Record{brec(64, 900)}, 15, 5, 50); len(regs) != 0 {
+		t.Fatalf("cross-experiment comparison: %+v", regs)
+	}
+}

@@ -11,6 +11,7 @@
 //	lookupbench -fig3 -fig4 -throughput
 //	lookupbench -engines -parallel 8 -batch 64 -shards 1,4 -json BENCH_lookup.json
 //	lookupbench -engines -zipf 1.2 -flowcache 65536
+//	lookupbench -engines -burst 1,16,64,256
 //
 // The -engines experiment drives every backend through the public Engine
 // API with parallel batched lookups (concurrent goroutines sharing one
@@ -20,7 +21,12 @@
 // Zipf-skewed trace (flow popularity drawn from a Zipf(s) distribution,
 // the shape of real traffic) against each backend twice — once bare and
 // once behind repro.WithFlowCache(-flowcache slots) — emitting
-// cached-vs-uncached records with the measured cache hit rate.
+// cached-vs-uncached records with the measured cache hit rate. With
+// -burst it additionally sweeps the decomposition backend's stage-fused
+// vector kernel across the given burst sizes through the
+// allocation-free LookupBatchInto entry point, emitting
+// engine_burst_lookup records so the burst-size curve is part of the
+// tracked trajectory.
 //
 // The -raw experiment drives the zero-allocation raw-frame ingress
 // path: synthesized Ethernet frames stream through LookupBytesBatch on
@@ -73,6 +79,7 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent lookup goroutines for -engines")
 		batch      = flag.Int("batch", 64, "LookupBatch size for -engines (1 = single-lookup path)")
 		shardsFlag = flag.String("shards", "1,4", "comma-separated shard counts for -engines (1 = unsharded)")
+		burstFlag  = flag.String("burst", "", "comma-separated burst sizes for the -engines stage-fused sweep ('' disables)")
 		zipfS      = flag.Float64("zipf", 1.2, "Zipf skew s for the -engines flow-cache experiment (> 1; 0 disables)")
 		cacheSize  = flag.Int("flowcache", 1<<16, "flow-cache slots for the -zipf experiment")
 		jsonOut    = flag.String("json", "BENCH_lookup.json", "machine-readable output file for -engines ('' disables)")
@@ -101,6 +108,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lookupbench: -shards:", err)
 		os.Exit(2)
 	}
+	var burstSizes []int
+	if *burstFlag != "" {
+		burstSizes, err = parseSizes(*burstFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lookupbench: -burst:", err)
+			os.Exit(2)
+		}
+	}
 	if *zipfS != 0 && *zipfS <= 1 {
 		fmt.Fprintln(os.Stderr, "lookupbench: -zipf wants s > 1 (or 0 to disable)")
 		os.Exit(2)
@@ -112,7 +127,7 @@ func main() {
 	r := runner{
 		sizes: sizes, traceN: *traceN, seed: *seed,
 		parallel: *parallel, batch: *batch, shards: shardCounts,
-		zipf: *zipfS, flowCache: *cacheSize,
+		burst: burstSizes, zipf: *zipfS, flowCache: *cacheSize,
 	}
 	if *table1 {
 		r.tableI()
@@ -133,6 +148,9 @@ func main() {
 		var records []BenchRecord
 		if *engines {
 			records = r.engines()
+			if len(r.burst) > 0 {
+				records = append(records, r.burstSweep()...)
+			}
 			if r.zipf > 1 {
 				records = append(records, r.zipfCache()...)
 			}
@@ -169,6 +187,7 @@ type runner struct {
 	parallel  int
 	batch     int
 	shards    []int
+	burst     []int
 	zipf      float64
 	flowCache int
 }
@@ -496,6 +515,87 @@ func (r runner) engines() []BenchRecord {
 	tw.Flush()
 	fmt.Println()
 	return records
+}
+
+// burstSweep measures the stage-fused vector kernel's burst-size
+// curve: the decomposition backend classifies the trace through the
+// allocation-free LookupBatchInto entry point at each -burst size, so
+// the fused-versus-header-at-a-time crossover (fusion kicks in at
+// bursts >= 4) is a tracked artifact rather than a one-off benchmark.
+func (r runner) burstSweep() []BenchRecord {
+	fmt.Printf("== Engine API: stage-fused burst sweep (%d goroutines, bursts %v) ==\n",
+		r.parallel, r.burst)
+	tw := newTab()
+	fmt.Fprintln(tw, "backend\truleset\tburst\tns/lookup\tMlookups/s")
+	var records []BenchRecord
+	b := repro.BackendDecomposition
+	for _, size := range r.sizes {
+		set, trace := r.workload(ruleset.ACL, size)
+		name := fmt.Sprintf("acl-%s", ruleset.SizeName(size))
+		for _, burst := range r.burst {
+			rec := BenchRecord{
+				Experiment: "engine_burst_lookup",
+				Backend:    b.String(),
+				Family:     "acl",
+				Rules:      set.Len(),
+				TraceLen:   len(trace),
+				Parallel:   r.parallel,
+				Batch:      burst,
+				Shards:     1,
+			}
+			eng, err := repro.New(repro.WithBackend(b), repro.WithRules(set))
+			if err != nil {
+				rec.Error = err.Error()
+				records = append(records, rec)
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%v\t-\n", b, name, burst, err)
+				continue
+			}
+			nsPerOp, mlps := r.measureBurst(eng, trace, burst)
+			rec.NsPerLookup = nsPerOp
+			rec.MLookupsPerSec = mlps
+			rec.MemoryBytes = eng.Memory().TotalBytes()
+			rec.Incremental = eng.IncrementalUpdate()
+			records = append(records, rec)
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.2f\n", b, name, burst, nsPerOp, mlps)
+		}
+	}
+	tw.Flush()
+	fmt.Println()
+	return records
+}
+
+// measureBurst streams the trace through LookupBatchInto at the given
+// burst size from r.parallel goroutines, each with a preallocated
+// result slab, and returns wall-clock ns per lookup and aggregate
+// Mlookups/s.
+func (r runner) measureBurst(eng repro.Engine, trace []rule.Header, burst int) (nsPerOp, mlps float64) {
+	workers := r.parallel // clamped to >= 1 at flag parsing
+	run := func() time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out := make([]repro.Result, burst)
+				for off := 0; off < len(trace); off += burst {
+					end := off + burst
+					if end > len(trace) {
+						end = len(trace)
+					}
+					eng.LookupBatchInto(trace[off:end], out[:end-off])
+				}
+			}()
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	run() // warm up pools and lazy tables
+	elapsed := run()
+	lookups := workers * len(trace)
+	nsPerOp = float64(elapsed.Nanoseconds()) / float64(lookups)
+	mlps = float64(lookups) / elapsed.Seconds() / 1e6
+	return nsPerOp, mlps
 }
 
 // zipfTrace resamples the base trace with Zipf(s)-distributed flow

@@ -144,3 +144,34 @@ func TestFmtBytes(t *testing.T) {
 		}
 	}
 }
+
+// TestBurstSweepRecords runs the stage-fused sweep at a tiny scale and
+// checks one engine_burst_lookup record comes out per configured burst
+// size, with the burst riding in the batch identity field and a
+// positive measured throughput.
+func TestBurstSweepRecords(t *testing.T) {
+	r := runner{sizes: []int{40}, traceN: 120, seed: 1, parallel: 2,
+		burst: []int{1, 16, 64}}
+	records := r.burstSweep()
+	if len(records) != len(r.burst) {
+		t.Fatalf("got %d records, want one per burst size %v", len(records), r.burst)
+	}
+	seen := map[int]bool{}
+	for _, rec := range records {
+		if rec.Experiment != "engine_burst_lookup" {
+			t.Errorf("experiment = %q", rec.Experiment)
+		}
+		if rec.Backend != "Decomposition" {
+			t.Errorf("backend = %q", rec.Backend)
+		}
+		seen[rec.Batch] = true
+		if rec.Error == "" && rec.MLookupsPerSec <= 0 {
+			t.Errorf("burst %d: non-positive throughput", rec.Batch)
+		}
+	}
+	for _, b := range r.burst {
+		if !seen[b] {
+			t.Errorf("missing burst %d in %v", b, seen)
+		}
+	}
+}

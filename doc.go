@@ -50,6 +50,36 @@
 // tables built at rule-update time and read-only during lookups.
 // AllocsPerRun guard tests pin the 0 allocs/op property.
 //
+// # Vector burst path
+//
+// For batches the decomposition engine does not classify header-at-a-
+// time: LookupBatchInto runs a stage-fused vector kernel. Bursts of at
+// least 4 headers (smaller bursts fall back to the scalar loop, whose
+// per-header overhead they cannot amortize) are processed one *stage*
+// at a time across the whole burst — source LPM over all N headers,
+// then destination LPM over all N, then ports and protocol, then the
+// label combination and Rule Filter probes over all N — so each
+// stage's tables stream through the cache once per burst instead of
+// once per header. Per-field label lists land in a pooled
+// structure-of-arrays slab (one label arena per field plus int32
+// offsets, no per-header slice headers), and bursts larger than 256
+// are chunked so the slab stays cache-resident.
+//
+//	out := make([]repro.Result, len(hs))
+//	eng.LookupBatchInto(hs, out)        // 0 allocs/op, any composition
+//
+// LookupBatch is the convenience form (it allocates the result slice
+// and delegates); LookupBatchInto is the steady-state form and is
+// allocation-free on every composition: a flow-cached engine probes
+// the cache for all N, compacts the misses into a pooled scratch
+// burst, runs one fused lookup over just the misses and scatters the
+// verdicts back; a sharded engine reuses one pooled result column
+// across its replica merges; LookupBytesBatch feeds decoded frames
+// through the same kernel. Burst sizes of 64 or more get the full
+// fusion benefit (see BenchmarkLookupBatch and the engine_burst_lookup
+// records cmd/lookupbench -burst emits into BENCH_lookup.json, where
+// CI tracks the burst-size curve).
+//
 // # Raw-packet ingestion
 //
 // Lookups need not start from a parsed Header: every Engine also

@@ -38,9 +38,15 @@ type Engine interface {
 	// Len returns the number of installed rules.
 	Len() int
 	// Lookup classifies one header; LookupBatch classifies a batch
-	// against one consistent snapshot.
+	// against one consistent snapshot. LookupBatchInto is the
+	// allocation-free form: it classifies into caller-owned memory
+	// (out must hold at least len(hs) results), so pooled callers pay
+	// zero allocations per batch in steady state. Batches of four or
+	// more headers run the decomposition backend's stage-fused vector
+	// kernel (see the package "Vector burst path" doc section).
 	Lookup(h Header) (Result, Cost)
 	LookupBatch(hs []Header) []Result
+	LookupBatchInto(hs []Header, out []Result)
 	// LookupBytes decodes a raw IPv4-over-Ethernet frame in place and
 	// classifies it — the bytes-in/verdict-out ingestion path, which
 	// never allocates on the decomposition backend. LookupBytesBatch

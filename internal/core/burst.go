@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/hwsim"
+	"repro/internal/label"
+)
+
+// The stage-fused vector lookup path. The header-at-a-time path
+// (lookupInto) walks all five field engines and the full combine for
+// packet i before touching packet i+1, so every header pays cold
+// trie and flat-table cache lines: by the time packet i+1 probes the
+// source trie, packet i's destination trie, range trees and Rule
+// Filter probes have evicted it. The burst kernel instead runs each
+// pipeline *stage* across the whole burst before advancing — src-LPM
+// over all N headers, then dst-LPM over all N, then the port and
+// protocol engines, then the combine+Rule-Filter stage over all N —
+// so each stage's tables stay hot for N consecutive uses (the
+// VPP/DPDK vector-processing discipline applied to the paper's
+// decomposition pipeline).
+
+// maxBurst bounds how many headers one fused pass processes; longer
+// batches are chunked. 256 headers keeps the per-field offset tables
+// inside the pooled slab small (fixed arrays, no bounds bookkeeping)
+// while being far past the point where the locality win saturates.
+const maxBurst = 256
+
+// burstFuseMin is the batch length below which LookupBatchInto stays
+// on the header-at-a-time path: a 2-3 header batch re-walks every
+// stage's tables anyway, so fusion only adds offset bookkeeping.
+const burstFuseMin = 4
+
+// burstBuffers is the pooled SoA slab behind the fused kernel. Label
+// lists are stored structure-of-arrays: one arena per field holds the
+// lists of every header in the burst back to back, and off[f][i]
+// delimits header i's slice of field f's arena (off[f][n] closes the
+// last one). cyc and rds carry each header's running engine-stage
+// cost (max cycles across engines, summed reads) between the engine
+// stages and the combine stage.
+type burstBuffers struct {
+	arena [numFields][]label.Label
+	off   [numFields][maxBurst + 1]int32
+	cyc   [maxBurst]int32
+	rds   [maxBurst]int32
+}
+
+// burstBufPool recycles burst slabs across lookups and classifier
+// instances (like bufPool, the slabs carry no per-classifier state).
+// After a warm-up burst the arenas hold enough capacity for any
+// burst's label lists, so the fused batch path performs zero heap
+// allocations in steady state.
+var burstBufPool = sync.Pool{New: func() any { return new(burstBuffers) }}
+
+// lookupBurstInto classifies hs (len ≤ maxBurst) into out[:len(hs)]
+// stage by stage. Per-header results, costs and statistics are
+// identical to lookupInto — the engine stage still combines by max
+// (the LPM critical path), each ULI probe still costs one cycle, and
+// the atomic counters receive the same totals, just batched into one
+// update per counter per burst instead of one per header.
+//
+//repro:noalloc
+func (c *Classifier[K]) lookupBurstInto(hs []Header[K], out []Result, bufs *burstBuffers) hwsim.Cost {
+	n := len(hs)
+
+	// Stage 1: source-address LPM over the whole burst. The first
+	// stage seeds each header's cost accumulators, so no zeroing pass
+	// is needed.
+	{
+		arena := bufs.arena[fieldSrcIP][:0]
+		var ec hwsim.Cost
+		for i := 0; i < n; i++ {
+			bufs.off[fieldSrcIP][i] = int32(len(arena))
+			arena, ec = c.srcEngine.Lookup(hs[i].Src, arena)
+			bufs.cyc[i] = int32(ec.Cycles)
+			bufs.rds[i] = int32(ec.Reads)
+		}
+		bufs.off[fieldSrcIP][n] = int32(len(arena))
+		bufs.arena[fieldSrcIP] = arena
+	}
+
+	// Stage 2: destination-address LPM over the whole burst.
+	{
+		arena := bufs.arena[fieldDstIP][:0]
+		var ec hwsim.Cost
+		for i := 0; i < n; i++ {
+			bufs.off[fieldDstIP][i] = int32(len(arena))
+			arena, ec = c.dstEngine.Lookup(hs[i].Dst, arena)
+			if v := int32(ec.Cycles); v > bufs.cyc[i] {
+				bufs.cyc[i] = v
+			}
+			bufs.rds[i] += int32(ec.Reads)
+		}
+		bufs.off[fieldDstIP][n] = int32(len(arena))
+		bufs.arena[fieldDstIP] = arena
+	}
+
+	// Stage 3: source-port range match over the whole burst.
+	{
+		arena := bufs.arena[fieldSrcPort][:0]
+		var ec hwsim.Cost
+		for i := 0; i < n; i++ {
+			bufs.off[fieldSrcPort][i] = int32(len(arena))
+			arena, ec = c.spEngine.Lookup(hs[i].SrcPort, arena)
+			if v := int32(ec.Cycles); v > bufs.cyc[i] {
+				bufs.cyc[i] = v
+			}
+			bufs.rds[i] += int32(ec.Reads)
+		}
+		bufs.off[fieldSrcPort][n] = int32(len(arena))
+		bufs.arena[fieldSrcPort] = arena
+	}
+
+	// Stage 4: destination-port range match over the whole burst.
+	{
+		arena := bufs.arena[fieldDstPort][:0]
+		var ec hwsim.Cost
+		for i := 0; i < n; i++ {
+			bufs.off[fieldDstPort][i] = int32(len(arena))
+			arena, ec = c.dpEngine.Lookup(hs[i].DstPort, arena)
+			if v := int32(ec.Cycles); v > bufs.cyc[i] {
+				bufs.cyc[i] = v
+			}
+			bufs.rds[i] += int32(ec.Reads)
+		}
+		bufs.off[fieldDstPort][n] = int32(len(arena))
+		bufs.arena[fieldDstPort] = arena
+	}
+
+	// Stage 5: protocol exact match over the whole burst.
+	{
+		arena := bufs.arena[fieldProto][:0]
+		var ec hwsim.Cost
+		for i := 0; i < n; i++ {
+			bufs.off[fieldProto][i] = int32(len(arena))
+			arena, ec = c.prEngine.Lookup(hs[i].Proto, arena)
+			if v := int32(ec.Cycles); v > bufs.cyc[i] {
+				bufs.cyc[i] = v
+			}
+			bufs.rds[i] += int32(ec.Reads)
+		}
+		bufs.off[fieldProto][n] = int32(len(arena))
+		bufs.arena[fieldProto] = arena
+	}
+
+	// Stage 6: combine + Rule Filter over the whole burst. Each
+	// header's label lists are recovered as views into the arenas;
+	// the ULI walk and the Rule Filter's flat tables stay hot across
+	// all N headers. Statistics accumulate locally and hit the atomic
+	// counters once per burst — the sums (and the list-length
+	// watermark) are exactly what per-header updates would produce.
+	var view lookupBuffers
+	var total hwsim.Cost
+	var probes, firstHit, engCycles int64
+	maxList := 0
+	overflows := 0
+	for i := 0; i < n; i++ {
+		overflow := false
+		for f := 0; f < numFields; f++ {
+			s, e := bufs.off[f][i], bufs.off[f][i+1]
+			view.lists[f] = bufs.arena[f][s:e]
+			if l := int(e - s); l > maxList {
+				maxList = l
+			}
+			if int(e-s) > c.cfg.MaxLabels {
+				overflow = true
+			}
+		}
+		if overflow {
+			overflows++
+		}
+		res := c.combine(&view)
+		out[i] = res
+		probes += int64(res.Probes)
+		firstHit += int64(res.FirstHitProbes)
+		engCycles += int64(bufs.cyc[i])
+		total.Cycles += int(bufs.cyc[i]) + res.Probes + 1 // one cycle per probe, one to emit
+		total.Reads += int(bufs.rds[i]) + res.Probes
+	}
+	c.counters.engineCycles.Add(engCycles)
+	c.counters.observeListLen(maxList)
+	if overflows > 0 {
+		c.counters.hardwareOverflows.Add(int64(overflows))
+	}
+	c.counters.probes.Add(probes)
+	c.counters.firstHitProbes.Add(firstHit)
+	c.counters.probeOps.Add(int64(n))
+	return total
+}

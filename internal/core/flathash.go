@@ -16,19 +16,22 @@ import "repro/internal/label"
 // prefixes of a combination) are padded with label.None, which no engine
 // ever emits, so all tables share one comboKey layout.
 
-// hashCombo mixes the five labels into a table index. The per-field
-// multiply-xor (FNV-style) keeps adjacent label values — the common case,
-// since the allocator hands them out densely — well distributed, and the
-// splitmix64 finalizer avalanches the low bits that the power-of-two
-// masks consume.
+// hashCombo mixes the five labels into a table index: each label lands
+// in its own bit range of a 64-bit word (labels are small — the
+// allocator hands them out densely from zero — so 13-bit rotations
+// separate them), and a splitmix64 finalizer avalanches the combined
+// word. One probe issues one hash, so its latency sits on the combine
+// stage's critical path; the rotate-xor gather is a chain of 1-cycle
+// ops where the multiply-per-field FNV chain it replaces cost ~3 cycles
+// a field before the finalizer.
 //
 //repro:noalloc
 func hashCombo(k comboKey) uint64 {
-	h := uint64(1469598103934665603)
-	for f := 0; f < numFields; f++ {
-		h ^= uint64(k[f])
-		h *= 1099511628211
-	}
+	h := uint64(k[0])
+	h ^= rotl(uint64(k[1]), 13)
+	h ^= rotl(uint64(k[2]), 26)
+	h ^= rotl(uint64(k[3]), 39)
+	h ^= rotl(uint64(k[4]), 52)
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27
@@ -37,16 +40,45 @@ func hashCombo(k comboKey) uint64 {
 	return h
 }
 
+// rotl rotates x left by r (compiles to a single ROL instruction).
+//
+//repro:noalloc
+func rotl(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
+
+// keyEqual compares two comboKeys field by field. The explicit compares
+// inline to five register tests — spelled `a == b` the compiler routes a
+// 20-byte array equality through runtime.memequal, which showed up as a
+// top-five profile entry on the ACL-10K lookup path.
+//
+//repro:noalloc
+func keyEqual(a, b comboKey) bool {
+	return a[0] == b[0] && a[1] == b[1] && a[2] == b[2] && a[3] == b[3] && a[4] == b[4]
+}
+
 // flatTable is an open-addressing comboKey -> V hash table with linear
 // probing and backward-shift deletion. The zero value is empty and
 // read-only usable; the first put sizes it.
+//
+// Occupancy lives in a control-byte array (swiss-table style): ctrl[i]
+// is 0 for an empty slot, else 0x80 | the top 7 hash bits of the
+// resident key. A probe chain scans control bytes — 64 slots per cache
+// line — and touches the 20-byte key array only when the tag matches,
+// which for the mostly-missing partial-combination probes of the ULI
+// walk means most probes cost a single line fetch.
 type flatTable[V any] struct {
+	ctrl []uint8
 	keys []comboKey
 	vals []V
-	used []bool
 	mask uint64
 	live int
 }
+
+// ctrlTag extracts the control byte for hash h: the top 7 bits, with
+// the occupancy bit set so a live tag can never equal the empty
+// sentinel 0.
+//
+//repro:noalloc
+func ctrlTag(h uint64) uint8 { return uint8(h>>57) | 0x80 }
 
 const flatTableMinSize = 16 // slots; must be a power of two
 
@@ -59,15 +91,20 @@ func (t *flatTable[V]) get(k comboKey) (V, bool) {
 		var zero V
 		return zero, false
 	}
-	i := hashCombo(k) & t.mask
-	for t.used[i] {
-		if t.keys[i] == k {
+	h := hashCombo(k)
+	tag := ctrlTag(h)
+	i := h & t.mask
+	for {
+		c := t.ctrl[i]
+		if c == 0 {
+			var zero V
+			return zero, false
+		}
+		if c == tag && keyEqual(t.keys[i], k) {
 			return t.vals[i], true
 		}
 		i = (i + 1) & t.mask
 	}
-	var zero V
-	return zero, false
 }
 
 // ref returns a pointer to the value stored under k, inserting a zero
@@ -77,14 +114,16 @@ func (t *flatTable[V]) ref(k comboKey) *V {
 	if t.live >= len(t.keys)*3/4 {
 		t.grow()
 	}
-	i := hashCombo(k) & t.mask
-	for t.used[i] {
-		if t.keys[i] == k {
+	h := hashCombo(k)
+	tag := ctrlTag(h)
+	i := h & t.mask
+	for t.ctrl[i] != 0 {
+		if t.ctrl[i] == tag && keyEqual(t.keys[i], k) {
 			return &t.vals[i]
 		}
 		i = (i + 1) & t.mask
 	}
-	t.used[i] = true
+	t.ctrl[i] = tag
 	t.keys[i] = k
 	t.live++
 	return &t.vals[i]
@@ -96,9 +135,11 @@ func (t *flatTable[V]) delete(k comboKey) {
 	if t.live == 0 {
 		return
 	}
-	i := hashCombo(k) & t.mask
-	for t.used[i] {
-		if t.keys[i] == k {
+	h := hashCombo(k)
+	tag := ctrlTag(h)
+	i := h & t.mask
+	for t.ctrl[i] != 0 {
+		if t.ctrl[i] == tag && keyEqual(t.keys[i], k) {
 			t.shiftBack(i)
 			t.live--
 			return
@@ -112,12 +153,12 @@ func (t *flatTable[V]) delete(k comboKey) {
 func (t *flatTable[V]) shiftBack(i uint64) {
 	var zero V
 	for {
-		t.used[i] = false
+		t.ctrl[i] = 0
 		t.vals[i] = zero // release references held by the value
 		j := i
 		for {
 			j = (j + 1) & t.mask
-			if !t.used[j] {
+			if t.ctrl[j] == 0 {
 				return
 			}
 			home := hashCombo(t.keys[j]) & t.mask
@@ -125,9 +166,9 @@ func (t *flatTable[V]) shiftBack(i uint64) {
 			// (cyclically) between i exclusive and j inclusive — i.e. the
 			// entry was displaced past i by the chain we are compacting.
 			if (j > i && (home <= i || home > j)) || (j < i && home <= i && home > j) {
+				t.ctrl[i] = t.ctrl[j]
 				t.keys[i] = t.keys[j]
 				t.vals[i] = t.vals[j]
-				t.used[i] = true
 				i = j
 				break
 			}
@@ -141,14 +182,14 @@ func (t *flatTable[V]) grow() {
 	if n < flatTableMinSize {
 		n = flatTableMinSize
 	}
-	oldKeys, oldVals, oldUsed := t.keys, t.vals, t.used
+	oldKeys, oldVals, oldCtrl := t.keys, t.vals, t.ctrl
+	t.ctrl = make([]uint8, n)
 	t.keys = make([]comboKey, n)
 	t.vals = make([]V, n)
-	t.used = make([]bool, n)
 	t.mask = uint64(n - 1)
 	t.live = 0
-	for i, u := range oldUsed {
-		if u {
+	for i, c := range oldCtrl {
+		if c != 0 {
 			*t.ref(oldKeys[i]) = oldVals[i]
 		}
 	}
@@ -180,9 +221,11 @@ func (t *countTable) dec(k comboKey) {
 	if t.live == 0 {
 		return
 	}
-	i := hashCombo(k) & t.mask
-	for t.used[i] {
-		if t.keys[i] == k {
+	h := hashCombo(k)
+	tag := ctrlTag(h)
+	i := h & t.mask
+	for t.ctrl[i] != 0 {
+		if t.ctrl[i] == tag && keyEqual(t.keys[i], k) {
 			if t.vals[i]--; t.vals[i] <= 0 {
 				t.shiftBack(i)
 				t.live--

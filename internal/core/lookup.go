@@ -81,16 +81,31 @@ func (c *Classifier[K]) LookupBatch(hs []Header[K]) ([]Result, hwsim.Cost) {
 // caller owns (and pools) the result slab. out must hold at least
 // len(hs) results.
 //
+// Batches of burstFuseMin or more headers run through the stage-fused
+// vector kernel (see burst.go), chunked at maxBurst headers per pass;
+// shorter batches stay on the header-at-a-time path. Results, costs
+// and statistics are identical either way.
+//
 //repro:noalloc
 func (c *Classifier[K]) LookupBatchInto(hs []Header[K], out []Result) hwsim.Cost {
-	bufs := bufPool.Get().(*lookupBuffers)
-	var total hwsim.Cost
-	for i, h := range hs {
-		r, cost := c.lookupInto(h, bufs)
-		out[i] = r
-		total = total.Add(cost)
+	if len(hs) < burstFuseMin {
+		bufs := bufPool.Get().(*lookupBuffers)
+		var total hwsim.Cost
+		for i, h := range hs {
+			r, cost := c.lookupInto(h, bufs)
+			out[i] = r
+			total = total.Add(cost)
+		}
+		bufPool.Put(bufs)
+		return total
 	}
-	bufPool.Put(bufs)
+	bufs := burstBufPool.Get().(*burstBuffers)
+	var total hwsim.Cost
+	for off := 0; off < len(hs); off += maxBurst {
+		end := min(off+maxBurst, len(hs))
+		total = total.Add(c.lookupBurstInto(hs[off:end], out[off:end], bufs))
+	}
+	burstBufPool.Put(bufs)
 	return total
 }
 
@@ -208,7 +223,12 @@ func (c *Classifier[K]) combine(bufs *lookupBuffers) Result {
 	found := false
 	prune := c.cfg.Combine == CombinePruned
 
-	var key comboKey
+	// key is kept None-padded beyond the current level as an invariant:
+	// positions above f always hold label.None, restored on backtrack.
+	// The partial-combination probes below can then hash key directly
+	// instead of copying and re-padding it per probe (partialKey), which
+	// was a measurable share of the ULI walk on ACL-scale rulesets.
+	key := comboKey{label.None, label.None, label.None, label.None, label.None}
 	var idx [numFields]int       // next label position per level
 	var bound [numFields + 1]int // accumulated priority bound per level
 	bound[0] = -1
@@ -216,6 +236,7 @@ func (c *Classifier[K]) combine(bufs *lookupBuffers) Result {
 	for f >= 0 {
 		if idx[f] == len(bufs.lists[f]) {
 			idx[f] = 0
+			key[f] = label.None
 			f--
 			continue // level exhausted: backtrack
 		}
@@ -239,15 +260,15 @@ func (c *Classifier[K]) combine(bufs *lookupBuffers) Result {
 		if prune {
 			switch f {
 			case 1:
-				if !c.p2.has(partialKey(key, 2)) {
+				if !c.p2.has(key) {
 					continue
 				}
 			case 2:
-				if !c.p3.has(partialKey(key, 3)) {
+				if !c.p3.has(key) {
 					continue
 				}
 			case 3:
-				if !c.p4.has(partialKey(key, 4)) {
+				if !c.p4.has(key) {
 					continue
 				}
 			}

@@ -466,6 +466,18 @@ type session struct {
 	conn  net.Conn
 	sc    *bufio.Scanner
 	table string
+	// res is the MLOOKUP result slab, reused across commands via the
+	// engines' LookupBatchInto form; one goroutine serves a connection,
+	// so the slab is never shared.
+	res []repro.Result
+}
+
+// resScratch returns the session's result slab resized to n.
+func (s *session) resScratch(n int) []repro.Result {
+	if cap(s.res) < n {
+		s.res = make([]repro.Result, n)
+	}
+	return s.res[:n]
 }
 
 // handle serves one connection.
@@ -663,13 +675,15 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 			if err != nil {
 				return "ERR " + err.Error(), false
 			}
-			results = t.eng6.LookupBatch(hs)
+			results = sess.resScratch(len(hs))
+			t.eng6.LookupBatchInto(hs, results)
 		} else {
 			hs, err := parseMLookup(args)
 			if err != nil {
 				return "ERR " + err.Error(), false
 			}
-			results = t.eng.LookupBatch(hs)
+			results = sess.resScratch(len(hs))
+			t.eng.LookupBatchInto(hs, results)
 		}
 		var b strings.Builder
 		b.WriteString("RESULTS")

@@ -310,14 +310,59 @@ func (t *MultiBitTrie[K]) Delete(p Prefix[K]) (label.Label, hwsim.Cost, bool) {
 	return lab, cost, true
 }
 
+// mbtMaxFastLevels bounds the per-lookup stack array of visited-slot
+// entry lists. Strides of 2 bits and up keep even IPv6 within it; the
+// (never default) deeper configurations take the sort-based slow path.
+const mbtMaxFastLevels = 16
+
 // Lookup appends the labels of all prefixes matching the key to buf, most
 // specific first, and returns the hardware cost: one RAM read per level
 // visited. In the pipelined hardware these reads are successive stages, so
 // per-packet latency is the trie depth while the initiation interval stays
 // constant.
 //
+// Slot entry lists are kept sorted most-specific-first at update time,
+// and a deeper level holds strictly longer prefixes than a shallower
+// one, so emitting the visited slots' lists deepest level first yields
+// the sorted order directly — the walk records one slice header per
+// level and never copies or sorts entries.
+//
 //repro:noalloc
 func (t *MultiBitTrie[K]) Lookup(k K, buf []label.Label) ([]label.Label, hwsim.Cost) {
+	if len(t.strides) > mbtMaxFastLevels {
+		return t.lookupSort(k, buf)
+	}
+	var cost hwsim.Cost
+	var lvls [mbtMaxFastLevels][]mbtEntry
+	last := -1
+	n := t.root
+	for lvl := 0; n != nil && lvl < len(t.strides); lvl++ {
+		idx := k.Slice(t.offsets[lvl], t.strides[lvl])
+		s := &n.slots[idx]
+		cost.Reads++
+		lvls[lvl] = s.entries
+		last = lvl
+		n = s.child
+	}
+	for lvl := last; lvl >= 0; lvl-- {
+		for _, e := range lvls[lvl] {
+			buf = append(buf, e.lab)
+		}
+	}
+	if t.hasDefault {
+		buf = append(buf, t.defaultLabel)
+	}
+	cost.Cycles = cost.Reads
+	return buf, cost
+}
+
+// lookupSort is the fallback for tries deeper than mbtMaxFastLevels:
+// collect entries level by level into a stack scratch and sort. The
+// insertion sort keeps the tiny match list on the stack — sort.Slice
+// would heap-allocate its closure on every lookup.
+//
+//repro:noalloc
+func (t *MultiBitTrie[K]) lookupSort(k K, buf []label.Label) ([]label.Label, hwsim.Cost) {
 	var cost hwsim.Cost
 	var scratch [8]mbtEntry
 	matches := scratch[:0]
@@ -329,10 +374,6 @@ func (t *MultiBitTrie[K]) Lookup(k K, buf []label.Label) ([]label.Label, hwsim.C
 		matches = append(matches, s.entries...)
 		n = s.child
 	}
-	// Entries collected level by level are grouped ascending by level;
-	// emit most specific first. Insertion sort keeps the tiny match list
-	// (bounded by the per-field label list in practice) on the stack —
-	// sort.Slice would heap-allocate its closure on every lookup.
 	for i := 1; i < len(matches); i++ {
 		m := matches[i]
 		j := i - 1

@@ -1,0 +1,43 @@
+package rangematch
+
+import (
+	"testing"
+
+	"repro/internal/label"
+	"repro/internal/rule"
+)
+
+// TestRegisterBankLookupZeroAllocs is the runtime counterpart of the
+// //repro:noalloc annotation on RegisterBank.Lookup: the binary search
+// over the precomputed interval index plus the indexed label append must
+// stay off the heap with a caller-supplied buffer.
+func TestRegisterBankLookupZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations")
+	}
+	b := NewRegisterBank(0)
+	ranges := []rule.PortRange{
+		{Lo: 0, Hi: 65535},
+		{Lo: 80, Hi: 80},
+		{Lo: 0, Hi: 1023},
+		{Lo: 1024, Hi: 65535},
+		{Lo: 443, Hi: 443},
+	}
+	for i, r := range ranges {
+		if _, err := b.Insert(r, label.Label(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]label.Label, 0, 16)
+	matched := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		out, _ := b.Lookup(443, buf[:0])
+		matched += len(out)
+	})
+	if allocs != 0 {
+		t.Errorf("Lookup allocated %v times per run, want 0", allocs)
+	}
+	if matched == 0 {
+		t.Fatal("overlapping ranges should match")
+	}
+}

@@ -22,6 +22,21 @@ const DefaultBankCapacity = 256
 type RegisterBank struct {
 	entries  []entry // kept in canonical priority order
 	capacity int
+
+	// The software shadow of the parallel compare: the port space is cut
+	// at every range bound into elementary intervals, and each interval
+	// precomputes which registers cover it (entry indices, in canonical
+	// priority order). A lookup is then one binary search over the cut
+	// points plus a short indexed append instead of an O(entries) scan —
+	// the modeled hardware cost is unchanged, since the real bank
+	// compares every register in parallel regardless. points[0] is
+	// always 0; interval i spans [points[i], points[i+1]) with the last
+	// interval closed at 65535. Label-only updates (Insert of an
+	// existing range) leave the index untouched because intervals store
+	// entry indices, not labels; structural inserts and deletes rebuild
+	// it (O(entries × intervals), bounded by the bank capacity).
+	points []uint32
+	cover  [][]uint16
 }
 
 // NewRegisterBank returns a bank with the given capacity; cap <= 0 selects
@@ -64,7 +79,66 @@ func (b *RegisterBank) Insert(r rule.PortRange, lab label.Label) (hwsim.Cost, er
 	b.entries = append(b.entries, entry{})
 	copy(b.entries[i+1:], b.entries[i:])
 	b.entries[i] = e
+	b.reindex()
 	return hwsim.Cost{Cycles: 1, Writes: 1}, nil
+}
+
+// reindex rebuilds the elementary-interval index from the entries. Called
+// on structural mutations only, which the RCU snapshot scheme serializes
+// against lookups.
+func (b *RegisterBank) reindex() {
+	b.points = b.points[:0]
+	b.points = append(b.points, 0)
+	for _, e := range b.entries {
+		b.points = append(b.points, uint32(e.r.Lo), uint32(e.r.Hi)+1)
+	}
+	sortU32(b.points)
+	b.points = dedupU32(b.points)
+	if n := len(b.points); n > 0 && b.points[n-1] > 65535 {
+		b.points = b.points[:n-1] // hi+1 past the port space opens no interval
+	}
+	if cap(b.cover) < len(b.points) {
+		b.cover = make([][]uint16, len(b.points))
+	}
+	b.cover = b.cover[:len(b.points)]
+	for i, lo := range b.points {
+		list := b.cover[i][:0]
+		for j, e := range b.entries {
+			if e.r.Matches(uint16(lo)) {
+				list = append(list, uint16(j))
+			}
+		}
+		b.cover[i] = list
+	}
+}
+
+// sortU32 is an insertion sort: the point set is small (at most twice the
+// bank capacity) and nearly sorted on incremental updates.
+func sortU32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// dedupU32 compacts a sorted slice in place.
+func dedupU32(s []uint32) []uint32 {
+	if len(s) == 0 {
+		return s
+	}
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
 }
 
 // Delete removes the range.
@@ -73,6 +147,7 @@ func (b *RegisterBank) Delete(r rule.PortRange) (label.Label, hwsim.Cost, bool) 
 		if b.entries[i].r == r {
 			lab := b.entries[i].lab
 			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			b.reindex()
 			return lab, hwsim.Cost{Cycles: 1, Writes: 1}, true
 		}
 	}
@@ -81,13 +156,29 @@ func (b *RegisterBank) Delete(r rule.PortRange) (label.Label, hwsim.Cost, bool) 
 
 // Lookup compares p against every register in parallel: two cycles (the
 // paper: "the range search engine produces the labels in two clock
-// cycles"), one logical read of the whole bank.
+// cycles"), one logical read of the whole bank. The software shadow
+// resolves the parallel compare through the precomputed interval index:
+// one binary search over the cut points, then the covering registers'
+// labels in canonical priority order.
+//
+//repro:noalloc
 func (b *RegisterBank) Lookup(p uint16, buf []label.Label) ([]label.Label, hwsim.Cost) {
 	cost := hwsim.Cost{Cycles: 2, Reads: 1}
-	for _, e := range b.entries {
-		if e.r.Matches(p) {
-			buf = append(buf, e.lab)
+	if len(b.points) == 0 {
+		return buf, cost
+	}
+	// Largest i with points[i] <= p; points[0] == 0, so lo is in range.
+	lo, hi := 0, len(b.points)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if uint32(p) >= b.points[mid] {
+			lo = mid
+		} else {
+			hi = mid - 1
 		}
+	}
+	for _, j := range b.cover[lo] {
+		buf = append(buf, b.entries[j].lab)
 	}
 	return buf, cost
 }

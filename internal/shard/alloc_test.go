@@ -3,6 +3,7 @@ package shard
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/packet"
 	"repro/internal/rule"
 )
@@ -38,6 +39,55 @@ func TestLookupZeroAllocs(t *testing.T) {
 		t.Errorf("Lookup allocated %v times per run, want 0", allocs)
 	}
 	if found == 0 {
+		t.Fatal("wildcard rule should match")
+	}
+}
+
+// TestLookupBatchIntoZeroAllocs is the runtime counterpart of the
+// //repro:noalloc annotations on Sharded.LookupBatchInto and
+// Sharded.LookupBytesBatch: the sequential replica walk with its pooled
+// merge column, and the frame-slab leg on top of it, must stay off the
+// heap once the pools are warm.
+func TestLookupBatchIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-runtime allocations")
+	}
+	a, b := &fakeEngine{}, &fakeEngine{}
+	if _, err := a.Insert(wildcard(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Insert(wildcard(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New([]Engine{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := make([]rule.Header, 64)
+	for i := range hs {
+		hs[i] = rule.Header{SrcIP: uint32(i), Proto: rule.ProtoTCP}
+	}
+	out := make([]core.Result, len(hs))
+	frames := make([][]byte, 8)
+	for i := range frames {
+		frames[i] = packet.BuildEthernet(packet.BuildIPv4(rule.Header{
+			SrcIP: uint32(i), DstIP: 0x0a000002,
+			SrcPort: 1234, DstPort: 80, Proto: rule.ProtoTCP,
+		}))
+	}
+	bout := make([]core.Result, len(frames))
+	s.LookupBatchInto(hs, out) // warm the pooled column
+	s.LookupBytesBatch(frames, bout)
+	allocs := testing.AllocsPerRun(200, func() {
+		s.LookupBatchInto(hs, out)
+		if s.LookupBytesBatch(frames, bout) != len(frames) {
+			t.Fatal("frames should decode")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("batch fan-out allocated %v times per run, want 0", allocs)
+	}
+	if !out[0].Found || !bout[0].Found {
 		t.Fatal("wildcard rule should match")
 	}
 }

@@ -45,6 +45,7 @@ type Engine interface {
 	Len() int
 	Lookup(h rule.Header) (core.Result, hwsim.Cost)
 	LookupBatch(hs []rule.Header) []core.Result
+	LookupBatchInto(hs []rule.Header, out []core.Result)
 	Memory() hwsim.MemoryMap
 	IncrementalUpdate() bool
 	Snapshot() []rule.Rule
@@ -278,6 +279,47 @@ func (s *Sharded) LookupBatch(hs []rule.Header) []core.Result {
 	return out
 }
 
+// colScratch is a pooled per-replica result column: LookupBatchInto
+// merges each non-first replica's verdicts out of one reused slab, and
+// LookupBytesBatch classifies decoded headers into the same shape.
+type colScratch struct {
+	col []core.Result
+}
+
+var colPool = sync.Pool{New: func() any { return new(colScratch) }}
+
+// LookupBatchInto runs the whole batch through every replica into
+// caller-owned memory: the first replica classifies directly into out,
+// each further replica classifies into one pooled column that is folded
+// in by priority. Unlike LookupBatch's goroutine fan-out this walks the
+// replicas sequentially — the allocation-free contract (no per-call
+// column collection, no WaitGroup) is what keeps the flow-cache and
+// raw-frame compositions at zero allocations per batch, and each
+// replica's batch still runs the stage-fused burst kernel over its own
+// consistent snapshot.
+//
+//repro:noalloc
+func (s *Sharded) LookupBatchInto(hs []rule.Header, out []core.Result) {
+	shards := s.engines()
+	shards[0].LookupBatchInto(hs, out[:len(hs)])
+	if len(shards) == 1 {
+		return
+	}
+	sc := colPool.Get().(*colScratch)
+	col := sc.col[:0]
+	for range hs {
+		col = append(col, core.Result{})
+	}
+	sc.col = col
+	for _, e := range shards[1:] {
+		e.LookupBatchInto(hs, col)
+		for j := range hs {
+			out[j] = better(out[j], col[j])
+		}
+	}
+	colPool.Put(sc)
+}
+
 // burstPool recycles the frame-slab decoders of LookupBytesBatch.
 var burstPool = sync.Pool{New: func() any { return new(packet.Burst) }}
 
@@ -296,11 +338,13 @@ func (s *Sharded) LookupBytes(frame []byte) (core.Result, error) {
 }
 
 // LookupBytesBatch decodes a frame slab with a pooled burst decoder and
-// runs the decoded headers through LookupBatch, so the burst fans out
-// over the replicas' RCU snapshots exactly like a header batch. Frames
-// that fail to decode produce the zero Result at their index; the
-// return value is the number of frames decoded. out must hold at least
-// len(frames) results.
+// runs the decoded headers through the pooled LookupBatchInto merge, so
+// the burst crosses the replicas' RCU snapshots exactly like a header
+// batch without allocating. Frames that fail to decode produce the zero
+// Result at their index; the return value is the number of frames
+// decoded. out must hold at least len(frames) results.
+//
+//repro:noalloc
 func (s *Sharded) LookupBytesBatch(frames [][]byte, out []core.Result) int {
 	b := burstPool.Get().(*packet.Burst)
 	hdrs, idx := b.DecodeV4(frames)
@@ -308,9 +352,17 @@ func (s *Sharded) LookupBytesBatch(frames [][]byte, out []core.Result) int {
 		out[i] = core.Result{}
 	}
 	if len(hdrs) > 0 {
-		for j, res := range s.LookupBatch(hdrs) {
-			out[idx[j]] = res
+		sc := colPool.Get().(*colScratch)
+		res := sc.col[:0]
+		for range hdrs {
+			res = append(res, core.Result{})
 		}
+		sc.col = res
+		s.LookupBatchInto(hdrs, res)
+		for j, r := range res {
+			out[idx[j]] = r
+		}
+		colPool.Put(sc)
 	}
 	n := len(hdrs)
 	burstPool.Put(b)

@@ -51,10 +51,14 @@ func (f *fakeEngine) Lookup(h rule.Header) (core.Result, hwsim.Cost) {
 
 func (f *fakeEngine) LookupBatch(hs []rule.Header) []core.Result {
 	out := make([]core.Result, len(hs))
+	f.LookupBatchInto(hs, out)
+	return out
+}
+
+func (f *fakeEngine) LookupBatchInto(hs []rule.Header, out []core.Result) {
 	for i, h := range hs {
 		out[i], _ = f.Lookup(h)
 	}
-	return out
 }
 
 func (f *fakeEngine) Memory() hwsim.MemoryMap {

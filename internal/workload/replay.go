@@ -53,13 +53,32 @@ func (t EngineTarget) Lookup(h rule.Header) (Verdict, error) {
 	return Verdict{Found: res.Found, RuleID: res.RuleID, Priority: res.Priority}, nil
 }
 
-// LookupBatch implements BatchTarget.
+// engineBatchScratch is the pooled result slab behind
+// EngineTarget.LookupBatch. EngineTarget is a shared value (one target
+// may back every replay worker), so the slab lives in a pool rather
+// than a field.
+type engineBatchScratch struct {
+	res []repro.Result
+}
+
+var engineBatchPool = sync.Pool{New: func() any { return new(engineBatchScratch) }}
+
+// LookupBatch implements BatchTarget via the engine's pooled
+// LookupBatchInto form, so a replay backlog drain stops allocating a
+// result slice per burst (the verdict slice is the caller's to keep).
 func (t EngineTarget) LookupBatch(hs []rule.Header) ([]Verdict, error) {
-	res := t.Eng.LookupBatch(hs)
+	sc := engineBatchPool.Get().(*engineBatchScratch)
+	res := sc.res[:0]
+	for range hs {
+		res = append(res, repro.Result{})
+	}
+	sc.res = res
+	t.Eng.LookupBatchInto(hs, res)
 	out := make([]Verdict, len(res))
 	for i, r := range res {
 		out[i] = Verdict{Found: r.Found, RuleID: r.RuleID, Priority: r.Priority}
 	}
+	engineBatchPool.Put(sc)
 	return out, nil
 }
 
