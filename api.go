@@ -323,6 +323,16 @@ func NewClassifier6(cfg Config) (*Classifier6, error) {
 	return &Classifier6{inner: inner}, nil
 }
 
+// Backend identifies the algorithm behind the IPv6 classifier. Only the
+// decomposition architecture generalizes to 128-bit fields here, so this
+// always reports BackendDecomposition — mirroring Classifier.Backend.
+func (c *Classifier6) Backend() Backend { return BackendDecomposition }
+
+// IncrementalUpdate reports whether Insert/Delete avoid a rebuild; the
+// IPv6 decomposition pipeline updates in place exactly like the IPv4 one
+// (Section III.D).
+func (c *Classifier6) IncrementalUpdate() bool { return true }
+
 // Insert installs one IPv6 rule; like the IPv4 engines, the rule must
 // carry a unique non-zero ID and a non-zero priority.
 func (c *Classifier6) Insert(r Rule6) (Cost, error) {
@@ -373,6 +383,16 @@ func (c *Classifier6) LookupBatchInto(hs []Header6, out []Result) {
 	v6BatchPool.Put(sc)
 }
 
+// LookupBatchCost classifies a batch like LookupBatch and additionally
+// returns the summed hardware cost, mirroring Classifier.LookupBatchCost.
+func (c *Classifier6) LookupBatchCost(hs []Header6) ([]Result, Cost) {
+	headers := make([]core.Header[lpm.V6], len(hs))
+	for i, h := range hs {
+		headers[i] = core.V6Header(h)
+	}
+	return c.inner.LookupBatch(headers)
+}
+
 // Snapshot exports the installed IPv6 ruleset from one consistent RCU
 // snapshot, sorted by ascending rule ID.
 func (c *Classifier6) Snapshot() []Rule6 {
@@ -420,11 +440,19 @@ func (c *Classifier6) LookupPacket(frame []byte) (Result, Cost, error) {
 // Stats returns a statistics snapshot.
 func (c *Classifier6) Stats() Stats { return c.inner.Stats() }
 
+// ResetStats zeroes the cumulative probe statistics, mirroring
+// Classifier.ResetStats — rule population and memory are unaffected.
+func (c *Classifier6) ResetStats() { c.inner.ResetStats() }
+
 // Memory reports the occupied hardware RAM blocks.
 func (c *Classifier6) Memory() MemoryMap { return c.inner.Memory() }
 
 // ModelThroughput reports the modeled forwarding performance.
 func (c *Classifier6) ModelThroughput() Throughput { return c.inner.Throughput() }
+
+// ModelLookupCycles predicts the modeled cycle cost of classifying n
+// headers, mirroring Classifier.ModelLookupCycles.
+func (c *Classifier6) ModelLookupCycles(n int) float64 { return c.inner.LookupCycles(n) }
 
 // Synthetic workloads, re-exported from the ruleset generator.
 type (

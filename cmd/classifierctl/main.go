@@ -8,7 +8,7 @@
 //
 //	classifierctl -addr 127.0.0.1:9099 [-table name] <command> [args...]
 //
-//	tables                                     list tables
+//	tables [-json]                             list tables
 //	create <name> <backend> [shards [cache]]   create a table
 //	drop <name>                                drop a table
 //	insert <id> <prio> <action> @<rule>        insert one rule
@@ -20,13 +20,18 @@
 //	save <name>                                checkpoint the table as <name>.snap
 //	restore <name>                             atomically restore <name>.snap
 //	reset                                      atomically clear the table
-//	stats                                      table statistics
+//	stats [-json]                              table statistics
 //
 // -table switches the connection's current table before the command
-// runs, so every command operates on that table.
+// runs, so every command operates on that table. With -json, tables and
+// stats emit the same typed records the daemon's JSON admin API serves.
+// For continuous scraping — operation rates, latency quantiles, shard
+// balance — prefer the daemon's HTTP plane: start classifierd with
+// -http and poll /metrics (Prometheus text) or /v1/tables/<name>/stats.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -63,20 +68,41 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer client.Close()
+	current := ctl.DefaultTable
 	if *table != "" {
 		if err := client.TableUse(*table); err != nil {
 			return err
 		}
+		current = *table
 	}
-	return dispatch(client, fs.Arg(0), fs.Args()[1:], out)
+	return dispatch(client, current, fs.Arg(0), fs.Args()[1:], out)
 }
 
-func dispatch(client *ctl.Client, cmd string, args []string, out io.Writer) error {
+// jsonFlag consumes a single optional -json argument.
+func jsonFlag(cmd string, args []string) (bool, error) {
+	switch {
+	case len(args) == 0:
+		return false, nil
+	case len(args) == 1 && args[0] == "-json":
+		return true, nil
+	default:
+		return false, fmt.Errorf("%s wants at most -json", cmd)
+	}
+}
+
+func dispatch(client *ctl.Client, current, cmd string, args []string, out io.Writer) error {
 	switch cmd {
 	case "tables":
+		asJSON, err := jsonFlag(cmd, args)
+		if err != nil {
+			return err
+		}
 		infos, err := client.Tables()
 		if err != nil {
 			return err
+		}
+		if asJSON {
+			return writeJSON(out, infos)
 		}
 		for _, info := range infos {
 			fmt.Fprintf(out, "%s\t%s\t%d shard(s)\t%d rule(s)\n",
@@ -231,20 +257,50 @@ func dispatch(client *ctl.Client, cmd string, args []string, out io.Writer) erro
 		return nil
 
 	case "stats":
-		rules, probes, ops, maxList, overflows, err := client.Stats()
+		asJSON, err := jsonFlag(cmd, args)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "rules %d probes %d ops %d maxlist %d overflows %d\n",
-			rules, probes, ops, maxList, overflows)
-		if hits, misses, evictions, cached, err := client.CacheStats(); err == nil && cached {
-			fmt.Fprintf(out, "cache hits %d misses %d evictions %d\n", hits, misses, evictions)
+		st, err := client.TableStats()
+		if err != nil {
+			return err
 		}
+		if asJSON {
+			// The STATS wire line carries no identity; graft it from the
+			// table listing so the record matches the JSON admin API's.
+			if infos, err := client.Tables(); err == nil {
+				for _, info := range infos {
+					if info.Name == current {
+						st.Name, st.Backend, st.Shards = info.Name, info.Backend, info.Shards
+						if st.Family = "v4"; info.Backend == "v6" {
+							st.Family = "v6"
+						}
+						break
+					}
+				}
+			}
+			return writeJSON(out, st)
+		}
+		fmt.Fprintf(out, "rules %d probes %d ops %d maxlist %d overflows %d\n",
+			st.Rules, st.Probes, st.ProbeOps, st.MaxListLen, st.HardwareOverflows)
+		if st.Cache != nil {
+			fmt.Fprintf(out, "cache hits %d misses %d evictions %d\n",
+				st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions)
+		}
+		fmt.Fprintf(out, "lookups %d updates %d swaps %d errors %d\n",
+			st.Ops.Lookups, st.Ops.Updates, st.Ops.Swaps, st.Ops.Errors)
 		return nil
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// writeJSON emits one indented JSON document, like the admin API.
+func writeJSON(out io.Writer, v any) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // loadRules reads a ClassBench ruleset file; IDs and priorities come

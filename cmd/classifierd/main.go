@@ -23,24 +23,39 @@
 // file's recorded backend/shards/cache. Clients can also checkpoint at
 // runtime with the ctl SNAPSHOT SAVE / RESTORE commands.
 //
-// The process exits cleanly on SIGINT/SIGTERM: the listener closes,
+// With -http the daemon also serves an observability plane over HTTP:
+// a Prometheus text exposition at /metrics (per-table operation rates,
+// lookup/update latency quantiles, shard balance, modeled memory) and a
+// typed JSON admin API under /v1/tables (list/create/drop tables, fetch
+// per-table stats). Both surfaces read the same registry and counters
+// the ctl protocol serves, so the planes cannot disagree:
+//
+//	classifierd -listen 127.0.0.1:9099 -http 127.0.0.1:9100
+//	curl -s http://127.0.0.1:9100/metrics
+//	curl -s http://127.0.0.1:9100/v1/tables/main/stats
+//
+// The process exits cleanly on SIGINT/SIGTERM: both listeners close,
 // in-flight connections drain, and (with -snapshot-dir) every table is
 // snapshotted before the daemon returns.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	repro "repro"
 	"repro/internal/ctl"
+	"repro/internal/httpapi"
 )
 
 func main() {
@@ -53,6 +68,7 @@ func main() {
 		tablesF   = flag.String("tables", "", `extra tables, "name=backend[:shards[:cache]],..."`)
 		lpmAlgo   = flag.String("lpm", "mbt", "decomposition LPM engine: mbt, bst or amtrie")
 		snapDir   = flag.String("snapshot-dir", "", "directory for table snapshots: restored on start, saved on drain (empty disables persistence)")
+		httpAddr  = flag.String("http", "", "HTTP listen address for /metrics and the /v1 admin API (empty disables)")
 	)
 	flag.Parse()
 
@@ -68,6 +84,21 @@ func main() {
 	}
 	log.Printf("classifier daemon listening on %s", l.Addr())
 
+	var hsrv *http.Server
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("classifierd: http: %v", err)
+		}
+		hsrv = &http.Server{Handler: httpapi.NewHandler(srv.Registry())}
+		go func() {
+			if err := hsrv.Serve(hl); err != nil && err != http.ErrServerClosed {
+				log.Printf("classifierd: http: %v", err)
+			}
+		}()
+		log.Printf("http plane (metrics + admin API) on %s", hl.Addr())
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 
@@ -82,6 +113,13 @@ func main() {
 		log.Printf("caught %v; draining connections", s)
 		srv.Shutdown()
 		<-done
+	}
+	if hsrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := hsrv.Shutdown(ctx); err != nil {
+			log.Printf("classifierd: http shutdown: %v", err)
+		}
+		cancel()
 	}
 	if *snapDir != "" {
 		if err := srv.SaveSnapshots(); err != nil {

@@ -181,7 +181,32 @@
 // shard count — with batched MLOOKUP, pipelined BULK insert and the
 // snapshot commands above, so one daemon serves heterogeneous
 // workloads side by side. cmd/classifierctl is the matching one-shot
-// CLI.
+// CLI. The table lifecycle itself lives in internal/tables: an
+// RCU-published registry (a single atomic pointer load resolves a
+// table, writers clone-and-swap under a mutex) that every control
+// surface shares.
+//
+// # Observability
+//
+// Each registry table carries an internal/metrics block —
+// cache-line-padded atomic counters for lookups, updates, atomic swaps
+// and errors, plus concurrent HDR latency histograms built on the same
+// internal/hdr bucket geometry the workload-replay histograms use, so
+// live-daemon quantiles and offline replay reports are directly
+// comparable. Recording is wait-free (a few atomic adds per sample)
+// and sits on the serving path without perturbing the allocation-free
+// lookup kernels.
+//
+// Three surfaces read the same tables.TableStats record, so they
+// cannot disagree: the ctl STATS response (engine pipeline stats,
+// optional CACHE section, and an OPS section with the serving-layer
+// counters), a typed JSON admin API (GET/POST /v1/tables,
+// DELETE /v1/tables/{name}, GET /v1/tables/{name}/stats), and a
+// Prometheus text exposition at /metrics with per-table operation
+// totals, latency quantile summaries, shard-balance gauges and modeled
+// memory. The HTTP plane (internal/httpapi, stdlib-only) is enabled
+// with classifierd's -http flag; classifierctl mirrors the typed
+// records with its stats -json and tables -json commands.
 //
 // # Workload replay
 //

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/rule"
 	"repro/internal/snapfile"
+	"repro/internal/tables"
 )
 
 // Client is the host-side decision controller's view of a remote lookup
@@ -101,10 +102,10 @@ func (c *Client) TableUse(name string) error {
 
 // TableInfo is one row of the daemon's table listing.
 type TableInfo struct {
-	Name    string
-	Backend string
-	Shards  int
-	Rules   int
+	Name    string `json:"name"`
+	Backend string `json:"backend"`
+	Shards  int    `json:"shards"`
+	Rules   int    `json:"rules"`
 }
 
 // Tables lists the daemon's tables.
@@ -565,6 +566,45 @@ func (c *Client) Stats() (rules, probes, ops, maxList, overflows int, err error)
 		return 0, 0, 0, 0, 0, fmt.Errorf("ctl: parse %q: %w", resp, err)
 	}
 	return rules, probes, ops, maxList, overflows, nil
+}
+
+// TableStats fetches the current table's statistics as the typed
+// tables.TableStats record every surface shares, parsed from the full
+// STATS wire line (engine fields, the CACHE section of cached tables,
+// and the serving-layer OPS counters). Fields the wire line does not
+// carry — identity, latency quantiles, memory, shard balance — stay
+// zero; callers wanting them merge the TABLES listing or scrape the
+// daemon's HTTP plane, which renders the complete record.
+func (c *Client) TableStats() (tables.TableStats, error) {
+	resp, err := c.roundTrip(cmdStats)
+	if err != nil {
+		return tables.TableStats{}, err
+	}
+	return parseStats(resp)
+}
+
+// parseStats decodes a STATS wire line into the typed record — the
+// inverse of the server's formatStats.
+func parseStats(resp string) (tables.TableStats, error) {
+	var st tables.TableStats
+	if _, err := fmt.Sscanf(resp, "STATS %d %d %d %d %d",
+		&st.Rules, &st.Probes, &st.ProbeOps, &st.MaxListLen, &st.HardwareOverflows); err != nil {
+		return tables.TableStats{}, fmt.Errorf("ctl: parse %q: %w", resp, err)
+	}
+	if i := strings.Index(resp, " CACHE "); i >= 0 {
+		cc := &tables.CacheCounters{}
+		if _, err := fmt.Sscanf(resp[i:], " CACHE %d %d %d", &cc.Hits, &cc.Misses, &cc.Evictions); err != nil {
+			return tables.TableStats{}, fmt.Errorf("ctl: parse %q: %w", resp, err)
+		}
+		st.Cache = cc
+	}
+	if i := strings.Index(resp, " OPS "); i >= 0 {
+		if _, err := fmt.Sscanf(resp[i:], " OPS %d %d %d %d",
+			&st.Ops.Lookups, &st.Ops.Updates, &st.Ops.Swaps, &st.Ops.Errors); err != nil {
+			return tables.TableStats{}, fmt.Errorf("ctl: parse %q: %w", resp, err)
+		}
+	}
+	return st, nil
 }
 
 // CacheStats fetches the current table's flow-cache counters; cached is

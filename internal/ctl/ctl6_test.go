@@ -250,12 +250,12 @@ func TestV6ServerPersistence(t *testing.T) {
 	if err := srv.AddTable6("six"); err != nil {
 		t.Fatal(err)
 	}
-	six, err := srv.lookupTable("six")
+	six, err := srv.reg.Resolve("six")
 	if err != nil {
 		t.Fatal(err)
 	}
 	rules6, _, _, _ := v6Fixture(t, 60, 47)
-	if _, err := six.eng6.Replace(rules6); err != nil {
+	if _, err := six.Eng6().Replace(rules6); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.SaveSnapshots(); err != nil {
@@ -273,14 +273,14 @@ func TestV6ServerPersistence(t *testing.T) {
 	if restored != 2 { // main + six
 		t.Fatalf("restored %d tables, want 2", restored)
 	}
-	six2, err := srv2.lookupTable("six")
+	six2, err := srv2.reg.Resolve("six")
 	if err != nil {
 		t.Fatalf("v6 table did not survive restart: %v", err)
 	}
-	if !six2.v6() {
+	if !six2.V6() {
 		t.Fatal("restored table lost its address family")
 	}
-	snap := six2.eng6.Snapshot()
+	snap := six2.Eng6().Snapshot()
 	if len(snap) != len(rules6) {
 		t.Fatalf("restored %d rules, want %d", len(snap), len(rules6))
 	}

@@ -891,12 +891,12 @@ func TestServerSnapshotPersistence(t *testing.T) {
 	if _, err := mainEng.Replace(mainRules); err != nil {
 		t.Fatal(err)
 	}
-	edge, err := srv.lookupTable("edge")
+	edge, err := srv.reg.Resolve("edge")
 	if err != nil {
 		t.Fatal(err)
 	}
 	edgeRules := snapTestRules(t, 30, 28)
-	if _, err := edge.eng.Replace(edgeRules); err != nil {
+	if _, err := edge.Eng().Replace(edgeRules); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.SaveSnapshots(); err != nil {
@@ -919,11 +919,11 @@ func TestServerSnapshotPersistence(t *testing.T) {
 		table string
 		rules []rule.Rule
 	}{{"main", mainRules}, {"edge", edgeRules}, {"hot", nil}} {
-		tab, err := srv2.lookupTable(tc.table)
+		tab, err := srv2.reg.Resolve(tc.table)
 		if err != nil {
 			t.Fatalf("table %q did not survive: %v", tc.table, err)
 		}
-		snap := tab.eng.Snapshot()
+		snap := tab.Eng().Snapshot()
 		if len(snap) != len(tc.rules) {
 			t.Fatalf("table %q: %d rules after restart, want %d", tc.table, len(snap), len(tc.rules))
 		}
@@ -938,15 +938,15 @@ func TestServerSnapshotPersistence(t *testing.T) {
 		}
 	}
 	// Recreated tables keep their engine construction.
-	edge2, _ := srv2.lookupTable("edge")
-	if edge2.backend != repro.BackendLinear || edge2.shards != 2 {
-		t.Fatalf("edge came back as %v/%d shards", edge2.backend, edge2.shards)
+	edge2, _ := srv2.reg.Resolve("edge")
+	if edge2.Spec().Backend != repro.BackendLinear || edge2.Spec().Shards != 2 {
+		t.Fatalf("edge came back as %v/%d shards", edge2.Spec().Backend, edge2.Spec().Shards)
 	}
-	hot2, _ := srv2.lookupTable("hot")
-	if hot2.cache == 0 {
+	hot2, _ := srv2.reg.Resolve("hot")
+	if hot2.Spec().Cache == 0 {
 		t.Fatal("hot table lost its flow cache across restart")
 	}
-	if _, ok := hot2.eng.(interface{ CacheStats() repro.FlowCacheStats }); !ok {
+	if _, ok := hot2.Eng().(interface{ CacheStats() repro.FlowCacheStats }); !ok {
 		t.Fatal("restored hot table engine is uncached")
 	}
 

@@ -6,11 +6,18 @@
 // deployed as a standalone daemon (cmd/classifierd) with remote rule
 // updates — the software-programmability story of the paper's conclusion.
 //
-// The server is multi-tenant: it holds named tables, each backed by its
-// own engine (any repro backend, optionally sharded), and every
-// connection addresses one current table (initially "main"). Lookups
-// and updates go to the engine of the current table, so one daemon
-// serves heterogeneous workloads side by side.
+// The server is multi-tenant but owns no table state itself: the named
+// tables live in the shared repro/internal/tables registry (each backed
+// by its own engine — any repro backend, optionally sharded), and this
+// package is only the line-protocol front end over that registry.
+// TABLE CREATE/DROP/LIST delegate to the registry's lifecycle, data
+// commands resolve their table through its lock-free read path, and the
+// daemon's HTTP plane (JSON admin API, Prometheus /metrics) shares the
+// same registry, so every surface sees the same tables and the same
+// per-table counters. Every connection addresses one current table
+// (initially "main"); lookups and updates go to the engine of the
+// current table, so one daemon serves heterogeneous workloads side by
+// side.
 //
 // Protocol grammar (one request per line, one response per line, except
 // BULK which pipelines n body lines before its single response):
@@ -34,6 +41,7 @@
 //	  (followed by n lines, each "<id> <prio> <action> @<classbench rule>")
 //	STATS                                            -> STATS <rules> <probes> <ops> <maxlist> <overflows>
 //	                                                    [CACHE <hits> <misses> <evictions>]
+//	                                                    OPS <lookups> <updates> <swaps> <errors>
 //	THROUGHPUT                                       -> THROUGHPUT <cycles/pkt> <mpps> <gbps>
 //	QUIT                                             -> BYE
 //
@@ -41,7 +49,10 @@
 // "linear", "tss", ...); <shards> defaults to 1. <cache> fronts the
 // table's engine with an exact-match flow cache of that many slots
 // (repro.WithFlowCache); cached tables append their hit/miss/eviction
-// counters to the STATS response.
+// counters to the STATS response. Every STATS response ends with an
+// OPS section carrying the table's serving-layer counters (lookups,
+// updates, swaps, errors) — the same typed tables.TableStats record the
+// JSON admin API and /metrics render, so the surfaces cannot disagree.
 //
 // "TABLE CREATE <name> v6" creates an IPv6 table instead, backed by a
 // split-64 decomposition engine (repro.New6); IPv6 tables take no shard
@@ -104,6 +115,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rule"
 	"repro/internal/snapfile"
+	"repro/internal/tables"
 )
 
 // Command names.
@@ -293,21 +305,11 @@ func formatResult(r core.Result) string {
 	return fmt.Sprintf("%d:%d:%s", r.RuleID, r.Priority, r.Action)
 }
 
-// validTableName reports whether a table name is protocol-safe: non-empty
-// and free of whitespace and the ':' used by the TABLES listing.
-func validTableName(name string) bool {
-	if name == "" || len(name) > 64 {
-		return false
-	}
-	for _, c := range name {
-		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-', c == '.':
-		default:
-			return false
-		}
-	}
-	return true
-}
+// validTableName reports whether a table name is protocol-safe:
+// non-empty and free of whitespace and the ':' used by the TABLES
+// listing. The registry owns the one definition so every surface
+// accepts the same names.
+func validTableName(name string) bool { return tables.ValidName(name) }
 
 func parseAddr(s string) (uint32, error) {
 	parts := strings.Split(s, ".")

@@ -6,7 +6,6 @@ import (
 	"net"
 	"os"
 	"path/filepath"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,6 +14,7 @@ import (
 	repro "repro"
 	"repro/internal/rule"
 	"repro/internal/snapfile"
+	"repro/internal/tables"
 )
 
 // DefaultTable is the table every connection starts on.
@@ -28,60 +28,18 @@ const DefaultIdleTimeout = 5 * time.Minute
 // connection forever.
 const maxBulk = 1 << 20
 
-// table is one named serving tenant: an engine plus the construction
-// metadata the TABLES listing and the snapshot attrs report. Exactly
-// one of eng and eng6 is set — eng6 marks an IPv6 table, whose data
-// commands parse the colon-hex grammar instead of the IPv4 one.
-type table struct {
-	name    string
-	backend repro.Backend
-	shards  int
-	cache   int
-	eng     repro.Engine
-	eng6    *repro.Classifier6
-}
-
-// v6 reports whether the table serves the IPv6 data path.
-func (t *table) v6() bool { return t.eng6 != nil }
-
-// ruleCount reads the table's live rule population.
-func (t *table) ruleCount() int {
-	if t.eng6 != nil {
-		return t.eng6.Len()
-	}
-	return t.eng.Len()
-}
-
-// backendLabel is the TABLES-listing backend token: the ParseBackend
-// spelling for IPv4 tables, the CREATE spelling "v6" for IPv6 ones.
-func (t *table) backendLabel() string {
-	if t.eng6 != nil {
-		return tokenV6
-	}
-	return strings.ToLower(t.backend.String())
-}
-
-// unwrapped walks Unwrap through capability-transparent wrappers (the
-// flow cache) to the engine that carries model-level capabilities like
-// the shard count and the hardware throughput model.
-func unwrapped(eng repro.Engine) repro.Engine {
-	for {
-		u, ok := eng.(interface{ Unwrap() repro.Engine })
-		if !ok {
-			return eng
-		}
-		eng = u.Unwrap()
-	}
-}
-
-// Server exposes a registry of named tables over the control protocol.
-// Engines make their own concurrency guarantees — lookups are lock-free
-// snapshot reads and updates serialize behind each engine's snapshot
-// writer — so connections are served fully in parallel; the server-side
-// mutex guards only the table registry.
+// Server is the line-protocol front end over the shared table
+// registry. It owns no table state of its own: lifecycle commands
+// (TABLE CREATE/DROP/LIST) delegate to the tables.Registry, data
+// commands resolve their table through the registry's lock-free read
+// path, and per-table instrumentation lands in the registry's
+// metrics blocks — so the HTTP plane sharing the registry reports the
+// same tables and the same counters. Engines make their own
+// concurrency guarantees (lookups are lock-free snapshot reads and
+// updates serialize behind each engine's snapshot writer), so
+// connections are served fully in parallel.
 type Server struct {
-	mu     sync.RWMutex
-	tables map[string]*table
+	reg *tables.Registry
 
 	wg       sync.WaitGroup
 	listener net.Listener
@@ -105,58 +63,35 @@ type Server struct {
 	SnapshotDir string
 }
 
-// NewServer wraps an engine as the "main" table of a fresh server.
+// NewServer wraps an engine as the "main" table of a fresh server,
+// deriving the registry spec from the engine's capabilities.
 func NewServer(eng repro.Engine) *Server {
 	s := &Server{
-		tables: make(map[string]*table),
+		reg:    tables.NewRegistry(),
 		closed: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 	}
-	s.tables[DefaultTable] = &table{
-		name: DefaultTable, backend: eng.Backend(), shards: engineShards(eng),
-		cache: engineCache(eng), eng: eng,
+	if _, err := s.reg.Add(tables.SpecFor(DefaultTable, eng), eng); err != nil {
+		// Registering one table into a fresh registry cannot collide;
+		// a failure here is a programming error.
+		panic(fmt.Sprintf("ctl: register default table: %v", err))
 	}
 	return s
 }
 
-// engineShards reads the replica count of a sharded engine (1 for
-// unsharded backends), looking through the flow-cache wrapper.
-func engineShards(eng repro.Engine) int {
-	if sh, ok := unwrapped(eng).(interface{ Shards() int }); ok {
-		return sh.Shards()
-	}
-	return 1
-}
-
-// engineCache reads the flow-cache slot capacity of a cached engine
-// (0 for uncached ones), so snapshot attrs can rebuild the wrapper.
-func engineCache(eng repro.Engine) int {
-	if ce, ok := eng.(interface{ CacheStats() repro.FlowCacheStats }); ok {
-		return ce.CacheStats().Entries
-	}
-	return 0
-}
+// Registry returns the server's table registry, shared with the other
+// control surfaces (the HTTP metrics and admin plane).
+func (s *Server) Registry() *tables.Registry { return s.reg }
 
 // AddTable creates a named table backed by a fresh engine — the same
 // path the protocol's TABLE CREATE takes, exported for daemon
 // bootstrapping from flags. cacheEntries > 0 fronts the engine with a
 // flow cache of that many slots.
 func (s *Server) AddTable(name string, backend repro.Backend, shards, cacheEntries int) error {
-	if !validTableName(name) {
-		return fmt.Errorf("invalid table name %q", name)
-	}
-	eng, err := repro.New(repro.WithBackend(backend), repro.WithShards(shards),
-		repro.WithFlowCache(cacheEntries))
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.tables[name]; dup {
-		return fmt.Errorf("table %q exists", name)
-	}
-	s.tables[name] = &table{name: name, backend: backend, shards: shards, cache: cacheEntries, eng: eng}
-	return nil
+	_, err := s.reg.Create(tables.Spec{
+		Name: name, Backend: backend, Shards: shards, Cache: cacheEntries,
+	})
+	return err
 }
 
 // AddTable6 creates a named IPv6 table backed by a fresh split-64
@@ -164,55 +99,8 @@ func (s *Server) AddTable(name string, backend repro.Backend, shards, cacheEntri
 // "TABLE CREATE <name> v6" takes. IPv6 engines are unsharded and
 // uncached.
 func (s *Server) AddTable6(name string) error {
-	if !validTableName(name) {
-		return fmt.Errorf("invalid table name %q", name)
-	}
-	eng6, err := repro.New6()
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.tables[name]; dup {
-		return fmt.Errorf("table %q exists", name)
-	}
-	s.tables[name] = &table{name: name, backend: repro.BackendDecomposition, shards: 1, eng6: eng6}
-	return nil
-}
-
-// dropTable removes a table; connections currently on it get unknown-
-// table errors until they switch.
-func (s *Server) dropTable(name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tables[name]; !ok {
-		return fmt.Errorf("unknown table %q", name)
-	}
-	delete(s.tables, name)
-	return nil
-}
-
-// lookupTable resolves a table name.
-func (s *Server) lookupTable(name string) (*table, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("unknown table %q", name)
-	}
-	return t, nil
-}
-
-// listTables snapshots the registry sorted by name.
-func (s *Server) listTables() []*table {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*table, 0, len(s.tables))
-	for _, t := range s.tables {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
-	return out
+	_, err := s.reg.Create(tables.Spec{Name: name, Family: tables.V6})
+	return err
 }
 
 // snapshotPath resolves a snapshot name inside the configured
@@ -228,45 +116,24 @@ func (s *Server) snapshotPath(name string) (string, error) {
 	return filepath.Join(s.SnapshotDir, name+".snap"), nil
 }
 
-// tableAttrs renders the engine-construction metadata stored in a
-// table's snapshot file, enough to rebuild the table from the file
-// alone. asTable additionally marks the file as daemon table
-// persistence (the save-on-drain kind LoadSnapshots restores into the
-// registry); user checkpoints from SNAPSHOT SAVE omit the mark so a
-// restart does not resurrect them as tables.
-func tableAttrs(t *table, asTable bool) map[string]string {
-	attrs := map[string]string{
-		"backend": strings.ToLower(t.backend.String()),
-		"shards":  strconv.Itoa(t.shards),
-		"cache":   strconv.Itoa(t.cache),
-	}
-	if t.v6() {
-		attrs[snapfile.FamilyAttr] = tokenV6
-	}
-	if asTable {
-		attrs["table"] = t.name
-	}
-	return attrs
-}
-
 // saveTable persists one table's ruleset as <name>.snap, returning the
 // rule count written. The engine snapshot is one consistent RCU read
 // and the file write is atomic (temp + rename), so a crash mid-save
 // leaves the previous snapshot intact.
-func (s *Server) saveTable(t *table, name string, asTable bool) (int, error) {
+func (s *Server) saveTable(t *tables.Table, name string, asTable bool) (int, error) {
 	path, err := s.snapshotPath(name)
 	if err != nil {
 		return 0, err
 	}
-	if t.v6() {
-		rules := t.eng6.Snapshot()
-		if err := snapfile.Save(path, snapfile.Snapshot{Attrs: tableAttrs(t, asTable), Rules6: rules}); err != nil {
+	if t.V6() {
+		rules := t.Eng6().Snapshot()
+		if err := snapfile.Save(path, snapfile.Snapshot{Attrs: t.Attrs(asTable), Rules6: rules}); err != nil {
 			return 0, err
 		}
 		return len(rules), nil
 	}
-	rules := t.eng.Snapshot()
-	if err := snapfile.Save(path, snapfile.Snapshot{Attrs: tableAttrs(t, asTable), Rules: rules}); err != nil {
+	rules := t.Eng().Snapshot()
+	if err := snapfile.Save(path, snapfile.Snapshot{Attrs: t.Attrs(asTable), Rules: rules}); err != nil {
 		return 0, err
 	}
 	return len(rules), nil
@@ -289,9 +156,9 @@ func (s *Server) SaveSnapshots() error {
 		return fmt.Errorf("ctl: no snapshot directory configured")
 	}
 	var firstErr error
-	for _, t := range s.listTables() {
-		if _, err := s.saveTable(t, t.name, true); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("table %q: %w", t.name, err)
+	for _, t := range s.reg.List() {
+		if _, err := s.saveTable(t, t.Name(), true); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("table %q: %w", t.Name(), err)
 		}
 	}
 	return firstErr
@@ -335,65 +202,33 @@ func (s *Server) LoadSnapshots() (restored int, warns []string, err error) {
 			warns = append(warns, fmt.Sprintf("snapshot %q unreadable: %v; skipped", name, err))
 			continue
 		}
-		if snap.Attrs["table"] != name {
+		if tables.PersistedTable(snap.Attrs) != name {
 			continue // a user checkpoint, not daemon table persistence
 		}
-		snapV6 := snap.Attrs[snapfile.FamilyAttr] == tokenV6
-		t, lookupErr := s.lookupTable(name)
+		spec, err := tables.ParseAttrs(snap.Attrs)
+		if err != nil {
+			return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
+		}
+		t, lookupErr := s.reg.Resolve(name)
 		if lookupErr != nil {
-			if snapV6 {
-				if err := s.AddTable6(name); err != nil {
-					return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
-				}
-			} else {
-				backend, shards, cache, err := snapAttrs(snap.Attrs)
-				if err != nil {
-					return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
-				}
-				if err := s.AddTable(name, backend, shards, cache); err != nil {
-					return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
-				}
-			}
-			t, _ = s.lookupTable(name)
-		}
-		if snapV6 != t.v6() {
-			return restored, warns, fmt.Errorf("ctl: snapshot %q: address family does not match table %q", name, t.name)
-		}
-		if t.v6() {
-			if _, err := t.eng6.Replace(snap.Rules6); err != nil {
+			spec.Name = name
+			if t, err = s.reg.Create(spec); err != nil {
 				return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
 			}
-		} else if _, err := t.eng.Replace(snap.Rules); err != nil {
+		}
+		if (spec.Family == tables.V6) != t.V6() {
+			return restored, warns, fmt.Errorf("ctl: snapshot %q: address family does not match table %q", name, t.Name())
+		}
+		if t.V6() {
+			if _, err := t.Eng6().Replace(snap.Rules6); err != nil {
+				return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
+			}
+		} else if _, err := t.Eng().Replace(snap.Rules); err != nil {
 			return restored, warns, fmt.Errorf("ctl: snapshot %q: %w", name, err)
 		}
 		restored++
 	}
 	return restored, warns, nil
-}
-
-// snapAttrs decodes a snapshot's engine-construction attrs, defaulting
-// to an unsharded, uncached decomposition table when absent.
-func snapAttrs(attrs map[string]string) (backend repro.Backend, shards, cache int, err error) {
-	backend, shards, cache = repro.BackendDecomposition, 1, 0
-	if v, ok := attrs["backend"]; ok {
-		backend, err = repro.ParseBackend(v)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-	}
-	if v, ok := attrs["shards"]; ok {
-		shards, err = strconv.Atoi(v)
-		if err != nil || shards < 1 {
-			return 0, 0, 0, fmt.Errorf("shards attr %q", v)
-		}
-	}
-	if v, ok := attrs["cache"]; ok {
-		cache, err = strconv.Atoi(v)
-		if err != nil || cache < 0 {
-			return 0, 0, 0, fmt.Errorf("cache attr %q", v)
-		}
-	}
-	return backend, shards, cache, nil
 }
 
 // Serve accepts connections until the listener is closed (via Shutdown).
@@ -547,10 +382,18 @@ func (sess *session) scan() bool {
 }
 
 // tbl resolves the session's current table. Commands branch on the
-// table's address family from here: t.eng6 carries the IPv6 data path,
-// t.eng everything else.
-func (sess *session) tbl() (*table, error) {
-	return sess.srv.lookupTable(sess.table)
+// table's address family from here: Eng6 carries the IPv6 data path,
+// Eng everything else.
+func (sess *session) tbl() (*tables.Table, error) {
+	return sess.srv.reg.Resolve(sess.table)
+}
+
+// fail counts one failed command against the resolved table and
+// returns the error response — commands that die before resolving a
+// table have no table to charge.
+func fail(t *tables.Table, resp string) string {
+	t.Metrics().Errors.Inc()
+	return resp
 }
 
 // dispatch executes one protocol line.
@@ -570,23 +413,27 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 			return "ERR " + err.Error(), false
 		}
 		var cost repro.Cost
-		if t.v6() {
+		start := time.Now()
+		if t.V6() {
 			r, err := parseInsert6(args)
 			if err != nil {
-				return "ERR " + err.Error(), false
+				return fail(t, "ERR "+err.Error()), false
 			}
-			if cost, err = t.eng6.Insert(r); err != nil {
-				return "ERR " + err.Error(), false
+			if cost, err = t.Eng6().Insert(r); err != nil {
+				return fail(t, "ERR "+err.Error()), false
 			}
 		} else {
 			r, err := parseInsert(args)
 			if err != nil {
-				return "ERR " + err.Error(), false
+				return fail(t, "ERR "+err.Error()), false
 			}
-			if cost, err = t.eng.Insert(r); err != nil {
-				return "ERR " + err.Error(), false
+			if cost, err = t.Eng().Insert(r); err != nil {
+				return fail(t, "ERR "+err.Error()), false
 			}
 		}
+		m := t.Metrics()
+		m.Updates.Inc()
+		m.UpdateLatency.Record(time.Since(start))
 		return fmt.Sprintf("OK %d", cost.Cycles), false
 
 	case cmdBulk:
@@ -607,14 +454,18 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 			return "ERR " + err.Error(), false
 		}
 		var cost repro.Cost
-		if t.v6() {
-			cost, err = t.eng6.Replace(nil)
+		start := time.Now()
+		if t.V6() {
+			cost, err = t.Eng6().Replace(nil)
 		} else {
-			cost, err = t.eng.Replace(nil)
+			cost, err = t.Eng().Replace(nil)
 		}
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return fail(t, "ERR "+err.Error()), false
 		}
+		m := t.Metrics()
+		m.Swaps.Inc()
+		m.UpdateLatency.Record(time.Since(start))
 		return fmt.Sprintf("OK %d", cost.Cycles), false
 
 	case cmdSwap:
@@ -630,14 +481,18 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 			return "ERR " + err.Error(), false
 		}
 		var cost repro.Cost
-		if t.v6() {
-			cost, err = t.eng6.Delete(id)
+		start := time.Now()
+		if t.V6() {
+			cost, err = t.Eng6().Delete(id)
 		} else {
-			cost, err = t.eng.Delete(id)
+			cost, err = t.Eng().Delete(id)
 		}
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return fail(t, "ERR "+err.Error()), false
 		}
+		m := t.Metrics()
+		m.Updates.Inc()
+		m.UpdateLatency.Record(time.Since(start))
 		return fmt.Sprintf("OK %d", cost.Cycles), false
 
 	case cmdLookup:
@@ -646,19 +501,23 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 			return "ERR " + err.Error(), false
 		}
 		var res repro.Result
-		if t.v6() {
+		start := time.Now()
+		if t.V6() {
 			h, err := parseLookup6(args)
 			if err != nil {
-				return "ERR " + err.Error(), false
+				return fail(t, "ERR "+err.Error()), false
 			}
-			res, _ = t.eng6.Lookup(h)
+			res, _ = t.Eng6().Lookup(h)
 		} else {
 			h, err := parseLookup(args)
 			if err != nil {
-				return "ERR " + err.Error(), false
+				return fail(t, "ERR "+err.Error()), false
 			}
-			res, _ = t.eng.Lookup(h)
+			res, _ = t.Eng().Lookup(h)
 		}
+		m := t.Metrics()
+		m.Lookups.Inc()
+		m.LookupLatency.Record(time.Since(start))
 		if !res.Found {
 			return "NOMATCH", false
 		}
@@ -670,21 +529,28 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 			return "ERR " + err.Error(), false
 		}
 		var results []repro.Result
-		if t.v6() {
+		start := time.Now()
+		var batch int
+		if t.V6() {
 			hs, err := parseMLookup6(args)
 			if err != nil {
-				return "ERR " + err.Error(), false
+				return fail(t, "ERR "+err.Error()), false
 			}
 			results = sess.resScratch(len(hs))
-			t.eng6.LookupBatchInto(hs, results)
+			t.Eng6().LookupBatchInto(hs, results)
+			batch = len(hs)
 		} else {
 			hs, err := parseMLookup(args)
 			if err != nil {
-				return "ERR " + err.Error(), false
+				return fail(t, "ERR "+err.Error()), false
 			}
 			results = sess.resScratch(len(hs))
-			t.eng.LookupBatchInto(hs, results)
+			t.Eng().LookupBatchInto(hs, results)
+			batch = len(hs)
 		}
+		m := t.Metrics()
+		m.Lookups.Add(uint64(batch))
+		m.LookupLatency.Record(time.Since(start))
 		var b strings.Builder
 		b.WriteString("RESULTS")
 		for _, r := range results {
@@ -698,43 +564,20 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		// The decomposition backend (v4 or v6, sharded or not) reports
-		// full pipeline statistics; other backends report population
-		// only. Flow-cached engines append their hit/miss/eviction
-		// counters.
-		var st repro.Stats
-		switch {
-		case t.v6():
-			st = t.eng6.Stats()
-		default:
-			if se, ok := t.eng.(interface{ Stats() repro.Stats }); ok {
-				st = se.Stats()
-			} else {
-				st.Rules = t.eng.Len()
-			}
-		}
-		resp := fmt.Sprintf("STATS %d %d %d %d %d",
-			st.Rules, st.Probes, st.ProbeOps, st.MaxListLen, st.HardwareOverflows)
-		if !t.v6() {
-			if ce, ok := t.eng.(interface{ CacheStats() repro.FlowCacheStats }); ok {
-				cs := ce.CacheStats()
-				resp += fmt.Sprintf(" CACHE %d %d %d", cs.Hits, cs.Misses, cs.Evictions)
-			}
-		}
-		return resp, false
+		return formatStats(t.Stats()), false
 
 	case cmdThroughput:
 		t, err := sess.tbl()
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		if t.v6() {
-			tp := t.eng6.ModelThroughput()
+		if t.V6() {
+			tp := t.Eng6().ModelThroughput()
 			return fmt.Sprintf("THROUGHPUT %.2f %.2f %.2f", tp.CyclesPerPacket, tp.Mpps, tp.Gbps), false
 		}
-		te, ok := unwrapped(t.eng).(interface{ ModelThroughput() repro.Throughput })
+		te, ok := tables.Unwrapped(t.Eng()).(interface{ ModelThroughput() repro.Throughput })
 		if !ok {
-			return fmt.Sprintf("ERR backend %s does not model throughput", t.eng.Backend()), false
+			return fail(t, fmt.Sprintf("ERR backend %s does not model throughput", t.Eng().Backend())), false
 		}
 		tp := te.ModelThroughput()
 		return fmt.Sprintf("THROUGHPUT %.2f %.2f %.2f", tp.CyclesPerPacket, tp.Mpps, tp.Gbps), false
@@ -745,6 +588,23 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 	default:
 		return fmt.Sprintf("ERR unknown command %q", cmd), false
 	}
+}
+
+// formatStats renders the typed stats record as the STATS wire line.
+// The five leading fields and the CACHE section predate the typed
+// struct and keep their positions; the OPS section appends the
+// serving-layer counters. fmt.Sscanf parsers of the older prefixes
+// tolerate the trailing sections, so old clients keep working.
+func formatStats(st tables.TableStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "STATS %d %d %d %d %d",
+		st.Rules, st.Probes, st.ProbeOps, st.MaxListLen, st.HardwareOverflows)
+	if st.Cache != nil {
+		fmt.Fprintf(&b, " CACHE %d %d %d", st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions)
+	}
+	fmt.Fprintf(&b, " OPS %d %d %d %d",
+		st.Ops.Lookups, st.Ops.Updates, st.Ops.Swaps, st.Ops.Errors)
+	return b.String()
 }
 
 // dispatchTable executes the TABLE subcommands.
@@ -794,7 +654,7 @@ func (sess *session) dispatchTable(args string) string {
 		if len(fields) != 2 {
 			return "ERR TABLE DROP wants <name>"
 		}
-		if err := sess.srv.dropTable(fields[1]); err != nil {
+		if err := sess.srv.reg.Drop(fields[1]); err != nil {
 			return "ERR " + err.Error()
 		}
 		return "OK"
@@ -803,7 +663,7 @@ func (sess *session) dispatchTable(args string) string {
 		if len(fields) != 2 {
 			return "ERR TABLE USE wants <name>"
 		}
-		if _, err := sess.srv.lookupTable(fields[1]); err != nil {
+		if _, err := sess.srv.reg.Resolve(fields[1]); err != nil {
 			return "ERR " + err.Error()
 		}
 		sess.table = fields[1]
@@ -812,9 +672,9 @@ func (sess *session) dispatchTable(args string) string {
 	case subList:
 		var b strings.Builder
 		b.WriteString("TABLES")
-		for _, t := range sess.srv.listTables() {
+		for _, t := range sess.srv.reg.List() {
 			fmt.Fprintf(&b, " %s:%s:%d:%d",
-				t.name, t.backendLabel(), t.shards, t.ruleCount())
+				t.Name(), t.Spec().BackendLabel(), t.Spec().Shards, t.Rules())
 		}
 		return b.String()
 
@@ -836,8 +696,8 @@ func (sess *session) dispatchSnapshot(args string) string {
 			return "ERR " + err.Error()
 		}
 		var b strings.Builder
-		if t.v6() {
-			rules := t.eng6.Snapshot()
+		if t.V6() {
+			rules := t.Eng6().Snapshot()
 			fmt.Fprintf(&b, "SNAPSHOT %d %08x", len(rules), snapfile.Checksum6(rules))
 			for i := range rules {
 				b.WriteByte('\n')
@@ -845,7 +705,7 @@ func (sess *session) dispatchSnapshot(args string) string {
 			}
 			return b.String()
 		}
-		rules := t.eng.Snapshot()
+		rules := t.Eng().Snapshot()
 		fmt.Fprintf(&b, "SNAPSHOT %d %08x", len(rules), snapfile.Checksum(rules))
 		for i := range rules {
 			b.WriteByte('\n')
@@ -854,7 +714,7 @@ func (sess *session) dispatchSnapshot(args string) string {
 		return b.String()
 
 	case strings.EqualFold(fields[0], subSave) && len(fields) == 2:
-		t, err := sess.srv.lookupTable(sess.table)
+		t, err := sess.tbl()
 		if err != nil {
 			return "ERR " + err.Error()
 		}
@@ -863,12 +723,12 @@ func (sess *session) dispatchSnapshot(args string) string {
 		// overwritten by the next drain (or shadow the table's
 		// persisted ruleset after a crash), so the collision is
 		// rejected up front.
-		if _, exists := sess.srv.lookupTable(fields[1]); exists == nil {
-			return fmt.Sprintf("ERR snapshot name %q collides with a table; the drain would overwrite it", fields[1])
+		if _, exists := sess.srv.reg.Resolve(fields[1]); exists == nil {
+			return fail(t, fmt.Sprintf("ERR snapshot name %q collides with a table; the drain would overwrite it", fields[1]))
 		}
 		n, err := sess.srv.saveTable(t, fields[1], false)
 		if err != nil {
-			return "ERR " + err.Error()
+			return fail(t, "ERR "+err.Error())
 		}
 		return fmt.Sprintf("OK %d", n)
 
@@ -895,20 +755,27 @@ func (sess *session) dispatchRestore(args string) string {
 	}
 	// Restoring across address families would silently install an empty
 	// ruleset (the other family's slice), so the mismatch is rejected.
-	if snapV6 := snap.Attrs[snapfile.FamilyAttr] == tokenV6; snapV6 != t.v6() {
-		return fmt.Sprintf("ERR snapshot %q: address family does not match table %q", name, t.name)
+	if snapV6 := snap.Attrs[snapfile.FamilyAttr] == tokenV6; snapV6 != t.V6() {
+		return fail(t, fmt.Sprintf("ERR snapshot %q: address family does not match table %q", name, t.Name()))
 	}
-	if t.v6() {
-		cost, err := t.eng6.Replace(snap.Rules6)
+	start := time.Now()
+	if t.V6() {
+		cost, err := t.Eng6().Replace(snap.Rules6)
 		if err != nil {
-			return "ERR " + err.Error()
+			return fail(t, "ERR "+err.Error())
 		}
+		m := t.Metrics()
+		m.Swaps.Inc()
+		m.UpdateLatency.Record(time.Since(start))
 		return fmt.Sprintf("OK %d %d", len(snap.Rules6), cost.Cycles)
 	}
-	cost, err := t.eng.Replace(snap.Rules)
+	cost, err := t.Eng().Replace(snap.Rules)
 	if err != nil {
-		return "ERR " + err.Error()
+		return fail(t, "ERR "+err.Error())
 	}
+	m := t.Metrics()
+	m.Swaps.Inc()
+	m.UpdateLatency.Record(time.Since(start))
 	return fmt.Sprintf("OK %d %d", len(snap.Rules), cost.Cycles)
 }
 
@@ -951,7 +818,7 @@ func (sess *session) dispatchSwap(args string) (resp string, quit bool) {
 		return fmt.Sprintf("ERR SWAP wants a count in [0, %d]; closing", maxBulk), true
 	}
 	t, tblErr := sess.tbl()
-	v6 := tblErr == nil && t.v6()
+	v6 := tblErr == nil && t.V6()
 	var rules []rule.Rule
 	var rules6 []rule.Rule6
 	if v6 {
@@ -979,19 +846,29 @@ func (sess *session) dispatchSwap(args string) (resp string, quit bool) {
 		return fmt.Sprintf("ERR swap: stream ended after %d of %d lines", consumed, n), true
 	}
 	if firstErr != nil {
+		if tblErr == nil {
+			t.Metrics().Errors.Inc()
+		}
 		return "ERR " + firstErr.Error(), false
 	}
+	start := time.Now()
 	if v6 {
-		cost, err := t.eng6.Replace(rules6)
+		cost, err := t.Eng6().Replace(rules6)
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return fail(t, "ERR "+err.Error()), false
 		}
+		m := t.Metrics()
+		m.Swaps.Inc()
+		m.UpdateLatency.Record(time.Since(start))
 		return fmt.Sprintf("OK %d %d", len(rules6), cost.Cycles), false
 	}
-	cost, err := t.eng.Replace(rules)
+	cost, err := t.Eng().Replace(rules)
 	if err != nil {
-		return "ERR " + err.Error(), false
+		return fail(t, "ERR "+err.Error()), false
 	}
+	m := t.Metrics()
+	m.Swaps.Inc()
+	m.UpdateLatency.Record(time.Since(start))
 	return fmt.Sprintf("OK %d %d", len(rules), cost.Cycles), false
 }
 
@@ -1007,25 +884,29 @@ func (sess *session) dispatchBulk(args string) (resp string, quit bool) {
 		return fmt.Sprintf("ERR BULK wants a count in [1, %d]; closing", maxBulk), true
 	}
 	t, tblErr := sess.tbl()
-	v6 := tblErr == nil && t.v6()
+	v6 := tblErr == nil && t.V6()
 	inserted, cycles := 0, 0
 	firstErr, consumed, ok := sess.readBody(n, tblErr, func(i int, line string) error {
 		var cost repro.Cost
 		var err error
+		start := time.Now()
 		if v6 {
 			var r rule.Rule6
 			if r, err = parseInsert6(line); err == nil {
-				cost, err = t.eng6.Insert(r)
+				cost, err = t.Eng6().Insert(r)
 			}
 		} else {
 			var r rule.Rule
 			if r, err = parseInsert(line); err == nil {
-				cost, err = t.eng.Insert(r)
+				cost, err = t.Eng().Insert(r)
 			}
 		}
 		if err == nil {
 			inserted++
 			cycles += cost.Cycles
+			m := t.Metrics()
+			m.Updates.Inc()
+			m.UpdateLatency.Record(time.Since(start))
 			return nil
 		}
 		return fmt.Errorf("bulk line %d: %w (inserted %d)", i+1, err, inserted)
@@ -1034,6 +915,9 @@ func (sess *session) dispatchBulk(args string) (resp string, quit bool) {
 		return fmt.Sprintf("ERR bulk: stream ended after %d of %d lines", consumed, n), true
 	}
 	if firstErr != nil {
+		if tblErr == nil {
+			t.Metrics().Errors.Inc()
+		}
 		return "ERR " + firstErr.Error(), false
 	}
 	return fmt.Sprintf("OK %d %d", inserted, cycles), false

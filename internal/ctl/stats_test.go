@@ -1,0 +1,112 @@
+package ctl
+
+import (
+	"testing"
+
+	"repro/internal/rule"
+	"repro/internal/tables"
+)
+
+// TestParseStatsRoundTrip pins the STATS wire format: formatStats and
+// parseStats must be exact inverses for the fields the line carries,
+// with and without the optional CACHE section.
+func TestParseStatsRoundTrip(t *testing.T) {
+	cases := []tables.TableStats{
+		{
+			Rules: 7, Probes: 11, ProbeOps: 13, MaxListLen: 3, HardwareOverflows: 1,
+			Ops: tables.OpCounters{Lookups: 100, Updates: 20, Swaps: 2, Errors: 5},
+		},
+		{
+			Rules: 1, Probes: 2, ProbeOps: 3, MaxListLen: 4, HardwareOverflows: 5,
+			Cache: &tables.CacheCounters{Hits: 8, Misses: 9, Evictions: 10},
+			Ops:   tables.OpCounters{Lookups: 1, Updates: 2, Swaps: 3, Errors: 4},
+		},
+		{}, // all-zero line must survive too
+	}
+	for _, want := range cases {
+		line := formatStats(want)
+		got, err := parseStats(line)
+		if err != nil {
+			t.Fatalf("parseStats(%q): %v", line, err)
+		}
+		if got.Rules != want.Rules || got.Probes != want.Probes || got.ProbeOps != want.ProbeOps ||
+			got.MaxListLen != want.MaxListLen || got.HardwareOverflows != want.HardwareOverflows {
+			t.Errorf("%q: engine fields %+v, want %+v", line, got, want)
+		}
+		if got.Ops != want.Ops {
+			t.Errorf("%q: ops %+v, want %+v", line, got.Ops, want.Ops)
+		}
+		if (got.Cache == nil) != (want.Cache == nil) {
+			t.Errorf("%q: cache presence %v, want %v", line, got.Cache != nil, want.Cache != nil)
+		} else if want.Cache != nil &&
+			(got.Cache.Hits != want.Cache.Hits || got.Cache.Misses != want.Cache.Misses ||
+				got.Cache.Evictions != want.Cache.Evictions) {
+			t.Errorf("%q: cache %+v, want %+v", line, got.Cache, want.Cache)
+		}
+	}
+
+	// The pre-OPS wire format (old daemons) must still parse.
+	old, err := parseStats("STATS 7 11 13 3 1")
+	if err != nil {
+		t.Fatalf("parse legacy line: %v", err)
+	}
+	if old.Rules != 7 || old.Ops != (tables.OpCounters{}) {
+		t.Errorf("legacy line parsed as %+v", old)
+	}
+}
+
+// TestStatsOpsCounters drives one of each operation class through the
+// protocol and asserts the serving-layer counters the STATS OPS section
+// reports: lookups (including each MLOOKUP header), updates (including
+// each BULK line), swaps and errors.
+func TestStatsOpsCounters(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+
+	mk := func(id, prio int, plen uint8) rule.Rule {
+		return rule.Rule{
+			ID: id, Priority: prio,
+			SrcIP:   rule.Prefix{Addr: 0x0a000000, Len: plen},
+			SrcPort: rule.FullPortRange(), DstPort: rule.FullPortRange(),
+			Proto: rule.AnyProto(), Action: rule.ActionPermit,
+		}
+	}
+
+	if _, err := client.Insert(mk(1, 1, 8)); err != nil { // 1 update
+		t.Fatal(err)
+	}
+	if _, err := client.BulkInsert([]rule.Rule{mk(2, 2, 16), mk(3, 3, 24)}); err != nil { // 2 updates
+		t.Fatal(err)
+	}
+	if _, err := client.Delete(2); err != nil { // 1 update
+		t.Fatal(err)
+	}
+	if _, err := client.Lookup(rule.Header{SrcIP: 0x0a010203}); err != nil { // 1 lookup
+		t.Fatal(err)
+	}
+	hs := []rule.Header{{SrcIP: 0x0a010203}, {SrcIP: 0x0b000001}, {SrcIP: 0x0a000001}}
+	if _, err := client.MLookup(hs); err != nil { // 3 lookups
+		t.Fatal(err)
+	}
+	if _, err := client.Swap([]rule.Rule{mk(9, 1, 8)}); err != nil { // 1 swap
+		t.Fatal(err)
+	}
+	if _, err := client.Reset(); err != nil { // 1 swap
+		t.Fatal(err)
+	}
+	if _, err := client.Delete(424242); err == nil { // 1 error
+		t.Fatal("Delete of unknown rule succeeded")
+	}
+
+	st, err := client.TableStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tables.OpCounters{Lookups: 4, Updates: 4, Swaps: 2, Errors: 1}
+	if st.Ops != want {
+		t.Errorf("OPS counters %+v, want %+v", st.Ops, want)
+	}
+	if st.Rules != 0 {
+		t.Errorf("rules after reset = %d, want 0", st.Rules)
+	}
+}

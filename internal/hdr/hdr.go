@@ -1,0 +1,50 @@
+// Package hdr defines the module's one HDR-histogram bucket geometry:
+// values are bucketed with a bounded relative error (~3%, 5 significant
+// bits) instead of a bounded absolute error, so one histogram spans
+// nanosecond lookups and second stalls without losing tail resolution.
+// The package holds only the value↔bucket arithmetic — a dependency-free
+// leaf — so both internal/workload's single-writer replay histograms and
+// internal/metrics' concurrent daemon histograms share exact bucket
+// boundaries, and their counts merge losslessly bucket-by-bucket.
+package hdr
+
+import "math/bits"
+
+const (
+	// SubBits is the number of significant bits kept per bucket: each
+	// power of two is split into 2^SubBits linear sub-buckets.
+	SubBits = 5
+	sub     = 1 << SubBits
+	// Exact is the range [0, Exact) tracked exactly (one bucket per
+	// nanosecond).
+	Exact = 64
+	// Buckets covers exact values plus every (exponent, sub-bucket)
+	// pair up to the full uint64 range.
+	Buckets = Exact + (63-SubBits)*sub
+)
+
+// Index maps a value to its bucket.
+//
+//repro:noalloc
+func Index(v uint64) int {
+	if v < Exact {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // v in [2^exp, 2^exp+1), exp >= 6
+	frac := (v >> (exp - SubBits)) & (sub - 1)
+	return Exact + (exp-6)*sub + int(frac)
+}
+
+// Value returns the midpoint of a bucket — the value reported for
+// samples that landed in it.
+//
+//repro:noalloc
+func Value(i int) uint64 {
+	if i < Exact {
+		return uint64(i)
+	}
+	exp := 6 + (i-Exact)/sub
+	frac := uint64((i - Exact) % sub)
+	lo := uint64(1)<<exp | frac<<(exp-SubBits)
+	return lo + uint64(1)<<(exp-SubBits)/2
+}

@@ -1,0 +1,55 @@
+package hdr
+
+import "testing"
+
+func TestExactRange(t *testing.T) {
+	for v := uint64(0); v < Exact; v++ {
+		if i := Index(v); i != int(v) {
+			t.Fatalf("Index(%d) = %d, want %d", v, i, v)
+		}
+		if got := Value(int(v)); got != v {
+			t.Fatalf("Value(%d) = %d, want %d", v, got, v)
+		}
+	}
+}
+
+func TestIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 63, 64, 65, 100, 1000, 1 << 16, 1<<16 + 1, 1 << 32, 1<<63 - 1, 1 << 63} {
+		i := Index(v)
+		if i < prev {
+			t.Fatalf("Index(%d) = %d < previous %d; not monotone", v, i, prev)
+		}
+		if i < 0 || i >= Buckets {
+			t.Fatalf("Index(%d) = %d out of [0, %d)", v, i, Buckets)
+		}
+		prev = i
+	}
+}
+
+// TestRelativeError locks the geometry's accuracy contract: every
+// bucket midpoint is within ~3% (2^-SubBits) of any value mapped to it.
+func TestRelativeError(t *testing.T) {
+	for _, v := range []uint64{64, 100, 999, 12345, 1 << 20, 987654321, 1 << 40} {
+		mid := Value(Index(v))
+		diff := float64(mid) - float64(v)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff/float64(v) > 1.0/(1<<SubBits) {
+			t.Errorf("Value(Index(%d)) = %d: relative error %.4f exceeds 2^-%d", v, mid, diff/float64(v), SubBits)
+		}
+	}
+}
+
+func TestGeometryZeroAllocs(t *testing.T) {
+	var sinkI int
+	var sinkV uint64
+	if n := testing.AllocsPerRun(100, func() { sinkI += Index(12345) }); n != 0 {
+		t.Errorf("Index allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { sinkV += Value(200) }); n != 0 {
+		t.Errorf("Value allocates %v/op, want 0", n)
+	}
+	_, _ = sinkI, sinkV
+}

@@ -1,0 +1,337 @@
+// Package httpapi is the daemon's machine-oriented control plane: a
+// stdlib-only HTTP handler over the shared table registry serving a
+// Prometheus text-format /metrics exposition and a typed JSON admin
+// API. It is the "equivalently typed" counterpart of the ctl line
+// protocol — both front ends resolve tables through the same
+// tables.Registry and report from the same tables.TableStats record,
+// so a scrape, a ctl STATS and a JSON stats fetch can never disagree
+// about a table.
+//
+// Routes:
+//
+//	GET    /metrics                  Prometheus text exposition
+//	GET    /v1/tables                list tables (JSON array of Table)
+//	POST   /v1/tables                create a table from a CreateRequest
+//	DELETE /v1/tables/{name}         drop a table
+//	GET    /v1/tables/{name}/stats   full tables.TableStats record
+//
+// Errors are returned as {"error": "..."} with a conventional status
+// code (400 bad request, 404 unknown table, 409 duplicate create).
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	repro "repro"
+	"repro/internal/tables"
+)
+
+// Table is the JSON listing row of one table — the identity and
+// construction shape; stats live behind /v1/tables/{name}/stats.
+type Table struct {
+	Name    string `json:"name"`
+	Family  string `json:"family"`
+	Backend string `json:"backend"`
+	Shards  int    `json:"shards"`
+	Cache   int    `json:"cache,omitempty"`
+	Rules   int    `json:"rules"`
+}
+
+// CreateRequest is the POST /v1/tables body. Family defaults to "v4";
+// "v6" creates a split-64 IPv6 table, which takes no backend, shard or
+// cache fields. Backend is a repro.ParseBackend spelling, defaulting
+// to the paper's decomposition architecture; Shards defaults to 1.
+type CreateRequest struct {
+	Name    string `json:"name"`
+	Family  string `json:"family,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	Shards  int    `json:"shards,omitempty"`
+	Cache   int    `json:"cache,omitempty"`
+}
+
+// errorReply is the JSON error envelope.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// NewHandler builds the HTTP plane over a shared registry.
+func NewHandler(reg *tables.Registry) http.Handler {
+	h := &handler{reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /v1/tables", h.listTables)
+	mux.HandleFunc("POST /v1/tables", h.createTable)
+	mux.HandleFunc("DELETE /v1/tables/{name}", h.dropTable)
+	mux.HandleFunc("GET /v1/tables/{name}/stats", h.tableStats)
+	return mux
+}
+
+type handler struct {
+	reg *tables.Registry
+}
+
+// writeJSON renders one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError renders the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// summary renders one registry table as its listing row.
+func summary(t *tables.Table) Table {
+	spec := t.Spec()
+	return Table{
+		Name:    t.Name(),
+		Family:  spec.Family.String(),
+		Backend: spec.BackendLabel(),
+		Shards:  spec.Shards,
+		Cache:   spec.Cache,
+		Rules:   t.Rules(),
+	}
+}
+
+// listTables serves GET /v1/tables.
+func (h *handler) listTables(w http.ResponseWriter, r *http.Request) {
+	list := h.reg.List()
+	out := make([]Table, len(list))
+	for i, t := range list {
+		out[i] = summary(t)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// createTable serves POST /v1/tables.
+func (h *handler) createTable(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	spec := tables.Spec{Name: req.Name, Shards: req.Shards, Cache: req.Cache}
+	switch strings.ToLower(req.Family) {
+	case "", "v4":
+		if req.Backend != "" {
+			backend, err := repro.ParseBackend(req.Backend)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			spec.Backend = backend
+		}
+	case tables.LabelV6:
+		spec.Family = tables.V6
+		if req.Backend != "" {
+			writeError(w, http.StatusBadRequest, "IPv6 tables take no backend field")
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "family %q, want v4 or v6", req.Family)
+		return
+	}
+	t, err := h.reg.Create(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "exists") {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, summary(t))
+}
+
+// dropTable serves DELETE /v1/tables/{name}.
+func (h *handler) dropTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := h.reg.Drop(name); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// tableStats serves GET /v1/tables/{name}/stats.
+func (h *handler) tableStats(w http.ResponseWriter, r *http.Request) {
+	t, err := h.reg.Resolve(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Stats())
+}
+
+// metric is one Prometheus family: name, type, help and a renderer
+// emitting the family's series for one table's stats.
+type metric struct {
+	name string
+	typ  string // "counter", "gauge" or "summary"
+	help string
+	emit func(b *strings.Builder, st *tables.TableStats)
+}
+
+// series writes one sample line with the table label plus extras
+// ("shard", "0"-style pairs appended verbatim).
+func series(b *strings.Builder, name, table string, extra ...string) {
+	b.WriteString(name)
+	b.WriteString(`{table="`)
+	b.WriteString(table)
+	b.WriteByte('"')
+	for i := 0; i+1 < len(extra); i += 2 {
+		b.WriteByte(',')
+		b.WriteString(extra[i])
+		b.WriteString(`="`)
+		b.WriteString(extra[i+1])
+		b.WriteByte('"')
+	}
+	b.WriteString("} ")
+}
+
+// uintSeries writes one labeled integer sample.
+func uintSeries(b *strings.Builder, name, table string, v uint64, extra ...string) {
+	series(b, name, table, extra...)
+	b.WriteString(strconv.FormatUint(v, 10))
+	b.WriteByte('\n')
+}
+
+// secondsSeries writes one labeled sample converted from nanoseconds
+// to seconds (the Prometheus base unit for time).
+func secondsSeries(b *strings.Builder, name, table string, ns uint64, extra ...string) {
+	series(b, name, table, extra...)
+	b.WriteString(strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64))
+	b.WriteByte('\n')
+}
+
+// latencySummary emits one summary family (quantiles + _sum + _count)
+// for a table.
+func latencySummary(b *strings.Builder, name, table string, ls *tables.LatencySummary) {
+	secondsSeries(b, name, table, ls.P50Ns, "quantile", "0.5")
+	secondsSeries(b, name, table, ls.P99Ns, "quantile", "0.99")
+	secondsSeries(b, name, table, ls.P999Ns, "quantile", "0.999")
+	secondsSeries(b, name+"_sum", table, ls.SumNs)
+	uintSeries(b, name+"_count", table, ls.Count)
+}
+
+// families is the fixed exposition schema: every family is emitted for
+// every table (cache families only for cached tables), grouped by
+// family with tables in registry (name) order, so the output is
+// deterministic for a fixed registry state.
+var families = []metric{
+	{"repro_table_rules", "gauge", "Installed rules per table.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			uintSeries(b, "repro_table_rules", st.Name, uint64(st.Rules))
+		}},
+	{"repro_table_shards", "gauge", "Engine replica count per table.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			uintSeries(b, "repro_table_shards", st.Name, uint64(st.Shards))
+		}},
+	{"repro_table_shard_rules", "gauge", "Per-replica rule population of sharded tables (shard balance).",
+		func(b *strings.Builder, st *tables.TableStats) {
+			for i, n := range st.ShardRules {
+				uintSeries(b, "repro_table_shard_rules", st.Name, uint64(n), "shard", strconv.Itoa(i))
+			}
+		}},
+	{"repro_table_memory_bytes", "gauge", "Modeled hardware RAM occupied by the table's engine.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			uintSeries(b, "repro_table_memory_bytes", st.Name, uint64(st.MemoryBytes))
+		}},
+	{"repro_table_probes_total", "counter", "Rule Filter probes issued by the decomposition pipeline.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			uintSeries(b, "repro_table_probes_total", st.Name, uint64(st.Probes))
+		}},
+	{"repro_table_hardware_overflows_total", "counter", "Lookups whose per-field label lists overflowed the modeled hardware bound.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			uintSeries(b, "repro_table_hardware_overflows_total", st.Name, uint64(st.HardwareOverflows))
+		}},
+	{"repro_table_lookups_total", "counter", "Headers classified through the serving layer.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			uintSeries(b, "repro_table_lookups_total", st.Name, st.Ops.Lookups)
+		}},
+	{"repro_table_updates_total", "counter", "Incremental rule updates applied (inserts, deletes, bulk lines).",
+		func(b *strings.Builder, st *tables.TableStats) {
+			uintSeries(b, "repro_table_updates_total", st.Name, st.Ops.Updates)
+		}},
+	{"repro_table_swaps_total", "counter", "Atomic whole-ruleset replacements (swap, restore, reset).",
+		func(b *strings.Builder, st *tables.TableStats) {
+			uintSeries(b, "repro_table_swaps_total", st.Name, st.Ops.Swaps)
+		}},
+	{"repro_table_errors_total", "counter", "Commands that failed after resolving the table.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			uintSeries(b, "repro_table_errors_total", st.Name, st.Ops.Errors)
+		}},
+	{"repro_table_cache_entries", "gauge", "Flow-cache slot capacity of cached tables.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			if st.Cache != nil {
+				uintSeries(b, "repro_table_cache_entries", st.Name, uint64(st.Cache.Entries))
+			}
+		}},
+	{"repro_table_cache_hits_total", "counter", "Flow-cache hits of cached tables.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			if st.Cache != nil {
+				uintSeries(b, "repro_table_cache_hits_total", st.Name, st.Cache.Hits)
+			}
+		}},
+	{"repro_table_cache_misses_total", "counter", "Flow-cache misses of cached tables.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			if st.Cache != nil {
+				uintSeries(b, "repro_table_cache_misses_total", st.Name, st.Cache.Misses)
+			}
+		}},
+	{"repro_table_cache_evictions_total", "counter", "Flow-cache evictions of cached tables.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			if st.Cache != nil {
+				uintSeries(b, "repro_table_cache_evictions_total", st.Name, st.Cache.Evictions)
+			}
+		}},
+	{"repro_table_lookup_latency_seconds", "summary", "Serving-layer classification latency.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			latencySummary(b, "repro_table_lookup_latency_seconds", st.Name, &st.LookupLatency)
+		}},
+	{"repro_table_update_latency_seconds", "summary", "Serving-layer update latency, including the RCU publish.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			latencySummary(b, "repro_table_update_latency_seconds", st.Name, &st.UpdateLatency)
+		}},
+}
+
+// metrics serves GET /metrics: the Prometheus text exposition of every
+// table's stats. Each table's record is read once (one consistent set
+// of atomic loads per table), then rendered family by family.
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	list := h.reg.List()
+	stats := make([]tables.TableStats, len(list))
+	for i, t := range list {
+		stats[i] = t.Stats()
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Name < stats[j].Name })
+	var b strings.Builder
+	for _, fam := range families {
+		mark := b.Len()
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.typ)
+		header := b.Len()
+		for i := range stats {
+			fam.emit(&b, &stats[i])
+		}
+		if b.Len() == header {
+			// No table emitted a series (e.g. cache families with no
+			// cached tables); drop the dangling HELP/TYPE header.
+			s := b.String()[:mark]
+			b.Reset()
+			b.WriteString(s)
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

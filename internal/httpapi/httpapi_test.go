@@ -1,0 +1,306 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rule"
+	"repro/internal/tables"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func newTestServer(t *testing.T) (*tables.Registry, *httptest.Server) {
+	t.Helper()
+	reg := tables.NewRegistry()
+	srv := httptest.NewServer(NewHandler(reg))
+	t.Cleanup(srv.Close)
+	return reg, srv
+}
+
+func doJSON(t *testing.T, method, url string, body string, out any) *http.Response {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body != "" {
+		req, err = http.NewRequest(method, url, strings.NewReader(body))
+	} else {
+		req, err = http.NewRequest(method, url, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode response: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+// TestAdminRoundTrip drives the full table lifecycle through the JSON
+// API: create (v4 sharded+cached and v6), list, stats, drop, plus the
+// error statuses.
+func TestAdminRoundTrip(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	var created Table
+	resp := doJSON(t, "POST", srv.URL+"/v1/tables",
+		`{"name":"edge","backend":"decomposition","shards":2,"cache":64}`, &created)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create edge: status %d", resp.StatusCode)
+	}
+	if created.Name != "edge" || created.Backend != "decomposition" || created.Shards != 2 || created.Cache != 64 {
+		t.Fatalf("create reply %+v", created)
+	}
+
+	var created6 Table
+	resp = doJSON(t, "POST", srv.URL+"/v1/tables", `{"name":"six","family":"v6"}`, &created6)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create six: status %d", resp.StatusCode)
+	}
+	if created6.Family != "v6" || created6.Backend != "v6" {
+		t.Fatalf("v6 create reply %+v", created6)
+	}
+
+	var list []Table
+	resp = doJSON(t, "GET", srv.URL+"/v1/tables", "", &list)
+	if resp.StatusCode != http.StatusOK || len(list) != 2 {
+		t.Fatalf("list: status %d, %d tables", resp.StatusCode, len(list))
+	}
+	if list[0].Name != "edge" || list[1].Name != "six" {
+		t.Fatalf("list order %+v", list)
+	}
+
+	var st tables.TableStats
+	resp = doJSON(t, "GET", srv.URL+"/v1/tables/edge/stats", "", &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	if st.Name != "edge" || st.Shards != 2 || st.Cache == nil || st.Cache.Entries != 64 {
+		t.Fatalf("stats record %+v", st)
+	}
+	if len(st.ShardRules) != 2 {
+		t.Fatalf("shard balance %v, want 2 entries", st.ShardRules)
+	}
+	if st.MemoryBytes <= 0 {
+		t.Fatalf("memory bytes %d, want > 0", st.MemoryBytes)
+	}
+
+	// Error statuses: duplicate create, unknown stats/drop, bad bodies.
+	if resp = doJSON(t, "POST", srv.URL+"/v1/tables", `{"name":"edge"}`, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create: status %d, want 409", resp.StatusCode)
+	}
+	if resp = doJSON(t, "GET", srv.URL+"/v1/tables/ghost/stats", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown stats: status %d, want 404", resp.StatusCode)
+	}
+	if resp = doJSON(t, "DELETE", srv.URL+"/v1/tables/ghost", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown drop: status %d, want 404", resp.StatusCode)
+	}
+	if resp = doJSON(t, "POST", srv.URL+"/v1/tables", `{"name":"x","family":"v5"}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad family: status %d, want 400", resp.StatusCode)
+	}
+	if resp = doJSON(t, "POST", srv.URL+"/v1/tables", `{"name":"x","nope":1}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+	if resp = doJSON(t, "POST", srv.URL+"/v1/tables", `{"name":"y","family":"v6","backend":"linear"}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("v6 with backend: status %d, want 400", resp.StatusCode)
+	}
+
+	if resp = doJSON(t, "DELETE", srv.URL+"/v1/tables/edge", "", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("drop: status %d, want 204", resp.StatusCode)
+	}
+	resp = doJSON(t, "GET", srv.URL+"/v1/tables", "", &list)
+	if resp.StatusCode != http.StatusOK || len(list) != 1 || list[0].Name != "six" {
+		t.Fatalf("list after drop: %+v", list)
+	}
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var b strings.Builder
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}
+
+// TestMetricsGolden locks the exposition format: a deterministic
+// registry state (fixed counters, fixed latency samples) must render
+// byte-for-byte as testdata/metrics.golden. Regenerate with -update
+// after intentional format changes.
+func TestMetricsGolden(t *testing.T) {
+	reg, srv := newTestServer(t)
+	edge, err := reg.Create(tables.Spec{Name: "edge", Shards: 2, Cache: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create(tables.Spec{Name: "six", Family: tables.V6}); err != nil {
+		t.Fatal(err)
+	}
+	m := edge.Metrics()
+	m.Lookups.Add(1000)
+	m.Updates.Add(40)
+	m.Swaps.Add(3)
+	m.Errors.Add(2)
+	for i := 0; i < 10; i++ {
+		m.LookupLatency.Record(100 * time.Microsecond)
+		m.UpdateLatency.Record(2 * time.Millisecond)
+	}
+
+	got := scrape(t, srv.URL)
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("/metrics drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// metricValue extracts one series value from an exposition body.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, series+" ") {
+			v, err := strconv.ParseFloat(line[len(series)+1:], 64)
+			if err != nil {
+				t.Fatalf("parse series %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %q not found in exposition", series)
+	return 0
+}
+
+// TestScrapeDuringSwap scrapes /metrics while a writer hammers the
+// table with atomic whole-ruleset swaps and a reader records lookups:
+// every counter must advance monotonically across scrapes, and the
+// rules gauge must always read a complete generation — len(A) or
+// len(B), never a mix.
+func TestScrapeDuringSwap(t *testing.T) {
+	reg, srv := newTestServer(t)
+	tab, err := reg.Create(tables.Spec{Name: "main"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkRules := func(n, base int) []rule.Rule {
+		out := make([]rule.Rule, n)
+		for i := range out {
+			out[i] = rule.Rule{
+				ID:       base + i,
+				Priority: i + 1,
+				SrcIP:    rule.Prefix{Addr: uint32(i) << 8, Len: 24},
+				SrcPort:  rule.FullPortRange(),
+				DstPort:  rule.FullPortRange(),
+				Proto:    rule.AnyProto(),
+				Action:   rule.ActionPermit,
+			}
+		}
+		return out
+	}
+	genA, genB := mkRules(8, 1000), mkRules(17, 2000)
+
+	stop := make(chan struct{})
+	var writerErr atomic.Value
+	go func() {
+		m := tab.Metrics()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rules := genA
+			if i%2 == 1 {
+				rules = genB
+			}
+			start := time.Now()
+			if _, err := tab.Eng().Replace(rules); err != nil {
+				writerErr.Store(err)
+				return
+			}
+			m.Swaps.Inc()
+			m.UpdateLatency.Record(time.Since(start))
+		}
+	}()
+	go func() {
+		m := tab.Metrics()
+		h := rule.Header{SrcIP: 1 << 8, DstPort: 80, Proto: 6}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			start := time.Now()
+			tab.Eng().Lookup(h)
+			m.Lookups.Inc()
+			m.LookupLatency.Record(time.Since(start))
+		}
+	}()
+
+	var prevSwaps, prevLookups, prevLatCount float64
+	for i := 0; i < 25; i++ {
+		body := scrape(t, srv.URL)
+		rules := metricValue(t, body, `repro_table_rules{table="main"}`)
+		if rules != 0 && rules != float64(len(genA)) && rules != float64(len(genB)) {
+			t.Fatalf("scrape %d: rules gauge %v mixes generations (want 0, %d or %d)", i, rules, len(genA), len(genB))
+		}
+		swaps := metricValue(t, body, `repro_table_swaps_total{table="main"}`)
+		lookups := metricValue(t, body, `repro_table_lookups_total{table="main"}`)
+		latCount := metricValue(t, body, `repro_table_lookup_latency_seconds_count{table="main"}`)
+		if swaps < prevSwaps || lookups < prevLookups || latCount < prevLatCount {
+			t.Fatalf("scrape %d: counter went backwards (swaps %v->%v, lookups %v->%v, lat %v->%v)",
+				i, prevSwaps, swaps, prevLookups, lookups, prevLatCount, latCount)
+		}
+		prevSwaps, prevLookups, prevLatCount = swaps, lookups, latCount
+	}
+	close(stop)
+	if err := writerErr.Load(); err != nil {
+		t.Fatalf("swap writer: %v", err)
+	}
+	if prevSwaps == 0 || prevLookups == 0 {
+		t.Fatalf("no traffic observed (swaps %v, lookups %v)", prevSwaps, prevLookups)
+	}
+}

@@ -1,0 +1,190 @@
+// Package metrics implements the daemon's per-table observability
+// counters: cache-line-padded monotonic counters and a concurrent
+// HDR-style latency histogram built on the repro/internal/hdr bucket
+// geometry that internal/workload's replay histograms also use, so
+// workload-replay results and live-daemon exposition report quantiles
+// from identical bucket boundaries (and merge bucket-by-bucket through
+// BucketCount and workload.Histogram.AddBucket).
+//
+// Everything in this package is wait-free on the record side — one
+// atomic add per counter increment, two or three per histogram sample —
+// so instrumentation can sit on the daemon's serving path without
+// perturbing the engines' allocation-free lookup kernels. Readers
+// (Prometheus scrapes, ctl STATS, the JSON admin API) take snapshots
+// with plain atomic loads; a scrape racing a recorder observes
+// monotonically advancing counts, never torn or decreasing values.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hdr"
+)
+
+// Counter is a monotonic event counter padded to its own cache line,
+// so adjacent counters in a Table never false-share under concurrent
+// connections.
+type Counter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Inc adds one event.
+//
+//repro:noalloc
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n events.
+//
+//repro:noalloc
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Load reads the current count.
+//
+//repro:noalloc
+func (c *Counter) Load() uint64 { return c.n.Load() }
+
+// Histogram is a concurrent HDR-style latency histogram: the same
+// bucket geometry as workload.Histogram (~3% relative error, exact
+// below 64 ns), but every bucket is an atomic counter, so many
+// connections record into one histogram without locks and a scrape can
+// read quantiles mid-traffic. Recording is three atomic adds plus
+// bounded CAS loops for the extrema.
+//
+// The zero value is an empty histogram ready for use.
+type Histogram struct {
+	counts [hdr.Buckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+	// min stores the smallest sample plus one; zero means no samples
+	// yet, keeping the zero value ready for use.
+	min atomic.Uint64
+}
+
+// Record adds one latency sample. Negative durations clamp to zero.
+//
+//repro:noalloc
+func (h *Histogram) Record(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d.Nanoseconds())
+	}
+	h.counts[hdr.Index(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.min.Load()
+		if old != 0 && v+1 >= old {
+			return
+		}
+		if h.min.CompareAndSwap(old, v+1) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the exact sum of all recorded samples in nanoseconds —
+// the _sum series of a Prometheus summary, tracked exactly rather than
+// reconstructed from bucket midpoints.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	m := h.min.Load()
+	if m == 0 {
+		return 0
+	}
+	return time.Duration(m - 1)
+}
+
+// Mean returns the arithmetic mean of the recorded samples.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns the latency at quantile q in [0, 1] with the same
+// semantics as workload.Histogram.Quantile — the bucket midpoint below
+// which at least q of the samples fall, clamped to the recorded
+// min/max — so daemon exposition and workload replay report identical
+// numbers for identical samples. Concurrent recording may land samples
+// between the count read and the bucket walk; the result is then a
+// quantile of a slightly stale sample set, never a torn one.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= target {
+			v := hdr.Value(i)
+			if min := h.min.Load(); min != 0 && v < min-1 {
+				v = min - 1
+			}
+			if max := h.max.Load(); v > max {
+				v = max
+			}
+			return time.Duration(v)
+		}
+	}
+	return h.Max()
+}
+
+// BucketCount reads one bucket's current count. Together with the
+// shared hdr geometry this is the merge surface: folding every bucket
+// through workload.Histogram.AddBucket turns a live daemon histogram
+// into a replay-compatible one with identical bucket arithmetic.
+func (h *Histogram) BucketCount(i int) uint64 { return h.counts[i].Load() }
+
+// Table is the per-table instrumentation block: one padded counter per
+// event class plus lookup and update latency histograms. The serving
+// layer owns exactly one Table per registry table; all front ends
+// (ctl, the JSON admin API, /metrics) read the same block, so the
+// surfaces cannot disagree.
+type Table struct {
+	// Lookups counts classified headers (LOOKUP and each MLOOKUP
+	// header); Updates counts applied incremental updates (INSERT,
+	// DELETE, each BULK line); Swaps counts atomic whole-ruleset
+	// replacements (SWAP, RESTORE, RESET); Errors counts commands that
+	// failed after resolving the table.
+	Lookups Counter
+	Updates Counter
+	Swaps   Counter
+	Errors  Counter
+
+	// LookupLatency records per-command classification latency (one
+	// sample per LOOKUP, one per MLOOKUP batch); UpdateLatency records
+	// per-update apply latency, including the RCU publish.
+	LookupLatency Histogram
+	UpdateLatency Histogram
+}

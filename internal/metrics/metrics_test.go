@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero-value Load = %d, want 0", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("Load = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatalf("zero-value histogram not empty: count=%d", h.Count())
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if h.Max() != 100*time.Microsecond {
+		t.Fatalf("Max = %v, want 100µs", h.Max())
+	}
+	// The geometry holds ~3% relative error; allow 5% slack.
+	p50 := h.Quantile(0.5)
+	if p50 < 47*time.Microsecond || p50 > 53*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~50µs", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 94*time.Microsecond || p99 > 100*time.Microsecond {
+		t.Fatalf("p99 = %v, want ~99µs", p99)
+	}
+	if q := h.Quantile(1); q != h.Max() {
+		t.Fatalf("Quantile(1) = %v, want max %v", q, h.Max())
+	}
+	h.Record(-time.Second) // clamps to zero
+	if h.Count() != 101 {
+		t.Fatalf("Count after negative record = %d, want 101", h.Count())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w*per+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	if want := time.Duration(workers*per-1) * time.Nanosecond; h.Max() != want {
+		t.Fatalf("Max = %v, want %v", h.Max(), want)
+	}
+}
+
+// TestRecorderZeroAllocs guards every //repro:noalloc entry point in
+// this package: instrumentation sits on the daemon's serving path next
+// to the engines' allocation-free kernels and must stay allocation-free
+// itself.
+func TestRecorderZeroAllocs(t *testing.T) {
+	var c Counter
+	if n := testing.AllocsPerRun(100, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { c.Add(3) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v/op, want 0", n)
+	}
+	var sink uint64
+	if n := testing.AllocsPerRun(100, func() { sink += c.Load() }); n != 0 {
+		t.Errorf("Counter.Load allocates %v/op, want 0", n)
+	}
+	_ = sink
+	h := &Histogram{}
+	d := 137 * time.Nanosecond
+	if n := testing.AllocsPerRun(100, func() { h.Record(d) }); n != 0 {
+		t.Errorf("Histogram.Record allocates %v/op, want 0", n)
+	}
+}

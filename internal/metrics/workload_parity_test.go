@@ -1,0 +1,46 @@
+// External test package: workload transitively imports the ctl and
+// tables packages (and through them this one), so the shared-geometry
+// parity check must live outside package metrics to avoid an import
+// cycle in the test binary.
+package metrics_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hdr"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// TestHistogramMatchesWorkloadGeometry locks the shared-bucket
+// contract: the same samples recorded into a metrics.Histogram and a
+// workload.Histogram produce identical quantiles, and folding the
+// atomic buckets through AddBucket reproduces the workload counts
+// bucket-exactly.
+func TestHistogramMatchesWorkloadGeometry(t *testing.T) {
+	var ch metrics.Histogram
+	var wh workload.Histogram
+	samples := []time.Duration{0, 1, 63, 64, 65, 1000, 123456, 9876543, time.Second}
+	for _, d := range samples {
+		ch.Record(d)
+		wh.Record(d)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		if got, want := ch.Quantile(q), wh.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, workload histogram says %v", q, got, want)
+		}
+	}
+	var folded workload.Histogram
+	for i := 0; i < hdr.Buckets; i++ {
+		folded.AddBucket(i, ch.BucketCount(i))
+	}
+	if folded.Count() != wh.Count() {
+		t.Fatalf("folded count = %d, want %d", folded.Count(), wh.Count())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if got, want := folded.Quantile(q), wh.Quantile(q); got != want {
+			t.Errorf("folded Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}

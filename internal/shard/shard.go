@@ -195,6 +195,17 @@ func (s *Sharded) Len() int {
 	return n
 }
 
+// ShardLens reports the per-replica rule populations from one published
+// replica set — the shard-balance exposition of the metrics plane.
+func (s *Sharded) ShardLens() []int {
+	set := s.engines()
+	out := make([]int, len(set))
+	for i, e := range set {
+		out[i] = e.Len()
+	}
+	return out
+}
+
 // Lookup fans the header out to every replica and merges by priority.
 // The cost is the per-component maximum across replicas, modeling the
 // replicas searching in parallel and the merge completing with the

@@ -1,0 +1,137 @@
+package tables
+
+import (
+	"time"
+
+	repro "repro"
+	"repro/internal/metrics"
+)
+
+// TableStats is the one typed per-table statistics record every
+// control surface reports from: the ctl STATS line, the JSON admin
+// API's stats endpoint and the Prometheus /metrics exposition all
+// render this struct, so the surfaces cannot disagree about a table.
+type TableStats struct {
+	// Identity and construction shape.
+	Name    string `json:"name"`
+	Family  string `json:"family"`
+	Backend string `json:"backend"`
+	Shards  int    `json:"shards"`
+
+	// Engine-reported pipeline statistics. Probes/ProbeOps/MaxListLen/
+	// HardwareOverflows are populated by the decomposition pipeline;
+	// other backends report population only.
+	Rules             int `json:"rules"`
+	Probes            int `json:"probes"`
+	ProbeOps          int `json:"probe_ops"`
+	MaxListLen        int `json:"max_list_len"`
+	HardwareOverflows int `json:"hardware_overflows"`
+
+	// MemoryBytes totals the engine's modeled hardware RAM blocks;
+	// ShardRules is the per-replica rule population of a sharded engine
+	// (absent otherwise) — the shard-balance exposition.
+	MemoryBytes int   `json:"memory_bytes"`
+	ShardRules  []int `json:"shard_rules,omitempty"`
+
+	// Cache carries the flow-cache counters of a cached table (absent
+	// otherwise).
+	Cache *CacheCounters `json:"cache,omitempty"`
+
+	// Ops are the serving-layer operation counters; the latency blocks
+	// summarize the matching histograms.
+	Ops           OpCounters     `json:"ops"`
+	LookupLatency LatencySummary `json:"lookup_latency"`
+	UpdateLatency LatencySummary `json:"update_latency"`
+}
+
+// CacheCounters is the flow-cache section of TableStats.
+type CacheCounters struct {
+	Entries       int    `json:"entries"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// OpCounters are the serving-layer per-table operation counters.
+type OpCounters struct {
+	Lookups uint64 `json:"lookups"`
+	Updates uint64 `json:"updates"`
+	Swaps   uint64 `json:"swaps"`
+	Errors  uint64 `json:"errors"`
+}
+
+// LatencySummary condenses one latency histogram into the quantiles
+// the surfaces export. All values are nanoseconds.
+type LatencySummary struct {
+	Count  uint64 `json:"count"`
+	SumNs  uint64 `json:"sum_ns"`
+	MeanNs uint64 `json:"mean_ns"`
+	P50Ns  uint64 `json:"p50_ns"`
+	P99Ns  uint64 `json:"p99_ns"`
+	P999Ns uint64 `json:"p999_ns"`
+	MaxNs  uint64 `json:"max_ns"`
+}
+
+// summarize reads one histogram into its exported quantile block.
+func summarize(h *metrics.Histogram) LatencySummary {
+	ns := func(d time.Duration) uint64 { return uint64(d.Nanoseconds()) }
+	return LatencySummary{
+		Count:  h.Count(),
+		SumNs:  h.Sum(),
+		MeanNs: ns(h.Mean()),
+		P50Ns:  ns(h.Quantile(0.50)),
+		P99Ns:  ns(h.Quantile(0.99)),
+		P999Ns: ns(h.Quantile(0.999)),
+		MaxNs:  ns(h.Max()),
+	}
+}
+
+// Stats assembles the table's full statistics record: engine pipeline
+// stats, memory, shard balance and flow-cache counters, plus the
+// serving-layer operation counters and latency quantiles. Every read
+// is a lock-free engine snapshot or atomic counter load, so Stats is
+// safe to call from a scrape racing live traffic.
+func (t *Table) Stats() TableStats {
+	st := TableStats{
+		Name:    t.spec.Name,
+		Family:  t.spec.Family.String(),
+		Backend: t.spec.BackendLabel(),
+		Shards:  t.spec.Shards,
+	}
+	if t.eng6 != nil {
+		es := t.eng6.Stats()
+		st.Rules, st.Probes, st.ProbeOps = es.Rules, es.Probes, es.ProbeOps
+		st.MaxListLen, st.HardwareOverflows = es.MaxListLen, es.HardwareOverflows
+		st.MemoryBytes = t.eng6.Memory().TotalBytes()
+	} else {
+		if se, ok := t.eng.(interface{ Stats() repro.Stats }); ok {
+			es := se.Stats()
+			st.Rules, st.Probes, st.ProbeOps = es.Rules, es.Probes, es.ProbeOps
+			st.MaxListLen, st.HardwareOverflows = es.MaxListLen, es.HardwareOverflows
+		} else {
+			st.Rules = t.eng.Len()
+		}
+		st.MemoryBytes = t.eng.Memory().TotalBytes()
+		if sl, ok := Unwrapped(t.eng).(interface{ ShardLens() []int }); ok {
+			st.ShardRules = sl.ShardLens()
+		}
+		if ce, ok := t.eng.(interface{ CacheStats() repro.FlowCacheStats }); ok {
+			cs := ce.CacheStats()
+			st.Cache = &CacheCounters{
+				Entries: cs.Entries, Hits: cs.Hits, Misses: cs.Misses,
+				Evictions: cs.Evictions, Invalidations: cs.Invalidations,
+			}
+		}
+	}
+	m := &t.met
+	st.Ops = OpCounters{
+		Lookups: m.Lookups.Load(),
+		Updates: m.Updates.Load(),
+		Swaps:   m.Swaps.Load(),
+		Errors:  m.Errors.Load(),
+	}
+	st.LookupLatency = summarize(&m.LookupLatency)
+	st.UpdateLatency = summarize(&m.UpdateLatency)
+	return st
+}

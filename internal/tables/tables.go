@@ -1,0 +1,368 @@
+// Package tables is the daemon's typed table registry: the one shared
+// catalog of named serving tenants that every control front end — the
+// ctl line protocol, the JSON admin API and the /metrics exposition —
+// resolves tables through. It owns the full table lifecycle (create an
+// IPv4 table from a backend/shards/cache Spec or an IPv6 table from
+// the split-64 default, drop, list, resolve by name) plus the
+// engine-construction attrs that snapshot files persist, and it
+// carries one metrics.Table per table so the front ends report from
+// identical counters.
+//
+// The registry is published RCU-style: the name→table map behind an
+// atomic.Pointer is immutable once stored, writers clone-and-swap
+// under a mutex, and Resolve/List are single atomic loads — the
+// serving path never takes a lock to find its table, matching the
+// engines' own lock-free lookup contract (and staying inside the
+// reprolint rcusafe gate: a loaded map is frozen and is never written).
+package tables
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	repro "repro"
+	"repro/internal/metrics"
+	"repro/internal/snapfile"
+)
+
+// LabelV6 is the address-family token shared across surfaces: the
+// backend argument spelling of "TABLE CREATE <name> v6", the backend
+// column of table listings, the snapfile family attr value, and the
+// JSON family field of IPv6 tables.
+const LabelV6 = "v6"
+
+// Family selects a table's address family.
+type Family int
+
+// Table address families.
+const (
+	V4 Family = iota
+	V6
+)
+
+// String returns the family's wire spelling.
+func (f Family) String() string {
+	if f == V6 {
+		return LabelV6
+	}
+	return "v4"
+}
+
+// Spec is the typed construction recipe of one table: everything
+// needed to build (or rebuild, from a snapshot file's attrs) its
+// engine. IPv6 tables are unsharded and uncached — the split-64
+// decomposition engine is their only backend — so a V6 spec carries
+// only the name.
+type Spec struct {
+	Name    string
+	Family  Family
+	Backend repro.Backend
+	Shards  int
+	Cache   int
+}
+
+// normalize fills defaulted fields and validates the spec.
+func (s *Spec) normalize() error {
+	if !ValidName(s.Name) {
+		return fmt.Errorf("invalid table name %q", s.Name)
+	}
+	if s.Shards == 0 {
+		s.Shards = 1
+	}
+	if s.Family == V6 {
+		if s.Backend == 0 {
+			s.Backend = repro.BackendDecomposition
+		}
+		if s.Backend != repro.BackendDecomposition {
+			return fmt.Errorf("backend %v does not support IPv6", s.Backend)
+		}
+		if s.Shards != 1 || s.Cache != 0 {
+			return fmt.Errorf("IPv6 tables are unsharded and uncached")
+		}
+		return nil
+	}
+	if s.Backend == 0 {
+		s.Backend = repro.BackendDecomposition
+	}
+	if s.Shards < 1 {
+		return fmt.Errorf("shard count %d, want >= 1", s.Shards)
+	}
+	if s.Cache < 0 {
+		return fmt.Errorf("cache size %d, want >= 0", s.Cache)
+	}
+	return nil
+}
+
+// BackendLabel is the listing spelling of the table's backend: the
+// repro.ParseBackend token for IPv4 tables, LabelV6 for IPv6 ones.
+func (s Spec) BackendLabel() string {
+	if s.Family == V6 {
+		return LabelV6
+	}
+	return strings.ToLower(s.Backend.String())
+}
+
+// ValidName reports whether a table (or snapshot) name is safe across
+// every surface: non-empty, at most 64 bytes, and drawn from
+// [A-Za-z0-9_.-] — no whitespace, no ':' (the listing separator), no
+// path separators (names become <name>.snap files and URL path
+// segments).
+func ValidName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Table is one named serving tenant: an engine, the Spec it was built
+// from, and its metrics block. Exactly one of Eng/Eng6 is non-nil,
+// selected by the spec's family. A Table is immutable after creation
+// (its engine and counters mutate through their own concurrency-safe
+// methods), so handing it out from the RCU-published registry map is
+// safe.
+type Table struct {
+	spec Spec
+	eng  repro.Engine
+	eng6 *repro.Classifier6
+	met  metrics.Table
+}
+
+// Name returns the table's registry name.
+func (t *Table) Name() string { return t.spec.Name }
+
+// Spec returns the table's construction recipe.
+func (t *Table) Spec() Spec { return t.spec }
+
+// V6 reports whether the table serves the IPv6 data path.
+func (t *Table) V6() bool { return t.spec.Family == V6 }
+
+// Eng returns the IPv4 engine (nil on IPv6 tables).
+func (t *Table) Eng() repro.Engine { return t.eng }
+
+// Eng6 returns the IPv6 engine (nil on IPv4 tables).
+func (t *Table) Eng6() *repro.Classifier6 { return t.eng6 }
+
+// Metrics returns the table's instrumentation block.
+func (t *Table) Metrics() *metrics.Table { return &t.met }
+
+// Rules reads the table's live rule population.
+func (t *Table) Rules() int {
+	if t.eng6 != nil {
+		return t.eng6.Len()
+	}
+	return t.eng.Len()
+}
+
+// Unwrapped walks Unwrap through capability-transparent wrappers (the
+// flow cache) to the engine that carries model-level capabilities like
+// the shard count and the hardware throughput model.
+func Unwrapped(eng repro.Engine) repro.Engine {
+	for {
+		u, ok := eng.(interface{ Unwrap() repro.Engine })
+		if !ok {
+			return eng
+		}
+		eng = u.Unwrap()
+	}
+}
+
+// SpecFor derives the construction spec of a prebuilt engine by
+// probing its capabilities — the path a daemon takes when it assembles
+// the default table from flags before registering it.
+func SpecFor(name string, eng repro.Engine) Spec {
+	spec := Spec{Name: name, Backend: eng.Backend(), Shards: 1}
+	if sh, ok := Unwrapped(eng).(interface{ Shards() int }); ok {
+		spec.Shards = sh.Shards()
+	}
+	if ce, ok := eng.(interface{ CacheStats() repro.FlowCacheStats }); ok {
+		spec.Cache = ce.CacheStats().Entries
+	}
+	return spec
+}
+
+// Registry is the shared table catalog. Reads (Resolve, List, Len) are
+// lock-free atomic loads of an immutable map; Create/Add/Drop clone
+// the map under the writer mutex and publish the successor with one
+// atomic store.
+type Registry struct {
+	mu   sync.Mutex
+	tabs atomic.Pointer[map[string]*Table]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	m := map[string]*Table{}
+	r.tabs.Store(&m)
+	return r
+}
+
+// Resolve returns the named table. Lock-free: one atomic load and one
+// map index against the immutable published catalog.
+func (r *Registry) Resolve(name string) (*Table, error) {
+	t, ok := (*r.tabs.Load())[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown table %q", name)
+	}
+	return t, nil
+}
+
+// List returns the tables sorted by name, from one consistent
+// published catalog.
+func (r *Registry) List() []*Table {
+	cur := *r.tabs.Load()
+	out := make([]*Table, 0, len(cur))
+	for _, t := range cur {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].spec.Name < out[j].spec.Name })
+	return out
+}
+
+// Len returns the number of registered tables.
+func (r *Registry) Len() int { return len(*r.tabs.Load()) }
+
+// Create builds a fresh engine from the spec and registers it: an
+// IPv4 engine via repro.New (backend × shards × flow cache) or an
+// IPv6 split-64 engine via repro.New6.
+func (r *Registry) Create(spec Spec) (*Table, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	t := &Table{spec: spec}
+	if spec.Family == V6 {
+		eng6, err := repro.New6()
+		if err != nil {
+			return nil, err
+		}
+		t.eng6 = eng6
+	} else {
+		eng, err := repro.New(repro.WithBackend(spec.Backend),
+			repro.WithShards(spec.Shards), repro.WithFlowCache(spec.Cache))
+		if err != nil {
+			return nil, err
+		}
+		t.eng = eng
+	}
+	return t, r.publish(t)
+}
+
+// Add registers a prebuilt IPv4 engine under the spec — the daemon's
+// bootstrap path for engines assembled from flags (custom per-field
+// config, pre-loaded rules).
+func (r *Registry) Add(spec Spec, eng repro.Engine) (*Table, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	if spec.Family == V6 {
+		return nil, fmt.Errorf("table %q: Add registers IPv4 engines; use Create for IPv6 tables", spec.Name)
+	}
+	t := &Table{spec: spec, eng: eng}
+	return t, r.publish(t)
+}
+
+// publish installs a table into a cloned successor catalog.
+func (r *Registry) publish(t *Table) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := *r.tabs.Load()
+	if _, dup := cur[t.spec.Name]; dup {
+		return fmt.Errorf("table %q exists", t.spec.Name)
+	}
+	next := make(map[string]*Table, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[t.spec.Name] = t
+	r.tabs.Store(&next)
+	return nil
+}
+
+// Drop removes a table. In-flight operations holding the *Table keep
+// a valid engine (RCU semantics: the old catalog stays readable until
+// its readers drain); later resolves see the successor catalog.
+func (r *Registry) Drop(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := *r.tabs.Load()
+	if _, ok := cur[name]; !ok {
+		return fmt.Errorf("unknown table %q", name)
+	}
+	next := make(map[string]*Table, len(cur)-1)
+	for k, v := range cur {
+		if k != name {
+			next[k] = v
+		}
+	}
+	r.tabs.Store(&next)
+	return nil
+}
+
+// Attrs renders the table's engine-construction metadata for its
+// snapshot file — enough to rebuild the table from the file alone via
+// ParseAttrs. asTable additionally marks the file as daemon table
+// persistence (the save-on-drain kind restored into the registry on
+// start); user checkpoints omit the mark so a restart does not
+// resurrect them as tables.
+func (t *Table) Attrs(asTable bool) map[string]string {
+	attrs := map[string]string{
+		"backend": strings.ToLower(t.spec.Backend.String()),
+		"shards":  strconv.Itoa(t.spec.Shards),
+		"cache":   strconv.Itoa(t.spec.Cache),
+	}
+	if t.V6() {
+		attrs[snapfile.FamilyAttr] = LabelV6
+	}
+	if asTable {
+		attrs["table"] = t.spec.Name
+	}
+	return attrs
+}
+
+// PersistedTable reads the daemon-persistence mark Attrs(true) wrote:
+// the table name the snapshot restores into, or "" for a user
+// checkpoint.
+func PersistedTable(attrs map[string]string) string { return attrs["table"] }
+
+// ParseAttrs decodes a snapshot file's engine-construction attrs into
+// a Spec (the caller sets Name), defaulting to an unsharded, uncached
+// IPv4 decomposition table when attrs are absent.
+func ParseAttrs(attrs map[string]string) (Spec, error) {
+	spec := Spec{Family: V4, Backend: repro.BackendDecomposition, Shards: 1}
+	if attrs[snapfile.FamilyAttr] == LabelV6 {
+		return Spec{Family: V6, Backend: repro.BackendDecomposition, Shards: 1}, nil
+	}
+	if v, ok := attrs["backend"]; ok {
+		backend, err := repro.ParseBackend(v)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Backend = backend
+	}
+	if v, ok := attrs["shards"]; ok {
+		shards, err := strconv.Atoi(v)
+		if err != nil || shards < 1 {
+			return Spec{}, fmt.Errorf("shards attr %q", v)
+		}
+		spec.Shards = shards
+	}
+	if v, ok := attrs["cache"]; ok {
+		cache, err := strconv.Atoi(v)
+		if err != nil || cache < 0 {
+			return Spec{}, fmt.Errorf("cache attr %q", v)
+		}
+		spec.Cache = cache
+	}
+	return spec, nil
+}

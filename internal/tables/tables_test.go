@@ -1,0 +1,256 @@
+package tables
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	repro "repro"
+	"repro/internal/snapfile"
+)
+
+func TestCreateResolveDrop(t *testing.T) {
+	r := NewRegistry()
+	tab, err := r.Create(Spec{Name: "edge", Backend: repro.BackendDecomposition, Shards: 2, Cache: 64})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if tab.Name() != "edge" || tab.V6() || tab.Eng() == nil || tab.Eng6() != nil {
+		t.Fatalf("table shape: name=%q v6=%v eng=%v eng6=%v", tab.Name(), tab.V6(), tab.Eng(), tab.Eng6())
+	}
+	if got, err := r.Resolve("edge"); err != nil || got != tab {
+		t.Fatalf("Resolve = %v, %v; want the created table", got, err)
+	}
+	if _, err := r.Create(Spec{Name: "edge"}); err == nil {
+		t.Fatal("duplicate Create succeeded")
+	}
+	if _, err := r.Resolve("ghost"); err == nil {
+		t.Fatal("Resolve of unknown table succeeded")
+	}
+	if err := r.Drop("edge"); err != nil {
+		t.Fatalf("Drop: %v", err)
+	}
+	if err := r.Drop("edge"); err == nil {
+		t.Fatal("double Drop succeeded")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after drop, want 0", r.Len())
+	}
+	// The dropped *Table stays fully usable (RCU: readers holding it
+	// keep a valid engine).
+	if tab.Rules() != 0 {
+		t.Fatalf("dropped table Rules = %d, want 0", tab.Rules())
+	}
+}
+
+func TestCreateV6(t *testing.T) {
+	r := NewRegistry()
+	tab, err := r.Create(Spec{Name: "six", Family: V6})
+	if err != nil {
+		t.Fatalf("Create v6: %v", err)
+	}
+	if !tab.V6() || tab.Eng6() == nil || tab.Eng() != nil {
+		t.Fatalf("v6 table shape: v6=%v eng6=%v eng=%v", tab.V6(), tab.Eng6(), tab.Eng())
+	}
+	if got := tab.Spec().BackendLabel(); got != LabelV6 {
+		t.Fatalf("BackendLabel = %q, want %q", got, LabelV6)
+	}
+	if _, err := r.Create(Spec{Name: "bad6", Family: V6, Shards: 4}); err == nil {
+		t.Fatal("sharded v6 Create succeeded")
+	}
+	if _, err := r.Create(Spec{Name: "bad6", Family: V6, Backend: repro.BackendTCAM}); err == nil {
+		t.Fatal("non-decomposition v6 Create succeeded")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	r := NewRegistry()
+	for _, spec := range []Spec{
+		{Name: ""},
+		{Name: "has space"},
+		{Name: "has:colon"},
+		{Name: "../escape"},
+		{Name: "x", Shards: -1},
+		{Name: "x", Cache: -1},
+	} {
+		if _, err := r.Create(spec); err == nil {
+			t.Errorf("Create(%+v) succeeded, want error", spec)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after rejected creates, want 0", r.Len())
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, err := r.Create(Spec{Name: name}); err != nil {
+			t.Fatalf("Create %s: %v", name, err)
+		}
+	}
+	list := r.List()
+	if len(list) != 3 || list[0].Name() != "alpha" || list[1].Name() != "mid" || list[2].Name() != "zeta" {
+		names := make([]string, len(list))
+		for i, tab := range list {
+			names[i] = tab.Name()
+		}
+		t.Fatalf("List order %v, want [alpha mid zeta]", names)
+	}
+}
+
+func TestAddPrebuiltAndSpecFor(t *testing.T) {
+	eng, err := repro.New(repro.WithBackend(repro.BackendDecomposition),
+		repro.WithShards(2), repro.WithFlowCache(128))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	spec := SpecFor("default", eng)
+	if spec.Backend != repro.BackendDecomposition || spec.Shards != 2 || spec.Cache != 128 {
+		t.Fatalf("SpecFor = %+v, want decomposition/2 shards/128 cache", spec)
+	}
+	r := NewRegistry()
+	tab, err := r.Add(spec, eng)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if tab.Eng() != eng {
+		t.Fatal("Add did not register the provided engine")
+	}
+	if _, err := r.Add(Spec{Name: "six", Family: V6}, eng); err == nil {
+		t.Fatal("Add of a v6 spec succeeded")
+	}
+}
+
+func TestAttrsRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	tab, err := r.Create(Spec{Name: "edge", Backend: repro.BackendTCAM, Shards: 4, Cache: 256})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	attrs := tab.Attrs(true)
+	if PersistedTable(attrs) != "edge" {
+		t.Fatalf("PersistedTable = %q, want edge", PersistedTable(attrs))
+	}
+	spec, err := ParseAttrs(attrs)
+	if err != nil {
+		t.Fatalf("ParseAttrs: %v", err)
+	}
+	if spec.Backend != repro.BackendTCAM || spec.Shards != 4 || spec.Cache != 256 || spec.Family != V4 {
+		t.Fatalf("round-trip spec = %+v", spec)
+	}
+	if PersistedTable(tab.Attrs(false)) != "" {
+		t.Fatal("user checkpoint attrs carry a table mark")
+	}
+
+	six, err := r.Create(Spec{Name: "six", Family: V6})
+	if err != nil {
+		t.Fatalf("Create v6: %v", err)
+	}
+	spec6, err := ParseAttrs(six.Attrs(false))
+	if err != nil {
+		t.Fatalf("ParseAttrs v6: %v", err)
+	}
+	if spec6.Family != V6 {
+		t.Fatalf("v6 round-trip family = %v, want V6", spec6.Family)
+	}
+	if six.Attrs(false)[snapfile.FamilyAttr] != LabelV6 {
+		t.Fatal("v6 attrs missing family mark")
+	}
+
+	if _, err := ParseAttrs(map[string]string{"backend": "warp-drive"}); err == nil {
+		t.Fatal("ParseAttrs accepted unknown backend")
+	}
+	if _, err := ParseAttrs(map[string]string{"shards": "zero-ish"}); err == nil {
+		t.Fatal("ParseAttrs accepted malformed shards")
+	}
+	spec, err = ParseAttrs(nil)
+	if err != nil || spec.Backend != repro.BackendDecomposition || spec.Shards != 1 {
+		t.Fatalf("ParseAttrs(nil) = %+v, %v; want decomposition/1-shard default", spec, err)
+	}
+}
+
+// TestConcurrentLifecycle hammers create/drop/resolve/list from many
+// goroutines; under -race this proves the RCU publication discipline —
+// readers index only immutable published maps while writers clone and
+// swap.
+func TestConcurrentLifecycle(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Create(Spec{Name: "anchor"}); err != nil {
+		t.Fatalf("Create anchor: %v", err)
+	}
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", w)
+			for i := 0; i < iters; i++ {
+				if _, err := r.Create(Spec{Name: name}); err != nil {
+					t.Errorf("worker %d Create: %v", w, err)
+					return
+				}
+				if _, err := r.Resolve(name); err != nil {
+					t.Errorf("worker %d Resolve own table: %v", w, err)
+					return
+				}
+				if err := r.Drop(name); err != nil {
+					t.Errorf("worker %d Drop: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Reader goroutines spin on the anchor table and the listing while
+	// the catalog churns underneath them.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters*4; i++ {
+				tab, err := r.Resolve("anchor")
+				if err != nil || tab.Name() != "anchor" {
+					t.Errorf("anchor lost mid-churn: %v", err)
+					return
+				}
+				if n := r.Len(); n < 1 || n > workers+1 {
+					t.Errorf("Len = %d mid-churn, want 1..%d", n, workers+1)
+					return
+				}
+				for _, tab := range r.List() {
+					_ = tab.Rules()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after churn, want 1 (anchor)", r.Len())
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"edge":     true,
+		"Edge-9.x": true,
+		"a_b":      true,
+		"":         false,
+		"a b":      false,
+		"a:b":      false,
+		"a/b":      false,
+		"a\nb":     false,
+	} {
+		if got := ValidName(name); got != want {
+			t.Errorf("ValidName(%q) = %v, want %v", name, got, want)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if ValidName(string(long)) {
+		t.Error("ValidName accepted 65-byte name")
+	}
+}

@@ -2,8 +2,9 @@ package workload
 
 import (
 	"math"
-	"math/bits"
 	"time"
+
+	"repro/internal/hdr"
 )
 
 // Histogram is an HDR-style latency histogram: values are bucketed with
@@ -22,40 +23,37 @@ type Histogram struct {
 	min    uint64
 }
 
-const (
-	// histSubBits is the number of significant bits kept per bucket:
-	// each power of two is split into 2^histSubBits linear sub-buckets.
-	histSubBits = 5
-	histSub     = 1 << histSubBits
-	// histExact is the range [0, histExact) tracked exactly (one bucket
-	// per nanosecond).
-	histExact = 64
-	// histBuckets covers exact values plus every (exponent, sub-bucket)
-	// pair up to the full uint64 range.
-	histBuckets = histExact + (63-histSubBits)*histSub
-)
+// histBuckets is the shared geometry's bucket count; the value↔bucket
+// arithmetic lives in repro/internal/hdr so the daemon's concurrent
+// histograms (repro/internal/metrics) use identical bucket boundaries.
+const histBuckets = hdr.Buckets
 
-// histIndex maps a value to its bucket.
-func histIndex(v uint64) int {
-	if v < histExact {
-		return int(v)
+// AddBucket folds c samples valued at bucket i's midpoint into the
+// histogram — the merge entry point for externally-bucketed counts
+// (internal/metrics' atomic histograms, folded via their BucketCount
+// accessor) that share the repro/internal/hdr geometry.
+func (h *Histogram) AddBucket(i int, c uint64) {
+	if c == 0 {
+		return
 	}
-	exp := bits.Len64(v) - 1 // v in [2^exp, 2^exp+1), exp >= 6
-	frac := (v >> (exp - histSubBits)) & (histSub - 1)
-	return histExact + (exp-6)*histSub + int(frac)
+	v := histValue(i)
+	h.counts[i] += c
+	h.sum += v * c
+	if v > h.max {
+		h.max = v
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	h.count += c
 }
+
+// histIndex maps a value to its bucket (the shared hdr geometry).
+func histIndex(v uint64) int { return hdr.Index(v) }
 
 // histValue returns the midpoint of a bucket — the value reported for
 // samples that landed in it.
-func histValue(i int) uint64 {
-	if i < histExact {
-		return uint64(i)
-	}
-	exp := 6 + (i-histExact)/histSub
-	frac := uint64((i - histExact) % histSub)
-	lo := uint64(1)<<exp | frac<<(exp-histSubBits)
-	return lo + uint64(1)<<(exp-histSubBits)/2
-}
+func histValue(i int) uint64 { return hdr.Value(i) }
 
 // Record adds one latency sample. Negative durations clamp to zero.
 func (h *Histogram) Record(d time.Duration) {

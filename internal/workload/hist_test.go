@@ -5,17 +5,19 @@ import (
 	"sort"
 	"testing"
 	"time"
+
+	"repro/internal/hdr"
 )
 
 func TestHistogramExactRegion(t *testing.T) {
 	var h Histogram
-	for v := 0; v < histExact; v++ {
+	for v := 0; v < hdr.Exact; v++ {
 		h.Record(time.Duration(v))
 	}
-	if h.Count() != histExact {
+	if h.Count() != hdr.Exact {
 		t.Fatalf("count = %d", h.Count())
 	}
-	if h.Min() != 0 || h.Max() != histExact-1 {
+	if h.Min() != 0 || h.Max() != hdr.Exact-1 {
 		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
 	}
 	// Small values are stored exactly: the median of 0..63 is 32 (ceil

@@ -1,0 +1,114 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+)
+
+// v4OnlyMethods are Classifier methods with no IPv6 counterpart by
+// design. Keep this list justified: anything added here must genuinely
+// not generalize to 128-bit fields.
+var v4OnlyMethods = map[string]string{
+	// RuleSet is the v4 ClassBench container; the v6 engine bulk-loads
+	// through Replace instead.
+	"BuildFromSet": "RuleSet bulk-load is IPv4-specific",
+}
+
+// v4ToV6Type maps the IPv4 surface types onto their IPv6 counterparts
+// for signature comparison.
+func v4ToV6Type(t reflect.Type) reflect.Type {
+	switch t {
+	case reflect.TypeOf(Header{}):
+		return reflect.TypeOf(Header6{})
+	case reflect.TypeOf(Rule{}):
+		return reflect.TypeOf(Rule6{})
+	case reflect.TypeOf([]Header{}):
+		return reflect.TypeOf([]Header6{})
+	case reflect.TypeOf([]Rule{}):
+		return reflect.TypeOf([]Rule6{})
+	}
+	return t
+}
+
+// TestClassifier6Parity walks the exported method set of Classifier via
+// reflection and requires Classifier6 to offer every method with the
+// equivalent signature (Header->Header6, Rule->Rule6), so the two
+// address families cannot silently drift apart as the API grows. New
+// intentionally v4-only methods must be added to v4OnlyMethods with a
+// reason.
+func TestClassifier6Parity(t *testing.T) {
+	t4 := reflect.TypeOf(&Classifier{})
+	t6 := reflect.TypeOf(&Classifier6{})
+	for i := 0; i < t4.NumMethod(); i++ {
+		m4 := t4.Method(i)
+		if reason, ok := v4OnlyMethods[m4.Name]; ok {
+			if _, has := t6.MethodByName(m4.Name); has {
+				t.Errorf("%s is allowlisted as v4-only (%s) but Classifier6 has it; drop the allowlist entry", m4.Name, reason)
+			}
+			continue
+		}
+		m6, ok := t6.MethodByName(m4.Name)
+		if !ok {
+			t.Errorf("Classifier6 lacks %s%s", m4.Name, m4.Type.String()[4:])
+			continue
+		}
+		f4, f6 := m4.Type, m6.Type
+		if f4.NumIn() != f6.NumIn() || f4.NumOut() != f6.NumOut() {
+			t.Errorf("%s: arity mismatch: v4 %s vs v6 %s", m4.Name, f4, f6)
+			continue
+		}
+		for j := 1; j < f4.NumIn(); j++ { // skip the receiver
+			if want, got := v4ToV6Type(f4.In(j)), f6.In(j); want != got {
+				t.Errorf("%s: arg %d: v4 %s maps to %s, v6 has %s", m4.Name, j, f4.In(j), want, got)
+			}
+		}
+		for j := 0; j < f4.NumOut(); j++ {
+			if want, got := v4ToV6Type(f4.Out(j)), f6.Out(j); want != got {
+				t.Errorf("%s: result %d: v4 %s maps to %s, v6 has %s", m4.Name, j, f4.Out(j), want, got)
+			}
+		}
+	}
+}
+
+// TestClassifier6ParityBehavior spot-checks the newly mirrored methods
+// actually work against a live v6 engine, not just typecheck.
+func TestClassifier6ParityBehavior(t *testing.T) {
+	c, err := New6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Backend() != BackendDecomposition {
+		t.Errorf("Backend() = %v, want decomposition", c.Backend())
+	}
+	if !c.IncrementalUpdate() {
+		t.Error("IncrementalUpdate() = false, want true")
+	}
+	r := Rule6{ID: 1, Priority: 1, Action: ActionPermit}
+	r.SrcIP.Len = 0
+	r.SrcPort = FullPortRange()
+	r.DstPort = FullPortRange()
+	if _, err := c.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	hs := []Header6{{SrcPort: 999, DstPort: 80, Proto: 6}}
+	res, cost := c.LookupBatchCost(hs)
+	if len(res) != 1 || !res[0].Found || res[0].RuleID != 1 {
+		t.Errorf("LookupBatchCost results %+v", res)
+	}
+	if cost.Cycles <= 0 {
+		t.Errorf("LookupBatchCost cost %+v, want positive cycles", cost)
+	}
+	if st := c.Stats(); st.Probes == 0 {
+		t.Errorf("Stats after lookup %+v, want probes > 0", st)
+	}
+	c.ResetStats()
+	if st := c.Stats(); st.Probes != 0 {
+		t.Errorf("Stats after ResetStats %+v, want zero probes", st)
+	}
+	if st := c.Stats(); st.Rules != 1 {
+		t.Errorf("ResetStats cleared rule population: %+v", st)
+	}
+	if cyc := c.ModelLookupCycles(100); cyc <= 0 {
+		t.Errorf("ModelLookupCycles(100) = %v, want positive", cyc)
+	}
+}

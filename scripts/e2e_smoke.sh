@@ -4,7 +4,10 @@
 # table creation, pipelined bulk loads and snapshot checkpoints over TCP
 # through the classifierctl client, SIGTERM the process, restart it on
 # the same snapshot directory, and assert every table came back
-# byte-for-byte.
+# byte-for-byte. The second life also exercises the HTTP observability
+# plane end to end: the Prometheus /metrics exposition and the JSON
+# admin API must serve the registry, and the operation counters must
+# advance when traffic flows.
 #
 # Set E2E_RACE=1 to build the daemon and client with -race, turning the
 # whole drive into a race-detector pass over the real server loop.
@@ -15,6 +18,7 @@ bin=$(mktemp -d)
 snaps=$(mktemp -d)
 work=$(mktemp -d)
 addr=127.0.0.1:9177
+httpaddr=127.0.0.1:9178
 pid=""
 
 cleanup() {
@@ -37,7 +41,7 @@ go run ./cmd/rulegen -family acl -size 200 -seed 7 -o "$work/rules.txt"
 ctl() { "$bin/classifierctl" -addr "$addr" "$@"; }
 
 start_daemon() {
-    "$bin/classifierd" -listen "$addr" -tables "edge=linear:2" -snapshot-dir "$snaps" &
+    "$bin/classifierd" -listen "$addr" -http "$httpaddr" -tables "edge=linear:2" -snapshot-dir "$snaps" &
     pid=$!
     for _ in $(seq 1 100); do
         if ctl tables >/dev/null 2>&1; then return 0; fi
@@ -91,6 +95,38 @@ ctl -table hot reset
 ctl -table hot restore checkpoint
 ctl -table hot snapshot > "$work/restored.txt"
 cmp "$work/before.txt" "$work/restored.txt" || { echo "checkpoint restore diverged" >&2; exit 1; }
+
+echo "== HTTP plane: /metrics and the JSON admin API serve the registry =="
+curl -fsS "http://$httpaddr/metrics" > "$work/metrics1.txt"
+grep -q '^repro_table_rules{table="hot"} 200$' "$work/metrics1.txt" \
+    || { echo "/metrics missing hot table rules gauge" >&2; exit 1; }
+grep -q '^repro_table_shards{table="edge"} 2$' "$work/metrics1.txt" \
+    || { echo "/metrics missing edge shard gauge" >&2; exit 1; }
+
+curl -fsS "http://$httpaddr/v1/tables" > "$work/tables.json"
+grep -q '"name": "hot"' "$work/tables.json" || { echo "JSON table list missing hot" >&2; exit 1; }
+curl -fsS "http://$httpaddr/v1/tables/hot/stats" > "$work/hotstats.json"
+grep -q '"backend": "tss"' "$work/hotstats.json" || { echo "hot stats backend wrong" >&2; exit 1; }
+grep -q '"rules": 200' "$work/hotstats.json" || { echo "hot stats rules wrong" >&2; exit 1; }
+
+echo "== HTTP plane: counters must advance with traffic =="
+lookups_before=$(sed -n 's/^repro_table_lookups_total{table="hot"} //p' "$work/metrics1.txt")
+ctl -table hot lookup 10.0.0.1 8.8.8.8 999 80 6 >/dev/null
+ctl -table hot lookup 10.0.0.2 8.8.4.4 999 443 6 >/dev/null
+curl -fsS "http://$httpaddr/metrics" > "$work/metrics2.txt"
+lookups_after=$(sed -n 's/^repro_table_lookups_total{table="hot"} //p' "$work/metrics2.txt")
+if [ "$lookups_after" -lt $((lookups_before + 2)) ]; then
+    echo "lookup counter did not advance ($lookups_before -> $lookups_after)" >&2
+    exit 1
+fi
+
+echo "== HTTP plane: create/drop round-trip through the admin API =="
+curl -fsS -X POST -d '{"name":"api_made","backend":"linear"}' "http://$httpaddr/v1/tables" >/dev/null
+ctl tables | grep -q '^api_made' || { echo "API-created table invisible to ctl" >&2; exit 1; }
+ctl stats -json > "$work/mainstats.json"
+grep -q '"lookups"' "$work/mainstats.json" || { echo "ctl stats -json missing ops block" >&2; exit 1; }
+curl -fsS -X DELETE "http://$httpaddr/v1/tables/api_made" >/dev/null
+ctl tables | grep -q '^api_made' && { echo "API-dropped table still visible" >&2; exit 1; }
 
 stop_daemon
 echo "e2e smoke OK"
