@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"strings"
 	"testing"
 
 	repro "repro"
@@ -38,6 +39,53 @@ func TestEngineLookupZeroAllocs(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("Engine.Lookup allocates %.1f objects/op on the steady-state path, want 0", allocs)
 	}
+
+	// The stateful probe path: with every rule establishing, the warmed
+	// state table serves both directions from its lock-free probe, which
+	// must also stay off the heap.
+	est := establishingSet(t, rs)
+	seng, err := repro.New(repro.WithRules(est), repro.WithFlowState(8192, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range trace {
+		seng.Lookup(h)
+		seng.Lookup(reverseHeader(h))
+	}
+	i = 0
+	allocs = testing.AllocsPerRun(500, func() {
+		h := trace[i%len(trace)]
+		seng.Lookup(h)
+		seng.Lookup(reverseHeader(h))
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("stateful Lookup allocates %.1f objects/op on the steady-state path, want 0", allocs)
+	}
+}
+
+// establishingSet rewrites every rule's action to allow-established so a
+// warmed trace turns the whole state table hot.
+func establishingSet(t *testing.T, rs *repro.RuleSet) *repro.RuleSet {
+	t.Helper()
+	rules := rs.Rules()
+	for i := range rules {
+		rules[i].Action = repro.ActionEstablish
+	}
+	est, err := repro.NewRuleSet(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// reverseHeader swaps the header's endpoints — the reply direction of
+// the same flow.
+func reverseHeader(h repro.Header) repro.Header {
+	return repro.Header{
+		SrcIP: h.DstIP, DstIP: h.SrcIP,
+		SrcPort: h.DstPort, DstPort: h.SrcPort, Proto: h.Proto,
+	}
 }
 
 // TestEngineLookupBatchIntoZeroAllocs guards the batched fast path on
@@ -58,6 +106,7 @@ func TestEngineLookupBatchIntoZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	est := establishingSet(t, rs)
 	compositions := []struct {
 		name string
 		opts []repro.Option
@@ -66,10 +115,23 @@ func TestEngineLookupBatchIntoZeroAllocs(t *testing.T) {
 		{"cache", []repro.Option{repro.WithFlowCache(4096)}},
 		{"shards4", []repro.Option{repro.WithShards(4)}},
 		{"shards4+cache", []repro.Option{repro.WithShards(4), repro.WithFlowCache(4096)}},
+		// The state table is direct-mapped, so the guard sizes it such
+		// that the fixed-seed trace's flow keys occupy distinct slots —
+		// a slot collision would ping-pong one install (an entry
+		// allocation) per batch, which is the install path's cost, not
+		// the steady-state probe path this test pins down.
+		{"state", []repro.Option{repro.WithFlowState(8192, 0)}},
+		{"cache+state", []repro.Option{repro.WithFlowCache(4096), repro.WithFlowState(8192, 0)}},
 	}
 	for _, c := range compositions {
 		t.Run(c.name, func(t *testing.T) {
-			eng, err := repro.New(append([]repro.Option{repro.WithRules(rs)}, c.opts...)...)
+			// State compositions run against the all-establishing ruleset
+			// so the warm-up actually fills the state table.
+			rules := rs
+			if strings.Contains(c.name, "state") {
+				rules = est
+			}
+			eng, err := repro.New(append([]repro.Option{repro.WithRules(rules)}, c.opts...)...)
 			if err != nil {
 				t.Fatal(err)
 			}

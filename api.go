@@ -47,6 +47,10 @@ const (
 	ActionQueue  = rule.ActionQueue
 	ActionMirror = rule.ActionMirror
 	ActionCount  = rule.ActionCount
+	// ActionEstablish ("allow-established") permits the packet and asks
+	// a WithFlowState engine to install a flow entry covering both
+	// directions, so return traffic is accepted by state.
+	ActionEstablish = rule.ActionEstablish
 )
 
 // Re-exported protocol numbers.

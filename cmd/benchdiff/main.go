@@ -12,14 +12,17 @@
 //
 // Records are matched on their full identity (experiment, backend,
 // family, rules, trace length, parallelism, batch, shards, zipf skew,
-// cache size — plus model, workers and event count for workload
-// records), so the Zipf-skewed cached-vs-uncached records are gated
+// cache size, flow-state size — plus model, workers and event count for
+// workload records), so the Zipf-skewed cached-vs-uncached records are gated
 // exactly like the plain engine records: a regression on the
 // flow-cache hit path fails the build the same as one on the engine
 // path. Flow-cached records are additionally gated on the measured
 // cache hit rate — a drop of more than -max-hitrate-drop percentage
 // points fails even when the ns/lookup noise band hides it, since a
-// degraded hit rate is a cached-path regression by definition.
+// degraded hit rate is a cached-path regression by definition. Stateful
+// records (state_entries > 0, from lookupbench -fwstate or loadgen
+// -model conntrack) are gated on their flow-state hit rate the same
+// way.
 // Workload-replay records are gated on their lookup latency quantiles
 // (p50 and p99) against the looser -max-latency-regress threshold:
 // open-loop tail latency on shared CI runners is far noisier than
@@ -55,6 +58,7 @@ type Record struct {
 	Shards       int     `json:"shards"`
 	Zipf         float64 `json:"zipf,omitempty"`
 	CacheEntries int     `json:"cache_entries,omitempty"`
+	StateEntries int     `json:"state_entries,omitempty"`
 	Model        string  `json:"model,omitempty"`
 	Workers      int     `json:"workers,omitempty"`
 	Events       int     `json:"events,omitempty"`
@@ -62,16 +66,17 @@ type Record struct {
 	LookupP50Ns  float64 `json:"lookup_p50_ns,omitempty"`
 	LookupP99Ns  float64 `json:"lookup_p99_ns,omitempty"`
 	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	StateHitRate float64 `json:"state_hit_rate,omitempty"`
 	Error        string  `json:"error,omitempty"`
 }
 
 // key is the record identity both artifacts must share for a
 // comparison to be meaningful.
 func (r Record) key() string {
-	return fmt.Sprintf("%s|%s|%s|%d|%d|p%d|b%d|s%d|z%g|c%d|m%s|w%d|e%d",
+	return fmt.Sprintf("%s|%s|%s|%d|%d|p%d|b%d|s%d|z%g|c%d|f%d|m%s|w%d|e%d",
 		r.Experiment, r.Backend, r.Family, r.Rules, r.TraceLen,
 		r.Parallel, r.Batch, r.Shards, r.Zipf, r.CacheEntries,
-		r.Model, r.Workers, r.Events)
+		r.StateEntries, r.Model, r.Workers, r.Events)
 }
 
 // measured reports whether the record carries any gateable measurement.
@@ -142,6 +147,19 @@ func compare(old, cur []Record, maxRegressPct, maxHitDropPts, maxLatencyPct floa
 					Old: 100 * p.CacheHitRate, New: 100 * r.CacheHitRate, Pct: drop})
 				log = append(log, fmt.Sprintf("REGRES %-60s hit rate %5.1f%% -> %5.1f%% (-%.1f pts)",
 					k, 100*p.CacheHitRate, 100*r.CacheHitRate, drop))
+			}
+		}
+		// The flow-state hit rate gates under the same contract as the
+		// cache hit rate: stateful records (StateEntries > 0) serialize
+		// state_hit_rate without omitempty, so a collapse to 0% on the
+		// current side is a reportable drop against a measured baseline.
+		if r.StateEntries > 0 && p.StateHitRate > 0 {
+			drop := 100 * (p.StateHitRate - r.StateHitRate)
+			if drop > maxHitDropPts {
+				regs = append(regs, Regression{Key: k, Metric: "state-hit-rate",
+					Old: 100 * p.StateHitRate, New: 100 * r.StateHitRate, Pct: drop})
+				log = append(log, fmt.Sprintf("REGRES %-60s state hit rate %5.1f%% -> %5.1f%% (-%.1f pts)",
+					k, 100*p.StateHitRate, 100*r.StateHitRate, drop))
 			}
 		}
 	}
@@ -223,6 +241,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, r := range regs {
 			if r.Metric == "hit-rate" {
 				fmt.Fprintf(stderr, "  %s: cache hit rate %.1f%% -> %.1f%% (-%.1f pts)\n", r.Key, r.Old, r.New, r.Pct)
+				continue
+			}
+			if r.Metric == "state-hit-rate" {
+				fmt.Fprintf(stderr, "  %s: state hit rate %.1f%% -> %.1f%% (-%.1f pts)\n", r.Key, r.Old, r.New, r.Pct)
 				continue
 			}
 			fmt.Fprintf(stderr, "  %s: %.0f -> %.0f ns %s (%+.1f%%)\n", r.Key, r.Old, r.New, r.Metric, r.Pct)

@@ -168,6 +168,50 @@ func TestCompareCatchesTotalHitRateCollapse(t *testing.T) {
 	}
 }
 
+// srec builds one flow-state experiment record, the stateful-path shape
+// from lookupbench -fwstate (stateEntries == 0 is the stateless twin).
+func srec(backend string, stateEntries int, ns, hitRate float64) Record {
+	return Record{
+		Experiment: "engine_state_lookup", Backend: backend, Family: "acl",
+		Rules: 1000, TraceLen: 5000, Parallel: 4, Batch: 64, Shards: 1,
+		StateEntries: stateEntries, NsPerLookup: ns, StateHitRate: hitRate,
+	}
+}
+
+func TestCompareGatesStateHitRate(t *testing.T) {
+	// Stateful and stateless twins are distinct identities.
+	old := []Record{srec("TSS", 65536, 150, 0.95)}
+	cur := []Record{srec("TSS", 0, 900, 0)}
+	if regs, _ := compare(old, cur, 15, 5, 50); len(regs) != 0 {
+		t.Fatalf("state identity ignored: %+v", regs)
+	}
+	// ns/lookup inside the noise band, but the flow-state hit rate
+	// collapsed: the stateful path stopped serving established traffic
+	// and the build must go red.
+	cur = []Record{srec("TSS", 65536, 160, 0.40)}
+	regs, _ := compare(old, cur, 15, 5, 50)
+	if len(regs) != 1 || regs[0].Metric != "state-hit-rate" {
+		t.Fatalf("state hit-rate drop not flagged: %+v", regs)
+	}
+	// Total collapse to exactly 0% still gates (state_hit_rate is
+	// serialized without omitempty on stateful records).
+	cur = []Record{srec("TSS", 65536, 160, 0)}
+	if regs, _ := compare(old, cur, 15, 5, 50); len(regs) != 1 {
+		t.Fatalf("total state hit-rate collapse not flagged: %+v", regs)
+	}
+	// A wobble inside the threshold passes, and a baseline without a
+	// measured rate never gates.
+	cur = []Record{srec("TSS", 65536, 155, 0.93)}
+	if regs, _ := compare(old, cur, 15, 5, 50); len(regs) != 0 {
+		t.Fatalf("state hit-rate wobble flagged: %+v", regs)
+	}
+	oldNoRate := []Record{srec("TSS", 65536, 150, 0)}
+	cur = []Record{srec("TSS", 65536, 155, 0)}
+	if regs, _ := compare(oldNoRate, cur, 15, 5, 50); len(regs) != 0 {
+		t.Fatalf("baseline without state hit rate gated: %+v", regs)
+	}
+}
+
 // wrec builds one workload-replay record, the BENCH_workload.json shape
 // cmd/loadgen emits.
 func wrec(model string, workers int, p50, p99 float64) Record {

@@ -9,7 +9,7 @@
 //	classifierctl -addr 127.0.0.1:9099 [-table name] <command> [args...]
 //
 //	tables [-json]                             list tables
-//	create <name> <backend> [shards [cache]]   create a table
+//	create <name> <backend> [shards [cache [state]]]  create a table
 //	drop <name>                                drop a table
 //	insert <id> <prio> <action> @<rule>        insert one rule
 //	bulk <classbench-file>                     pipeline a ruleset (BULK)
@@ -111,24 +111,32 @@ func dispatch(client *ctl.Client, current, cmd string, args []string, out io.Wri
 		return nil
 
 	case "create":
-		if len(args) < 2 || len(args) > 4 {
-			return fmt.Errorf("create wants <name> <backend> [shards [cache]]")
+		if len(args) < 2 || len(args) > 5 {
+			return fmt.Errorf("create wants <name> <backend> [shards [cache [state]]]")
 		}
-		shards, cache := 1, 0
+		shards, cache, state := 1, 0, 0
 		var err error
 		if len(args) >= 3 {
 			if shards, err = strconv.Atoi(args[2]); err != nil {
 				return fmt.Errorf("shards %q", args[2])
 			}
 		}
-		if len(args) == 4 {
+		if len(args) >= 4 {
 			if cache, err = strconv.Atoi(args[3]); err != nil {
 				return fmt.Errorf("cache %q", args[3])
 			}
 		}
-		if cache > 0 {
+		if len(args) == 5 {
+			if state, err = strconv.Atoi(args[4]); err != nil {
+				return fmt.Errorf("state %q", args[4])
+			}
+		}
+		switch {
+		case state > 0:
+			err = client.TableCreateStateful(args[0], args[1], shards, cache, state)
+		case cache > 0:
 			err = client.TableCreateCached(args[0], args[1], shards, cache)
-		} else {
+		default:
 			err = client.TableCreate(args[0], args[1], shards)
 		}
 		if err != nil {
@@ -286,6 +294,10 @@ func dispatch(client *ctl.Client, current, cmd string, args []string, out io.Wri
 		if st.Cache != nil {
 			fmt.Fprintf(out, "cache hits %d misses %d evictions %d\n",
 				st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions)
+		}
+		if st.State != nil {
+			fmt.Fprintf(out, "state installs %d hits %d expiries %d evictions %d\n",
+				st.State.Installs, st.State.Hits, st.State.Expiries, st.State.Evictions)
 		}
 		fmt.Fprintf(out, "lookups %d updates %d swaps %d errors %d\n",
 			st.Ops.Lookups, st.Ops.Updates, st.Ops.Swaps, st.Ops.Errors)

@@ -99,6 +99,38 @@ func TestCLIFullCycle(t *testing.T) {
 	cli(t, addr, "drop", "edge")
 }
 
+// TestCLIStatefulTable drives the conntrack surface end to end through
+// the CLI: create a stateful table, install an allow-established rule,
+// establish a flow forward, verify the reverse direction is accepted by
+// state alone, and read the state counters off the stats command.
+func TestCLIStatefulTable(t *testing.T) {
+	addr, _ := startDaemon(t)
+	cli(t, addr, "create", "ct", "tss", "1", "0", "4096")
+	cli(t, addr, "-table", "ct", "insert", "1", "1", "allow-established",
+		"@10.0.0.0/8", "0.0.0.0/0", "0", ":", "65535", "443", ":", "443", "0x06/0xff")
+	// Reverse first: nothing matches before establishment.
+	if out := cli(t, addr, "-table", "ct", "lookup", "8.8.8.8", "10.0.0.1", "443", "1234", "6"); !strings.HasPrefix(out, "NOMATCH") {
+		t.Fatalf("reverse before establishment: %q", out)
+	}
+	// Forward packet matches the establish rule and installs the flow.
+	if out := cli(t, addr, "-table", "ct", "lookup", "10.0.0.1", "8.8.8.8", "1234", "443", "6"); !strings.Contains(out, "allow-established") {
+		t.Fatalf("forward lookup: %q", out)
+	}
+	// Reverse is now accepted purely by flow state.
+	if out := cli(t, addr, "-table", "ct", "lookup", "8.8.8.8", "10.0.0.1", "443", "1234", "6"); !strings.HasPrefix(out, "MATCH rule 1") {
+		t.Fatalf("reverse after establishment: %q", out)
+	}
+	out := cli(t, addr, "-table", "ct", "stats")
+	if !strings.Contains(out, "state installs 1 hits 1") {
+		t.Fatalf("stats missing state counters: %q", out)
+	}
+	// The JSON record carries the same section.
+	if out := cli(t, addr, "-table", "ct", "stats", "-json"); !strings.Contains(out, `"installs": 1`) {
+		t.Fatalf("json stats missing state section: %q", out)
+	}
+	cli(t, addr, "drop", "ct")
+}
+
 func TestCLIErrors(t *testing.T) {
 	addr, _ := startDaemon(t)
 	var b strings.Builder
@@ -228,6 +260,7 @@ func TestCLIBadLocalArgs(t *testing.T) {
 	for _, args := range [][]string{
 		{"create", "x", "linear", "notanumber"},      // bad shard count
 		{"create", "x", "linear", "2", "notanumber"}, // bad cache size
+		{"create", "x", "linear", "2", "0", "nan"},   // bad state size
 		{"delete", "notanumber"},
 		{"lookup", "1.2.3.4", "5.6.7.8", "70000", "80", "6"}, // port overflow
 		{"lookup", "1.2.3", "5.6.7.8", "1", "2", "3"},        // short address

@@ -65,14 +65,15 @@ func main() {
 		backendF  = flag.String("backend", "decomposition", "main table backend (see repro.ParseBackend)")
 		shardsF   = flag.Int("shards", 1, "main table shard count (replicas of the backend)")
 		cacheF    = flag.Int("flowcache", 0, "main table flow-cache slots (0 disables)")
-		tablesF   = flag.String("tables", "", `extra tables, "name=backend[:shards[:cache]],..."`)
+		stateF    = flag.Int("fwstate", 0, "main table flow-state (conntrack) slots (0 disables)")
+		tablesF   = flag.String("tables", "", `extra tables, "name=backend[:shards[:cache[:state]]],..."`)
 		lpmAlgo   = flag.String("lpm", "mbt", "decomposition LPM engine: mbt, bst or amtrie")
 		snapDir   = flag.String("snapshot-dir", "", "directory for table snapshots: restored on start, saved on drain (empty disables persistence)")
 		httpAddr  = flag.String("http", "", "HTTP listen address for /metrics and the /v1 admin API (empty disables)")
 	)
 	flag.Parse()
 
-	srv, err := buildServer(*backendF, *shardsF, *cacheF, *tablesF, *lpmAlgo, *rulesPath, *snapDir)
+	srv, err := buildServer(*backendF, *shardsF, *cacheF, *stateF, *tablesF, *lpmAlgo, *rulesPath, *snapDir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "classifierd: %v\n", err)
 		os.Exit(2)
@@ -131,12 +132,12 @@ func main() {
 }
 
 // buildServer assembles the table registry from flag values: the main
-// table from backend/shards/flowcache/lpm (pre-loaded from rulesPath if
-// given) plus the extra tables of the -tables spec. With a snapshot
-// directory, saved tables are restored last, so a persisted ruleset
-// overrides a -rules pre-load while flags keep authority over engine
-// configuration.
-func buildServer(backendSpec string, shards, flowCache int, tablesSpec, lpmAlgo, rulesPath, snapDir string) (*ctl.Server, error) {
+// table from backend/shards/flowcache/fwstate/lpm (pre-loaded from
+// rulesPath if given) plus the extra tables of the -tables spec. With a
+// snapshot directory, saved tables are restored last, so a persisted
+// ruleset overrides a -rules pre-load while flags keep authority over
+// engine configuration.
+func buildServer(backendSpec string, shards, flowCache, flowState int, tablesSpec, lpmAlgo, rulesPath, snapDir string) (*ctl.Server, error) {
 	backend, err := repro.ParseBackend(backendSpec)
 	if err != nil {
 		return nil, err
@@ -146,7 +147,8 @@ func buildServer(backendSpec string, shards, flowCache int, tablesSpec, lpmAlgo,
 		return nil, err
 	}
 	opts := []repro.Option{repro.WithBackend(backend), repro.WithConfig(cfg),
-		repro.WithShards(shards), repro.WithFlowCache(flowCache)}
+		repro.WithShards(shards), repro.WithFlowCache(flowCache),
+		repro.WithFlowState(flowState, 0)}
 	var loaded int
 	if rulesPath != "" {
 		f, err := os.Open(rulesPath)
@@ -175,7 +177,7 @@ func buildServer(backendSpec string, shards, flowCache int, tablesSpec, lpmAlgo,
 		return nil, err
 	}
 	for _, spec := range extras {
-		if err := srv.AddTable(spec.name, spec.backend, spec.shards, spec.cache); err != nil {
+		if err := srv.AddTable(spec.name, spec.backend, spec.shards, spec.cache, spec.state); err != nil {
 			return nil, fmt.Errorf("table %q: %w", spec.name, err)
 		}
 	}
@@ -220,10 +222,11 @@ type tableSpec struct {
 	backend repro.Backend
 	shards  int
 	cache   int
+	state   int
 }
 
 // parseTables decodes the -tables flag: comma-separated
-// "name=backend[:shards[:cache]]" entries.
+// "name=backend[:shards[:cache[:state]]]" entries.
 func parseTables(spec string) ([]tableSpec, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil
@@ -233,14 +236,14 @@ func parseTables(spec string) ([]tableSpec, error) {
 		entry = strings.TrimSpace(entry)
 		name, rest, ok := strings.Cut(entry, "=")
 		if !ok || name == "" {
-			return nil, fmt.Errorf("table spec %q, want name=backend[:shards[:cache]]", entry)
+			return nil, fmt.Errorf("table spec %q, want name=backend[:shards[:cache[:state]]]", entry)
 		}
 		backendSpec, shardsSpec, hasShards := strings.Cut(rest, ":")
 		backend, err := repro.ParseBackend(backendSpec)
 		if err != nil {
 			return nil, fmt.Errorf("table spec %q: %w", entry, err)
 		}
-		shards, cache := 1, 0
+		shards, cache, state := 1, 0, 0
 		if hasShards {
 			shardsSpec, cacheSpec, hasCache := strings.Cut(shardsSpec, ":")
 			shards, err = strconv.Atoi(shardsSpec)
@@ -248,13 +251,20 @@ func parseTables(spec string) ([]tableSpec, error) {
 				return nil, fmt.Errorf("table spec %q: shard count %q", entry, shardsSpec)
 			}
 			if hasCache {
+				cacheSpec, stateSpec, hasState := strings.Cut(cacheSpec, ":")
 				cache, err = strconv.Atoi(cacheSpec)
 				if err != nil || cache < 0 {
 					return nil, fmt.Errorf("table spec %q: cache size %q", entry, cacheSpec)
 				}
+				if hasState {
+					state, err = strconv.Atoi(stateSpec)
+					if err != nil || state < 0 {
+						return nil, fmt.Errorf("table spec %q: state size %q", entry, stateSpec)
+					}
+				}
 			}
 		}
-		out = append(out, tableSpec{name: name, backend: backend, shards: shards, cache: cache})
+		out = append(out, tableSpec{name: name, backend: backend, shards: shards, cache: cache, state: state})
 	}
 	return out, nil
 }

@@ -13,7 +13,7 @@ import (
 )
 
 func TestParseTables(t *testing.T) {
-	specs, err := parseTables(" edge=linear , core=decomposition:8, cache=tss:2:4096 ")
+	specs, err := parseTables(" edge=linear , core=decomposition:8, cache=tss:2:4096, ct=tss:1:0:8192 ")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,6 +21,7 @@ func TestParseTables(t *testing.T) {
 		{name: "edge", backend: repro.BackendLinear, shards: 1},
 		{name: "core", backend: repro.BackendDecomposition, shards: 8},
 		{name: "cache", backend: repro.BackendTSS, shards: 2, cache: 4096},
+		{name: "ct", backend: repro.BackendTSS, shards: 1, cache: 0, state: 8192},
 	}
 	if len(specs) != len(want) {
 		t.Fatalf("got %+v", specs)
@@ -36,6 +37,7 @@ func TestParseTables(t *testing.T) {
 	for _, bad := range []string{
 		"noequals", "=linear", "x=", "x=frob", "x=linear:0", "x=linear:abc", "x=linear,,y=tss",
 		"x=linear:2:-1", "x=linear:2:abc",
+		"x=linear:2:0:-1", "x=linear:2:0:abc",
 	} {
 		if _, err := parseTables(bad); err == nil {
 			t.Errorf("parseTables(%q) should fail", bad)
@@ -66,7 +68,7 @@ func TestBuildServerErrors(t *testing.T) {
 		{"decomposition", "", "quadtree", "", 1},
 		{"decomposition", "", "mbt", "/nonexistent/rules.txt", 1},
 	} {
-		if _, err := buildServer(c.backend, c.shards, 0, c.tables, c.lpm, c.rules, ""); err == nil {
+		if _, err := buildServer(c.backend, c.shards, 0, 0, c.tables, c.lpm, c.rules, ""); err == nil {
 			t.Errorf("buildServer(%+v) should fail", c)
 		}
 	}
@@ -92,7 +94,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	f.Close()
 
-	srv, err := buildServer("decomposition", 4, 1024, "edge=linear:2,fast=tss", "mbt", rulesPath, "")
+	srv, err := buildServer("decomposition", 4, 1024, 0, "edge=linear:2,fast=tss", "mbt", rulesPath, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +212,7 @@ func TestDaemonSnapshotRestart(t *testing.T) {
 	}
 
 	boot := func() (*ctl.Server, *ctl.Client, chan error) {
-		srv, err := buildServer("decomposition", 2, 0, "edge=linear", "mbt", "", dir)
+		srv, err := buildServer("decomposition", 2, 0, 0, "edge=linear", "mbt", "", dir)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,10 +1,11 @@
 // Command loadgen replays deterministic trace workloads — timestamped
 // schedules mixing lookups, incremental updates and atomic whole-ruleset
-// swaps under four traffic models (uniform, zipf, bursty, shift; see
-// repro/internal/workload) — against either an in-process engine
-// composition (any backend × shards × flow cache) or a live classifierd
-// over the ctl protocol, and reports HDR-style latency distributions
-// (p50/p90/p99/p999), achieved throughput and per-op error counts.
+// swaps under five traffic models (uniform, zipf, bursty, shift,
+// conntrack; see repro/internal/workload) — against either an in-process
+// engine composition (any backend × shards × flow cache × flow state) or
+// a live classifierd over the ctl protocol, and reports HDR-style
+// latency distributions (p50/p90/p99/p999), achieved throughput and
+// per-op error counts.
 //
 // Usage:
 //
@@ -12,7 +13,18 @@
 //	loadgen -model all -events 10000 -duration 1s -backend tss -shards 4
 //	loadgen -model shift -flowcache 65536 -update-ratio 0.05 -swaps 2
 //	loadgen -model zipf -raw -batch 64
+//	loadgen -model conntrack -fwstate 65536 -establish 0.3 -flood 0.1 -swaps 2
 //	loadgen -addr 127.0.0.1:9099 -model shift -workers 4 -batch 32
+//
+// The conntrack scenario is the stateful composition's workload: with
+// -fwstate the engine tracks established flows, -establish rewrites that
+// fraction of the ruleset's actions to allow-established so forward
+// packets install flow state, the model's connection churn revisits both
+// directions of live flows (state hits), -flood interleaves one-shot
+// SYN-flood flows that install but never hit, and -swaps exercises
+// swap-while-connections-live invalidation. Conntrack runs emit
+// workload_conntrack records (with the achieved state hit rate) so
+// benchdiff gates the stateful path separately.
 //
 // The replay is open loop: every event carries a scheduled arrival
 // offset, N workers pace their lookup stripes against the wall clock,
@@ -83,6 +95,9 @@ type options struct {
 	backend   repro.Backend
 	shards    int
 	flowCache int
+	state     int
+	establish float64
+	flood     float64
 	raw       bool
 
 	addr  string
@@ -96,7 +111,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		modelF    = fs.String("model", "zipf", "traffic model: uniform, zipf, bursty, shift — comma-separated list or 'all'")
+		modelF    = fs.String("model", "zipf", "traffic model: uniform, zipf, bursty, shift, conntrack — comma-separated list or 'all'")
 		events    = fs.Int("events", 50000, "events per model run")
 		duration  = fs.Duration("duration", 5*time.Second, "schedule horizon (arrival offsets span it)")
 		seed      = fs.Int64("seed", 1, "generation seed")
@@ -115,6 +130,9 @@ func run(args []string, out io.Writer) error {
 		backendF  = fs.String("backend", "decomposition", "in-process backend (see repro.ParseBackend)")
 		shards    = fs.Int("shards", 1, "in-process shard replicas")
 		flowCache = fs.Int("flowcache", 0, "in-process flow-cache slots (0 disables)")
+		state     = fs.Int("fwstate", 0, "in-process flow-state (conntrack) slots (0 disables)")
+		establish = fs.Float64("establish", 0, "fraction of ruleset actions rewritten to allow-established [0,1]")
+		flood     = fs.Float64("flood", 0, "conntrack model SYN-flood aggressor ratio [0,1]")
 		raw       = fs.Bool("raw", false, "replay lookups as synthesized Ethernet frames through LookupBytesBatch (in-process only)")
 		addr      = fs.String("addr", "", "replay against a live classifierd at this address instead of in-process")
 		table     = fs.String("table", "", "remote table to replay into (default: the connection default)")
@@ -128,11 +146,18 @@ func run(args []string, out io.Writer) error {
 		size: *size, rules: *rulesPath, zipf: *zipfS, pool: *pool,
 		update: *update, swaps: *swaps, burstOn: *burstOn, burstOff: *burstOff,
 		shifts: *shifts, workers: *workers, batch: *batch,
-		shards: *shards, flowCache: *flowCache, raw: *raw,
+		shards: *shards, flowCache: *flowCache, state: *state,
+		establish: *establish, flood: *flood, raw: *raw,
 		addr: *addr, table: *table, jsonOut: *jsonOut,
 	}
 	if o.raw && o.addr != "" {
 		return fmt.Errorf("-raw replays in-process only; drop -addr")
+	}
+	if o.state != 0 && o.addr != "" {
+		return fmt.Errorf("-fwstate composes the in-process engine; drop -addr (create a stateful remote table instead)")
+	}
+	if o.establish < 0 || o.establish > 1 {
+		return fmt.Errorf("-establish %v, want [0,1]", o.establish)
 	}
 	var err error
 	if o.models, err = parseModels(*modelF); err != nil {
@@ -154,6 +179,11 @@ func run(args []string, out io.Writer) error {
 	rs, err := loadRuleset(o)
 	if err != nil {
 		return err
+	}
+	if o.establish > 0 {
+		if rs, err = establishingRuleset(rs, o.establish); err != nil {
+			return err
+		}
 	}
 	records := make([]Record, 0, len(o.models))
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
@@ -200,9 +230,11 @@ type Record struct {
 	Batch        int     `json:"batch"`
 	Shards       int     `json:"shards"`
 	CacheEntries int     `json:"cache_entries,omitempty"`
+	StateEntries int     `json:"state_entries,omitempty"`
 	Zipf         float64 `json:"zipf,omitempty"`
 	UpdateRatio  float64 `json:"update_ratio,omitempty"`
 	Swaps        int     `json:"swaps,omitempty"`
+	FloodRatio   float64 `json:"flood_ratio,omitempty"`
 	Remote       bool    `json:"remote,omitempty"`
 
 	DurationSec  float64 `json:"duration_sec"`
@@ -221,6 +253,12 @@ type Record struct {
 	LookupMaxNs  float64 `json:"lookup_max_ns"`
 	UpdateP99Ns  float64 `json:"update_p99_ns,omitempty"`
 
+	// StateHitRate is the flow-state hit fraction a stateful in-process
+	// replay achieved (hits / (hits + misses)), 0 when stateless.
+	StateHitRate float64 `json:"state_hit_rate,omitempty"`
+	StateHits    uint64  `json:"state_hits,omitempty"`
+	StateInstall uint64  `json:"state_installs,omitempty"`
+
 	LookupErrors int    `json:"lookup_errors"`
 	UpdateErrors int    `json:"update_errors"`
 	Error        string `json:"error,omitempty"`
@@ -234,6 +272,7 @@ func runModel(o options, m workload.Model, rs *repro.RuleSet, tw *tabwriter.Writ
 		ZipfSkew: o.zipf, HeaderPool: o.pool, UpdateRatio: o.update,
 		Swaps: o.swaps, Family: o.family,
 		BurstOn: o.burstOn, BurstOff: o.burstOff, Shifts: o.shifts,
+		FloodRatio: o.flood,
 	})
 	if err != nil {
 		return Record{}, err
@@ -268,9 +307,12 @@ func runModel(o options, m workload.Model, rs *repro.RuleSet, tw *tabwriter.Writ
 				cfg.Lookups = append(cfg.Lookups, t)
 			}
 		}
-	} else {
-		eng, err := repro.New(repro.WithBackend(o.backend),
-			repro.WithShards(o.shards), repro.WithFlowCache(o.flowCache))
+	}
+	var eng repro.Engine
+	if o.addr == "" {
+		eng, err = repro.New(repro.WithBackend(o.backend),
+			repro.WithShards(o.shards), repro.WithFlowCache(o.flowCache),
+			repro.WithFlowState(o.state, 0))
 		if err != nil {
 			return Record{}, err
 		}
@@ -294,6 +336,14 @@ func runModel(o options, m workload.Model, rs *repro.RuleSet, tw *tabwriter.Writ
 		return Record{}, err
 	}
 	rec := newRecord(o, m, rs.Len(), rep)
+	if ss, ok := eng.(interface{ StateStats() repro.FlowStateStats }); ok {
+		st := ss.StateStats()
+		rec.StateHits = st.Hits
+		rec.StateInstall = st.Installs
+		if total := st.Hits + st.Misses; total > 0 {
+			rec.StateHitRate = float64(st.Hits) / float64(total)
+		}
+	}
 	lk := rep.Ops[workload.OpLookup]
 	if lk == nil {
 		lk = &workload.OpStats{}
@@ -316,6 +366,11 @@ func newRecord(o options, m workload.Model, rules int, rep *workload.Report) Rec
 		// compared against pre-parsed baselines in benchdiff.
 		experiment = "workload_replay_raw"
 	}
+	if m == workload.ModelConntrack {
+		// The conntrack model's latency profile is dominated by the
+		// flow-state probe, so its records form their own trajectory.
+		experiment = "workload_conntrack"
+	}
 	rec := Record{
 		Experiment:  experiment,
 		Model:       m.String(),
@@ -329,9 +384,11 @@ func newRecord(o options, m workload.Model, rules int, rep *workload.Report) Rec
 		Zipf:        o.zipf,
 		UpdateRatio: o.update,
 		Swaps:       o.swaps,
+		FloodRatio:  o.flood,
 		Remote:      o.addr != "",
 
 		CacheEntries: o.flowCache,
+		StateEntries: o.state,
 		DurationSec:  rep.Elapsed.Seconds(),
 		EventsPerSec: rep.EventsPerSec(),
 	}
@@ -339,6 +396,7 @@ func newRecord(o options, m workload.Model, rules int, rep *workload.Report) Rec
 		rec.Backend = "remote"
 		rec.Shards = 0
 		rec.CacheEntries = 0
+		rec.StateEntries = 0
 	}
 	var updates workload.Histogram
 	for op, st := range rep.Ops {
@@ -393,4 +451,24 @@ func loadRuleset(o options) (*repro.RuleSet, error) {
 		return repro.ParseRules(f)
 	}
 	return repro.GenerateRules(repro.GenConfig{Family: repro.Family(o.family), Size: o.size, Seed: o.seed})
+}
+
+// establishingRuleset rewrites a deterministic ratio of the ruleset's
+// actions to allow-established so the stateful replay has rules that
+// install flow state. Every ⌈1/ratio⌉-th rule flips, spreading
+// establishers across priorities instead of clustering them.
+func establishingRuleset(rs *repro.RuleSet, ratio float64) (*repro.RuleSet, error) {
+	src := rs.Rules()
+	rules := make([]repro.Rule, len(src))
+	copy(rules, src)
+	stride := int(1 / ratio)
+	if stride < 1 {
+		stride = 1
+	}
+	for i := range rules {
+		if i%stride == 0 {
+			rules[i].Action = repro.ActionEstablish
+		}
+	}
+	return repro.NewRuleSet(rules)
 }

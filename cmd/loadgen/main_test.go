@@ -58,8 +58,12 @@ func loadRecords(t *testing.T, args ...string) []Record {
 // meet: non-zero latency quantiles and zero errors.
 func checkRecord(t *testing.T, rec Record) {
 	t.Helper()
-	if rec.Experiment != "workload_replay" {
-		t.Errorf("experiment = %q", rec.Experiment)
+	want := "workload_replay"
+	if rec.Model == "conntrack" {
+		want = "workload_conntrack"
+	}
+	if rec.Experiment != want {
+		t.Errorf("experiment = %q, want %q", rec.Experiment, want)
 	}
 	if rec.Lookups == 0 {
 		t.Errorf("%s: no lookups issued", rec.Model)
@@ -84,8 +88,8 @@ func checkRecord(t *testing.T, rec Record) {
 func TestInProcessAllModels(t *testing.T) {
 	recs := loadRecords(t, "-model", "all", "-events", "3000", "-duration", "250ms",
 		"-size", "150", "-workers", "2")
-	if len(recs) != 4 {
-		t.Fatalf("%d records, want 4", len(recs))
+	if len(recs) != 5 {
+		t.Fatalf("%d records, want 5", len(recs))
 	}
 	seen := map[string]bool{}
 	for _, rec := range recs {
@@ -98,7 +102,7 @@ func TestInProcessAllModels(t *testing.T) {
 			t.Errorf("%s: no updates issued", rec.Model)
 		}
 	}
-	if len(seen) != 4 {
+	if len(seen) != 5 {
 		t.Fatalf("models covered: %v", seen)
 	}
 }
@@ -114,6 +118,38 @@ func TestInProcessComposition(t *testing.T) {
 	checkRecord(t, recs[0])
 	if recs[0].Backend != "TSS" || recs[0].Shards != 2 || recs[0].CacheEntries != 4096 {
 		t.Fatalf("composition not recorded: %+v", recs[0])
+	}
+}
+
+// TestConntrackScenario is the stateful acceptance path: the conntrack
+// model against a flow-state composition whose ruleset establishes
+// flows, so the replay must install state, hit on reverse traffic and
+// record its own benchdiff trajectory.
+func TestConntrackScenario(t *testing.T) {
+	recs := loadRecords(t, "-model", "conntrack", "-events", "4000", "-duration", "250ms",
+		"-size", "150", "-fwstate", "65536", "-establish", "0.5", "-flood", "0.1",
+		"-update-ratio", "0", "-swaps", "0", "-workers", "2")
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	rec := recs[0]
+	checkRecord(t, rec)
+	if rec.Experiment != "workload_conntrack" {
+		t.Fatalf("experiment = %q", rec.Experiment)
+	}
+	if rec.StateEntries != 65536 || rec.FloodRatio != 0.1 {
+		t.Fatalf("composition not recorded: %+v", rec)
+	}
+	// Half the rules establish and the model revisits both directions of
+	// live connections, so the replay must both install and hit state.
+	if rec.StateInstall == 0 {
+		t.Fatalf("stateful replay installed no flows: %+v", rec)
+	}
+	if rec.StateHits == 0 || rec.StateHitRate <= 0 {
+		t.Fatalf("stateful replay never hit flow state: %+v", rec)
+	}
+	if rec.StateHitRate > 1 {
+		t.Fatalf("state hit rate %v out of range", rec.StateHitRate)
 	}
 }
 
@@ -146,6 +182,8 @@ func TestFlagErrors(t *testing.T) {
 		{"-rules", "/nonexistent"},
 		{"-addr", "127.0.0.1:1", "-events", "10", "-duration", "10ms"}, // connection refused
 		{"-model", "zipf", "-zipf", "0.5", "-events", "10", "-duration", "10ms"},
+		{"-fwstate", "1024", "-addr", "127.0.0.1:1"},
+		{"-establish", "1.5"},
 	} {
 		if err := run(append(args, "-json", ""), &b); err == nil {
 			t.Errorf("run(%v) should fail", args)

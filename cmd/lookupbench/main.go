@@ -12,6 +12,7 @@
 //	lookupbench -engines -parallel 8 -batch 64 -shards 1,4 -json BENCH_lookup.json
 //	lookupbench -engines -zipf 1.2 -flowcache 65536
 //	lookupbench -engines -burst 1,16,64,256
+//	lookupbench -engines -fwstate 65536
 //
 // The -engines experiment drives every backend through the public Engine
 // API with parallel batched lookups (concurrent goroutines sharing one
@@ -26,7 +27,13 @@
 // vector kernel across the given burst sizes through the
 // allocation-free LookupBatchInto entry point, emitting
 // engine_burst_lookup records so the burst-size curve is part of the
-// tracked trajectory.
+// tracked trajectory. With -fwstate it additionally replays a
+// bidirectional trace (every header followed by its reverse) against an
+// establishing ruleset on each backend twice — stateless and behind
+// repro.WithFlowState(-fwstate slots) — emitting engine_state_lookup
+// records with the measured flow-state hit rate, the conntrack scenario
+// where reverse packets are admitted by installed flow entries instead
+// of the classifier.
 //
 // The -raw experiment drives the zero-allocation raw-frame ingress
 // path: synthesized Ethernet frames stream through LookupBytesBatch on
@@ -82,6 +89,7 @@ func main() {
 		burstFlag  = flag.String("burst", "", "comma-separated burst sizes for the -engines stage-fused sweep ('' disables)")
 		zipfS      = flag.Float64("zipf", 1.2, "Zipf skew s for the -engines flow-cache experiment (> 1; 0 disables)")
 		cacheSize  = flag.Int("flowcache", 1<<16, "flow-cache slots for the -zipf experiment")
+		stateSize  = flag.Int("fwstate", 0, "flow-state slots for the -engines stateful experiment (0 disables)")
 		jsonOut    = flag.String("json", "BENCH_lookup.json", "machine-readable output file for -engines ('' disables)")
 	)
 	flag.Parse()
@@ -124,10 +132,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lookupbench: -flowcache wants a positive slot count for the -zipf experiment")
 		os.Exit(2)
 	}
+	if *stateSize < 0 {
+		fmt.Fprintln(os.Stderr, "lookupbench: -fwstate wants a non-negative slot count")
+		os.Exit(2)
+	}
 	r := runner{
 		sizes: sizes, traceN: *traceN, seed: *seed,
 		parallel: *parallel, batch: *batch, shards: shardCounts,
 		burst: burstSizes, zipf: *zipfS, flowCache: *cacheSize,
+		fwState: *stateSize,
 	}
 	if *table1 {
 		r.tableI()
@@ -153,6 +166,9 @@ func main() {
 			}
 			if r.zipf > 1 {
 				records = append(records, r.zipfCache()...)
+			}
+			if r.fwState > 0 {
+				records = append(records, r.stateLookup()...)
 			}
 		}
 		if *raw {
@@ -190,6 +206,7 @@ type runner struct {
 	burst     []int
 	zipf      float64
 	flowCache int
+	fwState   int
 }
 
 func (r runner) workload(fam ruleset.Family, size int) (*rule.Set, []rule.Header) {
@@ -460,6 +477,12 @@ type BenchRecord struct {
 	Zipf         float64 `json:"zipf,omitempty"`
 	CacheEntries int     `json:"cache_entries,omitempty"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Flow-state experiment fields: the state slot count (0 = stateless
+	// record) and the measured flow-state hit rate. StateHitRate follows
+	// the CacheHitRate contract — NOT omitempty, so a collapse to exactly
+	// 0 on a stateful record stays a reportable measurement.
+	StateEntries int     `json:"state_entries,omitempty"`
+	StateHitRate float64 `json:"state_hit_rate"`
 	Error        string  `json:"error,omitempty"`
 }
 
@@ -664,6 +687,97 @@ func (r runner) zipfCache() []BenchRecord {
 					fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.0f\t%.2f\t%s\n",
 						b, name, shards, cacheEntries, nsPerOp, mlps, hitRate)
 				}
+			}
+		}
+	}
+	tw.Flush()
+	fmt.Println()
+	return records
+}
+
+// establishSet returns a copy of the ruleset with every other rule's
+// action rewritten to allow-established, so forward matches install
+// flow state in the stateful experiment.
+func establishSet(set *rule.Set) *rule.Set {
+	src := set.Rules()
+	rules := make([]rule.Rule, len(src))
+	copy(rules, src)
+	for i := range rules {
+		if i%2 == 0 {
+			rules[i].Action = rule.ActionEstablish
+		}
+	}
+	out, err := rule.NewSet(rules)
+	exitOn(err)
+	return out
+}
+
+// bidiTrace interleaves each forward header with its reverse so the
+// replay revisits both directions of every flow — the traffic shape a
+// conntrack table is judged on.
+func bidiTrace(base []rule.Header) []rule.Header {
+	out := make([]rule.Header, 0, 2*len(base))
+	for _, h := range base {
+		rev := h
+		rev.SrcIP, rev.DstIP = h.DstIP, h.SrcIP
+		rev.SrcPort, rev.DstPort = h.DstPort, h.SrcPort
+		out = append(out, h, rev)
+	}
+	return out
+}
+
+// stateLookup measures every backend on the bidirectional trace twice:
+// stateless and behind the flow-state layer, reporting the stateful
+// path's hit rate. The warm-up pass inside measureParallel installs the
+// flow entries, so the measured pass serves established traffic — the
+// steady state of a conntrack firewall.
+func (r runner) stateLookup() []BenchRecord {
+	fmt.Printf("== Engine API: stateful flow tracking, %d slots, bidirectional trace ==\n", r.fwState)
+	tw := newTab()
+	fmt.Fprintln(tw, "backend\truleset\tstate\tns/lookup\tMlookups/s\thit rate")
+	var records []BenchRecord
+	for _, size := range r.sizes {
+		base, trace0 := r.workload(ruleset.ACL, size)
+		set := establishSet(base)
+		trace := bidiTrace(trace0)
+		name := fmt.Sprintf("acl-%s", ruleset.SizeName(size))
+		for _, b := range repro.Backends() {
+			for _, stateEntries := range []int{0, r.fwState} {
+				rec := BenchRecord{
+					Experiment: "engine_state_lookup",
+					Backend:    b.String(),
+					Family:     "acl",
+					Rules:      set.Len(),
+					TraceLen:   len(trace),
+					Parallel:   r.parallel,
+					Batch:      r.batch,
+					Shards:     1,
+				}
+				eng, err := repro.New(repro.WithBackend(b), repro.WithRules(set),
+					repro.WithFlowState(stateEntries, 0))
+				if err != nil {
+					rec.Error = err.Error()
+					records = append(records, rec)
+					fmt.Fprintf(tw, "%s\t%s\t%d\t%v\t-\t-\n", b, name, stateEntries, err)
+					continue
+				}
+				nsPerOp, mlps := r.measureParallel(eng, trace)
+				rec.NsPerLookup = nsPerOp
+				rec.MLookupsPerSec = mlps
+				rec.MemoryBytes = eng.Memory().TotalBytes()
+				rec.Incremental = eng.IncrementalUpdate()
+				hitRate := "-"
+				if ss, ok := eng.(interface{ StateStats() repro.FlowStateStats }); ok {
+					rec.StateEntries = stateEntries
+					st := ss.StateStats()
+					if total := st.Hits + st.Misses; total > 0 {
+						rec.StateHitRate = float64(st.Hits) / float64(total)
+					}
+					hitRate = fmt.Sprintf("%.1f%%", 100*rec.StateHitRate)
+				}
+				records = append(records, rec)
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.2f\t%s\n",
+					b, name, stateEntries, nsPerOp, mlps, hitRate)
 			}
 		}
 	}

@@ -107,6 +107,44 @@ func TestZipfCacheRecords(t *testing.T) {
 	}
 }
 
+// TestStateLookupRecords runs the stateful experiment at a tiny scale
+// and checks the stateless-vs-stateful record pairing: every backend
+// emits one record with state_entries=0 and one with the slot count,
+// and the stateful record measures a positive hit rate (the warm-up
+// pass installs the flows the measured pass then hits).
+func TestStateLookupRecords(t *testing.T) {
+	r := runner{sizes: []int{40}, traceN: 120, seed: 1, parallel: 2, batch: 16,
+		fwState: 1 << 14}
+	records := r.stateLookup()
+	stateful, stateless := map[string]BenchRecord{}, map[string]BenchRecord{}
+	for _, rec := range records {
+		if rec.Experiment != "engine_state_lookup" {
+			t.Fatalf("experiment = %q", rec.Experiment)
+		}
+		if rec.StateEntries > 0 {
+			stateful[rec.Backend] = rec
+		} else {
+			stateless[rec.Backend] = rec
+		}
+	}
+	if len(stateful) == 0 || len(stateful) != len(stateless) {
+		t.Fatalf("unpaired records: %d stateful, %d stateless", len(stateful), len(stateless))
+	}
+	for b, rec := range stateful {
+		if rec.Error != "" {
+			continue
+		}
+		if rec.StateHitRate <= 0 || rec.StateHitRate > 1 {
+			t.Errorf("%s: state hit rate %v", b, rec.StateHitRate)
+		}
+	}
+	for b, rec := range stateless {
+		if rec.StateHitRate != 0 {
+			t.Errorf("%s: stateless record carries hit rate %v", b, rec.StateHitRate)
+		}
+	}
+}
+
 // TestZipfTraceIsSkewed checks the resampler concentrates traffic: the
 // most popular header of the skewed trace must appear far more often
 // than a uniform draw would allow.

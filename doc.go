@@ -127,6 +127,39 @@
 // and eviction counters are also surfaced through the ctl STATS
 // response.
 //
+// # Stateful flow tracking
+//
+// WithFlowState(entries, ttl) wraps any engine composition in a
+// sharded, lock-free conntrack layer — the stateful firewall primitive
+// built over the stateless classifier:
+//
+//	eng, err := repro.New(
+//		repro.WithRules(rs),
+//		repro.WithFlowCache(1<<16),
+//		repro.WithFlowState(1<<20, 5*time.Minute),
+//	)
+//
+// Rules whose Action is ActionEstablish ("allow-established") install a
+// flow entry when a forward packet matches: the entry is keyed by the
+// direction-normalized 5-tuple, so it covers the reverse direction too,
+// and subsequent packets of the flow — in either direction — are
+// admitted by a single hash probe carrying the establishing rule's
+// verdict, without consulting the classifier. That is how a reply
+// packet with no matching rule of its own is accepted: connection
+// state, not rule state, admits it. Entries expire ttl after their
+// last hit (refresh is a wait-free atomic store on the probe path) and
+// are generation-stamped like flow-cache lines: Insert, Delete and
+// Replace invalidate all established flows in one generation bump, so
+// a revoked rule cannot keep admitting traffic through stale state —
+// unless WithFlowStatePreserve opts into keeping flows across rule
+// updates, the conntrack behavior of a production firewall. Stateful
+// engines expose StateStats (entries, installs, hits, misses,
+// expiries, evictions, invalidations), surfaced through ctl STATS, the
+// JSON admin API and /metrics; ctl table specs take a fourth
+// state-slot field (name=backend[:shards[:cache[:state]]]), and the
+// stateful probe path is allocation-free under the same //repro:noalloc
+// regime as the lookup kernels.
+//
 // # Sharding
 //
 // WithShards(n) partitions the ruleset across n replicas of the
@@ -199,8 +232,8 @@
 //
 // Three surfaces read the same tables.TableStats record, so they
 // cannot disagree: the ctl STATS response (engine pipeline stats,
-// optional CACHE section, and an OPS section with the serving-layer
-// counters), a typed JSON admin API (GET/POST /v1/tables,
+// optional CACHE and STATE sections, and an OPS section with the
+// serving-layer counters), a typed JSON admin API (GET/POST /v1/tables,
 // DELETE /v1/tables/{name}, GET /v1/tables/{name}/stats), and a
 // Prometheus text exposition at /metrics with per-table operation
 // totals, latency quantile summaries, shard-balance gauges and modeled
@@ -212,17 +245,21 @@
 //
 // internal/workload generates and replays deterministic trace
 // workloads: timestamped event schedules mixing lookups, incremental
-// updates and atomic whole-ruleset swaps under four traffic models —
-// uniform, Zipf-skewed popularity, bursty on/off arrivals, and a
+// updates and atomic whole-ruleset swaps under five traffic models —
+// uniform, Zipf-skewed popularity, bursty on/off arrivals, a
 // locality-shift model whose hot set migrates mid-run (the flow-cache
-// stress case). The same (ruleset, config) pair always yields the same
+// stress case), and a conntrack model that opens bidirectional
+// connections with forward-first packet ordering and optional one-shot
+// SYN-flood aggressors (the flow-state stress case). The same
+// (ruleset, config) pair always yields the same
 // schedule, so a schedule is a reproducible experiment: the conformance
 // suite replays each one sequentially against every backend composition
 // and asserts identical per-lookup verdict sequences.
 //
 // cmd/loadgen is the load driver: it replays a schedule either
 // in-process against any Engine composition (backend × WithShards ×
-// WithFlowCache) or over TCP against a live classifierd, using N
+// WithFlowCache × WithFlowState) or over TCP against a live
+// classifierd, using N
 // concurrent workers with an open-loop pacer — latency is measured from
 // each event's scheduled arrival, so queueing delay is charged to the
 // distribution rather than coordinating with the load. Updates apply in

@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -192,12 +193,15 @@ func ParseBackend(s string) (Backend, error) {
 type Option func(*engineOptions)
 
 type engineOptions struct {
-	backend   Backend
-	cfg       Config
-	rules     *RuleSet
-	optimize  bool
-	shards    int
-	flowCache int
+	backend       Backend
+	cfg           Config
+	rules         *RuleSet
+	optimize      bool
+	shards        int
+	flowCache     int
+	state         int
+	stateTTL      time.Duration
+	statePreserve bool
 }
 
 // WithBackend selects the lookup algorithm; the default is
@@ -260,6 +264,9 @@ func New(opts ...Option) (Engine, error) {
 	if err := validateFlowCache(o.flowCache); err != nil {
 		return nil, err
 	}
+	if err := validateFlowState(o.state); err != nil {
+		return nil, err
+	}
 	rules := o.rules
 	if o.optimize && rules != nil {
 		opt, _, err := OptimizeRules(rules)
@@ -279,7 +286,12 @@ func New(opts ...Option) (Engine, error) {
 		return nil, err
 	}
 	if o.flowCache > 0 {
-		return newFlowCached(eng, o.flowCache), nil
+		eng = newFlowCached(eng, o.flowCache)
+	}
+	if o.state > 0 {
+		// The state table wraps outermost: an established-flow hit skips
+		// the cache probe and the classifier alike.
+		eng = newFlowState(eng, o.state, o.stateTTL, o.statePreserve)
 	}
 	return eng, nil
 }
@@ -377,6 +389,9 @@ func New6(opts ...Option) (*Classifier6, error) {
 	}
 	if o.flowCache != 0 {
 		return nil, fmt.Errorf("repro: WithFlowCache is IPv4-only; the IPv6 domain is uncached")
+	}
+	if o.state != 0 {
+		return nil, fmt.Errorf("repro: WithFlowState is IPv4-only; the IPv6 domain is stateless")
 	}
 	if o.rules != nil {
 		return nil, fmt.Errorf("repro: WithRules carries IPv4 rules; insert Rule6 values instead")

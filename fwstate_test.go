@@ -1,0 +1,440 @@
+package repro_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	repro "repro"
+)
+
+// This file is the stateful-layer half of the differential conformance
+// suite: every backend × engine composition replays the same
+// bidirectional lookup schedules as a naive map-based connection
+// tracker layered over the linear-scan rule oracle, and the two must
+// agree on every verdict. The per-structure contracts of the state
+// table itself live in internal/fwstate (see its TEST_PLAN.md).
+
+// verdict is the comparable projection of a lookup result.
+type verdict struct {
+	found  bool
+	id     int
+	action repro.Action
+}
+
+func verdictOf(res repro.Result) verdict {
+	return verdict{found: res.Found, id: res.RuleID, action: res.Action}
+}
+
+// oracleKey is the oracle's own direction-normalized flow key —
+// deliberately independent of internal/fwstate's encoding, so the two
+// implementations only share the contract, not the code.
+type oracleKey struct {
+	aIP, bIP     uint32
+	aPort, bPort uint16
+	proto        uint8
+}
+
+func oracleKeyOf(h repro.Header) oracleKey {
+	a := uint64(h.SrcIP)<<16 | uint64(h.SrcPort)
+	b := uint64(h.DstIP)<<16 | uint64(h.DstPort)
+	if a <= b {
+		return oracleKey{h.SrcIP, h.DstIP, h.SrcPort, h.DstPort, h.Proto}
+	}
+	return oracleKey{h.DstIP, h.SrcIP, h.DstPort, h.SrcPort, h.Proto}
+}
+
+// conntrackOracle is the naive reference: a map of established flows
+// over the linear-scan ruleset oracle, with the same establish /
+// invalidate-on-update semantics as the fwstate layer.
+type conntrackOracle struct {
+	rs       *repro.RuleSet
+	state    map[oracleKey]verdict
+	stateful bool
+	preserve bool
+}
+
+func newConntrackOracle(rs *repro.RuleSet, stateful, preserve bool) *conntrackOracle {
+	return &conntrackOracle{rs: rs, state: map[oracleKey]verdict{}, stateful: stateful, preserve: preserve}
+}
+
+func (o *conntrackOracle) lookup(h repro.Header) verdict {
+	k := oracleKeyOf(h)
+	if o.stateful {
+		if v, ok := o.state[k]; ok {
+			return v
+		}
+	}
+	var v verdict
+	if r, ok := o.rs.Match(h); ok {
+		v = verdict{found: true, id: r.ID, action: r.Action}
+	}
+	if o.stateful && v.found && v.action == repro.ActionEstablish {
+		o.state[k] = v
+	}
+	return v
+}
+
+func (o *conntrackOracle) replace(rs *repro.RuleSet) {
+	o.rs = rs
+	if !o.preserve {
+		o.state = map[oracleKey]verdict{}
+	}
+}
+
+// establishingCorpus builds the stateful ruleset pair for the replay:
+// the base set with every third rule establishing (the rest keep their
+// generated permit/deny/... actions), and a swap set that drops every
+// fourth rule and re-flips which rules establish — so a mid-replay
+// Replace genuinely changes both the match results and the set of flows
+// that can establish.
+func establishingCorpus(t *testing.T) (*repro.RuleSet, *repro.RuleSet) {
+	t.Helper()
+	rs, err := repro.GenerateRules(repro.GenConfig{Family: repro.ACL, Size: 100, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rs.Rules()
+	for i := range base {
+		if i%3 == 0 {
+			base[i].Action = repro.ActionEstablish
+		}
+	}
+	baseSet, err := repro.NewRuleSet(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swapped []repro.Rule
+	for i, r := range rs.Rules() {
+		if i%4 == 0 {
+			continue
+		}
+		if i%3 == 1 {
+			r.Action = repro.ActionEstablish
+		}
+		swapped = append(swapped, r)
+	}
+	swapSet, err := repro.NewRuleSet(swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return baseSet, swapSet
+}
+
+// bidirSchedule interleaves forward packets, their reverse-direction
+// replies and revisits of earlier flows — the shape that exercises
+// install-then-accept, state-before-classifier and re-establishment.
+func bidirSchedule(t *testing.T, rs *repro.RuleSet, n int, seed int64) []repro.Header {
+	t.Helper()
+	fwd := corpusTrace(t, rs, n, seed)
+	rnd := rand.New(rand.NewSource(seed + 1))
+	var sched []repro.Header
+	for i, h := range fwd {
+		sched = append(sched, h, reverseHeader(h))
+		if i > 0 && rnd.Intn(3) == 0 {
+			past := fwd[rnd.Intn(i)]
+			if rnd.Intn(2) == 0 {
+				past = reverseHeader(past)
+			}
+			sched = append(sched, past)
+		}
+	}
+	return sched
+}
+
+// stateComposition describes one engine option stack for the
+// differential matrix.
+type stateComposition struct {
+	name     string
+	opts     []repro.Option
+	stateful bool
+	preserve bool
+}
+
+// stateCompositions is the matrix of satellite compositions: the
+// stateless ones prove ActionEstablish degrades to a plain permit
+// without the state layer, the stateful ones prove the conntrack
+// semantics.
+func stateCompositions() []stateComposition {
+	return []stateComposition{
+		{name: "plain"},
+		{name: "shards4", opts: []repro.Option{repro.WithShards(4)}},
+		{name: "cache", opts: []repro.Option{repro.WithFlowCache(1024)}},
+		// The oracle's map never evicts, so the engine's direct-mapped
+		// table is sized well above the live-flow count; the tests assert
+		// zero evictions so a slot collision fails loudly instead of
+		// surfacing as a baffling verdict mismatch.
+		{name: "state", opts: []repro.Option{repro.WithFlowState(1<<14, 0)}, stateful: true},
+		{name: "cache+state", opts: []repro.Option{repro.WithFlowCache(1024), repro.WithFlowState(1<<14, 0)}, stateful: true},
+	}
+}
+
+// replayDifferential drives one engine and the oracle through the
+// schedule in lockstep, with a whole-ruleset Replace at the midpoint.
+func replayDifferential(t *testing.T, eng repro.Engine, o *conntrackOracle, sched []repro.Header, swap *repro.RuleSet) {
+	t.Helper()
+	mid := len(sched) / 2
+	for i, h := range sched {
+		if swap != nil && i == mid {
+			if _, err := eng.Replace(swap.Rules()); err != nil {
+				t.Fatalf("event %d: Replace: %v", i, err)
+			}
+			o.replace(swap)
+		}
+		res, _ := eng.Lookup(h)
+		if got, want := verdictOf(res), o.lookup(h); got != want {
+			t.Fatalf("event %d %+v: engine %+v, oracle %+v", i, h, got, want)
+		}
+	}
+}
+
+// TestFlowStateDifferential replays bidirectional schedules — including
+// a mid-replay ruleset swap — on every backend × composition against
+// the naive conntrack oracle.
+func TestFlowStateDifferential(t *testing.T) {
+	base, swap := establishingCorpus(t)
+	sched := bidirSchedule(t, base, 150, 62)
+	for _, b := range repro.Backends() {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			for _, c := range stateCompositions() {
+				c := c
+				t.Run(c.name, func(t *testing.T) {
+					eng, err := repro.New(append([]repro.Option{
+						repro.WithBackend(b), repro.WithRules(base),
+					}, c.opts...)...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					o := newConntrackOracle(base, c.stateful, false)
+					replayDifferential(t, eng, o, sched, swap)
+					if c.stateful {
+						st := eng.(interface{ StateStats() repro.FlowStateStats }).StateStats()
+						if st.Evictions != 0 {
+							t.Fatalf("state table evicted %d entries; grow it so the oracle comparison stays exact", st.Evictions)
+						}
+						if st.Installs == 0 || st.Hits == 0 {
+							t.Fatalf("schedule never exercised the state table: %+v", st)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestFlowStateEstablishSemantics pins the establish contract on the
+// default composition: a forward hit on an allow-established rule
+// installs a flow entry, the reverse direction is accepted by state
+// with the establishing rule's verdict even though the classifier would
+// deny it, and non-establishing verdicts install nothing.
+func TestFlowStateEstablishSemantics(t *testing.T) {
+	rules := []repro.Rule{
+		{
+			ID: 1, Priority: 1,
+			SrcIP:   repro.MustParsePrefix("10.0.0.0/8"),
+			SrcPort: repro.FullPortRange(), DstPort: repro.ExactPort(443),
+			Proto: repro.ExactProto(repro.ProtoTCP), Action: repro.ActionEstablish,
+		},
+		{
+			ID: 2, Priority: 2,
+			SrcIP:   repro.MustParsePrefix("10.0.0.0/8"),
+			SrcPort: repro.FullPortRange(), DstPort: repro.ExactPort(80),
+			Proto: repro.ExactProto(repro.ProtoTCP), Action: repro.ActionPermit,
+		},
+		{ // catch-all deny: what the classifier says about reply traffic
+			ID: 3, Priority: 9,
+			SrcPort: repro.FullPortRange(), DstPort: repro.FullPortRange(),
+			Proto: repro.AnyProto(), Action: repro.ActionDeny,
+		},
+	}
+	rs, err := repro.NewRuleSet(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.New(repro.WithRules(rs), repro.WithFlowState(1024, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateful := eng.(interface{ StateStats() repro.FlowStateStats })
+
+	est := repro.Header{SrcIP: 0x0a000001, DstIP: 0x08080808, SrcPort: 40000, DstPort: 443, Proto: repro.ProtoTCP}
+	res, _ := eng.Lookup(est)
+	if !res.Found || res.RuleID != 1 || res.Action != repro.ActionEstablish {
+		t.Fatalf("forward establish lookup: %+v", res)
+	}
+	rev, _ := eng.Lookup(reverseHeader(est))
+	if !rev.Found || rev.RuleID != 1 || rev.Action != repro.ActionEstablish {
+		t.Fatalf("reverse lookup should be accepted by state with the establishing verdict, got %+v", rev)
+	}
+
+	// A permit verdict installs nothing: the reply hits the deny rule.
+	web := repro.Header{SrcIP: 0x0a000002, DstIP: 0x08080808, SrcPort: 40001, DstPort: 80, Proto: repro.ProtoTCP}
+	if res, _ := eng.Lookup(web); !res.Found || res.RuleID != 2 {
+		t.Fatalf("permit lookup: %+v", res)
+	}
+	if res, _ := eng.Lookup(reverseHeader(web)); !res.Found || res.RuleID != 3 || res.Action != repro.ActionDeny {
+		t.Fatalf("reverse of a non-establishing flow must reach the classifier, got %+v", res)
+	}
+
+	// An unrelated reply-shaped packet is not covered by the installed
+	// entry either.
+	other := repro.Header{SrcIP: 0x08080808, DstIP: 0x0a000003, SrcPort: 443, DstPort: 40002, Proto: repro.ProtoTCP}
+	if res, _ := eng.Lookup(other); !res.Found || res.RuleID != 3 {
+		t.Fatalf("unrelated reply flow: %+v", res)
+	}
+
+	st := stateful.StateStats()
+	if st.Installs != 1 || st.Hits == 0 {
+		t.Fatalf("state counters: %+v", st)
+	}
+
+	// The batch path agrees with the single-lookup path on a
+	// state-served schedule, and the raw-bytes path does too.
+	batch := eng.LookupBatch([]repro.Header{est, reverseHeader(est), web, reverseHeader(web)})
+	want := []verdict{
+		{true, 1, repro.ActionEstablish},
+		{true, 1, repro.ActionEstablish},
+		{true, 2, repro.ActionPermit},
+		{true, 3, repro.ActionDeny},
+	}
+	for i, res := range batch {
+		if verdictOf(res) != want[i] {
+			t.Fatalf("batch[%d] = %+v, want %+v", i, verdictOf(res), want[i])
+		}
+	}
+	frames := framesFor([]repro.Header{reverseHeader(est)})
+	raw, err := eng.LookupBytes(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdictOf(raw) != want[1] {
+		t.Fatalf("LookupBytes reverse = %+v, want %+v", verdictOf(raw), want[1])
+	}
+	out := make([]repro.Result, 1)
+	if n := eng.LookupBytesBatch(frames, out); n != 1 || verdictOf(out[0]) != want[1] {
+		t.Fatalf("LookupBytesBatch reverse = %+v (n=%d), want %+v", verdictOf(out[0]), n, want[1])
+	}
+}
+
+// TestFlowStateSwapInvalidates proves a ruleset swap clears established
+// state by default: the reply that was accepted by state before the
+// Replace reaches the classifier after it.
+func TestFlowStateSwapInvalidates(t *testing.T) {
+	base, _ := establishingCorpus(t)
+	eng, err := repro.New(repro.WithRules(base), repro.WithFlowState(1024, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newConntrackOracle(base, true, false)
+	sched := bidirSchedule(t, base, 40, 63)
+	replayDifferential(t, eng, o, sched, nil)
+
+	st := eng.(interface{ StateStats() repro.FlowStateStats })
+	before := st.StateStats()
+	if before.Installs == 0 {
+		t.Fatal("schedule installed no state")
+	}
+	if _, err := eng.Replace(base.Rules()); err != nil {
+		t.Fatal(err)
+	}
+	o.replace(base)
+	after := st.StateStats()
+	if after.Invalidations != before.Invalidations+1 {
+		t.Fatalf("Replace should invalidate once: before %+v, after %+v", before, after)
+	}
+	// Replaying the same schedule must agree with the cleared oracle:
+	// every established flow re-traverses the classifier first.
+	replayDifferential(t, eng, o, sched, nil)
+}
+
+// TestFlowStatePreserveAcrossSwap proves WithFlowStatePreserve keeps
+// established flows across a Replace: the state-accepted reply is still
+// state-accepted afterwards, even when the new ruleset would deny it.
+func TestFlowStatePreserveAcrossSwap(t *testing.T) {
+	base, swap := establishingCorpus(t)
+	eng, err := repro.New(repro.WithRules(base), repro.WithFlowState(1<<14, 0), repro.WithFlowStatePreserve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newConntrackOracle(base, true, true)
+	sched := bidirSchedule(t, base, 60, 64)
+	replayDifferential(t, eng, o, sched, nil)
+
+	st := eng.(interface{ StateStats() repro.FlowStateStats })
+	before := st.StateStats()
+	if before.Installs == 0 {
+		t.Fatal("schedule installed no state")
+	}
+	if _, err := eng.Replace(swap.Rules()); err != nil {
+		t.Fatal(err)
+	}
+	o.replace(swap)
+	if after := st.StateStats(); after.Invalidations != before.Invalidations {
+		t.Fatalf("preserving engine must not invalidate on Replace: before %+v, after %+v", before, after)
+	}
+	// The replay after the swap still agrees with the oracle, whose map
+	// was preserved too — established flows keep their old verdicts.
+	replayDifferential(t, eng, o, sched, nil)
+	if after := st.StateStats(); after.Evictions != 0 {
+		t.Fatalf("state table evicted %d entries; grow it so the oracle comparison stays exact", after.Evictions)
+	}
+}
+
+// TestFlowStateChurn hammers a stateful composition with concurrent
+// bidirectional lookups while the writer swaps the whole ruleset back
+// and forth — the -race gate for the state layer's lock-free
+// publication and generation invalidation.
+func TestFlowStateChurn(t *testing.T) {
+	base, swap := establishingCorpus(t)
+	sched := bidirSchedule(t, base, 60, 65)
+	for _, b := range []repro.Backend{repro.BackendDecomposition, repro.BackendTSS} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			eng, err := repro.New(
+				repro.WithBackend(b), repro.WithRules(base),
+				repro.WithFlowCache(512), repro.WithFlowState(4096, 0),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rnd := rand.New(rand.NewSource(int64(700 + w)))
+					out := make([]repro.Result, 8)
+					for !stop.Load() {
+						h := sched[rnd.Intn(len(sched))]
+						res, _ := eng.Lookup(h)
+						if res.Found && res.RuleID == 0 {
+							t.Error("found verdict with zero rule ID")
+							return
+						}
+						eng.LookupBatchInto(sched[:8], out)
+					}
+				}()
+			}
+			for i := 0; i < 40; i++ {
+				next := swap
+				if i%2 == 1 {
+					next = base
+				}
+				if _, err := eng.Replace(next.Rules()); err != nil {
+					t.Errorf("replace %d: %v", i, err)
+					break
+				}
+			}
+			stop.Store(true)
+			wg.Wait()
+			st := eng.(interface{ StateStats() repro.FlowStateStats }).StateStats()
+			if st.Invalidations != 40 {
+				t.Fatalf("want 40 invalidations, got %+v", st)
+			}
+		})
+	}
+}

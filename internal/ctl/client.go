@@ -84,6 +84,14 @@ func (c *Client) TableCreateCached(name, backend string, shards, cacheEntries in
 	return c.expectOK(fmt.Sprintf("%s %s %s %s %d %d", cmdTable, subCreate, name, backend, shards, cacheEntries))
 }
 
+// TableCreateStateful creates a named table whose engine carries a
+// flow-state (conntrack) table of stateEntries slots on top of any
+// shards/cache composition; pass cacheEntries 0 for no cache.
+func (c *Client) TableCreateStateful(name, backend string, shards, cacheEntries, stateEntries int) error {
+	return c.expectOK(fmt.Sprintf("%s %s %s %s %d %d %d",
+		cmdTable, subCreate, name, backend, shards, cacheEntries, stateEntries))
+}
+
 // TableCreateV6 creates a named IPv6 table backed by a fresh split-64
 // decomposition engine on the daemon.
 func (c *Client) TableCreateV6(name string) error {
@@ -598,6 +606,14 @@ func parseStats(resp string) (tables.TableStats, error) {
 		}
 		st.Cache = cc
 	}
+	if i := strings.Index(resp, " STATE "); i >= 0 {
+		sc := &tables.StateCounters{}
+		if _, err := fmt.Sscanf(resp[i:], " STATE %d %d %d %d",
+			&sc.Installs, &sc.Hits, &sc.Expiries, &sc.Evictions); err != nil {
+			return tables.TableStats{}, fmt.Errorf("ctl: parse %q: %w", resp, err)
+		}
+		st.State = sc
+	}
 	if i := strings.Index(resp, " OPS "); i >= 0 {
 		if _, err := fmt.Sscanf(resp[i:], " OPS %d %d %d %d",
 			&st.Ops.Lookups, &st.Ops.Updates, &st.Ops.Swaps, &st.Ops.Errors); err != nil {
@@ -623,6 +639,24 @@ func (c *Client) CacheStats() (hits, misses, evictions uint64, cached bool, err 
 		return 0, 0, 0, false, fmt.Errorf("ctl: parse %q: %w", resp, err)
 	}
 	return hits, misses, evictions, true, nil
+}
+
+// StateStats fetches the current table's flow-state (conntrack)
+// counters; stateful is false when the table's engine has no flow-state
+// table (no STATE section in the STATS response).
+func (c *Client) StateStats() (installs, hits, expiries, evictions uint64, stateful bool, err error) {
+	resp, err := c.roundTrip(cmdStats)
+	if err != nil {
+		return 0, 0, 0, 0, false, err
+	}
+	i := strings.Index(resp, " STATE ")
+	if i < 0 {
+		return 0, 0, 0, 0, false, nil
+	}
+	if _, err := fmt.Sscanf(resp[i:], " STATE %d %d %d %d", &installs, &hits, &expiries, &evictions); err != nil {
+		return 0, 0, 0, 0, false, fmt.Errorf("ctl: parse %q: %w", resp, err)
+	}
+	return installs, hits, expiries, evictions, true, nil
 }
 
 // Throughput fetches the modeled forwarding rate.

@@ -210,6 +210,100 @@ func TestFlowCachedTable(t *testing.T) {
 	}
 }
 
+// TestStatefulTable covers the flow-state protocol surface: TABLE
+// CREATE with a state size, allow-established semantics over the wire
+// (reverse direction accepted by state, not by the ruleset), the STATE
+// section of STATS, SWAP clearing established flows, and the absence of
+// the section on stateless tables.
+func TestStatefulTable(t *testing.T) {
+	client, _, stop := startServerWith(t, nil)
+	defer stop()
+
+	// The default main table has no flow state.
+	if _, _, _, _, stateful, err := client.StateStats(); err != nil || stateful {
+		t.Fatalf("main StateStats stateful=%v err=%v, want false, nil", stateful, err)
+	}
+
+	if err := client.TableCreateStateful("ct", "tss", 1, 0, 4096); err != nil {
+		t.Fatalf("TableCreateStateful: %v", err)
+	}
+	if err := client.TableUse("ct"); err != nil {
+		t.Fatal(err)
+	}
+	est := rule.Rule{
+		ID: 1, Priority: 1,
+		SrcIP:   rule.Prefix{Addr: 0x0a000000, Len: 8},
+		SrcPort: rule.FullPortRange(), DstPort: rule.ExactPort(443),
+		Proto:  rule.ExactProto(rule.ProtoTCP),
+		Action: rule.ActionEstablish,
+	}
+	if _, err := client.Insert(est); err != nil {
+		t.Fatal(err)
+	}
+
+	fwd := rule.Header{SrcIP: 0x0a000001, DstIP: 0x08080808, SrcPort: 1234, DstPort: 443, Proto: rule.ProtoTCP}
+	rev := rule.Header{SrcIP: 0x08080808, DstIP: 0x0a000001, SrcPort: 443, DstPort: 1234, Proto: rule.ProtoTCP}
+
+	// Before the forward packet, the reverse direction matches nothing.
+	res, err := client.Lookup(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatalf("reverse matched before establishment: %+v", res)
+	}
+	// The forward packet matches the establish rule and installs a flow.
+	res, err = client.Lookup(fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.RuleID != 1 || res.Action != "allow-established" {
+		t.Fatalf("forward lookup = %+v", res)
+	}
+	// Now the reverse direction is accepted purely by flow state.
+	res, err = client.Lookup(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.RuleID != 1 {
+		t.Fatalf("reverse lookup after establishment = %+v", res)
+	}
+
+	installs, hits, _, _, stateful, err := client.StateStats()
+	if err != nil || !stateful {
+		t.Fatalf("StateStats stateful=%v err=%v", stateful, err)
+	}
+	if installs != 1 || hits < 1 {
+		t.Errorf("StateStats installs=%d hits=%d, want 1, >=1", installs, hits)
+	}
+	// The typed record carries the same section.
+	st, err := client.TableStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State == nil || st.State.Installs != 1 {
+		t.Fatalf("TableStats.State = %+v", st.State)
+	}
+
+	// SWAP atomically replaces the ruleset and clears established flows:
+	// the reverse direction must re-establish.
+	if _, err := client.Swap([]rule.Rule{est}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = client.Lookup(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatalf("established flow survived SWAP: %+v", res)
+	}
+
+	// Bad state sizes are rejected at the protocol level.
+	if err := client.TableCreateStateful("bad", "linear", 1, 0, -1); err == nil {
+		t.Error("negative state size should fail")
+	}
+}
+
 // TestTablesLifecycle covers the multi-tenant protocol surface: create,
 // use, isolation between tables, list, drop and the error paths.
 func TestTablesLifecycle(t *testing.T) {
@@ -881,10 +975,13 @@ func TestServerSnapshotPersistence(t *testing.T) {
 		return s, eng
 	}
 	srv, mainEng := build()
-	if err := srv.AddTable("edge", repro.BackendLinear, 2, 0); err != nil {
+	if err := srv.AddTable("edge", repro.BackendLinear, 2, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.AddTable("hot", repro.BackendTSS, 1, 256); err != nil {
+	if err := srv.AddTable("hot", repro.BackendTSS, 1, 256, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddTable("ct", repro.BackendTSS, 1, 0, 4096); err != nil {
 		t.Fatal(err)
 	}
 	mainRules := snapTestRules(t, 50, 27)
@@ -912,13 +1009,13 @@ func TestServerSnapshotPersistence(t *testing.T) {
 	if len(warns) != 0 {
 		t.Fatalf("LoadSnapshots warnings: %v", warns)
 	}
-	if restored != 3 {
-		t.Fatalf("restored %d tables, want 3", restored)
+	if restored != 4 {
+		t.Fatalf("restored %d tables, want 4", restored)
 	}
 	for _, tc := range []struct {
 		table string
 		rules []rule.Rule
-	}{{"main", mainRules}, {"edge", edgeRules}, {"hot", nil}} {
+	}{{"main", mainRules}, {"edge", edgeRules}, {"hot", nil}, {"ct", nil}} {
 		tab, err := srv2.reg.Resolve(tc.table)
 		if err != nil {
 			t.Fatalf("table %q did not survive: %v", tc.table, err)
@@ -948,6 +1045,13 @@ func TestServerSnapshotPersistence(t *testing.T) {
 	}
 	if _, ok := hot2.Eng().(interface{ CacheStats() repro.FlowCacheStats }); !ok {
 		t.Fatal("restored hot table engine is uncached")
+	}
+	ct2, _ := srv2.reg.Resolve("ct")
+	if ct2.Spec().State == 0 {
+		t.Fatal("ct table lost its flow-state table across restart")
+	}
+	if _, ok := ct2.Eng().(interface{ StateStats() repro.FlowStateStats }); !ok {
+		t.Fatal("restored ct table engine is stateless")
 	}
 
 	// A second save must be byte-for-byte identical: the format is

@@ -22,7 +22,7 @@
 // Protocol grammar (one request per line, one response per line, except
 // BULK which pipelines n body lines before its single response):
 //
-//	TABLE CREATE <name> <backend> [<shards> [<cache>]] -> OK
+//	TABLE CREATE <name> <backend> [<shards> [<cache> [<state>]]] -> OK
 //	TABLE CREATE <name> v6                           -> OK
 //	TABLE DROP <name>                                -> OK
 //	TABLE USE <name>                                 -> OK
@@ -41,6 +41,7 @@
 //	  (followed by n lines, each "<id> <prio> <action> @<classbench rule>")
 //	STATS                                            -> STATS <rules> <probes> <ops> <maxlist> <overflows>
 //	                                                    [CACHE <hits> <misses> <evictions>]
+//	                                                    [STATE <installs> <hits> <expiries> <evictions>]
 //	                                                    OPS <lookups> <updates> <swaps> <errors>
 //	THROUGHPUT                                       -> THROUGHPUT <cycles/pkt> <mpps> <gbps>
 //	QUIT                                             -> BYE
@@ -49,10 +50,23 @@
 // "linear", "tss", ...); <shards> defaults to 1. <cache> fronts the
 // table's engine with an exact-match flow cache of that many slots
 // (repro.WithFlowCache); cached tables append their hit/miss/eviction
-// counters to the STATS response. Every STATS response ends with an
-// OPS section carrying the table's serving-layer counters (lookups,
-// updates, swaps, errors) — the same typed tables.TableStats record the
-// JSON admin API and /metrics render, so the surfaces cannot disagree.
+// counters to the STATS response. <state> fronts the engine with a
+// flow-state (conntrack) table of that many entries
+// (repro.WithFlowState, with the default TTL): a lookup whose matched
+// rule carries the "allow-established" action installs a flow entry
+// covering both directions, so reply traffic is accepted by state
+// before the classifier runs, and a whole-ruleset SWAP clears
+// established state by a single generation bump. Stateful tables append
+// a STATE section (installs, state hits, TTL expiries, evictions) to
+// the STATS response, between the CACHE section (when present) and OPS.
+// Every STATS response ends with an OPS section carrying the table's
+// serving-layer counters (lookups, updates, swaps, errors) — the same
+// typed tables.TableStats record the JSON admin API and /metrics
+// render, so the surfaces cannot disagree.
+//
+// Rule actions on the wire use the rule.ParseAction mnemonics: permit,
+// deny, queue, mirror, count and allow-established — the INSERT,
+// BULK/SWAP body and snapshot-file grammars all accept them.
 //
 // "TABLE CREATE <name> v6" creates an IPv6 table instead, backed by a
 // split-64 decomposition engine (repro.New6); IPv6 tables take no shard

@@ -86,10 +86,11 @@ func (s *Server) Registry() *tables.Registry { return s.reg }
 // AddTable creates a named table backed by a fresh engine — the same
 // path the protocol's TABLE CREATE takes, exported for daemon
 // bootstrapping from flags. cacheEntries > 0 fronts the engine with a
-// flow cache of that many slots.
-func (s *Server) AddTable(name string, backend repro.Backend, shards, cacheEntries int) error {
+// flow cache of that many slots; stateEntries > 0 additionally fronts
+// it with a flow-state (conntrack) table of that many entries.
+func (s *Server) AddTable(name string, backend repro.Backend, shards, cacheEntries, stateEntries int) error {
 	_, err := s.reg.Create(tables.Spec{
-		Name: name, Backend: backend, Shards: shards, Cache: cacheEntries,
+		Name: name, Backend: backend, Shards: shards, Cache: cacheEntries, State: stateEntries,
 	})
 	return err
 }
@@ -592,15 +593,19 @@ func (sess *session) dispatch(line string) (resp string, quit bool) {
 
 // formatStats renders the typed stats record as the STATS wire line.
 // The five leading fields and the CACHE section predate the typed
-// struct and keep their positions; the OPS section appends the
-// serving-layer counters. fmt.Sscanf parsers of the older prefixes
-// tolerate the trailing sections, so old clients keep working.
+// struct and keep their positions; the STATE section (stateful tables
+// only) and the OPS section follow. fmt.Sscanf parsers of the older
+// prefixes tolerate the trailing sections, so old clients keep working.
 func formatStats(st tables.TableStats) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "STATS %d %d %d %d %d",
 		st.Rules, st.Probes, st.ProbeOps, st.MaxListLen, st.HardwareOverflows)
 	if st.Cache != nil {
 		fmt.Fprintf(&b, " CACHE %d %d %d", st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions)
+	}
+	if st.State != nil {
+		fmt.Fprintf(&b, " STATE %d %d %d %d",
+			st.State.Installs, st.State.Hits, st.State.Expiries, st.State.Evictions)
 	}
 	fmt.Fprintf(&b, " OPS %d %d %d %d",
 		st.Ops.Lookups, st.Ops.Updates, st.Ops.Swaps, st.Ops.Errors)
@@ -615,12 +620,12 @@ func (sess *session) dispatchTable(args string) string {
 	}
 	switch strings.ToUpper(fields[0]) {
 	case subCreate:
-		if len(fields) < 3 || len(fields) > 5 {
-			return "ERR TABLE CREATE wants <name> <backend> [<shards> [<cache>]]"
+		if len(fields) < 3 || len(fields) > 6 {
+			return "ERR TABLE CREATE wants <name> <backend> [<shards> [<cache> [<state>]]]"
 		}
 		if strings.EqualFold(fields[2], tokenV6) {
 			if len(fields) != 3 {
-				return "ERR TABLE CREATE v6 takes no shard or cache arguments"
+				return "ERR TABLE CREATE v6 takes no shard, cache or state arguments"
 			}
 			if err := sess.srv.AddTable6(fields[1]); err != nil {
 				return "ERR " + err.Error()
@@ -639,13 +644,20 @@ func (sess *session) dispatchTable(args string) string {
 			}
 		}
 		cache := 0
-		if len(fields) == 5 {
+		if len(fields) >= 5 {
 			cache, err = strconv.Atoi(fields[4])
 			if err != nil || cache < 0 {
 				return fmt.Sprintf("ERR cache size %q", fields[4])
 			}
 		}
-		if err := sess.srv.AddTable(fields[1], backend, shards, cache); err != nil {
+		state := 0
+		if len(fields) == 6 {
+			state, err = strconv.Atoi(fields[5])
+			if err != nil || state < 0 {
+				return fmt.Sprintf("ERR state size %q", fields[5])
+			}
+		}
+		if err := sess.srv.AddTable(fields[1], backend, shards, cache, state); err != nil {
 			return "ERR " + err.Error()
 		}
 		return "OK"

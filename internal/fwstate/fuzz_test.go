@@ -1,0 +1,119 @@
+package fwstate
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/rule"
+)
+
+// flowPairLen is the fuzz input size: one flags byte plus two encoded
+// flows (srcHi, srcLo, dstHi, dstLo uint64; sport, dport uint16; proto
+// uint8 = 37 bytes each).
+const flowPairLen = 1 + 2*37
+
+// decodeFlow reads one encoded flow at off.
+func decodeFlow(data []byte, off int) rule.Header6 {
+	return rule.Header6{
+		SrcIP:   rule.Addr6{Hi: binary.BigEndian.Uint64(data[off:]), Lo: binary.BigEndian.Uint64(data[off+8:])},
+		DstIP:   rule.Addr6{Hi: binary.BigEndian.Uint64(data[off+16:]), Lo: binary.BigEndian.Uint64(data[off+24:])},
+		SrcPort: binary.BigEndian.Uint16(data[off+32:]),
+		DstPort: binary.BigEndian.Uint16(data[off+34:]),
+		Proto:   data[off+36],
+	}
+}
+
+// to4 truncates an encoded flow to its IPv4 shape (low 32 address
+// bits), the projection the v4 half of the property uses.
+func to4(h rule.Header6) rule.Header {
+	return rule.Header{
+		SrcIP: uint32(h.SrcIP.Lo), DstIP: uint32(h.DstIP.Lo),
+		SrcPort: h.SrcPort, DstPort: h.DstPort, Proto: h.Proto,
+	}
+}
+
+// encodeFlowPair builds a fuzz input from two flows — shared with the
+// seed-corpus generator in seedgen_test.go.
+func encodeFlowPair(v6 bool, a, b rule.Header6) []byte {
+	data := make([]byte, flowPairLen)
+	if v6 {
+		data[0] = 1
+	}
+	for i, h := range []rule.Header6{a, b} {
+		off := 1 + 37*i
+		binary.BigEndian.PutUint64(data[off:], h.SrcIP.Hi)
+		binary.BigEndian.PutUint64(data[off+8:], h.SrcIP.Lo)
+		binary.BigEndian.PutUint64(data[off+16:], h.DstIP.Hi)
+		binary.BigEndian.PutUint64(data[off+24:], h.DstIP.Lo)
+		binary.BigEndian.PutUint16(data[off+32:], h.SrcPort)
+		binary.BigEndian.PutUint16(data[off+34:], h.DstPort)
+		data[off+36] = h.Proto
+	}
+	return data
+}
+
+// FuzzFlowKey checks the Key normalization contract on arbitrary flow
+// pairs: the forward and reverse directions of one flow must collide,
+// two flows that are neither equal nor each other's reverse must not,
+// and the v4/v6 families never share a key.
+func FuzzFlowKey(f *testing.F) {
+	for _, s := range seedFlowPairs() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < flowPairLen {
+			return
+		}
+		v6 := data[0]&1 != 0
+		h1, h2 := decodeFlow(data, 1), decodeFlow(data, 1+37)
+		if v6 {
+			k1, k2 := KeyOf6(h1), KeyOf6(h2)
+			if k1 != KeyOf6(reverse6(h1)) {
+				t.Fatalf("v6 forward/reverse keys differ for %+v", h1)
+			}
+			sameFlow := h1 == h2 || h1 == reverse6(h2)
+			if (k1 == k2) != sameFlow {
+				t.Fatalf("v6 keys equal=%v, same flow=%v for %+v / %+v", k1 == k2, sameFlow, h1, h2)
+			}
+			return
+		}
+		g1, g2 := to4(h1), to4(h2)
+		k1, k2 := KeyOf(g1), KeyOf(g2)
+		if k1 != KeyOf(reverse(g1)) {
+			t.Fatalf("forward/reverse keys differ for %+v", g1)
+		}
+		sameFlow := g1 == g2 || g1 == reverse(g2)
+		if (k1 == k2) != sameFlow {
+			t.Fatalf("keys equal=%v, same flow=%v for %+v / %+v", k1 == k2, sameFlow, g1, g2)
+		}
+		// Family separation: the zero-extended v6 reading of the same
+		// flow must never share a key with the v4 reading.
+		z1 := rule.Header6{SrcIP: rule.Addr6{Lo: uint64(g1.SrcIP)}, DstIP: rule.Addr6{Lo: uint64(g1.DstIP)},
+			SrcPort: g1.SrcPort, DstPort: g1.DstPort, Proto: g1.Proto}
+		if k1 == KeyOf6(z1) {
+			t.Fatalf("v4 and zero-extended v6 keys collide for %+v", g1)
+		}
+	})
+}
+
+// seedFlowPairs is the in-code seed set; the checked-in corpus under
+// testdata/fuzz/FuzzFlowKey mirrors it (see TestWriteFlowKeySeeds).
+func seedFlowPairs() [][]byte {
+	h := rule.Header6{SrcIP: rule.Addr6{Lo: 0x0a000001}, DstIP: rule.Addr6{Lo: 0x08080808},
+		SrcPort: 1234, DstPort: 53, Proto: rule.ProtoUDP}
+	v6 := rule.Header6{SrcIP: rule.Addr6{Hi: 0x20010db800000000, Lo: 1},
+		DstIP:   rule.Addr6{Hi: 0x20010db800000000, Lo: 2},
+		SrcPort: 443, DstPort: 40000, Proto: rule.ProtoTCP}
+	swapped := h
+	swapped.SrcPort, swapped.DstPort = h.DstPort, h.SrcPort
+	self := rule.Header6{SrcIP: rule.Addr6{Lo: 7}, DstIP: rule.Addr6{Lo: 7},
+		SrcPort: 9, DstPort: 9, Proto: rule.ProtoTCP}
+	return [][]byte{
+		encodeFlowPair(false, h, reverse6(h)), // same flow, reverse direction
+		encodeFlowPair(false, h, swapped),     // ports swapped in place: distinct
+		encodeFlowPair(false, h, h),           // identical
+		encodeFlowPair(false, self, self),     // self-flow
+		encodeFlowPair(true, v6, reverse6(v6)),
+		encodeFlowPair(true, v6, h),
+	}
+}

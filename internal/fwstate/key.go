@@ -1,0 +1,93 @@
+package fwstate
+
+import "repro/internal/rule"
+
+// Address-family tags carried in the Key so a v4 flow and a v6 flow
+// whose addresses happen to zero-extend to each other never collide.
+const (
+	familyV4 = 4
+	familyV6 = 6
+)
+
+// Key is the canonical identity of one bidirectional flow: the two
+// endpoints (address + port) ordered so that the forward and reverse
+// directions of the same flow produce the identical Key, plus the
+// protocol and address family. The Key is exact — two headers that are
+// neither equal nor each other's reverse always yield distinct Keys —
+// so the flow table never confuses flows, only (harmlessly) directions.
+type Key struct {
+	loHi, loLo uint64 // lesser endpoint address (v4 in loLo, hi zero)
+	hiHi, hiLo uint64 // greater endpoint address
+	loPort     uint16 // lesser endpoint port
+	hiPort     uint16 // greater endpoint port
+	proto      uint8
+	family     uint8
+}
+
+// less orders two endpoints lexicographically by (address hi, address
+// lo, port).
+//
+//repro:noalloc
+func less(aHi, aLo uint64, aPort uint16, bHi, bLo uint64, bPort uint16) bool {
+	if aHi != bHi {
+		return aHi < bHi
+	}
+	if aLo != bLo {
+		return aLo < bLo
+	}
+	return aPort < bPort
+}
+
+// KeyOf normalizes an IPv4 header into its flow Key: the source and
+// destination endpoints are sorted, so KeyOf(h) == KeyOf(reverse(h)).
+//
+//repro:noalloc
+func KeyOf(h rule.Header) Key {
+	k := Key{proto: h.Proto, family: familyV4}
+	if less(0, uint64(h.SrcIP), h.SrcPort, 0, uint64(h.DstIP), h.DstPort) {
+		k.loLo, k.loPort = uint64(h.SrcIP), h.SrcPort
+		k.hiLo, k.hiPort = uint64(h.DstIP), h.DstPort
+	} else {
+		k.loLo, k.loPort = uint64(h.DstIP), h.DstPort
+		k.hiLo, k.hiPort = uint64(h.SrcIP), h.SrcPort
+	}
+	return k
+}
+
+// KeyOf6 normalizes an IPv6 header into its flow Key, with the same
+// forward/reverse collapsing as KeyOf.
+//
+//repro:noalloc
+func KeyOf6(h rule.Header6) Key {
+	k := Key{proto: h.Proto, family: familyV6}
+	if less(h.SrcIP.Hi, h.SrcIP.Lo, h.SrcPort, h.DstIP.Hi, h.DstIP.Lo, h.DstPort) {
+		k.loHi, k.loLo, k.loPort = h.SrcIP.Hi, h.SrcIP.Lo, h.SrcPort
+		k.hiHi, k.hiLo, k.hiPort = h.DstIP.Hi, h.DstIP.Lo, h.DstPort
+	} else {
+		k.loHi, k.loLo, k.loPort = h.DstIP.Hi, h.DstIP.Lo, h.DstPort
+		k.hiHi, k.hiLo, k.hiPort = h.SrcIP.Hi, h.SrcIP.Lo, h.SrcPort
+	}
+	return k
+}
+
+// mix64 is the splitmix64 finalizer.
+//
+//repro:noalloc
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hash mixes the whole Key into a slot index.
+//
+//repro:noalloc
+func hash(k Key) uint64 {
+	x := mix64(k.loHi*0x9e3779b97f4a7c15 ^ k.loLo)
+	x = mix64(x ^ k.hiHi*0x9e3779b97f4a7c15 ^ k.hiLo)
+	return mix64(x ^ uint64(k.loPort)<<32 ^ uint64(k.hiPort)<<16 ^
+		uint64(k.proto)<<8 ^ uint64(k.family))
+}

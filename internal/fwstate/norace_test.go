@@ -1,0 +1,7 @@
+//go:build !race
+
+package fwstate
+
+// raceEnabled reports whether this binary was built with -race; see
+// race_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package fwstate
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation allocates on otherwise allocation-free paths;
+// AllocsPerRun guards skip themselves under it.
+const raceEnabled = true

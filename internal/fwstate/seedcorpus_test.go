@@ -1,0 +1,39 @@
+package fwstate
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFlowKeySeedCorpus pins the checked-in FuzzFlowKey seed corpus to
+// the in-code seed set, so the two cannot drift apart. Run with
+// FWSTATE_WRITE_SEEDS=1 to regenerate the files after changing
+// seedFlowPairs.
+func TestFlowKeySeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzFlowKey")
+	write := os.Getenv("FWSTATE_WRITE_SEEDS") == "1"
+	if write {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, seed := range seedFlowPairs() {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if write {
+			if err := os.WriteFile(name, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("seed corpus file missing (regenerate with FWSTATE_WRITE_SEEDS=1): %v", err)
+		}
+		if string(got) != want {
+			t.Errorf("%s drifted from seedFlowPairs; regenerate with FWSTATE_WRITE_SEEDS=1", name)
+		}
+	}
+}

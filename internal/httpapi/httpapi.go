@@ -39,19 +39,23 @@ type Table struct {
 	Backend string `json:"backend"`
 	Shards  int    `json:"shards"`
 	Cache   int    `json:"cache,omitempty"`
+	State   int    `json:"state,omitempty"`
 	Rules   int    `json:"rules"`
 }
 
 // CreateRequest is the POST /v1/tables body. Family defaults to "v4";
-// "v6" creates a split-64 IPv6 table, which takes no backend, shard or
-// cache fields. Backend is a repro.ParseBackend spelling, defaulting
-// to the paper's decomposition architecture; Shards defaults to 1.
+// "v6" creates a split-64 IPv6 table, which takes no backend, shard,
+// cache or state fields. Backend is a repro.ParseBackend spelling,
+// defaulting to the paper's decomposition architecture; Shards defaults
+// to 1. State > 0 wraps the engine in a flow-state (conntrack) table of
+// that many slots.
 type CreateRequest struct {
 	Name    string `json:"name"`
 	Family  string `json:"family,omitempty"`
 	Backend string `json:"backend,omitempty"`
 	Shards  int    `json:"shards,omitempty"`
 	Cache   int    `json:"cache,omitempty"`
+	State   int    `json:"state,omitempty"`
 }
 
 // errorReply is the JSON error envelope.
@@ -98,6 +102,7 @@ func summary(t *tables.Table) Table {
 		Backend: spec.BackendLabel(),
 		Shards:  spec.Shards,
 		Cache:   spec.Cache,
+		State:   spec.State,
 		Rules:   t.Rules(),
 	}
 }
@@ -121,7 +126,7 @@ func (h *handler) createTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode request: %v", err)
 		return
 	}
-	spec := tables.Spec{Name: req.Name, Shards: req.Shards, Cache: req.Cache}
+	spec := tables.Spec{Name: req.Name, Shards: req.Shards, Cache: req.Cache, State: req.State}
 	switch strings.ToLower(req.Family) {
 	case "", "v4":
 		if req.Backend != "" {
@@ -294,6 +299,36 @@ var families = []metric{
 		func(b *strings.Builder, st *tables.TableStats) {
 			if st.Cache != nil {
 				uintSeries(b, "repro_table_cache_evictions_total", st.Name, st.Cache.Evictions)
+			}
+		}},
+	{"repro_table_state_entries", "gauge", "Flow-state slot capacity of stateful tables.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			if st.State != nil {
+				uintSeries(b, "repro_table_state_entries", st.Name, uint64(st.State.Entries))
+			}
+		}},
+	{"repro_table_state_installs_total", "counter", "Flow entries installed by allow-established verdicts.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			if st.State != nil {
+				uintSeries(b, "repro_table_state_installs_total", st.Name, st.State.Installs)
+			}
+		}},
+	{"repro_table_state_hits_total", "counter", "Lookups answered by an established flow entry.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			if st.State != nil {
+				uintSeries(b, "repro_table_state_hits_total", st.Name, st.State.Hits)
+			}
+		}},
+	{"repro_table_state_expiries_total", "counter", "Flow entries lapsed by TTL on probe.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			if st.State != nil {
+				uintSeries(b, "repro_table_state_expiries_total", st.Name, st.State.Expiries)
+			}
+		}},
+	{"repro_table_state_evictions_total", "counter", "Live flow entries displaced by slot collisions.",
+		func(b *strings.Builder, st *tables.TableStats) {
+			if st.State != nil {
+				uintSeries(b, "repro_table_state_evictions_total", st.Name, st.State.Evictions)
 			}
 		}},
 	{"repro_table_lookup_latency_seconds", "summary", "Serving-layer classification latency.",

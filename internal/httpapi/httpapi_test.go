@@ -101,6 +101,36 @@ func TestAdminRoundTrip(t *testing.T) {
 		t.Fatalf("memory bytes %d, want > 0", st.MemoryBytes)
 	}
 
+	// A stateful create carries its flow-state capacity through the
+	// listing row and grows a state section in the stats record.
+	var createdCT Table
+	resp = doJSON(t, "POST", srv.URL+"/v1/tables",
+		`{"name":"ct","backend":"tss","state":4096}`, &createdCT)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create ct: status %d", resp.StatusCode)
+	}
+	if createdCT.State != 4096 || createdCT.Cache != 0 {
+		t.Fatalf("stateful create reply %+v", createdCT)
+	}
+	var ctStats tables.TableStats
+	resp = doJSON(t, "GET", srv.URL+"/v1/tables/ct/stats", "", &ctStats)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ct stats: status %d", resp.StatusCode)
+	}
+	if ctStats.State == nil || ctStats.State.Entries != 4096 {
+		t.Fatalf("ct stats record %+v", ctStats.State)
+	}
+	if ctStats.Cache != nil {
+		t.Fatalf("stateless-cache table grew a cache section: %+v", ctStats.Cache)
+	}
+	if resp = doJSON(t, "DELETE", srv.URL+"/v1/tables/ct", "", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("drop ct: status %d, want 204", resp.StatusCode)
+	}
+	// IPv6 tables are stateless by construction.
+	if resp = doJSON(t, "POST", srv.URL+"/v1/tables", `{"name":"z","family":"v6","state":64}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("v6 with state: status %d, want 400", resp.StatusCode)
+	}
+
 	// Error statuses: duplicate create, unknown stats/drop, bad bodies.
 	if resp = doJSON(t, "POST", srv.URL+"/v1/tables", `{"name":"edge"}`, nil); resp.StatusCode != http.StatusConflict {
 		t.Fatalf("duplicate create: status %d, want 409", resp.StatusCode)
@@ -166,6 +196,9 @@ func TestMetricsGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := reg.Create(tables.Spec{Name: "six", Family: tables.V6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create(tables.Spec{Name: "ct", State: 64}); err != nil {
 		t.Fatal(err)
 	}
 	m := edge.Metrics()

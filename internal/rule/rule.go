@@ -25,6 +25,10 @@ const (
 	ActionQueue // per-flow queueing (router with per-flow queues, Section IV.B)
 	ActionMirror
 	ActionCount
+	// ActionEstablish permits the packet and asks the stateful layer
+	// (internal/fwstate, repro.WithFlowState) to install a flow entry
+	// covering both directions, so return traffic is accepted by state.
+	ActionEstablish
 )
 
 // ParseAction resolves an action from its lower-case mnemonic — the
@@ -42,6 +46,8 @@ func ParseAction(s string) (Action, error) {
 		return ActionMirror, nil
 	case "count":
 		return ActionCount, nil
+	case "allow-established":
+		return ActionEstablish, nil
 	default:
 		return 0, fmt.Errorf("unknown action %q", s)
 	}
@@ -60,6 +66,8 @@ func (a Action) String() string {
 		return "mirror"
 	case ActionCount:
 		return "count"
+	case ActionEstablish:
+		return "allow-established"
 	default:
 		return fmt.Sprintf("action(%d)", uint8(a))
 	}

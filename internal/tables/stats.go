@@ -34,8 +34,10 @@ type TableStats struct {
 	ShardRules  []int `json:"shard_rules,omitempty"`
 
 	// Cache carries the flow-cache counters of a cached table (absent
-	// otherwise).
+	// otherwise); State carries the flow-state (conntrack) counters of
+	// a stateful table (absent otherwise).
 	Cache *CacheCounters `json:"cache,omitempty"`
+	State *StateCounters `json:"state,omitempty"`
 
 	// Ops are the serving-layer operation counters; the latency blocks
 	// summarize the matching histograms.
@@ -49,6 +51,17 @@ type CacheCounters struct {
 	Entries       int    `json:"entries"`
 	Hits          uint64 `json:"hits"`
 	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// StateCounters is the flow-state (conntrack) section of TableStats.
+type StateCounters struct {
+	Entries       int    `json:"entries"`
+	Installs      uint64 `json:"installs"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Expiries      uint64 `json:"expiries"`
 	Evictions     uint64 `json:"evictions"`
 	Invalidations uint64 `json:"invalidations"`
 }
@@ -116,11 +129,19 @@ func (t *Table) Stats() TableStats {
 		if sl, ok := Unwrapped(t.eng).(interface{ ShardLens() []int }); ok {
 			st.ShardRules = sl.ShardLens()
 		}
-		if ce, ok := t.eng.(interface{ CacheStats() repro.FlowCacheStats }); ok {
+		if ce, ok := CacheLayer(t.eng); ok {
 			cs := ce.CacheStats()
 			st.Cache = &CacheCounters{
 				Entries: cs.Entries, Hits: cs.Hits, Misses: cs.Misses,
 				Evictions: cs.Evictions, Invalidations: cs.Invalidations,
+			}
+		}
+		if se, ok := t.eng.(interface{ StateStats() repro.FlowStateStats }); ok {
+			ss := se.StateStats()
+			st.State = &StateCounters{
+				Entries: ss.Entries, Installs: ss.Installs, Hits: ss.Hits,
+				Misses: ss.Misses, Expiries: ss.Expiries,
+				Evictions: ss.Evictions, Invalidations: ss.Invalidations,
 			}
 		}
 	}

@@ -63,6 +63,10 @@ type Spec struct {
 	Backend repro.Backend
 	Shards  int
 	Cache   int
+	// State is the flow-state (conntrack) table size in entries; 0
+	// builds a stateless table. Registry-created stateful tables use
+	// the fwstate default TTL.
+	State int
 }
 
 // normalize fills defaulted fields and validates the spec.
@@ -80,8 +84,8 @@ func (s *Spec) normalize() error {
 		if s.Backend != repro.BackendDecomposition {
 			return fmt.Errorf("backend %v does not support IPv6", s.Backend)
 		}
-		if s.Shards != 1 || s.Cache != 0 {
-			return fmt.Errorf("IPv6 tables are unsharded and uncached")
+		if s.Shards != 1 || s.Cache != 0 || s.State != 0 {
+			return fmt.Errorf("IPv6 tables are unsharded, uncached and stateless")
 		}
 		return nil
 	}
@@ -93,6 +97,9 @@ func (s *Spec) normalize() error {
 	}
 	if s.Cache < 0 {
 		return fmt.Errorf("cache size %d, want >= 0", s.Cache)
+	}
+	if s.State < 0 {
+		return fmt.Errorf("state size %d, want >= 0", s.State)
 	}
 	return nil
 }
@@ -165,13 +172,29 @@ func (t *Table) Rules() int {
 }
 
 // Unwrapped walks Unwrap through capability-transparent wrappers (the
-// flow cache) to the engine that carries model-level capabilities like
-// the shard count and the hardware throughput model.
+// flow cache, the state table) to the engine that carries model-level
+// capabilities like the shard count and the hardware throughput model.
 func Unwrapped(eng repro.Engine) repro.Engine {
 	for {
 		u, ok := eng.(interface{ Unwrap() repro.Engine })
 		if !ok {
 			return eng
+		}
+		eng = u.Unwrap()
+	}
+}
+
+// CacheLayer walks the wrapper chain to the flow-cache capability: the
+// state table wraps outside the cache, so a direct type assertion on
+// the outermost engine would miss a cached-and-stateful composition.
+func CacheLayer(eng repro.Engine) (interface{ CacheStats() repro.FlowCacheStats }, bool) {
+	for {
+		if ce, ok := eng.(interface{ CacheStats() repro.FlowCacheStats }); ok {
+			return ce, true
+		}
+		u, ok := eng.(interface{ Unwrap() repro.Engine })
+		if !ok {
+			return nil, false
 		}
 		eng = u.Unwrap()
 	}
@@ -185,8 +208,11 @@ func SpecFor(name string, eng repro.Engine) Spec {
 	if sh, ok := Unwrapped(eng).(interface{ Shards() int }); ok {
 		spec.Shards = sh.Shards()
 	}
-	if ce, ok := eng.(interface{ CacheStats() repro.FlowCacheStats }); ok {
+	if ce, ok := CacheLayer(eng); ok {
 		spec.Cache = ce.CacheStats().Entries
+	}
+	if se, ok := eng.(interface{ StateStats() repro.FlowStateStats }); ok {
+		spec.State = se.StateStats().Entries
 	}
 	return spec
 }
@@ -249,7 +275,8 @@ func (r *Registry) Create(spec Spec) (*Table, error) {
 		t.eng6 = eng6
 	} else {
 		eng, err := repro.New(repro.WithBackend(spec.Backend),
-			repro.WithShards(spec.Shards), repro.WithFlowCache(spec.Cache))
+			repro.WithShards(spec.Shards), repro.WithFlowCache(spec.Cache),
+			repro.WithFlowState(spec.State, 0))
 		if err != nil {
 			return nil, err
 		}
@@ -320,6 +347,7 @@ func (t *Table) Attrs(asTable bool) map[string]string {
 		"backend": strings.ToLower(t.spec.Backend.String()),
 		"shards":  strconv.Itoa(t.spec.Shards),
 		"cache":   strconv.Itoa(t.spec.Cache),
+		"state":   strconv.Itoa(t.spec.State),
 	}
 	if t.V6() {
 		attrs[snapfile.FamilyAttr] = LabelV6
@@ -363,6 +391,13 @@ func ParseAttrs(attrs map[string]string) (Spec, error) {
 			return Spec{}, fmt.Errorf("cache attr %q", v)
 		}
 		spec.Cache = cache
+	}
+	if v, ok := attrs["state"]; ok {
+		state, err := strconv.Atoi(v)
+		if err != nil || state < 0 {
+			return Spec{}, fmt.Errorf("state attr %q", v)
+		}
+		spec.State = state
 	}
 	return spec, nil
 }

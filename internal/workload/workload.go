@@ -27,6 +27,15 @@
 //     during the run (the popularity ranking rotates through the pool),
 //     stressing caches and any state keyed on recent traffic — a cold
 //     hot-set right after each shift.
+//   - ModelConntrack: connection-shaped traffic for stateful (flow
+//     tracking) compositions. Events belong to a churning pool of live
+//     connections, each opened by a forward packet (which installs flow
+//     state when it matches an allow-established rule), carried by a
+//     steady mix of forward and reverse packets, and closed after a
+//     bounded packet budget — plus an optional SYN-flood aggressor
+//     (FloodRatio) emitting one-shot never-repeating flows that pressure
+//     the state table without ever earning a state hit. Combine with
+//     Swaps to exercise swap-while-connections-live invalidation.
 //
 // The replay engine (Replay) drives a Schedule against any Target — an
 // in-process repro.Engine composition or a remote classifierd over the
@@ -92,6 +101,9 @@ const (
 	ModelBursty
 	// ModelShift is ModelZipf with a hot set that migrates mid-run.
 	ModelShift
+	// ModelConntrack emits connection-shaped bidirectional traffic with
+	// open/steady/close churn and an optional SYN-flood aggressor.
+	ModelConntrack
 )
 
 // String returns the model's flag spelling.
@@ -105,13 +117,17 @@ func (m Model) String() string {
 		return "bursty"
 	case ModelShift:
 		return "shift"
+	case ModelConntrack:
+		return "conntrack"
 	default:
 		return fmt.Sprintf("model(%d)", int(m))
 	}
 }
 
 // Models lists every traffic model in flag order.
-func Models() []Model { return []Model{ModelUniform, ModelZipf, ModelBursty, ModelShift} }
+func Models() []Model {
+	return []Model{ModelUniform, ModelZipf, ModelBursty, ModelShift, ModelConntrack}
+}
 
 // ParseModel resolves a model from its flag spelling.
 func ParseModel(s string) (Model, error) {
@@ -124,6 +140,8 @@ func ParseModel(s string) (Model, error) {
 		return ModelBursty, nil
 	case "shift", "locality-shift":
 		return ModelShift, nil
+	case "conntrack", "connections":
+		return ModelConntrack, nil
 	default:
 		return 0, fmt.Errorf("unknown traffic model %q", s)
 	}
@@ -211,12 +229,26 @@ type Config struct {
 	// Shifts is the number of hot-set migrations for ModelShift
 	// (default 3).
 	Shifts int
+
+	// Connections is ModelConntrack's live-connection pool size
+	// (default 256): the number of flows simultaneously open.
+	Connections int
+	// ConnPackets is ModelConntrack's per-connection packet budget
+	// (default 16): a connection closes — and a fresh one opens in its
+	// slot — after this many events, so the run churns through roughly
+	// Events/ConnPackets distinct connections.
+	ConnPackets int
+	// FloodRatio is the fraction of ModelConntrack lookup events emitted
+	// by the SYN-flood aggressor: one-shot flows with a never-repeating
+	// source port, each eligible to install state but never revisited
+	// (default 0).
+	FloodRatio float64
 }
 
 // withDefaults validates the config and fills the optional defaults.
 func (cfg Config) withDefaults() (Config, error) {
 	switch cfg.Model {
-	case ModelUniform, ModelZipf, ModelBursty, ModelShift:
+	case ModelUniform, ModelZipf, ModelBursty, ModelShift, ModelConntrack:
 	default:
 		return cfg, fmt.Errorf("workload: unknown model %d", int(cfg.Model))
 	}
@@ -268,6 +300,21 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Shifts < 1 {
 		return cfg, fmt.Errorf("workload: shift count %d, want >= 1", cfg.Shifts)
 	}
+	if cfg.Connections == 0 {
+		cfg.Connections = 256
+	}
+	if cfg.Connections < 1 {
+		return cfg, fmt.Errorf("workload: connection pool %d, want >= 1", cfg.Connections)
+	}
+	if cfg.ConnPackets == 0 {
+		cfg.ConnPackets = 16
+	}
+	if cfg.ConnPackets < 1 {
+		return cfg, fmt.Errorf("workload: connection packet budget %d, want >= 1", cfg.ConnPackets)
+	}
+	if cfg.FloodRatio < 0 || cfg.FloodRatio > 1 {
+		return cfg, fmt.Errorf("workload: flood ratio %v, want [0,1]", cfg.FloodRatio)
+	}
 	return cfg, nil
 }
 
@@ -313,7 +360,13 @@ func Generate(rs *rule.Set, cfg Config) (*Schedule, error) {
 	s := &Schedule{Model: cfg.Model, Initial: initial}
 	s.Events = make([]Event, 0, cfg.Events)
 	arrivals := arrivalTimes(cfg, rnd)
-	headerAt := headerPicker(cfg, rnd, len(pool))
+	var headerFor func(i int) rule.Header
+	if cfg.Model == ModelConntrack {
+		headerFor = conntrackPicker(cfg, rnd, pool)
+	} else {
+		headerAt := headerPicker(cfg, rnd, len(pool))
+		headerFor = func(i int) rule.Header { return pool[headerAt(i)] }
+	}
 
 	// live tracks the installed ruleset through the sequence so deletes
 	// and swap payloads stay valid whatever the random op mix does.
@@ -344,10 +397,10 @@ func Generate(rs *rule.Set, cfg Config) (*Schedule, error) {
 				live[j] = live[len(live)-1]
 				live = live[:len(live)-1]
 			default:
-				ev.Op, ev.Header = OpLookup, pool[headerAt(i)]
+				ev.Op, ev.Header = OpLookup, headerFor(i)
 			}
 		default:
-			ev.Op, ev.Header = OpLookup, pool[headerAt(i)]
+			ev.Op, ev.Header = OpLookup, headerFor(i)
 		}
 		s.Events = append(s.Events, ev)
 	}
@@ -424,6 +477,72 @@ func arrivalTimes(cfg Config, rnd *rand.Rand) []time.Duration {
 		out[i] = time.Duration(float64(cfg.Duration) * cum / (total + 1))
 	}
 	return out
+}
+
+// conntrackPicker returns ModelConntrack's per-event header generator: a
+// pool of cfg.Connections live connections, each seeded from the flow
+// pool with a distinct ephemeral source port. A connection's first
+// packet travels forward (the opening packet a stateful composition
+// turns into a flow install when it matches an allow-established rule);
+// subsequent packets mix forward and reverse until the per-connection
+// budget closes it and a fresh connection opens in its slot. With
+// FloodRatio > 0 the aggressor interleaves one-shot forward packets
+// whose source port never repeats — each a distinct flow that can
+// install state but is never looked up again.
+func conntrackPicker(cfg Config, rnd *rand.Rand, pool []rule.Header) func(i int) rule.Header {
+	type conn struct {
+		fwd  rule.Header
+		sent int // packets emitted so far; 0 = not yet opened
+		life int // budget before close
+	}
+	// Ephemeral source ports walk [32768, 61000) so every connection and
+	// every flood packet is a distinct 5-tuple even when two draws share
+	// a pool flow. Non-TCP/UDP flows keep their pool ports: a port twist
+	// would not survive the wire encoding the raw replay targets use.
+	const ephLo, ephHi = 32768, 61000
+	eph := uint16(ephLo)
+	nextEph := func() uint16 {
+		p := eph
+		if eph++; eph >= ephHi {
+			eph = ephLo
+		}
+		return p
+	}
+	open := func() conn {
+		h := pool[rnd.Intn(len(pool))]
+		if h.Proto == rule.ProtoTCP || h.Proto == rule.ProtoUDP {
+			h.SrcPort = nextEph()
+		}
+		return conn{fwd: h, life: 1 + rnd.Intn(2*cfg.ConnPackets)}
+	}
+	conns := make([]conn, cfg.Connections)
+	for i := range conns {
+		conns[i] = open()
+	}
+	reverse := func(h rule.Header) rule.Header {
+		return rule.Header{SrcIP: h.DstIP, DstIP: h.SrcIP,
+			SrcPort: h.DstPort, DstPort: h.SrcPort, Proto: h.Proto}
+	}
+	return func(int) rule.Header {
+		if cfg.FloodRatio > 0 && rnd.Float64() < cfg.FloodRatio {
+			h := pool[rnd.Intn(len(pool))]
+			if h.Proto == rule.ProtoTCP || h.Proto == rule.ProtoUDP {
+				h.SrcPort = nextEph()
+			}
+			return h
+		}
+		j := rnd.Intn(len(conns))
+		c := &conns[j]
+		h := c.fwd
+		if c.sent > 0 && rnd.Intn(2) == 1 {
+			h = reverse(c.fwd)
+		}
+		c.sent++
+		if c.sent >= c.life {
+			*c = open()
+		}
+		return h
+	}
 }
 
 // headerPicker returns the per-event flow selector for the model.

@@ -233,6 +233,80 @@ func TestBurstyArrivals(t *testing.T) {
 	}
 }
 
+// conntrackFlowKey normalizes a header to its direction-agnostic flow
+// identity, the way a conntrack table would.
+func conntrackFlowKey(h rule.Header) rule.Header {
+	a := uint64(h.SrcIP)<<16 | uint64(h.SrcPort)
+	b := uint64(h.DstIP)<<16 | uint64(h.DstPort)
+	if a > b {
+		h = rule.Header{SrcIP: h.DstIP, DstIP: h.SrcIP,
+			SrcPort: h.DstPort, DstPort: h.SrcPort, Proto: h.Proto}
+	}
+	return h
+}
+
+// TestConntrackModel verifies the connection-shaped traffic contract:
+// bidirectional flows (both orientations of the same 5-tuple occur, the
+// forward one first), connection churn well beyond the live pool, and —
+// with the SYN-flood aggressor at full throttle — a schedule dominated
+// by one-shot flows.
+func TestConntrackModel(t *testing.T) {
+	rs := testRuleset(t, 50)
+	gen := func(flood float64) map[rule.Header][]rule.Header {
+		s, err := Generate(rs, Config{
+			Model: ModelConntrack, Events: 6000, Duration: time.Second, Seed: 7,
+			Connections: 64, ConnPackets: 8, FloodRatio: flood,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows := map[rule.Header][]rule.Header{}
+		for i := range s.Events {
+			if s.Events[i].Op != OpLookup {
+				continue
+			}
+			h := s.Events[i].Header
+			k := conntrackFlowKey(h)
+			flows[k] = append(flows[k], h)
+		}
+		return flows
+	}
+
+	flows := gen(0)
+	// Churn: the run walks through far more distinct connections than the
+	// 64 concurrently live, but far fewer than one per event.
+	if n := len(flows); n < 200 || n > 3000 {
+		t.Fatalf("distinct flows = %d, want connection churn in (200, 3000)", n)
+	}
+	bidir := 0
+	for _, pkts := range flows {
+		// pkts is in schedule order, so pkts[0] is the connection's
+		// opening (forward) packet; any later packet differing from it is
+		// the reverse orientation.
+		for _, h := range pkts[1:] {
+			if h != pkts[0] {
+				bidir++
+				break
+			}
+		}
+	}
+	if bidir < len(flows)/4 {
+		t.Fatalf("only %d of %d flows are bidirectional", bidir, len(flows))
+	}
+
+	// Full-throttle aggressor: almost every flow is a one-shot SYN.
+	flood := gen(1)
+	oneShot := 0
+	for _, pkts := range flood {
+		if len(pkts) == 1 {
+			oneShot++
+		}
+	}
+	if len(flood) < 4000 || oneShot < len(flood)*9/10 {
+		t.Fatalf("flood run: %d flows, %d one-shot — aggressor not flooding", len(flood), oneShot)
+	}
+}
+
 func TestGenerateValidation(t *testing.T) {
 	rs := testRuleset(t, 10)
 	cases := []Config{

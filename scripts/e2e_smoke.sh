@@ -120,6 +120,37 @@ if [ "$lookups_after" -lt $((lookups_before + 2)) ]; then
     exit 1
 fi
 
+echo "== stateful flow tracking: establish forward, admit reverse by state =="
+ctl create ct tss 1 0 4096
+ctl -table ct insert 1 1 allow-established \
+    @10.0.0.0/8 0.0.0.0/0 0 : 65535 443 : 443 0x06/0xff
+# Reverse before establishment: the classifier has no rule for it.
+ctl -table ct lookup 8.8.8.8 10.0.0.1 443 1234 6 | grep -q '^NOMATCH' \
+    || { echo "reverse matched before establishment" >&2; exit 1; }
+# The forward packet matches the establish rule and installs the flow.
+ctl -table ct lookup 10.0.0.1 8.8.8.8 1234 443 6 | grep -q 'allow-established' \
+    || { echo "forward packet missed the establish rule" >&2; exit 1; }
+# The reverse direction is now admitted purely by flow state.
+ctl -table ct lookup 8.8.8.8 10.0.0.1 443 1234 6 | grep -q '^MATCH rule 1' \
+    || { echo "reverse not admitted by flow state" >&2; exit 1; }
+ctl -table ct stats | grep -q 'state installs 1 hits 1' \
+    || { echo "ctl stats missing state counters" >&2; exit 1; }
+curl -fsS "http://$httpaddr/metrics" > "$work/metrics3.txt"
+grep -q '^repro_table_state_entries{table="ct"} 4096$' "$work/metrics3.txt" \
+    || { echo "/metrics missing ct state entries gauge" >&2; exit 1; }
+grep -q '^repro_table_state_installs_total{table="ct"} 1$' "$work/metrics3.txt" \
+    || { echo "/metrics missing ct state install counter" >&2; exit 1; }
+grep -q '^repro_table_state_hits_total{table="ct"} 1$' "$work/metrics3.txt" \
+    || { echo "/metrics missing ct state hit counter" >&2; exit 1; }
+# A whole-ruleset swap invalidates established flows: the replayed
+# reverse packet must not be served by state, so the hit counter stays
+# where it was.
+ctl -table ct swap "$work/rules.txt"
+ctl -table ct lookup 8.8.8.8 10.0.0.1 443 1234 6 >/dev/null
+ctl -table ct stats | grep -q 'state installs 1 hits 1 ' \
+    || { echo "flow state survived a ruleset swap" >&2; exit 1; }
+ctl drop ct
+
 echo "== HTTP plane: create/drop round-trip through the admin API =="
 curl -fsS -X POST -d '{"name":"api_made","backend":"linear"}' "http://$httpaddr/v1/tables" >/dev/null
 ctl tables | grep -q '^api_made' || { echo "API-created table invisible to ctl" >&2; exit 1; }
